@@ -1,0 +1,88 @@
+// Shared scaffolding for the figure-reproduction binaries.
+//
+// Every bar-figure bench (Figs. 4-9) is a set of labelled scenario cells;
+// for each cell we run the four algorithms over a few seeds and print the
+// normalized social welfare per algorithm — the series the paper plots.
+//
+// Default cell sizes are scaled down from the paper's 50-200-node,
+// 30-80-tasks-per-slot day so a full bench finishes in seconds on one CPU
+// core; pass --paper-scale for the original sizes (minutes). The load
+// *ratio* (demand vs. fleet capacity) is preserved, which is what the
+// relative welfare shape depends on.
+#pragma once
+
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "lorasched/experiments/runner.h"
+#include "lorasched/util/cli.h"
+#include "lorasched/util/table.h"
+
+namespace lorasched::bench {
+
+struct Cell {
+  std::string label;
+  ScenarioConfig config;
+};
+
+inline std::vector<std::uint64_t> default_seeds(const util::Cli& cli) {
+  const long count = cli.get_int("seeds", 3);
+  std::vector<std::uint64_t> seeds;
+  for (long s = 0; s < count; ++s) {
+    seeds.push_back(1000 + static_cast<std::uint64_t>(s));
+  }
+  return seeds;
+}
+
+/// Runs every cell and prints one normalized-welfare row per cell — the
+/// bar heights of the corresponding paper figure — plus raw welfare.
+inline void run_bar_figure(const std::string& title,
+                           const std::string& x_label,
+                           const std::vector<Cell>& cells,
+                           const std::vector<std::uint64_t>& seeds,
+                           bool csv = false) {
+  util::Table bars(title, {x_label, "pdFTSP", "Titan", "EFT", "NTM"});
+  util::Table raw(title + " — raw social welfare ($)",
+                  {x_label, "pdFTSP", "Titan", "EFT", "NTM"});
+  // Normalization is global across the whole figure (as in the paper), so
+  // both the algorithm ordering within a group and the trend across groups
+  // are visible.
+  std::vector<std::vector<PolicyResult>> per_cell;
+  double best = 0.0;
+  for (const Cell& cell : cells) {
+    per_cell.push_back(compare_policies_averaged(cell.config, seeds));
+    for (const PolicyResult& r : per_cell.back()) {
+      best = std::max(best, r.metrics.social_welfare);
+    }
+  }
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    std::vector<std::string> bar_row{cells[i].label};
+    std::vector<std::string> raw_row{cells[i].label};
+    for (const PolicyResult& r : per_cell[i]) {
+      const double bar =
+          best > 0.0 ? std::max(0.0, r.metrics.social_welfare) / best : 0.0;
+      bar_row.push_back(util::Table::num(bar, 3));
+      raw_row.push_back(util::Table::num(r.metrics.social_welfare, 2));
+    }
+    bars.add_row(std::move(bar_row));
+    raw.add_row(std::move(raw_row));
+  }
+  if (csv) {
+    bars.write_csv(std::cout);
+  } else {
+    bars.print(std::cout);
+    std::cout << '\n';
+    raw.print(std::cout);
+  }
+}
+
+/// The flags every bar-figure bench accepts.
+inline const std::vector<std::string>& bar_flags() {
+  static const std::vector<std::string> flags{"seeds", "paper-scale", "csv"};
+  return flags;
+}
+
+}  // namespace lorasched::bench

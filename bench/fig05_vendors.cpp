@@ -1,0 +1,30 @@
+// Figure 5 — Impact of the Number of Labor Vendors: welfare rises slightly
+// with more vendors because the scheduler has more price/delay tradeoffs to
+// choose from for data pre-processing (paper: 3/5/10 vendors).
+#include "bench_common.h"
+
+using namespace lorasched;
+using namespace lorasched::bench;
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  cli.allow_only(bar_flags());
+  const bool paper = cli.get_bool("paper-scale", false);
+
+  std::vector<Cell> cells;
+  for (int vendors : {3, 5, 10}) {
+    ScenarioConfig config;
+    config.nodes = paper ? 100 : 16;
+    config.fleet = FleetKind::kHybrid;
+    config.horizon = 144;
+    config.arrival_rate = paper ? 50.0 : 7.0;
+    config.vendors = vendors;
+    // Pre-processing-heavy workload so vendor choice matters.
+    config.prep_probability = 0.7;
+    cells.push_back({std::to_string(vendors), config});
+  }
+  run_bar_figure(
+      "Fig. 5 — Impact of Number of Labor Vendors (normalized welfare)",
+      "vendors", cells, default_seeds(cli), cli.get_bool("csv", false));
+  return 0;
+}

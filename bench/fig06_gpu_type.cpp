@@ -1,0 +1,28 @@
+// Figure 6 — Impact of Per-Node Capacity: A100-only vs A40-only vs a hybrid
+// fleet. The stronger A100s process more samples per slot, so the A100
+// fleet achieves the highest welfare; pdFTSP leads in every fleet.
+#include "bench_common.h"
+
+using namespace lorasched;
+using namespace lorasched::bench;
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  cli.allow_only(bar_flags());
+  const bool paper = cli.get_bool("paper-scale", false);
+
+  std::vector<Cell> cells;
+  for (FleetKind fleet :
+       {FleetKind::kA100Only, FleetKind::kA40Only, FleetKind::kHybrid}) {
+    ScenarioConfig config;
+    config.nodes = paper ? 100 : 16;
+    config.fleet = fleet;
+    config.horizon = 144;
+    config.arrival_rate = paper ? 50.0 : 7.0;
+    cells.push_back({to_string(fleet), config});
+  }
+  run_bar_figure("Fig. 6 — Impact of Per-Node Capacity (normalized welfare)",
+                 "fleet", cells, default_seeds(cli),
+                 cli.get_bool("csv", false));
+  return 0;
+}

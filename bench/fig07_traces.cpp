@@ -1,0 +1,29 @@
+// Figure 7 — Impact of Real-World Task Traces: arrival shapes modelled on
+// the MLaaS / Philly / Helios public traces (see workload/traces.h for the
+// substitution notes). pdFTSP leads on every trace.
+#include "bench_common.h"
+
+using namespace lorasched;
+using namespace lorasched::bench;
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  cli.allow_only(bar_flags());
+  const bool paper = cli.get_bool("paper-scale", false);
+
+  std::vector<Cell> cells;
+  for (TraceKind trace :
+       {TraceKind::kMLaaS, TraceKind::kPhilly, TraceKind::kHelios}) {
+    ScenarioConfig config;
+    config.nodes = paper ? 100 : 16;
+    config.fleet = FleetKind::kHybrid;
+    config.horizon = 144;
+    config.arrival_rate = paper ? 50.0 : 7.0;
+    config.trace = trace;
+    cells.push_back({to_string(trace), config});
+  }
+  run_bar_figure("Fig. 7 — Impact of Real-World Task Traces (normalized welfare)",
+                 "trace", cells, default_seeds(cli),
+                 cli.get_bool("csv", false));
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Figure 12 — Empirical Competitive Ratio: offline optimum / online welfare
+// for horizons T = 50/100/150 under small/medium/high workloads. The paper
+// computes the offline optimum with Gurobi; we use the in-repo column
+// generation + branch & bound (solver/colgen.h). Instances are sized so the
+// offline solve converges; the paper reports ratios <= 3 throughout.
+//
+//   ./fig12_competitive_ratio [--seeds N] [--nodes K] [--csv]
+#include <iostream>
+
+#include "lorasched/baselines/offline.h"
+#include "lorasched/core/pdftsp.h"
+#include "lorasched/core/theory.h"
+#include "lorasched/experiments/scenario.h"
+#include "lorasched/sim/engine.h"
+#include "lorasched/util/cli.h"
+#include "lorasched/util/table.h"
+
+using namespace lorasched;
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  cli.allow_only({"seeds", "nodes", "csv"});
+  const long seeds = cli.get_int("seeds", 1);
+  const int nodes = static_cast<int>(cli.get_int("nodes", 3));
+
+  util::Table table("Fig. 12 — Empirical competitive ratio (OPT / online)",
+                    {"T", "workload", "ratio(int)", "ratio(LP bound)",
+                     "online($)", "offline int($)", "LP bound($)",
+                     "converged", "Thm-5 γ"});
+
+  for (const Slot horizon : {50, 100, 150}) {
+    for (const auto& [label, rate] :
+         std::vector<std::pair<std::string, double>>{
+             {"small", 0.3}, {"medium", 0.6}, {"high", 1.0}}) {
+      double ratio_int = 0.0;
+      double ratio_lp = 0.0;
+      double online_w = 0.0;
+      double off_int = 0.0;
+      double off_lp = 0.0;
+      double gamma = 0.0;
+      bool all_converged = true;
+      for (long s = 0; s < seeds; ++s) {
+        ScenarioConfig config;
+        config.nodes = nodes;
+        config.fleet = FleetKind::kHybrid;
+        config.horizon = horizon;
+        config.arrival_rate = rate;
+        config.seed = 500 + static_cast<std::uint64_t>(s);
+        const Instance instance = make_instance(config);
+
+        Pdftsp policy(pdftsp_config_for(instance), instance.cluster,
+                      instance.energy, instance.horizon);
+        const SimResult online = run_simulation(instance, policy);
+        const EmpiricalRatio ratio = empirical_ratio(instance, online);
+        ratio_int += ratio.vs_integer;
+        ratio_lp += ratio.vs_lp_bound;
+        online_w += ratio.online_welfare;
+        off_int += ratio.offline.integer_value;
+        off_lp += ratio.offline.lp_bound;
+        gamma += theoretical_bound(instance).gamma;
+        all_converged = all_converged && ratio.offline.converged;
+      }
+      const double inv = 1.0 / static_cast<double>(seeds);
+      table.add_row({std::to_string(horizon), label,
+                     util::Table::num(ratio_int * inv, 3),
+                     util::Table::num(ratio_lp * inv, 3),
+                     util::Table::num(online_w * inv, 2),
+                     util::Table::num(off_int * inv, 2),
+                     util::Table::num(off_lp * inv, 2),
+                     all_converged ? "yes" : "no",
+                     util::Table::num(gamma * inv, 1)});
+    }
+  }
+  if (cli.get_bool("csv", false)) {
+    table.write_csv(std::cout);
+  } else {
+    table.print(std::cout);
+    std::cout << "\nPaper: empirical competitive ratios stay below 3 in all "
+                 "settings; ratio(LP bound) is the conservative variant.\n"
+                 "Thm-5 γ is the *worst-case* guarantee ρ(1 + max{α, β}); "
+                 "its orders-of-magnitude slack over the measured ratio is "
+                 "typical of primal-dual competitive analyses.\n";
+  }
+  return 0;
+}

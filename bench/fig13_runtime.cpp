@@ -1,0 +1,56 @@
+// Figure 13 — Per-task scheduling runtime CDF, pdFTSP vs Titan on a
+// 100-node cluster (the paper's setting; --nodes scales it). Titan solves a
+// batch MILP per slot, so its per-task cost grows with the batch; pdFTSP's
+// DP stays flat — the same qualitative gap the paper shows.
+//
+//   ./fig13_runtime [--nodes K] [--rate R] [--csv]
+#include <iostream>
+
+#include "lorasched/experiments/runner.h"
+#include "lorasched/util/cli.h"
+#include "lorasched/util/stats.h"
+#include "lorasched/util/table.h"
+
+using namespace lorasched;
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  cli.allow_only({"nodes", "rate", "csv"});
+
+  ScenarioConfig config;
+  config.nodes = static_cast<int>(cli.get_int("nodes", 100));
+  config.fleet = FleetKind::kHybrid;
+  config.horizon = 144;
+  config.arrival_rate = cli.get_double("rate", 30.0);
+  config.seed = 42;
+  const Instance instance = make_instance(config);
+
+  RunSet set;
+  set.eft = set.ntm = false;  // the paper's Fig. 13 compares pdFTSP vs Titan
+  const auto results = compare_policies(instance, set);
+
+  util::Table table("Fig. 13 — per-task scheduling time CDF (seconds)",
+                    {"fraction", "pdFTSP", "Titan"});
+  const auto pd_cdf = util::empirical_cdf(results[0].decide_seconds, 0);
+  const auto ti_cdf = util::empirical_cdf(results[1].decide_seconds, 0);
+  for (double q : {0.10, 0.25, 0.50, 0.75, 0.90, 0.95, 0.99, 1.00}) {
+    table.add_row(
+        {util::Table::num(q, 2),
+         util::Table::num(util::percentile(results[0].decide_seconds, 100 * q), 6),
+         util::Table::num(util::percentile(results[1].decide_seconds, 100 * q), 6)});
+  }
+  if (cli.get_bool("csv", false)) {
+    table.write_csv(std::cout);
+    return 0;
+  }
+  table.print(std::cout);
+  std::cout << "\nmean per-task decide time: pdFTSP "
+            << util::Table::num(1e3 * util::mean(results[0].decide_seconds), 3)
+            << " ms, Titan "
+            << util::Table::num(1e3 * util::mean(results[1].decide_seconds), 3)
+            << " ms over " << instance.tasks.size() << " tasks on "
+            << config.nodes << " nodes\n";
+  std::cout << "(CDF points: pdFTSP " << pd_cdf.size() << ", Titan "
+            << ti_cdf.size() << " samples)\n";
+  return 0;
+}

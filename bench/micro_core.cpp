@@ -1,0 +1,119 @@
+// google-benchmark microbenchmarks for the algorithmic kernels: the
+// per-task schedule DP (Alg. 2), the dual update (eq. 7/8), the full
+// per-task pdFTSP decision, the simplex solver, and a price-scale ablation
+// of end-to-end welfare (the DESIGN.md §5 knob).
+#include <benchmark/benchmark.h>
+
+#include "lorasched/core/pdftsp.h"
+#include "lorasched/experiments/runner.h"
+#include "lorasched/solver/simplex.h"
+
+namespace lorasched {
+namespace {
+
+Instance bench_instance(int nodes, double rate, Slot horizon = 96,
+                        std::uint64_t seed = 9) {
+  ScenarioConfig config;
+  config.nodes = nodes;
+  config.fleet = FleetKind::kHybrid;
+  config.horizon = horizon;
+  config.arrival_rate = rate;
+  config.seed = seed;
+  return make_instance(config);
+}
+
+/// Alg. 2's DP over (slot, work) for one task, window and fleet per Arg.
+void BM_ScheduleDp(benchmark::State& state) {
+  const Instance instance = bench_instance(static_cast<int>(state.range(0)),
+                                           2.0);
+  const ScheduleDp dp(instance.cluster, instance.energy);
+  const DualState duals(instance.cluster.node_count(), instance.horizon);
+  const Task& task = instance.tasks[instance.tasks.size() / 2];
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dp.find(task, task.arrival, duals));
+  }
+  state.SetLabel(std::to_string(instance.cluster.node_count()) + " nodes");
+}
+BENCHMARK(BM_ScheduleDp)->Arg(8)->Arg(32)->Arg(128);
+
+/// One multiplicative dual update (eq. 7/8) for a mid-sized schedule.
+void BM_DualUpdate(benchmark::State& state) {
+  const Instance instance = bench_instance(16, 2.0);
+  const ScheduleDp dp(instance.cluster, instance.energy);
+  DualState duals(instance.cluster.node_count(), instance.horizon);
+  const Task& task = instance.tasks[instance.tasks.size() / 2];
+  Schedule schedule = dp.find(task, task.arrival, duals);
+  finalize_schedule(schedule, task, instance.cluster, instance.energy);
+  for (auto _ : state) {
+    duals.apply_update(task, schedule, instance.cluster, 1.0, 1.0, 1.0);
+  }
+}
+BENCHMARK(BM_DualUpdate);
+
+/// Full Alg. 1 loop body (vendor loop + DP + pricing) per task.
+void BM_PdftspDecision(benchmark::State& state) {
+  const Instance instance = bench_instance(static_cast<int>(state.range(0)),
+                                           2.0);
+  Pdftsp policy(pdftsp_config_for(instance), instance.cluster, instance.energy,
+                instance.horizon);
+  CapacityLedger ledger(instance.cluster, instance.horizon);
+  std::size_t next = 0;
+  for (auto _ : state) {
+    const Task& task = instance.tasks[next++ % instance.tasks.size()];
+    benchmark::DoNotOptimize(
+        policy.handle_task(task, instance.market.quotes(task), ledger));
+  }
+  state.SetLabel(std::to_string(instance.cluster.node_count()) + " nodes");
+}
+BENCHMARK(BM_PdftspDecision)->Arg(16)->Arg(64);
+
+/// Dense simplex on a random packing LP (rows = Arg).
+void BM_Simplex(benchmark::State& state) {
+  const int m = static_cast<int>(state.range(0));
+  const int n = 2 * m;
+  solver::LpProblem lp;
+  std::uint64_t rng_state = 4242;
+  auto next = [&rng_state]() {
+    rng_state = rng_state * 6364136223846793005ull + 1442695040888963407ull;
+    return static_cast<double>((rng_state >> 33) & 0xffff) / 65535.0;
+  };
+  for (int j = 0; j < n; ++j) lp.objective.push_back(1.0 + next());
+  for (int i = 0; i < m; ++i) {
+    solver::LpProblem::Row row;
+    for (int j = 0; j < n; ++j) {
+      if (next() < 0.2) row.coeffs.emplace_back(j, 0.2 + next());
+    }
+    row.rhs = 2.0 + next();
+    lp.rows.push_back(row);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver::solve_lp(lp));
+  }
+}
+BENCHMARK(BM_Simplex)->Arg(20)->Arg(60)->Arg(120);
+
+/// Ablation: end-to-end welfare as the dual price scale varies (x1000 for
+/// visibility in the counter column). Shows the calibration tradeoff
+/// described in DESIGN.md §5 — full Lemma-2 strength prices out profitable
+/// demand; near-zero reduces pdFTSP to a greedy profit filter.
+void BM_PriceScaleAblation(benchmark::State& state) {
+  const double scale = static_cast<double>(state.range(0)) / 10000.0;
+  const Instance instance = bench_instance(8, 6.0, 72);
+  for (auto _ : state) {
+    Pdftsp policy(pdftsp_config_for(instance, std::max(scale, 1e-9)),
+                  instance.cluster, instance.energy, instance.horizon);
+    const SimResult result = run_simulation(instance, policy);
+    state.counters["welfare"] = result.metrics.social_welfare;
+  }
+}
+BENCHMARK(BM_PriceScaleAblation)
+    ->Arg(0)       // scale 0 (profit filter only)
+    ->Arg(10)      // 0.001
+    ->Arg(100)     // 0.01 (default)
+    ->Arg(1000)    // 0.1
+    ->Arg(10000);  // 1.0 (full Lemma-2 constants)
+
+}  // namespace
+}  // namespace lorasched
+
+BENCHMARK_MAIN();

@@ -1,0 +1,63 @@
+// Capacity planning with the auction as the demand model: sweep the fleet
+// size for a fixed workload and find where additional GPUs stop paying for
+// themselves — the provider-side question the paper's Fig. 4 hints at.
+//
+//   ./capacity_planning [--rate R] [--seeds N] [--max-nodes M]
+#include <iostream>
+#include <vector>
+
+#include "lorasched/experiments/runner.h"
+#include "lorasched/util/cli.h"
+#include "lorasched/util/table.h"
+
+using namespace lorasched;
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  cli.allow_only({"rate", "seeds", "max-nodes"});
+  const double rate = cli.get_double("rate", 6.0);
+  const int seeds = static_cast<int>(cli.get_int("seeds", 3));
+  const int max_nodes = static_cast<int>(cli.get_int("max-nodes", 24));
+
+  std::cout << "Fleet sizing under a fixed workload (" << rate
+            << " tasks/slot), pdFTSP auction:\n\n";
+
+  util::Table table("Marginal value of GPUs",
+                    {"nodes", "welfare($)", "provider($)", "admit rate",
+                     "util", "marginal welfare/node($)"});
+  double prev_welfare = 0.0;
+  int prev_nodes = 0;
+  for (int nodes = 4; nodes <= max_nodes; nodes *= 2) {
+    ScenarioConfig config;
+    config.nodes = nodes;
+    config.horizon = 96;
+    config.arrival_rate = rate;
+    std::vector<std::uint64_t> seed_list;
+    for (int s = 0; s < seeds; ++s) {
+      seed_list.push_back(100 + static_cast<std::uint64_t>(s));
+    }
+    RunSet only_pdftsp;
+    only_pdftsp.titan = only_pdftsp.eft = only_pdftsp.ntm = false;
+    const auto results =
+        compare_policies_averaged(config, seed_list, only_pdftsp);
+    const Metrics& m = results.front().metrics;
+    const double admit_rate =
+        static_cast<double>(m.admitted) /
+        std::max(1, m.admitted + m.rejected);
+    const double marginal =
+        prev_nodes == 0
+            ? 0.0
+            : (m.social_welfare - prev_welfare) / (nodes - prev_nodes);
+    table.add_row({std::to_string(nodes),
+                   util::Table::num(m.social_welfare, 2),
+                   util::Table::num(m.provider_utility, 2),
+                   util::Table::pct(admit_rate), util::Table::pct(m.utilization),
+                   prev_nodes == 0 ? "-" : util::Table::num(marginal, 2)});
+    prev_welfare = m.social_welfare;
+    prev_nodes = nodes;
+  }
+  table.print(std::cout);
+  std::cout << "\nWhen the marginal welfare per added node falls below your "
+               "amortized GPU cost, stop buying.\n";
+  return 0;
+}

@@ -1,0 +1,77 @@
+// One day in the life of a fine-tuning cloud: the paper's full evaluation
+// setting (144 x 10-minute slots) with all four algorithms side by side.
+//
+//   ./cloud_day [--nodes N] [--rate R] [--fleet A100|A40|hybrid]
+//               [--trace MLaaS|Philly|Helios] [--seed S]
+#include <iostream>
+#include <stdexcept>
+
+#include "lorasched/experiments/runner.h"
+#include "lorasched/util/cli.h"
+#include "lorasched/util/stats.h"
+#include "lorasched/util/table.h"
+
+using namespace lorasched;
+
+namespace {
+
+FleetKind parse_fleet(const std::string& name) {
+  if (name == "A100") return FleetKind::kA100Only;
+  if (name == "A40") return FleetKind::kA40Only;
+  if (name == "hybrid") return FleetKind::kHybrid;
+  throw std::invalid_argument("unknown fleet: " + name);
+}
+
+TraceKind parse_trace(const std::string& name) {
+  if (name == "MLaaS") return TraceKind::kMLaaS;
+  if (name == "Philly") return TraceKind::kPhilly;
+  if (name == "Helios") return TraceKind::kHelios;
+  throw std::invalid_argument("unknown trace: " + name);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  cli.allow_only({"nodes", "rate", "fleet", "trace", "seed"});
+
+  ScenarioConfig config;
+  config.nodes = static_cast<int>(cli.get_int("nodes", 20));
+  config.fleet = parse_fleet(cli.get("fleet", "hybrid"));
+  config.horizon = 144;
+  config.arrival_rate = cli.get_double("rate", 8.0);
+  config.seed = static_cast<std::uint64_t>(cli.get_int("seed", 42));
+  if (cli.has("trace")) config.trace = parse_trace(cli.get("trace", "MLaaS"));
+
+  const Instance instance = make_instance(config);
+  std::cout << "Day-long run: " << config.nodes << " " << to_string(config.fleet)
+            << " nodes, " << instance.tasks.size() << " tasks ("
+            << (config.trace ? to_string(*config.trace) : std::string("Poisson"))
+            << " arrivals)\n\n";
+
+  const auto results = compare_policies(instance, {}, config.seed + 1);
+
+  util::Table table("One-day comparison (paper setting, scaled node count)",
+                    {"algorithm", "welfare($)", "normalized", "admitted",
+                     "rejected", "util", "avg decide(ms)"});
+  for (const PolicyResult& r : results) {
+    table.add_row({r.policy, util::Table::num(r.metrics.social_welfare, 2),
+                   util::Table::num(r.normalized_welfare, 3),
+                   std::to_string(r.metrics.admitted),
+                   std::to_string(r.metrics.rejected),
+                   util::Table::pct(r.metrics.utilization),
+                   util::Table::num(1e3 * util::mean(r.decide_seconds), 3)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\npdFTSP improvement over each baseline:\n";
+  const double best = results.front().metrics.social_welfare;
+  for (std::size_t i = 1; i < results.size(); ++i) {
+    const double other = results[i].metrics.social_welfare;
+    if (other > 0) {
+      std::cout << "  vs " << results[i].policy << ": "
+                << util::Table::pct(best / other - 1.0) << "\n";
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Multi-model operation: two cluster zones (a GPT-2 zone on A40s and a
+// LLaMA-7B zone on A100s), each running its own self-calibrating pdFTSP
+// auction — the paper's §2.1 "zones" remark made concrete.
+//
+//   ./multizone [--seed S] [--tasks N]
+#include <cstdio>
+
+#include "lorasched/core/multizone.h"
+#include "lorasched/util/cli.h"
+#include "lorasched/util/rng.h"
+
+using namespace lorasched;
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  cli.allow_only({"seed", "tasks"});
+  util::Rng rng(static_cast<std::uint64_t>(cli.get_int("seed", 5)));
+  const long total_tasks = cli.get_int("tasks", 120);
+  const Slot horizon = 96;
+
+  ZoneConfig gpt2;
+  gpt2.model_name = "gpt2";
+  gpt2.base_model_gb = 6.0;
+  gpt2.nodes = make_fleet(FleetKind::kA40Only, 4);
+
+  ZoneConfig llama;
+  llama.model_name = "llama-7b";
+  llama.base_model_gb = 14.0;  // a larger shared base model
+  llama.nodes = make_fleet(FleetKind::kA100Only, 4);
+
+  MultiZoneAuction auction({gpt2, llama}, EnergyModel{}, horizon);
+
+  // Synthesize a mixed stream: LLaMA tasks are heavier and bid higher.
+  for (TaskId id = 0; id < total_tasks; ++id) {
+    Task task;
+    task.id = id;
+    task.model = rng.bernoulli(0.4) ? 1 : 0;
+    task.arrival = static_cast<Slot>(rng.uniform_int(0, horizon - 24));
+    task.dataset_samples = rng.uniform(5000.0, 20000.0);
+    task.epochs = static_cast<int>(rng.uniform_int(1, 5));
+    task.work = task.dataset_samples * task.epochs;
+    task.mem_gb = task.model == 1 ? rng.uniform(4.0, 12.0)
+                                  : rng.uniform(2.0, 8.0);
+    task.compute_share = task.model == 1 ? 0.5 : 0.25;
+    task.deadline =
+        task.arrival + static_cast<Slot>(rng.uniform_int(8, 23));
+    const double cost_anchor = task.work / 2e5;  // rough $ anchor
+    task.true_value = cost_anchor * rng.uniform(0.7, 3.2) *
+                      (task.model == 1 ? 2.0 : 1.0);
+    task.bid = task.true_value;
+    (void)auction.submit(task, {});
+  }
+
+  std::printf("%-10s %-9s %-9s %-12s %-12s %-10s\n", "zone", "admitted",
+              "rejected", "welfare($)", "provider($)", "util");
+  for (int zone = 0; zone < auction.zone_count(); ++zone) {
+    const Metrics& m = auction.zone_metrics(zone);
+    std::printf("%-10s %-9d %-9d %-12.3f %-12.3f %.1f%%\n",
+                auction.zone_name(zone).c_str(), m.admitted, m.rejected,
+                m.social_welfare, m.provider_utility,
+                100.0 * auction.zone_ledger(zone).compute_utilization());
+  }
+  const Metrics total = auction.total_metrics();
+  std::printf("%-10s %-9d %-9d %-12.3f %-12.3f\n", "TOTAL", total.admitted,
+              total.rejected, total.social_welfare, total.provider_utility);
+  return 0;
+}

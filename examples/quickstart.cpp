@@ -1,0 +1,63 @@
+// Quickstart: build a tiny cluster, submit a handful of LoRA fine-tuning
+// bids, and watch the pdFTSP auction decide, schedule, and price each one.
+//
+//   ./quickstart [--seed N]
+#include <cstdio>
+#include <iostream>
+
+#include "lorasched/core/pdftsp.h"
+#include "lorasched/experiments/scenario.h"
+#include "lorasched/sim/engine.h"
+#include "lorasched/util/cli.h"
+
+using namespace lorasched;
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  cli.allow_only({"seed"});
+
+  // A small cloud: 4 GPUs (2x A100, 2x A40) sharing one GPT-2-sized base
+  // model (r_b = 6 GB), half a day of 10-minute slots.
+  ScenarioConfig config;
+  config.nodes = 4;
+  config.fleet = FleetKind::kHybrid;
+  config.horizon = 72;
+  config.arrival_rate = 0.4;  // a light trickle so each decision is visible
+  config.vendors = 3;
+  config.seed = static_cast<std::uint64_t>(cli.get_int("seed", 7));
+  const Instance instance = make_instance(config);
+
+  std::printf("Cluster: %d nodes, %.0f samples/slot total, base model %.0f GB\n",
+              instance.cluster.node_count(),
+              instance.cluster.total_compute_per_slot(),
+              instance.cluster.base_model_gb());
+  std::printf("Submitting %zu fine-tuning bids over %d slots...\n\n",
+              instance.tasks.size(), instance.horizon);
+
+  Pdftsp policy(pdftsp_config_for(instance), instance.cluster, instance.energy,
+                instance.horizon);
+  const SimResult result = run_simulation(instance, policy);
+
+  std::printf("%-5s %-7s %-9s %-9s %-8s %-9s %-7s %s\n", "task", "arrive",
+              "deadline", "bid($)", "admit", "pay($)", "vendor", "plan");
+  for (const TaskOutcome& o : result.outcomes) {
+    const Task& task = instance.tasks[static_cast<std::size_t>(o.task)];
+    std::printf("%-5d %-7d %-9d %-9.3f %-8s %-9.3f %-7d ", o.task, o.arrival,
+                task.deadline, o.bid, o.admitted ? "yes" : "no", o.payment,
+                o.vendor);
+    if (o.admitted) {
+      std::printf("%d slots, done @ slot %d", o.slots_used, o.completion);
+    } else {
+      std::printf("-");
+    }
+    std::printf("\n");
+  }
+
+  const Metrics& m = result.metrics;
+  std::printf("\nSocial welfare:     %8.3f $\n", m.social_welfare);
+  std::printf("Provider utility:   %8.3f $\n", m.provider_utility);
+  std::printf("User utility:       %8.3f $\n", m.user_utility);
+  std::printf("Admitted/rejected:  %d / %d\n", m.admitted, m.rejected);
+  std::printf("Fleet utilization:  %.1f%%\n", 100.0 * m.utilization);
+  return 0;
+}

@@ -1,0 +1,48 @@
+#include "lorasched/baselines/eft.h"
+
+#include <algorithm>
+
+#include "lorasched/baselines/greedy_common.h"
+
+namespace lorasched {
+
+std::vector<Decision> EftPolicy::on_slot(const SlotContext& ctx) {
+  std::vector<Decision> decisions;
+  decisions.reserve(ctx.arrivals.size());
+  for (const Task& task : ctx.arrivals) {
+    Decision d;
+    d.task = task.id;
+
+    VendorId vendor = kNoVendor;
+    Money vendor_price = 0.0;
+    Slot delay = 0;
+    if (task.needs_prep) {
+      const auto quotes = ctx.market.quotes(task);
+      const auto fastest = std::min_element(
+          quotes.begin(), quotes.end(),
+          [](const VendorQuote& a, const VendorQuote& b) {
+            return a.delay != b.delay ? a.delay < b.delay : a.price < b.price;
+          });
+      vendor = static_cast<VendorId>(fastest - quotes.begin());
+      vendor_price = fastest->price;
+      delay = fastest->delay;
+    }
+
+    Schedule schedule =
+        greedy_earliest_finish(task, task.arrival + delay, ctx.cluster,
+                               ctx.energy, ctx.ledger, /*exclusive=*/false);
+    if (!schedule.empty()) {
+      schedule.vendor = vendor;
+      schedule.vendor_price = vendor_price;
+      schedule.prep_delay = delay;
+      finalize_schedule(schedule, task, ctx.cluster, ctx.energy);
+      d.admit = true;
+      d.schedule = std::move(schedule);
+      commit_decision(ctx.ledger, ctx.cluster, task, d);
+    }
+    decisions.push_back(std::move(d));
+  }
+  return decisions;
+}
+
+}  // namespace lorasched

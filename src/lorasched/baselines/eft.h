@@ -1,0 +1,20 @@
+// EFT baseline (paper §5.1): pick the lowest-delay labor vendor and place
+// the task so it finishes as early as possible. Admits any task it can
+// complete by the deadline, regardless of economics — which is exactly why
+// it trails pdFTSP on social welfare.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "lorasched/sim/policy.h"
+
+namespace lorasched {
+
+class EftPolicy final : public Policy {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "EFT"; }
+  [[nodiscard]] std::vector<Decision> on_slot(const SlotContext& ctx) override;
+};
+
+}  // namespace lorasched

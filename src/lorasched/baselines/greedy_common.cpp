@@ -1,0 +1,38 @@
+#include "lorasched/baselines/greedy_common.h"
+
+namespace lorasched {
+
+Schedule greedy_earliest_finish(const Task& task, Slot start,
+                                const Cluster& cluster,
+                                const EnergyModel& energy,
+                                const CapacityLedger& ledger, bool exclusive) {
+  Schedule schedule;
+  schedule.task = task.id;
+  schedule.exclusive = exclusive;
+  if (start < 0 || start > task.deadline) return schedule;
+
+  double done = 0.0;
+  for (Slot t = start; t <= task.deadline && t < ledger.horizon(); ++t) {
+    NodeId best = -1;
+    double best_rate = 0.0;
+    Money best_cost = 0.0;
+    for (NodeId k = 0; k < cluster.node_count(); ++k) {
+      const double rate = cluster.task_rate(task, k);
+      if (!ledger.fits(k, t, rate, task.mem_gb, exclusive)) continue;
+      const Money cost = energy.cost(task, cluster, k, t);
+      if (rate > best_rate || (rate == best_rate && best != -1 && cost < best_cost)) {
+        best = k;
+        best_rate = rate;
+        best_cost = cost;
+      }
+    }
+    if (best == -1) continue;  // node-slot saturated; try the next slot
+    schedule.run.push_back({best, t});
+    done += best_rate;
+    if (done >= task.work) break;
+  }
+  if (done < task.work) schedule.run.clear();  // cannot meet the deadline
+  return schedule;
+}
+
+}  // namespace lorasched

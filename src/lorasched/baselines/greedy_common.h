@@ -1,0 +1,26 @@
+// Shared greedy machinery for the EFT / NTM baselines (paper §5.1):
+// capacity-aware earliest-finish-time placement against the live ledger.
+#pragma once
+
+#include "lorasched/cluster/capacity_ledger.h"
+#include "lorasched/cluster/cluster.h"
+#include "lorasched/cluster/energy.h"
+#include "lorasched/core/schedule.h"
+#include "lorasched/types.h"
+#include "lorasched/workload/task.h"
+
+namespace lorasched {
+
+/// Builds an earliest-finish execution plan: walks slots from `start` to the
+/// deadline, placing the task each slot on the feasible node with the
+/// highest rate (ties: cheaper energy, then lower id), until the work is
+/// covered. `exclusive` applies NTM semantics (sole occupant of each booked
+/// node-slot). Returns an empty-run schedule when the task cannot finish by
+/// its deadline.
+[[nodiscard]] Schedule greedy_earliest_finish(const Task& task, Slot start,
+                                              const Cluster& cluster,
+                                              const EnergyModel& energy,
+                                              const CapacityLedger& ledger,
+                                              bool exclusive);
+
+}  // namespace lorasched

@@ -1,0 +1,42 @@
+#include "lorasched/baselines/ntm.h"
+
+#include "lorasched/baselines/greedy_common.h"
+
+namespace lorasched {
+
+std::vector<Decision> NtmPolicy::on_slot(const SlotContext& ctx) {
+  std::vector<Decision> decisions;
+  decisions.reserve(ctx.arrivals.size());
+  for (const Task& task : ctx.arrivals) {
+    Decision d;
+    d.task = task.id;
+
+    VendorId vendor = kNoVendor;
+    Money vendor_price = 0.0;
+    Slot delay = 0;
+    if (task.needs_prep) {
+      const auto quotes = ctx.market.quotes(task);
+      vendor = static_cast<VendorId>(
+          rng_.uniform_int(0, static_cast<std::int64_t>(quotes.size()) - 1));
+      vendor_price = quotes[static_cast<std::size_t>(vendor)].price;
+      delay = quotes[static_cast<std::size_t>(vendor)].delay;
+    }
+
+    Schedule schedule =
+        greedy_earliest_finish(task, task.arrival + delay, ctx.cluster,
+                               ctx.energy, ctx.ledger, /*exclusive=*/true);
+    if (!schedule.empty()) {
+      schedule.vendor = vendor;
+      schedule.vendor_price = vendor_price;
+      schedule.prep_delay = delay;
+      finalize_schedule(schedule, task, ctx.cluster, ctx.energy);
+      d.admit = true;
+      d.schedule = std::move(schedule);
+      commit_decision(ctx.ledger, ctx.cluster, task, d);
+    }
+    decisions.push_back(std::move(d));
+  }
+  return decisions;
+}
+
+}  // namespace lorasched

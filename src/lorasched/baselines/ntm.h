@@ -1,0 +1,27 @@
+// NTM (No Task Merging) baseline (paper §5.1): no multi-LoRA sharing — each
+// task loads its own replica of the pre-trained model and runs *alone* on
+// its node for every slot it executes. Labor vendor chosen uniformly at
+// random; placement is earliest-finish.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "lorasched/sim/policy.h"
+#include "lorasched/util/rng.h"
+
+namespace lorasched {
+
+class NtmPolicy final : public Policy {
+ public:
+  explicit NtmPolicy(std::uint64_t seed = 1) : rng_(seed) {}
+
+  [[nodiscard]] std::string_view name() const override { return "NTM"; }
+  [[nodiscard]] std::vector<Decision> on_slot(const SlotContext& ctx) override;
+
+ private:
+  util::Rng rng_;
+};
+
+}  // namespace lorasched

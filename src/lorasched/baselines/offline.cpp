@@ -1,0 +1,18 @@
+#include "lorasched/baselines/offline.h"
+
+namespace lorasched {
+
+EmpiricalRatio empirical_ratio(const Instance& instance,
+                               const SimResult& online,
+                               ColgenOptions options) {
+  EmpiricalRatio ratio;
+  ratio.offline = solve_offline(instance, options);
+  ratio.online_welfare = online.metrics.social_welfare;
+  if (ratio.online_welfare > 0.0) {
+    ratio.vs_integer = ratio.offline.integer_value / ratio.online_welfare;
+    ratio.vs_lp_bound = ratio.offline.lp_bound / ratio.online_welfare;
+  }
+  return ratio;
+}
+
+}  // namespace lorasched

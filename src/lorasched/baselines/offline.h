@@ -1,0 +1,26 @@
+// Offline-optimum comparison utilities for the Fig. 12 empirical
+// competitive-ratio experiment.
+#pragma once
+
+#include "lorasched/sim/metrics.h"
+#include "lorasched/solver/colgen.h"
+
+namespace lorasched {
+
+struct EmpiricalRatio {
+  /// OPT estimate used / online welfare, with the integer offline solution
+  /// as the OPT estimate (matches the paper's Gurobi-based measurement).
+  double vs_integer = 0.0;
+  /// Conservative variant using the LP upper bound as OPT (>= vs_integer).
+  double vs_lp_bound = 0.0;
+  OfflineBound offline;
+  Money online_welfare = 0.0;
+};
+
+/// Runs the offline column-generation solver on the instance and relates it
+/// to the given online result.
+[[nodiscard]] EmpiricalRatio empirical_ratio(const Instance& instance,
+                                             const SimResult& online,
+                                             ColgenOptions options = {});
+
+}  // namespace lorasched

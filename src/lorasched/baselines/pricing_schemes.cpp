@@ -1,0 +1,86 @@
+#include "lorasched/baselines/pricing_schemes.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "lorasched/baselines/greedy_common.h"
+
+namespace lorasched {
+
+FixedPricePolicy::FixedPricePolicy(Money price_per_ksample)
+    : rate_(price_per_ksample) {
+  if (rate_ < 0.0) throw std::invalid_argument("posted price must be >= 0");
+}
+
+Money reference_price_per_ksample(const Cluster& cluster,
+                                  const EnergyModel& energy, double markup) {
+  // Mean $/sample across nodes at the mid time-of-use multiplier.
+  double total = 0.0;
+  const double tou_mid = 0.5 * (energy.config().off_peak_multiplier +
+                                energy.config().peak_multiplier);
+  for (NodeId k = 0; k < cluster.node_count(); ++k) {
+    const auto& profile = cluster.profile(k);
+    total += profile.hourly_cost * tou_mid * energy.config().hours_per_slot /
+             profile.compute_per_slot;
+  }
+  return markup * 1000.0 * total / cluster.node_count();
+}
+
+std::vector<Decision> FixedPricePolicy::on_slot(const SlotContext& ctx) {
+  std::vector<Decision> decisions;
+  decisions.reserve(ctx.arrivals.size());
+  for (const Task& task : ctx.arrivals) {
+    Decision d;
+    d.task = task.id;
+
+    VendorId vendor = kNoVendor;
+    Money vendor_price = 0.0;
+    Slot delay = 0;
+    if (task.needs_prep) {
+      const auto quotes = ctx.market.quotes(task);
+      const auto cheapest = std::min_element(
+          quotes.begin(), quotes.end(),
+          [](const VendorQuote& a, const VendorQuote& b) {
+            return a.price != b.price ? a.price < b.price : a.delay < b.delay;
+          });
+      vendor = static_cast<VendorId>(cheapest - quotes.begin());
+      vendor_price = cheapest->price;
+      delay = cheapest->delay;
+    }
+
+    const Money posted = rate_ * task.work / 1000.0 + vendor_price;
+    if (task.bid >= posted) {  // user accepts the posted price
+      Schedule schedule =
+          greedy_earliest_finish(task, task.arrival + delay, ctx.cluster,
+                                 ctx.energy, ctx.ledger, /*exclusive=*/false);
+      if (!schedule.empty()) {
+        schedule.vendor = vendor;
+        schedule.vendor_price = vendor_price;
+        schedule.prep_delay = delay;
+        finalize_schedule(schedule, task, ctx.cluster, ctx.energy);
+        d.admit = true;
+        d.schedule = std::move(schedule);
+        d.payment = posted;
+        commit_decision(ctx.ledger, ctx.cluster, task, d);
+      }
+    }
+    decisions.push_back(std::move(d));
+  }
+  return decisions;
+}
+
+FirstPricePolicy::FirstPricePolicy(PdftspConfig config, const Cluster& cluster,
+                                   const EnergyModel& energy, Slot horizon)
+    : inner_(config, cluster, energy, horizon) {}
+
+std::vector<Decision> FirstPricePolicy::on_slot(const SlotContext& ctx) {
+  std::vector<Decision> decisions = inner_.on_slot(ctx);
+  // Pay-as-bid: same winners and schedules, the payment rule is the only
+  // difference under test.
+  for (std::size_t i = 0; i < decisions.size(); ++i) {
+    if (decisions[i].admit) decisions[i].payment = ctx.arrivals[i].bid;
+  }
+  return decisions;
+}
+
+}  // namespace lorasched

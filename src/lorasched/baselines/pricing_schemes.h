@@ -1,0 +1,56 @@
+// Alternative pricing mechanisms, for ablating the paper's auction design.
+//
+// * FixedPricePolicy — the "de facto fixed pricing, as adopted by some
+//   providers" the paper's introduction argues against: a posted price per
+//   1000 samples of fine-tuning work. A bid is served iff it clears the
+//   posted price and fits (earliest-finish placement); it pays the posted
+//   price. Trivially truthful, but deaf to demand and to operational-cost
+//   dynamics — the welfare it forfeits is the paper's motivation.
+// * FirstPricePolicy — pdFTSP's admission and scheduling, but winners pay
+//   their own bid (pay-as-bid). Maximally extractive and *not* truthful:
+//   bidders gain by shading, which bench/ablation_pricing demonstrates
+//   empirically — the reason eq. (14) prices by resources instead.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "lorasched/core/pdftsp.h"
+#include "lorasched/sim/policy.h"
+
+namespace lorasched {
+
+class FixedPricePolicy final : public Policy {
+ public:
+  /// `price_per_ksample` is the posted rate; vendor charges (at the
+  /// cheapest vendor) are passed through on top.
+  explicit FixedPricePolicy(Money price_per_ksample);
+
+  [[nodiscard]] std::string_view name() const override { return "FixedPrice"; }
+  [[nodiscard]] std::vector<Decision> on_slot(const SlotContext& ctx) override;
+
+  [[nodiscard]] Money price_per_ksample() const noexcept { return rate_; }
+
+ private:
+  Money rate_;
+};
+
+/// A reasonable posted rate for an instance: the fleet's mean operational
+/// cost per ksample times `markup` (1.0 = at cost).
+[[nodiscard]] Money reference_price_per_ksample(const Cluster& cluster,
+                                                const EnergyModel& energy,
+                                                double markup);
+
+class FirstPricePolicy final : public Policy {
+ public:
+  FirstPricePolicy(PdftspConfig config, const Cluster& cluster,
+                   const EnergyModel& energy, Slot horizon);
+
+  [[nodiscard]] std::string_view name() const override { return "FirstPrice"; }
+  [[nodiscard]] std::vector<Decision> on_slot(const SlotContext& ctx) override;
+
+ private:
+  Pdftsp inner_;
+};
+
+}  // namespace lorasched

@@ -1,0 +1,161 @@
+#include "lorasched/baselines/titan.h"
+
+#include <map>
+#include <utility>
+
+#include "lorasched/baselines/greedy_common.h"
+#include "lorasched/core/duals.h"
+#include "lorasched/solver/lp.h"
+
+namespace lorasched {
+
+namespace {
+
+/// Slot filter restricting the DP to (node, slot) pairs with free capacity
+/// for this task's footprint.
+struct FreeCapacityFilter {
+  const CapacityLedger* ledger;
+  const Cluster* cluster;
+  const Task* task;
+
+  static bool accept(const void* ctx, NodeId k, Slot t) {
+    const auto* self = static_cast<const FreeCapacityFilter*>(ctx);
+    return self->ledger->fits(k, t, self->cluster->task_rate(*self->task, k),
+                              self->task->mem_gb);
+  }
+};
+
+struct Candidate {
+  std::size_t arrival_index = 0;
+  Schedule schedule;
+};
+
+}  // namespace
+
+std::vector<Decision> TitanPolicy::on_slot(const SlotContext& ctx) {
+  std::vector<Decision> decisions(ctx.arrivals.size());
+  for (std::size_t i = 0; i < ctx.arrivals.size(); ++i) {
+    decisions[i].task = ctx.arrivals[i].id;
+  }
+
+  // --- Candidate generation -----------------------------------------------
+  const ScheduleDp dp(ctx.cluster, ctx.energy, config_.dp);
+  const DualState zero_duals(ctx.cluster.node_count(), ctx.ledger.horizon());
+  std::vector<Candidate> candidates;
+  // Scratch ledger for *sequentially booked* greedy candidates: this set is
+  // jointly feasible by construction, so the MILP always has a solution at
+  // least as good as processing the batch greedily.
+  CapacityLedger scratch = ctx.ledger;
+  for (std::size_t i = 0; i < ctx.arrivals.size(); ++i) {
+    const Task& task = ctx.arrivals[i];
+    VendorId vendor = kNoVendor;
+    Money vendor_price = 0.0;
+    Slot delay = 0;
+    if (task.needs_prep) {
+      const auto quotes = ctx.market.quotes(task);
+      vendor = static_cast<VendorId>(
+          rng_.uniform_int(0, static_cast<std::int64_t>(quotes.size()) - 1));
+      vendor_price = quotes[static_cast<std::size_t>(vendor)].price;
+      delay = quotes[static_cast<std::size_t>(vendor)].delay;
+    }
+    const Slot start = task.arrival + delay;
+
+    auto add_candidate = [&](Schedule schedule) {
+      if (schedule.empty()) return;
+      schedule.vendor = vendor;
+      schedule.vendor_price = vendor_price;
+      schedule.prep_delay = delay;
+      finalize_schedule(schedule, task, ctx.cluster, ctx.energy);
+      for (const Candidate& existing : candidates) {
+        if (existing.arrival_index == i &&
+            existing.schedule.run == schedule.run) {
+          return;  // duplicate plan
+        }
+      }
+      candidates.push_back({i, std::move(schedule)});
+    };
+
+    const FreeCapacityFilter filter{&ctx.ledger, &ctx.cluster, &task};
+    add_candidate(
+        dp.find(task, start, zero_duals, &filter, &FreeCapacityFilter::accept));
+    add_candidate(greedy_earliest_finish(task, start, ctx.cluster, ctx.energy,
+                                         ctx.ledger, /*exclusive=*/false));
+    Schedule sequential = greedy_earliest_finish(
+        task, start, ctx.cluster, ctx.energy, scratch, /*exclusive=*/false);
+    if (!sequential.empty()) {
+      for (const Assignment& a : sequential.run) {
+        scratch.reserve(a.node, a.slot, ctx.cluster.task_rate(task, a.node),
+                        task.mem_gb);
+      }
+      add_candidate(std::move(sequential));
+    }
+  }
+  if (candidates.empty()) return decisions;
+
+  // --- Batch MILP over the candidates -------------------------------------
+  solver::MilpProblem milp;
+  milp.lp.objective.reserve(candidates.size());
+  const double horizon = static_cast<double>(ctx.ledger.horizon());
+  for (const Candidate& c : candidates) {
+    // Titan's objective: admit as many tasks as possible, preferring plans
+    // that finish earlier (its throughput/JCT focus); bids and energy cost
+    // play no role.
+    const double finish_penalty =
+        static_cast<double>(c.schedule.completion_slot()) / horizon;
+    milp.lp.objective.push_back(1.0 - 0.1 * finish_penalty);
+  }
+  // One-schedule-per-task rows.
+  std::map<std::size_t, std::vector<std::pair<int, double>>> per_task;
+  for (std::size_t c = 0; c < candidates.size(); ++c) {
+    per_task[candidates[c].arrival_index].emplace_back(static_cast<int>(c),
+                                                       1.0);
+  }
+  for (auto& [task_index, coeffs] : per_task) {
+    (void)task_index;
+    milp.lp.add_row(std::move(coeffs), 1.0);
+  }
+  // Remaining-capacity rows per touched (node, slot).
+  std::map<std::pair<NodeId, Slot>, std::vector<std::pair<int, double>>>
+      compute_cells;
+  std::map<std::pair<NodeId, Slot>, std::vector<std::pair<int, double>>>
+      mem_cells;
+  for (std::size_t c = 0; c < candidates.size(); ++c) {
+    const Task& task = ctx.arrivals[candidates[c].arrival_index];
+    for (const Assignment& a : candidates[c].schedule.run) {
+      compute_cells[{a.node, a.slot}].emplace_back(
+          static_cast<int>(c), ctx.cluster.task_rate(task, a.node));
+      mem_cells[{a.node, a.slot}].emplace_back(static_cast<int>(c),
+                                               task.mem_gb);
+    }
+  }
+  for (auto& [cell, coeffs] : compute_cells) {
+    milp.lp.add_row(std::move(coeffs),
+                    std::max(0.0, ctx.ledger.remaining_compute(cell.first,
+                                                               cell.second)));
+  }
+  for (auto& [cell, coeffs] : mem_cells) {
+    milp.lp.add_row(
+        std::move(coeffs),
+        std::max(0.0, ctx.ledger.remaining_mem(cell.first, cell.second)));
+  }
+  milp.binary_vars.resize(candidates.size());
+  for (std::size_t c = 0; c < candidates.size(); ++c) {
+    milp.binary_vars[c] = static_cast<int>(c);
+  }
+
+  const solver::MilpSolution chosen = solver::solve_milp(milp, config_.bnb);
+  if (!chosen.found_incumbent) return decisions;
+
+  // --- Commit the selected schedules ---------------------------------------
+  for (std::size_t c = 0; c < candidates.size(); ++c) {
+    if (chosen.x[c] < 0.5) continue;
+    const std::size_t i = candidates[c].arrival_index;
+    Decision& d = decisions[i];
+    d.admit = true;
+    d.schedule = candidates[c].schedule;
+    commit_decision(ctx.ledger, ctx.cluster, ctx.arrivals[i], d);
+  }
+  return decisions;
+}
+
+}  // namespace lorasched

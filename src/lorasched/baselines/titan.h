@@ -1,0 +1,49 @@
+// Titan baseline (paper §5.1 / [4]): an offline MILP fine-tuning scheduler
+// adapted to the online setting by solving, at the start of every slot, a
+// batch MILP over the tasks that arrived at that slot, with the labor
+// vendor picked uniformly at random (as the paper specifies).
+//
+// Titan targets throughput/completion-time — it "ignores the pricing,
+// deadline, and data pre-processing issues" (paper §1) — so its MILP
+// maximizes the number of admitted tasks (earlier finishes as tie-break),
+// blind to bids and operational cost. That is exactly why it lands between
+// pdFTSP and the greedy baselines in the paper's figures: excellent
+// packing, no economics.
+//
+// The MILP is built over candidate schedules per task (an energy-oblivious
+// cost-minimal DP plan and an earliest-finish plan, both restricted to
+// currently-free capacity) and solved with the in-repo branch & bound — the
+// Gurobi substitute (DESIGN.md §3). Joint feasibility across the batch is
+// enforced by per-(node, slot) *remaining*-capacity rows.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "lorasched/core/schedule_dp.h"
+#include "lorasched/sim/policy.h"
+#include "lorasched/solver/bnb.h"
+#include "lorasched/util/rng.h"
+
+namespace lorasched {
+
+struct TitanConfig {
+  ScheduleDpConfig dp{};
+  solver::BnbOptions bnb{40000, 1e-6};
+};
+
+class TitanPolicy final : public Policy {
+ public:
+  explicit TitanPolicy(TitanConfig config = {}, std::uint64_t seed = 7)
+      : config_(config), rng_(seed) {}
+
+  [[nodiscard]] std::string_view name() const override { return "Titan"; }
+  [[nodiscard]] std::vector<Decision> on_slot(const SlotContext& ctx) override;
+
+ private:
+  TitanConfig config_;
+  util::Rng rng_;
+};
+
+}  // namespace lorasched

@@ -1,0 +1,74 @@
+#include "lorasched/cluster/capacity_ledger.h"
+
+#include <stdexcept>
+
+namespace lorasched {
+
+namespace {
+// Tolerance for floating-point capacity comparisons: reservations are sums
+// of products of well-scaled doubles, so a relative epsilon suffices.
+constexpr double kSlack = 1e-9;
+}  // namespace
+
+CapacityLedger::CapacityLedger(const Cluster& cluster, Slot horizon)
+    : nodes_(cluster.node_count()), horizon_(horizon) {
+  if (horizon <= 0) throw std::invalid_argument("ledger horizon must be > 0");
+  compute_cap_.reserve(static_cast<std::size_t>(nodes_));
+  mem_cap_.reserve(static_cast<std::size_t>(nodes_));
+  for (NodeId k = 0; k < nodes_; ++k) {
+    compute_cap_.push_back(cluster.compute_capacity(k));
+    mem_cap_.push_back(cluster.adapter_mem_capacity(k));
+  }
+  const auto cells =
+      static_cast<std::size_t>(nodes_) * static_cast<std::size_t>(horizon_);
+  used_compute_.assign(cells, 0.0);
+  used_mem_.assign(cells, 0.0);
+  task_count_.assign(cells, 0);
+  exclusive_.assign(cells, 0);
+  blocked_.assign(cells, 0);
+}
+
+void CapacityLedger::block(NodeId k, Slot t) {
+  if (k < 0 || k >= nodes_ || t < 0 || t >= horizon_) {
+    throw std::invalid_argument("block() outside the ledger grid");
+  }
+  blocked_[index(k, t)] = 1;
+}
+
+bool CapacityLedger::fits(NodeId k, Slot t, double compute, double mem,
+                          bool exclusive) const {
+  if (k < 0 || k >= nodes_ || t < 0 || t >= horizon_) return false;
+  const std::size_t cell = index(k, t);
+  if (blocked_[cell] != 0) return false;
+  if (exclusive_[cell] != 0) return false;
+  if (exclusive && task_count_[cell] != 0) return false;
+  const double comp_cap = compute_cap_[static_cast<std::size_t>(k)];
+  const double mem_cap = mem_cap_[static_cast<std::size_t>(k)];
+  return used_compute_[cell] + compute <= comp_cap * (1.0 + kSlack) &&
+         used_mem_[cell] + mem <= mem_cap * (1.0 + kSlack);
+}
+
+void CapacityLedger::reserve(NodeId k, Slot t, double compute, double mem,
+                             bool exclusive) {
+  if (!fits(k, t, compute, mem, exclusive)) {
+    throw std::logic_error("capacity ledger over-booked: policy bug");
+  }
+  const std::size_t cell = index(k, t);
+  used_compute_[cell] += compute;
+  used_mem_[cell] += mem;
+  ++task_count_[cell];
+  if (exclusive) exclusive_[cell] = 1;
+}
+
+double CapacityLedger::compute_utilization() const noexcept {
+  double used = 0.0;
+  double cap = 0.0;
+  for (NodeId k = 0; k < nodes_; ++k) {
+    cap += compute_cap_[static_cast<std::size_t>(k)] *
+           static_cast<double>(horizon_);
+    for (Slot t = 0; t < horizon_; ++t) used += used_compute_[index(k, t)];
+  }
+  return cap > 0.0 ? used / cap : 0.0;
+}
+
+}  // namespace lorasched

@@ -1,0 +1,77 @@
+// Per-(node, slot) resource accounting — the ground truth for constraints
+// (4f) (compute) and (4g) (memory). The simulation engine owns one ledger
+// per run; policies read it, only the engine writes it.
+#pragma once
+
+#include <vector>
+
+#include "lorasched/cluster/cluster.h"
+#include "lorasched/types.h"
+
+namespace lorasched {
+
+class CapacityLedger {
+ public:
+  CapacityLedger(const Cluster& cluster, Slot horizon);
+
+  [[nodiscard]] Slot horizon() const noexcept { return horizon_; }
+  [[nodiscard]] int node_count() const noexcept { return nodes_; }
+
+  /// Samples per slot still unreserved on node k at slot t.
+  [[nodiscard]] double remaining_compute(NodeId k, Slot t) const {
+    return compute_cap_[static_cast<std::size_t>(k)] - used_compute_[index(k, t)];
+  }
+  /// Adapter memory (C_km − r_b) still unreserved on node k at slot t.
+  [[nodiscard]] double remaining_mem(NodeId k, Slot t) const {
+    return mem_cap_[static_cast<std::size_t>(k)] - used_mem_[index(k, t)];
+  }
+  [[nodiscard]] double used_compute(NodeId k, Slot t) const {
+    return used_compute_[index(k, t)];
+  }
+  [[nodiscard]] double used_mem(NodeId k, Slot t) const {
+    return used_mem_[index(k, t)];
+  }
+  /// Number of distinct task reservations on node k at slot t.
+  [[nodiscard]] int tasks_on(NodeId k, Slot t) const {
+    return task_count_[index(k, t)];
+  }
+
+  /// True iff a reservation of (compute, mem) fits at (k, t). `exclusive`
+  /// additionally requires the node-slot to be empty (NTM semantics), and a
+  /// cell already booked exclusively admits nothing further.
+  [[nodiscard]] bool fits(NodeId k, Slot t, double compute, double mem,
+                          bool exclusive = false) const;
+
+  /// Books the reservation. Throws std::logic_error if it does not fit —
+  /// the engine treats an over-booking policy as a bug.
+  void reserve(NodeId k, Slot t, double compute, double mem,
+               bool exclusive = false);
+
+  /// Marks the node-slot unavailable (failure injection: maintenance,
+  /// outage). Nothing fits a blocked cell; existing reservations stay.
+  void block(NodeId k, Slot t);
+  [[nodiscard]] bool is_blocked(NodeId k, Slot t) const {
+    return blocked_[index(k, t)] != 0;
+  }
+
+  /// Fraction of total fleet compute reserved over [0, horizon).
+  [[nodiscard]] double compute_utilization() const noexcept;
+
+ private:
+  [[nodiscard]] std::size_t index(NodeId k, Slot t) const {
+    return static_cast<std::size_t>(k) * static_cast<std::size_t>(horizon_) +
+           static_cast<std::size_t>(t);
+  }
+
+  int nodes_;
+  Slot horizon_;
+  std::vector<double> compute_cap_;  // per node
+  std::vector<double> mem_cap_;      // per node (adapter memory)
+  std::vector<double> used_compute_;  // per (node, slot)
+  std::vector<double> used_mem_;      // per (node, slot)
+  std::vector<int> task_count_;       // per (node, slot)
+  std::vector<char> exclusive_;       // per (node, slot)
+  std::vector<char> blocked_;         // per (node, slot)
+};
+
+}  // namespace lorasched

@@ -1,0 +1,36 @@
+#include "lorasched/cluster/cluster.h"
+
+#include <map>
+#include <stdexcept>
+
+namespace lorasched {
+
+Cluster::Cluster(std::vector<GpuProfile> node_profiles, double base_model_gb)
+    : profiles_(std::move(node_profiles)), base_model_gb_(base_model_gb) {
+  if (profiles_.empty()) throw std::invalid_argument("cluster needs nodes");
+  if (base_model_gb_ < 0.0) throw std::invalid_argument("negative base model");
+  for (const auto& p : profiles_) {
+    if (p.compute_per_slot <= 0.0 || p.mem_gb <= base_model_gb_) {
+      throw std::invalid_argument(
+          "node profile must have positive compute and room for the base model");
+    }
+  }
+  node_class_.resize(profiles_.size());
+  std::map<std::string, int> class_of_name;
+  for (std::size_t k = 0; k < profiles_.size(); ++k) {
+    const auto [it, inserted] = class_of_name.try_emplace(
+        profiles_[k].name, static_cast<int>(class_members_.size()));
+    if (inserted) class_members_.emplace_back();
+    node_class_[k] = it->second;
+    class_members_[static_cast<std::size_t>(it->second)].push_back(
+        static_cast<NodeId>(k));
+  }
+}
+
+double Cluster::total_compute_per_slot() const noexcept {
+  double total = 0.0;
+  for (const auto& p : profiles_) total += p.compute_per_slot;
+  return total;
+}
+
+}  // namespace lorasched

@@ -1,0 +1,72 @@
+// The GPU cluster: K heterogeneous compute nodes plus the multi-LoRA
+// base-model sharing rule (one replica of the pre-trained model of size r_b
+// per node, shared by all adapters on that node — paper constraint (4g)).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lorasched/cluster/gpu_profile.h"
+#include "lorasched/types.h"
+#include "lorasched/workload/task.h"
+
+namespace lorasched {
+
+class Cluster {
+ public:
+  /// `base_model_gb` is r_b; every node permanently reserves it.
+  Cluster(std::vector<GpuProfile> node_profiles, double base_model_gb);
+
+  [[nodiscard]] int node_count() const noexcept {
+    return static_cast<int>(profiles_.size());
+  }
+  [[nodiscard]] const GpuProfile& profile(NodeId k) const {
+    return profiles_.at(static_cast<std::size_t>(k));
+  }
+  [[nodiscard]] double base_model_gb() const noexcept { return base_model_gb_; }
+
+  /// C_kp — samples per slot the node can process across all resident tasks.
+  [[nodiscard]] double compute_capacity(NodeId k) const {
+    return profile(k).compute_per_slot;
+  }
+  /// C_km — raw GPU memory in GB.
+  [[nodiscard]] double mem_capacity(NodeId k) const { return profile(k).mem_gb; }
+  /// C_km − r_b — memory available to task adapters under LoRA sharing.
+  [[nodiscard]] double adapter_mem_capacity(NodeId k) const {
+    return profile(k).mem_gb - base_model_gb_;
+  }
+
+  /// s_ik — samples per slot task i processes when running on node k.
+  [[nodiscard]] double task_rate(const Task& task, NodeId k) const {
+    return task.compute_share * compute_capacity(k);
+  }
+
+  // --- Node classes -------------------------------------------------------
+  // Nodes with identical profiles form a class; the per-task schedule DP
+  // only needs one representative node per class per slot (see DESIGN.md §5).
+
+  [[nodiscard]] int class_count() const noexcept {
+    return static_cast<int>(class_members_.size());
+  }
+  [[nodiscard]] int node_class(NodeId k) const {
+    return node_class_.at(static_cast<std::size_t>(k));
+  }
+  [[nodiscard]] const std::vector<NodeId>& class_nodes(int cls) const {
+    return class_members_.at(static_cast<std::size_t>(cls));
+  }
+  /// Any node of the class (its profile represents the whole class).
+  [[nodiscard]] NodeId class_representative(int cls) const {
+    return class_members_.at(static_cast<std::size_t>(cls)).front();
+  }
+
+  /// Total fleet compute per slot (sum of C_kp) — used for sizing workloads.
+  [[nodiscard]] double total_compute_per_slot() const noexcept;
+
+ private:
+  std::vector<GpuProfile> profiles_;
+  double base_model_gb_;
+  std::vector<int> node_class_;
+  std::vector<std::vector<NodeId>> class_members_;
+};
+
+}  // namespace lorasched

@@ -1,0 +1,43 @@
+#include "lorasched/cluster/energy.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace lorasched {
+
+EnergyModel::EnergyModel() : EnergyModel(Config{}) {}
+
+EnergyModel::EnergyModel(Config config) : config_(config) {
+  if (config_.off_peak_multiplier < 0.0 ||
+      config_.peak_multiplier < config_.off_peak_multiplier) {
+    throw std::invalid_argument(
+        "time-of-use multipliers must satisfy 0 <= off_peak <= peak");
+  }
+  if (config_.slots_per_day <= 0 || config_.hours_per_slot <= 0.0) {
+    throw std::invalid_argument("energy model needs a positive slot grid");
+  }
+}
+
+double EnergyModel::tou_multiplier(Slot t) const noexcept {
+  const double mid = 0.5 * (config_.peak_multiplier + config_.off_peak_multiplier);
+  const double amplitude =
+      0.5 * (config_.peak_multiplier - config_.off_peak_multiplier);
+  const double phase = 2.0 * 3.14159265358979323846 *
+                       static_cast<double>(t - config_.peak_slot) /
+                       static_cast<double>(config_.slots_per_day);
+  return mid + amplitude * std::cos(phase);
+}
+
+Money EnergyModel::cost(const Task& task, const Cluster& cluster, NodeId k,
+                        Slot t) const noexcept {
+  const double share = cluster.task_rate(task, k) / cluster.compute_capacity(k);
+  return full_node_cost(cluster, k, t) * share;
+}
+
+Money EnergyModel::full_node_cost(const Cluster& cluster, NodeId k,
+                                  Slot t) const noexcept {
+  return cluster.profile(k).hourly_cost * tou_multiplier(t) *
+         config_.hours_per_slot;
+}
+
+}  // namespace lorasched

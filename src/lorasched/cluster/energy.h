@@ -1,0 +1,53 @@
+// Operational cost model e_ikt.
+//
+// The paper assumes an "ever-changing operational cost" per (task, node,
+// slot). We model it as the node's amortized hourly cost scaled by a
+// diurnal time-of-use multiplier (electricity is cheap at night, expensive
+// mid-afternoon), attributed to the task in proportion to the share of node
+// throughput it consumes (s_ik / C_kp). Off-peak slots are cheaper, which
+// is exactly the signal eq. (12) exploits when placing work in time.
+#pragma once
+
+#include "lorasched/cluster/cluster.h"
+#include "lorasched/types.h"
+#include "lorasched/workload/task.h"
+
+namespace lorasched {
+
+class EnergyModel {
+ public:
+  struct Config {
+    /// Time-of-use multiplier at the daily trough (3am).
+    double off_peak_multiplier = 0.6;
+    /// Multiplier at the daily peak.
+    double peak_multiplier = 1.4;
+    /// Slot of the diurnal peak (slot 90 = 15:00 on a 144-slot day).
+    Slot peak_slot = 90;
+    /// Slots per day (diurnal period).
+    Slot slots_per_day = 144;
+    /// Wall-clock hours per slot (10 minutes).
+    double hours_per_slot = 1.0 / 6.0;
+  };
+
+  EnergyModel();
+  explicit EnergyModel(Config config);
+
+  /// Time-of-use multiplier at slot t (sinusoid between off-peak and peak).
+  [[nodiscard]] double tou_multiplier(Slot t) const noexcept;
+
+  /// e_ikt — operational cost of running task i on node k during slot t.
+  [[nodiscard]] Money cost(const Task& task, const Cluster& cluster, NodeId k,
+                           Slot t) const noexcept;
+
+  /// Cost per slot of the *fully utilized* node (task costs are shares of
+  /// this); also used by capacity-planning examples.
+  [[nodiscard]] Money full_node_cost(const Cluster& cluster, NodeId k,
+                                     Slot t) const noexcept;
+
+  [[nodiscard]] const Config& config() const noexcept { return config_; }
+
+ private:
+  Config config_;
+};
+
+}  // namespace lorasched

@@ -1,0 +1,44 @@
+#include "lorasched/cluster/gpu_profile.h"
+
+#include <stdexcept>
+
+namespace lorasched {
+
+GpuProfile a100_profile() {
+  return GpuProfile{"A100-80GB", 43200.0, 80.0, 0.4, 1.50};
+}
+
+GpuProfile a40_profile() {
+  return GpuProfile{"A40-48GB", 24000.0, 48.0, 0.3, 0.80};
+}
+
+std::string to_string(FleetKind kind) {
+  switch (kind) {
+    case FleetKind::kA100Only: return "A100";
+    case FleetKind::kA40Only: return "A40";
+    case FleetKind::kHybrid: return "hybrid";
+  }
+  throw std::logic_error("unknown FleetKind");
+}
+
+std::vector<GpuProfile> make_fleet(FleetKind kind, int nodes) {
+  if (nodes <= 0) throw std::invalid_argument("fleet needs at least one node");
+  std::vector<GpuProfile> fleet;
+  fleet.reserve(static_cast<std::size_t>(nodes));
+  for (int i = 0; i < nodes; ++i) {
+    switch (kind) {
+      case FleetKind::kA100Only:
+        fleet.push_back(a100_profile());
+        break;
+      case FleetKind::kA40Only:
+        fleet.push_back(a40_profile());
+        break;
+      case FleetKind::kHybrid:
+        fleet.push_back(i % 2 == 0 ? a100_profile() : a40_profile());
+        break;
+    }
+  }
+  return fleet;
+}
+
+}  // namespace lorasched

@@ -1,0 +1,44 @@
+// GPU node profiles.
+//
+// The paper calibrates C_kp / C_km / s_ik by profiling GPT-2 + LoRA on
+// physical NVIDIA A100(80GB) and A40(48GB) GPUs. We substitute calibrated
+// analytic profiles with the same capacity *ratios* (see DESIGN.md §3):
+// only relative throughput and memory matter for scheduling dynamics.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace lorasched {
+
+struct GpuProfile {
+  std::string name;
+  /// C_kp — maximum samples the node can process per time slot.
+  double compute_per_slot = 0.0;
+  /// C_km — GPU memory capacity in GB.
+  double mem_gb = 0.0;
+  /// Electrical power draw at full utilization, in kW.
+  double power_kw = 0.0;
+  /// Amortized operational cost of the fully-utilized node in $/hour
+  /// (hardware amortization + energy at the reference price); the
+  /// EnergyModel scales this by a diurnal time-of-use multiplier.
+  double hourly_cost = 0.0;
+};
+
+/// A100 80GB: 72 samples/s * 600 s/slot = 43,200 samples/slot, 0.4 kW,
+/// $1.50/hour at reference price.
+[[nodiscard]] GpuProfile a100_profile();
+/// A40 48GB: ~55% of A100 throughput (24,000 samples/slot), 0.3 kW,
+/// $0.80/hour.
+[[nodiscard]] GpuProfile a40_profile();
+
+/// Cluster composition presets used by the experiments.
+enum class FleetKind { kA100Only, kA40Only, kHybrid };
+
+[[nodiscard]] std::string to_string(FleetKind kind);
+
+/// Builds the per-node profile list for `nodes` nodes of the given fleet
+/// kind; kHybrid alternates A100/A40 (half and half).
+[[nodiscard]] std::vector<GpuProfile> make_fleet(FleetKind kind, int nodes);
+
+}  // namespace lorasched

@@ -1,0 +1,60 @@
+#include "lorasched/core/duals.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace lorasched {
+
+DualState::DualState(int nodes, Slot horizon)
+    : nodes_(nodes), horizon_(horizon) {
+  if (nodes <= 0 || horizon <= 0) {
+    throw std::invalid_argument("dual state needs positive dimensions");
+  }
+  const auto cells =
+      static_cast<std::size_t>(nodes) * static_cast<std::size_t>(horizon);
+  lambda_.assign(cells, 0.0);
+  phi_.assign(cells, 0.0);
+}
+
+double DualState::max_lambda(const Schedule& schedule) const {
+  double best = 0.0;
+  for (const Assignment& a : schedule.run) {
+    best = std::max(best, lambda_[index(a.node, a.slot)]);
+  }
+  return best;
+}
+
+double DualState::max_phi(const Schedule& schedule) const {
+  double best = 0.0;
+  for (const Assignment& a : schedule.run) {
+    best = std::max(best, phi_[index(a.node, a.slot)]);
+  }
+  return best;
+}
+
+void DualState::apply_update(const Task& task, const Schedule& schedule,
+                             const Cluster& cluster, double alpha, double beta,
+                             double welfare_unit) {
+  // Lemma 2 requires b̄ >= 1 (in scaled money units); κ gets typical
+  // schedules there and the clamp enforces it for the stragglers, so the
+  // capacity-control doubling argument always holds.
+  const double b_bar = std::max(1.0, unit_welfare(schedule) / welfare_unit);
+  for (const Assignment& a : schedule.run) {
+    // Normalized per-slot loads: cell capacity is 1 in these units.
+    const double s_norm = schedule_rate(schedule, task, cluster, a.node) /
+                          cluster.compute_capacity(a.node);
+    const double r_norm =
+        task.mem_gb / cluster.adapter_mem_capacity(a.node);
+    const std::size_t cell = index(a.node, a.slot);
+    lambda_[cell] = lambda_[cell] * (1.0 + s_norm) + alpha * b_bar * s_norm;
+    phi_[cell] = phi_[cell] * (1.0 + r_norm) + beta * b_bar * r_norm;
+  }
+}
+
+double objective_value(const Schedule& schedule, const DualState& duals) {
+  return schedule.welfare_gain -
+         duals.max_lambda(schedule) * schedule.norm_compute -
+         duals.max_phi(schedule) * schedule.norm_mem;
+}
+
+}  // namespace lorasched

@@ -1,0 +1,78 @@
+#include "lorasched/core/multizone.h"
+
+#include <stdexcept>
+
+#include "lorasched/sim/validator.h"
+
+namespace lorasched {
+
+MultiZoneAuction::Zone::Zone(const ZoneConfig& config,
+                             const EnergyModel& energy, Slot horizon)
+    : name(config.model_name),
+      cluster(config.nodes, config.base_model_gb),
+      estimator(config.pricing, cluster),
+      policy(PdftspConfig{.alpha = 1e-12, .beta = 1e-12, .welfare_unit = 1.0,
+                          .dp = config.dp},
+             cluster, energy, horizon),
+      ledger(cluster, horizon) {}
+
+MultiZoneAuction::MultiZoneAuction(std::vector<ZoneConfig> zones,
+                                   EnergyModel energy, Slot horizon)
+    : energy_(energy), horizon_(horizon) {
+  if (zones.empty()) throw std::invalid_argument("need at least one zone");
+  zones_.reserve(zones.size());
+  for (const ZoneConfig& config : zones) {
+    zones_.push_back(std::make_unique<Zone>(config, energy_, horizon));
+  }
+}
+
+Decision MultiZoneAuction::submit(const Task& task,
+                                  const std::vector<VendorQuote>& quotes) {
+  if (task.model < 0 || task.model >= zone_count()) {
+    throw std::out_of_range("task references an unknown model zone");
+  }
+  Zone& zone = *zones_[static_cast<std::size_t>(task.model)];
+  zone.estimator.observe(task);
+  zone.policy.set_pricing(zone.estimator.alpha(), zone.estimator.beta(),
+                          zone.estimator.welfare_unit());
+  Decision decision = zone.policy.handle_task(task, quotes, zone.ledger);
+  if (decision.admit) {
+    require_valid_schedule(task, decision.schedule, zone.cluster, horizon_);
+    commit_decision(zone.ledger, zone.cluster, task, decision);
+    TaskOutcome outcome;
+    outcome.task = task.id;
+    outcome.admitted = true;
+    outcome.bid = task.bid;
+    outcome.true_value = task.true_value;
+    outcome.payment = decision.payment;
+    outcome.vendor = decision.schedule.vendor;
+    outcome.vendor_cost = decision.schedule.vendor_price;
+    outcome.energy_cost = decision.schedule.energy_cost;
+    outcome.arrival = task.arrival;
+    outcome.completion = decision.schedule.completion_slot();
+    outcome.slots_used = static_cast<int>(decision.schedule.run.size());
+    zone.metrics.add_admitted(outcome);
+  } else {
+    zone.metrics.add_rejected();
+  }
+  return decision;
+}
+
+Metrics MultiZoneAuction::total_metrics() const {
+  Metrics total;
+  for (const auto& zone : zones_) {
+    const Metrics& m = zone->metrics;
+    total.social_welfare += m.social_welfare;
+    total.provider_utility += m.provider_utility;
+    total.user_utility += m.user_utility;
+    total.total_bids_admitted += m.total_bids_admitted;
+    total.total_payments += m.total_payments;
+    total.total_vendor_cost += m.total_vendor_cost;
+    total.total_energy_cost += m.total_energy_cost;
+    total.admitted += m.admitted;
+    total.rejected += m.rejected;
+  }
+  return total;
+}
+
+}  // namespace lorasched

@@ -1,0 +1,94 @@
+// Multi-model operation via cluster zones.
+//
+// The paper focuses on one pre-trained model and notes (§2.1) that
+// "different zones within the cloud data center can be set up for tasks
+// fine-tuning different pre-trained models". This module implements that
+// extension: each zone owns a node partition, its own base-model replica
+// size r_b, its own dual-price state, and its own ground-truth ledger.
+// Tasks route by Task::model; zones are economically isolated (one zone's
+// load never moves another zone's prices), which the tests verify.
+//
+// Pricing parameters are estimated online per zone (OnlineParamEstimator),
+// since each model's bid population differs.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "lorasched/cluster/capacity_ledger.h"
+#include "lorasched/cluster/cluster.h"
+#include "lorasched/cluster/energy.h"
+#include "lorasched/core/online_params.h"
+#include "lorasched/core/pdftsp.h"
+#include "lorasched/sim/metrics.h"
+#include "lorasched/types.h"
+#include "lorasched/workload/vendor.h"
+
+namespace lorasched {
+
+struct ZoneConfig {
+  /// Human-readable base-model name ("gpt2", "llama-7b", ...).
+  std::string model_name;
+  /// r_b of this zone's pre-trained model, in GB.
+  double base_model_gb = 6.0;
+  /// The zone's nodes.
+  std::vector<GpuProfile> nodes;
+  OnlineParamEstimator::Config pricing{};
+  ScheduleDpConfig dp{};
+};
+
+class MultiZoneAuction {
+ public:
+  MultiZoneAuction(std::vector<ZoneConfig> zones, EnergyModel energy,
+                   Slot horizon);
+
+  /// Auctions one task in its model's zone (Alg. 1 end to end: estimate,
+  /// price, schedule, capacity-check, pay). The admitted schedule is
+  /// validated and booked into the zone's ledger before returning.
+  /// Throws std::out_of_range for an unknown Task::model.
+  [[nodiscard]] Decision submit(const Task& task,
+                                const std::vector<VendorQuote>& quotes);
+
+  [[nodiscard]] int zone_count() const noexcept {
+    return static_cast<int>(zones_.size());
+  }
+  [[nodiscard]] const std::string& zone_name(int zone) const {
+    return zones_.at(static_cast<std::size_t>(zone))->name;
+  }
+  [[nodiscard]] const Cluster& zone_cluster(int zone) const {
+    return zones_.at(static_cast<std::size_t>(zone))->cluster;
+  }
+  [[nodiscard]] const Pdftsp& zone_policy(int zone) const {
+    return zones_.at(static_cast<std::size_t>(zone))->policy;
+  }
+  [[nodiscard]] const CapacityLedger& zone_ledger(int zone) const {
+    return zones_.at(static_cast<std::size_t>(zone))->ledger;
+  }
+  /// Welfare/utility accounting for one zone.
+  [[nodiscard]] const Metrics& zone_metrics(int zone) const {
+    return zones_.at(static_cast<std::size_t>(zone))->metrics;
+  }
+  /// Aggregate accounting across zones.
+  [[nodiscard]] Metrics total_metrics() const;
+
+ private:
+  struct Zone {
+    Zone(const ZoneConfig& config, const EnergyModel& energy, Slot horizon);
+
+    std::string name;
+    Cluster cluster;
+    OnlineParamEstimator estimator;
+    Pdftsp policy;
+    CapacityLedger ledger;
+    Metrics metrics;
+  };
+
+  // unique_ptr: Zone holds a Cluster that internal references point into,
+  // so zones must never relocate.
+  std::vector<std::unique_ptr<Zone>> zones_;
+  EnergyModel energy_;
+  Slot horizon_;
+};
+
+}  // namespace lorasched

@@ -1,0 +1,111 @@
+#include "lorasched/core/online_params.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace lorasched {
+
+namespace {
+
+/// Fewest slots any single node needs for the task's work.
+int min_slots(const Task& task, const Cluster& cluster) {
+  double best_rate = 0.0;
+  for (NodeId k = 0; k < cluster.node_count(); ++k) {
+    best_rate = std::max(best_rate, cluster.task_rate(task, k));
+  }
+  if (best_rate <= 0.0) return 0;
+  return static_cast<int>(std::ceil(task.work / best_rate));
+}
+
+}  // namespace
+
+OnlineParamEstimator::OnlineParamEstimator(Config config,
+                                           const Cluster& cluster)
+    : config_(config), cluster_(cluster) {
+  if (config_.price_scale <= 0.0) {
+    throw std::invalid_argument("price_scale must be positive");
+  }
+  if (config_.kappa_quantile <= 0.0 || config_.kappa_quantile >= 1.0) {
+    throw std::invalid_argument("kappa_quantile must be in (0, 1)");
+  }
+  if (config_.reservoir == 0) {
+    throw std::invalid_argument("reservoir must be non-empty");
+  }
+  cap_max_ = 0.0;
+  cap_min_ = cluster.adapter_mem_capacity(0);
+  for (NodeId k = 0; k < cluster.node_count(); ++k) {
+    cap_max_ = std::max(cap_max_, cluster.adapter_mem_capacity(k));
+    cap_min_ = std::min(cap_min_, cluster.adapter_mem_capacity(k));
+  }
+}
+
+void OnlineParamEstimator::observe(const Task& task) {
+  ++observed_;
+  const int slots = min_slots(task, cluster_);
+  if (slots <= 0 || task.bid <= 0.0) return;
+  const double compute_volume = slots * task.compute_share;
+  if (compute_volume > 0.0) {
+    max_compute_density_ =
+        std::max(max_compute_density_, task.bid / compute_volume);
+  }
+  const double mem_volume = slots * task.mem_gb / cap_max_;
+  if (mem_volume > 0.0) {
+    max_mem_density_ = std::max(max_mem_density_, task.bid / mem_volume);
+  }
+  const double total_volume =
+      slots * (task.compute_share + task.mem_gb / cap_min_);
+  if (total_volume > 0.0) {
+    const double density = task.bid / total_volume;
+    if (densities_.size() < config_.reservoir) {
+      densities_.push_back(density);
+    } else {
+      // Deterministic reservoir replacement keyed on the task id: keeps the
+      // sample fresh without a private RNG.
+      densities_[static_cast<std::size_t>(task.id) % config_.reservoir] =
+          density;
+    }
+  }
+}
+
+double OnlineParamEstimator::alpha() const noexcept {
+  return std::max(1e-12, config_.price_scale * max_compute_density_);
+}
+
+double OnlineParamEstimator::beta() const noexcept {
+  return std::max(1e-12, config_.price_scale * max_mem_density_);
+}
+
+double OnlineParamEstimator::welfare_unit() const {
+  if (densities_.empty()) return 1.0;
+  std::vector<double> sorted = densities_;
+  const auto index = static_cast<std::ptrdiff_t>(
+      config_.kappa_quantile * static_cast<double>(sorted.size()));
+  std::nth_element(sorted.begin(), sorted.begin() + index, sorted.end());
+  return std::max(1e-9, sorted[static_cast<std::size_t>(index)]);
+}
+
+AdaptivePdftsp::AdaptivePdftsp(OnlineParamEstimator::Config config,
+                               const Cluster& cluster,
+                               const EnergyModel& energy, Slot horizon,
+                               ScheduleDpConfig dp)
+    : estimator_(config, cluster),
+      inner_(PdftspConfig{.alpha = 1e-12, .beta = 1e-12, .welfare_unit = 1.0,
+                          .dp = dp},
+             cluster, energy, horizon) {}
+
+std::vector<Decision> AdaptivePdftsp::on_slot(const SlotContext& ctx) {
+  std::vector<Decision> decisions;
+  decisions.reserve(ctx.arrivals.size());
+  for (const Task& task : ctx.arrivals) {
+    estimator_.observe(task);
+    inner_.set_pricing(estimator_.alpha(), estimator_.beta(),
+                       estimator_.welfare_unit());
+    Decision d = inner_.handle_task(task, ctx.market.quotes(task), ctx.ledger);
+    commit_decision(ctx.ledger, ctx.cluster, task, d);
+    decisions.push_back(std::move(d));
+  }
+  return decisions;
+}
+
+}  // namespace lorasched

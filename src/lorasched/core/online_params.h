@@ -1,0 +1,83 @@
+// Online estimation of pdFTSP's pricing parameters.
+//
+// Lemma 2 defines alpha/beta as maxima over the *whole* task population —
+// offline knowledge the provider may not have. This estimator maintains the
+// same quantities as running statistics over the tasks observed so far
+// (max normalized bid densities for alpha/beta, a low running quantile for
+// the welfare unit κ), so pdFTSP can be deployed with no prior calibration:
+// prices start permissive and tighten as the bid distribution reveals
+// itself. AdaptivePdftsp wires the estimator into the policy loop.
+#pragma once
+
+#include <cstddef>
+#include <string_view>
+#include <vector>
+
+#include "lorasched/cluster/cluster.h"
+#include "lorasched/core/pdftsp.h"
+#include "lorasched/sim/policy.h"
+#include "lorasched/types.h"
+#include "lorasched/workload/task.h"
+
+namespace lorasched {
+
+class OnlineParamEstimator {
+ public:
+  struct Config {
+    /// Multiplier applied to the estimated Lemma-2 maxima (the same knob as
+    /// pdftsp_config_for's price_scale; see DESIGN.md §4b).
+    double price_scale = 0.01;
+    /// Quantile of observed unit-welfare densities used for κ.
+    double kappa_quantile = 0.25;
+    /// Reservoir size for the quantile estimate.
+    std::size_t reservoir = 512;
+  };
+
+  OnlineParamEstimator(Config config, const Cluster& cluster);
+
+  /// Folds one observed task (bid + resource demands) into the estimates.
+  void observe(const Task& task);
+
+  /// Current parameter estimates; safe before any observation (permissive
+  /// defaults so the first bids are priced like a cold-started pdFTSP).
+  [[nodiscard]] double alpha() const noexcept;
+  [[nodiscard]] double beta() const noexcept;
+  [[nodiscard]] double welfare_unit() const;
+
+  [[nodiscard]] std::size_t observed() const noexcept { return observed_; }
+
+ private:
+  Config config_;
+  const Cluster& cluster_;
+  double cap_max_ = 0.0;  // largest adapter-memory capacity
+  double cap_min_ = 0.0;  // smallest adapter-memory capacity
+  double max_compute_density_ = 0.0;
+  double max_mem_density_ = 0.0;
+  std::vector<double> densities_;  // reservoir for the κ quantile
+  std::size_t observed_ = 0;
+};
+
+/// pdFTSP with self-calibrating prices: every arriving task first updates
+/// the estimator, then is auctioned under the current parameter estimates.
+class AdaptivePdftsp final : public Policy {
+ public:
+  AdaptivePdftsp(OnlineParamEstimator::Config config, const Cluster& cluster,
+                 const EnergyModel& energy, Slot horizon,
+                 ScheduleDpConfig dp = {});
+
+  [[nodiscard]] std::string_view name() const override {
+    return "pdFTSP-adaptive";
+  }
+  [[nodiscard]] std::vector<Decision> on_slot(const SlotContext& ctx) override;
+
+  [[nodiscard]] const OnlineParamEstimator& estimator() const noexcept {
+    return estimator_;
+  }
+  [[nodiscard]] const Pdftsp& inner() const noexcept { return inner_; }
+
+ private:
+  OnlineParamEstimator estimator_;
+  Pdftsp inner_;
+};
+
+}  // namespace lorasched

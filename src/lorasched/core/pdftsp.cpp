@@ -1,0 +1,131 @@
+#include "lorasched/core/pdftsp.h"
+
+#include <stdexcept>
+
+#include "lorasched/core/pricing.h"
+
+namespace lorasched {
+
+Pdftsp::Pdftsp(PdftspConfig config, const Cluster& cluster,
+               const EnergyModel& energy, Slot horizon)
+    : config_(config),
+      cluster_(cluster),
+      energy_(energy),
+      dp_(cluster, energy, config.dp),
+      duals_(cluster.node_count(), horizon) {
+  if (config_.alpha <= 0.0 || config_.beta <= 0.0 ||
+      config_.welfare_unit <= 0.0) {
+    throw std::invalid_argument(
+        "pdFTSP needs positive alpha, beta, and welfare_unit");
+  }
+}
+
+void Pdftsp::set_pricing(double alpha, double beta, double welfare_unit) {
+  if (alpha <= 0.0 || beta <= 0.0 || welfare_unit <= 0.0) {
+    throw std::invalid_argument("pricing parameters must be positive");
+  }
+  config_.alpha = alpha;
+  config_.beta = beta;
+  config_.welfare_unit = welfare_unit;
+}
+
+namespace {
+bool not_blocked(const void* ctx, NodeId k, Slot t) {
+  return !static_cast<const CapacityLedger*>(ctx)->is_blocked(k, t);
+}
+}  // namespace
+
+Pdftsp::Candidate Pdftsp::select_schedule(const Task& task,
+                                          const std::vector<VendorQuote>& quotes,
+                                          const CapacityLedger* ledger) const {
+  Candidate best;
+  best.objective = -std::numeric_limits<double>::infinity();
+  const SlotFilter filter = ledger != nullptr ? &not_blocked : nullptr;
+
+  auto consider_at_share = [&](VendorId vendor, Money vendor_price, Slot delay,
+                               double share) {
+    const Slot start = task.arrival + delay;
+    Task effective = task;
+    if (share > 0.0) effective.compute_share = share;
+    Schedule candidate = dp_.find(effective, start, duals_, ledger, filter);
+    if (candidate.empty()) return;
+    candidate.vendor = vendor;
+    candidate.vendor_price = vendor_price;
+    candidate.prep_delay = delay;
+    candidate.share_override = share > 0.0 ? share : 0.0;
+    finalize_schedule(candidate, task, cluster_, energy_);
+    const double objective = objective_value(candidate, duals_);
+    if (objective > best.objective) {
+      best.schedule = std::move(candidate);
+      best.objective = objective;
+    }
+  };
+  auto consider = [&](VendorId vendor, Money vendor_price, Slot delay) {
+    consider_at_share(vendor, vendor_price, delay, 0.0);
+    for (double share : config_.share_options) {
+      if (share > 0.0 && share != task.compute_share) {
+        consider_at_share(vendor, vendor_price, delay, share);
+      }
+    }
+  };
+
+  if (task.needs_prep) {
+    // Constraint (4a): exactly one vendor must be chosen when f_i = 1.
+    for (std::size_t n = 0; n < quotes.size(); ++n) {
+      consider(static_cast<VendorId>(n), quotes[n].price, quotes[n].delay);
+    }
+  } else {
+    consider(kNoVendor, 0.0, 0);
+  }
+  if (best.schedule.empty()) best.objective = 0.0;
+  return best;
+}
+
+Decision Pdftsp::handle_task(const Task& task,
+                             const std::vector<VendorQuote>& quotes,
+                             const CapacityLedger& ledger) {
+  Decision decision;
+  decision.task = task.id;
+
+  const Candidate best = select_schedule(task, quotes, &ledger);
+  if (best.schedule.empty() || best.objective <= 0.0) {
+    return decision;  // Alg. 1 line 13: reject, duals untouched.
+  }
+
+  // Payment must use the pre-update duals (eq. 14).
+  const Money price = payment(best.schedule, duals_);
+
+  // Alg. 1 line 7: F(il) > 0 — update the duals even if the capacity check
+  // below rejects the task (the competitive analysis depends on this).
+  duals_.apply_update(task, best.schedule, cluster_, config_.alpha,
+                      config_.beta, config_.welfare_unit);
+
+  // Alg. 1 line 8: enough ground-truth resources on every booked node-slot?
+  for (const Assignment& a : best.schedule.run) {
+    const double s = schedule_rate(best.schedule, task, cluster_, a.node);
+    if (!ledger.fits(a.node, a.slot, s, task.mem_gb)) {
+      return decision;  // line 12: reject.
+    }
+  }
+
+  decision.admit = true;
+  decision.schedule = best.schedule;
+  decision.payment = price;
+  return decision;
+}
+
+std::vector<Decision> Pdftsp::on_slot(const SlotContext& ctx) {
+  std::vector<Decision> decisions;
+  decisions.reserve(ctx.arrivals.size());
+  // Tasks within a slot are processed in arrival (id) order; each admitted
+  // decision is booked immediately so that Alg. 1's line-8 capacity check is
+  // exact for the next task in the batch.
+  for (const Task& task : ctx.arrivals) {
+    Decision d = handle_task(task, ctx.market.quotes(task), ctx.ledger);
+    commit_decision(ctx.ledger, cluster_, task, d);
+    decisions.push_back(std::move(d));
+  }
+  return decisions;
+}
+
+}  // namespace lorasched

@@ -1,0 +1,16 @@
+#include "lorasched/core/pricing.h"
+
+namespace lorasched {
+
+Money payment(const Schedule& schedule, const DualState& pre_update_duals) {
+  return payment_from_prices(schedule, pre_update_duals.max_lambda(schedule),
+                             pre_update_duals.max_phi(schedule));
+}
+
+Money payment_from_prices(const Schedule& schedule, double max_lambda,
+                          double max_phi) {
+  return schedule.vendor_price + schedule.energy_cost +
+         max_lambda * schedule.norm_compute + max_phi * schedule.norm_mem;
+}
+
+}  // namespace lorasched

@@ -1,0 +1,33 @@
+// Payment rule — equation (14) plus operational-cost pass-through.
+//
+// A winning bid pays the chosen vendor's price, the schedule's operational
+// (energy) cost, and the *pre-update* marginal resource prices max λ^(i−1),
+// max φ^(i−1) applied to the (capacity-normalized) resources its schedule
+// books — the same units the dual state maintains (see duals.h).
+//
+// Reproduction note: the paper's eq. (14) omits the Σ e_ikt term, yet the
+// proof of Theorem 3 relies on "F(il) is essentially b_i − p_i", which is
+// only true when the operational cost is part of the payment (without it a
+// rejected bidder can gain up to Σ e_ikt by overbidding — our property
+// tests demonstrate this). We therefore include the pass-through; it is
+// bid-independent, so truthfulness (Thm. 3) and individual rationality
+// (Thm. 4) hold exactly.
+#pragma once
+
+#include "lorasched/core/duals.h"
+#include "lorasched/core/schedule.h"
+#include "lorasched/types.h"
+
+namespace lorasched {
+
+/// p_i for an admitted schedule; `pre_update_duals` must be the dual state
+/// *before* apply_update() ran for this task.
+[[nodiscard]] Money payment(const Schedule& schedule,
+                            const DualState& pre_update_duals);
+
+/// Same, from cached max-dual values (when the dual state has already been
+/// advanced past task i).
+[[nodiscard]] Money payment_from_prices(const Schedule& schedule,
+                                        double max_lambda, double max_phi);
+
+}  // namespace lorasched

@@ -1,0 +1,50 @@
+#include "lorasched/core/schedule.h"
+
+#include <stdexcept>
+
+namespace lorasched {
+
+double schedule_rate(const Schedule& schedule, const Task& task,
+                     const Cluster& cluster, NodeId k) {
+  if (schedule.share_override <= 0.0) return cluster.task_rate(task, k);
+  return schedule.share_override * cluster.compute_capacity(k);
+}
+
+void finalize_schedule(Schedule& schedule, const Task& task,
+                       const Cluster& cluster, const EnergyModel& energy) {
+  // Batch-size co-adaptation: all rate- and energy-accounting below runs at
+  // the effective share.
+  Task effective = task;
+  if (schedule.share_override > 0.0) {
+    effective.compute_share = schedule.share_override;
+  }
+  schedule.task = task.id;
+  schedule.total_compute = 0.0;
+  schedule.total_mem = 0.0;
+  schedule.norm_compute = 0.0;
+  schedule.norm_mem = 0.0;
+  schedule.energy_cost = 0.0;
+  Slot prev_slot = -1;
+  for (const Assignment& a : schedule.run) {
+    if (a.slot <= prev_slot) {
+      throw std::invalid_argument("schedule slots must be strictly increasing");
+    }
+    prev_slot = a.slot;
+    const double rate = cluster.task_rate(effective, a.node);
+    schedule.total_compute += rate;
+    schedule.total_mem += task.mem_gb;
+    schedule.norm_compute += rate / cluster.compute_capacity(a.node);
+    schedule.norm_mem += task.mem_gb / cluster.adapter_mem_capacity(a.node);
+    schedule.energy_cost += energy.cost(effective, cluster, a.node, a.slot);
+  }
+  schedule.welfare_gain =
+      task.bid - schedule.vendor_price - schedule.energy_cost;
+}
+
+double unit_welfare(const Schedule& schedule) noexcept {
+  const double booked = schedule.norm_compute + schedule.norm_mem;
+  if (booked <= 0.0) return 0.0;
+  return schedule.welfare_gain / booked;
+}
+
+}  // namespace lorasched

@@ -1,0 +1,80 @@
+// A schedule l for task i — the paper's reformulation unit (§3.2): one
+// concrete assignment of the decision variables {u_i, {x_ikt}, {z_in}}
+// satisfying constraints (4a)-(4e). A schedule fixes the chosen labor
+// vendor (if any) and the exact (node, slot) pairs the task executes on.
+#pragma once
+
+#include <vector>
+
+#include "lorasched/cluster/cluster.h"
+#include "lorasched/cluster/energy.h"
+#include "lorasched/types.h"
+#include "lorasched/workload/task.h"
+
+namespace lorasched {
+
+/// One executing slot: x_ikt = 1 for this (node, slot).
+struct Assignment {
+  NodeId node = -1;
+  Slot slot = -1;
+
+  friend bool operator==(const Assignment&, const Assignment&) = default;
+};
+
+struct Schedule {
+  TaskId task = -1;
+  /// Chosen labor vendor (z_in = 1), or kNoVendor when f_i = 0.
+  VendorId vendor = kNoVendor;
+  /// q_in of the chosen vendor (0 when no vendor).
+  Money vendor_price = 0.0;
+  /// h_in of the chosen vendor; execution starts at arrival + prep_delay.
+  Slot prep_delay = 0;
+  /// Executing (node, slot) pairs, strictly increasing in slot (one node per
+  /// slot — constraint (4b)).
+  std::vector<Assignment> run;
+  /// Σ_{(k,t) ∈ l} s_kt(il) = Σ s_ik — total compute the schedule books, in
+  /// samples.
+  double total_compute = 0.0;
+  /// Σ_{(k,t) ∈ l} r_kt(il) = |run| * r_i — total adapter-memory slot-GB.
+  double total_mem = 0.0;
+  /// Σ s_ik / C_kp — compute volume in *capacity-normalized* units
+  /// (node-slot fractions). The primal-dual machinery (eq. 7/8/10/14) works
+  /// in these units, per Lemma 2's unit-scaling assumption.
+  double norm_compute = 0.0;
+  /// Σ r_i / (C_km − r_b) — normalized adapter-memory volume.
+  double norm_mem = 0.0;
+  /// Σ e_ikt over the run.
+  Money energy_cost = 0.0;
+  /// b_il = b_i - q_in - Σ e_ikt — the social-welfare increment (§3.2).
+  Money welfare_gain = 0.0;
+  /// NTM semantics: the task occupies its node-slots exclusively and loads
+  /// its own replica of the base model.
+  bool exclusive = false;
+  /// Batch-size co-adaptation (extension): when > 0, the provider runs the
+  /// task at this compute share instead of the task's own — s_ik becomes
+  /// share * C_kp for every slot of this schedule. 0 keeps the user's
+  /// batch size.
+  double share_override = 0.0;
+
+  [[nodiscard]] bool empty() const noexcept { return run.empty(); }
+  /// Last executing slot, or -1 for an empty schedule.
+  [[nodiscard]] Slot completion_slot() const noexcept {
+    return run.empty() ? -1 : run.back().slot;
+  }
+};
+
+/// The rate the schedule actually runs the task at on node k (honours
+/// share_override).
+[[nodiscard]] double schedule_rate(const Schedule& schedule, const Task& task,
+                                   const Cluster& cluster, NodeId k);
+
+/// Recomputes total_compute / total_mem / energy_cost / welfare_gain from
+/// the run, the vendor price and the task's bid. Call after building `run`.
+void finalize_schedule(Schedule& schedule, const Task& task,
+                       const Cluster& cluster, const EnergyModel& energy);
+
+/// b̄_il — welfare gain per unit of booked resource per slot (paper §3.3),
+/// measured over the capacity-normalized volumes. Zero for empty schedules.
+[[nodiscard]] double unit_welfare(const Schedule& schedule) noexcept;
+
+}  // namespace lorasched

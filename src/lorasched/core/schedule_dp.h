@@ -1,0 +1,64 @@
+// Per-task optimal schedule search — Algorithm 2's `findSchedule`.
+//
+// Solves problem (12): place the task's M_i samples on (node, slot) pairs in
+// the window [start, deadline] minimizing Σ x_ikt (s_ik λ_kt + r_i φ_kt +
+// e_ikt) with at most one node per slot, via the dynamic program of eq. (13)
+// over (slot, completed-work) states.
+//
+// Two implementation notes (DESIGN.md §5):
+//  * Work is quantized to integer units u = min_class s / granularity with
+//    rates rounded *down*, so any DP-complete plan also satisfies (4e) with
+//    the true rates.
+//  * Δ_kt does not depend on the work level, so the inner min over nodes is
+//    pre-reduced to one representative node per GPU class per slot — exact,
+//    and turns O(W T K) into O(T K + W T #classes).
+#pragma once
+
+#include "lorasched/cluster/cluster.h"
+#include "lorasched/cluster/energy.h"
+#include "lorasched/core/duals.h"
+#include "lorasched/core/schedule.h"
+#include "lorasched/types.h"
+#include "lorasched/workload/task.h"
+
+namespace lorasched {
+
+struct ScheduleDpConfig {
+  /// Work units per slot on the slowest node class (>= 1); higher values
+  /// give finer plans at linear DP cost.
+  double granularity = 2.0;
+  /// Upper bound on the number of work units (guards DP table size).
+  int max_units = 4096;
+};
+
+/// Optional per-(node, slot) admissibility filter; when set, the DP only
+/// places work on (k, t) pairs the filter accepts (used by capacity-aware
+/// baselines; pdFTSP itself runs unfiltered, prices do the steering).
+using SlotFilter = bool (*)(const void* ctx, NodeId k, Slot t);
+
+class ScheduleDp {
+ public:
+  ScheduleDp(const Cluster& cluster, const EnergyModel& energy,
+             ScheduleDpConfig config = {});
+
+  /// Finds the cost-minimal execution plan for `task` within
+  /// [start, task.deadline]. Returns an *unfinalized* schedule: `run` is
+  /// filled, vendor fields are left for the caller. Returns an empty run if
+  /// no feasible plan exists. `filter_ctx`/`filter` optionally restrict the
+  /// usable (node, slot) pairs.
+  [[nodiscard]] Schedule find(const Task& task, Slot start,
+                              const DualState& duals,
+                              const void* filter_ctx = nullptr,
+                              SlotFilter filter = nullptr) const;
+
+  [[nodiscard]] const ScheduleDpConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  const Cluster& cluster_;  // must outlive the ScheduleDp
+  EnergyModel energy_;      // by value: cheap, and callers often pass rvalues
+  ScheduleDpConfig config_;
+};
+
+}  // namespace lorasched

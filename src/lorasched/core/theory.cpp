@@ -1,0 +1,62 @@
+#include "lorasched/core/theory.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "lorasched/workload/taskgen.h"
+
+namespace lorasched {
+
+CompetitiveBound theoretical_bound(const Instance& instance) {
+  const Cluster& cluster = instance.cluster;
+  CompetitiveBound bound;
+  bound.unit_welfare_min = std::numeric_limits<double>::infinity();
+  bound.rate_min = std::numeric_limits<double>::infinity();
+  bound.mem_min = std::numeric_limits<double>::infinity();
+
+  double cap_min = std::numeric_limits<double>::infinity();
+  for (NodeId k = 0; k < cluster.node_count(); ++k) {
+    cap_min = std::min(cap_min, cluster.adapter_mem_capacity(k));
+  }
+
+  bool any = false;
+  for (const Task& task : instance.tasks) {
+    if (task.work <= 0.0 || task.bid <= 0.0) continue;
+    double best_rate = 0.0;
+    for (NodeId k = 0; k < cluster.node_count(); ++k) {
+      const double rate = cluster.task_rate(task, k);
+      bound.rate_max = std::max(bound.rate_max, rate);
+      bound.rate_min = std::min(bound.rate_min, rate);
+      best_rate = std::max(best_rate, rate);
+    }
+    bound.mem_max = std::max(bound.mem_max, task.mem_gb);
+    bound.mem_min = std::min(bound.mem_min, task.mem_gb);
+    const int slots = static_cast<int>(std::ceil(task.work / best_rate));
+    const double volume = slots * (task.compute_share + task.mem_gb / cap_min);
+    if (volume <= 0.0) continue;
+    const double density = task.bid / volume;
+    bound.unit_welfare_max = std::max(bound.unit_welfare_max, density);
+    bound.unit_welfare_min = std::min(bound.unit_welfare_min, density);
+    any = true;
+  }
+  if (!any) {
+    throw std::invalid_argument(
+        "theoretical bound needs a task with positive work and bid");
+  }
+
+  const double welfare_spread = bound.unit_welfare_max / bound.unit_welfare_min;
+  bound.rho = 1.0 + std::max(welfare_spread * bound.rate_max / bound.rate_min,
+                             welfare_spread * bound.mem_max / bound.mem_min);
+  bound.alpha = alpha_bound(instance.tasks, cluster);
+  bound.beta = beta_bound(instance.tasks, cluster);
+  // γ is evaluated with money normalized by the welfare unit (Lemma 2's
+  // b̄ >= 1 scaling), which makes α, β dimensionless as the theorem expects.
+  const double kappa = welfare_unit_estimate(instance.tasks, cluster);
+  bound.gamma =
+      bound.rho * (1.0 + std::max(bound.alpha, bound.beta) / kappa);
+  return bound;
+}
+
+}  // namespace lorasched

@@ -1,0 +1,40 @@
+// Theoretical performance constants from the paper's analysis (§4.4).
+//
+// Theorem 5: the online approach is γ-competitive with
+//     γ = ρ (1 + max{α, β}),
+// where ρ (Lemma 3) bounds the loss from "almost-feasible" admissions:
+//     ρ = 1 + max{ (b̄max/b̄min)(s_max/s_min), (b̄max/b̄min)(r_max/r_min) },
+// and α, β are the capacity-control constants of Lemma 2. This module
+// evaluates those constants for a concrete instance so the Fig. 12 bench
+// can print the *guarantee* next to the measured empirical ratio — the gap
+// between the two is the usual worst-case-analysis slack.
+#pragma once
+
+#include "lorasched/sim/instance.h"
+
+namespace lorasched {
+
+struct CompetitiveBound {
+  /// Lemma 3's almost-feasible/feasible gap factor.
+  double rho = 0.0;
+  /// Lemma 2's capacity-control constants (normalized units, unscaled).
+  double alpha = 0.0;
+  double beta = 0.0;
+  /// Theorem 5's competitive ratio γ = ρ (1 + max{α, β}).
+  double gamma = 0.0;
+  // Ingredients, for reporting.
+  double unit_welfare_max = 0.0;
+  double unit_welfare_min = 0.0;
+  double rate_max = 0.0;
+  double rate_min = 0.0;
+  double mem_max = 0.0;
+  double mem_min = 0.0;
+};
+
+/// Evaluates the Theorem-5 constants over the instance's task population.
+/// b̄ extremes are estimated from each task's minimal-volume schedule (the
+/// same proxy the welfare-unit estimator uses). Requires at least one task
+/// with positive work and bid.
+[[nodiscard]] CompetitiveBound theoretical_bound(const Instance& instance);
+
+}  // namespace lorasched

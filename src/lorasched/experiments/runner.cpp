@@ -1,0 +1,129 @@
+#include "lorasched/experiments/runner.h"
+
+#include <algorithm>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+
+#include "lorasched/baselines/eft.h"
+#include "lorasched/baselines/ntm.h"
+#include "lorasched/baselines/titan.h"
+#include "lorasched/util/threadpool.h"
+
+namespace lorasched {
+
+namespace {
+
+void normalize(std::vector<PolicyResult>& results) {
+  double best = 0.0;
+  for (const PolicyResult& r : results) {
+    best = std::max(best, r.metrics.social_welfare);
+  }
+  for (PolicyResult& r : results) {
+    r.normalized_welfare =
+        best > 0.0 ? std::max(0.0, r.metrics.social_welfare) / best : 0.0;
+  }
+}
+
+std::vector<std::unique_ptr<Policy>> build_policies(const Instance& instance,
+                                                    const RunSet& set,
+                                                    std::uint64_t seed) {
+  std::vector<std::unique_ptr<Policy>> policies;
+  if (set.pdftsp) {
+    policies.push_back(std::make_unique<Pdftsp>(pdftsp_config_for(instance),
+                                                instance.cluster,
+                                                instance.energy,
+                                                instance.horizon));
+  }
+  if (set.titan) {
+    policies.push_back(std::make_unique<TitanPolicy>(TitanConfig{}, seed));
+  }
+  if (set.eft) policies.push_back(std::make_unique<EftPolicy>());
+  if (set.ntm) policies.push_back(std::make_unique<NtmPolicy>(seed));
+  return policies;
+}
+
+}  // namespace
+
+std::vector<PolicyResult> compare_policies(const Instance& instance,
+                                           RunSet set,
+                                           std::uint64_t baseline_seed) {
+  std::vector<PolicyResult> results;
+  for (auto& policy : build_policies(instance, set, baseline_seed)) {
+    const SimResult sim = run_simulation(instance, *policy);
+    PolicyResult r;
+    r.policy = std::string(policy->name());
+    r.metrics = sim.metrics;
+    r.decide_seconds.reserve(sim.outcomes.size());
+    for (const TaskOutcome& o : sim.outcomes) {
+      r.decide_seconds.push_back(o.decide_seconds);
+    }
+    results.push_back(std::move(r));
+  }
+  normalize(results);
+  return results;
+}
+
+std::vector<PolicyResult> compare_policies_averaged(
+    ScenarioConfig scenario, const std::vector<std::uint64_t>& seeds,
+    RunSet set) {
+  if (seeds.empty()) throw std::invalid_argument("need at least one seed");
+  std::vector<std::vector<PolicyResult>> per_seed(seeds.size());
+  util::ThreadPool pool;
+  std::mutex failure_mutex;
+  std::string failure;
+  util::parallel_for(pool, 0, seeds.size(), [&](std::size_t i) {
+    try {
+      ScenarioConfig local = scenario;
+      local.seed = seeds[i];
+      const Instance instance = make_instance(local);
+      per_seed[i] = compare_policies(instance, set, seeds[i] + 1);
+    } catch (const std::exception& e) {
+      const std::lock_guard<std::mutex> lock(failure_mutex);
+      if (failure.empty()) failure = e.what();
+    }
+  });
+  if (!failure.empty()) {
+    throw std::runtime_error("seed run failed: " + failure);
+  }
+
+  // Average the metrics per policy (policies appear in identical order).
+  std::vector<PolicyResult> averaged = per_seed.front();
+  for (std::size_t s = 1; s < per_seed.size(); ++s) {
+    if (per_seed[s].size() != averaged.size()) {
+      throw std::logic_error("inconsistent policy sets across seeds");
+    }
+    for (std::size_t p = 0; p < averaged.size(); ++p) {
+      Metrics& acc = averaged[p].metrics;
+      const Metrics& add = per_seed[s][p].metrics;
+      acc.social_welfare += add.social_welfare;
+      acc.provider_utility += add.provider_utility;
+      acc.user_utility += add.user_utility;
+      acc.total_bids_admitted += add.total_bids_admitted;
+      acc.total_payments += add.total_payments;
+      acc.total_vendor_cost += add.total_vendor_cost;
+      acc.total_energy_cost += add.total_energy_cost;
+      acc.admitted += add.admitted;
+      acc.rejected += add.rejected;
+      acc.utilization += add.utilization;
+      averaged[p].decide_seconds.insert(averaged[p].decide_seconds.end(),
+                                        per_seed[s][p].decide_seconds.begin(),
+                                        per_seed[s][p].decide_seconds.end());
+    }
+  }
+  const double inv = 1.0 / static_cast<double>(per_seed.size());
+  for (PolicyResult& r : averaged) {
+    r.metrics.social_welfare *= inv;
+    r.metrics.provider_utility *= inv;
+    r.metrics.user_utility *= inv;
+    r.metrics.total_bids_admitted *= inv;
+    r.metrics.total_payments *= inv;
+    r.metrics.total_vendor_cost *= inv;
+    r.metrics.total_energy_cost *= inv;
+    r.metrics.utilization *= inv;
+  }
+  normalize(averaged);
+  return averaged;
+}
+
+}  // namespace lorasched

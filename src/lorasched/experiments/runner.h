@@ -1,0 +1,44 @@
+// Multi-policy experiment runner: executes pdFTSP and the three baselines
+// on an instance (or on several seeds in parallel) and reports welfare
+// normalized to the best algorithm — the format of the paper's Figs. 4-9.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lorasched/experiments/scenario.h"
+#include "lorasched/sim/engine.h"
+
+namespace lorasched {
+
+struct PolicyResult {
+  std::string policy;
+  Metrics metrics;
+  /// Social welfare / best social welfare across compared policies.
+  double normalized_welfare = 0.0;
+  /// Per-task decision-time samples (seconds) — Fig. 13's raw data.
+  std::vector<double> decide_seconds;
+};
+
+/// Which algorithms to run; all four by default.
+struct RunSet {
+  bool pdftsp = true;
+  bool titan = true;
+  bool eft = true;
+  bool ntm = true;
+};
+
+/// Runs the selected policies on one instance. The same instance (tasks,
+/// quotes, costs) is shared; each policy gets a fresh ledger.
+[[nodiscard]] std::vector<PolicyResult> compare_policies(
+    const Instance& instance, RunSet set = {},
+    std::uint64_t baseline_seed = 1);
+
+/// Averages `compare_policies` welfare across `seeds` scenario seeds
+/// (scenario.seed is replaced per run); normalization is applied to the
+/// averaged welfare. Runs seeds across the thread pool.
+[[nodiscard]] std::vector<PolicyResult> compare_policies_averaged(
+    ScenarioConfig scenario, const std::vector<std::uint64_t>& seeds,
+    RunSet set = {});
+
+}  // namespace lorasched

@@ -1,0 +1,56 @@
+#include "lorasched/experiments/scenario.h"
+
+namespace lorasched {
+
+Instance make_instance(const ScenarioConfig& config) {
+  Cluster cluster(make_fleet(config.fleet, config.nodes),
+                  config.base_model_gb);
+  EnergyModel energy(config.energy);
+
+  Marketplace::Config market_config = config.market;
+  market_config.vendor_count = config.vendors;
+  Marketplace market(market_config, config.seed ^ 0x6d61726b6574ull);
+
+  TaskGenConfig gen_config = config.taskgen;
+  gen_config.prep_probability = config.prep_probability;
+  gen_config.deadline.kind = config.deadline;
+  TaskGenerator generator(gen_config, cluster, energy, market,
+                          config.seed ^ 0x7461736b73ull);
+
+  std::vector<Task> tasks;
+  if (config.trace.has_value()) {
+    const auto rates = trace_rates(*config.trace, config.horizon,
+                                   config.arrival_rate, config.seed);
+    tasks = generator.generate(rates, config.horizon);
+  } else {
+    tasks = generator.generate_poisson(config.arrival_rate, config.horizon);
+  }
+  Instance instance(std::move(cluster), std::move(energy), std::move(market),
+                    config.horizon, std::move(tasks));
+  if (config.outages > 0) {
+    util::Rng rng(config.seed ^ 0x6f757461676573ull);
+    for (int i = 0; i < config.outages; ++i) {
+      Outage outage;
+      outage.node = static_cast<NodeId>(
+          rng.uniform_int(0, instance.cluster.node_count() - 1));
+      outage.from = static_cast<Slot>(rng.uniform_int(0, config.horizon - 1));
+      outage.to = std::min<Slot>(config.horizon,
+                                 outage.from + config.outage_duration);
+      instance.outages.push_back(outage);
+    }
+  }
+  return instance;
+}
+
+PdftspConfig pdftsp_config_for(const Instance& instance, double price_scale) {
+  PdftspConfig config;
+  config.alpha = std::max(
+      1e-12, price_scale * alpha_bound(instance.tasks, instance.cluster));
+  config.beta = std::max(
+      1e-12, price_scale * beta_bound(instance.tasks, instance.cluster));
+  config.welfare_unit =
+      welfare_unit_estimate(instance.tasks, instance.cluster);
+  return config;
+}
+
+}  // namespace lorasched

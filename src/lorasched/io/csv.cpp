@@ -1,0 +1,80 @@
+#include "lorasched/io/csv.h"
+
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+namespace lorasched::io {
+
+std::vector<std::string> parse_csv_line(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string current;
+  bool quoted = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char ch = line[i];
+    if (quoted) {
+      if (ch == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current += '"';
+          ++i;
+        } else {
+          quoted = false;
+        }
+      } else {
+        current += ch;
+      }
+    } else if (ch == '"') {
+      if (!current.empty()) {
+        throw std::invalid_argument("quote inside unquoted CSV field");
+      }
+      quoted = true;
+    } else if (ch == ',') {
+      fields.push_back(std::move(current));
+      current.clear();
+    } else {
+      current += ch;
+    }
+  }
+  if (quoted) throw std::invalid_argument("unterminated CSV quote");
+  fields.push_back(std::move(current));
+  return fields;
+}
+
+std::string format_csv_line(const std::vector<std::string>& fields) {
+  std::string line;
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i != 0) line += ',';
+    const std::string& field = fields[i];
+    if (field.find_first_of(",\"\n") == std::string::npos) {
+      line += field;
+      continue;
+    }
+    line += '"';
+    for (char ch : field) {
+      if (ch == '"') line += '"';
+      line += ch;
+    }
+    line += '"';
+  }
+  return line;
+}
+
+std::vector<std::vector<std::string>> read_csv(std::istream& in) {
+  std::vector<std::vector<std::string>> records;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    records.push_back(parse_csv_line(line));
+  }
+  return records;
+}
+
+void write_csv(std::ostream& out,
+               const std::vector<std::vector<std::string>>& records) {
+  for (const auto& record : records) {
+    out << format_csv_line(record) << '\n';
+  }
+}
+
+}  // namespace lorasched::io

@@ -1,0 +1,25 @@
+// Minimal CSV tokenizer/emitter (RFC-4180-ish: quoted fields, embedded
+// commas and quotes) used by the serialization layer. Kept separate from
+// util/table.h, which only ever writes.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace lorasched::io {
+
+/// Splits one CSV record into fields, honouring double-quote escaping.
+[[nodiscard]] std::vector<std::string> parse_csv_line(const std::string& line);
+
+/// Joins fields into one CSV record, quoting where required.
+[[nodiscard]] std::string format_csv_line(const std::vector<std::string>& fields);
+
+/// Reads all records from the stream (header included); skips blank lines.
+[[nodiscard]] std::vector<std::vector<std::string>> read_csv(std::istream& in);
+
+/// Writes records to the stream, one per line.
+void write_csv(std::ostream& out,
+               const std::vector<std::vector<std::string>>& records);
+
+}  // namespace lorasched::io

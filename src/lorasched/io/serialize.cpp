@@ -1,0 +1,176 @@
+#include "lorasched/io/serialize.h"
+
+#include <istream>
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "lorasched/io/csv.h"
+
+namespace lorasched::io {
+
+namespace {
+
+const std::vector<std::string> kTaskHeader = {
+    "id",        "arrival",  "deadline",     "dataset_samples",
+    "epochs",    "work",     "mem_gb",       "compute_share",
+    "needs_prep", "model",   "bid",          "true_value"};
+
+std::string fmt(double value) {
+  std::ostringstream os;
+  os.precision(17);
+  os << value;
+  return os.str();
+}
+
+double parse_double(const std::string& text) {
+  std::size_t used = 0;
+  const double value = std::stod(text, &used);
+  if (used != text.size()) {
+    throw std::invalid_argument("trailing characters in number: " + text);
+  }
+  return value;
+}
+
+long parse_long(const std::string& text) {
+  std::size_t used = 0;
+  const long value = std::stol(text, &used);
+  if (used != text.size()) {
+    throw std::invalid_argument("trailing characters in integer: " + text);
+  }
+  return value;
+}
+
+}  // namespace
+
+void write_tasks_csv(std::ostream& out, const std::vector<Task>& tasks) {
+  std::vector<std::vector<std::string>> records;
+  records.push_back(kTaskHeader);
+  for (const Task& t : tasks) {
+    records.push_back({std::to_string(t.id), std::to_string(t.arrival),
+                       std::to_string(t.deadline), fmt(t.dataset_samples),
+                       std::to_string(t.epochs), fmt(t.work), fmt(t.mem_gb),
+                       fmt(t.compute_share), t.needs_prep ? "1" : "0",
+                       std::to_string(t.model), fmt(t.bid),
+                       fmt(t.true_value)});
+  }
+  write_csv(out, records);
+}
+
+std::vector<Task> read_tasks_csv(std::istream& in) {
+  const auto records = read_csv(in);
+  if (records.empty() || records.front() != kTaskHeader) {
+    throw std::invalid_argument("missing or unexpected task CSV header");
+  }
+  std::vector<Task> tasks;
+  tasks.reserve(records.size() - 1);
+  for (std::size_t row = 1; row < records.size(); ++row) {
+    const auto& r = records[row];
+    if (r.size() != kTaskHeader.size()) {
+      throw std::invalid_argument("task CSV row has wrong field count");
+    }
+    Task t;
+    t.id = static_cast<TaskId>(parse_long(r[0]));
+    t.arrival = static_cast<Slot>(parse_long(r[1]));
+    t.deadline = static_cast<Slot>(parse_long(r[2]));
+    t.dataset_samples = parse_double(r[3]);
+    t.epochs = static_cast<int>(parse_long(r[4]));
+    t.work = parse_double(r[5]);
+    t.mem_gb = parse_double(r[6]);
+    t.compute_share = parse_double(r[7]);
+    t.needs_prep = r[8] == "1";
+    t.model = static_cast<int>(parse_long(r[9]));
+    t.bid = parse_double(r[10]);
+    t.true_value = parse_double(r[11]);
+    tasks.push_back(t);
+  }
+  return tasks;
+}
+
+void write_outcomes_csv(std::ostream& out,
+                        const std::vector<TaskOutcome>& outcomes) {
+  std::vector<std::vector<std::string>> records;
+  records.push_back({"task", "admitted", "bid", "true_value", "payment",
+                     "vendor_cost", "energy_cost", "vendor", "arrival",
+                     "completion", "slots_used", "decide_seconds"});
+  for (const TaskOutcome& o : outcomes) {
+    records.push_back({std::to_string(o.task), o.admitted ? "1" : "0",
+                       fmt(o.bid), fmt(o.true_value), fmt(o.payment),
+                       fmt(o.vendor_cost), fmt(o.energy_cost),
+                       std::to_string(o.vendor), std::to_string(o.arrival),
+                       std::to_string(o.completion),
+                       std::to_string(o.slots_used), fmt(o.decide_seconds)});
+  }
+  write_csv(out, records);
+}
+
+void write_scenario(std::ostream& out, const ScenarioConfig& config) {
+  out << "nodes = " << config.nodes << '\n';
+  out << "fleet = " << to_string(config.fleet) << '\n';
+  out << "horizon = " << config.horizon << '\n';
+  out << "arrival_rate = " << fmt(config.arrival_rate) << '\n';
+  if (config.trace.has_value()) {
+    out << "trace = " << to_string(*config.trace) << '\n';
+  }
+  out << "deadline = " << to_string(config.deadline) << '\n';
+  out << "vendors = " << config.vendors << '\n';
+  out << "prep_probability = " << fmt(config.prep_probability) << '\n';
+  out << "base_model_gb = " << fmt(config.base_model_gb) << '\n';
+  out << "seed = " << config.seed << '\n';
+}
+
+ScenarioConfig read_scenario(std::istream& in) {
+  ScenarioConfig config;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line.front() == '#') continue;
+    const auto eq = line.find('=');
+    if (eq == std::string::npos) {
+      throw std::invalid_argument("scenario line missing '=': " + line);
+    }
+    auto trim = [](std::string text) {
+      const auto first = text.find_first_not_of(" \t");
+      const auto last = text.find_last_not_of(" \t");
+      if (first == std::string::npos) return std::string{};
+      return text.substr(first, last - first + 1);
+    };
+    const std::string key = trim(line.substr(0, eq));
+    const std::string value = trim(line.substr(eq + 1));
+    if (key == "nodes") {
+      config.nodes = static_cast<int>(parse_long(value));
+    } else if (key == "fleet") {
+      if (value == "A100") config.fleet = FleetKind::kA100Only;
+      else if (value == "A40") config.fleet = FleetKind::kA40Only;
+      else if (value == "hybrid") config.fleet = FleetKind::kHybrid;
+      else throw std::invalid_argument("unknown fleet: " + value);
+    } else if (key == "horizon") {
+      config.horizon = static_cast<Slot>(parse_long(value));
+    } else if (key == "arrival_rate") {
+      config.arrival_rate = parse_double(value);
+    } else if (key == "trace") {
+      if (value == "MLaaS") config.trace = TraceKind::kMLaaS;
+      else if (value == "Philly") config.trace = TraceKind::kPhilly;
+      else if (value == "Helios") config.trace = TraceKind::kHelios;
+      else throw std::invalid_argument("unknown trace: " + value);
+    } else if (key == "deadline") {
+      if (value == "tight") config.deadline = DeadlineKind::kTight;
+      else if (value == "medium") config.deadline = DeadlineKind::kMedium;
+      else if (value == "slack") config.deadline = DeadlineKind::kSlack;
+      else throw std::invalid_argument("unknown deadline: " + value);
+    } else if (key == "vendors") {
+      config.vendors = static_cast<int>(parse_long(value));
+    } else if (key == "prep_probability") {
+      config.prep_probability = parse_double(value);
+    } else if (key == "base_model_gb") {
+      config.base_model_gb = parse_double(value);
+    } else if (key == "seed") {
+      config.seed = static_cast<std::uint64_t>(parse_long(value));
+    } else {
+      throw std::invalid_argument("unknown scenario key: " + key);
+    }
+  }
+  return config;
+}
+
+}  // namespace lorasched::io

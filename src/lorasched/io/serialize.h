@@ -1,0 +1,39 @@
+// Serialization of workloads and results.
+//
+// Experiments are reproducible from a (config, seed) pair, but exporting
+// the concrete realization matters for (a) analyzing runs with external
+// tooling, (b) replaying the exact same bid sequence against a modified
+// algorithm, and (c) publishing workloads alongside results. Tasks and
+// per-task outcomes round-trip through CSV; scenario configs round-trip
+// through a `key = value` text format.
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "lorasched/experiments/scenario.h"
+#include "lorasched/sim/metrics.h"
+#include "lorasched/workload/task.h"
+
+namespace lorasched::io {
+
+/// Writes tasks (all bid/demand fields) as CSV with a header row.
+void write_tasks_csv(std::ostream& out, const std::vector<Task>& tasks);
+
+/// Reads tasks written by write_tasks_csv. Throws std::invalid_argument on
+/// malformed input (wrong header, bad field count, unparsable numbers).
+[[nodiscard]] std::vector<Task> read_tasks_csv(std::istream& in);
+
+/// Writes per-task auction outcomes as CSV with a header row.
+void write_outcomes_csv(std::ostream& out,
+                        const std::vector<TaskOutcome>& outcomes);
+
+/// Writes a scenario config as `key = value` lines (flat fields only; the
+/// nested taskgen/energy/market configs use their compiled defaults unless
+/// present as dotted keys).
+void write_scenario(std::ostream& out, const ScenarioConfig& config);
+
+/// Reads a scenario written by write_scenario. Unknown keys throw.
+[[nodiscard]] ScenarioConfig read_scenario(std::istream& in);
+
+}  // namespace lorasched::io

@@ -1,0 +1,42 @@
+#include "lorasched/model/lora.h"
+
+namespace lorasched::model {
+
+namespace {
+constexpr double kGiB = 1024.0 * 1024.0 * 1024.0;
+}  // namespace
+
+double LoraSpec::adapter_params(const TransformerSpec& base) const noexcept {
+  // Each adapted d×d matrix gains B (d×r) + A (r×d) = 2 d r parameters.
+  const double per_matrix =
+      2.0 * static_cast<double>(base.d_model) * static_cast<double>(rank);
+  return static_cast<double>(base.layers) *
+         static_cast<double>(adapted_matrices_per_layer) * per_matrix;
+}
+
+double LoraSpec::train_flops_per_sample(const TransformerSpec& base) const noexcept {
+  return flops_fraction() * base.train_flops_per_sample();
+}
+
+double LoraSpec::task_memory_gb(const TransformerSpec& base) const noexcept {
+  const double params = adapter_params(base);
+  // fp16 adapters + fp16 gradients + Adam state.
+  const double adapter_bytes =
+      params * (2.0 + 2.0 + optimizer_bytes_per_param);
+  // Activation memory for one micro-batch: bytes ≈ 2 * batch * seq *
+  // d_model * layers * c, with c ≈ 16 tensors checkpointed per block at
+  // fp16 (empirically ~1-4 GB for GPT-2-small at batch 8).
+  const double activation_bytes = 2.0 * batch_size *
+                                  static_cast<double>(base.seq_len) *
+                                  static_cast<double>(base.d_model) *
+                                  static_cast<double>(base.layers) * 16.0;
+  return (adapter_bytes + activation_bytes) / kGiB;
+}
+
+double LoraSpec::base_memory_gb(const TransformerSpec& base) noexcept {
+  // fp16 weights plus ~1.5 GB of CUDA context, framework workspace, and
+  // fragmentation reserve — the footprint the node pays once per model.
+  return base.weight_bytes() / kGiB + 1.5;
+}
+
+}  // namespace lorasched::model

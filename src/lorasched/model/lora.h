@@ -1,0 +1,42 @@
+// LoRA adapter accounting (paper §2.1, Figs. 1-2).
+//
+// LoRA replaces the dense update ΔW with a rank-r factorization BA
+// (B ∈ R^{d×r}, A ∈ R^{r×k}); only A and B train. For multi-LoRA serving
+// (Fig. 2), every task on a node shares the frozen base weights W_0 and
+// keeps only its adapters, optimizer state, and activations private —
+// which is exactly what drives constraint (4g)'s `Σ r_i x_ikt + r_b <= C_km`.
+#pragma once
+
+#include "lorasched/model/transformer.h"
+
+namespace lorasched::model {
+
+struct LoraSpec {
+  /// Adapter rank r (paper's r << min(d, k)).
+  int rank = 8;
+  /// Which projections get adapters: classic LoRA adapts the attention
+  /// query/value projections (2 of the 4 d×d matrices per layer).
+  int adapted_matrices_per_layer = 2;
+  /// Micro-batch size during fine-tuning.
+  int batch_size = 8;
+  /// Optimizer bytes per trainable parameter (Adam fp32: weight copy +
+  /// two moments = 12 bytes).
+  double optimizer_bytes_per_param = 12.0;
+
+  /// Trainable adapter parameters for the given base model.
+  [[nodiscard]] double adapter_params(const TransformerSpec& base) const noexcept;
+  /// Fraction of dense-training FLOPs a LoRA step costs. The forward pass
+  /// is full-price; the backward pass only flows through the adapters and
+  /// the activation graph (~2/3 of dense backward in practice).
+  [[nodiscard]] double flops_fraction() const noexcept { return 0.72; }
+  /// Training FLOPs for one sample with LoRA.
+  [[nodiscard]] double train_flops_per_sample(const TransformerSpec& base) const noexcept;
+
+  /// Per-task GPU memory in GB: adapters + optimizer state + gradient
+  /// buffers + activations for one micro-batch.
+  [[nodiscard]] double task_memory_gb(const TransformerSpec& base) const noexcept;
+  /// Shared per-node memory in GB: the frozen fp16 base weights (r_b).
+  [[nodiscard]] static double base_memory_gb(const TransformerSpec& base) noexcept;
+};
+
+}  // namespace lorasched::model

@@ -1,0 +1,40 @@
+#include "lorasched/model/perf_model.h"
+
+namespace lorasched::model {
+
+GpuSpec a100_spec() {
+  // A100 80GB SXM: 312 TFLOPs bf16 dense. The MFU is calibrated for
+  // GPT-2-small fine-tuning, whose small kernels leave big tensor cores
+  // underfed (~13% MFU — large-model training reaches 40%+).
+  return GpuSpec{"A100-80GB", 312.0, 80.0, 0.4, 1.50, 0.127};
+}
+
+GpuSpec a40_spec() {
+  // A40 48GB: 149.7 TFLOPs bf16 dense; the smaller GPU keeps its pipes
+  // fuller on small kernels, hence the higher MFU.
+  return GpuSpec{"A40-48GB", 149.7, 48.0, 0.3, 0.80, 0.147};
+}
+
+double samples_per_second(const GpuSpec& gpu, const TransformerSpec& base,
+                          const LoraSpec& lora) {
+  const double flops = lora.train_flops_per_sample(base);
+  return gpu.tensor_tflops * 1e12 * gpu.mfu / flops;
+}
+
+double samples_per_slot(const GpuSpec& gpu, const TransformerSpec& base,
+                        const LoraSpec& lora, double seconds_per_slot) {
+  return samples_per_second(gpu, base, lora) * seconds_per_slot;
+}
+
+GpuProfile derive_profile(const GpuSpec& gpu, const TransformerSpec& base,
+                          const LoraSpec& lora, double seconds_per_slot) {
+  GpuProfile profile;
+  profile.name = gpu.name;
+  profile.compute_per_slot = samples_per_slot(gpu, base, lora, seconds_per_slot);
+  profile.mem_gb = gpu.mem_gb;
+  profile.power_kw = gpu.power_kw;
+  profile.hourly_cost = gpu.hourly_cost;
+  return profile;
+}
+
+}  // namespace lorasched::model

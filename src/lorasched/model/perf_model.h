@@ -1,0 +1,53 @@
+// GPU throughput model: derives the scheduling constants the paper measured
+// on physical hardware (C_kp samples/slot, r_i, r_b) from GPU datasheets
+// and the transformer/LoRA FLOP accounting.
+//
+// Throughput = tensor TFLOPs × MFU / FLOPs-per-sample, where MFU (model
+// FLOPs utilization) captures kernel and input-pipeline inefficiency
+// (0.3-0.5 for fine-tuning workloads). The derived numbers land within a
+// few percent of the hard-coded calibration in cluster/gpu_profile.cpp —
+// test_model.cpp pins that agreement so the two never drift apart.
+#pragma once
+
+#include <string>
+
+#include "lorasched/cluster/gpu_profile.h"
+#include "lorasched/model/lora.h"
+#include "lorasched/model/transformer.h"
+
+namespace lorasched::model {
+
+/// GPU datasheet numbers (dense fp16/bf16 tensor throughput).
+struct GpuSpec {
+  std::string name;
+  double tensor_tflops = 0.0;
+  double mem_gb = 0.0;
+  double power_kw = 0.0;
+  /// Amortized $/hour at full utilization (hardware + reference energy).
+  double hourly_cost = 0.0;
+  /// Model FLOPs utilization achieved by the fine-tuning stack.
+  double mfu = 0.4;
+};
+
+[[nodiscard]] GpuSpec a100_spec();
+[[nodiscard]] GpuSpec a40_spec();
+
+/// Samples per second the GPU sustains fine-tuning `base` with `lora`.
+[[nodiscard]] double samples_per_second(const GpuSpec& gpu,
+                                        const TransformerSpec& base,
+                                        const LoraSpec& lora);
+
+/// Samples per scheduling slot (default 10 minutes).
+[[nodiscard]] double samples_per_slot(const GpuSpec& gpu,
+                                      const TransformerSpec& base,
+                                      const LoraSpec& lora,
+                                      double seconds_per_slot = 600.0);
+
+/// Builds a cluster GpuProfile from first principles — the derived
+/// substitute for the paper's hardware profiling run.
+[[nodiscard]] GpuProfile derive_profile(const GpuSpec& gpu,
+                                        const TransformerSpec& base,
+                                        const LoraSpec& lora,
+                                        double seconds_per_slot = 600.0);
+
+}  // namespace lorasched::model

@@ -1,0 +1,46 @@
+#include "lorasched/model/transformer.h"
+
+namespace lorasched::model {
+
+double TransformerSpec::attention_params() const noexcept {
+  // Q, K, V and output projections: 4 * d_model^2 (biases negligible).
+  const double d = static_cast<double>(d_model);
+  return 4.0 * d * d;
+}
+
+double TransformerSpec::mlp_params() const noexcept {
+  return static_cast<double>(mlp_projections) * static_cast<double>(d_model) *
+         static_cast<double>(d_ff);
+}
+
+double TransformerSpec::total_params() const noexcept {
+  const double per_layer = attention_params() + mlp_params();
+  const double embeddings =
+      static_cast<double>(vocab) * static_cast<double>(d_model) +
+      static_cast<double>(seq_len) * static_cast<double>(d_model);
+  return layers * per_layer + embeddings;
+}
+
+double TransformerSpec::train_flops_per_sample() const noexcept {
+  // 6 FLOPs per parameter per token (2 forward + 4 backward), times the
+  // tokens in one training sample.
+  return 6.0 * total_params() * static_cast<double>(seq_len);
+}
+
+double TransformerSpec::weight_bytes() const noexcept {
+  return 2.0 * total_params();  // fp16
+}
+
+TransformerSpec gpt2_small() {
+  return TransformerSpec{"gpt2-small", 12, 768, 12, 3072, 2, 50257, 1024};
+}
+
+TransformerSpec gpt2_medium() {
+  return TransformerSpec{"gpt2-medium", 24, 1024, 16, 4096, 2, 50257, 1024};
+}
+
+TransformerSpec llama_7b() {
+  return TransformerSpec{"llama-7b", 32, 4096, 32, 11008, 3, 32000, 2048};
+}
+
+}  // namespace lorasched::model

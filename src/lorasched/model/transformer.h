@@ -1,0 +1,51 @@
+// Transformer architecture descriptions and FLOP/parameter accounting.
+//
+// The paper obtains its capacity constants (C_kp, s_ik, r_i, r_b) by
+// profiling GPT-2 + LoRA on physical A100/A40 GPUs. We cannot profile
+// hardware here, so this module provides the substitute: an analytic
+// parameter/FLOP/memory model of decoder-only transformers, from which
+// model/perf_model.h derives per-GPU throughput and memory numbers. The
+// formulas follow the standard accounting (Kaplan et al.'s 6ND rule for
+// training FLOPs, exact parameter counts per block).
+#pragma once
+
+#include <string>
+
+namespace lorasched::model {
+
+/// Decoder-only transformer shape.
+struct TransformerSpec {
+  std::string name;
+  int layers = 12;
+  int d_model = 768;
+  int heads = 12;
+  /// Feed-forward inner size (usually 4 * d_model).
+  int d_ff = 3072;
+  /// MLP projection matrices per block: 2 for GPT-style (up, down), 3 for
+  /// gated (SwiGLU) MLPs as in LLaMA.
+  int mlp_projections = 2;
+  int vocab = 50257;
+  /// Training sequence length in tokens.
+  int seq_len = 1024;
+
+  /// Parameters in one attention block (QKV + output projections).
+  [[nodiscard]] double attention_params() const noexcept;
+  /// Parameters in one MLP block.
+  [[nodiscard]] double mlp_params() const noexcept;
+  /// Total trainable parameters, embeddings included.
+  [[nodiscard]] double total_params() const noexcept;
+  /// Training FLOPs for one sample (forward + backward, ~6 * params *
+  /// tokens for dense training).
+  [[nodiscard]] double train_flops_per_sample() const noexcept;
+  /// fp16 weight bytes.
+  [[nodiscard]] double weight_bytes() const noexcept;
+};
+
+/// GPT-2 small (124M), the paper's fine-tuning workload.
+[[nodiscard]] TransformerSpec gpt2_small();
+/// GPT-2 medium (355M).
+[[nodiscard]] TransformerSpec gpt2_medium();
+/// A LLaMA-7B-like shape for the multi-zone scenarios.
+[[nodiscard]] TransformerSpec llama_7b();
+
+}  // namespace lorasched::model

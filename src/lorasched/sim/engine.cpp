@@ -1,0 +1,128 @@
+#include "lorasched/sim/engine.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <stdexcept>
+
+#include "lorasched/sim/validator.h"
+
+namespace lorasched {
+
+void commit_decision(CapacityLedger& ledger, const Cluster& cluster,
+                     const Task& task, const Decision& decision) {
+  if (!decision.admit) return;
+  for (const Assignment& a : decision.schedule.run) {
+    ledger.reserve(a.node, a.slot,
+                   schedule_rate(decision.schedule, task, cluster, a.node),
+                   task.mem_gb, decision.schedule.exclusive);
+  }
+}
+
+SimResult run_simulation(const Instance& instance, Policy& policy,
+                         EngineOptions options) {
+  if (instance.horizon <= 0) {
+    throw std::invalid_argument("instance horizon must be positive");
+  }
+  // Arrival order: by slot, ties by id (the order users hit the auctioneer).
+  std::vector<Task> tasks = instance.tasks;
+  std::stable_sort(tasks.begin(), tasks.end(),
+                   [](const Task& a, const Task& b) {
+                     return a.arrival != b.arrival ? a.arrival < b.arrival
+                                                   : a.id < b.id;
+                   });
+
+  CapacityLedger ledger(instance.cluster, instance.horizon);
+  for (const Outage& outage : instance.outages) {
+    for (Slot t = std::max<Slot>(0, outage.from);
+         t < std::min<Slot>(instance.horizon, outage.to); ++t) {
+      ledger.block(outage.node, t);
+    }
+  }
+  SimResult result;
+  result.outcomes.reserve(tasks.size());
+
+  double booked_compute = 0.0;
+
+  std::size_t next = 0;
+  for (Slot now = 0; now < instance.horizon; ++now) {
+    std::vector<Task> arrivals;
+    while (next < tasks.size() && tasks[next].arrival == now) {
+      arrivals.push_back(tasks[next++]);
+    }
+    if (arrivals.empty()) continue;
+
+    const SlotContext ctx{now,           arrivals,        instance.cluster,
+                          instance.energy, instance.market, ledger};
+    const auto t0 = std::chrono::steady_clock::now();
+    const std::vector<Decision> decisions = policy.on_slot(ctx);
+    const auto t1 = std::chrono::steady_clock::now();
+    const double per_task_seconds =
+        options.time_decisions
+            ? std::chrono::duration<double>(t1 - t0).count() /
+                  static_cast<double>(arrivals.size())
+            : 0.0;
+
+    if (decisions.size() != arrivals.size()) {
+      throw std::logic_error("policy returned wrong number of decisions");
+    }
+    for (std::size_t i = 0; i < arrivals.size(); ++i) {
+      const Task& task = arrivals[i];
+      const Decision& d = decisions[i];
+      if (d.task != task.id) {
+        throw std::logic_error("policy decisions out of order");
+      }
+      TaskOutcome outcome;
+      outcome.task = task.id;
+      outcome.bid = task.bid;
+      outcome.true_value = task.true_value;
+      outcome.arrival = task.arrival;
+      outcome.decide_seconds = per_task_seconds;
+      if (d.admit) {
+        require_valid_schedule(task, d.schedule, instance.cluster,
+                               instance.horizon);
+        if (d.payment < -1e-9) {
+          throw std::logic_error("negative payment");
+        }
+        outcome.admitted = true;
+        outcome.payment = d.payment;
+        outcome.vendor = d.schedule.vendor;
+        outcome.vendor_cost = d.schedule.vendor_price;
+        outcome.energy_cost = d.schedule.energy_cost;
+        outcome.completion = d.schedule.completion_slot();
+        outcome.slots_used = static_cast<int>(d.schedule.run.size());
+        for (std::size_t r = 1; r < d.schedule.run.size(); ++r) {
+          if (d.schedule.run[r].slot != d.schedule.run[r - 1].slot + 1) {
+            ++outcome.preemptions;
+          }
+        }
+        booked_compute += d.schedule.total_compute;
+        result.metrics.add_admitted(outcome);
+      } else {
+        result.metrics.add_rejected();
+      }
+      result.outcomes.push_back(outcome);
+      result.schedules.push_back(d.admit ? d.schedule : Schedule{});
+    }
+  }
+
+  // Cross-check: the ledger's booked compute must equal the sum over
+  // admitted schedules (a policy that admits without reserving, or reserves
+  // without admitting, is a bug).
+  double ledger_compute = 0.0;
+  for (NodeId k = 0; k < instance.cluster.node_count(); ++k) {
+    for (Slot t = 0; t < instance.horizon; ++t) {
+      ledger_compute += ledger.used_compute(k, t);
+    }
+  }
+  if (std::abs(ledger_compute - booked_compute) >
+      1e-6 * std::max(1.0, booked_compute)) {
+    throw std::logic_error(
+        "ledger bookings do not match admitted schedules (policy bug)");
+  }
+
+  result.metrics.utilization = ledger.compute_utilization();
+  return result;
+}
+
+}  // namespace lorasched

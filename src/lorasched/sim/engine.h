@@ -1,0 +1,29 @@
+// The slotted-time simulation engine (paper §2.1 "System Workflow").
+//
+// Drives a Policy over an Instance: at every slot it delivers the batch of
+// newly arrived tasks, collects the policy's irrevocable decisions,
+// validates every admitted schedule against constraints (4a)-(4e) (capacity
+// (4f)/(4g) is enforced by the ledger itself) and accumulates welfare and
+// utility metrics.
+#pragma once
+
+#include "lorasched/sim/instance.h"
+#include "lorasched/sim/metrics.h"
+#include "lorasched/sim/policy.h"
+
+namespace lorasched {
+
+struct EngineOptions {
+  /// Record per-task wall-clock decision time (adds two clock calls per
+  /// slot batch; on by default because Fig. 13 needs it).
+  bool time_decisions = true;
+};
+
+/// Runs the policy over the instance and returns the accounting. Throws
+/// std::logic_error on any policy contract violation (invalid schedule,
+/// over-booking, missing/duplicate decisions).
+[[nodiscard]] SimResult run_simulation(const Instance& instance,
+                                       Policy& policy,
+                                       EngineOptions options = {});
+
+}  // namespace lorasched

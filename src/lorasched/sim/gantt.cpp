@@ -1,0 +1,54 @@
+#include "lorasched/sim/gantt.h"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace lorasched {
+
+std::string render_gantt(const Instance& instance, const SimResult& result,
+                         GanttOptions options) {
+  if (result.schedules.size() != result.outcomes.size()) {
+    throw std::invalid_argument("result is missing its schedules");
+  }
+  const Slot to = options.to < 0 ? instance.horizon : options.to;
+  if (options.from < 0 || to > instance.horizon || options.from >= to) {
+    throw std::invalid_argument("bad gantt slot range");
+  }
+  const int nodes = instance.cluster.node_count();
+  const int shown = std::min(nodes, options.max_nodes);
+  const auto width = static_cast<std::size_t>(to - options.from);
+
+  std::vector<std::vector<int>> occupancy(
+      static_cast<std::size_t>(nodes), std::vector<int>(width, 0));
+  for (const Schedule& schedule : result.schedules) {
+    for (const Assignment& a : schedule.run) {
+      if (a.slot < options.from || a.slot >= to) continue;
+      ++occupancy[static_cast<std::size_t>(a.node)]
+                 [static_cast<std::size_t>(a.slot - options.from)];
+    }
+  }
+
+  std::ostringstream os;
+  os << "slots " << options.from << ".." << (to - 1) << " ('.'=idle, digit="
+     << "concurrent tasks, '+'=10+)\n";
+  for (int k = 0; k < shown; ++k) {
+    os << "node " << k;
+    if (k < 10) os << ' ';
+    os << " [" << instance.cluster.profile(k).name << "] ";
+    for (std::size_t c = 0; c < width; ++c) {
+      const int n = occupancy[static_cast<std::size_t>(k)][c];
+      if (n == 0) os << '.';
+      else if (n < 10) os << static_cast<char>('0' + n);
+      else os << '+';
+    }
+    os << '\n';
+  }
+  if (shown < nodes) {
+    os << "(" << (nodes - shown) << " more nodes not shown)\n";
+  }
+  return os.str();
+}
+
+}  // namespace lorasched

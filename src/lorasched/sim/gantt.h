@@ -1,0 +1,28 @@
+// ASCII Gantt rendering of cluster occupancy: one row per node, one column
+// per slot, the cell showing how many tasks share that node-slot. Makes
+// multi-LoRA packing (and NTM's lack of it) visible at a glance.
+#pragma once
+
+#include <string>
+
+#include "lorasched/sim/instance.h"
+#include "lorasched/sim/metrics.h"
+
+namespace lorasched {
+
+struct GanttOptions {
+  /// First slot to render (inclusive).
+  Slot from = 0;
+  /// One-past-last slot to render; -1 = the whole horizon.
+  Slot to = -1;
+  /// Limit on rendered nodes (large clusters get truncated with a note).
+  int max_nodes = 24;
+};
+
+/// Renders the run's occupancy. Cells: '.' idle, '1'-'9' concurrent tasks,
+/// '+' for ten or more.
+[[nodiscard]] std::string render_gantt(const Instance& instance,
+                                       const SimResult& result,
+                                       GanttOptions options = {});
+
+}  // namespace lorasched

@@ -1,0 +1,43 @@
+// One complete experiment instance: cluster + cost model + marketplace +
+// the task arrival sequence over a slotted horizon.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "lorasched/cluster/cluster.h"
+#include "lorasched/cluster/energy.h"
+#include "lorasched/types.h"
+#include "lorasched/workload/task.h"
+#include "lorasched/workload/vendor.h"
+
+namespace lorasched {
+
+/// A node-unavailability window (failure injection): node `node` accepts no
+/// work in slots [from, to).
+struct Outage {
+  NodeId node = -1;
+  Slot from = 0;
+  Slot to = 0;
+};
+
+struct Instance {
+  Cluster cluster;
+  EnergyModel energy;
+  Marketplace market;
+  Slot horizon = 0;
+  /// Tasks in arrival order (ties broken by id).
+  std::vector<Task> tasks;
+  /// Injected node failures; blocked in the ledger before the run starts.
+  std::vector<Outage> outages;
+
+  Instance(Cluster cluster_in, EnergyModel energy_in, Marketplace market_in,
+           Slot horizon_in, std::vector<Task> tasks_in)
+      : cluster(std::move(cluster_in)),
+        energy(std::move(energy_in)),
+        market(std::move(market_in)),
+        horizon(horizon_in),
+        tasks(std::move(tasks_in)) {}
+};
+
+}  // namespace lorasched

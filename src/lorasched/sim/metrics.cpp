@@ -1,0 +1,19 @@
+#include "lorasched/sim/metrics.h"
+
+namespace lorasched {
+
+void Metrics::add_admitted(const TaskOutcome& outcome) {
+  ++admitted;
+  total_bids_admitted += outcome.bid;
+  total_payments += outcome.payment;
+  total_vendor_cost += outcome.vendor_cost;
+  total_energy_cost += outcome.energy_cost;
+  social_welfare += outcome.bid - outcome.vendor_cost - outcome.energy_cost;
+  provider_utility +=
+      outcome.payment - outcome.vendor_cost - outcome.energy_cost;
+  user_utility += outcome.true_value - outcome.payment;
+}
+
+void Metrics::add_rejected() { ++rejected; }
+
+}  // namespace lorasched

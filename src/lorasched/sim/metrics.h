@@ -1,0 +1,60 @@
+// Run-level accounting: social welfare (the paper's objective (3)) and the
+// per-party utilities (1)/(2), plus per-task outcome records for the
+// truthfulness / rationality / runtime experiments.
+#pragma once
+
+#include <vector>
+
+#include "lorasched/core/schedule.h"
+#include "lorasched/types.h"
+
+namespace lorasched {
+
+struct TaskOutcome {
+  TaskId task = -1;
+  bool admitted = false;
+  Money bid = 0.0;
+  Money true_value = 0.0;
+  Money payment = 0.0;
+  Money vendor_cost = 0.0;
+  Money energy_cost = 0.0;
+  VendorId vendor = kNoVendor;
+  Slot arrival = 0;
+  Slot completion = -1;
+  int slots_used = 0;
+  /// Times the task was suspended and later resumed (gaps between executing
+  /// slots) — the paper's §1 "suspend and resume execution alternately".
+  int preemptions = 0;
+  /// Wall-clock seconds the policy spent deciding this task (Fig. 13).
+  double decide_seconds = 0.0;
+};
+
+struct Metrics {
+  /// Σ b_i u_i − Σ q_in z_in − Σ e_ikt x_ikt — objective (3).
+  Money social_welfare = 0.0;
+  /// Σ p_i u_i − Σ q_in z_in − Σ e_ikt x_ikt — provider utility (2).
+  Money provider_utility = 0.0;
+  /// Σ (v_i − p_i) u_i — user utility (1) at true valuations.
+  Money user_utility = 0.0;
+  Money total_bids_admitted = 0.0;
+  Money total_payments = 0.0;
+  Money total_vendor_cost = 0.0;
+  Money total_energy_cost = 0.0;
+  int admitted = 0;
+  int rejected = 0;
+  /// Fraction of fleet compute booked over the horizon.
+  double utilization = 0.0;
+
+  void add_admitted(const TaskOutcome& outcome);
+  void add_rejected();
+};
+
+struct SimResult {
+  Metrics metrics;
+  std::vector<TaskOutcome> outcomes;
+  /// Admitted execution plans, aligned with `outcomes` (empty run for
+  /// rejected tasks); feeds the time-series and Gantt tooling.
+  std::vector<Schedule> schedules;
+};
+
+}  // namespace lorasched

@@ -1,0 +1,46 @@
+#include "lorasched/sim/timeseries.h"
+
+#include <stdexcept>
+
+namespace lorasched {
+
+SlotSeries build_series(const Instance& instance, const SimResult& result) {
+  if (result.schedules.size() != result.outcomes.size()) {
+    throw std::invalid_argument("result is missing its schedules");
+  }
+  SlotSeries series;
+  const auto slots = static_cast<std::size_t>(instance.horizon);
+  series.arrivals.assign(slots, 0);
+  series.admissions.assign(slots, 0);
+  series.cumulative_welfare.assign(slots, 0.0);
+  series.utilization.assign(slots, 0.0);
+
+  std::vector<double> booked(slots, 0.0);
+  // Tasks are addressed by id (dense, equal to their index in
+  // instance.tasks for generated workloads).
+  for (std::size_t i = 0; i < result.outcomes.size(); ++i) {
+    const TaskOutcome& o = result.outcomes[i];
+    const auto arrival = static_cast<std::size_t>(o.arrival);
+    ++series.arrivals[arrival];
+    if (!o.admitted) continue;
+    ++series.admissions[arrival];
+    series.cumulative_welfare[arrival] +=
+        o.bid - o.vendor_cost - o.energy_cost;
+    const Task& task = instance.tasks.at(static_cast<std::size_t>(o.task));
+    for (const Assignment& a : result.schedules[i].run) {
+      booked[static_cast<std::size_t>(a.slot)] +=
+          schedule_rate(result.schedules[i], task, instance.cluster, a.node);
+    }
+  }
+  // Prefix-sum the welfare and normalize occupancy.
+  double running = 0.0;
+  const double fleet = instance.cluster.total_compute_per_slot();
+  for (std::size_t t = 0; t < slots; ++t) {
+    running += series.cumulative_welfare[t];
+    series.cumulative_welfare[t] = running;
+    series.utilization[t] = fleet > 0.0 ? booked[t] / fleet : 0.0;
+  }
+  return series;
+}
+
+}  // namespace lorasched

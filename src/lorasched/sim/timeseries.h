@@ -1,0 +1,35 @@
+// Per-slot time series derived from a finished run: how demand, admissions,
+// welfare, and fleet occupancy evolve over the day. Used by the
+// price-dynamics example and by failure-analysis in tests.
+#pragma once
+
+#include <vector>
+
+#include "lorasched/sim/instance.h"
+#include "lorasched/sim/metrics.h"
+#include "lorasched/types.h"
+
+namespace lorasched {
+
+struct SlotSeries {
+  /// Tasks arriving at each slot.
+  std::vector<int> arrivals;
+  /// Tasks admitted (by arrival slot).
+  std::vector<int> admissions;
+  /// Social welfare accumulated up to and including each slot (by arrival
+  /// slot of the contributing tasks).
+  std::vector<double> cumulative_welfare;
+  /// Fraction of fleet compute booked in each slot (by execution slot).
+  std::vector<double> utilization;
+
+  [[nodiscard]] Slot horizon() const noexcept {
+    return static_cast<Slot>(arrivals.size());
+  }
+};
+
+/// Builds the series from an instance and its result (the result's
+/// `schedules` provide exact per-slot occupancy).
+[[nodiscard]] SlotSeries build_series(const Instance& instance,
+                                      const SimResult& result);
+
+}  // namespace lorasched

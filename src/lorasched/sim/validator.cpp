@@ -1,0 +1,64 @@
+#include "lorasched/sim/validator.h"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace lorasched {
+
+std::string validate_schedule(const Task& task, const Schedule& schedule,
+                              const Cluster& cluster, Slot horizon) {
+  std::ostringstream why;
+  if (schedule.task != task.id) {
+    why << "schedule belongs to task " << schedule.task << ", not " << task.id;
+    return why.str();
+  }
+  // (4a): a vendor must be chosen iff the task needs pre-processing.
+  if (task.needs_prep && schedule.vendor == kNoVendor) {
+    return "task needs pre-processing but no vendor selected (4a)";
+  }
+  if (!task.needs_prep && schedule.vendor != kNoVendor) {
+    return "vendor selected for a task without pre-processing (4a)";
+  }
+  const Slot start = task.arrival + schedule.prep_delay;
+  Slot prev = -1;
+  double done = 0.0;
+  for (const Assignment& a : schedule.run) {
+    if (a.node < 0 || a.node >= cluster.node_count()) {
+      return "assignment on unknown node";
+    }
+    if (a.slot < start) {
+      why << "slot " << a.slot << " before earliest start " << start
+          << " (4c)";
+      return why.str();
+    }
+    if (a.slot > task.deadline) {
+      why << "slot " << a.slot << " after deadline " << task.deadline
+          << " (4d)";
+      return why.str();
+    }
+    if (a.slot >= horizon) {
+      why << "slot " << a.slot << " beyond horizon " << horizon;
+      return why.str();
+    }
+    if (a.slot <= prev) {
+      return "more than one node in a single slot (4b)";
+    }
+    prev = a.slot;
+    done += schedule_rate(schedule, task, cluster, a.node);
+  }
+  // (4e): cumulative computation covers M_i.
+  if (done + 1e-9 < task.work) {
+    why << "work shortfall: scheduled " << done << " of " << task.work
+        << " samples (4e)";
+    return why.str();
+  }
+  return {};
+}
+
+void require_valid_schedule(const Task& task, const Schedule& schedule,
+                            const Cluster& cluster, Slot horizon) {
+  const std::string why = validate_schedule(task, schedule, cluster, horizon);
+  if (!why.empty()) throw std::logic_error("invalid schedule: " + why);
+}
+
+}  // namespace lorasched

@@ -1,0 +1,28 @@
+// Ground-truth validation of admitted schedules against the paper's
+// constraints (4a)-(4e). Capacity ((4f)/(4g)) is enforced separately by the
+// CapacityLedger, which throws on over-booking.
+#pragma once
+
+#include <string>
+
+#include "lorasched/cluster/cluster.h"
+#include "lorasched/core/schedule.h"
+#include "lorasched/types.h"
+#include "lorasched/workload/task.h"
+
+namespace lorasched {
+
+/// Returns an empty string when the schedule is a valid execution plan for
+/// the task, otherwise a human-readable description of the first violated
+/// constraint. Checked: window (4c)/(4d), one-node-per-slot (4b), work
+/// completion (4e), vendor selection consistency (4a).
+[[nodiscard]] std::string validate_schedule(const Task& task,
+                                            const Schedule& schedule,
+                                            const Cluster& cluster,
+                                            Slot horizon);
+
+/// Throws std::logic_error with the validation message when invalid.
+void require_valid_schedule(const Task& task, const Schedule& schedule,
+                            const Cluster& cluster, Slot horizon);
+
+}  // namespace lorasched

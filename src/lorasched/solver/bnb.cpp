@@ -1,0 +1,173 @@
+#include "lorasched/solver/bnb.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "lorasched/solver/simplex.h"
+
+namespace lorasched::solver {
+
+namespace {
+
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+
+/// Per-variable fixing state.
+enum class Fix : char { kFree, kZero, kOne };
+
+struct SearchState {
+  const MilpProblem& problem;
+  const BnbOptions& options;
+  std::vector<char> is_binary;   // per variable
+  std::vector<Fix> fix;          // per variable
+  double incumbent = kNegInf;
+  std::vector<double> incumbent_x;
+  bool truncated = false;
+  int nodes = 0;
+};
+
+/// Builds the node LP with fixed variables substituted out. Returns false
+/// when a fixed-to-one bundle already violates a row (infeasible node).
+bool build_node_lp(const SearchState& state, LpProblem& node_lp,
+                   std::vector<int>& to_original, double& fixed_value) {
+  const LpProblem& lp = state.problem.lp;
+  const int n = lp.num_vars();
+  std::vector<int> to_node(static_cast<std::size_t>(n), -1);
+  to_original.clear();
+  fixed_value = 0.0;
+  for (int j = 0; j < n; ++j) {
+    if (state.fix[static_cast<std::size_t>(j)] == Fix::kFree) {
+      to_node[static_cast<std::size_t>(j)] =
+          static_cast<int>(to_original.size());
+      to_original.push_back(j);
+    } else if (state.fix[static_cast<std::size_t>(j)] == Fix::kOne) {
+      fixed_value += lp.objective[static_cast<std::size_t>(j)];
+    }
+  }
+  node_lp.objective.clear();
+  node_lp.objective.reserve(to_original.size());
+  for (int j : to_original) {
+    node_lp.objective.push_back(lp.objective[static_cast<std::size_t>(j)]);
+  }
+  node_lp.rows.clear();
+  for (const LpProblem::Row& row : lp.rows) {
+    LpProblem::Row reduced;
+    reduced.rhs = row.rhs;
+    for (const auto& [var, coeff] : row.coeffs) {
+      switch (state.fix[static_cast<std::size_t>(var)]) {
+        case Fix::kFree:
+          reduced.coeffs.emplace_back(to_node[static_cast<std::size_t>(var)],
+                                      coeff);
+          break;
+        case Fix::kOne:
+          reduced.rhs -= coeff;
+          break;
+        case Fix::kZero:
+          break;
+      }
+    }
+    if (reduced.rhs < -state.options.eps) return false;  // infeasible
+    reduced.rhs = std::max(0.0, reduced.rhs);
+    node_lp.rows.push_back(std::move(reduced));
+  }
+  // A binary fixed free still needs its x_j <= 1 row; add them for free
+  // binaries only (continuous variables are unbounded above by design).
+  for (std::size_t idx = 0; idx < to_original.size(); ++idx) {
+    const int j = to_original[idx];
+    if (state.is_binary[static_cast<std::size_t>(j)]) {
+      node_lp.rows.push_back(
+          LpProblem::Row{{{static_cast<int>(idx), 1.0}}, 1.0});
+    }
+  }
+  return true;
+}
+
+void search(SearchState& state, double* root_bound) {
+  if (state.nodes >= state.options.max_nodes) {
+    state.truncated = true;
+    return;
+  }
+  ++state.nodes;
+
+  LpProblem node_lp;
+  std::vector<int> to_original;
+  double fixed_value = 0.0;
+  if (!build_node_lp(state, node_lp, to_original, fixed_value)) return;
+
+  const LpSolution relax = solve_lp(node_lp);
+  if (relax.status == LpStatus::kUnbounded) {
+    throw std::logic_error("MILP relaxation unbounded: malformed model");
+  }
+  const double bound = fixed_value + relax.objective;
+  if (root_bound != nullptr) *root_bound = bound;
+  if (bound <= state.incumbent + state.options.eps) return;  // pruned
+
+  // Most fractional free binary.
+  int branch_var = -1;
+  double branch_frac = -1.0;
+  for (std::size_t idx = 0; idx < to_original.size(); ++idx) {
+    const int j = to_original[idx];
+    if (!state.is_binary[static_cast<std::size_t>(j)]) continue;
+    const double v = relax.x[idx];
+    const double frac = std::min(v - std::floor(v), std::ceil(v) - v);
+    if (frac > state.options.eps && frac > branch_frac) {
+      branch_frac = frac;
+      branch_var = j;
+    }
+  }
+
+  if (branch_var == -1) {
+    // Integral on all binaries: candidate incumbent.
+    if (bound > state.incumbent) {
+      state.incumbent = bound;
+      state.incumbent_x.assign(state.fix.size(), 0.0);
+      for (std::size_t j = 0; j < state.fix.size(); ++j) {
+        if (state.fix[j] == Fix::kOne) state.incumbent_x[j] = 1.0;
+      }
+      for (std::size_t idx = 0; idx < to_original.size(); ++idx) {
+        const int j = to_original[idx];
+        double v = relax.x[idx];
+        if (state.is_binary[static_cast<std::size_t>(j)]) v = std::round(v);
+        state.incumbent_x[static_cast<std::size_t>(j)] = v;
+      }
+    }
+    return;
+  }
+
+  // Depth-first, 1-branch first (finds packing incumbents quickly).
+  state.fix[static_cast<std::size_t>(branch_var)] = Fix::kOne;
+  search(state, nullptr);
+  state.fix[static_cast<std::size_t>(branch_var)] = Fix::kZero;
+  search(state, nullptr);
+  state.fix[static_cast<std::size_t>(branch_var)] = Fix::kFree;
+}
+
+}  // namespace
+
+MilpSolution solve_milp(const MilpProblem& problem, BnbOptions options) {
+  problem.lp.validate();
+  const int n = problem.lp.num_vars();
+  SearchState state{problem, options, {}, {}, kNegInf, {}, false, 0};
+  state.is_binary.assign(static_cast<std::size_t>(n), 0);
+  for (int j : problem.binary_vars) {
+    if (j < 0 || j >= n) throw std::invalid_argument("bad binary index");
+    state.is_binary[static_cast<std::size_t>(j)] = 1;
+  }
+  state.fix.assign(static_cast<std::size_t>(n), Fix::kFree);
+
+  MilpSolution solution;
+  double root_bound = 0.0;
+  search(state, &root_bound);
+  solution.root_bound = root_bound;
+  solution.nodes_explored = state.nodes;
+  solution.proved_optimal = !state.truncated;
+  if (state.incumbent > kNegInf) {
+    solution.found_incumbent = true;
+    solution.objective = state.incumbent;
+    solution.x = state.incumbent_x;
+  }
+  return solution;
+}
+
+}  // namespace lorasched::solver

@@ -1,0 +1,44 @@
+// Branch & bound for mixed 0/1 programs over LpProblem relaxations — the
+// repo's substitute for the MILP solver (Gurobi) the paper uses for the
+// Titan baseline and the offline optimum (DESIGN.md §3).
+//
+// Nodes fix binary variables by substitution (column removal + rhs
+// reduction), keeping every node LP in the b >= 0 canonical form the
+// simplex expects; a node whose reduced rhs goes negative is infeasible and
+// pruned. Branching fixes the most fractional binary, value 1 first, which
+// finds packing incumbents early.
+#pragma once
+
+#include <vector>
+
+#include "lorasched/solver/lp.h"
+
+namespace lorasched::solver {
+
+struct MilpProblem {
+  LpProblem lp;
+  /// Indices of variables constrained to {0, 1}; all of them must also
+  /// respect the LP rows. Variables not listed stay continuous in [0, inf).
+  std::vector<int> binary_vars;
+};
+
+struct BnbOptions {
+  int max_nodes = 200000;
+  double eps = 1e-6;
+};
+
+struct MilpSolution {
+  /// True iff the search closed the whole tree (proved optimality).
+  bool proved_optimal = false;
+  bool found_incumbent = false;
+  double objective = 0.0;
+  std::vector<double> x;
+  int nodes_explored = 0;
+  /// Root LP relaxation value — an upper bound on the MILP optimum.
+  double root_bound = 0.0;
+};
+
+[[nodiscard]] MilpSolution solve_milp(const MilpProblem& problem,
+                                      BnbOptions options = {});
+
+}  // namespace lorasched::solver

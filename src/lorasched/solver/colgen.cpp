@@ -1,0 +1,201 @@
+#include "lorasched/solver/colgen.h"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "lorasched/core/duals.h"
+#include "lorasched/solver/simplex.h"
+
+namespace lorasched {
+
+namespace {
+
+struct Column {
+  std::size_t task_index = 0;
+  Schedule schedule;
+};
+
+/// Row bookkeeping for the master LP: one row per task plus one compute and
+/// one memory row per (node, slot) cell touched by any column.
+struct MasterRows {
+  std::map<std::pair<NodeId, Slot>, int> compute_row;
+  std::map<std::pair<NodeId, Slot>, int> mem_row;
+};
+
+solver::LpProblem build_master(const Instance& instance,
+                               const std::vector<Column>& columns,
+                               MasterRows& rows) {
+  solver::LpProblem lp;
+  lp.objective.reserve(columns.size());
+  for (const Column& col : columns) {
+    lp.objective.push_back(col.schedule.welfare_gain);
+  }
+  const auto task_count = instance.tasks.size();
+  // Task convexity rows come first: row i <-> task i.
+  std::vector<std::vector<std::pair<int, double>>> task_coeffs(task_count);
+  rows.compute_row.clear();
+  rows.mem_row.clear();
+
+  // Collect used cells.
+  for (std::size_t c = 0; c < columns.size(); ++c) {
+    task_coeffs[columns[c].task_index].emplace_back(static_cast<int>(c), 1.0);
+    for (const Assignment& a : columns[c].schedule.run) {
+      rows.compute_row.try_emplace({a.node, a.slot}, 0);
+      rows.mem_row.try_emplace({a.node, a.slot}, 0);
+    }
+  }
+  for (std::size_t i = 0; i < task_count; ++i) {
+    lp.add_row(std::move(task_coeffs[i]), 1.0);
+  }
+  for (auto& [cell, row] : rows.compute_row) {
+    row = lp.add_row({}, instance.cluster.compute_capacity(cell.first));
+  }
+  for (auto& [cell, row] : rows.mem_row) {
+    row = lp.add_row({}, instance.cluster.adapter_mem_capacity(cell.first));
+  }
+  // Fill capacity coefficients.
+  for (std::size_t c = 0; c < columns.size(); ++c) {
+    const Task& task = instance.tasks[columns[c].task_index];
+    for (const Assignment& a : columns[c].schedule.run) {
+      const double s = instance.cluster.task_rate(task, a.node);
+      lp.rows[static_cast<std::size_t>(
+                  rows.compute_row.at({a.node, a.slot}))]
+          .coeffs.emplace_back(static_cast<int>(c), s);
+      lp.rows[static_cast<std::size_t>(rows.mem_row.at({a.node, a.slot}))]
+          .coeffs.emplace_back(static_cast<int>(c), task.mem_gb);
+    }
+  }
+  return lp;
+}
+
+/// Cost of a schedule under per-cell duals: Σ (s λ + r φ) over the run.
+double dual_load(const Instance& instance, const Task& task,
+                 const Schedule& schedule, const DualState& duals) {
+  double total = 0.0;
+  for (const Assignment& a : schedule.run) {
+    total += instance.cluster.task_rate(task, a.node) *
+                 duals.lambda(a.node, a.slot) +
+             task.mem_gb * duals.phi(a.node, a.slot);
+  }
+  return total;
+}
+
+}  // namespace
+
+OfflineBound solve_offline(const Instance& instance, ColgenOptions options) {
+  OfflineBound result;
+  if (instance.tasks.empty()) {
+    result.converged = true;
+    result.integer_proved_optimal = true;
+    return result;
+  }
+
+  const ScheduleDp dp(instance.cluster, instance.energy, options.dp);
+  std::vector<Column> columns;
+
+  // Generates the best-reduced-cost schedule for a task under the given
+  // duals (mu is the task row's dual); returns an empty-run schedule when
+  // nothing with positive reduced cost exists.
+  auto price_task = [&](std::size_t task_index, const DualState& duals,
+                        double mu) -> Schedule {
+    const Task& task = instance.tasks[task_index];
+    Schedule best;
+    double best_rc = options.eps;
+    auto consider = [&](VendorId vendor, Money price, Slot delay) {
+      Schedule cand = dp.find(task, task.arrival + delay, duals);
+      if (cand.empty()) return;
+      cand.vendor = vendor;
+      cand.vendor_price = price;
+      cand.prep_delay = delay;
+      finalize_schedule(cand, task, instance.cluster, instance.energy);
+      const double rc = cand.welfare_gain -
+                        dual_load(instance, task, cand, duals) - mu;
+      if (rc > best_rc) {
+        best_rc = rc;
+        best = std::move(cand);
+      }
+    };
+    if (task.needs_prep) {
+      const auto quotes = instance.market.quotes(task);
+      for (std::size_t n = 0; n < quotes.size(); ++n) {
+        consider(static_cast<VendorId>(n), quotes[n].price, quotes[n].delay);
+      }
+    } else {
+      consider(kNoVendor, 0.0, 0);
+    }
+    return best;
+  };
+
+  // Seed: one zero-dual (pure cost-minimal) column per task.
+  {
+    const DualState zero(instance.cluster.node_count(), instance.horizon);
+    for (std::size_t i = 0; i < instance.tasks.size(); ++i) {
+      Schedule seed = price_task(i, zero, 0.0);
+      if (!seed.empty() && seed.welfare_gain > 0.0) {
+        columns.push_back({i, std::move(seed)});
+      }
+    }
+  }
+
+  MasterRows rows;
+  solver::LpSolution master;
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    ++result.iterations;
+    if (columns.empty()) {
+      result.converged = true;
+      result.integer_proved_optimal = true;
+      return result;  // no task is profitably schedulable at all
+    }
+    const solver::LpProblem lp = build_master(instance, columns, rows);
+    master = solver::solve_lp(lp);
+    result.lp_bound = master.objective;
+
+    // Lift the master duals into a DualState for the pricing DP.
+    DualState duals(instance.cluster.node_count(), instance.horizon);
+    // Master rows are in raw units ($ per sample, $ per GB); the DualState
+    // and the pricing DP work in capacity-normalized units, so scale by the
+    // cell's capacity when lifting.
+    for (const auto& [cell, row] : rows.compute_row) {
+      duals.set_lambda(cell.first, cell.second,
+                       master.duals[static_cast<std::size_t>(row)] *
+                           instance.cluster.compute_capacity(cell.first));
+    }
+    for (const auto& [cell, row] : rows.mem_row) {
+      duals.set_phi(cell.first, cell.second,
+                    master.duals[static_cast<std::size_t>(row)] *
+                        instance.cluster.adapter_mem_capacity(cell.first));
+    }
+
+    bool improved = false;
+    for (std::size_t i = 0; i < instance.tasks.size(); ++i) {
+      const double mu = master.duals[i];
+      Schedule priced = price_task(i, duals, mu);
+      if (!priced.empty()) {
+        columns.push_back({i, std::move(priced)});
+        improved = true;
+      }
+    }
+    if (!improved) {
+      result.converged = true;
+      break;
+    }
+  }
+
+  result.columns = static_cast<int>(columns.size());
+
+  // Integer pass over the generated columns.
+  solver::MilpProblem milp;
+  milp.lp = build_master(instance, columns, rows);
+  milp.binary_vars.resize(columns.size());
+  for (std::size_t c = 0; c < columns.size(); ++c) {
+    milp.binary_vars[c] = static_cast<int>(c);
+  }
+  const solver::MilpSolution integer = solver::solve_milp(milp, options.bnb);
+  result.integer_proved_optimal = integer.proved_optimal;
+  if (integer.found_incumbent) result.integer_value = integer.objective;
+  return result;
+}
+
+}  // namespace lorasched

@@ -1,0 +1,51 @@
+// Offline bound for the schedule-selection problem P1 (eq. 5) via column
+// generation — the repo's substitute for solving the paper's offline
+// optimum with Gurobi (used by the Fig. 12 empirical-competitive-ratio
+// experiment).
+//
+// Master LP: max Σ b_il x_il s.t. one schedule per task, per-(node, slot)
+// compute and memory capacities. Pricing subproblem: for each task, the
+// same DP as Algorithm 2 run under the master's duals — if the best
+// schedule's reduced cost is positive it enters the pool. On convergence
+// the LP value upper-bounds OPT over the quantized schedule space (the
+// identical space the online algorithm optimizes over, so the empirical
+// ratio is like-for-like); a branch-and-bound pass over the generated
+// columns then yields a feasible integer schedule (a lower bound on OPT).
+#pragma once
+
+#include "lorasched/core/schedule_dp.h"
+#include "lorasched/sim/instance.h"
+#include "lorasched/solver/bnb.h"
+
+namespace lorasched {
+
+struct ColgenOptions {
+  int max_iterations = 25;
+  double eps = 1e-6;
+  /// DP quantization for pricing; matches the online default so the bound
+  /// is computed over the same schedule space the online algorithm uses.
+  ScheduleDpConfig dp{2.0, 4096};
+  /// Node cap for the integer pass — generated-column MILPs are packing
+  /// problems whose LP relaxations are near-integral, so a few thousand
+  /// nodes almost always close the tree; when they don't, the result is
+  /// still a valid feasible lower bound (integer_proved_optimal = false).
+  solver::BnbOptions bnb{3000, 1e-6};
+};
+
+struct OfflineBound {
+  /// Master LP value at the last iteration (upper bound on OPT over the
+  /// quantized schedule space iff `converged`).
+  double lp_bound = 0.0;
+  /// Objective of the best integer solution over generated columns (a
+  /// feasible schedule set, hence a lower bound on OPT). 0 if none found.
+  double integer_value = 0.0;
+  bool converged = false;
+  bool integer_proved_optimal = false;
+  int columns = 0;
+  int iterations = 0;
+};
+
+[[nodiscard]] OfflineBound solve_offline(const Instance& instance,
+                                         ColgenOptions options = {});
+
+}  // namespace lorasched

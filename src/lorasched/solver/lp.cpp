@@ -1,0 +1,37 @@
+#include "lorasched/solver/lp.h"
+
+#include <stdexcept>
+#include <vector>
+
+namespace lorasched::solver {
+
+int LpProblem::add_row(std::vector<std::pair<int, double>> coeffs, double rhs) {
+  rows.push_back(Row{std::move(coeffs), rhs});
+  return static_cast<int>(rows.size()) - 1;
+}
+
+void LpProblem::validate() const {
+  const int n = num_vars();
+  std::vector<char> seen(static_cast<std::size_t>(n), 0);
+  for (const Row& row : rows) {
+    if (row.rhs < 0.0) {
+      throw std::invalid_argument("LpProblem requires rhs >= 0");
+    }
+    for (const auto& [var, coeff] : row.coeffs) {
+      (void)coeff;
+      if (var < 0 || var >= n) {
+        throw std::invalid_argument("constraint references unknown variable");
+      }
+      if (seen[static_cast<std::size_t>(var)]) {
+        throw std::invalid_argument("row repeats a variable");
+      }
+      seen[static_cast<std::size_t>(var)] = 1;
+    }
+    for (const auto& [var, coeff] : row.coeffs) {
+      (void)coeff;
+      seen[static_cast<std::size_t>(var)] = 0;
+    }
+  }
+}
+
+}  // namespace lorasched::solver

@@ -1,0 +1,50 @@
+// Linear-program container shared by the simplex solver and branch & bound.
+//
+// Canonical form: maximize c·x subject to A x <= b, x >= 0, with b >= 0
+// (so the all-slack basis is primal feasible — every problem lorasched
+// builds is a packing problem and satisfies this naturally).
+#pragma once
+
+#include <utility>
+#include <vector>
+
+namespace lorasched::solver {
+
+struct LpProblem {
+  /// Objective coefficients; size defines the variable count.
+  std::vector<double> objective;
+
+  struct Row {
+    /// Sparse (variable index, coefficient) pairs.
+    std::vector<std::pair<int, double>> coeffs;
+    double rhs = 0.0;
+  };
+  std::vector<Row> rows;
+
+  [[nodiscard]] int num_vars() const noexcept {
+    return static_cast<int>(objective.size());
+  }
+  [[nodiscard]] int num_rows() const noexcept {
+    return static_cast<int>(rows.size());
+  }
+
+  /// Appends a constraint Σ coeffs · x <= rhs; returns its row index.
+  int add_row(std::vector<std::pair<int, double>> coeffs, double rhs);
+
+  /// Throws std::invalid_argument if any rhs is negative, a coefficient
+  /// references an unknown variable, or a row repeats a variable.
+  void validate() const;
+};
+
+enum class LpStatus { kOptimal, kUnbounded, kIterationLimit };
+
+struct LpSolution {
+  LpStatus status = LpStatus::kIterationLimit;
+  double objective = 0.0;
+  /// Primal values per variable.
+  std::vector<double> x;
+  /// Dual values (shadow prices) per row, >= 0.
+  std::vector<double> duals;
+};
+
+}  // namespace lorasched::solver

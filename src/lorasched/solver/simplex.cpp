@@ -1,0 +1,160 @@
+#include "lorasched/solver/simplex.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+namespace lorasched::solver {
+
+namespace {
+
+/// Dense tableau: rows 0..m-1 are constraints, row m is the objective row
+/// (reduced costs, z_j - c_j); column n+m is the rhs.
+class Tableau {
+ public:
+  Tableau(const LpProblem& problem)
+      : m_(problem.num_rows()), n_(problem.num_vars()), width_(n_ + m_ + 1) {
+    cells_.assign(static_cast<std::size_t>(m_ + 1) *
+                      static_cast<std::size_t>(width_),
+                  0.0);
+    basis_.resize(static_cast<std::size_t>(m_));
+    for (int i = 0; i < m_; ++i) {
+      for (const auto& [var, coeff] : problem.rows[static_cast<std::size_t>(i)].coeffs) {
+        at(i, var) = coeff;
+      }
+      at(i, n_ + i) = 1.0;  // slack
+      at(i, n_ + m_) = problem.rows[static_cast<std::size_t>(i)].rhs;
+      basis_[static_cast<std::size_t>(i)] = n_ + i;
+    }
+    for (int j = 0; j < n_; ++j) {
+      at(m_, j) = -problem.objective[static_cast<std::size_t>(j)];
+    }
+  }
+
+  double& at(int row, int col) {
+    return cells_[static_cast<std::size_t>(row) *
+                      static_cast<std::size_t>(width_) +
+                  static_cast<std::size_t>(col)];
+  }
+  [[nodiscard]] double get(int row, int col) const {
+    return cells_[static_cast<std::size_t>(row) *
+                      static_cast<std::size_t>(width_) +
+                  static_cast<std::size_t>(col)];
+  }
+
+  [[nodiscard]] int rows() const noexcept { return m_; }
+  [[nodiscard]] int vars() const noexcept { return n_; }
+  [[nodiscard]] int rhs_col() const noexcept { return n_ + m_; }
+  [[nodiscard]] int total_cols() const noexcept { return n_ + m_; }
+  [[nodiscard]] int basis(int row) const {
+    return basis_[static_cast<std::size_t>(row)];
+  }
+
+  void pivot(int pivot_row, int pivot_col) {
+    const double pivot_value = get(pivot_row, pivot_col);
+    const double inv = 1.0 / pivot_value;
+    for (int j = 0; j <= rhs_col(); ++j) at(pivot_row, j) *= inv;
+    for (int i = 0; i <= m_; ++i) {
+      if (i == pivot_row) continue;
+      const double factor = get(i, pivot_col);
+      if (factor == 0.0) continue;
+      for (int j = 0; j <= rhs_col(); ++j) {
+        at(i, j) -= factor * get(pivot_row, j);
+      }
+    }
+    basis_[static_cast<std::size_t>(pivot_row)] = pivot_col;
+  }
+
+ private:
+  int m_;
+  int n_;
+  int width_;
+  std::vector<double> cells_;
+  std::vector<int> basis_;
+};
+
+}  // namespace
+
+LpSolution solve_lp(const LpProblem& problem, SimplexOptions options) {
+  problem.validate();
+  Tableau tab(problem);
+  const int m = tab.rows();
+  const int n = tab.vars();
+  const double eps = options.eps;
+
+  LpSolution solution;
+  int iteration = 0;
+  for (; iteration < options.max_iterations; ++iteration) {
+    // --- Pricing: pick the entering column. ---
+    int entering = -1;
+    if (iteration < options.bland_after) {
+      double most_negative = -eps;
+      for (int j = 0; j < tab.total_cols(); ++j) {
+        const double reduced = tab.get(m, j);
+        if (reduced < most_negative) {
+          most_negative = reduced;
+          entering = j;
+        }
+      }
+    } else {
+      for (int j = 0; j < tab.total_cols(); ++j) {  // Bland: lowest index
+        if (tab.get(m, j) < -eps) {
+          entering = j;
+          break;
+        }
+      }
+    }
+    if (entering == -1) {
+      solution.status = LpStatus::kOptimal;
+      break;
+    }
+
+    // --- Ratio test: pick the leaving row. ---
+    int leaving = -1;
+    double best_ratio = std::numeric_limits<double>::infinity();
+    for (int i = 0; i < m; ++i) {
+      const double a = tab.get(i, entering);
+      if (a <= eps) continue;
+      const double ratio = tab.get(i, tab.rhs_col()) / a;
+      if (ratio < best_ratio - eps ||
+          (ratio < best_ratio + eps &&
+           (leaving == -1 || tab.basis(i) < tab.basis(leaving)))) {
+        best_ratio = ratio;
+        leaving = i;
+      }
+    }
+    if (leaving == -1) {
+      solution.status = LpStatus::kUnbounded;
+      return solution;
+    }
+    tab.pivot(leaving, entering);
+  }
+  if (iteration >= options.max_iterations) {
+    solution.status = LpStatus::kIterationLimit;
+  }
+
+  // --- Extract primal values, objective and duals. ---
+  solution.x.assign(static_cast<std::size_t>(n), 0.0);
+  for (int i = 0; i < m; ++i) {
+    const int var = tab.basis(i);
+    if (var < n) {
+      solution.x[static_cast<std::size_t>(var)] = tab.get(i, tab.rhs_col());
+    }
+  }
+  solution.objective = 0.0;
+  for (int j = 0; j < n; ++j) {
+    solution.objective +=
+        problem.objective[static_cast<std::size_t>(j)] *
+        solution.x[static_cast<std::size_t>(j)];
+  }
+  solution.duals.assign(static_cast<std::size_t>(m), 0.0);
+  for (int i = 0; i < m; ++i) {
+    // Shadow price of row i = reduced cost of its slack column.
+    solution.duals[static_cast<std::size_t>(i)] =
+        std::max(0.0, tab.get(m, n + i));
+  }
+  return solution;
+}
+
+}  // namespace lorasched::solver

@@ -1,0 +1,26 @@
+// Dense primal simplex for LpProblem.
+//
+// Dantzig pricing with a Bland's-rule fallback once the iteration count
+// passes a threshold (guarantees termination under degeneracy). Returns
+// both the primal solution and the row duals — the duals drive column
+// generation (colgen.h) and the paper's shadow-price interpretation of
+// payments.
+#pragma once
+
+#include "lorasched/solver/lp.h"
+
+namespace lorasched::solver {
+
+struct SimplexOptions {
+  int max_iterations = 200000;
+  /// Switch from Dantzig to Bland after this many iterations.
+  int bland_after = 20000;
+  double eps = 1e-9;
+};
+
+/// Solves the LP; the problem is validated first (throws on malformed
+/// input). Status kIterationLimit returns the best basis found so far.
+[[nodiscard]] LpSolution solve_lp(const LpProblem& problem,
+                                  SimplexOptions options = {});
+
+}  // namespace lorasched::solver

@@ -1,0 +1,21 @@
+// Shared primitive aliases used across all lorasched modules.
+#pragma once
+
+#include <cstdint>
+
+namespace lorasched {
+
+/// Discrete time slot index (the paper: 144 x 10-minute slots per day).
+using Slot = std::int32_t;
+/// Task (bid) identifier, dense from 0.
+using TaskId = std::int32_t;
+/// Compute-node identifier, dense from 0.
+using NodeId = std::int32_t;
+/// Labor-vendor index, dense from 0; -1 means "no vendor".
+using VendorId = std::int32_t;
+/// Monetary amounts (bids, payments, costs) in abstract currency units.
+using Money = double;
+
+inline constexpr VendorId kNoVendor = -1;
+
+}  // namespace lorasched

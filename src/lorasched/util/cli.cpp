@@ -1,0 +1,64 @@
+#include "lorasched/util/cli.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace lorasched::util {
+
+Cli::Cli(int argc, const char* const* argv) {
+  if (argc > 0) program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    std::string token = argv[i];
+    if (token.rfind("--", 0) != 0) {
+      throw std::invalid_argument("unexpected positional argument: " + token);
+    }
+    token.erase(0, 2);
+    const auto eq = token.find('=');
+    if (eq != std::string::npos) {
+      values_[token.substr(0, eq)] = token.substr(eq + 1);
+      continue;
+    }
+    // `--flag value` unless the next token is another flag (boolean switch).
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      values_[token] = argv[++i];
+    } else {
+      values_[token] = "true";
+    }
+  }
+}
+
+std::string Cli::get(const std::string& name, const std::string& fallback) const {
+  const auto it = values_.find(name);
+  return it == values_.end() ? fallback : it->second;
+}
+
+double Cli::get_double(const std::string& name, double fallback) const {
+  const auto it = values_.find(name);
+  return it == values_.end() ? fallback : std::stod(it->second);
+}
+
+long Cli::get_int(const std::string& name, long fallback) const {
+  const auto it = values_.find(name);
+  return it == values_.end() ? fallback : std::stol(it->second);
+}
+
+bool Cli::get_bool(const std::string& name, bool fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+bool Cli::has(const std::string& name) const {
+  return values_.count(name) != 0;
+}
+
+void Cli::allow_only(const std::vector<std::string>& names) const {
+  for (const auto& [key, value] : values_) {
+    (void)value;
+    if (std::find(names.begin(), names.end(), key) == names.end()) {
+      throw std::invalid_argument("unknown flag: --" + key);
+    }
+  }
+}
+
+}  // namespace lorasched::util

@@ -1,0 +1,37 @@
+// Minimal command-line flag parser for examples and bench binaries.
+//
+// Supports `--name value` and `--name=value` forms plus boolean switches.
+// Unknown flags raise an error so typos in experiment scripts fail loudly.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace lorasched::util {
+
+class Cli {
+ public:
+  Cli(int argc, const char* const* argv);
+
+  /// Returns the flag value or `fallback` if absent.
+  [[nodiscard]] std::string get(const std::string& name,
+                                const std::string& fallback) const;
+  [[nodiscard]] double get_double(const std::string& name,
+                                  double fallback) const;
+  [[nodiscard]] long get_int(const std::string& name, long fallback) const;
+  [[nodiscard]] bool get_bool(const std::string& name, bool fallback) const;
+  [[nodiscard]] bool has(const std::string& name) const;
+
+  /// Declares the set of accepted flags; throws std::invalid_argument if the
+  /// command line contained anything else. Call after construction.
+  void allow_only(const std::vector<std::string>& names) const;
+
+  [[nodiscard]] const std::string& program() const noexcept { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace lorasched::util

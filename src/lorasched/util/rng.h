@@ -1,0 +1,80 @@
+// Deterministic, seedable pseudo-random number generation.
+//
+// All stochastic inputs in lorasched (task generators, traces, vendor
+// quotes, baseline tie-breaking) are driven through util::Rng so that every
+// experiment is reproducible from a single 64-bit seed. The generator is
+// xoshiro256**, seeded via splitmix64, which is both fast and statistically
+// strong enough for simulation workloads.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace lorasched::util {
+
+/// Mixes a 64-bit value; used for seeding and for deriving independent
+/// substream seeds (e.g. one stream per task id).
+[[nodiscard]] std::uint64_t splitmix64(std::uint64_t& state) noexcept;
+
+/// xoshiro256** PRNG with convenience samplers.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) noexcept;
+
+  /// Derives an independent substream from this generator's seed and a
+  /// stream index, without perturbing this generator's state.
+  [[nodiscard]] Rng substream(std::uint64_t stream) const noexcept;
+
+  [[nodiscard]] std::uint64_t next() noexcept;
+
+  // UniformRandomBitGenerator interface (usable with <random> distributions).
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+  result_type operator()() noexcept { return next(); }
+
+  /// Uniform double in [0, 1).
+  [[nodiscard]] double uniform() noexcept;
+  /// Uniform double in [lo, hi).
+  [[nodiscard]] double uniform(double lo, double hi) noexcept;
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  [[nodiscard]] std::int64_t uniform_int(std::int64_t lo,
+                                         std::int64_t hi) noexcept;
+  /// Standard normal via Box-Muller.
+  [[nodiscard]] double normal(double mean = 0.0, double stddev = 1.0) noexcept;
+  /// Poisson-distributed count with the given mean (Knuth for small means,
+  /// normal approximation for large ones).
+  [[nodiscard]] int poisson(double mean) noexcept;
+  /// Exponential with the given rate (lambda).
+  [[nodiscard]] double exponential(double rate) noexcept;
+  /// Bernoulli trial.
+  [[nodiscard]] bool bernoulli(double p) noexcept;
+  /// Index sampled proportionally to the (non-negative) weights.
+  [[nodiscard]] std::size_t weighted_index(const std::vector<double>& weights) noexcept;
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& items) noexcept {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      const auto j = static_cast<std::size_t>(
+          uniform_int(0, static_cast<std::int64_t>(i) - 1));
+      using std::swap;
+      swap(items[i - 1], items[j]);
+    }
+  }
+
+  [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
+
+ private:
+  std::uint64_t seed_;
+  std::array<std::uint64_t, 4> state_{};
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+}  // namespace lorasched::util

@@ -1,0 +1,98 @@
+#include "lorasched/util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace lorasched::util {
+
+double sum(std::span<const double> values) noexcept {
+  double total = 0.0;
+  for (double v : values) total += v;
+  return total;
+}
+
+double mean(std::span<const double> values) noexcept {
+  if (values.empty()) return 0.0;
+  return sum(values) / static_cast<double>(values.size());
+}
+
+double variance(std::span<const double> values) noexcept {
+  if (values.size() < 2) return 0.0;
+  const double m = mean(values);
+  double acc = 0.0;
+  for (double v : values) acc += (v - m) * (v - m);
+  return acc / static_cast<double>(values.size() - 1);
+}
+
+double stddev(std::span<const double> values) noexcept {
+  return std::sqrt(variance(values));
+}
+
+double min_value(std::span<const double> values) noexcept {
+  double best = std::numeric_limits<double>::infinity();
+  for (double v : values) best = std::min(best, v);
+  return best;
+}
+
+double max_value(std::span<const double> values) noexcept {
+  double best = -std::numeric_limits<double>::infinity();
+  for (double v : values) best = std::max(best, v);
+  return best;
+}
+
+double percentile(std::span<const double> values, double p) {
+  if (values.empty()) throw std::invalid_argument("percentile of empty sample");
+  if (p < 0.0 || p > 100.0) throw std::invalid_argument("percentile out of range");
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) return sorted.front();
+  const double rank = (p / 100.0) * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const auto hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+std::vector<CdfPoint> empirical_cdf(std::span<const double> values,
+                                    std::size_t max_points) {
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<CdfPoint> cdf;
+  if (sorted.empty()) return cdf;
+  const std::size_t n = sorted.size();
+  std::size_t step = 1;
+  if (max_points != 0 && n > max_points) step = n / max_points;
+  for (std::size_t i = 0; i < n; i += step) {
+    cdf.push_back({sorted[i],
+                   static_cast<double>(i + 1) / static_cast<double>(n)});
+  }
+  if (cdf.back().value != sorted.back() || cdf.back().fraction != 1.0) {
+    cdf.push_back({sorted.back(), 1.0});
+  }
+  return cdf;
+}
+
+void RunningStats::add(double value) noexcept {
+  if (count_ == 0) {
+    min_ = value;
+    max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  const double delta = value - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (value - mean_);
+}
+
+double RunningStats::variance() const noexcept {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+}  // namespace lorasched::util

@@ -1,0 +1,51 @@
+// Small descriptive-statistics helpers used by the benchmark harness and by
+// tests (means, percentiles, empirical CDFs, online accumulators).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace lorasched::util {
+
+[[nodiscard]] double mean(std::span<const double> values) noexcept;
+[[nodiscard]] double variance(std::span<const double> values) noexcept;
+[[nodiscard]] double stddev(std::span<const double> values) noexcept;
+[[nodiscard]] double min_value(std::span<const double> values) noexcept;
+[[nodiscard]] double max_value(std::span<const double> values) noexcept;
+[[nodiscard]] double sum(std::span<const double> values) noexcept;
+
+/// Linear-interpolation percentile, p in [0, 100]. Copies and sorts.
+[[nodiscard]] double percentile(std::span<const double> values, double p);
+
+/// One point of an empirical CDF.
+struct CdfPoint {
+  double value = 0.0;
+  double fraction = 0.0;  ///< P(X <= value)
+};
+
+/// Empirical CDF of the sample, optionally downsampled to at most
+/// `max_points` evenly spaced points (0 = keep all).
+[[nodiscard]] std::vector<CdfPoint> empirical_cdf(
+    std::span<const double> values, std::size_t max_points = 0);
+
+/// Welford online mean/variance accumulator.
+class RunningStats {
+ public:
+  void add(double value) noexcept;
+  [[nodiscard]] std::size_t count() const noexcept { return count_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace lorasched::util

@@ -1,0 +1,46 @@
+// Console table and CSV emission for the benchmark harness.
+//
+// Every figure-reproduction binary prints an aligned table (the "series the
+// paper reports") to stdout and can optionally dump the same rows as CSV.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace lorasched::util {
+
+/// A simple column-aligned text table with a title and a header row.
+class Table {
+ public:
+  Table(std::string title, std::vector<std::string> header);
+
+  /// Adds one row; the number of cells must match the header width.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  [[nodiscard]] static std::string num(double value, int precision = 3);
+  /// Formats a ratio as a percentage string, e.g. 0.489 -> "48.90%".
+  [[nodiscard]] static std::string pct(double ratio, int precision = 2);
+
+  /// Renders to the stream with aligned columns and a rule under the header.
+  void print(std::ostream& os) const;
+  /// Renders as CSV (header + rows, comma separated, quotes where needed).
+  void write_csv(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+  [[nodiscard]] const std::vector<std::string>& header() const noexcept {
+    return header_;
+  }
+  [[nodiscard]] const std::vector<std::vector<std::string>>& data()
+      const noexcept {
+    return rows_;
+  }
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace lorasched::util

@@ -1,0 +1,67 @@
+#include "lorasched/util/threadpool.h"
+
+#include <algorithm>
+
+namespace lorasched::util {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutting_down_ = true;
+  }
+  job_ready_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::submit(std::function<void()> job) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    jobs_.push(std::move(job));
+    ++in_flight_;
+  }
+  job_ready_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      job_ready_.wait(lock, [this] { return shutting_down_ || !jobs_.empty(); });
+      if (jobs_.empty()) return;  // shutting down
+      job = std::move(jobs_.front());
+      jobs_.pop();
+    }
+    job();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --in_flight_;
+      if (in_flight_ == 0) all_done_.notify_all();
+    }
+  }
+}
+
+void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& body) {
+  for (std::size_t i = begin; i < end; ++i) {
+    pool.submit([i, &body] { body(i); });
+  }
+  pool.wait_idle();
+}
+
+}  // namespace lorasched::util

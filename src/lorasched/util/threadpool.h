@@ -1,0 +1,55 @@
+// Fixed-size worker pool with a `parallel_for` helper.
+//
+// Benchmarks sweep many (seed, scenario) cells; cells are independent, so we
+// farm them out across hardware threads. The pool is also used by the
+// offline column-generation solver to price multiple tasks concurrently.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace lorasched::util {
+
+class ThreadPool {
+ public:
+  /// `threads == 0` uses std::thread::hardware_concurrency() (min 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a job for asynchronous execution.
+  void submit(std::function<void()> job);
+
+  /// Blocks until every submitted job has finished.
+  void wait_idle();
+
+  [[nodiscard]] std::size_t thread_count() const noexcept {
+    return workers_.size();
+  }
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> jobs_;
+  std::mutex mutex_;
+  std::condition_variable job_ready_;
+  std::condition_variable all_done_;
+  std::size_t in_flight_ = 0;
+  bool shutting_down_ = false;
+};
+
+/// Runs body(i) for i in [begin, end) across the pool's workers and blocks
+/// until all iterations complete. Exceptions from the body terminate (the
+/// body is expected to capture its own failures, as in offloaded kernels).
+void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& body);
+
+}  // namespace lorasched::util

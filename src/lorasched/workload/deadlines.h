@@ -1,0 +1,40 @@
+// Deadline generation (paper Fig. 9: tight / medium / slack).
+//
+// A task's minimum runtime is ceil(M_i / max_k s_ik) slots; the deadline is
+// arrival + prep allowance + slack_factor * minimum runtime (+ jitter),
+// clamped to the horizon. Tight deadlines force execution at whatever the
+// current operational cost is; slack deadlines let the scheduler chase
+// off-peak slots.
+#pragma once
+
+#include <string>
+
+#include "lorasched/cluster/cluster.h"
+#include "lorasched/types.h"
+#include "lorasched/util/rng.h"
+#include "lorasched/workload/task.h"
+
+namespace lorasched {
+
+enum class DeadlineKind { kTight, kMedium, kSlack };
+
+[[nodiscard]] std::string to_string(DeadlineKind kind);
+
+struct DeadlineModel {
+  DeadlineKind kind = DeadlineKind::kMedium;
+  /// Extra slots budgeted for possible data pre-processing.
+  Slot prep_allowance = 8;
+
+  [[nodiscard]] double slack_factor() const noexcept;
+
+  /// Minimum number of slots the task needs on its fastest node.
+  [[nodiscard]] static Slot min_runtime_slots(const Task& task,
+                                              const Cluster& cluster);
+
+  /// Draws a deadline for the task (requires arrival/work/compute_share to
+  /// be set); result is clamped to [arrival + 1, horizon - 1].
+  [[nodiscard]] Slot draw(const Task& task, const Cluster& cluster,
+                          Slot horizon, util::Rng& rng) const;
+};
+
+}  // namespace lorasched

@@ -1,0 +1,40 @@
+// The fine-tuning task (bid) record — the paper's {a_i, d_i, D_i, r_i, M_i,
+// f_i, b_i} tuple plus the batch-derived compute share used to derive the
+// per-node rate s_ik.
+#pragma once
+
+#include "lorasched/types.h"
+
+namespace lorasched {
+
+struct Task {
+  TaskId id = 0;
+  /// Arrival slot a_i; the provider must decide at this slot.
+  Slot arrival = 0;
+  /// Deadline slot d_i (inclusive); all execution must satisfy t <= d_i.
+  Slot deadline = 0;
+  /// |D_i| — number of training samples in the task's dataset.
+  double dataset_samples = 0.0;
+  /// Number of fine-tuning epochs (paper: uniform in {1..5}).
+  int epochs = 1;
+  /// M_i — total computation demand in samples (dataset_samples * epochs).
+  double work = 0.0;
+  /// r_i — GPU memory the task's LoRA adapter state needs, in GB.
+  double mem_gb = 0.0;
+  /// Fraction of a node's per-slot sample throughput this task consumes when
+  /// running (set by the task's batch size); s_ik = compute_share * C_kp.
+  double compute_share = 0.25;
+  /// f_i — whether the dataset must be pre-processed by a labor vendor first.
+  bool needs_prep = false;
+  /// Which pre-trained model the task fine-tunes (paper §2.1: tasks for
+  /// different base models run in different cluster "zones"). Index into
+  /// the MultiZoneAuction's zone list; single-zone setups leave it 0.
+  int model = 0;
+  /// b_i — the bidding price submitted with the task.
+  Money bid = 0.0;
+  /// v_i — the user's true valuation. Under truthful bidding bid == value;
+  /// the truthfulness experiments perturb `bid` while keeping `true_value`.
+  Money true_value = 0.0;
+};
+
+}  // namespace lorasched

@@ -1,0 +1,94 @@
+#include "lorasched/workload/traces.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "lorasched/util/rng.h"
+
+namespace lorasched {
+
+std::string to_string(TraceKind kind) {
+  switch (kind) {
+    case TraceKind::kMLaaS: return "MLaaS";
+    case TraceKind::kPhilly: return "Philly";
+    case TraceKind::kHelios: return "Helios";
+  }
+  throw std::logic_error("unknown TraceKind");
+}
+
+namespace {
+
+constexpr double kTwoPi = 2.0 * 3.14159265358979323846;
+
+/// Fraction of the day for slot t when the horizon covers one day.
+double day_fraction(Slot t, Slot horizon) {
+  return static_cast<double>(t) / static_cast<double>(horizon);
+}
+
+void normalize_to_mean(std::vector<double>& rates, double target_mean) {
+  double total = 0.0;
+  for (double r : rates) total += r;
+  if (total <= 0.0) throw std::logic_error("trace produced a zero rate curve");
+  const double scale =
+      target_mean * static_cast<double>(rates.size()) / total;
+  for (double& r : rates) r *= scale;
+}
+
+}  // namespace
+
+std::vector<double> trace_rates(TraceKind kind, Slot horizon, double base_rate,
+                                std::uint64_t seed) {
+  if (horizon <= 0) throw std::invalid_argument("horizon must be positive");
+  if (base_rate < 0.0) throw std::invalid_argument("negative base rate");
+  std::vector<double> rates(static_cast<std::size_t>(horizon), 0.0);
+  util::Rng rng(seed ^ 0x7261746573ull);
+
+  switch (kind) {
+    case TraceKind::kMLaaS: {
+      // Heavy steady floor with a mild afternoon swell and light noise.
+      for (Slot t = 0; t < horizon; ++t) {
+        const double day = day_fraction(t, horizon);
+        const double diurnal = 1.0 + 0.25 * std::sin(kTwoPi * (day - 0.3));
+        rates[static_cast<std::size_t>(t)] =
+            diurnal * (0.9 + 0.2 * rng.uniform());
+      }
+      break;
+    }
+    case TraceKind::kPhilly: {
+      // Business-hours peak: two Gaussian bumps (10:00 and 15:30) on a low
+      // overnight floor.
+      for (Slot t = 0; t < horizon; ++t) {
+        const double day = day_fraction(t, horizon);
+        auto bump = [day](double center, double width, double height) {
+          const double d = (day - center) / width;
+          return height * std::exp(-0.5 * d * d);
+        };
+        rates[static_cast<std::size_t>(t)] =
+            (0.25 + bump(10.0 / 24.0, 0.07, 1.8) +
+             bump(15.5 / 24.0, 0.09, 1.5)) *
+            (0.9 + 0.2 * rng.uniform());
+      }
+      break;
+    }
+    case TraceKind::kHelios: {
+      // Moderate floor plus seeded submission bursts (3-5x for 2-4 slots).
+      for (Slot t = 0; t < horizon; ++t) {
+        rates[static_cast<std::size_t>(t)] = 0.6 + 0.1 * rng.uniform();
+      }
+      const int bursts = static_cast<int>(rng.uniform_int(6, 10));
+      for (int b = 0; b < bursts; ++b) {
+        const Slot start = static_cast<Slot>(rng.uniform_int(0, horizon - 1));
+        const Slot len = static_cast<Slot>(rng.uniform_int(2, 4));
+        const double height = rng.uniform(3.0, 5.0);
+        for (Slot t = start; t < std::min<Slot>(horizon, start + len); ++t) {
+          rates[static_cast<std::size_t>(t)] += height;
+        }
+      }
+      break;
+    }
+  }
+  normalize_to_mean(rates, base_rate);
+  return rates;
+}
+
+}  // namespace lorasched

@@ -1,0 +1,31 @@
+// Arrival-rate shapes for the Fig. 7 trace experiments.
+//
+// The paper replays per-slot arrival counts from three public cluster
+// traces: MLaaS (Alibaba), Philly (Microsoft) and Helios (SenseTime). The
+// raw traces are not redistributable, so we substitute shape generators
+// reproducing each trace's published diurnal character (see DESIGN.md §3):
+//   * MLaaS  — high volume, mild diurnality, steady submission floor;
+//   * Philly — pronounced business-hours peak, quiet nights;
+//   * Helios — bursty: a moderate floor punctuated by submission spikes.
+// Every generator is normalized so the mean per-slot rate equals
+// `base_rate`, making the three traces comparable at equal load.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lorasched/types.h"
+
+namespace lorasched {
+
+enum class TraceKind { kMLaaS, kPhilly, kHelios };
+
+[[nodiscard]] std::string to_string(TraceKind kind);
+
+/// Per-slot Poisson arrival rates for the trace shape; deterministic in
+/// (kind, horizon, base_rate, seed) and with mean ≈ base_rate.
+[[nodiscard]] std::vector<double> trace_rates(TraceKind kind, Slot horizon,
+                                              double base_rate,
+                                              std::uint64_t seed);
+
+}  // namespace lorasched

@@ -1,0 +1,51 @@
+#include "lorasched/workload/vendor.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace lorasched {
+
+Marketplace::Marketplace(Config config, std::uint64_t seed)
+    : config_(config), base_rng_(seed) {
+  if (config_.vendor_count <= 0) {
+    throw std::invalid_argument("marketplace needs at least one vendor");
+  }
+  if (config_.price_lo < 0.0 || config_.price_hi < config_.price_lo) {
+    throw std::invalid_argument("vendor prices must satisfy 0 <= lo <= hi");
+  }
+  if (config_.delay_lo < 0 || config_.delay_hi < config_.delay_lo) {
+    throw std::invalid_argument("vendor delays must satisfy 0 <= lo <= hi");
+  }
+}
+
+std::vector<VendorQuote> Marketplace::quotes(const Task& task) const {
+  std::vector<VendorQuote> result;
+  if (!task.needs_prep) return result;
+  result.reserve(static_cast<std::size_t>(config_.vendor_count));
+  util::Rng rng = base_rng_.substream(static_cast<std::uint64_t>(task.id));
+  const int n = config_.vendor_count;
+  for (int v = 0; v < n; ++v) {
+    // Vendor v's position on the price/delay tradeoff: v=0 cheapest+slowest.
+    const double pos = n == 1 ? 0.5 : static_cast<double>(v) / (n - 1);
+    const double rate =
+        config_.price_lo + pos * (config_.price_hi - config_.price_lo);
+    const double jitter =
+        1.0 + config_.price_jitter * (rng.uniform() * 2.0 - 1.0);
+    const double delay_span = static_cast<double>(config_.delay_hi - config_.delay_lo);
+    const Slot delay = config_.delay_lo +
+                       static_cast<Slot>((1.0 - pos) * delay_span + 0.5) +
+                       static_cast<Slot>(rng.uniform_int(0, 1));
+    VendorQuote quote;
+    quote.price = std::max(0.0, rate * (task.dataset_samples / 1000.0) * jitter);
+    quote.delay = delay;
+    result.push_back(quote);
+  }
+  return result;
+}
+
+Money Marketplace::mean_price(double dataset_samples) const noexcept {
+  const double mid_rate = 0.5 * (config_.price_lo + config_.price_hi);
+  return mid_rate * dataset_samples / 1000.0;
+}
+
+}  // namespace lorasched

@@ -1,0 +1,58 @@
+// Data pre-processing marketplace.
+//
+// When an admitted task has f_i = 1, the provider must select exactly one
+// labor vendor n, pay its price q_in, and wait h_in slots before fine-tuning
+// can start (paper constraints (4a) and (4c)). Vendors quote per task:
+// cheap vendors are slow, fast vendors are expensive, so vendor choice
+// interacts with deadlines and with time-of-use energy prices.
+#pragma once
+
+#include <vector>
+
+#include "lorasched/types.h"
+#include "lorasched/util/rng.h"
+#include "lorasched/workload/task.h"
+
+namespace lorasched {
+
+/// One vendor's offer for one task: price q_in and delay h_in.
+struct VendorQuote {
+  Money price = 0.0;
+  Slot delay = 0;
+};
+
+class Marketplace {
+ public:
+  struct Config {
+    int vendor_count = 5;
+    /// Vendor base price per 1000 dataset samples, spread across vendors
+    /// between `price_lo` (slowest vendor) and `price_hi` (fastest vendor).
+    double price_lo = 0.05;
+    double price_hi = 0.18;
+    /// Delay in slots, spread from `delay_hi` (cheapest) down to `delay_lo`.
+    Slot delay_lo = 1;
+    Slot delay_hi = 8;
+    /// Multiplicative jitter applied per (task, vendor) quote.
+    double price_jitter = 0.2;
+  };
+
+  Marketplace(Config config, std::uint64_t seed);
+
+  [[nodiscard]] int vendor_count() const noexcept { return config_.vendor_count; }
+
+  /// Quotes for all vendors for this task; deterministic in (seed, task.id).
+  /// Empty when the task needs no pre-processing.
+  [[nodiscard]] std::vector<VendorQuote> quotes(const Task& task) const;
+
+  /// Mean quoted price for a task of the given dataset size (used for bid
+  /// calibration by the task generator).
+  [[nodiscard]] Money mean_price(double dataset_samples) const noexcept;
+
+  [[nodiscard]] const Config& config() const noexcept { return config_; }
+
+ private:
+  Config config_;
+  util::Rng base_rng_;
+};
+
+}  // namespace lorasched

@@ -1,0 +1,199 @@
+// Tests for the comparison baselines: greedy EFT placement, NTM exclusivity,
+// and the Titan per-slot batch MILP.
+#include <gtest/gtest.h>
+
+#include "lorasched/baselines/eft.h"
+#include "lorasched/baselines/greedy_common.h"
+#include "lorasched/baselines/ntm.h"
+#include "lorasched/baselines/titan.h"
+#include "lorasched/sim/engine.h"
+#include "test_helpers.h"
+
+namespace lorasched {
+namespace {
+
+using testing::flat_energy;
+using testing::hetero_cluster;
+using testing::make_task;
+using testing::mini_cluster;
+
+TEST(GreedyEarliestFinish, PicksEarliestSlotsOnFastestNode) {
+  const Cluster cluster = hetero_cluster();  // node 0 fast (rate 1000)
+  const EnergyModel energy = flat_energy();
+  const CapacityLedger ledger(cluster, 20);
+  const Task task = make_task(0, 3, 15, 2500.0, 2.0, 0.5);
+  const Schedule schedule =
+      greedy_earliest_finish(task, 3, cluster, energy, ledger, false);
+  ASSERT_EQ(schedule.run.size(), 3u);  // ceil(2500/1000)
+  EXPECT_EQ(schedule.run[0].slot, 3);
+  EXPECT_EQ(schedule.run[1].slot, 4);
+  EXPECT_EQ(schedule.run[2].slot, 5);
+  for (const Assignment& a : schedule.run) EXPECT_EQ(a.node, 0);
+}
+
+TEST(GreedyEarliestFinish, SkipsSaturatedSlots) {
+  const Cluster cluster = mini_cluster(1);
+  const EnergyModel energy = flat_energy();
+  CapacityLedger ledger(cluster, 20);
+  ledger.reserve(0, 3, 1000.0, 1.0);  // slot 3 full
+  const Task task = make_task(0, 3, 15, 900.0, 2.0, 0.5);
+  const Schedule schedule =
+      greedy_earliest_finish(task, 3, cluster, energy, ledger, false);
+  ASSERT_EQ(schedule.run.size(), 2u);
+  EXPECT_EQ(schedule.run[0].slot, 4);  // skipped the full slot
+}
+
+TEST(GreedyEarliestFinish, EmptyWhenDeadlineUnreachable) {
+  const Cluster cluster = mini_cluster(1);
+  const EnergyModel energy = flat_energy();
+  const CapacityLedger ledger(cluster, 20);
+  const Task task = make_task(0, 0, 2, 5000.0, 2.0, 0.5);  // needs 10 slots
+  EXPECT_TRUE(
+      greedy_earliest_finish(task, 0, cluster, energy, ledger, false).empty());
+}
+
+TEST(GreedyEarliestFinish, ExclusiveAvoidsOccupiedNodes) {
+  const Cluster cluster = mini_cluster(2);
+  const EnergyModel energy = flat_energy();
+  CapacityLedger ledger(cluster, 20);
+  ledger.reserve(0, 0, 100.0, 1.0);  // node 0 slot 0 has a tenant
+  const Task task = make_task(0, 0, 10, 400.0, 2.0, 0.5);
+  const Schedule schedule =
+      greedy_earliest_finish(task, 0, cluster, energy, ledger, true);
+  ASSERT_FALSE(schedule.empty());
+  EXPECT_TRUE(schedule.exclusive);
+  EXPECT_EQ(schedule.run[0].node, 1);  // the empty node
+  EXPECT_EQ(schedule.run[0].slot, 0);
+}
+
+Instance baseline_instance(std::vector<Task> tasks, int nodes = 2,
+                           Slot horizon = 24) {
+  Marketplace::Config market_config;
+  market_config.vendor_count = 3;
+  return Instance(mini_cluster(nodes), flat_energy(),
+                  Marketplace(market_config, 5), horizon, std::move(tasks));
+}
+
+TEST(Eft, AdmitsFeasibleTasksAndCompletesThem) {
+  std::vector<Task> tasks{make_task(0, 1, 12, 900.0, 2.0, 0.5, 5.0),
+                          make_task(1, 2, 14, 1400.0, 2.0, 0.5, 0.01)};
+  const Instance instance = baseline_instance(tasks);
+  EftPolicy policy;
+  const SimResult result = run_simulation(instance, policy);
+  // EFT admits regardless of economics — both tasks fit.
+  EXPECT_EQ(result.metrics.admitted, 2);
+  for (const TaskOutcome& o : result.outcomes) {
+    EXPECT_TRUE(o.admitted);
+  }
+}
+
+TEST(Eft, ChoosesFastestVendor) {
+  std::vector<Task> tasks{make_task(0, 1, 20, 900.0, 2.0, 0.5, 50.0)};
+  tasks[0].needs_prep = true;
+  tasks[0].dataset_samples = 900.0;
+  const Instance instance = baseline_instance(tasks);
+  EftPolicy policy;
+  const SimResult result = run_simulation(instance, policy);
+  ASSERT_EQ(result.metrics.admitted, 1);
+  const auto quotes = instance.market.quotes(instance.tasks[0]);
+  Slot min_delay = quotes[0].delay;
+  for (const auto& q : quotes) min_delay = std::min(min_delay, q.delay);
+  EXPECT_EQ(quotes[static_cast<std::size_t>(result.outcomes[0].vendor)].delay,
+            min_delay);
+}
+
+TEST(Ntm, OneTaskPerNodeSlot) {
+  // Three identical tasks, two nodes: with exclusive occupancy at most two
+  // can run in the same slot, so completions must stagger.
+  std::vector<Task> tasks{make_task(0, 0, 20, 900.0, 2.0, 0.5, 5.0),
+                          make_task(1, 0, 20, 900.0, 2.0, 0.5, 5.0),
+                          make_task(2, 0, 20, 900.0, 2.0, 0.5, 5.0)};
+  const Instance instance = baseline_instance(tasks);
+  NtmPolicy policy(3);
+  const SimResult result = run_simulation(instance, policy);
+  EXPECT_EQ(result.metrics.admitted, 3);
+  // 3 tasks x 2 slots each = 6 exclusive node-slots; min completion spread.
+  Slot latest = 0;
+  for (const TaskOutcome& o : result.outcomes) {
+    latest = std::max(latest, o.completion);
+  }
+  EXPECT_GE(latest, 3);  // forced serialization beyond the 2-slot minimum
+}
+
+TEST(Ntm, UnderutilizesComparedToEft) {
+  // Same workload: NTM's exclusivity admits no more than EFT's sharing.
+  std::vector<Task> tasks;
+  for (TaskId id = 0; id < 10; ++id) {
+    tasks.push_back(make_task(id, 0, 6, 900.0, 2.0, 0.5, 5.0));
+  }
+  const Instance instance = baseline_instance(tasks);
+  EftPolicy eft;
+  NtmPolicy ntm(3);
+  const SimResult eft_result = run_simulation(instance, eft);
+  const SimResult ntm_result = run_simulation(instance, ntm);
+  EXPECT_LE(ntm_result.metrics.admitted, eft_result.metrics.admitted);
+  EXPECT_LT(ntm_result.metrics.admitted, 10);  // exclusivity must bind
+}
+
+TEST(Titan, AdmitsFeasibleTasksRegardlessOfBids) {
+  // Titan is welfare-blind (paper §1): it packs feasible tasks whether or
+  // not their bids cover the cost.
+  std::vector<Task> tasks{make_task(0, 1, 12, 900.0, 2.0, 0.5, 5.0),
+                          make_task(1, 1, 12, 900.0, 2.0, 0.5, 0.0001)};
+  const Instance instance = baseline_instance(tasks);
+  TitanPolicy policy;
+  const SimResult result = run_simulation(instance, policy);
+  EXPECT_EQ(result.metrics.admitted, 2);
+}
+
+TEST(Titan, BatchRespectsJointCapacity) {
+  // Four tasks that each need half a node's memory for all slots of a
+  // narrow window; only a joint-feasible subset may be admitted.
+  std::vector<Task> tasks;
+  for (TaskId id = 0; id < 6; ++id) {
+    tasks.push_back(make_task(id, 0, 1, 800.0, 8.0, 0.4, 9.0));
+  }
+  const Instance instance = baseline_instance(tasks, 2, 8);
+  TitanPolicy policy;
+  const SimResult result = run_simulation(instance, policy);  // must not throw
+  // 2 nodes x 16 GB / 8 GB = 4 concurrent; window is 2 slots and each task
+  // needs both slots (800 work at 400/slot).
+  EXPECT_LE(result.metrics.admitted, 4);
+  EXPECT_GE(result.metrics.admitted, 1);
+}
+
+TEST(Titan, PacksAtLeastAsManyAsGreedyOnOneBatch) {
+  // On a single batch Titan's MILP selects among candidate plans that
+  // include EFT's greedy plan, so its admission count is at least EFT's.
+  std::vector<Task> tasks;
+  for (TaskId id = 0; id < 8; ++id) {
+    tasks.push_back(make_task(id, 0, 16, 1200.0, 3.0, 0.25,
+                              id % 2 == 0 ? 6.0 : 0.05));
+  }
+  const Instance instance = baseline_instance(tasks);
+  TitanPolicy titan;
+  EftPolicy eft;
+  const SimResult titan_result = run_simulation(instance, titan);
+  const SimResult eft_result = run_simulation(instance, eft);
+  EXPECT_GE(titan_result.metrics.admitted, eft_result.metrics.admitted);
+}
+
+TEST(Titan, HandlesEmptySlots) {
+  const Instance instance = baseline_instance({});
+  TitanPolicy policy;
+  const SimResult result = run_simulation(instance, policy);
+  EXPECT_EQ(result.metrics.admitted, 0);
+  EXPECT_EQ(result.metrics.rejected, 0);
+}
+
+TEST(PolicyNames, AreDistinct) {
+  EftPolicy eft;
+  NtmPolicy ntm;
+  TitanPolicy titan;
+  EXPECT_EQ(eft.name(), "EFT");
+  EXPECT_EQ(ntm.name(), "NTM");
+  EXPECT_EQ(titan.name(), "Titan");
+}
+
+}  // namespace
+}  // namespace lorasched

@@ -1,0 +1,185 @@
+#include "lorasched/solver/bnb.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace lorasched::solver {
+namespace {
+
+/// Exhaustive 0/1 reference solver for small MILPs.
+double brute_force(const MilpProblem& problem) {
+  const int n = problem.lp.num_vars();
+  double best = 0.0;
+  for (int mask = 0; mask < (1 << n); ++mask) {
+    bool feasible = true;
+    for (const auto& row : problem.lp.rows) {
+      double lhs = 0.0;
+      for (const auto& [var, coeff] : row.coeffs) {
+        if (mask & (1 << var)) lhs += coeff;
+      }
+      if (lhs > row.rhs + 1e-9) {
+        feasible = false;
+        break;
+      }
+    }
+    if (!feasible) continue;
+    double value = 0.0;
+    for (int j = 0; j < n; ++j) {
+      if (mask & (1 << j)) value += problem.lp.objective[static_cast<std::size_t>(j)];
+    }
+    best = std::max(best, value);
+  }
+  return best;
+}
+
+MilpProblem all_binary(LpProblem lp) {
+  MilpProblem milp;
+  milp.lp = std::move(lp);
+  for (int j = 0; j < milp.lp.num_vars(); ++j) milp.binary_vars.push_back(j);
+  return milp;
+}
+
+TEST(Bnb, SolvesClassicKnapsack) {
+  // values {10, 6, 4}, weights {5, 4, 3}, capacity 7 -> {10} + {4}? 5+3=8>7.
+  // best: {0}=10 or {1,2}=10 weight 7. Optimal = 10.
+  LpProblem lp;
+  lp.objective = {10.0, 6.0, 4.0};
+  lp.add_row({{0, 5.0}, {1, 4.0}, {2, 3.0}}, 7.0);
+  const MilpProblem milp = all_binary(std::move(lp));
+  const MilpSolution sol = solve_milp(milp);
+  ASSERT_TRUE(sol.found_incumbent);
+  EXPECT_TRUE(sol.proved_optimal);
+  EXPECT_NEAR(sol.objective, 10.0, 1e-9);
+  EXPECT_NEAR(sol.objective, brute_force(milp), 1e-9);
+}
+
+TEST(Bnb, RootBoundUpperBoundsOptimum) {
+  LpProblem lp;
+  lp.objective = {10.0, 6.0, 4.0};
+  lp.add_row({{0, 5.0}, {1, 4.0}, {2, 3.0}}, 7.0);
+  const MilpSolution sol = solve_milp(all_binary(std::move(lp)));
+  EXPECT_GE(sol.root_bound + 1e-9, sol.objective);
+}
+
+TEST(Bnb, SetPackingAgainstBruteForce) {
+  // 6 items, 3 conflicting groups.
+  LpProblem lp;
+  lp.objective = {5.0, 4.0, 3.0, 6.0, 2.0, 4.5};
+  lp.add_row({{0, 1.0}, {1, 1.0}, {2, 1.0}}, 1.0);
+  lp.add_row({{2, 1.0}, {3, 1.0}}, 1.0);
+  lp.add_row({{1, 1.0}, {4, 1.0}, {5, 1.0}}, 2.0);
+  const MilpProblem milp = all_binary(std::move(lp));
+  const MilpSolution sol = solve_milp(milp);
+  ASSERT_TRUE(sol.found_incumbent);
+  EXPECT_NEAR(sol.objective, brute_force(milp), 1e-9);
+}
+
+TEST(Bnb, InfeasibleFixingsPruned) {
+  // Both variables exceed the budget individually -> only empty solution.
+  LpProblem lp;
+  lp.objective = {3.0, 2.0};
+  lp.add_row({{0, 10.0}}, 4.0);
+  lp.add_row({{1, 10.0}}, 4.0);
+  const MilpSolution sol = solve_milp(all_binary(std::move(lp)));
+  ASSERT_TRUE(sol.found_incumbent);
+  EXPECT_NEAR(sol.objective, 0.0, 1e-9);
+}
+
+TEST(Bnb, IntegralRelaxationNeedsNoBranching) {
+  // Totally unimodular (assignment-like) constraints: LP is integral.
+  LpProblem lp;
+  lp.objective = {2.0, 3.0};
+  lp.add_row({{0, 1.0}}, 1.0);
+  lp.add_row({{1, 1.0}}, 1.0);
+  const MilpSolution sol = solve_milp(all_binary(std::move(lp)));
+  ASSERT_TRUE(sol.found_incumbent);
+  EXPECT_NEAR(sol.objective, 5.0, 1e-9);
+  EXPECT_LE(sol.nodes_explored, 3);
+}
+
+TEST(Bnb, MixedContinuousAndBinary) {
+  // max 4b + y s.t. b binary, y <= 2.5, b + y <= 3 -> b=1, y=2 -> 6.
+  LpProblem lp;
+  lp.objective = {4.0, 1.0};
+  lp.add_row({{1, 1.0}}, 2.5);
+  lp.add_row({{0, 1.0}, {1, 1.0}}, 3.0);
+  MilpProblem milp;
+  milp.lp = std::move(lp);
+  milp.binary_vars = {0};
+  const MilpSolution sol = solve_milp(milp);
+  ASSERT_TRUE(sol.found_incumbent);
+  EXPECT_NEAR(sol.objective, 6.0, 1e-9);
+  EXPECT_NEAR(sol.x[0], 1.0, 1e-9);
+  EXPECT_NEAR(sol.x[1], 2.0, 1e-9);
+}
+
+TEST(Bnb, NodeCapTruncatesButReportsIncumbent) {
+  // A 16-item knapsack with a tiny node budget: must not claim optimality.
+  LpProblem lp;
+  for (int j = 0; j < 16; ++j) {
+    lp.objective.push_back(1.0 + 0.1 * j);
+  }
+  LpProblem::Row row;
+  for (int j = 0; j < 16; ++j) row.coeffs.emplace_back(j, 1.0 + 0.07 * j);
+  row.rhs = 6.0;
+  lp.rows.push_back(row);
+  BnbOptions options;
+  options.max_nodes = 5;
+  const MilpSolution sol = solve_milp(all_binary(std::move(lp)), options);
+  EXPECT_FALSE(sol.proved_optimal);
+  EXPECT_LE(sol.nodes_explored, 5);
+}
+
+TEST(Bnb, RandomizedPackingMatchesBruteForce) {
+  std::uint64_t state = 777;
+  auto next = [&state]() {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    return static_cast<double>((state >> 33) & 0xffff) / 65535.0;
+  };
+  for (int trial = 0; trial < 12; ++trial) {
+    LpProblem lp;
+    const int n = 8;
+    for (int j = 0; j < n; ++j) lp.objective.push_back(1.0 + 5.0 * next());
+    for (int i = 0; i < 4; ++i) {
+      LpProblem::Row row;
+      for (int j = 0; j < n; ++j) {
+        if (next() < 0.5) row.coeffs.emplace_back(j, 0.5 + next());
+      }
+      row.rhs = 1.0 + 2.0 * next();
+      if (!row.coeffs.empty()) lp.rows.push_back(row);
+    }
+    const MilpProblem milp = all_binary(std::move(lp));
+    const MilpSolution sol = solve_milp(milp);
+    ASSERT_TRUE(sol.found_incumbent) << "trial " << trial;
+    EXPECT_NEAR(sol.objective, brute_force(milp), 1e-6) << "trial " << trial;
+  }
+}
+
+TEST(Bnb, RejectsBadBinaryIndex) {
+  LpProblem lp;
+  lp.objective = {1.0};
+  MilpProblem milp;
+  milp.lp = std::move(lp);
+  milp.binary_vars = {5};
+  EXPECT_THROW(solve_milp(milp), std::invalid_argument);
+}
+
+TEST(Bnb, SolutionVectorMatchesObjective) {
+  LpProblem lp;
+  lp.objective = {7.0, 3.0, 9.0};
+  lp.add_row({{0, 1.0}, {2, 1.0}}, 1.0);
+  lp.add_row({{1, 1.0}, {2, 1.0}}, 1.0);
+  const MilpProblem milp = all_binary(std::move(lp));
+  const MilpSolution sol = solve_milp(milp);
+  ASSERT_TRUE(sol.found_incumbent);
+  double recomputed = 0.0;
+  for (std::size_t j = 0; j < sol.x.size(); ++j) {
+    recomputed += sol.x[j] * milp.lp.objective[j];
+  }
+  EXPECT_NEAR(recomputed, sol.objective, 1e-9);
+}
+
+}  // namespace
+}  // namespace lorasched::solver

@@ -1,0 +1,73 @@
+#include "lorasched/util/cli.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace lorasched::util {
+namespace {
+
+Cli make_cli(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv{"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return Cli(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Cli, SpaceSeparatedValue) {
+  const Cli cli = make_cli({"--nodes", "100"});
+  EXPECT_EQ(cli.get_int("nodes", 0), 100);
+}
+
+TEST(Cli, EqualsSeparatedValue) {
+  const Cli cli = make_cli({"--rate=2.5"});
+  EXPECT_DOUBLE_EQ(cli.get_double("rate", 0.0), 2.5);
+}
+
+TEST(Cli, BooleanSwitch) {
+  const Cli cli = make_cli({"--csv"});
+  EXPECT_TRUE(cli.get_bool("csv", false));
+  EXPECT_TRUE(cli.has("csv"));
+}
+
+TEST(Cli, BooleanBeforeAnotherFlag) {
+  const Cli cli = make_cli({"--csv", "--nodes", "5"});
+  EXPECT_TRUE(cli.get_bool("csv", false));
+  EXPECT_EQ(cli.get_int("nodes", 0), 5);
+}
+
+TEST(Cli, FallbacksWhenAbsent) {
+  const Cli cli = make_cli({});
+  EXPECT_EQ(cli.get("name", "dflt"), "dflt");
+  EXPECT_EQ(cli.get_int("n", 7), 7);
+  EXPECT_DOUBLE_EQ(cli.get_double("x", 1.5), 1.5);
+  EXPECT_FALSE(cli.get_bool("b", false));
+  EXPECT_FALSE(cli.has("b"));
+}
+
+TEST(Cli, RejectsPositionalArguments) {
+  EXPECT_THROW(make_cli({"positional"}), std::invalid_argument);
+}
+
+TEST(Cli, AllowOnlyAcceptsKnownFlags) {
+  const Cli cli = make_cli({"--nodes", "5"});
+  EXPECT_NO_THROW(cli.allow_only({"nodes", "rate"}));
+}
+
+TEST(Cli, AllowOnlyRejectsUnknownFlags) {
+  const Cli cli = make_cli({"--typo", "5"});
+  EXPECT_THROW(cli.allow_only({"nodes"}), std::invalid_argument);
+}
+
+TEST(Cli, BoolStringVariants) {
+  EXPECT_TRUE(make_cli({"--f=1"}).get_bool("f", false));
+  EXPECT_TRUE(make_cli({"--f=yes"}).get_bool("f", false));
+  EXPECT_FALSE(make_cli({"--f=no"}).get_bool("f", true));
+}
+
+TEST(Cli, ProgramNameCaptured) {
+  const Cli cli = make_cli({});
+  EXPECT_EQ(cli.program(), "prog");
+}
+
+}  // namespace
+}  // namespace lorasched::util

@@ -1,0 +1,155 @@
+#include "lorasched/cluster/cluster.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "lorasched/cluster/capacity_ledger.h"
+#include "lorasched/cluster/gpu_profile.h"
+#include "test_helpers.h"
+
+namespace lorasched {
+namespace {
+
+using testing::make_task;
+using testing::mini_cluster;
+
+TEST(GpuProfile, PresetsMatchDesignNumbers) {
+  const GpuProfile a100 = a100_profile();
+  EXPECT_DOUBLE_EQ(a100.compute_per_slot, 43200.0);
+  EXPECT_DOUBLE_EQ(a100.mem_gb, 80.0);
+  const GpuProfile a40 = a40_profile();
+  EXPECT_DOUBLE_EQ(a40.compute_per_slot, 24000.0);
+  EXPECT_DOUBLE_EQ(a40.mem_gb, 48.0);
+  // A40 ~ 0.55x of A100 (the calibrated ratio).
+  EXPECT_NEAR(a40.compute_per_slot / a100.compute_per_slot, 0.55, 0.02);
+}
+
+TEST(GpuProfile, FleetComposition) {
+  const auto pure = make_fleet(FleetKind::kA100Only, 4);
+  ASSERT_EQ(pure.size(), 4u);
+  for (const auto& p : pure) EXPECT_EQ(p.name, "A100-80GB");
+  const auto hybrid = make_fleet(FleetKind::kHybrid, 4);
+  EXPECT_EQ(hybrid[0].name, "A100-80GB");
+  EXPECT_EQ(hybrid[1].name, "A40-48GB");
+}
+
+TEST(GpuProfile, FleetRejectsNonPositiveSize) {
+  EXPECT_THROW(make_fleet(FleetKind::kHybrid, 0), std::invalid_argument);
+}
+
+TEST(GpuProfile, ToStringNames) {
+  EXPECT_EQ(to_string(FleetKind::kA100Only), "A100");
+  EXPECT_EQ(to_string(FleetKind::kA40Only), "A40");
+  EXPECT_EQ(to_string(FleetKind::kHybrid), "hybrid");
+}
+
+TEST(Cluster, CapacitiesAndBaseModelSharing) {
+  const Cluster cluster = mini_cluster(2);
+  EXPECT_EQ(cluster.node_count(), 2);
+  EXPECT_DOUBLE_EQ(cluster.compute_capacity(0), 1000.0);
+  EXPECT_DOUBLE_EQ(cluster.mem_capacity(0), 20.0);
+  // Adapter memory excludes the shared base model r_b (constraint 4g).
+  EXPECT_DOUBLE_EQ(cluster.adapter_mem_capacity(0), 16.0);
+}
+
+TEST(Cluster, TaskRateIsShareOfNodeCapacity) {
+  const Cluster cluster = mini_cluster();
+  const Task task = make_task(0, 0, 10, 500.0, 2.0, 0.25);
+  EXPECT_DOUBLE_EQ(cluster.task_rate(task, 0), 250.0);
+}
+
+TEST(Cluster, HomogeneousNodesFormOneClass) {
+  const Cluster cluster = mini_cluster(3);
+  EXPECT_EQ(cluster.class_count(), 1);
+  EXPECT_EQ(cluster.class_nodes(0).size(), 3u);
+}
+
+TEST(Cluster, HeterogeneousNodesFormDistinctClasses) {
+  const Cluster cluster = testing::hetero_cluster();
+  EXPECT_EQ(cluster.class_count(), 2);
+  EXPECT_NE(cluster.node_class(0), cluster.node_class(1));
+  EXPECT_EQ(cluster.class_representative(cluster.node_class(0)), 0);
+}
+
+TEST(Cluster, TotalComputeSums) {
+  const Cluster cluster = testing::hetero_cluster();
+  EXPECT_DOUBLE_EQ(cluster.total_compute_per_slot(), 3000.0);
+}
+
+TEST(Cluster, RejectsInvalidConfigurations) {
+  EXPECT_THROW(Cluster({}, 4.0), std::invalid_argument);
+  EXPECT_THROW(Cluster({GpuProfile{"x", 100.0, 3.0, 0.1, 1.0}}, 4.0),
+               std::invalid_argument);  // no room for base model
+  EXPECT_THROW(Cluster({GpuProfile{"x", 0.0, 30.0, 0.1, 1.0}}, 4.0),
+               std::invalid_argument);  // zero compute
+}
+
+TEST(CapacityLedger, TracksComputeAndMemory) {
+  const Cluster cluster = mini_cluster();
+  CapacityLedger ledger(cluster, 10);
+  EXPECT_DOUBLE_EQ(ledger.remaining_compute(0, 0), 1000.0);
+  EXPECT_DOUBLE_EQ(ledger.remaining_mem(0, 0), 16.0);
+  ledger.reserve(0, 0, 400.0, 5.0);
+  EXPECT_DOUBLE_EQ(ledger.remaining_compute(0, 0), 600.0);
+  EXPECT_DOUBLE_EQ(ledger.remaining_mem(0, 0), 11.0);
+  EXPECT_EQ(ledger.tasks_on(0, 0), 1);
+  // Other cells are untouched.
+  EXPECT_DOUBLE_EQ(ledger.remaining_compute(0, 1), 1000.0);
+  EXPECT_DOUBLE_EQ(ledger.remaining_compute(1, 0), 1000.0);
+}
+
+TEST(CapacityLedger, FitsChecksBothResources) {
+  const Cluster cluster = mini_cluster();
+  CapacityLedger ledger(cluster, 4);
+  EXPECT_TRUE(ledger.fits(0, 0, 1000.0, 16.0));
+  EXPECT_FALSE(ledger.fits(0, 0, 1000.1, 1.0));
+  EXPECT_FALSE(ledger.fits(0, 0, 1.0, 16.1));
+}
+
+TEST(CapacityLedger, FitsRejectsOutOfRangeCells) {
+  const Cluster cluster = mini_cluster();
+  const CapacityLedger ledger(cluster, 4);
+  EXPECT_FALSE(ledger.fits(-1, 0, 1.0, 1.0));
+  EXPECT_FALSE(ledger.fits(2, 0, 1.0, 1.0));
+  EXPECT_FALSE(ledger.fits(0, 4, 1.0, 1.0));
+}
+
+TEST(CapacityLedger, ReserveThrowsWhenOverbooked) {
+  const Cluster cluster = mini_cluster();
+  CapacityLedger ledger(cluster, 4);
+  ledger.reserve(0, 0, 900.0, 4.0);
+  EXPECT_THROW(ledger.reserve(0, 0, 200.0, 4.0), std::logic_error);
+}
+
+TEST(CapacityLedger, ExclusiveReservationBlocksSharing) {
+  const Cluster cluster = mini_cluster();
+  CapacityLedger ledger(cluster, 4);
+  ledger.reserve(0, 0, 100.0, 2.0, /*exclusive=*/true);
+  EXPECT_FALSE(ledger.fits(0, 0, 100.0, 2.0));       // occupied at all
+  EXPECT_FALSE(ledger.fits(0, 0, 1.0, 0.1, true));   // exclusive onto busy
+  EXPECT_TRUE(ledger.fits(0, 1, 100.0, 2.0, true));  // next slot free
+}
+
+TEST(CapacityLedger, ExclusiveOntoSharedCellRejected) {
+  const Cluster cluster = mini_cluster();
+  CapacityLedger ledger(cluster, 4);
+  ledger.reserve(0, 0, 100.0, 2.0, /*exclusive=*/false);
+  EXPECT_FALSE(ledger.fits(0, 0, 100.0, 2.0, /*exclusive=*/true));
+}
+
+TEST(CapacityLedger, UtilizationAccounting) {
+  const Cluster cluster = mini_cluster(1);
+  CapacityLedger ledger(cluster, 2);
+  EXPECT_DOUBLE_EQ(ledger.compute_utilization(), 0.0);
+  ledger.reserve(0, 0, 1000.0, 1.0);
+  EXPECT_DOUBLE_EQ(ledger.compute_utilization(), 0.5);
+}
+
+TEST(CapacityLedger, RejectsNonPositiveHorizon) {
+  const Cluster cluster = mini_cluster();
+  EXPECT_THROW(CapacityLedger(cluster, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace lorasched

@@ -1,0 +1,116 @@
+// Tests for the offline column-generation bound (the Gurobi substitute) and
+// the empirical-competitive-ratio helper.
+#include "lorasched/solver/colgen.h"
+
+#include <gtest/gtest.h>
+
+#include "lorasched/baselines/offline.h"
+#include "lorasched/core/pdftsp.h"
+#include "lorasched/experiments/scenario.h"
+#include "lorasched/sim/engine.h"
+#include "test_helpers.h"
+
+namespace lorasched {
+namespace {
+
+using testing::flat_energy;
+using testing::make_task;
+using testing::mini_cluster;
+
+Instance offline_instance(std::vector<Task> tasks, int nodes = 2,
+                          Slot horizon = 16) {
+  return Instance(mini_cluster(nodes), flat_energy(),
+                  Marketplace(Marketplace::Config{}, 5), horizon,
+                  std::move(tasks));
+}
+
+TEST(Colgen, EmptyInstanceIsTriviallyOptimal) {
+  const Instance instance = offline_instance({});
+  const OfflineBound bound = solve_offline(instance);
+  EXPECT_TRUE(bound.converged);
+  EXPECT_EQ(bound.lp_bound, 0.0);
+  EXPECT_EQ(bound.integer_value, 0.0);
+}
+
+TEST(Colgen, SingleProfitableTaskFullyCaptured) {
+  // One task, plenty of room: OPT = bid - min energy cost.
+  std::vector<Task> tasks{make_task(0, 0, 12, 900.0, 2.0, 0.5, 5.0)};
+  const Instance instance = offline_instance(tasks);
+  const OfflineBound bound = solve_offline(instance);
+  EXPECT_TRUE(bound.converged);
+  // 2 slots * e(0.1) = 0.2 energy => welfare 4.8.
+  EXPECT_NEAR(bound.integer_value, 4.8, 1e-6);
+  EXPECT_NEAR(bound.lp_bound, 4.8, 1e-6);
+}
+
+TEST(Colgen, UnprofitableTaskExcluded) {
+  std::vector<Task> tasks{make_task(0, 0, 12, 900.0, 2.0, 0.5, 0.01)};
+  const Instance instance = offline_instance(tasks);
+  const OfflineBound bound = solve_offline(instance);
+  EXPECT_TRUE(bound.converged);
+  EXPECT_EQ(bound.integer_value, 0.0);
+}
+
+TEST(Colgen, LpBoundDominatesIntegerValue) {
+  std::vector<Task> tasks;
+  for (TaskId id = 0; id < 8; ++id) {
+    tasks.push_back(make_task(id, id % 4, 14, 1100.0, 6.0, 0.5, 4.0 + id));
+  }
+  const Instance instance = offline_instance(tasks);
+  const OfflineBound bound = solve_offline(instance);
+  EXPECT_GE(bound.lp_bound + 1e-6, bound.integer_value);
+  EXPECT_GT(bound.columns, 0);
+}
+
+TEST(Colgen, CapacityForcesSelection) {
+  // Two tasks want the same single feasible slot on one node with memory
+  // for only one of them: the offline optimum picks the higher bid.
+  std::vector<Task> tasks{make_task(0, 0, 0, 400.0, 10.0, 0.4, 6.0),
+                          make_task(1, 0, 0, 400.0, 10.0, 0.4, 9.0)};
+  const Instance instance = offline_instance(tasks, /*nodes=*/1);
+  const OfflineBound bound = solve_offline(instance);
+  ASSERT_TRUE(bound.converged);
+  // Winner is the 9.0 bid minus its energy (~0.08).
+  EXPECT_GT(bound.integer_value, 8.5);
+  EXPECT_LT(bound.integer_value, 9.0);
+}
+
+TEST(Colgen, OfflineBeatsOrMatchesOnlineOnSmallScenario) {
+  ScenarioConfig config = testing::small_scenario(11);
+  config.arrival_rate = 1.0;
+  config.horizon = 24;
+  const Instance instance = make_instance(config);
+  Pdftsp policy(pdftsp_config_for(instance), instance.cluster, instance.energy,
+                instance.horizon);
+  const SimResult online = run_simulation(instance, policy);
+  const OfflineBound bound = solve_offline(instance);
+  ASSERT_TRUE(bound.converged);
+  // The offline LP bound must upper-bound what the online algorithm got.
+  EXPECT_GE(bound.lp_bound + 1e-6, online.metrics.social_welfare);
+}
+
+TEST(EmpiricalRatio, RatioAtLeastOneAndLpDominates) {
+  ScenarioConfig config = testing::small_scenario(13);
+  config.arrival_rate = 1.2;
+  config.horizon = 24;
+  const Instance instance = make_instance(config);
+  Pdftsp policy(pdftsp_config_for(instance), instance.cluster, instance.energy,
+                instance.horizon);
+  const SimResult online = run_simulation(instance, policy);
+  const EmpiricalRatio ratio = empirical_ratio(instance, online);
+  if (ratio.online_welfare > 0.0) {
+    EXPECT_GE(ratio.vs_lp_bound + 1e-9, ratio.vs_integer);
+    EXPECT_GE(ratio.vs_lp_bound, 1.0 - 1e-6);
+  }
+}
+
+TEST(EmpiricalRatio, ZeroOnlineWelfareGivesZeroRatios) {
+  const Instance instance = offline_instance({});
+  SimResult online;  // zero welfare
+  const EmpiricalRatio ratio = empirical_ratio(instance, online);
+  EXPECT_EQ(ratio.vs_integer, 0.0);
+  EXPECT_EQ(ratio.vs_lp_bound, 0.0);
+}
+
+}  // namespace
+}  // namespace lorasched

@@ -1,0 +1,247 @@
+// Tests for the dual state (eq. 7/8), F(il) (eq. 10), schedule finalization
+// (§3.2), and the payment rule (eq. 14).
+#include "lorasched/core/duals.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "lorasched/core/pricing.h"
+#include "lorasched/core/schedule.h"
+#include "test_helpers.h"
+
+namespace lorasched {
+namespace {
+
+using testing::flat_energy;
+using testing::make_task;
+using testing::mini_cluster;
+
+Schedule two_slot_schedule(const Task& task, const Cluster& cluster,
+                           const EnergyModel& energy) {
+  Schedule schedule;
+  schedule.task = task.id;
+  schedule.run = {{0, 1}, {0, 2}};
+  finalize_schedule(schedule, task, cluster, energy);
+  return schedule;
+}
+
+TEST(Schedule, FinalizeComputesTotals) {
+  const Cluster cluster = mini_cluster();
+  const EnergyModel energy = flat_energy();
+  const Task task = make_task(0, 0, 10, 1000.0, 3.0, 0.5, 12.0);
+  const Schedule schedule = two_slot_schedule(task, cluster, energy);
+  EXPECT_DOUBLE_EQ(schedule.total_compute, 1000.0);  // 2 slots * 500
+  EXPECT_DOUBLE_EQ(schedule.total_mem, 6.0);         // 2 slots * 3 GB
+  EXPECT_DOUBLE_EQ(schedule.norm_compute, 1.0);      // 2 slots * 500/1000
+  EXPECT_DOUBLE_EQ(schedule.norm_mem, 0.375);        // 2 slots * 3/16
+  // energy: 2 slots * full_node(0.2) * share(0.5) = 0.2.
+  EXPECT_NEAR(schedule.energy_cost, 0.2, 1e-12);
+  // b_il = bid - vendor(0) - energy.
+  EXPECT_NEAR(schedule.welfare_gain, 11.8, 1e-12);
+}
+
+TEST(Schedule, FinalizeIncludesVendorPrice) {
+  const Cluster cluster = mini_cluster();
+  const EnergyModel energy = flat_energy();
+  Task task = make_task(0, 0, 10, 1000.0, 3.0, 0.5, 12.0);
+  Schedule schedule;
+  schedule.task = task.id;
+  schedule.vendor = 1;
+  schedule.vendor_price = 2.5;
+  schedule.run = {{0, 1}};
+  finalize_schedule(schedule, task, cluster, energy);
+  EXPECT_NEAR(schedule.welfare_gain, 12.0 - 2.5 - 0.1, 1e-12);
+}
+
+TEST(Schedule, FinalizeRejectsNonIncreasingSlots) {
+  const Cluster cluster = mini_cluster();
+  const EnergyModel energy = flat_energy();
+  const Task task = make_task(0, 0, 10, 1000.0);
+  Schedule schedule;
+  schedule.task = task.id;
+  schedule.run = {{0, 2}, {1, 2}};  // same slot twice (4b violation)
+  EXPECT_THROW(finalize_schedule(schedule, task, cluster, energy),
+               std::invalid_argument);
+}
+
+TEST(Schedule, CompletionSlotAndEmpty) {
+  Schedule schedule;
+  EXPECT_TRUE(schedule.empty());
+  EXPECT_EQ(schedule.completion_slot(), -1);
+  schedule.run = {{0, 3}, {0, 7}};
+  EXPECT_FALSE(schedule.empty());
+  EXPECT_EQ(schedule.completion_slot(), 7);
+}
+
+TEST(Schedule, UnitWelfareMatchesDefinition) {
+  const Cluster cluster = mini_cluster();
+  const EnergyModel energy = flat_energy();
+  const Task task = make_task(0, 0, 10, 1000.0, 3.0, 0.5, 12.0);
+  const Schedule schedule = two_slot_schedule(task, cluster, energy);
+  // b̄_il = b_il / (norm_compute + norm_mem) — normalized units (duals.h).
+  EXPECT_NEAR(unit_welfare(schedule), 11.8 / 1.375, 1e-12);
+  EXPECT_EQ(unit_welfare(Schedule{}), 0.0);
+}
+
+TEST(DualState, StartsAtZero) {
+  const DualState duals(2, 10);
+  for (NodeId k = 0; k < 2; ++k) {
+    for (Slot t = 0; t < 10; ++t) {
+      EXPECT_EQ(duals.lambda(k, t), 0.0);
+      EXPECT_EQ(duals.phi(k, t), 0.0);
+    }
+  }
+}
+
+TEST(DualState, RejectsBadDimensions) {
+  EXPECT_THROW(DualState(0, 5), std::invalid_argument);
+  EXPECT_THROW(DualState(2, 0), std::invalid_argument);
+}
+
+TEST(DualState, UpdateMatchesEquationSevenAndEight) {
+  const Cluster cluster = mini_cluster();
+  const EnergyModel energy = flat_energy();
+  const Task task = make_task(0, 0, 10, 1000.0, 3.0, 0.5, 12.0);
+  const Schedule schedule = two_slot_schedule(task, cluster, energy);
+  DualState duals(2, 10);
+  const double alpha = 0.01;
+  const double beta = 3.0;
+  duals.apply_update(task, schedule, cluster, alpha, beta);
+
+  const double b_bar = unit_welfare(schedule);
+  // From zero: λ' = 0*(1 + s/C) + α b̄ s/C.
+  const double s = 500.0;
+  const double c_p = 1000.0;
+  const double expected_lambda = alpha * b_bar * s / c_p;
+  EXPECT_NEAR(duals.lambda(0, 1), expected_lambda, 1e-15);
+  EXPECT_NEAR(duals.lambda(0, 2), expected_lambda, 1e-15);
+  EXPECT_EQ(duals.lambda(0, 3), 0.0);  // untouched slot
+  EXPECT_EQ(duals.lambda(1, 1), 0.0);  // untouched node
+
+  const double r = 3.0;
+  const double c_m = 16.0;  // 20 - r_b(4)
+  EXPECT_NEAR(duals.phi(0, 1), beta * b_bar * r / c_m, 1e-15);
+}
+
+TEST(DualState, UpdateIsMultiplicativeOnSecondTask) {
+  const Cluster cluster = mini_cluster();
+  const EnergyModel energy = flat_energy();
+  const Task task = make_task(0, 0, 10, 1000.0, 3.0, 0.5, 12.0);
+  const Schedule schedule = two_slot_schedule(task, cluster, energy);
+  DualState duals(2, 10);
+  duals.apply_update(task, schedule, cluster, 0.01, 3.0);
+  const double lambda1 = duals.lambda(0, 1);
+  duals.apply_update(task, schedule, cluster, 0.01, 3.0);
+  // λ2 = λ1 (1 + s/C) + α b̄ s/C = λ1 (1 + 0.5) + λ1 = 2.5 λ1.
+  EXPECT_NEAR(duals.lambda(0, 1), 2.5 * lambda1, 1e-15);
+}
+
+TEST(DualState, DualsMonotonicallyIncrease) {
+  const Cluster cluster = mini_cluster();
+  const EnergyModel energy = flat_energy();
+  const Task task = make_task(0, 0, 10, 1000.0, 3.0, 0.5, 12.0);
+  const Schedule schedule = two_slot_schedule(task, cluster, energy);
+  DualState duals(2, 10);
+  double prev_lambda = 0.0;
+  double prev_phi = 0.0;
+  for (int i = 0; i < 20; ++i) {
+    duals.apply_update(task, schedule, cluster, 0.01, 3.0);
+    EXPECT_GT(duals.lambda(0, 1), prev_lambda);
+    EXPECT_GT(duals.phi(0, 1), prev_phi);
+    prev_lambda = duals.lambda(0, 1);
+    prev_phi = duals.phi(0, 1);
+  }
+}
+
+TEST(DualState, MaxOverScheduleSelectsLargestCell) {
+  DualState duals(2, 10);
+  duals.set_lambda(0, 1, 0.5);
+  duals.set_lambda(0, 2, 0.9);
+  duals.set_phi(0, 2, 0.1);
+  duals.set_phi(0, 1, 0.4);
+  Schedule schedule;
+  schedule.run = {{0, 1}, {0, 2}};
+  EXPECT_DOUBLE_EQ(duals.max_lambda(schedule), 0.9);
+  EXPECT_DOUBLE_EQ(duals.max_phi(schedule), 0.4);
+  EXPECT_EQ(duals.max_lambda(Schedule{}), 0.0);
+}
+
+TEST(ObjectiveValue, MatchesEquationTen) {
+  const Cluster cluster = mini_cluster();
+  const EnergyModel energy = flat_energy();
+  const Task task = make_task(0, 0, 10, 1000.0, 3.0, 0.5, 12.0);
+  const Schedule schedule = two_slot_schedule(task, cluster, energy);
+  DualState duals(2, 10);
+  duals.set_lambda(0, 1, 0.001);
+  duals.set_lambda(0, 2, 0.002);
+  duals.set_phi(0, 1, 0.05);
+  // F = b_il − maxλ Σs̃ − maxφ Σr̃ (normalized volumes).
+  const double expected =
+      schedule.welfare_gain - 0.002 * schedule.norm_compute -
+      0.05 * schedule.norm_mem;
+  EXPECT_NEAR(objective_value(schedule, duals), expected, 1e-12);
+}
+
+TEST(ObjectiveValue, ZeroDualsGiveWelfareGain) {
+  const Cluster cluster = mini_cluster();
+  const EnergyModel energy = flat_energy();
+  const Task task = make_task(0, 0, 10, 1000.0, 3.0, 0.5, 12.0);
+  const Schedule schedule = two_slot_schedule(task, cluster, energy);
+  const DualState duals(2, 10);
+  EXPECT_DOUBLE_EQ(objective_value(schedule, duals), schedule.welfare_gain);
+}
+
+TEST(Pricing, PaymentMatchesEquationFourteen) {
+  const Cluster cluster = mini_cluster();
+  const EnergyModel energy = flat_energy();
+  Task task = make_task(0, 0, 10, 1000.0, 3.0, 0.5, 12.0);
+  Schedule schedule = two_slot_schedule(task, cluster, energy);
+  schedule.vendor_price = 1.5;
+  DualState duals(2, 10);
+  duals.set_lambda(0, 1, 0.001);
+  duals.set_phi(0, 2, 0.02);
+  const Money expected = 1.5 + schedule.energy_cost +
+                         0.001 * schedule.norm_compute +
+                         0.02 * schedule.norm_mem;
+  EXPECT_NEAR(payment(schedule, duals), expected, 1e-12);
+}
+
+TEST(Pricing, PaymentIndependentOfBid) {
+  const Cluster cluster = mini_cluster();
+  const EnergyModel energy = flat_energy();
+  DualState duals(2, 10);
+  duals.set_lambda(0, 1, 0.003);
+  Task cheap = make_task(0, 0, 10, 1000.0, 3.0, 0.5, 5.0);
+  Task rich = make_task(0, 0, 10, 1000.0, 3.0, 0.5, 500.0);
+  const Schedule s1 = two_slot_schedule(cheap, cluster, energy);
+  const Schedule s2 = two_slot_schedule(rich, cluster, energy);
+  EXPECT_DOUBLE_EQ(payment(s1, duals), payment(s2, duals));
+}
+
+TEST(Pricing, FreeResourcesCostVendorPlusEnergy) {
+  const Cluster cluster = mini_cluster();
+  const EnergyModel energy = flat_energy();
+  Task task = make_task(0, 0, 10, 1000.0, 3.0, 0.5, 12.0);
+  Schedule schedule = two_slot_schedule(task, cluster, energy);
+  schedule.vendor_price = 0.7;
+  const DualState duals(2, 10);  // all-zero prices
+  // Zero duals: the winner pays only the vendor and the operational
+  // pass-through (see pricing.h's reproduction note).
+  EXPECT_DOUBLE_EQ(payment(schedule, duals), 0.7 + schedule.energy_cost);
+}
+
+TEST(Pricing, FromPricesAgreesWithDualState) {
+  const Cluster cluster = mini_cluster();
+  const EnergyModel energy = flat_energy();
+  const Task task = make_task(0, 0, 10, 1000.0, 3.0, 0.5, 12.0);
+  const Schedule schedule = two_slot_schedule(task, cluster, energy);
+  DualState duals(2, 10);
+  duals.set_lambda(0, 2, 0.004);
+  duals.set_phi(0, 1, 0.03);
+  EXPECT_DOUBLE_EQ(payment(schedule, duals),
+                   payment_from_prices(schedule, 0.004, 0.03));
+}
+
+}  // namespace
+}  // namespace lorasched

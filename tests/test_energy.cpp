@@ -1,0 +1,73 @@
+#include "lorasched/cluster/energy.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "test_helpers.h"
+
+namespace lorasched {
+namespace {
+
+using testing::make_task;
+using testing::mini_cluster;
+
+TEST(EnergyModel, DiurnalPeakAndTrough) {
+  EnergyModel model;  // defaults: peak at slot 90, 144-slot day
+  const double peak = model.tou_multiplier(90);
+  const double trough = model.tou_multiplier(90 + 72);  // half a day away
+  EXPECT_NEAR(peak, 1.4, 1e-9);
+  EXPECT_NEAR(trough, 0.6, 1e-9);
+  // Everything in between stays inside the band.
+  for (Slot t = 0; t < 144; ++t) {
+    EXPECT_GE(model.tou_multiplier(t), 0.6 - 1e-9);
+    EXPECT_LE(model.tou_multiplier(t), 1.4 + 1e-9);
+  }
+}
+
+TEST(EnergyModel, FlatConfigIsTimeInvariant) {
+  const EnergyModel model = testing::flat_energy();
+  EXPECT_DOUBLE_EQ(model.tou_multiplier(0), model.tou_multiplier(77));
+}
+
+TEST(EnergyModel, CostProportionalToComputeShare) {
+  const Cluster cluster = mini_cluster();
+  const EnergyModel model = testing::flat_energy();
+  Task half = make_task(0, 0, 10, 100.0, 2.0, 0.5);
+  Task quarter = make_task(1, 0, 10, 100.0, 2.0, 0.25);
+  const Money c_half = model.cost(half, cluster, 0, 3);
+  const Money c_quarter = model.cost(quarter, cluster, 0, 3);
+  EXPECT_NEAR(c_half, 2.0 * c_quarter, 1e-12);
+}
+
+TEST(EnergyModel, FullNodeCostMatchesHourlyRate) {
+  const Cluster cluster = mini_cluster();  // hourly_cost 1.2
+  const EnergyModel model = testing::flat_energy();
+  // Multiplier 1.0, 10 minutes per slot: 1.2 / 6 = 0.2.
+  EXPECT_NEAR(model.full_node_cost(cluster, 0, 5), 0.2, 1e-12);
+}
+
+TEST(EnergyModel, PeakSlotsCostMoreThanOffPeak) {
+  const Cluster cluster = mini_cluster();
+  const EnergyModel model;  // diurnal defaults
+  const Task task = make_task(0, 0, 143, 100.0);
+  EXPECT_GT(model.cost(task, cluster, 0, 90), model.cost(task, cluster, 0, 18));
+}
+
+TEST(EnergyModel, RejectsInvalidConfig) {
+  EnergyModel::Config bad;
+  bad.peak_multiplier = 0.1;
+  bad.off_peak_multiplier = 0.5;
+  EXPECT_THROW(EnergyModel{bad}, std::invalid_argument);
+  EnergyModel::Config zero_grid;
+  zero_grid.slots_per_day = 0;
+  EXPECT_THROW(EnergyModel{zero_grid}, std::invalid_argument);
+}
+
+TEST(EnergyModel, PeriodicAcrossDays) {
+  const EnergyModel model;
+  EXPECT_NEAR(model.tou_multiplier(10), model.tou_multiplier(10 + 144), 1e-9);
+}
+
+}  // namespace
+}  // namespace lorasched

@@ -1,0 +1,342 @@
+// Tests for the simulation engine, validator, and metrics accounting.
+#include "lorasched/sim/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "lorasched/sim/validator.h"
+#include "test_helpers.h"
+
+namespace lorasched {
+namespace {
+
+using testing::flat_energy;
+using testing::make_task;
+using testing::mini_cluster;
+
+Instance tiny_instance(std::vector<Task> tasks, Slot horizon = 20) {
+  return Instance(mini_cluster(), flat_energy(),
+                  Marketplace(Marketplace::Config{}, 1), horizon,
+                  std::move(tasks));
+}
+
+/// A policy that admits every task with a fixed single-slot plan.
+class AdmitAllPolicy final : public Policy {
+ public:
+  std::string_view name() const override { return "admit-all"; }
+  std::vector<Decision> on_slot(const SlotContext& ctx) override {
+    std::vector<Decision> decisions;
+    for (const Task& task : ctx.arrivals) {
+      Decision d;
+      d.task = task.id;
+      Schedule schedule;
+      schedule.task = task.id;
+      // Enough consecutive slots from arrival to cover the work.
+      double done = 0.0;
+      Slot t = task.arrival;
+      while (done < task.work && t <= task.deadline) {
+        schedule.run.push_back({0, t});
+        done += ctx.cluster.task_rate(task, 0);
+        ++t;
+      }
+      finalize_schedule(schedule, task, ctx.cluster, ctx.energy);
+      d.admit = true;
+      d.schedule = std::move(schedule);
+      commit_decision(ctx.ledger, ctx.cluster, task, d);
+      decisions.push_back(std::move(d));
+    }
+    return decisions;
+  }
+};
+
+/// A policy that rejects everything.
+class RejectAllPolicy final : public Policy {
+ public:
+  std::string_view name() const override { return "reject-all"; }
+  std::vector<Decision> on_slot(const SlotContext& ctx) override {
+    std::vector<Decision> decisions(ctx.arrivals.size());
+    for (std::size_t i = 0; i < ctx.arrivals.size(); ++i) {
+      decisions[i].task = ctx.arrivals[i].id;
+    }
+    return decisions;
+  }
+};
+
+TEST(Validator, AcceptsValidSchedule) {
+  const Cluster cluster = mini_cluster();
+  const Task task = make_task(0, 2, 6, 900.0, 2.0, 0.5);
+  Schedule schedule;
+  schedule.task = 0;
+  schedule.run = {{0, 2}, {1, 4}};  // 500 + 500 >= 900
+  EXPECT_EQ(validate_schedule(task, schedule, cluster, 10), "");
+}
+
+TEST(Validator, RejectsForeignSchedule) {
+  const Cluster cluster = mini_cluster();
+  const Task task = make_task(0, 0, 6, 100.0);
+  Schedule schedule;
+  schedule.task = 3;
+  EXPECT_NE(validate_schedule(task, schedule, cluster, 10), "");
+}
+
+TEST(Validator, EnforcesVendorConsistency) {
+  const Cluster cluster = mini_cluster();
+  Task prep = make_task(0, 0, 6, 400.0, 2.0, 0.5);
+  prep.needs_prep = true;
+  Schedule schedule;
+  schedule.task = 0;
+  schedule.run = {{0, 1}};
+  EXPECT_NE(validate_schedule(prep, schedule, cluster, 10), "");  // (4a)
+  schedule.vendor = 0;
+  EXPECT_EQ(validate_schedule(prep, schedule, cluster, 10), "");
+  Task no_prep = make_task(0, 0, 6, 400.0, 2.0, 0.5);
+  EXPECT_NE(validate_schedule(no_prep, schedule, cluster, 10), "");
+}
+
+TEST(Validator, EnforcesWindow) {
+  const Cluster cluster = mini_cluster();
+  Task task = make_task(0, 3, 6, 400.0, 2.0, 0.5);
+  Schedule early;
+  early.task = 0;
+  early.run = {{0, 2}};  // before arrival (4c)
+  EXPECT_NE(validate_schedule(task, early, cluster, 10), "");
+  Schedule late;
+  late.task = 0;
+  late.run = {{0, 7}};  // after deadline (4d)
+  EXPECT_NE(validate_schedule(task, late, cluster, 10), "");
+}
+
+TEST(Validator, EnforcesPrepDelayShiftsStart) {
+  const Cluster cluster = mini_cluster();
+  Task task = make_task(0, 3, 10, 400.0, 2.0, 0.5);
+  task.needs_prep = true;
+  Schedule schedule;
+  schedule.task = 0;
+  schedule.vendor = 0;
+  schedule.prep_delay = 2;
+  schedule.run = {{0, 4}};  // 4 < 3 + 2 (4c with prep)
+  EXPECT_NE(validate_schedule(task, schedule, cluster, 10), "");
+  schedule.run = {{0, 5}};
+  EXPECT_EQ(validate_schedule(task, schedule, cluster, 10), "");
+}
+
+TEST(Validator, EnforcesOneNodePerSlot) {
+  const Cluster cluster = mini_cluster();
+  const Task task = make_task(0, 0, 6, 400.0, 2.0, 0.5);
+  Schedule schedule;
+  schedule.task = 0;
+  schedule.run = {{0, 2}, {1, 2}};  // (4b)
+  EXPECT_NE(validate_schedule(task, schedule, cluster, 10), "");
+}
+
+TEST(Validator, EnforcesWorkCompletion) {
+  const Cluster cluster = mini_cluster();
+  const Task task = make_task(0, 0, 6, 2000.0, 2.0, 0.5);
+  Schedule schedule;
+  schedule.task = 0;
+  schedule.run = {{0, 1}};  // 500 < 2000 (4e)
+  EXPECT_NE(validate_schedule(task, schedule, cluster, 10), "");
+}
+
+TEST(Validator, EnforcesHorizonAndKnownNode) {
+  const Cluster cluster = mini_cluster();
+  const Task task = make_task(0, 0, 15, 400.0, 2.0, 0.5);
+  Schedule beyond;
+  beyond.task = 0;
+  beyond.run = {{0, 12}};
+  EXPECT_NE(validate_schedule(task, beyond, cluster, 10), "");
+  Schedule unknown;
+  unknown.task = 0;
+  unknown.run = {{9, 2}};
+  EXPECT_NE(validate_schedule(task, unknown, cluster, 10), "");
+}
+
+TEST(Validator, RequireValidThrows) {
+  const Cluster cluster = mini_cluster();
+  const Task task = make_task(0, 0, 6, 2000.0, 2.0, 0.5);
+  Schedule bad;
+  bad.task = 0;
+  EXPECT_THROW(require_valid_schedule(task, bad, cluster, 10),
+               std::logic_error);
+}
+
+TEST(Engine, WelfareAccountingMatchesDefinition) {
+  // One admitted task: welfare = bid - energy (no vendor).
+  std::vector<Task> tasks{make_task(0, 1, 8, 900.0, 2.0, 0.5, 7.0)};
+  const Instance instance = tiny_instance(tasks);
+  AdmitAllPolicy policy;
+  const SimResult result = run_simulation(instance, policy);
+  ASSERT_EQ(result.metrics.admitted, 1);
+  // 2 slots at rate 500, energy = 2 * 0.2 * 0.5 = 0.2.
+  EXPECT_NEAR(result.metrics.total_energy_cost, 0.2, 1e-9);
+  EXPECT_NEAR(result.metrics.social_welfare, 7.0 - 0.2, 1e-9);
+}
+
+TEST(Engine, RejectAllYieldsZeroWelfare) {
+  std::vector<Task> tasks{make_task(0, 1, 8, 900.0),
+                          make_task(1, 2, 9, 900.0)};
+  const Instance instance = tiny_instance(tasks);
+  RejectAllPolicy policy;
+  const SimResult result = run_simulation(instance, policy);
+  EXPECT_EQ(result.metrics.admitted, 0);
+  EXPECT_EQ(result.metrics.rejected, 2);
+  EXPECT_EQ(result.metrics.social_welfare, 0.0);
+  EXPECT_EQ(result.metrics.utilization, 0.0);
+}
+
+TEST(Engine, OutcomesCoverEveryTask) {
+  std::vector<Task> tasks{make_task(0, 1, 8, 900.0, 2.0, 0.5, 7.0),
+                          make_task(1, 3, 9, 400.0, 2.0, 0.5, 0.1)};
+  const Instance instance = tiny_instance(tasks);
+  AdmitAllPolicy policy;
+  const SimResult result = run_simulation(instance, policy);
+  ASSERT_EQ(result.outcomes.size(), 2u);
+  EXPECT_EQ(result.outcomes[0].task, 0);
+  EXPECT_EQ(result.outcomes[1].task, 1);
+  EXPECT_TRUE(result.outcomes[0].admitted);
+  EXPECT_GT(result.outcomes[0].slots_used, 0);
+  EXPECT_GE(result.outcomes[0].completion, result.outcomes[0].arrival);
+}
+
+TEST(Engine, TasksProcessedInArrivalOrderEvenIfShuffled) {
+  std::vector<Task> tasks{make_task(1, 5, 12, 400.0, 2.0, 0.5, 3.0),
+                          make_task(0, 2, 9, 400.0, 2.0, 0.5, 3.0)};
+  const Instance instance = tiny_instance(tasks);
+  AdmitAllPolicy policy;
+  const SimResult result = run_simulation(instance, policy);
+  ASSERT_EQ(result.outcomes.size(), 2u);
+  EXPECT_EQ(result.outcomes[0].task, 0);  // earlier arrival first
+  EXPECT_EQ(result.outcomes[1].task, 1);
+}
+
+TEST(Engine, InvalidScheduleFromPolicyThrows) {
+  class BadPolicy final : public Policy {
+   public:
+    std::string_view name() const override { return "bad"; }
+    std::vector<Decision> on_slot(const SlotContext& ctx) override {
+      std::vector<Decision> decisions;
+      for (const Task& task : ctx.arrivals) {
+        Decision d;
+        d.task = task.id;
+        d.admit = true;  // admits with an empty (work-shortfall) schedule
+        d.schedule.task = task.id;
+        decisions.push_back(d);
+      }
+      return decisions;
+    }
+  };
+  std::vector<Task> tasks{make_task(0, 1, 8, 900.0)};
+  const Instance instance = tiny_instance(tasks);
+  BadPolicy policy;
+  EXPECT_THROW(run_simulation(instance, policy), std::logic_error);
+}
+
+TEST(Engine, MissingDecisionsThrow) {
+  class SilentPolicy final : public Policy {
+   public:
+    std::string_view name() const override { return "silent"; }
+    std::vector<Decision> on_slot(const SlotContext&) override { return {}; }
+  };
+  std::vector<Task> tasks{make_task(0, 1, 8, 900.0)};
+  const Instance instance = tiny_instance(tasks);
+  SilentPolicy policy;
+  EXPECT_THROW(run_simulation(instance, policy), std::logic_error);
+}
+
+TEST(Engine, UnbookedAdmissionDetected) {
+  class NoBookPolicy final : public Policy {
+   public:
+    std::string_view name() const override { return "no-book"; }
+    std::vector<Decision> on_slot(const SlotContext& ctx) override {
+      std::vector<Decision> decisions;
+      for (const Task& task : ctx.arrivals) {
+        Decision d;
+        d.task = task.id;
+        d.admit = true;
+        Schedule schedule;
+        schedule.task = task.id;
+        schedule.run = {{0, task.arrival}, {0, task.arrival + 1}};
+        finalize_schedule(schedule, task, ctx.cluster, ctx.energy);
+        d.schedule = std::move(schedule);
+        // BUG under test: no commit_decision call.
+        decisions.push_back(std::move(d));
+      }
+      return decisions;
+    }
+  };
+  std::vector<Task> tasks{make_task(0, 1, 8, 900.0, 2.0, 0.5, 7.0)};
+  const Instance instance = tiny_instance(tasks);
+  NoBookPolicy policy;
+  EXPECT_THROW(run_simulation(instance, policy), std::logic_error);
+}
+
+TEST(Engine, UtilizationReflectsBookings) {
+  std::vector<Task> tasks{make_task(0, 0, 19, 10000.0, 2.0, 0.5, 50.0)};
+  const Instance instance = tiny_instance(tasks);
+  AdmitAllPolicy policy;
+  const SimResult result = run_simulation(instance, policy);
+  ASSERT_EQ(result.metrics.admitted, 1);
+  // 20 slots * 500/slot = 10000 booked of 2 nodes * 20 * 1000 capacity.
+  EXPECT_NEAR(result.metrics.utilization, 0.25, 1e-9);
+}
+
+TEST(Engine, RejectsNonPositiveHorizon) {
+  Instance instance = tiny_instance({}, 5);
+  instance.horizon = 0;
+  RejectAllPolicy policy;
+  EXPECT_THROW(run_simulation(instance, policy), std::invalid_argument);
+}
+
+TEST(Engine, CountsPreemptions) {
+  // A policy that schedules with a gap: run slots {1, 2, 5, 6, 9} has two
+  // suspend/resume points (paper §1's alternating execution).
+  class GappyPolicy final : public Policy {
+   public:
+    std::string_view name() const override { return "gappy"; }
+    std::vector<Decision> on_slot(const SlotContext& ctx) override {
+      std::vector<Decision> decisions;
+      for (const Task& task : ctx.arrivals) {
+        Decision d;
+        d.task = task.id;
+        Schedule schedule;
+        schedule.task = task.id;
+        schedule.run = {{0, 1}, {0, 2}, {0, 5}, {0, 6}, {0, 9}};
+        finalize_schedule(schedule, task, ctx.cluster, ctx.energy);
+        d.admit = true;
+        d.schedule = std::move(schedule);
+        commit_decision(ctx.ledger, ctx.cluster, task, d);
+        decisions.push_back(std::move(d));
+      }
+      return decisions;
+    }
+  };
+  std::vector<Task> tasks{make_task(0, 1, 12, 2400.0, 2.0, 0.5, 9.0)};
+  const Instance instance = tiny_instance(tasks);
+  GappyPolicy policy;
+  const SimResult result = run_simulation(instance, policy);
+  ASSERT_TRUE(result.outcomes[0].admitted);
+  EXPECT_EQ(result.outcomes[0].preemptions, 2);
+  EXPECT_EQ(result.outcomes[0].slots_used, 5);
+}
+
+TEST(Metrics, AddAdmittedAccumulates) {
+  Metrics metrics;
+  TaskOutcome outcome;
+  outcome.bid = 10.0;
+  outcome.true_value = 10.0;
+  outcome.payment = 6.0;
+  outcome.vendor_cost = 1.0;
+  outcome.energy_cost = 2.0;
+  metrics.add_admitted(outcome);
+  EXPECT_EQ(metrics.admitted, 1);
+  EXPECT_NEAR(metrics.social_welfare, 7.0, 1e-12);    // 10 - 1 - 2
+  EXPECT_NEAR(metrics.provider_utility, 3.0, 1e-12);  // 6 - 1 - 2
+  EXPECT_NEAR(metrics.user_utility, 4.0, 1e-12);      // 10 - 6
+  // Welfare decomposition: U = Ur + Uc.
+  EXPECT_NEAR(metrics.social_welfare,
+              metrics.provider_utility + metrics.user_utility, 1e-12);
+}
+
+}  // namespace
+}  // namespace lorasched

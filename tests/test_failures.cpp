@@ -1,0 +1,140 @@
+// Failure-injection tests: node outages must never host work, every policy
+// must degrade gracefully (no crashes, no constraint violations), and
+// saturating outages must suppress welfare.
+#include <gtest/gtest.h>
+
+#include "lorasched/baselines/eft.h"
+#include "lorasched/baselines/ntm.h"
+#include "lorasched/baselines/titan.h"
+#include "lorasched/core/pdftsp.h"
+#include "lorasched/experiments/scenario.h"
+#include "lorasched/sim/engine.h"
+#include "test_helpers.h"
+
+namespace lorasched {
+namespace {
+
+Instance outage_instance(std::uint64_t seed, int outages,
+                         Slot duration = 12) {
+  ScenarioConfig config = testing::small_scenario(seed);
+  config.arrival_rate = 3.0;
+  config.outages = outages;
+  config.outage_duration = duration;
+  return make_instance(config);
+}
+
+bool slot_in_outage(const Instance& instance, NodeId node, Slot slot) {
+  for (const Outage& o : instance.outages) {
+    if (o.node == node && slot >= o.from && slot < o.to) return true;
+  }
+  return false;
+}
+
+TEST(Failures, LedgerBlockRejectsEverything) {
+  const Cluster cluster = testing::mini_cluster();
+  CapacityLedger ledger(cluster, 10);
+  ledger.block(0, 3);
+  EXPECT_TRUE(ledger.is_blocked(0, 3));
+  EXPECT_FALSE(ledger.fits(0, 3, 1.0, 0.1));
+  EXPECT_TRUE(ledger.fits(0, 2, 1.0, 0.1));   // neighbours unaffected
+  EXPECT_TRUE(ledger.fits(1, 3, 1.0, 0.1));
+  EXPECT_THROW(ledger.reserve(0, 3, 1.0, 0.1), std::logic_error);
+}
+
+TEST(Failures, BlockOutsideGridThrows) {
+  const Cluster cluster = testing::mini_cluster();
+  CapacityLedger ledger(cluster, 10);
+  EXPECT_THROW(ledger.block(0, 10), std::invalid_argument);
+  EXPECT_THROW(ledger.block(5, 0), std::invalid_argument);
+}
+
+TEST(Failures, ScenarioDrawsRequestedOutages) {
+  const Instance instance = outage_instance(61, 5, 8);
+  EXPECT_EQ(instance.outages.size(), 5u);
+  for (const Outage& o : instance.outages) {
+    EXPECT_GE(o.node, 0);
+    EXPECT_LT(o.node, instance.cluster.node_count());
+    EXPECT_LT(o.from, o.to);
+    EXPECT_LE(o.to, instance.horizon);
+  }
+}
+
+class PolicyUnderFailure : public ::testing::TestWithParam<int> {
+ protected:
+  std::unique_ptr<Policy> make_policy(const Instance& instance) const {
+    switch (GetParam()) {
+      case 0:
+        return std::make_unique<Pdftsp>(pdftsp_config_for(instance),
+                                        instance.cluster, instance.energy,
+                                        instance.horizon);
+      case 1:
+        return std::make_unique<TitanPolicy>(TitanConfig{}, 3);
+      case 2:
+        return std::make_unique<EftPolicy>();
+      default:
+        return std::make_unique<NtmPolicy>(3);
+    }
+  }
+};
+
+TEST_P(PolicyUnderFailure, NoWorkLandsOnOutageCells) {
+  const Instance instance = outage_instance(63, 6);
+  auto policy = make_policy(instance);
+  const SimResult result = run_simulation(instance, *policy);
+  for (const Schedule& schedule : result.schedules) {
+    for (const Assignment& a : schedule.run) {
+      EXPECT_FALSE(slot_in_outage(instance, a.node, a.slot))
+          << "work scheduled on node " << a.node << " during an outage at "
+          << a.slot;
+    }
+  }
+}
+
+TEST_P(PolicyUnderFailure, RunsCleanlyUnderHeavyFailures) {
+  const Instance instance = outage_instance(65, 20, 16);
+  auto policy = make_policy(instance);
+  EXPECT_NO_THROW((void)run_simulation(instance, *policy));
+}
+
+std::string policy_param_name(const ::testing::TestParamInfo<int>& info) {
+  static const char* const kNames[] = {"pdFTSP", "Titan", "EFT", "NTM"};
+  return kNames[info.param];
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, PolicyUnderFailure,
+                         ::testing::Values(0, 1, 2, 3), policy_param_name);
+
+TEST(Failures, SaturatingOutagesSuppressWelfare) {
+  // Blocking (nearly) the whole fleet must cut welfare dramatically
+  // relative to the failure-free run.
+  ScenarioConfig healthy_config = testing::small_scenario(67);
+  healthy_config.arrival_rate = 3.0;
+  const Instance healthy = make_instance(healthy_config);
+
+  Instance crippled = healthy;
+  for (NodeId k = 0; k < crippled.cluster.node_count(); ++k) {
+    crippled.outages.push_back(Outage{k, 0, crippled.horizon - 4});
+  }
+
+  Pdftsp policy_a(pdftsp_config_for(healthy), healthy.cluster, healthy.energy,
+                  healthy.horizon);
+  Pdftsp policy_b(pdftsp_config_for(crippled), crippled.cluster,
+                  crippled.energy, crippled.horizon);
+  const Metrics ok = run_simulation(healthy, policy_a).metrics;
+  const Metrics bad = run_simulation(crippled, policy_b).metrics;
+  EXPECT_LT(bad.social_welfare, 0.25 * ok.social_welfare);
+  EXPECT_LT(bad.admitted, ok.admitted);
+}
+
+TEST(Failures, OutageClampedToHorizon) {
+  ScenarioConfig config = testing::small_scenario(69);
+  config.outages = 3;
+  config.outage_duration = 10000;  // far beyond the horizon
+  const Instance instance = make_instance(config);
+  Pdftsp policy(pdftsp_config_for(instance), instance.cluster, instance.energy,
+                instance.horizon);
+  EXPECT_NO_THROW((void)run_simulation(instance, policy));
+}
+
+}  // namespace
+}  // namespace lorasched

@@ -1,0 +1,90 @@
+// Cross-configuration invariant sweep: every (fleet, deadline, arrival
+// shape) cell of the configuration grid must produce a clean, economically
+// sound auction run. Complements test_properties.cpp's per-seed sweeps.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <tuple>
+
+#include "lorasched/core/pdftsp.h"
+#include "lorasched/experiments/scenario.h"
+#include "lorasched/sim/engine.h"
+#include "test_helpers.h"
+
+namespace lorasched {
+namespace {
+
+using GridParam =
+    std::tuple<FleetKind, DeadlineKind, std::optional<TraceKind>>;
+
+class ConfigGrid : public ::testing::TestWithParam<GridParam> {
+ protected:
+  Instance make() const {
+    ScenarioConfig config = testing::small_scenario(71);
+    config.arrival_rate = 3.0;
+    config.fleet = std::get<0>(GetParam());
+    config.deadline = std::get<1>(GetParam());
+    config.trace = std::get<2>(GetParam());
+    return make_instance(config);
+  }
+};
+
+TEST_P(ConfigGrid, AuctionRunsCleanly) {
+  const Instance instance = make();
+  Pdftsp policy(pdftsp_config_for(instance), instance.cluster, instance.energy,
+                instance.horizon);
+  const SimResult result = run_simulation(instance, policy);
+  EXPECT_EQ(result.outcomes.size(), instance.tasks.size());
+  EXPECT_GE(result.metrics.social_welfare, 0.0);
+}
+
+TEST_P(ConfigGrid, EconomicInvariantsHold) {
+  const Instance instance = make();
+  Pdftsp policy(pdftsp_config_for(instance), instance.cluster, instance.energy,
+                instance.horizon);
+  const SimResult result = run_simulation(instance, policy);
+  for (const TaskOutcome& o : result.outcomes) {
+    if (!o.admitted) {
+      EXPECT_EQ(o.payment, 0.0);
+      continue;
+    }
+    EXPECT_GE(o.payment, 0.0);
+    EXPECT_GE(o.true_value - o.payment, -1e-9);      // IR
+    EXPECT_GE(o.payment, o.vendor_cost + o.energy_cost - 1e-9);  // cost recovery
+  }
+}
+
+TEST_P(ConfigGrid, ProviderNeverLosesMoney) {
+  // With the cost pass-through in the payment, the provider's utility is a
+  // sum of non-negative per-task margins.
+  const Instance instance = make();
+  Pdftsp policy(pdftsp_config_for(instance), instance.cluster, instance.energy,
+                instance.horizon);
+  const SimResult result = run_simulation(instance, policy);
+  EXPECT_GE(result.metrics.provider_utility, -1e-9);
+}
+
+std::string grid_name(const ::testing::TestParamInfo<GridParam>& info) {
+  const auto& [fleet, deadline, trace] = info.param;
+  std::string name = to_string(fleet);
+  name += '_';
+  name += to_string(deadline);
+  name += '_';
+  name += trace.has_value() ? to_string(*trace) : std::string("Poisson");
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cells, ConfigGrid,
+    ::testing::Combine(
+        ::testing::Values(FleetKind::kA100Only, FleetKind::kA40Only,
+                          FleetKind::kHybrid),
+        ::testing::Values(DeadlineKind::kTight, DeadlineKind::kMedium,
+                          DeadlineKind::kSlack),
+        ::testing::Values(std::optional<TraceKind>{},
+                          std::optional<TraceKind>{TraceKind::kPhilly},
+                          std::optional<TraceKind>{TraceKind::kHelios})),
+    grid_name);
+
+}  // namespace
+}  // namespace lorasched

@@ -1,0 +1,125 @@
+// Tests for the transformer/LoRA/GPU performance model — the analytic
+// substitute for the paper's hardware profiling run (DESIGN.md §3).
+#include <gtest/gtest.h>
+
+#include "lorasched/model/lora.h"
+#include "lorasched/model/perf_model.h"
+#include "lorasched/model/transformer.h"
+
+namespace lorasched::model {
+namespace {
+
+TEST(Transformer, Gpt2SmallParameterCountIsCanonical) {
+  // GPT-2 small is the 124M-parameter model.
+  const TransformerSpec spec = gpt2_small();
+  EXPECT_NEAR(spec.total_params(), 124e6, 4e6);
+}
+
+TEST(Transformer, Gpt2MediumLargerThanSmall) {
+  EXPECT_GT(gpt2_medium().total_params(), 2.5 * gpt2_small().total_params());
+}
+
+TEST(Transformer, Llama7bParameterCount) {
+  const TransformerSpec spec = llama_7b();
+  EXPECT_NEAR(spec.total_params(), 6.7e9, 0.5e9);
+}
+
+TEST(Transformer, BlockAccountingAddsUp) {
+  const TransformerSpec spec = gpt2_small();
+  EXPECT_DOUBLE_EQ(spec.attention_params(), 4.0 * 768.0 * 768.0);
+  EXPECT_DOUBLE_EQ(spec.mlp_params(), 2.0 * 768.0 * 3072.0);
+}
+
+TEST(Transformer, TrainFlopsFollowSixNdRule) {
+  const TransformerSpec spec = gpt2_small();
+  EXPECT_NEAR(spec.train_flops_per_sample(),
+              6.0 * spec.total_params() * spec.seq_len,
+              1.0);
+}
+
+TEST(Lora, AdapterParamsTinyFractionOfBase) {
+  // The paper's headline: LoRA cuts trainable parameters by orders of
+  // magnitude (GPT-3: 175B -> 37M, a ~4700x reduction).
+  const TransformerSpec base = gpt2_small();
+  const LoraSpec lora;
+  const double fraction = lora.adapter_params(base) / base.total_params();
+  EXPECT_LT(fraction, 0.01);
+  EXPECT_GT(fraction, 1e-5);
+}
+
+TEST(Lora, AdapterParamsScaleWithRank) {
+  const TransformerSpec base = gpt2_small();
+  LoraSpec r8;
+  r8.rank = 8;
+  LoraSpec r16;
+  r16.rank = 16;
+  EXPECT_NEAR(r16.adapter_params(base), 2.0 * r8.adapter_params(base), 1.0);
+}
+
+TEST(Lora, LoraStepCheaperThanDense) {
+  const TransformerSpec base = gpt2_small();
+  const LoraSpec lora;
+  EXPECT_LT(lora.train_flops_per_sample(base), base.train_flops_per_sample());
+  EXPECT_GT(lora.train_flops_per_sample(base),
+            0.5 * base.train_flops_per_sample());
+}
+
+TEST(Lora, TaskMemoryInPaperRange) {
+  // The scenario generator draws r_i in [2, 8] GB; batch sizes 8..28 should
+  // span that bracket.
+  const TransformerSpec base = gpt2_small();
+  LoraSpec small_batch;
+  small_batch.batch_size = 8;
+  LoraSpec big_batch;
+  big_batch.batch_size = 28;
+  EXPECT_GT(small_batch.task_memory_gb(base), 1.5);
+  EXPECT_LT(small_batch.task_memory_gb(base), 4.0);
+  EXPECT_GT(big_batch.task_memory_gb(base), 6.0);
+  EXPECT_LT(big_batch.task_memory_gb(base), 10.0);
+}
+
+TEST(Lora, SharedBaseMemorySmallForGpt2LargeForLlama) {
+  EXPECT_LT(LoraSpec::base_memory_gb(gpt2_small()), 2.5);
+  EXPECT_GT(LoraSpec::base_memory_gb(llama_7b()), 12.0);
+}
+
+TEST(PerfModel, DerivedThroughputMatchesCalibratedProfiles) {
+  // The derived numbers must agree with the hard-coded calibration in
+  // cluster/gpu_profile.cpp within 5% so the two sources never drift.
+  const TransformerSpec base = gpt2_small();
+  const LoraSpec lora;
+  const double a100 = samples_per_slot(a100_spec(), base, lora);
+  const double a40 = samples_per_slot(a40_spec(), base, lora);
+  EXPECT_NEAR(a100, a100_profile().compute_per_slot,
+              0.05 * a100_profile().compute_per_slot);
+  EXPECT_NEAR(a40, a40_profile().compute_per_slot,
+              0.05 * a40_profile().compute_per_slot);
+}
+
+TEST(PerfModel, DeriveProfileCopiesDatasheet) {
+  const GpuProfile profile =
+      derive_profile(a100_spec(), gpt2_small(), LoraSpec{});
+  EXPECT_EQ(profile.name, "A100-80GB");
+  EXPECT_DOUBLE_EQ(profile.mem_gb, 80.0);
+  EXPECT_DOUBLE_EQ(profile.power_kw, 0.4);
+  EXPECT_DOUBLE_EQ(profile.hourly_cost, 1.50);
+  EXPECT_GT(profile.compute_per_slot, 0.0);
+}
+
+TEST(PerfModel, ThroughputScalesInverselyWithModelSize) {
+  const LoraSpec lora;
+  const double small = samples_per_second(a100_spec(), gpt2_small(), lora);
+  const double medium = samples_per_second(a100_spec(), gpt2_medium(), lora);
+  EXPECT_GT(small, 2.0 * medium);
+}
+
+TEST(PerfModel, SlotLengthScalesLinearly) {
+  const LoraSpec lora;
+  const double ten_min = samples_per_slot(a100_spec(), gpt2_small(), lora, 600);
+  const double one_hour =
+      samples_per_slot(a100_spec(), gpt2_small(), lora, 3600);
+  EXPECT_NEAR(one_hour, 6.0 * ten_min, 1e-6 * one_hour);
+}
+
+}  // namespace
+}  // namespace lorasched::model

@@ -1,0 +1,127 @@
+// Tests for multi-model zones: routing, economic isolation, aggregate
+// accounting, and capacity safety per zone.
+#include "lorasched/core/multizone.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "test_helpers.h"
+
+namespace lorasched {
+namespace {
+
+using testing::make_task;
+
+std::vector<ZoneConfig> two_zones() {
+  ZoneConfig gpt2;
+  gpt2.model_name = "gpt2";
+  gpt2.base_model_gb = 4.0;
+  gpt2.nodes = {GpuProfile{"mini", 1000.0, 20.0, 0.3, 1.2},
+                GpuProfile{"mini", 1000.0, 20.0, 0.3, 1.2}};
+  ZoneConfig llama;
+  llama.model_name = "llama-7b";
+  llama.base_model_gb = 14.0;
+  llama.nodes = {GpuProfile{"big", 2000.0, 40.0, 0.4, 1.5}};
+  return {gpt2, llama};
+}
+
+Task zone_task(TaskId id, int model, Money bid = 10.0) {
+  Task task = make_task(id, 0, 12, 900.0, 2.0, 0.5, bid);
+  task.model = model;
+  return task;
+}
+
+struct MultiZoneFixture : ::testing::Test {
+  MultiZoneAuction auction{two_zones(), testing::flat_energy(), 20};
+  std::vector<VendorQuote> no_quotes;
+};
+
+TEST_F(MultiZoneFixture, ZoneSetupMatchesConfig) {
+  EXPECT_EQ(auction.zone_count(), 2);
+  EXPECT_EQ(auction.zone_name(0), "gpt2");
+  EXPECT_EQ(auction.zone_name(1), "llama-7b");
+  EXPECT_EQ(auction.zone_cluster(0).node_count(), 2);
+  EXPECT_EQ(auction.zone_cluster(1).node_count(), 1);
+  EXPECT_DOUBLE_EQ(auction.zone_cluster(1).adapter_mem_capacity(0), 26.0);
+}
+
+TEST_F(MultiZoneFixture, RoutesByModel) {
+  const Decision d0 = auction.submit(zone_task(0, 0), no_quotes);
+  ASSERT_TRUE(d0.admit);
+  const Decision d1 = auction.submit(zone_task(1, 1), no_quotes);
+  ASSERT_TRUE(d1.admit);
+  // Bookings land in the right zone's ledger.
+  EXPECT_GT(auction.zone_ledger(0).compute_utilization(), 0.0);
+  EXPECT_GT(auction.zone_ledger(1).compute_utilization(), 0.0);
+  EXPECT_EQ(auction.zone_metrics(0).admitted, 1);
+  EXPECT_EQ(auction.zone_metrics(1).admitted, 1);
+}
+
+TEST_F(MultiZoneFixture, RejectsUnknownModel) {
+  EXPECT_THROW((void)auction.submit(zone_task(0, 7), no_quotes),
+               std::out_of_range);
+  EXPECT_THROW((void)auction.submit(zone_task(0, -1), no_quotes),
+               std::out_of_range);
+}
+
+TEST_F(MultiZoneFixture, ZonesAreEconomicallyIsolated) {
+  // Load zone 0 heavily; zone 1's dual prices must stay at zero.
+  for (TaskId id = 0; id < 12; ++id) {
+    (void)auction.submit(zone_task(id, 0), no_quotes);
+  }
+  const DualState& other = auction.zone_policy(1).duals();
+  for (Slot t = 0; t < 20; ++t) {
+    EXPECT_EQ(other.lambda(0, t), 0.0);
+    EXPECT_EQ(other.phi(0, t), 0.0);
+  }
+  // And a newcomer in zone 1 pays only the cost pass-through.
+  const Decision d = auction.submit(zone_task(100, 1), no_quotes);
+  ASSERT_TRUE(d.admit);
+  EXPECT_DOUBLE_EQ(d.payment, d.schedule.energy_cost);
+}
+
+TEST_F(MultiZoneFixture, TotalMetricsSumZones) {
+  (void)auction.submit(zone_task(0, 0), no_quotes);
+  (void)auction.submit(zone_task(1, 1), no_quotes);
+  (void)auction.submit(zone_task(2, 0, 0.0001), no_quotes);  // rejected
+  const Metrics total = auction.total_metrics();
+  EXPECT_EQ(total.admitted,
+            auction.zone_metrics(0).admitted + auction.zone_metrics(1).admitted);
+  EXPECT_EQ(total.rejected, 1);
+  EXPECT_NEAR(total.social_welfare,
+              auction.zone_metrics(0).social_welfare +
+                  auction.zone_metrics(1).social_welfare,
+              1e-9);
+}
+
+TEST_F(MultiZoneFixture, ZoneCapacityEnforced) {
+  // Flood one zone far past its capacity: no throw, bounded admissions.
+  int admitted = 0;
+  for (TaskId id = 0; id < 80; ++id) {
+    Task task = zone_task(id, 0);
+    task.deadline = 3;  // 4-slot window, 2 slots each, 2 nodes
+    if (auction.submit(task, no_quotes).admit) ++admitted;
+  }
+  EXPECT_LE(admitted, 8);  // 2 nodes x 4 slots / 2 slots-per-task, shared x2
+  EXPECT_GE(admitted, 2);
+}
+
+TEST(MultiZone, RejectsEmptyZoneList) {
+  EXPECT_THROW(MultiZoneAuction({}, testing::flat_energy(), 10),
+               std::invalid_argument);
+}
+
+TEST(MultiZone, VendorQuotesFlowThrough) {
+  MultiZoneAuction auction(two_zones(), testing::flat_energy(), 20);
+  Task task = zone_task(0, 0);
+  task.needs_prep = true;
+  const std::vector<VendorQuote> quotes{{0.5, 2}, {1.5, 1}};
+  const Decision d = auction.submit(task, quotes);
+  ASSERT_TRUE(d.admit);
+  EXPECT_NE(d.schedule.vendor, kNoVendor);
+  EXPECT_GE(d.payment, d.schedule.vendor_price);
+}
+
+}  // namespace
+}  // namespace lorasched

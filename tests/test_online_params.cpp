@@ -1,0 +1,132 @@
+// Tests for the online parameter estimator and the self-calibrating
+// AdaptivePdftsp policy.
+#include "lorasched/core/online_params.h"
+
+#include <gtest/gtest.h>
+
+#include "lorasched/experiments/runner.h"
+#include "lorasched/sim/engine.h"
+#include "lorasched/workload/taskgen.h"
+#include "test_helpers.h"
+
+namespace lorasched {
+namespace {
+
+using testing::make_task;
+using testing::mini_cluster;
+
+TEST(OnlineParamEstimator, PermissiveBeforeObservations) {
+  const Cluster cluster = mini_cluster();
+  const OnlineParamEstimator est({}, cluster);
+  EXPECT_EQ(est.observed(), 0u);
+  EXPECT_LE(est.alpha(), 1e-11);
+  EXPECT_LE(est.beta(), 1e-11);
+  EXPECT_DOUBLE_EQ(est.welfare_unit(), 1.0);
+}
+
+TEST(OnlineParamEstimator, TracksRunningMaxima) {
+  const Cluster cluster = mini_cluster();
+  OnlineParamEstimator::Config config;
+  config.price_scale = 1.0;  // raw maxima for easy checking
+  OnlineParamEstimator est(config, cluster);
+  // 1 slot at rate 500, share 0.5 -> compute volume 0.5; mem 2/16 = 0.125.
+  est.observe(make_task(0, 0, 10, 400.0, 2.0, 0.5, 10.0));
+  EXPECT_NEAR(est.alpha(), 10.0 / 0.5, 1e-9);
+  EXPECT_NEAR(est.beta(), 10.0 / 0.125, 1e-9);
+  // A weaker bid must not lower the maxima.
+  est.observe(make_task(1, 0, 10, 400.0, 2.0, 0.5, 1.0));
+  EXPECT_NEAR(est.alpha(), 20.0, 1e-9);
+  // A denser bid raises them.
+  est.observe(make_task(2, 0, 10, 400.0, 2.0, 0.5, 30.0));
+  EXPECT_NEAR(est.alpha(), 60.0, 1e-9);
+}
+
+TEST(OnlineParamEstimator, ConvergesToOfflineBounds) {
+  // After observing the whole population the running maxima equal the
+  // offline Lemma-2 bounds (same price scale).
+  const Instance instance = make_instance(testing::small_scenario(17));
+  OnlineParamEstimator::Config config;
+  config.price_scale = 1.0;
+  OnlineParamEstimator est(config, instance.cluster);
+  for (const Task& task : instance.tasks) est.observe(task);
+  EXPECT_NEAR(est.alpha(), alpha_bound(instance.tasks, instance.cluster),
+              1e-9);
+  EXPECT_NEAR(est.beta(), beta_bound(instance.tasks, instance.cluster), 1e-9);
+  EXPECT_GT(est.welfare_unit(), 0.0);
+}
+
+TEST(OnlineParamEstimator, IgnoresDegenerateTasks) {
+  const Cluster cluster = mini_cluster();
+  OnlineParamEstimator est({}, cluster);
+  Task zero_work = make_task(0, 0, 10, 0.0);
+  est.observe(zero_work);
+  Task zero_bid = make_task(1, 0, 10, 400.0, 2.0, 0.5, 0.0);
+  est.observe(zero_bid);
+  EXPECT_LE(est.alpha(), 1e-11);
+  EXPECT_EQ(est.observed(), 2u);
+}
+
+TEST(OnlineParamEstimator, RejectsBadConfig) {
+  const Cluster cluster = mini_cluster();
+  OnlineParamEstimator::Config bad;
+  bad.price_scale = 0.0;
+  EXPECT_THROW(OnlineParamEstimator(bad, cluster), std::invalid_argument);
+  OnlineParamEstimator::Config quantile;
+  quantile.kappa_quantile = 1.5;
+  EXPECT_THROW(OnlineParamEstimator(quantile, cluster), std::invalid_argument);
+  OnlineParamEstimator::Config reservoir;
+  reservoir.reservoir = 0;
+  EXPECT_THROW(OnlineParamEstimator(reservoir, cluster),
+               std::invalid_argument);
+}
+
+TEST(AdaptivePdftsp, RunsCleanlyAndAdmitsWork) {
+  const Instance instance = make_instance(testing::small_scenario(19));
+  AdaptivePdftsp policy({}, instance.cluster, instance.energy,
+                        instance.horizon);
+  const SimResult result = run_simulation(instance, policy);
+  EXPECT_GT(result.metrics.admitted, 0);
+  EXPECT_GT(result.metrics.social_welfare, 0.0);
+  EXPECT_EQ(policy.estimator().observed(), instance.tasks.size());
+}
+
+TEST(AdaptivePdftsp, WelfareCloseToOfflineCalibratedPdftsp) {
+  // Self-calibration should land in the same ballpark as the variant with
+  // full offline knowledge of the bid population.
+  ScenarioConfig config = testing::small_scenario(23);
+  config.arrival_rate = 4.0;
+  const Instance instance = make_instance(config);
+  AdaptivePdftsp adaptive({}, instance.cluster, instance.energy,
+                          instance.horizon);
+  Pdftsp offline(pdftsp_config_for(instance), instance.cluster,
+                 instance.energy, instance.horizon);
+  const Metrics adaptive_m = run_simulation(instance, adaptive).metrics;
+  const Metrics offline_m = run_simulation(instance, offline).metrics;
+  EXPECT_GT(adaptive_m.social_welfare, 0.5 * offline_m.social_welfare);
+}
+
+TEST(AdaptivePdftsp, IndividualRationalityStillHolds) {
+  const Instance instance = make_instance(testing::small_scenario(29));
+  AdaptivePdftsp policy({}, instance.cluster, instance.energy,
+                        instance.horizon);
+  const SimResult result = run_simulation(instance, policy);
+  for (const TaskOutcome& o : result.outcomes) {
+    if (o.admitted) {
+      EXPECT_GE(o.true_value - o.payment, -1e-9);
+    }
+  }
+}
+
+TEST(Pdftsp, SetPricingValidatesAndApplies) {
+  const Cluster cluster = mini_cluster();
+  const EnergyModel energy = testing::flat_energy();
+  Pdftsp policy(PdftspConfig{}, cluster, energy, 10);
+  policy.set_pricing(2.0, 3.0, 4.0);
+  EXPECT_DOUBLE_EQ(policy.config().alpha, 2.0);
+  EXPECT_DOUBLE_EQ(policy.config().beta, 3.0);
+  EXPECT_DOUBLE_EQ(policy.config().welfare_unit, 4.0);
+  EXPECT_THROW(policy.set_pricing(0.0, 1.0, 1.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace lorasched

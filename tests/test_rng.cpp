@@ -1,0 +1,169 @@
+#include "lorasched/util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace lorasched::util {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += a.next() == b.next();
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, SubstreamIndependentOfParentState) {
+  Rng parent(99);
+  const Rng sub_before = parent.substream(5);
+  (void)parent.next();
+  const Rng sub_after = parent.substream(5);
+  Rng x = sub_before;
+  Rng y = sub_after;
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(x.next(), y.next());
+}
+
+TEST(Rng, SubstreamsDecorrelated) {
+  Rng parent(99);
+  Rng s0 = parent.substream(0);
+  Rng s1 = parent.substream(1);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += s0.next() == s1.next();
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(8);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 2.0);
+    ASSERT_GE(u, -3.0);
+    ASSERT_LT(u, 2.0);
+  }
+}
+
+TEST(Rng, UniformIntInclusiveAndCoversRange) {
+  Rng rng(9);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.uniform_int(2, 6);
+    ASSERT_GE(v, 2);
+    ASSERT_LE(v, 6);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, UniformIntDegenerateRange) {
+  Rng rng(10);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.uniform_int(4, 4), 4);
+}
+
+TEST(Rng, NormalMomentsApproximatelyCorrect) {
+  Rng rng(11);
+  double sum = 0.0;
+  double sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal(2.0, 3.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 2.0, 0.1);
+  EXPECT_NEAR(var, 9.0, 0.5);
+}
+
+TEST(Rng, PoissonMeanMatchesSmallRate) {
+  Rng rng(12);
+  double total = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) total += rng.poisson(3.5);
+  EXPECT_NEAR(total / n, 3.5, 0.1);
+}
+
+TEST(Rng, PoissonMeanMatchesLargeRate) {
+  Rng rng(13);
+  double total = 0.0;
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) total += rng.poisson(80.0);
+  EXPECT_NEAR(total / n, 80.0, 1.0);
+}
+
+TEST(Rng, PoissonZeroRate) {
+  Rng rng(14);
+  EXPECT_EQ(rng.poisson(0.0), 0);
+  EXPECT_EQ(rng.poisson(-1.0), 0);
+}
+
+TEST(Rng, ExponentialMeanIsInverseRate) {
+  Rng rng(15);
+  double total = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) total += rng.exponential(0.5);
+  EXPECT_NEAR(total / n, 2.0, 0.1);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(16);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(Rng, WeightedIndexProportional) {
+  Rng rng(17);
+  std::vector<double> weights{1.0, 3.0};
+  int ones = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) ones += rng.weighted_index(weights) == 1;
+  EXPECT_NEAR(static_cast<double>(ones) / n, 0.75, 0.02);
+}
+
+TEST(Rng, WeightedIndexZeroWeightsFallsBack) {
+  Rng rng(18);
+  std::vector<double> weights{0.0, 0.0};
+  EXPECT_EQ(rng.weighted_index(weights), 0u);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(19);
+  std::vector<int> items{1, 2, 3, 4, 5, 6, 7};
+  auto shuffled = items;
+  rng.shuffle(shuffled);
+  std::multiset<int> a(items.begin(), items.end());
+  std::multiset<int> b(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(Splitmix, KnownProgressionIsDeterministic) {
+  std::uint64_t s1 = 42;
+  std::uint64_t s2 = 42;
+  EXPECT_EQ(splitmix64(s1), splitmix64(s2));
+  EXPECT_EQ(s1, s2);
+}
+
+}  // namespace
+}  // namespace lorasched::util

@@ -1,0 +1,140 @@
+// Integration tests for scenario assembly and the multi-policy runner —
+// including the paper's headline qualitative claim: pdFTSP leads the three
+// baselines on social welfare.
+#include "lorasched/experiments/runner.h"
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.h"
+
+namespace lorasched {
+namespace {
+
+TEST(Scenario, InstanceMatchesConfig) {
+  ScenarioConfig config = testing::small_scenario(3);
+  config.nodes = 4;
+  config.fleet = FleetKind::kA40Only;
+  config.vendors = 7;
+  const Instance instance = make_instance(config);
+  EXPECT_EQ(instance.cluster.node_count(), 4);
+  EXPECT_EQ(instance.cluster.profile(0).name, "A40-48GB");
+  EXPECT_EQ(instance.market.vendor_count(), 7);
+  EXPECT_EQ(instance.horizon, config.horizon);
+  EXPECT_FALSE(instance.tasks.empty());
+}
+
+TEST(Scenario, DeterministicInSeed) {
+  const Instance a = make_instance(testing::small_scenario(9));
+  const Instance b = make_instance(testing::small_scenario(9));
+  ASSERT_EQ(a.tasks.size(), b.tasks.size());
+  for (std::size_t i = 0; i < a.tasks.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.tasks[i].bid, b.tasks[i].bid);
+    EXPECT_EQ(a.tasks[i].deadline, b.tasks[i].deadline);
+  }
+}
+
+TEST(Scenario, SeedChangesWorkload) {
+  const Instance a = make_instance(testing::small_scenario(1));
+  const Instance b = make_instance(testing::small_scenario(2));
+  EXPECT_NE(a.tasks.size(), b.tasks.size());
+}
+
+TEST(Scenario, TraceShapesArrivals) {
+  ScenarioConfig config = testing::small_scenario(4);
+  config.trace = TraceKind::kPhilly;
+  config.horizon = 144;
+  config.arrival_rate = 2.0;
+  const Instance instance = make_instance(config);
+  // Philly: almost nothing overnight (first ~30 slots).
+  int overnight = 0;
+  for (const Task& t : instance.tasks) overnight += t.arrival < 30;
+  EXPECT_LT(static_cast<double>(overnight),
+            0.15 * static_cast<double>(instance.tasks.size()));
+}
+
+TEST(Scenario, PdftspConfigUsesLemmaTwoBounds) {
+  const Instance instance = make_instance(testing::small_scenario(5));
+  const PdftspConfig config = pdftsp_config_for(instance);
+  EXPECT_NEAR(config.alpha,
+              kDefaultPriceScale * alpha_bound(instance.tasks, instance.cluster),
+              1e-12);
+  EXPECT_NEAR(config.beta,
+              kDefaultPriceScale * beta_bound(instance.tasks, instance.cluster),
+              1e-12);
+  // Full-strength Lemma 2 constants on request.
+  const PdftspConfig full = pdftsp_config_for(instance, 1.0);
+  EXPECT_NEAR(full.alpha, alpha_bound(instance.tasks, instance.cluster),
+              1e-12);
+  EXPECT_NEAR(config.welfare_unit,
+              welfare_unit_estimate(instance.tasks, instance.cluster), 1e-12);
+}
+
+TEST(Runner, ComparesAllFourPolicies) {
+  const Instance instance = make_instance(testing::small_scenario(6));
+  const auto results = compare_policies(instance);
+  ASSERT_EQ(results.size(), 4u);
+  EXPECT_EQ(results[0].policy, "pdFTSP");
+  EXPECT_EQ(results[1].policy, "Titan");
+  EXPECT_EQ(results[2].policy, "EFT");
+  EXPECT_EQ(results[3].policy, "NTM");
+}
+
+TEST(Runner, NormalizationPutsBestAtOne) {
+  const Instance instance = make_instance(testing::small_scenario(6));
+  const auto results = compare_policies(instance);
+  double best = 0.0;
+  for (const auto& r : results) best = std::max(best, r.normalized_welfare);
+  EXPECT_NEAR(best, 1.0, 1e-12);
+  for (const auto& r : results) {
+    EXPECT_GE(r.normalized_welfare, 0.0);
+    EXPECT_LE(r.normalized_welfare, 1.0 + 1e-12);
+  }
+}
+
+TEST(Runner, RunSetSubsetsRespected) {
+  const Instance instance = make_instance(testing::small_scenario(6));
+  RunSet set;
+  set.titan = false;
+  set.ntm = false;
+  const auto results = compare_policies(instance, set);
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(results[0].policy, "pdFTSP");
+  EXPECT_EQ(results[1].policy, "EFT");
+}
+
+TEST(Runner, PdftspLeadsBaselinesOnLoadedScenario) {
+  // The paper's core claim (Figs. 4-9): under meaningful load pdFTSP's
+  // welfare is at least that of every baseline. Averaged over seeds to
+  // avoid single-draw flukes.
+  ScenarioConfig config = testing::small_scenario(0);
+  config.nodes = 4;
+  config.arrival_rate = 6.0;  // loaded: admission control must matter
+  config.horizon = 48;
+  const auto results =
+      compare_policies_averaged(config, {11ull, 22ull, 33ull});
+  ASSERT_EQ(results.size(), 4u);
+  const PolicyResult* pdftsp = &results[0];
+  ASSERT_EQ(pdftsp->policy, "pdFTSP");
+  for (const auto& r : results) {
+    EXPECT_GE(pdftsp->metrics.social_welfare + 1e-9,
+              r.metrics.social_welfare)
+        << "beaten by " << r.policy;
+  }
+  EXPECT_NEAR(pdftsp->normalized_welfare, 1.0, 1e-9);
+}
+
+TEST(Runner, AveragedRunCollectsTimings) {
+  ScenarioConfig config = testing::small_scenario(7);
+  const auto results = compare_policies_averaged(config, {1ull, 2ull});
+  for (const auto& r : results) {
+    EXPECT_FALSE(r.decide_seconds.empty());
+  }
+}
+
+TEST(Runner, AveragedRejectsEmptySeedList) {
+  EXPECT_THROW(compare_policies_averaged(testing::small_scenario(1), {}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace lorasched

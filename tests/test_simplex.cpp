@@ -1,0 +1,167 @@
+#include "lorasched/solver/simplex.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace lorasched::solver {
+namespace {
+
+TEST(LpProblem, AddRowReturnsIndex) {
+  LpProblem lp;
+  lp.objective = {1.0, 1.0};
+  EXPECT_EQ(lp.add_row({{0, 1.0}}, 5.0), 0);
+  EXPECT_EQ(lp.add_row({{1, 1.0}}, 5.0), 1);
+  EXPECT_EQ(lp.num_vars(), 2);
+  EXPECT_EQ(lp.num_rows(), 2);
+}
+
+TEST(LpProblem, ValidateRejectsNegativeRhs) {
+  LpProblem lp;
+  lp.objective = {1.0};
+  lp.add_row({{0, 1.0}}, -1.0);
+  EXPECT_THROW(lp.validate(), std::invalid_argument);
+}
+
+TEST(LpProblem, ValidateRejectsUnknownVariable) {
+  LpProblem lp;
+  lp.objective = {1.0};
+  lp.add_row({{3, 1.0}}, 1.0);
+  EXPECT_THROW(lp.validate(), std::invalid_argument);
+}
+
+TEST(LpProblem, ValidateRejectsRepeatedVariable) {
+  LpProblem lp;
+  lp.objective = {1.0};
+  lp.add_row({{0, 1.0}, {0, 2.0}}, 1.0);
+  EXPECT_THROW(lp.validate(), std::invalid_argument);
+}
+
+TEST(Simplex, SolvesTextbookTwoVariableLp) {
+  // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18  -> x=2, y=6, obj=36.
+  LpProblem lp;
+  lp.objective = {3.0, 5.0};
+  lp.add_row({{0, 1.0}}, 4.0);
+  lp.add_row({{1, 2.0}}, 12.0);
+  lp.add_row({{0, 3.0}, {1, 2.0}}, 18.0);
+  const LpSolution sol = solve_lp(lp);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, 36.0, 1e-9);
+  EXPECT_NEAR(sol.x[0], 2.0, 1e-9);
+  EXPECT_NEAR(sol.x[1], 6.0, 1e-9);
+}
+
+TEST(Simplex, DualsAreShadowPrices) {
+  // Same textbook LP; known duals: y1=0, y2=1.5, y3=1.
+  LpProblem lp;
+  lp.objective = {3.0, 5.0};
+  lp.add_row({{0, 1.0}}, 4.0);
+  lp.add_row({{1, 2.0}}, 12.0);
+  lp.add_row({{0, 3.0}, {1, 2.0}}, 18.0);
+  const LpSolution sol = solve_lp(lp);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.duals[0], 0.0, 1e-9);
+  EXPECT_NEAR(sol.duals[1], 1.5, 1e-9);
+  EXPECT_NEAR(sol.duals[2], 1.0, 1e-9);
+}
+
+TEST(Simplex, StrongDualityHolds) {
+  LpProblem lp;
+  lp.objective = {2.0, 4.0, 1.0};
+  lp.add_row({{0, 1.0}, {1, 2.0}, {2, 1.0}}, 10.0);
+  lp.add_row({{0, 3.0}, {1, 1.0}}, 9.0);
+  lp.add_row({{1, 1.0}, {2, 4.0}}, 8.0);
+  const LpSolution sol = solve_lp(lp);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  double dual_obj = 0.0;
+  const double rhs[] = {10.0, 9.0, 8.0};
+  for (int i = 0; i < 3; ++i) dual_obj += rhs[i] * sol.duals[i];
+  EXPECT_NEAR(dual_obj, sol.objective, 1e-8);
+}
+
+TEST(Simplex, DetectsUnbounded) {
+  LpProblem lp;
+  lp.objective = {1.0, 0.0};
+  lp.add_row({{1, 1.0}}, 5.0);  // x0 unconstrained above
+  const LpSolution sol = solve_lp(lp);
+  EXPECT_EQ(sol.status, LpStatus::kUnbounded);
+}
+
+TEST(Simplex, ZeroObjectiveIsTriviallyOptimal) {
+  LpProblem lp;
+  lp.objective = {0.0};
+  lp.add_row({{0, 1.0}}, 1.0);
+  const LpSolution sol = solve_lp(lp);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, 0.0, 1e-12);
+}
+
+TEST(Simplex, NoConstraintsOnNegativeCostVariable) {
+  // max -x with x >= 0 -> x = 0.
+  LpProblem lp;
+  lp.objective = {-1.0};
+  const LpSolution sol = solve_lp(lp);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.x[0], 0.0, 1e-12);
+}
+
+TEST(Simplex, HandlesDegenerateBasis) {
+  // Degenerate vertex (redundant constraints meeting at the optimum).
+  LpProblem lp;
+  lp.objective = {1.0, 1.0};
+  lp.add_row({{0, 1.0}}, 2.0);
+  lp.add_row({{1, 1.0}}, 2.0);
+  lp.add_row({{0, 1.0}, {1, 1.0}}, 4.0);  // redundant at optimum
+  const LpSolution sol = solve_lp(lp);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, 4.0, 1e-9);
+}
+
+TEST(Simplex, FractionalKnapsackRelaxation) {
+  // max 10a + 6b + 4c s.t. a+b+c <= 2, 5a+4b+3c <= 7, binary relaxed to
+  // a,b,c <= 1. Greedy by density on the binding row: a=1, b=0.5 -> 13.
+  LpProblem lp;
+  lp.objective = {10.0, 6.0, 4.0};
+  lp.add_row({{0, 1.0}, {1, 1.0}, {2, 1.0}}, 2.0);
+  lp.add_row({{0, 5.0}, {1, 4.0}, {2, 3.0}}, 7.0);
+  lp.add_row({{0, 1.0}}, 1.0);
+  lp.add_row({{1, 1.0}}, 1.0);
+  lp.add_row({{2, 1.0}}, 1.0);
+  const LpSolution sol = solve_lp(lp);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, 13.0, 1e-8);
+}
+
+TEST(Simplex, MediumRandomPackingSolves) {
+  // A 40-var, 25-row random packing LP: sanity for scale and termination.
+  LpProblem lp;
+  std::uint64_t state = 12345;
+  auto next = [&state]() {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    return static_cast<double>((state >> 33) & 0xffff) / 65535.0;
+  };
+  for (int j = 0; j < 40; ++j) lp.objective.push_back(1.0 + next());
+  for (int i = 0; i < 25; ++i) {
+    LpProblem::Row row;
+    for (int j = 0; j < 40; ++j) {
+      if (next() < 0.3) row.coeffs.emplace_back(j, 0.2 + next());
+    }
+    row.rhs = 3.0 + next();
+    lp.rows.push_back(row);
+  }
+  for (int j = 0; j < 40; ++j) lp.add_row({{j, 1.0}}, 1.0);
+  const LpSolution sol = solve_lp(lp);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_GT(sol.objective, 0.0);
+  // Primal feasibility of the returned point.
+  for (const auto& row : lp.rows) {
+    double lhs = 0.0;
+    for (const auto& [var, coeff] : row.coeffs) {
+      lhs += coeff * sol.x[static_cast<std::size_t>(var)];
+    }
+    EXPECT_LE(lhs, row.rhs + 1e-7);
+  }
+}
+
+}  // namespace
+}  // namespace lorasched::solver

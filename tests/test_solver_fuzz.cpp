@@ -1,0 +1,159 @@
+// Randomized property suites for the solver stack: primal feasibility,
+// complementary slackness and strong duality of the simplex on random
+// packing LPs; branch & bound vs. exhaustive enumeration on random 0/1
+// programs; bound sandwiching in column generation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "lorasched/solver/bnb.h"
+#include "lorasched/solver/simplex.h"
+#include "lorasched/util/rng.h"
+
+namespace lorasched::solver {
+namespace {
+
+LpProblem random_packing_lp(util::Rng& rng, int vars, int rows,
+                            double density) {
+  LpProblem lp;
+  for (int j = 0; j < vars; ++j) lp.objective.push_back(rng.uniform(0.5, 5.0));
+  for (int i = 0; i < rows; ++i) {
+    LpProblem::Row row;
+    for (int j = 0; j < vars; ++j) {
+      if (rng.uniform() < density) {
+        row.coeffs.emplace_back(j, rng.uniform(0.1, 2.0));
+      }
+    }
+    row.rhs = rng.uniform(1.0, 5.0);
+    lp.rows.push_back(std::move(row));
+  }
+  for (int j = 0; j < vars; ++j) lp.add_row({{j, 1.0}}, 1.0);  // x <= 1
+  return lp;
+}
+
+class SimplexFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SimplexFuzz, PrimalFeasibleAtOptimum) {
+  util::Rng rng(GetParam());
+  const LpProblem lp = random_packing_lp(rng, 24, 14, 0.35);
+  const LpSolution sol = solve_lp(lp);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  for (const auto& row : lp.rows) {
+    double lhs = 0.0;
+    for (const auto& [var, coeff] : row.coeffs) {
+      lhs += coeff * sol.x[static_cast<std::size_t>(var)];
+    }
+    EXPECT_LE(lhs, row.rhs + 1e-6);
+  }
+  for (double x : sol.x) EXPECT_GE(x, -1e-9);
+}
+
+TEST_P(SimplexFuzz, StrongDualityHolds) {
+  util::Rng rng(GetParam() ^ 0xduLL);
+  const LpProblem lp = random_packing_lp(rng, 20, 12, 0.4);
+  const LpSolution sol = solve_lp(lp);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  double dual_obj = 0.0;
+  for (int i = 0; i < lp.num_rows(); ++i) {
+    dual_obj += lp.rows[static_cast<std::size_t>(i)].rhs *
+                sol.duals[static_cast<std::size_t>(i)];
+  }
+  EXPECT_NEAR(dual_obj, sol.objective, 1e-6 * std::max(1.0, sol.objective));
+}
+
+TEST_P(SimplexFuzz, DualFeasibility) {
+  // yᵀA >= c for every variable (dual constraint of the packing LP).
+  util::Rng rng(GetParam() ^ 0xfeedULL);
+  const LpProblem lp = random_packing_lp(rng, 18, 10, 0.4);
+  const LpSolution sol = solve_lp(lp);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  std::vector<double> column_price(static_cast<std::size_t>(lp.num_vars()),
+                                   0.0);
+  for (int i = 0; i < lp.num_rows(); ++i) {
+    for (const auto& [var, coeff] : lp.rows[static_cast<std::size_t>(i)].coeffs) {
+      column_price[static_cast<std::size_t>(var)] +=
+          coeff * sol.duals[static_cast<std::size_t>(i)];
+    }
+  }
+  for (int j = 0; j < lp.num_vars(); ++j) {
+    EXPECT_GE(column_price[static_cast<std::size_t>(j)] + 1e-6,
+              lp.objective[static_cast<std::size_t>(j)])
+        << "dual constraint violated at variable " << j;
+  }
+}
+
+TEST_P(SimplexFuzz, ComplementarySlackness) {
+  util::Rng rng(GetParam() ^ 0xc0ffeeULL);
+  const LpProblem lp = random_packing_lp(rng, 16, 10, 0.4);
+  const LpSolution sol = solve_lp(lp);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  for (int i = 0; i < lp.num_rows(); ++i) {
+    double lhs = 0.0;
+    for (const auto& [var, coeff] : lp.rows[static_cast<std::size_t>(i)].coeffs) {
+      lhs += coeff * sol.x[static_cast<std::size_t>(var)];
+    }
+    const double slack = lp.rows[static_cast<std::size_t>(i)].rhs - lhs;
+    // y_i * slack_i = 0 at an optimal pair.
+    EXPECT_NEAR(sol.duals[static_cast<std::size_t>(i)] * slack, 0.0, 1e-5);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimplexFuzz,
+                         ::testing::Values(101ull, 202ull, 303ull, 404ull,
+                                           505ull, 606ull));
+
+class BnbFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BnbFuzz, MatchesBruteForceOnRandomPrograms) {
+  util::Rng rng(GetParam());
+  for (int trial = 0; trial < 6; ++trial) {
+    const int n = 10;
+    MilpProblem milp;
+    for (int j = 0; j < n; ++j) {
+      milp.lp.objective.push_back(rng.uniform(0.5, 6.0));
+      milp.binary_vars.push_back(j);
+    }
+    const int rows = static_cast<int>(rng.uniform_int(2, 5));
+    for (int i = 0; i < rows; ++i) {
+      LpProblem::Row row;
+      for (int j = 0; j < n; ++j) {
+        if (rng.uniform() < 0.5) row.coeffs.emplace_back(j, rng.uniform(0.2, 1.5));
+      }
+      row.rhs = rng.uniform(0.8, 3.0);
+      if (!row.coeffs.empty()) milp.lp.rows.push_back(std::move(row));
+    }
+
+    double brute = 0.0;
+    for (int mask = 0; mask < (1 << n); ++mask) {
+      bool ok = true;
+      for (const auto& row : milp.lp.rows) {
+        double lhs = 0.0;
+        for (const auto& [var, coeff] : row.coeffs) {
+          if (mask & (1 << var)) lhs += coeff;
+        }
+        if (lhs > row.rhs + 1e-9) {
+          ok = false;
+          break;
+        }
+      }
+      if (!ok) continue;
+      double value = 0.0;
+      for (int j = 0; j < n; ++j) {
+        if (mask & (1 << j)) value += milp.lp.objective[static_cast<std::size_t>(j)];
+      }
+      brute = std::max(brute, value);
+    }
+
+    const MilpSolution sol = solve_milp(milp);
+    ASSERT_TRUE(sol.found_incumbent) << "trial " << trial;
+    EXPECT_TRUE(sol.proved_optimal) << "trial " << trial;
+    EXPECT_NEAR(sol.objective, brute, 1e-6) << "trial " << trial;
+    EXPECT_GE(sol.root_bound + 1e-6, sol.objective) << "trial " << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BnbFuzz,
+                         ::testing::Values(11ull, 22ull, 33ull, 44ull));
+
+}  // namespace
+}  // namespace lorasched::solver

@@ -1,0 +1,91 @@
+#include "lorasched/util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace lorasched::util {
+namespace {
+
+TEST(Stats, MeanOfEmptyIsZero) {
+  EXPECT_EQ(mean({}), 0.0);
+}
+
+TEST(Stats, BasicDescriptives) {
+  const std::vector<double> v{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(sum(v), 10.0);
+  EXPECT_DOUBLE_EQ(mean(v), 2.5);
+  EXPECT_NEAR(variance(v), 5.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(min_value(v), 1.0);
+  EXPECT_DOUBLE_EQ(max_value(v), 4.0);
+}
+
+TEST(Stats, VarianceOfSingletonIsZero) {
+  const std::vector<double> v{5.0};
+  EXPECT_EQ(variance(v), 0.0);
+  EXPECT_EQ(stddev(v), 0.0);
+}
+
+TEST(Stats, PercentileEndpointsAndMedian) {
+  const std::vector<double> v{3.0, 1.0, 2.0, 5.0, 4.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100.0), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 50.0), 3.0);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  const std::vector<double> v{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 25.0), 2.5);
+}
+
+TEST(Stats, PercentileRejectsBadInput) {
+  EXPECT_THROW((void)percentile({}, 50.0), std::invalid_argument);
+  const std::vector<double> v{1.0};
+  EXPECT_THROW((void)percentile(v, -1.0), std::invalid_argument);
+  EXPECT_THROW((void)percentile(v, 101.0), std::invalid_argument);
+}
+
+TEST(Stats, EmpiricalCdfMonotoneAndEndsAtOne) {
+  const std::vector<double> v{4.0, 1.0, 3.0, 2.0};
+  const auto cdf = empirical_cdf(v);
+  ASSERT_FALSE(cdf.empty());
+  for (std::size_t i = 1; i < cdf.size(); ++i) {
+    EXPECT_GE(cdf[i].value, cdf[i - 1].value);
+    EXPECT_GE(cdf[i].fraction, cdf[i - 1].fraction);
+  }
+  EXPECT_DOUBLE_EQ(cdf.back().fraction, 1.0);
+  EXPECT_DOUBLE_EQ(cdf.back().value, 4.0);
+}
+
+TEST(Stats, EmpiricalCdfDownsamples) {
+  std::vector<double> v;
+  for (int i = 0; i < 1000; ++i) v.push_back(i);
+  const auto cdf = empirical_cdf(v, 10);
+  EXPECT_LE(cdf.size(), 12u);
+  EXPECT_DOUBLE_EQ(cdf.back().fraction, 1.0);
+}
+
+TEST(Stats, EmpiricalCdfEmptySample) {
+  EXPECT_TRUE(empirical_cdf({}).empty());
+}
+
+TEST(RunningStats, MatchesBatchComputation) {
+  const std::vector<double> v{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  RunningStats rs;
+  for (double x : v) rs.add(x);
+  EXPECT_EQ(rs.count(), v.size());
+  EXPECT_NEAR(rs.mean(), mean(v), 1e-12);
+  EXPECT_NEAR(rs.variance(), variance(v), 1e-12);
+  EXPECT_DOUBLE_EQ(rs.min(), 2.0);
+  EXPECT_DOUBLE_EQ(rs.max(), 9.0);
+}
+
+TEST(RunningStats, EmptyIsSafe) {
+  RunningStats rs;
+  EXPECT_EQ(rs.count(), 0u);
+  EXPECT_EQ(rs.variance(), 0.0);
+}
+
+}  // namespace
+}  // namespace lorasched::util

@@ -1,0 +1,68 @@
+#include "lorasched/util/table.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+namespace lorasched::util {
+namespace {
+
+TEST(Table, RejectsEmptyHeader) {
+  EXPECT_THROW(Table("t", {}), std::invalid_argument);
+}
+
+TEST(Table, RejectsWrongRowWidth) {
+  Table table("t", {"a", "b"});
+  EXPECT_THROW(table.add_row({"only one"}), std::invalid_argument);
+}
+
+TEST(Table, PrintContainsTitleHeaderAndCells) {
+  Table table("My Figure", {"algo", "welfare"});
+  table.add_row({"pdFTSP", "1.000"});
+  table.add_row({"EFT", "0.400"});
+  std::ostringstream os;
+  table.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("My Figure"), std::string::npos);
+  EXPECT_NE(out.find("algo"), std::string::npos);
+  EXPECT_NE(out.find("pdFTSP"), std::string::npos);
+  EXPECT_NE(out.find("0.400"), std::string::npos);
+}
+
+TEST(Table, CsvRoundTrip) {
+  Table table("t", {"a", "b"});
+  table.add_row({"x", "1"});
+  std::ostringstream os;
+  table.write_csv(os);
+  EXPECT_EQ(os.str(), "a,b\nx,1\n");
+}
+
+TEST(Table, CsvEscapesSpecialCharacters) {
+  Table table("t", {"a"});
+  table.add_row({"hello, \"world\""});
+  std::ostringstream os;
+  table.write_csv(os);
+  EXPECT_EQ(os.str(), "a\n\"hello, \"\"world\"\"\"\n");
+}
+
+TEST(Table, NumFormatsPrecision) {
+  EXPECT_EQ(Table::num(1.23456, 2), "1.23");
+  EXPECT_EQ(Table::num(2.0, 0), "2");
+}
+
+TEST(Table, PctFormatsRatio) {
+  EXPECT_EQ(Table::pct(0.4899), "48.99%");
+  EXPECT_EQ(Table::pct(1.5157), "151.57%");
+}
+
+TEST(Table, AccessorsExposeData) {
+  Table table("t", {"a", "b"});
+  table.add_row({"x", "y"});
+  EXPECT_EQ(table.rows(), 1u);
+  EXPECT_EQ(table.header().size(), 2u);
+  EXPECT_EQ(table.data()[0][1], "y");
+}
+
+}  // namespace
+}  // namespace lorasched::util

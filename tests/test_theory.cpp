@@ -1,0 +1,85 @@
+// Tests for the Theorem-5 competitive-bound evaluation.
+#include "lorasched/core/theory.h"
+
+#include <gtest/gtest.h>
+
+#include "lorasched/core/pdftsp.h"
+#include "lorasched/sim/engine.h"
+#include "lorasched/solver/colgen.h"
+#include "test_helpers.h"
+
+namespace lorasched {
+namespace {
+
+using testing::make_task;
+using testing::mini_cluster;
+
+Instance instance_with(std::vector<Task> tasks) {
+  return Instance(mini_cluster(), testing::flat_energy(),
+                  Marketplace(Marketplace::Config{}, 1), 20, std::move(tasks));
+}
+
+TEST(Theory, ThrowsOnDegeneratePopulation) {
+  EXPECT_THROW((void)theoretical_bound(instance_with({})),
+               std::invalid_argument);
+  EXPECT_THROW((void)theoretical_bound(
+                   instance_with({make_task(0, 0, 5, 0.0)})),
+               std::invalid_argument);
+}
+
+TEST(Theory, HomogeneousPopulationGivesRhoTwo) {
+  // Identical tasks: every spread ratio is 1, so ρ = 1 + max{1, 1} = 2.
+  std::vector<Task> tasks{make_task(0, 0, 10, 500.0, 2.0, 0.5, 5.0),
+                          make_task(1, 2, 12, 500.0, 2.0, 0.5, 5.0)};
+  const CompetitiveBound bound = theoretical_bound(instance_with(tasks));
+  EXPECT_NEAR(bound.rho, 2.0, 1e-9);
+  EXPECT_GT(bound.gamma, bound.rho);  // the (1 + max{α,β}/κ) factor
+}
+
+TEST(Theory, SpreadInflatesRho) {
+  std::vector<Task> narrow{make_task(0, 0, 10, 500.0, 2.0, 0.5, 5.0),
+                           make_task(1, 2, 12, 500.0, 2.0, 0.5, 5.0)};
+  std::vector<Task> wide{make_task(0, 0, 10, 500.0, 2.0, 0.5, 5.0),
+                         make_task(1, 2, 12, 500.0, 8.0, 0.5, 20.0)};
+  EXPECT_GT(theoretical_bound(instance_with(wide)).rho,
+            theoretical_bound(instance_with(narrow)).rho);
+}
+
+TEST(Theory, GammaAtLeastOne) {
+  const Instance instance = make_instance(testing::small_scenario(57));
+  const CompetitiveBound bound = theoretical_bound(instance);
+  EXPECT_GE(bound.gamma, 1.0);
+  EXPECT_GE(bound.rho, 1.0);
+  EXPECT_GT(bound.alpha, 0.0);
+  EXPECT_GT(bound.beta, 0.0);
+}
+
+TEST(Theory, IngredientsAreConsistentExtremes) {
+  const Instance instance = make_instance(testing::small_scenario(57));
+  const CompetitiveBound bound = theoretical_bound(instance);
+  EXPECT_GE(bound.unit_welfare_max, bound.unit_welfare_min);
+  EXPECT_GE(bound.rate_max, bound.rate_min);
+  EXPECT_GE(bound.mem_max, bound.mem_min);
+  EXPECT_GT(bound.unit_welfare_min, 0.0);
+}
+
+TEST(Theory, GuaranteeDominatesEmpiricalRatio) {
+  // Theorem 5: the worst-case γ must upper-bound the measured OPT/online
+  // ratio on any instance (with a healthy margin in practice).
+  ScenarioConfig config = testing::small_scenario(59);
+  config.nodes = 3;
+  config.horizon = 24;
+  config.arrival_rate = 1.0;
+  const Instance instance = make_instance(config);
+  Pdftsp policy(pdftsp_config_for(instance), instance.cluster, instance.energy,
+                instance.horizon);
+  const SimResult online = run_simulation(instance, policy);
+  if (online.metrics.social_welfare <= 0.0) GTEST_SKIP();
+  const OfflineBound offline = solve_offline(instance);
+  const double empirical =
+      offline.lp_bound / online.metrics.social_welfare;
+  EXPECT_LE(empirical, theoretical_bound(instance).gamma + 1e-6);
+}
+
+}  // namespace
+}  // namespace lorasched

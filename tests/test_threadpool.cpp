@@ -1,0 +1,75 @@
+#include "lorasched/util/threadpool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace lorasched::util {
+namespace {
+
+TEST(ThreadPool, RunsSubmittedJobs) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, WaitIdleOnEmptyPoolReturns) {
+  ThreadPool pool(1);
+  pool.wait_idle();  // must not hang
+  SUCCEED();
+}
+
+TEST(ThreadPool, ThreadCountRespected) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.thread_count(), 3u);
+}
+
+TEST(ThreadPool, DefaultsToHardwareConcurrency) {
+  ThreadPool pool;
+  EXPECT_GE(pool.thread_count(), 1u);
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(257);
+  parallel_for(pool, 0, hits.size(), [&](std::size_t i) {
+    hits[i].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, EmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  parallel_for(pool, 5, 5, [&](std::size_t) { counter.fetch_add(1); });
+  EXPECT_EQ(counter.load(), 0);
+}
+
+TEST(ParallelFor, ComputesParallelSum) {
+  ThreadPool pool(4);
+  std::vector<long> partial(1000, 0);
+  parallel_for(pool, 0, partial.size(), [&](std::size_t i) {
+    partial[i] = static_cast<long>(i);
+  });
+  const long total = std::accumulate(partial.begin(), partial.end(), 0L);
+  EXPECT_EQ(total, 999L * 1000L / 2);
+}
+
+TEST(ThreadPool, ReusableAcrossBatches) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 50; ++i) pool.submit([&] { counter.fetch_add(1); });
+    pool.wait_idle();
+  }
+  EXPECT_EQ(counter.load(), 150);
+}
+
+}  // namespace
+}  // namespace lorasched::util

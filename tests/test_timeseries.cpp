@@ -1,0 +1,143 @@
+// Tests for the per-slot time series and the ASCII Gantt renderer.
+#include <gtest/gtest.h>
+
+#include "lorasched/core/pdftsp.h"
+#include "lorasched/sim/engine.h"
+#include "lorasched/sim/gantt.h"
+#include "lorasched/sim/timeseries.h"
+#include "test_helpers.h"
+
+namespace lorasched {
+namespace {
+
+SimResult run_small(const Instance& instance) {
+  Pdftsp policy(pdftsp_config_for(instance), instance.cluster, instance.energy,
+                instance.horizon);
+  return run_simulation(instance, policy);
+}
+
+TEST(TimeSeries, DimensionsMatchHorizon) {
+  const Instance instance = make_instance(testing::small_scenario(51));
+  const SimResult result = run_small(instance);
+  const SlotSeries series = build_series(instance, result);
+  EXPECT_EQ(series.horizon(), instance.horizon);
+  EXPECT_EQ(series.admissions.size(), series.arrivals.size());
+  EXPECT_EQ(series.utilization.size(), series.arrivals.size());
+}
+
+TEST(TimeSeries, ArrivalCountsMatchWorkload) {
+  const Instance instance = make_instance(testing::small_scenario(51));
+  const SimResult result = run_small(instance);
+  const SlotSeries series = build_series(instance, result);
+  int total = 0;
+  for (int a : series.arrivals) total += a;
+  EXPECT_EQ(total, static_cast<int>(instance.tasks.size()));
+}
+
+TEST(TimeSeries, AdmissionsNeverExceedArrivals) {
+  const Instance instance = make_instance(testing::small_scenario(53));
+  const SimResult result = run_small(instance);
+  const SlotSeries series = build_series(instance, result);
+  int admitted = 0;
+  for (std::size_t t = 0; t < series.arrivals.size(); ++t) {
+    EXPECT_LE(series.admissions[t], series.arrivals[t]);
+    admitted += series.admissions[t];
+  }
+  EXPECT_EQ(admitted, result.metrics.admitted);
+}
+
+TEST(TimeSeries, CumulativeWelfareMonotoneAndEndsAtTotal) {
+  const Instance instance = make_instance(testing::small_scenario(51));
+  const SimResult result = run_small(instance);
+  const SlotSeries series = build_series(instance, result);
+  for (std::size_t t = 1; t < series.cumulative_welfare.size(); ++t) {
+    EXPECT_GE(series.cumulative_welfare[t], series.cumulative_welfare[t - 1]);
+  }
+  EXPECT_NEAR(series.cumulative_welfare.back(), result.metrics.social_welfare,
+              1e-6);
+}
+
+TEST(TimeSeries, UtilizationAveragesToRunTotal) {
+  const Instance instance = make_instance(testing::small_scenario(51));
+  const SimResult result = run_small(instance);
+  const SlotSeries series = build_series(instance, result);
+  double total = 0.0;
+  for (double u : series.utilization) {
+    EXPECT_GE(u, 0.0);
+    EXPECT_LE(u, 1.0 + 1e-9);
+    total += u;
+  }
+  EXPECT_NEAR(total / static_cast<double>(series.utilization.size()),
+              result.metrics.utilization, 1e-6);
+}
+
+TEST(TimeSeries, RejectsResultWithoutSchedules) {
+  const Instance instance = make_instance(testing::small_scenario(51));
+  SimResult result = run_small(instance);
+  result.schedules.clear();
+  EXPECT_THROW((void)build_series(instance, result), std::invalid_argument);
+}
+
+TEST(Gantt, RendersOneRowPerNode) {
+  const Instance instance = make_instance(testing::small_scenario(55));
+  const SimResult result = run_small(instance);
+  const std::string art = render_gantt(instance, result);
+  int rows = 0;
+  for (char ch : art) rows += ch == '\n';
+  // Header + one line per node.
+  EXPECT_EQ(rows, 1 + instance.cluster.node_count());
+  EXPECT_NE(art.find("node 0"), std::string::npos);
+}
+
+TEST(Gantt, CellsReflectOccupancy) {
+  // One admitted task on a single node: its slots must be non-idle.
+  const Instance instance = make_instance(testing::small_scenario(55));
+  const SimResult result = run_small(instance);
+  const std::string art = render_gantt(instance, result);
+  bool any_busy = false;
+  for (char ch : art) any_busy = any_busy || (ch >= '1' && ch <= '9');
+  EXPECT_TRUE(any_busy);
+}
+
+TEST(Gantt, TruncatesLargeClusters) {
+  ScenarioConfig config = testing::small_scenario(55);
+  config.nodes = 40;
+  const Instance instance = make_instance(config);
+  const SimResult result = run_small(instance);
+  GanttOptions options;
+  options.max_nodes = 4;
+  const std::string art = render_gantt(instance, result, options);
+  EXPECT_NE(art.find("36 more nodes not shown"), std::string::npos);
+}
+
+TEST(Gantt, RejectsBadRanges) {
+  const Instance instance = make_instance(testing::small_scenario(55));
+  const SimResult result = run_small(instance);
+  GanttOptions inverted;
+  inverted.from = 10;
+  inverted.to = 5;
+  EXPECT_THROW((void)render_gantt(instance, result, inverted),
+               std::invalid_argument);
+  GanttOptions beyond;
+  beyond.to = instance.horizon + 1;
+  EXPECT_THROW((void)render_gantt(instance, result, beyond),
+               std::invalid_argument);
+}
+
+TEST(Gantt, WindowRestrictsColumns) {
+  const Instance instance = make_instance(testing::small_scenario(55));
+  const SimResult result = run_small(instance);
+  GanttOptions options;
+  options.from = 0;
+  options.to = 10;
+  const std::string art = render_gantt(instance, result, options);
+  // Every node row should carry exactly 10 occupancy cells after the
+  // bracketed profile name.
+  const auto pos = art.find("] ");
+  ASSERT_NE(pos, std::string::npos);
+  const auto eol = art.find('\n', pos);
+  EXPECT_EQ(eol - pos - 2, 10u);
+}
+
+}  // namespace
+}  // namespace lorasched

@@ -1,0 +1,87 @@
+#include "lorasched/workload/traces.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "lorasched/util/stats.h"
+
+namespace lorasched {
+namespace {
+
+constexpr Slot kDay = 144;
+
+TEST(Traces, ToStringNames) {
+  EXPECT_EQ(to_string(TraceKind::kMLaaS), "MLaaS");
+  EXPECT_EQ(to_string(TraceKind::kPhilly), "Philly");
+  EXPECT_EQ(to_string(TraceKind::kHelios), "Helios");
+}
+
+class TraceKindTest : public ::testing::TestWithParam<TraceKind> {};
+
+TEST_P(TraceKindTest, MeanNormalizedToBaseRate) {
+  const auto rates = trace_rates(GetParam(), kDay, 5.0, 42);
+  ASSERT_EQ(rates.size(), static_cast<std::size_t>(kDay));
+  EXPECT_NEAR(util::mean(rates), 5.0, 1e-9);
+}
+
+TEST_P(TraceKindTest, RatesNonNegative) {
+  const auto rates = trace_rates(GetParam(), kDay, 3.0, 7);
+  for (double r : rates) EXPECT_GE(r, 0.0);
+}
+
+TEST_P(TraceKindTest, DeterministicInSeed) {
+  const auto a = trace_rates(GetParam(), kDay, 4.0, 99);
+  const auto b = trace_rates(GetParam(), kDay, 4.0, 99);
+  EXPECT_EQ(a, b);
+}
+
+TEST_P(TraceKindTest, DifferentSeedsVary) {
+  const auto a = trace_rates(GetParam(), kDay, 4.0, 1);
+  const auto b = trace_rates(GetParam(), kDay, 4.0, 2);
+  EXPECT_NE(a, b);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTraces, TraceKindTest,
+                         ::testing::Values(TraceKind::kMLaaS,
+                                           TraceKind::kPhilly,
+                                           TraceKind::kHelios),
+                         [](const auto& info) { return to_string(info.param); });
+
+TEST(Traces, PhillyPeaksDuringBusinessHours) {
+  const auto rates = trace_rates(TraceKind::kPhilly, kDay, 5.0, 42);
+  // Slot 60 ~ 10:00, slot 18 ~ 03:00.
+  EXPECT_GT(rates[60], 2.0 * rates[18]);
+}
+
+TEST(Traces, MLaaSIsMildlyDiurnal) {
+  const auto rates = trace_rates(TraceKind::kMLaaS, kDay, 5.0, 42);
+  const double hi = *std::max_element(rates.begin(), rates.end());
+  const double lo = *std::min_element(rates.begin(), rates.end());
+  EXPECT_LT(hi / lo, 3.0);  // much flatter than Philly
+  EXPECT_GT(hi / lo, 1.05);
+}
+
+TEST(Traces, HeliosHasBursts) {
+  const auto rates = trace_rates(TraceKind::kHelios, kDay, 5.0, 42);
+  const double m = util::mean(rates);
+  const double peak = *std::max_element(rates.begin(), rates.end());
+  EXPECT_GT(peak, 2.5 * m);  // spiky by construction
+}
+
+TEST(Traces, RejectsBadArguments) {
+  EXPECT_THROW(trace_rates(TraceKind::kMLaaS, 0, 5.0, 1),
+               std::invalid_argument);
+  EXPECT_THROW(trace_rates(TraceKind::kMLaaS, kDay, -1.0, 1),
+               std::invalid_argument);
+}
+
+TEST(Traces, ShortHorizonsWork) {
+  const auto rates = trace_rates(TraceKind::kPhilly, 12, 2.0, 5);
+  EXPECT_EQ(rates.size(), 12u);
+  EXPECT_NEAR(util::mean(rates), 2.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace lorasched

@@ -1,0 +1,123 @@
+#include "lorasched/workload/vendor.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "test_helpers.h"
+
+namespace lorasched {
+namespace {
+
+using testing::make_task;
+
+Task prep_task(TaskId id = 0) {
+  Task task = make_task(id, 0, 20, 8000.0);
+  task.dataset_samples = 8000.0;
+  task.needs_prep = true;
+  return task;
+}
+
+TEST(Marketplace, NoQuotesForTasksWithoutPrep) {
+  Marketplace market({}, 1);
+  Task task = prep_task();
+  task.needs_prep = false;
+  EXPECT_TRUE(market.quotes(task).empty());
+}
+
+TEST(Marketplace, QuotesOnePerVendor) {
+  Marketplace::Config config;
+  config.vendor_count = 7;
+  Marketplace market(config, 1);
+  EXPECT_EQ(market.quotes(prep_task()).size(), 7u);
+}
+
+TEST(Marketplace, QuotesDeterministicPerTask) {
+  Marketplace market({}, 5);
+  const auto a = market.quotes(prep_task(3));
+  const auto b = market.quotes(prep_task(3));
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].price, b[i].price);
+    EXPECT_EQ(a[i].delay, b[i].delay);
+  }
+}
+
+TEST(Marketplace, DifferentTasksGetDifferentQuotes) {
+  Marketplace market({}, 5);
+  const auto a = market.quotes(prep_task(1));
+  const auto b = market.quotes(prep_task(2));
+  bool any_different = false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].price != b[i].price) any_different = true;
+  }
+  EXPECT_TRUE(any_different);
+}
+
+TEST(Marketplace, PriceDelayTradeoffHolds) {
+  // Vendor 0 is the cheapest and slowest; the last is priciest and fastest.
+  Marketplace::Config config;
+  config.vendor_count = 5;
+  config.price_jitter = 0.0;
+  Marketplace market(config, 9);
+  const auto quotes = market.quotes(prep_task());
+  EXPECT_LT(quotes.front().price, quotes.back().price);
+  EXPECT_GT(quotes.front().delay, quotes.back().delay);
+}
+
+TEST(Marketplace, DelaysWithinConfiguredBand) {
+  Marketplace::Config config;
+  config.delay_lo = 2;
+  config.delay_hi = 6;
+  Marketplace market(config, 3);
+  for (TaskId id = 0; id < 50; ++id) {
+    for (const VendorQuote& q : market.quotes(prep_task(id))) {
+      EXPECT_GE(q.delay, 2);
+      EXPECT_LE(q.delay, 7);  // +1 jitter
+      EXPECT_GE(q.price, 0.0);
+    }
+  }
+}
+
+TEST(Marketplace, PricesScaleWithDatasetSize) {
+  Marketplace::Config config;
+  config.price_jitter = 0.0;
+  Marketplace market(config, 3);
+  Task small = prep_task(1);
+  small.dataset_samples = 1000.0;
+  Task large = prep_task(1);
+  large.dataset_samples = 10000.0;
+  EXPECT_NEAR(market.quotes(large)[0].price,
+              10.0 * market.quotes(small)[0].price, 1e-9);
+}
+
+TEST(Marketplace, MeanPriceMidRate) {
+  Marketplace::Config config;
+  config.price_lo = 0.1;
+  config.price_hi = 0.3;
+  Marketplace market(config, 3);
+  EXPECT_NEAR(market.mean_price(2000.0), 0.2 * 2.0, 1e-12);
+}
+
+TEST(Marketplace, RejectsInvalidConfig) {
+  Marketplace::Config bad;
+  bad.vendor_count = 0;
+  EXPECT_THROW(Marketplace(bad, 1), std::invalid_argument);
+  Marketplace::Config neg;
+  neg.price_lo = -1.0;
+  EXPECT_THROW(Marketplace(neg, 1), std::invalid_argument);
+  Marketplace::Config delays;
+  delays.delay_lo = 5;
+  delays.delay_hi = 2;
+  EXPECT_THROW(Marketplace(delays, 1), std::invalid_argument);
+}
+
+TEST(Marketplace, SingleVendorWorks) {
+  Marketplace::Config config;
+  config.vendor_count = 1;
+  Marketplace market(config, 1);
+  EXPECT_EQ(market.quotes(prep_task()).size(), 1u);
+}
+
+}  // namespace
+}  // namespace lorasched
