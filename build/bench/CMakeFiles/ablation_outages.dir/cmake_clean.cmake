@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_outages.dir/ablation_outages.cpp.o"
+  "CMakeFiles/ablation_outages.dir/ablation_outages.cpp.o.d"
+  "ablation_outages"
+  "ablation_outages.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_outages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_cluster_scale.dir/fig04_cluster_scale.cpp.o"
+  "CMakeFiles/fig04_cluster_scale.dir/fig04_cluster_scale.cpp.o.d"
+  "fig04_cluster_scale"
+  "fig04_cluster_scale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_cluster_scale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

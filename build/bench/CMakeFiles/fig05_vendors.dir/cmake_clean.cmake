@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_vendors.dir/fig05_vendors.cpp.o"
+  "CMakeFiles/fig05_vendors.dir/fig05_vendors.cpp.o.d"
+  "fig05_vendors"
+  "fig05_vendors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_vendors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

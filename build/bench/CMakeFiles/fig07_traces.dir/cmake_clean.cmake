@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_traces.dir/fig07_traces.cpp.o"
+  "CMakeFiles/fig07_traces.dir/fig07_traces.cpp.o.d"
+  "fig07_traces"
+  "fig07_traces.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_traces.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

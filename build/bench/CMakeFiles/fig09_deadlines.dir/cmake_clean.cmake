@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_deadlines.dir/fig09_deadlines.cpp.o"
+  "CMakeFiles/fig09_deadlines.dir/fig09_deadlines.cpp.o.d"
+  "fig09_deadlines"
+  "fig09_deadlines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_deadlines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_truthfulness.dir/fig10_truthfulness.cpp.o"
+  "CMakeFiles/fig10_truthfulness.dir/fig10_truthfulness.cpp.o.d"
+  "fig10_truthfulness"
+  "fig10_truthfulness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_truthfulness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_rationality.dir/fig11_rationality.cpp.o"
+  "CMakeFiles/fig11_rationality.dir/fig11_rationality.cpp.o.d"
+  "fig11_rationality"
+  "fig11_rationality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_rationality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

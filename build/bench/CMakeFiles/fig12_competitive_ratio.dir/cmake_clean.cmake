@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_competitive_ratio.dir/fig12_competitive_ratio.cpp.o"
+  "CMakeFiles/fig12_competitive_ratio.dir/fig12_competitive_ratio.cpp.o.d"
+  "fig12_competitive_ratio"
+  "fig12_competitive_ratio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_competitive_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

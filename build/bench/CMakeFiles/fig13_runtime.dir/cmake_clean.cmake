@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_runtime.dir/fig13_runtime.cpp.o"
+  "CMakeFiles/fig13_runtime.dir/fig13_runtime.cpp.o.d"
+  "fig13_runtime"
+  "fig13_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

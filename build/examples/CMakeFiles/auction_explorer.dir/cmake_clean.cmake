@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/auction_explorer.dir/auction_explorer.cpp.o"
+  "CMakeFiles/auction_explorer.dir/auction_explorer.cpp.o.d"
+  "auction_explorer"
+  "auction_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/auction_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

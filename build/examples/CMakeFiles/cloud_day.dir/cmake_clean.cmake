@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloud_day.dir/cloud_day.cpp.o"
+  "CMakeFiles/cloud_day.dir/cloud_day.cpp.o.d"
+  "cloud_day"
+  "cloud_day.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloud_day.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

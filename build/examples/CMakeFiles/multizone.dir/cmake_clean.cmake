@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multizone.dir/multizone.cpp.o"
+  "CMakeFiles/multizone.dir/multizone.cpp.o.d"
+  "multizone"
+  "multizone.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multizone.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

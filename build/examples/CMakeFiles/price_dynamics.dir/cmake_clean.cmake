@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/price_dynamics.dir/price_dynamics.cpp.o"
+  "CMakeFiles/price_dynamics.dir/price_dynamics.cpp.o.d"
+  "price_dynamics"
+  "price_dynamics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/price_dynamics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,61 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lorasched/baselines/eft.cpp" "src/CMakeFiles/lorasched.dir/lorasched/baselines/eft.cpp.o" "gcc" "src/CMakeFiles/lorasched.dir/lorasched/baselines/eft.cpp.o.d"
+  "/root/repo/src/lorasched/baselines/greedy_common.cpp" "src/CMakeFiles/lorasched.dir/lorasched/baselines/greedy_common.cpp.o" "gcc" "src/CMakeFiles/lorasched.dir/lorasched/baselines/greedy_common.cpp.o.d"
+  "/root/repo/src/lorasched/baselines/ntm.cpp" "src/CMakeFiles/lorasched.dir/lorasched/baselines/ntm.cpp.o" "gcc" "src/CMakeFiles/lorasched.dir/lorasched/baselines/ntm.cpp.o.d"
+  "/root/repo/src/lorasched/baselines/offline.cpp" "src/CMakeFiles/lorasched.dir/lorasched/baselines/offline.cpp.o" "gcc" "src/CMakeFiles/lorasched.dir/lorasched/baselines/offline.cpp.o.d"
+  "/root/repo/src/lorasched/baselines/pricing_schemes.cpp" "src/CMakeFiles/lorasched.dir/lorasched/baselines/pricing_schemes.cpp.o" "gcc" "src/CMakeFiles/lorasched.dir/lorasched/baselines/pricing_schemes.cpp.o.d"
+  "/root/repo/src/lorasched/baselines/titan.cpp" "src/CMakeFiles/lorasched.dir/lorasched/baselines/titan.cpp.o" "gcc" "src/CMakeFiles/lorasched.dir/lorasched/baselines/titan.cpp.o.d"
+  "/root/repo/src/lorasched/cluster/capacity_ledger.cpp" "src/CMakeFiles/lorasched.dir/lorasched/cluster/capacity_ledger.cpp.o" "gcc" "src/CMakeFiles/lorasched.dir/lorasched/cluster/capacity_ledger.cpp.o.d"
+  "/root/repo/src/lorasched/cluster/cluster.cpp" "src/CMakeFiles/lorasched.dir/lorasched/cluster/cluster.cpp.o" "gcc" "src/CMakeFiles/lorasched.dir/lorasched/cluster/cluster.cpp.o.d"
+  "/root/repo/src/lorasched/cluster/energy.cpp" "src/CMakeFiles/lorasched.dir/lorasched/cluster/energy.cpp.o" "gcc" "src/CMakeFiles/lorasched.dir/lorasched/cluster/energy.cpp.o.d"
+  "/root/repo/src/lorasched/cluster/gpu_profile.cpp" "src/CMakeFiles/lorasched.dir/lorasched/cluster/gpu_profile.cpp.o" "gcc" "src/CMakeFiles/lorasched.dir/lorasched/cluster/gpu_profile.cpp.o.d"
+  "/root/repo/src/lorasched/core/duals.cpp" "src/CMakeFiles/lorasched.dir/lorasched/core/duals.cpp.o" "gcc" "src/CMakeFiles/lorasched.dir/lorasched/core/duals.cpp.o.d"
+  "/root/repo/src/lorasched/core/multizone.cpp" "src/CMakeFiles/lorasched.dir/lorasched/core/multizone.cpp.o" "gcc" "src/CMakeFiles/lorasched.dir/lorasched/core/multizone.cpp.o.d"
+  "/root/repo/src/lorasched/core/online_params.cpp" "src/CMakeFiles/lorasched.dir/lorasched/core/online_params.cpp.o" "gcc" "src/CMakeFiles/lorasched.dir/lorasched/core/online_params.cpp.o.d"
+  "/root/repo/src/lorasched/core/pdftsp.cpp" "src/CMakeFiles/lorasched.dir/lorasched/core/pdftsp.cpp.o" "gcc" "src/CMakeFiles/lorasched.dir/lorasched/core/pdftsp.cpp.o.d"
+  "/root/repo/src/lorasched/core/pricing.cpp" "src/CMakeFiles/lorasched.dir/lorasched/core/pricing.cpp.o" "gcc" "src/CMakeFiles/lorasched.dir/lorasched/core/pricing.cpp.o.d"
+  "/root/repo/src/lorasched/core/schedule.cpp" "src/CMakeFiles/lorasched.dir/lorasched/core/schedule.cpp.o" "gcc" "src/CMakeFiles/lorasched.dir/lorasched/core/schedule.cpp.o.d"
+  "/root/repo/src/lorasched/core/schedule_dp.cpp" "src/CMakeFiles/lorasched.dir/lorasched/core/schedule_dp.cpp.o" "gcc" "src/CMakeFiles/lorasched.dir/lorasched/core/schedule_dp.cpp.o.d"
+  "/root/repo/src/lorasched/core/theory.cpp" "src/CMakeFiles/lorasched.dir/lorasched/core/theory.cpp.o" "gcc" "src/CMakeFiles/lorasched.dir/lorasched/core/theory.cpp.o.d"
+  "/root/repo/src/lorasched/experiments/runner.cpp" "src/CMakeFiles/lorasched.dir/lorasched/experiments/runner.cpp.o" "gcc" "src/CMakeFiles/lorasched.dir/lorasched/experiments/runner.cpp.o.d"
+  "/root/repo/src/lorasched/experiments/scenario.cpp" "src/CMakeFiles/lorasched.dir/lorasched/experiments/scenario.cpp.o" "gcc" "src/CMakeFiles/lorasched.dir/lorasched/experiments/scenario.cpp.o.d"
+  "/root/repo/src/lorasched/io/csv.cpp" "src/CMakeFiles/lorasched.dir/lorasched/io/csv.cpp.o" "gcc" "src/CMakeFiles/lorasched.dir/lorasched/io/csv.cpp.o.d"
+  "/root/repo/src/lorasched/io/serialize.cpp" "src/CMakeFiles/lorasched.dir/lorasched/io/serialize.cpp.o" "gcc" "src/CMakeFiles/lorasched.dir/lorasched/io/serialize.cpp.o.d"
+  "/root/repo/src/lorasched/model/lora.cpp" "src/CMakeFiles/lorasched.dir/lorasched/model/lora.cpp.o" "gcc" "src/CMakeFiles/lorasched.dir/lorasched/model/lora.cpp.o.d"
+  "/root/repo/src/lorasched/model/perf_model.cpp" "src/CMakeFiles/lorasched.dir/lorasched/model/perf_model.cpp.o" "gcc" "src/CMakeFiles/lorasched.dir/lorasched/model/perf_model.cpp.o.d"
+  "/root/repo/src/lorasched/model/transformer.cpp" "src/CMakeFiles/lorasched.dir/lorasched/model/transformer.cpp.o" "gcc" "src/CMakeFiles/lorasched.dir/lorasched/model/transformer.cpp.o.d"
+  "/root/repo/src/lorasched/sim/engine.cpp" "src/CMakeFiles/lorasched.dir/lorasched/sim/engine.cpp.o" "gcc" "src/CMakeFiles/lorasched.dir/lorasched/sim/engine.cpp.o.d"
+  "/root/repo/src/lorasched/sim/gantt.cpp" "src/CMakeFiles/lorasched.dir/lorasched/sim/gantt.cpp.o" "gcc" "src/CMakeFiles/lorasched.dir/lorasched/sim/gantt.cpp.o.d"
+  "/root/repo/src/lorasched/sim/metrics.cpp" "src/CMakeFiles/lorasched.dir/lorasched/sim/metrics.cpp.o" "gcc" "src/CMakeFiles/lorasched.dir/lorasched/sim/metrics.cpp.o.d"
+  "/root/repo/src/lorasched/sim/timeseries.cpp" "src/CMakeFiles/lorasched.dir/lorasched/sim/timeseries.cpp.o" "gcc" "src/CMakeFiles/lorasched.dir/lorasched/sim/timeseries.cpp.o.d"
+  "/root/repo/src/lorasched/sim/validator.cpp" "src/CMakeFiles/lorasched.dir/lorasched/sim/validator.cpp.o" "gcc" "src/CMakeFiles/lorasched.dir/lorasched/sim/validator.cpp.o.d"
+  "/root/repo/src/lorasched/solver/bnb.cpp" "src/CMakeFiles/lorasched.dir/lorasched/solver/bnb.cpp.o" "gcc" "src/CMakeFiles/lorasched.dir/lorasched/solver/bnb.cpp.o.d"
+  "/root/repo/src/lorasched/solver/colgen.cpp" "src/CMakeFiles/lorasched.dir/lorasched/solver/colgen.cpp.o" "gcc" "src/CMakeFiles/lorasched.dir/lorasched/solver/colgen.cpp.o.d"
+  "/root/repo/src/lorasched/solver/lp.cpp" "src/CMakeFiles/lorasched.dir/lorasched/solver/lp.cpp.o" "gcc" "src/CMakeFiles/lorasched.dir/lorasched/solver/lp.cpp.o.d"
+  "/root/repo/src/lorasched/solver/simplex.cpp" "src/CMakeFiles/lorasched.dir/lorasched/solver/simplex.cpp.o" "gcc" "src/CMakeFiles/lorasched.dir/lorasched/solver/simplex.cpp.o.d"
+  "/root/repo/src/lorasched/util/cli.cpp" "src/CMakeFiles/lorasched.dir/lorasched/util/cli.cpp.o" "gcc" "src/CMakeFiles/lorasched.dir/lorasched/util/cli.cpp.o.d"
+  "/root/repo/src/lorasched/util/rng.cpp" "src/CMakeFiles/lorasched.dir/lorasched/util/rng.cpp.o" "gcc" "src/CMakeFiles/lorasched.dir/lorasched/util/rng.cpp.o.d"
+  "/root/repo/src/lorasched/util/stats.cpp" "src/CMakeFiles/lorasched.dir/lorasched/util/stats.cpp.o" "gcc" "src/CMakeFiles/lorasched.dir/lorasched/util/stats.cpp.o.d"
+  "/root/repo/src/lorasched/util/table.cpp" "src/CMakeFiles/lorasched.dir/lorasched/util/table.cpp.o" "gcc" "src/CMakeFiles/lorasched.dir/lorasched/util/table.cpp.o.d"
+  "/root/repo/src/lorasched/util/threadpool.cpp" "src/CMakeFiles/lorasched.dir/lorasched/util/threadpool.cpp.o" "gcc" "src/CMakeFiles/lorasched.dir/lorasched/util/threadpool.cpp.o.d"
+  "/root/repo/src/lorasched/workload/deadlines.cpp" "src/CMakeFiles/lorasched.dir/lorasched/workload/deadlines.cpp.o" "gcc" "src/CMakeFiles/lorasched.dir/lorasched/workload/deadlines.cpp.o.d"
+  "/root/repo/src/lorasched/workload/taskgen.cpp" "src/CMakeFiles/lorasched.dir/lorasched/workload/taskgen.cpp.o" "gcc" "src/CMakeFiles/lorasched.dir/lorasched/workload/taskgen.cpp.o.d"
+  "/root/repo/src/lorasched/workload/traces.cpp" "src/CMakeFiles/lorasched.dir/lorasched/workload/traces.cpp.o" "gcc" "src/CMakeFiles/lorasched.dir/lorasched/workload/traces.cpp.o.d"
+  "/root/repo/src/lorasched/workload/vendor.cpp" "src/CMakeFiles/lorasched.dir/lorasched/workload/vendor.cpp.o" "gcc" "src/CMakeFiles/lorasched.dir/lorasched/workload/vendor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_colgen.dir/test_colgen.cpp.o"
+  "CMakeFiles/test_colgen.dir/test_colgen.cpp.o.d"
+  "test_colgen"
+  "test_colgen.pdb"
+  "test_colgen[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_colgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_duals.dir/test_duals.cpp.o"
+  "CMakeFiles/test_duals.dir/test_duals.cpp.o.d"
+  "test_duals"
+  "test_duals.pdb"
+  "test_duals[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_duals.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for test_duals.
+# This may be replaced when dependencies are built.

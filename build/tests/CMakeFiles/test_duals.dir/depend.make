@@ -1,0 +1,2 @@
+# Empty dependencies file for test_duals.
+# This may be replaced when dependencies are built.

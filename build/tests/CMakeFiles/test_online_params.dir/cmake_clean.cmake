@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_online_params.dir/test_online_params.cpp.o"
+  "CMakeFiles/test_online_params.dir/test_online_params.cpp.o.d"
+  "test_online_params"
+  "test_online_params.pdb"
+  "test_online_params[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_online_params.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

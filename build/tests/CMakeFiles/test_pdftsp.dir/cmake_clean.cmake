@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pdftsp.dir/test_pdftsp.cpp.o"
+  "CMakeFiles/test_pdftsp.dir/test_pdftsp.cpp.o.d"
+  "test_pdftsp"
+  "test_pdftsp.pdb"
+  "test_pdftsp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pdftsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pricing_schemes.dir/test_pricing_schemes.cpp.o"
+  "CMakeFiles/test_pricing_schemes.dir/test_pricing_schemes.cpp.o.d"
+  "test_pricing_schemes"
+  "test_pricing_schemes.pdb"
+  "test_pricing_schemes[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pricing_schemes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

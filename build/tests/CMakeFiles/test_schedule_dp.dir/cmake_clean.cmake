@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_schedule_dp.dir/test_schedule_dp.cpp.o"
+  "CMakeFiles/test_schedule_dp.dir/test_schedule_dp.cpp.o.d"
+  "test_schedule_dp"
+  "test_schedule_dp.pdb"
+  "test_schedule_dp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_schedule_dp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

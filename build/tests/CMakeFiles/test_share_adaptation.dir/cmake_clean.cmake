@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_share_adaptation.dir/test_share_adaptation.cpp.o"
+  "CMakeFiles/test_share_adaptation.dir/test_share_adaptation.cpp.o.d"
+  "test_share_adaptation"
+  "test_share_adaptation.pdb"
+  "test_share_adaptation[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_share_adaptation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

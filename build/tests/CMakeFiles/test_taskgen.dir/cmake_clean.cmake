@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_taskgen.dir/test_taskgen.cpp.o"
+  "CMakeFiles/test_taskgen.dir/test_taskgen.cpp.o.d"
+  "test_taskgen"
+  "test_taskgen.pdb"
+  "test_taskgen[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_taskgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
