@@ -60,6 +60,35 @@ void CapacityLedger::reserve(NodeId k, Slot t, double compute, double mem,
   if (exclusive) exclusive_[cell] = 1;
 }
 
+CapacityLedger::Snapshot CapacityLedger::snapshot() const {
+  Snapshot snap;
+  snap.nodes = nodes_;
+  snap.horizon = horizon_;
+  snap.used_compute = used_compute_;
+  snap.used_mem = used_mem_;
+  snap.task_count = task_count_;
+  snap.exclusive = exclusive_;
+  snap.blocked = blocked_;
+  return snap;
+}
+
+void CapacityLedger::restore(const Snapshot& snapshot) {
+  const auto cells =
+      static_cast<std::size_t>(nodes_) * static_cast<std::size_t>(horizon_);
+  if (snapshot.nodes != nodes_ || snapshot.horizon != horizon_ ||
+      snapshot.used_compute.size() != cells ||
+      snapshot.used_mem.size() != cells ||
+      snapshot.task_count.size() != cells ||
+      snapshot.exclusive.size() != cells || snapshot.blocked.size() != cells) {
+    throw std::invalid_argument("ledger snapshot does not match this grid");
+  }
+  used_compute_ = snapshot.used_compute;
+  used_mem_ = snapshot.used_mem;
+  task_count_ = snapshot.task_count;
+  exclusive_ = snapshot.exclusive;
+  blocked_ = snapshot.blocked;
+}
+
 double CapacityLedger::compute_utilization() const noexcept {
   double used = 0.0;
   double cap = 0.0;

@@ -57,6 +57,27 @@ class CapacityLedger {
   /// Fraction of total fleet compute reserved over [0, horizon).
   [[nodiscard]] double compute_utilization() const noexcept;
 
+  // --- Snapshot (service checkpoint/restore) ------------------------------
+
+  /// Full mutable booking state, flat in (node-major, slot-minor) order.
+  /// Capacities are derived from the cluster and are not part of the
+  /// snapshot; restore() must be fed a snapshot taken from a ledger built
+  /// over the same cluster and horizon.
+  struct Snapshot {
+    int nodes = 0;
+    Slot horizon = 0;
+    std::vector<double> used_compute;
+    std::vector<double> used_mem;
+    std::vector<int> task_count;
+    std::vector<char> exclusive;
+    std::vector<char> blocked;
+  };
+
+  [[nodiscard]] Snapshot snapshot() const;
+  /// Overwrites all bookings/blocks. Throws std::invalid_argument when the
+  /// snapshot's dimensions do not match this ledger's grid.
+  void restore(const Snapshot& snapshot);
+
  private:
   [[nodiscard]] std::size_t index(NodeId k, Slot t) const {
     return static_cast<std::size_t>(k) * static_cast<std::size_t>(horizon_) +

@@ -32,6 +32,16 @@ double DualState::max_phi(const Schedule& schedule) const {
   return best;
 }
 
+void DualState::load(std::vector<double> lambda, std::vector<double> phi) {
+  const auto cells =
+      static_cast<std::size_t>(nodes_) * static_cast<std::size_t>(horizon_);
+  if (lambda.size() != cells || phi.size() != cells) {
+    throw std::invalid_argument("dual snapshot size does not match grid");
+  }
+  lambda_ = std::move(lambda);
+  phi_ = std::move(phi);
+}
+
 void DualState::apply_update(const Task& task, const Schedule& schedule,
                              const Cluster& cluster, double alpha, double beta,
                              double welfare_unit) {

@@ -50,6 +50,20 @@ class DualState {
   }
   void set_phi(NodeId k, Slot t, double value) { phi_[index(k, t)] = value; }
 
+  // --- Snapshot access (service checkpoint/restore) -----------------------
+  // The flat price grids in (node-major, slot-minor) order. load() restores
+  // a grid pair previously read through these accessors; sizes must match
+  // nodes * horizon exactly.
+
+  [[nodiscard]] const std::vector<double>& lambda_values() const noexcept {
+    return lambda_;
+  }
+  [[nodiscard]] const std::vector<double>& phi_values() const noexcept {
+    return phi_;
+  }
+  /// Overwrites both grids. Throws std::invalid_argument on size mismatch.
+  void load(std::vector<double> lambda, std::vector<double> phi);
+
   /// Applies the primal-dual update (7)/(8) for an almost-feasible task, in
   /// normalized units (per-cell capacity 1, unit welfare divided by κ):
   ///   λ_kt <- λ_kt (1 + s̃) + α (b̄/κ) s̃,   s̃ = s_kt/C_kp

@@ -85,6 +85,31 @@ double OnlineParamEstimator::welfare_unit() const {
   return std::max(1e-9, sorted[static_cast<std::size_t>(index)]);
 }
 
+std::vector<double> OnlineParamEstimator::checkpoint_state() const {
+  std::vector<double> state;
+  state.reserve(4 + densities_.size());
+  state.push_back(static_cast<double>(observed_));
+  state.push_back(max_compute_density_);
+  state.push_back(max_mem_density_);
+  state.push_back(static_cast<double>(densities_.size()));
+  state.insert(state.end(), densities_.begin(), densities_.end());
+  return state;
+}
+
+void OnlineParamEstimator::restore_state(const std::vector<double>& state) {
+  if (state.size() < 4) {
+    throw std::invalid_argument("estimator state dump too short");
+  }
+  const auto reservoir = static_cast<std::size_t>(state[3]);
+  if (state.size() != 4 + reservoir || reservoir > config_.reservoir) {
+    throw std::invalid_argument("estimator state dump has wrong size");
+  }
+  observed_ = static_cast<std::size_t>(state[0]);
+  max_compute_density_ = state[1];
+  max_mem_density_ = state[2];
+  densities_.assign(state.begin() + 4, state.end());
+}
+
 AdaptivePdftsp::AdaptivePdftsp(OnlineParamEstimator::Config config,
                                const Cluster& cluster,
                                const EnergyModel& energy, Slot horizon,
@@ -93,6 +118,28 @@ AdaptivePdftsp::AdaptivePdftsp(OnlineParamEstimator::Config config,
       inner_(PdftspConfig{.alpha = 1e-12, .beta = 1e-12, .welfare_unit = 1.0,
                           .dp = dp},
              cluster, energy, horizon) {}
+
+std::vector<double> AdaptivePdftsp::checkpoint_state() const {
+  std::vector<double> state = estimator_.checkpoint_state();
+  const std::vector<double> inner = inner_.checkpoint_state();
+  state.insert(state.end(), inner.begin(), inner.end());
+  return state;
+}
+
+void AdaptivePdftsp::restore_state(const std::vector<double>& state) {
+  if (state.size() < 4) {
+    throw std::invalid_argument("adaptive pdFTSP state dump too short");
+  }
+  const auto reservoir = static_cast<std::size_t>(state[3]);
+  const std::size_t split = 4 + reservoir;
+  if (state.size() < split) {
+    throw std::invalid_argument("adaptive pdFTSP state dump truncated");
+  }
+  estimator_.restore_state(
+      std::vector<double>(state.begin(), state.begin() + split));
+  inner_.restore_state(
+      std::vector<double>(state.begin() + split, state.end()));
+}
 
 std::vector<Decision> AdaptivePdftsp::on_slot(const SlotContext& ctx) {
   std::vector<Decision> decisions;

@@ -46,6 +46,12 @@ class OnlineParamEstimator {
 
   [[nodiscard]] std::size_t observed() const noexcept { return observed_; }
 
+  /// Flat dump/restore of the estimator's mutable state (running maxima and
+  /// the κ reservoir); the service checkpoint path concatenates this with
+  /// the inner pdFTSP state.
+  [[nodiscard]] std::vector<double> checkpoint_state() const;
+  void restore_state(const std::vector<double>& state);
+
  private:
   Config config_;
   const Cluster& cluster_;
@@ -59,7 +65,7 @@ class OnlineParamEstimator {
 
 /// pdFTSP with self-calibrating prices: every arriving task first updates
 /// the estimator, then is auctioned under the current parameter estimates.
-class AdaptivePdftsp final : public Policy {
+class AdaptivePdftsp final : public Policy, public CheckpointableState {
  public:
   AdaptivePdftsp(OnlineParamEstimator::Config config, const Cluster& cluster,
                  const EnergyModel& energy, Slot horizon,
@@ -74,6 +80,10 @@ class AdaptivePdftsp final : public Policy {
     return estimator_;
   }
   [[nodiscard]] const Pdftsp& inner() const noexcept { return inner_; }
+
+  /// CheckpointableState: estimator dump followed by the inner pdFTSP dump.
+  [[nodiscard]] std::vector<double> checkpoint_state() const override;
+  void restore_state(const std::vector<double>& state) override;
 
  private:
   OnlineParamEstimator estimator_;

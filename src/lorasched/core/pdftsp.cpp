@@ -29,6 +29,29 @@ void Pdftsp::set_pricing(double alpha, double beta, double welfare_unit) {
   config_.welfare_unit = welfare_unit;
 }
 
+std::vector<double> Pdftsp::checkpoint_state() const {
+  std::vector<double> state;
+  const auto& lambda = duals_.lambda_values();
+  const auto& phi = duals_.phi_values();
+  state.reserve(3 + lambda.size() + phi.size());
+  state.push_back(config_.alpha);
+  state.push_back(config_.beta);
+  state.push_back(config_.welfare_unit);
+  state.insert(state.end(), lambda.begin(), lambda.end());
+  state.insert(state.end(), phi.begin(), phi.end());
+  return state;
+}
+
+void Pdftsp::restore_state(const std::vector<double>& state) {
+  const auto cells = duals_.lambda_values().size();
+  if (state.size() != 3 + 2 * cells) {
+    throw std::invalid_argument("pdFTSP state dump has wrong size");
+  }
+  set_pricing(state[0], state[1], state[2]);
+  duals_.load(std::vector<double>(state.begin() + 3, state.begin() + 3 + cells),
+              std::vector<double>(state.begin() + 3 + cells, state.end()));
+}
+
 namespace {
 bool not_blocked(const void* ctx, NodeId k, Slot t) {
   return !static_cast<const CapacityLedger*>(ctx)->is_blocked(k, t);

@@ -44,7 +44,7 @@ struct PdftspConfig {
   ScheduleDpConfig dp{};
 };
 
-class Pdftsp final : public Policy {
+class Pdftsp final : public Policy, public CheckpointableState {
  public:
   Pdftsp(PdftspConfig config, const Cluster& cluster, const EnergyModel& energy,
          Slot horizon);
@@ -79,6 +79,11 @@ class Pdftsp final : public Policy {
   /// Re-points the pricing parameters; used by AdaptivePdftsp, whose
   /// estimates tighten as bids are observed. Values must be positive.
   void set_pricing(double alpha, double beta, double welfare_unit);
+
+  /// CheckpointableState: [alpha, beta, welfare_unit, λ grid, φ grid] — the
+  /// complete mutable state of Alg. 1 (the DP and cluster are config).
+  [[nodiscard]] std::vector<double> checkpoint_state() const override;
+  void restore_state(const std::vector<double>& state) override;
 
  private:
   PdftspConfig config_;

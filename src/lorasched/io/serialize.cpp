@@ -42,20 +42,50 @@ long parse_long(const std::string& text) {
   return value;
 }
 
+std::vector<std::string> task_fields(const Task& t) {
+  return {std::to_string(t.id),       std::to_string(t.arrival),
+          std::to_string(t.deadline), fmt(t.dataset_samples),
+          std::to_string(t.epochs),   fmt(t.work),
+          fmt(t.mem_gb),              fmt(t.compute_share),
+          t.needs_prep ? "1" : "0",   std::to_string(t.model),
+          fmt(t.bid),                 fmt(t.true_value)};
+}
+
+Task task_from_fields(const std::vector<std::string>& r) {
+  if (r.size() != kTaskHeader.size()) {
+    throw std::invalid_argument("task record has wrong field count");
+  }
+  Task t;
+  t.id = static_cast<TaskId>(parse_long(r[0]));
+  t.arrival = static_cast<Slot>(parse_long(r[1]));
+  t.deadline = static_cast<Slot>(parse_long(r[2]));
+  t.dataset_samples = parse_double(r[3]);
+  t.epochs = static_cast<int>(parse_long(r[4]));
+  t.work = parse_double(r[5]);
+  t.mem_gb = parse_double(r[6]);
+  t.compute_share = parse_double(r[7]);
+  t.needs_prep = r[8] == "1";
+  t.model = static_cast<int>(parse_long(r[9]));
+  t.bid = parse_double(r[10]);
+  t.true_value = parse_double(r[11]);
+  return t;
+}
+
 }  // namespace
 
 void write_tasks_csv(std::ostream& out, const std::vector<Task>& tasks) {
   std::vector<std::vector<std::string>> records;
   records.push_back(kTaskHeader);
-  for (const Task& t : tasks) {
-    records.push_back({std::to_string(t.id), std::to_string(t.arrival),
-                       std::to_string(t.deadline), fmt(t.dataset_samples),
-                       std::to_string(t.epochs), fmt(t.work), fmt(t.mem_gb),
-                       fmt(t.compute_share), t.needs_prep ? "1" : "0",
-                       std::to_string(t.model), fmt(t.bid),
-                       fmt(t.true_value)});
-  }
+  for (const Task& t : tasks) records.push_back(task_fields(t));
   write_csv(out, records);
+}
+
+std::string format_bid_line(const Task& task) {
+  return format_csv_line(task_fields(task));
+}
+
+Task parse_bid_line(const std::string& line) {
+  return task_from_fields(parse_csv_line(line));
 }
 
 std::vector<Task> read_tasks_csv(std::istream& in) {
@@ -66,24 +96,7 @@ std::vector<Task> read_tasks_csv(std::istream& in) {
   std::vector<Task> tasks;
   tasks.reserve(records.size() - 1);
   for (std::size_t row = 1; row < records.size(); ++row) {
-    const auto& r = records[row];
-    if (r.size() != kTaskHeader.size()) {
-      throw std::invalid_argument("task CSV row has wrong field count");
-    }
-    Task t;
-    t.id = static_cast<TaskId>(parse_long(r[0]));
-    t.arrival = static_cast<Slot>(parse_long(r[1]));
-    t.deadline = static_cast<Slot>(parse_long(r[2]));
-    t.dataset_samples = parse_double(r[3]);
-    t.epochs = static_cast<int>(parse_long(r[4]));
-    t.work = parse_double(r[5]);
-    t.mem_gb = parse_double(r[6]);
-    t.compute_share = parse_double(r[7]);
-    t.needs_prep = r[8] == "1";
-    t.model = static_cast<int>(parse_long(r[9]));
-    t.bid = parse_double(r[10]);
-    t.true_value = parse_double(r[11]);
-    tasks.push_back(t);
+    tasks.push_back(task_from_fields(records[row]));
   }
   return tasks;
 }
@@ -118,6 +131,248 @@ void write_scenario(std::ostream& out, const ScenarioConfig& config) {
   out << "prep_probability = " << fmt(config.prep_probability) << '\n';
   out << "base_model_gb = " << fmt(config.base_model_gb) << '\n';
   out << "seed = " << config.seed << '\n';
+}
+
+namespace {
+
+constexpr const char* kCheckpointMagic = "lorasched-checkpoint";
+constexpr int kCheckpointVersion = 1;
+
+void expect_token(std::istream& in, const std::string& want) {
+  std::string got;
+  if (!(in >> got) || got != want) {
+    throw std::invalid_argument("checkpoint: expected '" + want + "', got '" +
+                                got + "'");
+  }
+}
+
+template <typename T>
+T read_value(std::istream& in, const char* what) {
+  T value{};
+  if (!(in >> value)) {
+    throw std::invalid_argument(std::string("checkpoint: unreadable ") + what);
+  }
+  return value;
+}
+
+void write_doubles(std::ostream& out, const std::vector<double>& values) {
+  out << values.size();
+  for (double v : values) out << ' ' << v;
+  out << '\n';
+}
+
+std::vector<double> read_doubles(std::istream& in, const char* what) {
+  const auto n = read_value<std::size_t>(in, what);
+  std::vector<double> values(n);
+  for (std::size_t i = 0; i < n; ++i) values[i] = read_value<double>(in, what);
+  return values;
+}
+
+template <typename Int>
+void write_ints(std::ostream& out, const std::vector<Int>& values) {
+  out << values.size();
+  for (Int v : values) out << ' ' << static_cast<long>(v);
+  out << '\n';
+}
+
+template <typename Int>
+std::vector<Int> read_ints(std::istream& in, const char* what) {
+  const auto n = read_value<std::size_t>(in, what);
+  std::vector<Int> values(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    values[i] = static_cast<Int>(read_value<long>(in, what));
+  }
+  return values;
+}
+
+void write_task_record(std::ostream& out, const Task& t) {
+  out << t.id << ' ' << t.arrival << ' ' << t.deadline << ' '
+      << t.dataset_samples << ' ' << t.epochs << ' ' << t.work << ' '
+      << t.mem_gb << ' ' << t.compute_share << ' ' << (t.needs_prep ? 1 : 0)
+      << ' ' << t.model << ' ' << t.bid << ' ' << t.true_value << '\n';
+}
+
+Task read_task_record(std::istream& in) {
+  Task t;
+  t.id = read_value<TaskId>(in, "task id");
+  t.arrival = read_value<Slot>(in, "task arrival");
+  t.deadline = read_value<Slot>(in, "task deadline");
+  t.dataset_samples = read_value<double>(in, "task dataset");
+  t.epochs = read_value<int>(in, "task epochs");
+  t.work = read_value<double>(in, "task work");
+  t.mem_gb = read_value<double>(in, "task mem");
+  t.compute_share = read_value<double>(in, "task share");
+  t.needs_prep = read_value<int>(in, "task prep") != 0;
+  t.model = read_value<int>(in, "task model");
+  t.bid = read_value<double>(in, "task bid");
+  t.true_value = read_value<double>(in, "task value");
+  return t;
+}
+
+void write_outcome_record(std::ostream& out, const TaskOutcome& o) {
+  out << o.task << ' ' << (o.admitted ? 1 : 0) << ' ' << o.bid << ' '
+      << o.true_value << ' ' << o.payment << ' ' << o.vendor_cost << ' '
+      << o.energy_cost << ' ' << o.vendor << ' ' << o.arrival << ' '
+      << o.completion << ' ' << o.slots_used << ' ' << o.preemptions << ' '
+      << o.decide_seconds << '\n';
+}
+
+TaskOutcome read_outcome_record(std::istream& in) {
+  TaskOutcome o;
+  o.task = read_value<TaskId>(in, "outcome task");
+  o.admitted = read_value<int>(in, "outcome admitted") != 0;
+  o.bid = read_value<double>(in, "outcome bid");
+  o.true_value = read_value<double>(in, "outcome value");
+  o.payment = read_value<double>(in, "outcome payment");
+  o.vendor_cost = read_value<double>(in, "outcome vendor cost");
+  o.energy_cost = read_value<double>(in, "outcome energy cost");
+  o.vendor = read_value<VendorId>(in, "outcome vendor");
+  o.arrival = read_value<Slot>(in, "outcome arrival");
+  o.completion = read_value<Slot>(in, "outcome completion");
+  o.slots_used = read_value<int>(in, "outcome slots");
+  o.preemptions = read_value<int>(in, "outcome preemptions");
+  o.decide_seconds = read_value<double>(in, "outcome decide time");
+  return o;
+}
+
+void write_schedule_record(std::ostream& out, const Schedule& s) {
+  out << s.task << ' ' << s.vendor << ' ' << s.vendor_price << ' '
+      << s.prep_delay << ' ' << (s.exclusive ? 1 : 0) << ' '
+      << s.share_override << ' ' << s.total_compute << ' ' << s.total_mem
+      << ' ' << s.norm_compute << ' ' << s.norm_mem << ' ' << s.energy_cost
+      << ' ' << s.welfare_gain << ' ' << s.run.size();
+  for (const Assignment& a : s.run) out << ' ' << a.node << ' ' << a.slot;
+  out << '\n';
+}
+
+Schedule read_schedule_record(std::istream& in) {
+  Schedule s;
+  s.task = read_value<TaskId>(in, "schedule task");
+  s.vendor = read_value<VendorId>(in, "schedule vendor");
+  s.vendor_price = read_value<double>(in, "schedule vendor price");
+  s.prep_delay = read_value<Slot>(in, "schedule prep delay");
+  s.exclusive = read_value<int>(in, "schedule exclusive") != 0;
+  s.share_override = read_value<double>(in, "schedule share");
+  s.total_compute = read_value<double>(in, "schedule compute");
+  s.total_mem = read_value<double>(in, "schedule mem");
+  s.norm_compute = read_value<double>(in, "schedule norm compute");
+  s.norm_mem = read_value<double>(in, "schedule norm mem");
+  s.energy_cost = read_value<double>(in, "schedule energy");
+  s.welfare_gain = read_value<double>(in, "schedule welfare");
+  const auto n = read_value<std::size_t>(in, "schedule run length");
+  s.run.resize(n);
+  for (auto& a : s.run) {
+    a.node = read_value<NodeId>(in, "schedule node");
+    a.slot = read_value<Slot>(in, "schedule slot");
+  }
+  return s;
+}
+
+}  // namespace
+
+void write_checkpoint(std::ostream& out,
+                      const service::Checkpoint& checkpoint) {
+  const auto saved_precision = out.precision(17);
+  out << kCheckpointMagic << ' ' << kCheckpointVersion << '\n';
+  out << "next_slot " << checkpoint.next_slot << '\n';
+  out << "horizon " << checkpoint.horizon << '\n';
+  out << "booked_compute " << checkpoint.booked_compute << '\n';
+  out << "policy_state ";
+  write_doubles(out, checkpoint.policy_state);
+
+  const auto& ledger = checkpoint.ledger;
+  out << "ledger " << ledger.nodes << ' ' << ledger.horizon << '\n';
+  out << "used_compute ";
+  write_doubles(out, ledger.used_compute);
+  out << "used_mem ";
+  write_doubles(out, ledger.used_mem);
+  out << "task_count ";
+  write_ints(out, ledger.task_count);
+  out << "exclusive ";
+  write_ints(out, ledger.exclusive);
+  out << "blocked ";
+  write_ints(out, ledger.blocked);
+
+  out << "pending " << checkpoint.pending.size() << '\n';
+  for (const Task& t : checkpoint.pending) write_task_record(out, t);
+  out << "outcomes " << checkpoint.outcomes.size() << '\n';
+  for (const TaskOutcome& o : checkpoint.outcomes) write_outcome_record(out, o);
+  out << "schedules " << checkpoint.schedules.size() << '\n';
+  for (const Schedule& s : checkpoint.schedules) write_schedule_record(out, s);
+
+  const Metrics& m = checkpoint.metrics;
+  out << "metrics " << m.social_welfare << ' ' << m.provider_utility << ' '
+      << m.user_utility << ' ' << m.total_bids_admitted << ' '
+      << m.total_payments << ' ' << m.total_vendor_cost << ' '
+      << m.total_energy_cost << ' ' << m.admitted << ' ' << m.rejected << ' '
+      << m.utilization << '\n';
+  out << "end\n";
+  out.precision(saved_precision);
+}
+
+service::Checkpoint read_checkpoint(std::istream& in) {
+  expect_token(in, kCheckpointMagic);
+  const auto version = read_value<int>(in, "version");
+  if (version != kCheckpointVersion) {
+    throw std::invalid_argument("unsupported checkpoint version");
+  }
+  service::Checkpoint cp;
+  expect_token(in, "next_slot");
+  cp.next_slot = read_value<Slot>(in, "next_slot");
+  expect_token(in, "horizon");
+  cp.horizon = read_value<Slot>(in, "horizon");
+  expect_token(in, "booked_compute");
+  cp.booked_compute = read_value<double>(in, "booked_compute");
+  expect_token(in, "policy_state");
+  cp.policy_state = read_doubles(in, "policy_state");
+
+  expect_token(in, "ledger");
+  cp.ledger.nodes = read_value<int>(in, "ledger nodes");
+  cp.ledger.horizon = read_value<Slot>(in, "ledger horizon");
+  expect_token(in, "used_compute");
+  cp.ledger.used_compute = read_doubles(in, "used_compute");
+  expect_token(in, "used_mem");
+  cp.ledger.used_mem = read_doubles(in, "used_mem");
+  expect_token(in, "task_count");
+  cp.ledger.task_count = read_ints<int>(in, "task_count");
+  expect_token(in, "exclusive");
+  cp.ledger.exclusive = read_ints<char>(in, "exclusive");
+  expect_token(in, "blocked");
+  cp.ledger.blocked = read_ints<char>(in, "blocked");
+
+  expect_token(in, "pending");
+  const auto pending = read_value<std::size_t>(in, "pending count");
+  cp.pending.reserve(pending);
+  for (std::size_t i = 0; i < pending; ++i) {
+    cp.pending.push_back(read_task_record(in));
+  }
+  expect_token(in, "outcomes");
+  const auto outcomes = read_value<std::size_t>(in, "outcome count");
+  cp.outcomes.reserve(outcomes);
+  for (std::size_t i = 0; i < outcomes; ++i) {
+    cp.outcomes.push_back(read_outcome_record(in));
+  }
+  expect_token(in, "schedules");
+  const auto schedules = read_value<std::size_t>(in, "schedule count");
+  cp.schedules.reserve(schedules);
+  for (std::size_t i = 0; i < schedules; ++i) {
+    cp.schedules.push_back(read_schedule_record(in));
+  }
+
+  expect_token(in, "metrics");
+  Metrics& m = cp.metrics;
+  m.social_welfare = read_value<double>(in, "social_welfare");
+  m.provider_utility = read_value<double>(in, "provider_utility");
+  m.user_utility = read_value<double>(in, "user_utility");
+  m.total_bids_admitted = read_value<double>(in, "total_bids_admitted");
+  m.total_payments = read_value<double>(in, "total_payments");
+  m.total_vendor_cost = read_value<double>(in, "total_vendor_cost");
+  m.total_energy_cost = read_value<double>(in, "total_energy_cost");
+  m.admitted = read_value<int>(in, "admitted");
+  m.rejected = read_value<int>(in, "rejected");
+  m.utilization = read_value<double>(in, "utilization");
+  expect_token(in, "end");
+  return cp;
 }
 
 ScenarioConfig read_scenario(std::istream& in) {

@@ -9,9 +9,11 @@
 #pragma once
 
 #include <iosfwd>
+#include <string>
 #include <vector>
 
 #include "lorasched/experiments/scenario.h"
+#include "lorasched/service/checkpoint.h"
 #include "lorasched/sim/metrics.h"
 #include "lorasched/workload/task.h"
 
@@ -35,5 +37,22 @@ void write_scenario(std::ostream& out, const ScenarioConfig& config);
 
 /// Reads a scenario written by write_scenario. Unknown keys throw.
 [[nodiscard]] ScenarioConfig read_scenario(std::istream& in);
+
+// --- Streaming bids (the lorasched_serve wire format) ----------------------
+// One bid per line: the task CSV columns, comma-separated, no header —
+// what lorasched_feed emits and lorasched_serve ingests from stdin or a
+// trace file.
+
+[[nodiscard]] std::string format_bid_line(const Task& task);
+/// Throws std::invalid_argument on wrong field count or unparsable numbers.
+[[nodiscard]] Task parse_bid_line(const std::string& line);
+
+// --- Service checkpoints ----------------------------------------------------
+// Text round-trip of a service::Checkpoint with full double precision
+// (17 significant digits), so a restored service resumes bit-identically.
+
+void write_checkpoint(std::ostream& out, const service::Checkpoint& checkpoint);
+/// Throws std::invalid_argument on a malformed or truncated checkpoint.
+[[nodiscard]] service::Checkpoint read_checkpoint(std::istream& in);
 
 }  // namespace lorasched::io

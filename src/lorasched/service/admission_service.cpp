@@ -1,0 +1,274 @@
+#include "lorasched/service/admission_service.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+#include "lorasched/service/slot_clock.h"
+#include "lorasched/sim/validator.h"
+#include "lorasched/util/timing.h"
+
+namespace lorasched::service {
+
+AdmissionService::AdmissionService(const Instance& env, Policy& policy,
+                                   ServiceConfig config)
+    : cluster_(env.cluster),
+      energy_(env.energy),
+      market_(env.market),
+      horizon_(env.horizon),
+      policy_(policy),
+      config_(config),
+      queue_(config.queue_capacity, config.backpressure),
+      ledger_(env.cluster, env.horizon) {
+  if (horizon_ <= 0) {
+    throw std::invalid_argument("service horizon must be positive");
+  }
+  // Failure calendar, exactly as run_simulation pre-blocks its ledger.
+  for (const Outage& outage : env.outages) {
+    for (Slot t = std::max<Slot>(0, outage.from);
+         t < std::min<Slot>(horizon_, outage.to); ++t) {
+      ledger_.block(outage.node, t);
+    }
+  }
+}
+
+SubmitResult AdmissionService::submit(const Task& bid) {
+  dirty_.store(true, std::memory_order_relaxed);
+  const SubmitResult result = queue_.submit(bid);
+  if (result == SubmitResult::kAccepted) metrics_.record_ingest();
+  return result;
+}
+
+void AdmissionService::add_subscriber(DecisionSubscriber* subscriber) {
+  if (subscriber != nullptr) subscribers_.push_back(subscriber);
+}
+
+void AdmissionService::reject_late(const Task& bid) {
+  TaskOutcome outcome;
+  outcome.task = bid.id;
+  outcome.bid = bid.bid;
+  outcome.true_value = bid.true_value;
+  outcome.arrival = bid.arrival;
+  sim_metrics_.add_rejected();
+  metrics_.record_rejected_late();
+  outcomes_.push_back(outcome);
+  schedules_.push_back(Schedule{});
+  for (DecisionSubscriber* sub : subscribers_) sub->on_rejected(outcome);
+}
+
+void AdmissionService::step() {
+  if (finished_ || next_slot_ >= horizon_) {
+    throw std::logic_error("admission service stepped past its horizon");
+  }
+  dirty_.store(true, std::memory_order_relaxed);
+  const Slot now = next_slot_;
+
+  const std::vector<Task> drained = queue_.drain();
+  const std::size_t queue_depth = queue_.depth();
+
+  // Assemble the slot batch: bids held for this slot plus freshly drained
+  // ones due now; future bids wait, stale ones hit the late-bid policy.
+  std::vector<Task> batch;
+  for (auto it = held_.begin(); it != held_.end() && it->first <= now;
+       it = held_.erase(it)) {
+    for (Task& bid : it->second) batch.push_back(std::move(bid));
+  }
+  for (const Task& bid : drained) {
+    if (bid.arrival > now) {
+      held_[bid.arrival].push_back(bid);
+    } else {
+      batch.push_back(bid);
+    }
+  }
+  std::erase_if(batch, [&](const Task& bid) {
+    if (bid.arrival >= now) return false;
+    if (config_.late_bids == LateBidMode::kReject) {
+      reject_late(bid);
+      return true;
+    }
+    return false;
+  });
+  for (Task& bid : batch) bid.arrival = now;  // no-op except clamped bids
+
+  // The engine's arrival order: within a slot, ties break by task id.
+  std::stable_sort(batch.begin(), batch.end(),
+                   [](const Task& a, const Task& b) { return a.id < b.id; });
+
+  decide_batch(now, batch, drained.size(), queue_depth);
+  ++next_slot_;
+}
+
+void AdmissionService::decide_batch(Slot now, std::vector<Task>& batch,
+                                    std::size_t drained,
+                                    std::size_t queue_depth) {
+  double batch_seconds = 0.0;
+  if (!batch.empty()) {
+    const SlotContext ctx{now,     batch,   cluster_,
+                          energy_, market_, ledger_};
+    const util::Stopwatch watch;
+    const std::vector<Decision> decisions = policy_.on_slot(ctx);
+    batch_seconds = watch.seconds();
+    const double per_task_seconds =
+        config_.time_decisions
+            ? batch_seconds / static_cast<double>(batch.size())
+            : 0.0;
+
+    if (decisions.size() != batch.size()) {
+      throw std::logic_error("policy returned wrong number of decisions");
+    }
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      const Task& task = batch[i];
+      const Decision& d = decisions[i];
+      if (d.task != task.id) {
+        throw std::logic_error("policy decisions out of order");
+      }
+      TaskOutcome outcome;
+      outcome.task = task.id;
+      outcome.bid = task.bid;
+      outcome.true_value = task.true_value;
+      outcome.arrival = task.arrival;
+      outcome.decide_seconds = per_task_seconds;
+      if (d.admit) {
+        require_valid_schedule(task, d.schedule, cluster_, horizon_);
+        if (d.payment < -1e-9) {
+          throw std::logic_error("negative payment");
+        }
+        outcome.admitted = true;
+        outcome.payment = d.payment;
+        outcome.vendor = d.schedule.vendor;
+        outcome.vendor_cost = d.schedule.vendor_price;
+        outcome.energy_cost = d.schedule.energy_cost;
+        outcome.completion = d.schedule.completion_slot();
+        outcome.slots_used = static_cast<int>(d.schedule.run.size());
+        for (std::size_t r = 1; r < d.schedule.run.size(); ++r) {
+          if (d.schedule.run[r].slot != d.schedule.run[r - 1].slot + 1) {
+            ++outcome.preemptions;
+          }
+        }
+        booked_compute_ += d.schedule.total_compute;
+        sim_metrics_.add_admitted(outcome);
+        metrics_.record_admitted();
+        for (DecisionSubscriber* sub : subscribers_) {
+          sub->on_admitted(outcome, d.schedule);
+          sub->on_payment(task.id, d.payment);
+        }
+      } else {
+        sim_metrics_.add_rejected();
+        metrics_.record_rejected();
+        for (DecisionSubscriber* sub : subscribers_) {
+          sub->on_rejected(outcome);
+        }
+      }
+      outcomes_.push_back(outcome);
+      schedules_.push_back(d.admit ? d.schedule : Schedule{});
+    }
+  }
+
+  SlotReport report;
+  report.slot = now;
+  report.drained = drained;
+  report.batch = batch.size();
+  std::size_t held = 0;
+  for (const auto& [slot, bids] : held_) held += bids.size();
+  report.pending = held;
+  report.queue_depth = queue_depth;
+  report.decide_seconds = batch_seconds;
+  metrics_.record_slot(report, batch.empty() || !config_.time_decisions
+                                   ? 0.0
+                                   : batch_seconds /
+                                         static_cast<double>(batch.size()));
+  for (DecisionSubscriber* sub : subscribers_) sub->on_slot_end(report);
+}
+
+void AdmissionService::run(std::chrono::nanoseconds slot_period) {
+  const SlotClock clock(slot_period);
+  while (next_slot_ < horizon_) {
+    if (!idle()) clock.wait_slot_end(next_slot_);
+    step();
+  }
+}
+
+SimResult AdmissionService::finish() {
+  if (!done()) {
+    throw std::logic_error("finish() before the horizon completed");
+  }
+  if (finished_) {
+    throw std::logic_error("finish() called twice");
+  }
+  finished_ = true;
+
+  // The engine's final cross-check: ledger bookings must equal the sum over
+  // admitted schedules.
+  double ledger_compute = 0.0;
+  for (NodeId k = 0; k < cluster_.node_count(); ++k) {
+    for (Slot t = 0; t < horizon_; ++t) {
+      ledger_compute += ledger_.used_compute(k, t);
+    }
+  }
+  if (std::abs(ledger_compute - booked_compute_) >
+      1e-6 * std::max(1.0, booked_compute_)) {
+    throw std::logic_error(
+        "ledger bookings do not match admitted schedules (policy bug)");
+  }
+
+  SimResult result;
+  result.metrics = sim_metrics_;
+  result.metrics.utilization = ledger_.compute_utilization();
+  result.outcomes = std::move(outcomes_);
+  result.schedules = std::move(schedules_);
+  return result;
+}
+
+Checkpoint AdmissionService::checkpoint() const {
+  const auto* state = dynamic_cast<const CheckpointableState*>(&policy_);
+  if (state == nullptr) {
+    throw std::logic_error("policy does not implement CheckpointableState");
+  }
+  Checkpoint cp;
+  cp.next_slot = next_slot_;
+  cp.horizon = horizon_;
+  cp.booked_compute = booked_compute_;
+  cp.policy_state = state->checkpoint_state();
+  cp.ledger = ledger_.snapshot();
+  for (const auto& [slot, bids] : held_) {
+    cp.pending.insert(cp.pending.end(), bids.begin(), bids.end());
+  }
+  const std::vector<Task> queued = queue_.peek();
+  cp.pending.insert(cp.pending.end(), queued.begin(), queued.end());
+  cp.outcomes = outcomes_;
+  cp.schedules = schedules_;
+  cp.metrics = sim_metrics_;
+  return cp;
+}
+
+void AdmissionService::restore(const Checkpoint& checkpoint) {
+  if (dirty_.load(std::memory_order_relaxed) || finished_) {
+    throw std::logic_error("restore() requires a fresh service");
+  }
+  if (checkpoint.horizon != horizon_) {
+    throw std::invalid_argument("checkpoint horizon mismatch");
+  }
+  if (checkpoint.next_slot < 0 || checkpoint.next_slot > horizon_) {
+    throw std::invalid_argument("checkpoint slot out of range");
+  }
+  auto* state = dynamic_cast<CheckpointableState*>(&policy_);
+  if (state == nullptr) {
+    throw std::logic_error("policy does not implement CheckpointableState");
+  }
+  state->restore_state(checkpoint.policy_state);
+  ledger_.restore(checkpoint.ledger);
+  next_slot_ = checkpoint.next_slot;
+  booked_compute_ = checkpoint.booked_compute;
+  sim_metrics_ = checkpoint.metrics;
+  outcomes_ = checkpoint.outcomes;
+  schedules_ = checkpoint.schedules;
+  held_.clear();
+  for (const Task& bid : checkpoint.pending) {
+    // Stale bids (arrival before the resume slot) re-enter through the
+    // late-bid policy at the next step.
+    held_[bid.arrival].push_back(bid);
+  }
+}
+
+}  // namespace lorasched::service

@@ -1,0 +1,163 @@
+// AdmissionService — the long-lived serving frontend for the paper's online
+// auction. Producer threads stream bids into a bounded BidQueue; a slot
+// loop drains the queue once per slot, hands the batch to any Policy
+// through the exact SlotContext / ledger / validator path the batch
+// simulator uses, notifies decision subscribers, and accumulates the same
+// SimResult accounting as run_simulation. Serving a trace through the
+// service therefore produces bit-identical decisions, payments, and welfare
+// to replaying it through the batch engine — the correctness contract
+// tests/test_service.cpp pins down, including across a checkpoint/restore.
+//
+// Threading model: submit() is safe from any number of threads; step(),
+// run(), checkpoint(), and finish() belong to one consumer thread.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <map>
+#include <vector>
+
+#include "lorasched/cluster/capacity_ledger.h"
+#include "lorasched/cluster/cluster.h"
+#include "lorasched/cluster/energy.h"
+#include "lorasched/service/bid_queue.h"
+#include "lorasched/service/checkpoint.h"
+#include "lorasched/service/service_metrics.h"
+#include "lorasched/service/subscriber.h"
+#include "lorasched/sim/instance.h"
+#include "lorasched/sim/metrics.h"
+#include "lorasched/sim/policy.h"
+#include "lorasched/types.h"
+#include "lorasched/workload/vendor.h"
+
+namespace lorasched::service {
+
+/// What to do with a bid whose arrival slot already passed when the
+/// consumer drains it (a producer outran by the slot clock).
+enum class LateBidMode {
+  /// Reject it at ingestion: it gets a rejected TaskOutcome and an
+  /// on_rejected callback, but never reaches the policy.
+  kReject,
+  /// Re-stamp its arrival to the current slot and auction it normally
+  /// (deadline unchanged, so hopeless bids still price out).
+  kClamp,
+};
+
+struct ServiceConfig {
+  std::size_t queue_capacity = 1024;
+  BackpressureMode backpressure = BackpressureMode::kBlock;
+  LateBidMode late_bids = LateBidMode::kReject;
+  /// Record per-task wall-clock decision time (mirrors EngineOptions).
+  bool time_decisions = true;
+};
+
+class AdmissionService {
+ public:
+  /// Serves the environment of `env` (cluster, energy, marketplace,
+  /// horizon, outages — all copied; env.tasks is ignored, bids arrive via
+  /// submit()). The policy must outlive the service.
+  AdmissionService(const Instance& env, Policy& policy,
+                   ServiceConfig config = {});
+
+  AdmissionService(const AdmissionService&) = delete;
+  AdmissionService& operator=(const AdmissionService&) = delete;
+
+  // --- Producer side (thread-safe) ---------------------------------------
+
+  /// Enqueues a bid. Blocks when the queue is full under kBlock
+  /// backpressure; otherwise returns the rejection reason immediately.
+  SubmitResult submit(const Task& bid);
+
+  /// Stops accepting bids (in-flight ones are still decided) and lets
+  /// run() fast-forward through the remaining empty slots.
+  void close() { queue_.close(); }
+
+  // --- Consumer side (single thread) -------------------------------------
+
+  /// Registers a subscriber (not owned; must outlive the service). Register
+  /// before the first step — the slot loop reads the list unlocked.
+  void add_subscriber(DecisionSubscriber* subscriber);
+
+  /// Decides the current slot: drains the queue, merges bids due now,
+  /// runs the policy, validates and commits, notifies subscribers, then
+  /// advances the slot. Throws std::logic_error on any policy contract
+  /// violation (exactly the engine's checks) or when already past the
+  /// horizon.
+  void step();
+
+  /// Drives step() from the current slot to the horizon, pacing each slot
+  /// by `slot_period` on the monotonic clock (zero = as fast as possible).
+  /// Once the queue is closed and no bids are in flight the remaining
+  /// slots are processed without waiting.
+  void run(std::chrono::nanoseconds slot_period);
+
+  [[nodiscard]] Slot current_slot() const noexcept { return next_slot_; }
+  [[nodiscard]] Slot horizon() const noexcept { return horizon_; }
+  [[nodiscard]] bool done() const noexcept { return next_slot_ >= horizon_; }
+
+  /// True once no further bid can arrive or become due: the queue is closed
+  /// and empty and no accepted bid waits for a future slot. run() and
+  /// external slot loops use this to fast-forward the remaining empty
+  /// slots without waiting out the slot clock. Consumer thread only (reads
+  /// the held-bid map).
+  [[nodiscard]] bool idle() const noexcept {
+    return queue_.closed() && queue_.depth() == 0 && held_.empty();
+  }
+
+  /// Terminal accounting: runs the engine's ledger-vs-bookings cross-check,
+  /// fills in utilization, and returns the accumulated SimResult. Requires
+  /// done(); call once.
+  [[nodiscard]] SimResult finish();
+
+  // --- Checkpoint / restore ----------------------------------------------
+
+  /// Snapshot of the full decision state: policy duals (requires the policy
+  /// to implement CheckpointableState — throws std::logic_error otherwise),
+  /// ledger, undecided bids (queued + future), and all accounting. Take it
+  /// between slots on the consumer thread.
+  [[nodiscard]] Checkpoint checkpoint() const;
+
+  /// Rewinds a *fresh* service (no submits, no steps) to the checkpointed
+  /// state; the policy must be identically configured. Throws
+  /// std::logic_error if the service already did work, std::invalid_argument
+  /// on environment mismatch.
+  void restore(const Checkpoint& checkpoint);
+
+  // --- Introspection ------------------------------------------------------
+
+  [[nodiscard]] const BidQueue& queue() const noexcept { return queue_; }
+  [[nodiscard]] MetricsSnapshot metrics() const { return metrics_.snapshot(); }
+
+ private:
+  void decide_batch(Slot now, std::vector<Task>& batch, std::size_t drained,
+                    std::size_t queue_depth);
+  void reject_late(const Task& bid);
+
+  Cluster cluster_;
+  EnergyModel energy_;
+  Marketplace market_;
+  Slot horizon_;
+  Policy& policy_;
+  ServiceConfig config_;
+
+  BidQueue queue_;
+  ServiceMetrics metrics_;
+  std::vector<DecisionSubscriber*> subscribers_;
+
+  CapacityLedger ledger_;
+  /// Bids accepted for a slot the clock has not reached yet, keyed by
+  /// arrival slot. Consumer-thread only.
+  std::map<Slot, std::vector<Task>> held_;
+  Slot next_slot_ = 0;
+  bool finished_ = false;
+  std::atomic<bool> dirty_{false};  // any submit/step yet (guards restore())
+
+  // SimResult accumulation, mirroring run_simulation.
+  Metrics sim_metrics_;
+  std::vector<TaskOutcome> outcomes_;
+  std::vector<Schedule> schedules_;
+  double booked_compute_ = 0.0;
+};
+
+}  // namespace lorasched::service

@@ -1,0 +1,87 @@
+#include "lorasched/service/bid_queue.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace lorasched::service {
+
+const char* to_string(SubmitResult result) noexcept {
+  switch (result) {
+    case SubmitResult::kAccepted: return "accepted";
+    case SubmitResult::kRejectedFull: return "rejected:queue-full";
+    case SubmitResult::kRejectedClosed: return "rejected:closed";
+    case SubmitResult::kRejectedLate: return "rejected:late-arrival";
+  }
+  return "unknown";
+}
+
+BidQueue::BidQueue(std::size_t capacity, BackpressureMode mode)
+    : capacity_(capacity), mode_(mode) {
+  if (capacity == 0) {
+    throw std::invalid_argument("bid queue capacity must be positive");
+  }
+}
+
+SubmitResult BidQueue::submit(Task bid) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (closed_) return SubmitResult::kRejectedClosed;
+  if (bids_.size() >= capacity_) {
+    if (mode_ == BackpressureMode::kReject) {
+      ++rejected_full_;
+      return SubmitResult::kRejectedFull;
+    }
+    space_free_.wait(lock,
+                     [this] { return closed_ || bids_.size() < capacity_; });
+    if (closed_) return SubmitResult::kRejectedClosed;
+  }
+  bids_.push_back(std::move(bid));
+  ++accepted_;
+  return SubmitResult::kAccepted;
+}
+
+std::vector<Task> BidQueue::drain() {
+  std::vector<Task> out;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    out.assign(std::make_move_iterator(bids_.begin()),
+               std::make_move_iterator(bids_.end()));
+    bids_.clear();
+  }
+  space_free_.notify_all();
+  return out;
+}
+
+std::vector<Task> BidQueue::peek() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return std::vector<Task>(bids_.begin(), bids_.end());
+}
+
+void BidQueue::close() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+  }
+  space_free_.notify_all();
+}
+
+bool BidQueue::closed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return closed_;
+}
+
+std::size_t BidQueue::depth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return bids_.size();
+}
+
+std::uint64_t BidQueue::accepted_total() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return accepted_;
+}
+
+std::uint64_t BidQueue::rejected_full_total() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return rejected_full_;
+}
+
+}  // namespace lorasched::service

@@ -1,0 +1,78 @@
+// Bounded multi-producer bid queue — the ingestion edge of the admission
+// service. Any number of producer threads submit() bids; one consumer (the
+// service's slot loop) drains them in batches. A full queue either blocks
+// the producer until space frees up or rejects the bid with a reason,
+// depending on the configured backpressure mode — the same choice serving
+// frontends expose as "queue or shed".
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "lorasched/workload/task.h"
+
+namespace lorasched::service {
+
+enum class BackpressureMode {
+  /// submit() blocks until the consumer drains space (lossless ingestion).
+  kBlock,
+  /// submit() returns kRejectedFull immediately (load shedding).
+  kReject,
+};
+
+enum class SubmitResult {
+  kAccepted,
+  /// Queue at capacity under BackpressureMode::kReject.
+  kRejectedFull,
+  /// close() was called; no further bids are accepted.
+  kRejectedClosed,
+  /// The bid's arrival slot already passed (AdmissionService, kReject mode).
+  kRejectedLate,
+};
+
+[[nodiscard]] const char* to_string(SubmitResult result) noexcept;
+
+class BidQueue {
+ public:
+  /// `capacity` must be positive; it bounds the number of undrained bids.
+  BidQueue(std::size_t capacity, BackpressureMode mode);
+
+  /// Thread-safe. Never returns kRejectedLate (that is service policy).
+  SubmitResult submit(Task bid);
+
+  /// Consumer side: moves out every queued bid (possibly none) and wakes
+  /// blocked producers. Thread-safe, but intended for a single consumer.
+  [[nodiscard]] std::vector<Task> drain();
+
+  /// Copy of the queued bids without consuming them — checkpointing reads
+  /// the in-flight bids through this.
+  [[nodiscard]] std::vector<Task> peek() const;
+
+  /// Rejects all future submits and wakes producers blocked on a full
+  /// queue (they return kRejectedClosed). Queued bids remain drainable.
+  void close();
+  [[nodiscard]] bool closed() const;
+
+  [[nodiscard]] std::size_t depth() const;
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+  /// Lifetime counters (monotone, thread-safe).
+  [[nodiscard]] std::uint64_t accepted_total() const;
+  [[nodiscard]] std::uint64_t rejected_full_total() const;
+
+ private:
+  const std::size_t capacity_;
+  const BackpressureMode mode_;
+  mutable std::mutex mutex_;
+  std::condition_variable space_free_;
+  std::deque<Task> bids_;
+  bool closed_ = false;
+  std::uint64_t accepted_ = 0;
+  std::uint64_t rejected_full_ = 0;
+};
+
+}  // namespace lorasched::service

@@ -1,0 +1,39 @@
+// Checkpoint of a running AdmissionService — everything needed to bring a
+// freshly constructed service (over the same environment and an identically
+// configured policy) back to the exact decision state of the original:
+// dual prices (via the policy's CheckpointableState dump), ledger
+// commitments, bids accepted but not yet decided, and the accounting of
+// every decision already made. io::write_checkpoint / io::read_checkpoint
+// round-trip it through a text stream with full double precision, so a
+// killed service resumes mid-horizon bit-identically.
+#pragma once
+
+#include <vector>
+
+#include "lorasched/cluster/capacity_ledger.h"
+#include "lorasched/core/schedule.h"
+#include "lorasched/sim/metrics.h"
+#include "lorasched/types.h"
+#include "lorasched/workload/task.h"
+
+namespace lorasched::service {
+
+struct Checkpoint {
+  /// First slot the restored service will process.
+  Slot next_slot = 0;
+  Slot horizon = 0;
+  /// Sum of admitted schedules' compute — the engine-equivalent cross-check
+  /// against the ledger at finish().
+  double booked_compute = 0.0;
+  /// Opaque policy dump (CheckpointableState::checkpoint_state()).
+  std::vector<double> policy_state;
+  CapacityLedger::Snapshot ledger;
+  /// Bids accepted (queued or held for a future slot) but not yet decided.
+  std::vector<Task> pending;
+  /// Decisions made so far, in decision order, with aligned schedules.
+  std::vector<TaskOutcome> outcomes;
+  std::vector<Schedule> schedules;
+  Metrics metrics;
+};
+
+}  // namespace lorasched::service

@@ -1,0 +1,70 @@
+#include "lorasched/service/service_metrics.h"
+
+#include <algorithm>
+
+#include "lorasched/util/stats.h"
+
+namespace lorasched::service {
+
+void ServiceMetrics::record_ingest() {
+  const auto now = util::MonoClock::now();
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++ingested_;
+  if (!saw_first_ingest_) {
+    saw_first_ingest_ = true;
+    first_ingest_ = now;
+  }
+  last_ingest_ = now;
+}
+
+void ServiceMetrics::record_slot(const SlotReport& report,
+                                 double per_task_seconds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++slots_;
+  decided_ += report.batch;
+  max_queue_depth_ = std::max(max_queue_depth_, report.queue_depth);
+  for (std::size_t i = 0; i < report.batch; ++i) {
+    decide_samples_.push_back(per_task_seconds);
+  }
+}
+
+void ServiceMetrics::record_admitted() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++admitted_;
+}
+
+void ServiceMetrics::record_rejected() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++rejected_;
+}
+
+void ServiceMetrics::record_rejected_late() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++rejected_late_;
+}
+
+MetricsSnapshot ServiceMetrics::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MetricsSnapshot snap;
+  snap.bids_ingested = ingested_;
+  snap.bids_decided = decided_;
+  snap.admitted = admitted_;
+  snap.rejected = rejected_;
+  snap.rejected_late = rejected_late_;
+  snap.max_queue_depth = max_queue_depth_;
+  snap.slots_processed = slots_;
+  if (ingested_ >= 2) {
+    const double span = util::seconds_between(first_ingest_, last_ingest_);
+    if (span > 0.0) {
+      snap.ingest_rate = static_cast<double>(ingested_) / span;
+    }
+  }
+  if (!decide_samples_.empty()) {
+    snap.decide_p50 = util::percentile(decide_samples_, 50.0);
+    snap.decide_p99 = util::percentile(decide_samples_, 99.0);
+    snap.decide_mean = util::mean(decide_samples_);
+  }
+  return snap;
+}
+
+}  // namespace lorasched::service

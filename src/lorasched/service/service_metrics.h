@@ -1,0 +1,67 @@
+// Service-side operational metrics: ingest rate, queue depth, and decision
+// latency percentiles. Latencies are measured through util::Stopwatch —
+// the same steady_clock helper the simulation engine uses for Fig. 13 —
+// so the service's p50/p99 and the paper figure report the same quantity.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "lorasched/service/subscriber.h"
+#include "lorasched/types.h"
+#include "lorasched/util/timing.h"
+
+namespace lorasched::service {
+
+/// A point-in-time copy of the aggregates (safe to read off-thread).
+struct MetricsSnapshot {
+  std::uint64_t bids_ingested = 0;
+  std::uint64_t bids_decided = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t rejected_late = 0;
+  std::size_t max_queue_depth = 0;
+  std::size_t slots_processed = 0;
+  /// Accepted bids per wall-clock second between the first and last ingest
+  /// (0 until two bids have arrived).
+  double ingest_rate = 0.0;
+  /// Per-task decision latency percentiles in seconds (0 with no samples).
+  double decide_p50 = 0.0;
+  double decide_p99 = 0.0;
+  double decide_mean = 0.0;
+};
+
+class ServiceMetrics {
+ public:
+  /// Producer side: one bid accepted into the queue. Thread-safe.
+  void record_ingest();
+
+  /// Consumer side: one slot decided. `per_task_seconds` is the batch's
+  /// policy time divided by the batch size (exactly the engine's
+  /// TaskOutcome::decide_seconds), sampled `batch` times.
+  void record_slot(const SlotReport& report, double per_task_seconds);
+
+  void record_admitted();
+  void record_rejected();
+  void record_rejected_late();
+
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::uint64_t ingested_ = 0;
+  std::uint64_t decided_ = 0;
+  std::uint64_t admitted_ = 0;
+  std::uint64_t rejected_ = 0;
+  std::uint64_t rejected_late_ = 0;
+  std::size_t max_queue_depth_ = 0;
+  std::size_t slots_ = 0;
+  bool saw_first_ingest_ = false;
+  util::MonoClock::time_point first_ingest_{};
+  util::MonoClock::time_point last_ingest_{};
+  std::vector<double> decide_samples_;
+};
+
+}  // namespace lorasched::service

@@ -1,0 +1,51 @@
+// The slot clock: maps the service's discrete auction slots onto monotonic
+// wall-clock time. Bids are collected *during* a slot and decided at its
+// end, so the clock's one job is "sleep until slot t is over" — computed
+// from the epoch taken at construction (absolute boundaries, so per-slot
+// processing time never accumulates drift). A zero period degenerates to
+// as-fast-as-possible replay; tests and deterministic replays drive the
+// service manually and never construct one.
+#pragma once
+
+#include <chrono>
+#include <thread>
+
+#include "lorasched/types.h"
+#include "lorasched/util/timing.h"
+
+namespace lorasched::service {
+
+class SlotClock {
+ public:
+  explicit SlotClock(std::chrono::nanoseconds slot_period)
+      : period_(slot_period), epoch_(util::MonoClock::now()) {}
+
+  [[nodiscard]] std::chrono::nanoseconds period() const noexcept {
+    return period_;
+  }
+  [[nodiscard]] util::MonoClock::time_point epoch() const noexcept {
+    return epoch_;
+  }
+
+  /// The slot the wall clock is currently inside (unbounded; callers clamp
+  /// to their horizon). With a zero period every slot is "over" already.
+  [[nodiscard]] Slot now() const {
+    if (period_.count() <= 0) return 0;
+    const auto elapsed = util::MonoClock::now() - epoch_;
+    return static_cast<Slot>(elapsed / period_);
+  }
+
+  /// Blocks until slot `slot` has ended, i.e. until epoch + (slot+1)*period.
+  /// Returns immediately for a zero period or a boundary already passed.
+  void wait_slot_end(Slot slot) const {
+    if (period_.count() <= 0) return;
+    std::this_thread::sleep_until(
+        epoch_ + period_ * (static_cast<std::int64_t>(slot) + 1));
+  }
+
+ private:
+  std::chrono::nanoseconds period_;
+  util::MonoClock::time_point epoch_;
+};
+
+}  // namespace lorasched::service

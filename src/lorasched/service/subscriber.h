@@ -1,0 +1,56 @@
+// Decision-subscriber interface: downstream consumers of the admission
+// service's irrevocable outcomes (billing, the executor that actually
+// launches fine-tuning jobs, dashboards). Callbacks fire on the service's
+// consumer thread, synchronously, in decision order — a slow subscriber
+// stalls the slot loop, so heavy work belongs on the subscriber's own
+// queue.
+#pragma once
+
+#include "lorasched/core/schedule.h"
+#include "lorasched/sim/metrics.h"
+#include "lorasched/types.h"
+
+namespace lorasched::service {
+
+/// Per-slot service telemetry, emitted after each slot is decided.
+struct SlotReport {
+  Slot slot = 0;
+  /// Bids moved out of the ingest queue while assembling this slot.
+  std::size_t drained = 0;
+  /// Bids decided at this slot (drained-now + previously pending).
+  std::size_t batch = 0;
+  /// Bids still waiting for a future slot after this one was decided.
+  std::size_t pending = 0;
+  /// Ingest-queue depth right after the drain (bids racing in mid-slot).
+  std::size_t queue_depth = 0;
+  /// Wall-clock seconds the policy spent deciding the whole batch.
+  double decide_seconds = 0.0;
+};
+
+class DecisionSubscriber {
+ public:
+  virtual ~DecisionSubscriber() = default;
+
+  /// An admitted bid: the outcome (payment, completion, costs) plus the
+  /// committed execution plan.
+  virtual void on_admitted(const TaskOutcome& outcome,
+                           const Schedule& schedule) {
+    (void)outcome;
+    (void)schedule;
+  }
+
+  /// A rejected bid (by the policy, or shed at ingestion for lateness).
+  virtual void on_rejected(const TaskOutcome& outcome) { (void)outcome; }
+
+  /// Payment event for an admitted bid — fires after on_admitted, carrying
+  /// the charge of eq. (14). Billing pipelines subscribe here.
+  virtual void on_payment(TaskId task, Money payment) {
+    (void)task;
+    (void)payment;
+  }
+
+  /// End-of-slot telemetry.
+  virtual void on_slot_end(const SlotReport& report) { (void)report; }
+};
+
+}  // namespace lorasched::service

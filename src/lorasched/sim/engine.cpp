@@ -1,11 +1,11 @@
 #include "lorasched/sim/engine.h"
 
 #include <algorithm>
-#include <chrono>
 #include <cmath>
 #include <stdexcept>
 
 #include "lorasched/sim/validator.h"
+#include "lorasched/util/timing.h"
 
 namespace lorasched {
 
@@ -54,13 +54,11 @@ SimResult run_simulation(const Instance& instance, Policy& policy,
 
     const SlotContext ctx{now,           arrivals,        instance.cluster,
                           instance.energy, instance.market, ledger};
-    const auto t0 = std::chrono::steady_clock::now();
+    const util::Stopwatch watch;
     const std::vector<Decision> decisions = policy.on_slot(ctx);
-    const auto t1 = std::chrono::steady_clock::now();
     const double per_task_seconds =
         options.time_decisions
-            ? std::chrono::duration<double>(t1 - t0).count() /
-                  static_cast<double>(arrivals.size())
+            ? watch.seconds() / static_cast<double>(arrivals.size())
             : 0.0;
 
     if (decisions.size() != arrivals.size()) {

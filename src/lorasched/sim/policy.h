@@ -61,4 +61,19 @@ class Policy {
   [[nodiscard]] virtual std::vector<Decision> on_slot(const SlotContext& ctx) = 0;
 };
 
+/// Mixin for policies whose mutable state must survive a service
+/// checkpoint/restore cycle (service/admission_service.h). The state is a
+/// flat vector of doubles — opaque to the service and the serializer — such
+/// that a freshly constructed policy of the same configuration, after
+/// restore_state(), makes bit-identical decisions to the original.
+/// Stateless policies (the greedy baselines) simply don't implement it.
+class CheckpointableState {
+ public:
+  virtual ~CheckpointableState() = default;
+  [[nodiscard]] virtual std::vector<double> checkpoint_state() const = 0;
+  /// Restores a dump produced by checkpoint_state() on an identically
+  /// configured policy. Throws std::invalid_argument on shape mismatch.
+  virtual void restore_state(const std::vector<double>& state) = 0;
+};
+
 }  // namespace lorasched

@@ -1,6 +1,7 @@
 #include "lorasched/util/threadpool.h"
 
 #include <algorithm>
+#include <exception>
 
 namespace lorasched::util {
 
@@ -58,10 +59,20 @@ void ThreadPool::worker_loop() {
 
 void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
                   const std::function<void(std::size_t)>& body) {
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
   for (std::size_t i = begin; i < end; ++i) {
-    pool.submit([i, &body] { body(i); });
+    pool.submit([i, &body, &error_mutex, &first_error] {
+      try {
+        body(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+    });
   }
   pool.wait_idle();
+  if (first_error) std::rethrow_exception(first_error);
 }
 
 }  // namespace lorasched::util

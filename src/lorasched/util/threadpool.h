@@ -47,8 +47,10 @@ class ThreadPool {
 };
 
 /// Runs body(i) for i in [begin, end) across the pool's workers and blocks
-/// until all iterations complete. Exceptions from the body terminate (the
-/// body is expected to capture its own failures, as in offloaded kernels).
+/// until all iterations complete. If any iteration throws, the first
+/// exception (in completion order) is captured and rethrown on the calling
+/// thread after the whole range has drained; the remaining iterations still
+/// run, so partially written outputs stay index-consistent.
 void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
                   const std::function<void(std::size_t)>& body);
 

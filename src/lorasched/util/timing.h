@@ -1,0 +1,43 @@
+// Monotonic wall-clock measurement shared by the simulation engine (Fig. 13
+// per-task decision times) and the service-layer latency metrics, so both
+// report the same quantity from the same clock.
+//
+// std::chrono::steady_clock is the only correct clock here: decision timing
+// spans are short and must never go backwards under NTP slew or wall-clock
+// adjustments, which system_clock (and, on some platforms,
+// high_resolution_clock) permit.
+#pragma once
+
+#include <chrono>
+
+namespace lorasched::util {
+
+using MonoClock = std::chrono::steady_clock;
+
+/// Seconds between two monotonic time points (negative iff b precedes a).
+[[nodiscard]] inline double seconds_between(MonoClock::time_point a,
+                                            MonoClock::time_point b) noexcept {
+  return std::chrono::duration<double>(b - a).count();
+}
+
+/// A stopwatch over the monotonic clock. Constructed running.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(MonoClock::now()) {}
+
+  /// Seconds elapsed since construction (or the last restart()).
+  [[nodiscard]] double seconds() const noexcept {
+    return seconds_between(start_, MonoClock::now());
+  }
+
+  void restart() noexcept { start_ = MonoClock::now(); }
+
+  [[nodiscard]] MonoClock::time_point started_at() const noexcept {
+    return start_;
+  }
+
+ private:
+  MonoClock::time_point start_;
+};
+
+}  // namespace lorasched::util

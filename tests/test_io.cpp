@@ -163,6 +163,28 @@ TEST(Serialize, ScenarioSkipsComments) {
   EXPECT_EQ(read_scenario(buffer).nodes, 3);
 }
 
+TEST(Serialize, BidLinesRoundTripExactly) {
+  const Instance instance = make_instance(testing::small_scenario(21));
+  ASSERT_FALSE(instance.tasks.empty());
+  for (const Task& task : instance.tasks) {
+    const Task parsed = parse_bid_line(format_bid_line(task));
+    EXPECT_EQ(parsed.id, task.id);
+    EXPECT_EQ(parsed.arrival, task.arrival);
+    EXPECT_EQ(parsed.deadline, task.deadline);
+    EXPECT_EQ(parsed.work, task.work);
+    EXPECT_EQ(parsed.mem_gb, task.mem_gb);
+    EXPECT_EQ(parsed.compute_share, task.compute_share);
+    EXPECT_EQ(parsed.bid, task.bid);
+    EXPECT_EQ(parsed.true_value, task.true_value);
+    EXPECT_EQ(parsed.needs_prep, task.needs_prep);
+  }
+}
+
+TEST(Serialize, BidLineRejectsGarbage) {
+  EXPECT_THROW((void)parse_bid_line("not,a,bid"), std::invalid_argument);
+  EXPECT_THROW((void)parse_bid_line(""), std::invalid_argument);
+}
+
 TEST(Serialize, ReplayedTasksProduceIdenticalAuction) {
   // Export, reload, and re-run: the auction outcome must be identical —
   // the serialization is faithful enough for replay experiments.

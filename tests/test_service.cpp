@@ -1,0 +1,341 @@
+// AdmissionService correctness: the streaming service must reproduce the
+// batch simulator bit for bit (decisions, payments, welfare), including
+// after a kill + checkpoint/restore mid-horizon, while surviving
+// multi-producer ingestion and enforcing backpressure.
+#include "lorasched/service/admission_service.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "lorasched/core/online_params.h"
+#include "lorasched/core/pdftsp.h"
+#include "lorasched/io/serialize.h"
+#include "lorasched/sim/engine.h"
+#include "test_helpers.h"
+
+namespace lorasched::service {
+namespace {
+
+/// Exact equality of everything a decision commits to (decide_seconds is
+/// wall-clock noise and deliberately excluded).
+void expect_same_outcomes(const std::vector<TaskOutcome>& a,
+                          const std::vector<TaskOutcome>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    SCOPED_TRACE(i);
+    EXPECT_EQ(a[i].task, b[i].task);
+    EXPECT_EQ(a[i].admitted, b[i].admitted);
+    EXPECT_EQ(a[i].bid, b[i].bid);
+    EXPECT_EQ(a[i].payment, b[i].payment);
+    EXPECT_EQ(a[i].vendor, b[i].vendor);
+    EXPECT_EQ(a[i].vendor_cost, b[i].vendor_cost);
+    EXPECT_EQ(a[i].energy_cost, b[i].energy_cost);
+    EXPECT_EQ(a[i].arrival, b[i].arrival);
+    EXPECT_EQ(a[i].completion, b[i].completion);
+    EXPECT_EQ(a[i].slots_used, b[i].slots_used);
+    EXPECT_EQ(a[i].preemptions, b[i].preemptions);
+  }
+}
+
+void expect_same_metrics(const Metrics& a, const Metrics& b) {
+  EXPECT_EQ(a.social_welfare, b.social_welfare);
+  EXPECT_EQ(a.provider_utility, b.provider_utility);
+  EXPECT_EQ(a.user_utility, b.user_utility);
+  EXPECT_EQ(a.total_payments, b.total_payments);
+  EXPECT_EQ(a.total_vendor_cost, b.total_vendor_cost);
+  EXPECT_EQ(a.total_energy_cost, b.total_energy_cost);
+  EXPECT_EQ(a.admitted, b.admitted);
+  EXPECT_EQ(a.rejected, b.rejected);
+  EXPECT_EQ(a.utilization, b.utilization);
+}
+
+/// Submits every instance task from `threads` producers, then steps the
+/// service through its whole horizon.
+void serve_instance(AdmissionService& service, const Instance& instance,
+                    int threads = 4) {
+  std::vector<std::thread> producers;
+  for (int p = 0; p < threads; ++p) {
+    producers.emplace_back([&, p] {
+      for (std::size_t i = static_cast<std::size_t>(p);
+           i < instance.tasks.size(); i += static_cast<std::size_t>(threads)) {
+        ASSERT_EQ(service.submit(instance.tasks[i]), SubmitResult::kAccepted);
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  while (!service.done()) service.step();
+}
+
+TEST(AdmissionService, MatchesBatchSimulatorExactly) {
+  const Instance instance = make_instance(testing::small_scenario());
+  const PdftspConfig config = pdftsp_config_for(instance);
+
+  Pdftsp sim_policy(config, instance.cluster, instance.energy,
+                    instance.horizon);
+  const SimResult expected = run_simulation(instance, sim_policy);
+
+  Pdftsp served_policy(config, instance.cluster, instance.energy,
+                       instance.horizon);
+  AdmissionService service(instance, served_policy);
+  serve_instance(service, instance);
+  const SimResult actual = service.finish();
+
+  expect_same_outcomes(expected.outcomes, actual.outcomes);
+  expect_same_metrics(expected.metrics, actual.metrics);
+  ASSERT_EQ(expected.schedules.size(), actual.schedules.size());
+  for (std::size_t i = 0; i < expected.schedules.size(); ++i) {
+    EXPECT_EQ(expected.schedules[i].run, actual.schedules[i].run);
+  }
+}
+
+TEST(AdmissionService, CheckpointRestoreResumesBitIdentically) {
+  const Instance instance = make_instance(testing::small_scenario(7));
+  const PdftspConfig config = pdftsp_config_for(instance);
+
+  Pdftsp sim_policy(config, instance.cluster, instance.energy,
+                    instance.horizon);
+  const SimResult expected = run_simulation(instance, sim_policy);
+
+  // First service life: ingest everything, serve half the horizon, then
+  // checkpoint through the io round-trip and "crash".
+  std::stringstream persisted;
+  {
+    Pdftsp policy(config, instance.cluster, instance.energy,
+                  instance.horizon);
+    AdmissionService service(instance, policy);
+    for (const Task& task : instance.tasks) {
+      ASSERT_EQ(service.submit(task), SubmitResult::kAccepted);
+    }
+    for (Slot t = 0; t < instance.horizon / 2; ++t) service.step();
+    io::write_checkpoint(persisted, service.checkpoint());
+  }
+
+  // Second life: a fresh service + fresh policy restored from the stream.
+  Pdftsp revived_policy(config, instance.cluster, instance.energy,
+                        instance.horizon);
+  AdmissionService revived(instance, revived_policy);
+  revived.restore(io::read_checkpoint(persisted));
+  EXPECT_EQ(revived.current_slot(), instance.horizon / 2);
+  while (!revived.done()) revived.step();
+  const SimResult actual = revived.finish();
+
+  expect_same_outcomes(expected.outcomes, actual.outcomes);
+  expect_same_metrics(expected.metrics, actual.metrics);
+}
+
+TEST(AdmissionService, AdaptivePolicyCheckpointsToo) {
+  const Instance instance = make_instance(testing::small_scenario(11));
+  const OnlineParamEstimator::Config est{};
+
+  AdaptivePdftsp sim_policy(est, instance.cluster, instance.energy,
+                            instance.horizon);
+  const SimResult expected = run_simulation(instance, sim_policy);
+
+  std::stringstream persisted;
+  {
+    AdaptivePdftsp policy(est, instance.cluster, instance.energy,
+                          instance.horizon);
+    AdmissionService service(instance, policy);
+    for (const Task& task : instance.tasks) {
+      ASSERT_EQ(service.submit(task), SubmitResult::kAccepted);
+    }
+    for (Slot t = 0; t < instance.horizon / 3; ++t) service.step();
+    io::write_checkpoint(persisted, service.checkpoint());
+  }
+
+  AdaptivePdftsp revived_policy(est, instance.cluster, instance.energy,
+                                instance.horizon);
+  AdmissionService revived(instance, revived_policy);
+  revived.restore(io::read_checkpoint(persisted));
+  while (!revived.done()) revived.step();
+  const SimResult actual = revived.finish();
+
+  expect_same_outcomes(expected.outcomes, actual.outcomes);
+  expect_same_metrics(expected.metrics, actual.metrics);
+}
+
+TEST(AdmissionService, RestoreRequiresFreshService) {
+  const Instance instance = make_instance(testing::small_scenario());
+  const PdftspConfig config = pdftsp_config_for(instance);
+  Pdftsp policy(config, instance.cluster, instance.energy, instance.horizon);
+  AdmissionService service(instance, policy);
+  const Checkpoint cp = service.checkpoint();
+  service.step();
+  EXPECT_THROW(service.restore(cp), std::logic_error);
+}
+
+class CountingSubscriber final : public DecisionSubscriber {
+ public:
+  void on_admitted(const TaskOutcome&, const Schedule&) override {
+    ++admitted;
+  }
+  void on_rejected(const TaskOutcome&) override { ++rejected; }
+  void on_payment(TaskId, Money payment) override {
+    ++payments;
+    total_paid += payment;
+  }
+  void on_slot_end(const SlotReport& report) override {
+    ++slots;
+    batched += report.batch;
+  }
+
+  int admitted = 0;
+  int rejected = 0;
+  int payments = 0;
+  Money total_paid = 0.0;
+  int slots = 0;
+  std::size_t batched = 0;
+};
+
+TEST(AdmissionService, SubscribersSeeEveryDecisionAndPayment) {
+  const Instance instance = make_instance(testing::small_scenario(3));
+  const PdftspConfig config = pdftsp_config_for(instance);
+  Pdftsp policy(config, instance.cluster, instance.energy, instance.horizon);
+  AdmissionService service(instance, policy);
+  CountingSubscriber subscriber;
+  service.add_subscriber(&subscriber);
+
+  serve_instance(service, instance, 2);
+  const SimResult result = service.finish();
+
+  EXPECT_EQ(subscriber.admitted, result.metrics.admitted);
+  EXPECT_EQ(subscriber.rejected, result.metrics.rejected);
+  EXPECT_EQ(subscriber.payments, result.metrics.admitted);
+  EXPECT_EQ(subscriber.total_paid, result.metrics.total_payments);
+  EXPECT_EQ(subscriber.slots, instance.horizon);
+  EXPECT_EQ(subscriber.batched, instance.tasks.size());
+}
+
+TEST(AdmissionService, RejectBackpressureShedsWhenFull) {
+  const Instance instance = make_instance(testing::small_scenario());
+  const PdftspConfig config = pdftsp_config_for(instance);
+  Pdftsp policy(config, instance.cluster, instance.energy, instance.horizon);
+  ServiceConfig service_config;
+  service_config.queue_capacity = 2;
+  service_config.backpressure = BackpressureMode::kReject;
+  AdmissionService service(instance, policy, service_config);
+
+  ASSERT_GE(instance.tasks.size(), 3u);
+  EXPECT_EQ(service.submit(instance.tasks[0]), SubmitResult::kAccepted);
+  EXPECT_EQ(service.submit(instance.tasks[1]), SubmitResult::kAccepted);
+  EXPECT_EQ(service.submit(instance.tasks[2]), SubmitResult::kRejectedFull);
+  EXPECT_EQ(service.queue().rejected_full_total(), 1u);
+  // Draining a slot frees the capacity again.
+  service.step();
+  EXPECT_EQ(service.submit(instance.tasks[2]), SubmitResult::kAccepted);
+}
+
+TEST(AdmissionService, LateBidsRejectedInRejectMode) {
+  const Instance instance = make_instance(testing::small_scenario());
+  const PdftspConfig config = pdftsp_config_for(instance);
+  Pdftsp policy(config, instance.cluster, instance.energy, instance.horizon);
+  AdmissionService service(instance, policy);  // late_bids = kReject
+  CountingSubscriber subscriber;
+  service.add_subscriber(&subscriber);
+
+  service.step();  // now at slot 1; anything with arrival 0 is late
+  Task late = testing::make_task(9001, 0, 10, 400.0);
+  ASSERT_EQ(service.submit(late), SubmitResult::kAccepted);
+  service.step();
+
+  EXPECT_EQ(service.metrics().rejected_late, 1u);
+  EXPECT_EQ(subscriber.rejected, 1);
+  EXPECT_EQ(subscriber.admitted, 0);
+}
+
+TEST(AdmissionService, LateBidsClampedToCurrentSlotInClampMode) {
+  const Instance instance = make_instance(testing::small_scenario());
+  const PdftspConfig config = pdftsp_config_for(instance);
+  Pdftsp policy(config, instance.cluster, instance.energy, instance.horizon);
+  ServiceConfig service_config;
+  service_config.late_bids = LateBidMode::kClamp;
+  AdmissionService service(instance, policy, service_config);
+
+  service.step();
+  service.step();  // now at slot 2
+  Task late = testing::make_task(9002, 0, instance.horizon - 1, 400.0);
+  ASSERT_EQ(service.submit(late), SubmitResult::kAccepted);
+  service.step();
+
+  EXPECT_EQ(service.metrics().rejected_late, 0u);
+  EXPECT_EQ(service.metrics().bids_decided, 1u);
+  while (!service.done()) service.step();
+  const SimResult result = service.finish();
+  ASSERT_EQ(result.outcomes.size(), 1u);
+  EXPECT_EQ(result.outcomes[0].arrival, 2);  // re-stamped to the drain slot
+}
+
+TEST(AdmissionService, ConcurrentProducersWithRunningSlotLoop) {
+  ScenarioConfig scenario = testing::small_scenario(17);
+  scenario.horizon = 96;
+  scenario.arrival_rate = 4.0;
+  const Instance instance = make_instance(scenario);
+  const PdftspConfig config = pdftsp_config_for(instance);
+  Pdftsp policy(config, instance.cluster, instance.energy, instance.horizon);
+  ServiceConfig service_config;
+  service_config.late_bids = LateBidMode::kClamp;  // producers may lag slots
+  AdmissionService service(instance, policy, service_config);
+
+  constexpr int kProducers = 4;
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (std::size_t i = static_cast<std::size_t>(p);
+           i < instance.tasks.size();
+           i += static_cast<std::size_t>(kProducers)) {
+        ASSERT_EQ(service.submit(instance.tasks[i]), SubmitResult::kAccepted);
+      }
+    });
+  }
+  // Interleave slot processing with live ingestion, holding the final slot
+  // until every producer finished so nothing is left undrained.
+  for (Slot t = 0; t < instance.horizon - 1; ++t) {
+    service.step();
+    std::this_thread::yield();
+  }
+  for (auto& t : producers) t.join();
+  service.close();
+  service.step();  // final slot drains the stragglers
+
+  const auto ops = service.metrics();
+  const SimResult result = service.finish();  // ledger cross-check passes
+  EXPECT_EQ(ops.bids_ingested, instance.tasks.size());
+  EXPECT_EQ(ops.bids_decided + ops.rejected_late, instance.tasks.size());
+  EXPECT_EQ(result.outcomes.size(), instance.tasks.size());
+  std::set<TaskId> seen;
+  for (const TaskOutcome& o : result.outcomes) {
+    EXPECT_TRUE(seen.insert(o.task).second) << "duplicate decision";
+  }
+  EXPECT_GT(ops.slots_processed, 0u);
+}
+
+TEST(AdmissionService, FinishRequiresCompletedHorizon) {
+  const Instance instance = make_instance(testing::small_scenario());
+  const PdftspConfig config = pdftsp_config_for(instance);
+  Pdftsp policy(config, instance.cluster, instance.energy, instance.horizon);
+  AdmissionService service(instance, policy);
+  EXPECT_THROW((void)service.finish(), std::logic_error);
+}
+
+TEST(AdmissionService, RunDrivesToHorizon) {
+  const Instance instance = make_instance(testing::small_scenario(5));
+  const PdftspConfig config = pdftsp_config_for(instance);
+  Pdftsp policy(config, instance.cluster, instance.energy, instance.horizon);
+  AdmissionService service(instance, policy);
+  for (const Task& task : instance.tasks) {
+    ASSERT_EQ(service.submit(task), SubmitResult::kAccepted);
+  }
+  service.close();
+  service.run(std::chrono::nanoseconds{0});
+  EXPECT_TRUE(service.done());
+  const SimResult result = service.finish();
+  EXPECT_EQ(result.outcomes.size(), instance.tasks.size());
+}
+
+}  // namespace
+}  // namespace lorasched::service

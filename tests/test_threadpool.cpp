@@ -4,6 +4,7 @@
 
 #include <atomic>
 #include <numeric>
+#include <stdexcept>
 #include <vector>
 
 namespace lorasched::util {
@@ -59,6 +60,46 @@ TEST(ParallelFor, ComputesParallelSum) {
   });
   const long total = std::accumulate(partial.begin(), partial.end(), 0L);
   EXPECT_EQ(total, 999L * 1000L / 2);
+}
+
+TEST(ParallelFor, RethrowsFirstWorkerException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      parallel_for(pool, 0, 100,
+                   [](std::size_t i) {
+                     if (i == 37) throw std::runtime_error("boom");
+                   }),
+      std::runtime_error);
+}
+
+TEST(ParallelFor, RemainingIterationsStillRunAfterThrow) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(64);
+  try {
+    parallel_for(pool, 0, hits.size(), [&](std::size_t i) {
+      if (i == 5) throw std::runtime_error("boom");
+      hits[i].fetch_add(1);
+    });
+    FAIL() << "expected the worker exception to propagate";
+  } catch (const std::runtime_error&) {
+  }
+  // Every index except the throwing one completed — no whole chunks lost.
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    if (i == 5) continue;
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelFor, PoolUsableAfterException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(parallel_for(pool, 0, 10,
+                            [](std::size_t) {
+                              throw std::logic_error("first batch fails");
+                            }),
+               std::logic_error);
+  std::atomic<int> counter{0};
+  parallel_for(pool, 0, 20, [&](std::size_t) { counter.fetch_add(1); });
+  EXPECT_EQ(counter.load(), 20);
 }
 
 TEST(ThreadPool, ReusableAcrossBatches) {
