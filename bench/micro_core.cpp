@@ -1,11 +1,13 @@
 // google-benchmark microbenchmarks for the algorithmic kernels: the
 // per-task schedule DP (Alg. 2), the dual update (eq. 7/8), the full
-// per-task pdFTSP decision, the simplex solver, and a price-scale ablation
-// of end-to-end welfare (the DESIGN.md §5 knob).
+// per-task pdFTSP decision, the simplex solver, a price-scale ablation
+// of end-to-end welfare (the DESIGN.md §5 knob), and the raw cost of a
+// LORASCHED_SPAN in its disabled and enabled states.
 #include <benchmark/benchmark.h>
 
 #include "lorasched/core/pdftsp.h"
 #include "lorasched/experiments/runner.h"
+#include "lorasched/obs/span.h"
 #include "lorasched/solver/simplex.h"
 
 namespace lorasched {
@@ -112,6 +114,22 @@ BENCHMARK(BM_PriceScaleAblation)
     ->Arg(100)     // 0.01 (default)
     ->Arg(1000)    // 0.1
     ->Arg(10000);  // 1.0 (full Lemma-2 constants)
+
+/// Raw LORASCHED_SPAN cost: Arg(0) = disabled (one relaxed load + branch,
+/// the production default), Arg(1) = enabled (two clock reads + relaxed
+/// adds). The gap between the two is what every instrumented hot path pays
+/// when profiling is turned on.
+void BM_SpanCost(benchmark::State& state) {
+  obs::Profiler::instance().set_enabled(state.range(0) != 0);
+  for (auto _ : state) {
+    LORASCHED_SPAN("bench/span_cost");
+    benchmark::ClobberMemory();
+  }
+  obs::Profiler::instance().set_enabled(false);
+  obs::Profiler::instance().reset();
+  state.SetLabel(state.range(0) != 0 ? "enabled" : "disabled");
+}
+BENCHMARK(BM_SpanCost)->Arg(0)->Arg(1);
 
 }  // namespace
 }  // namespace lorasched

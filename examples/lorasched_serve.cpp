@@ -11,12 +11,24 @@
 //   ./lorasched_feed --slot-ms 100 | ./lorasched_serve --slot-ms 100
 //   ./lorasched_serve --bids bids.txt --checkpoint ck.txt --checkpoint-every 12
 //   ./lorasched_serve --bids bids.txt --resume ck.txt
+//
+// Observability (DESIGN.md §8):
+//   --trace-out d.jsonl     per-bid decision trace (JSONL) + profiling
+//                           spans; also writes d.jsonl.chrome.json, a
+//                           Chrome trace-event timeline for Perfetto
+//   --metrics-out m.prom    Prometheus text exposition of the service
+//                           registry, rewritten every --metrics-every
+//                           slots (default 0 = only at exit) and on
+//                           SIGUSR1 (kill -USR1 <pid> for an on-demand
+//                           dump of a live daemon)
 #include <atomic>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <sstream>
 #include <stdexcept>
 #include <string>
 #include <thread>
@@ -26,6 +38,8 @@
 #include "lorasched/core/pdftsp.h"
 #include "lorasched/experiments/scenario.h"
 #include "lorasched/io/serialize.h"
+#include "lorasched/obs/span.h"
+#include "lorasched/obs/trace.h"
 #include "lorasched/service/admission_service.h"
 #include "lorasched/service/slot_clock.h"
 #include "lorasched/util/cli.h"
@@ -62,6 +76,12 @@ class LogSubscriber final : public service::DecisionSubscriber {
   bool verbose_;
 };
 
+/// SIGUSR1 flags an on-demand metrics dump; the slot loop polls it (the
+/// handler itself only flips the flag — async-signal-safe).
+volatile std::sig_atomic_t g_dump_requested = 0;
+
+void on_sigusr1(int) { g_dump_requested = 1; }
+
 std::unique_ptr<Policy> make_policy(const std::string& name,
                                     const Instance& instance) {
   if (name == "pdFTSP") {
@@ -84,7 +104,8 @@ int main(int argc, char** argv) try {
   const util::Cli cli(argc, argv);
   cli.allow_only({"scenario", "seed", "policy", "bids", "slot-ms", "queue-cap",
                   "backpressure", "late", "checkpoint", "checkpoint-every",
-                  "resume", "out", "verbose"});
+                  "resume", "out", "verbose", "trace-out", "metrics-out",
+                  "metrics-every"});
 
   ScenarioConfig config;
   config.seed = static_cast<std::uint64_t>(cli.get_int("seed", 42));
@@ -119,6 +140,47 @@ int main(int argc, char** argv) try {
   service::AdmissionService server(env, *policy, service_config);
   LogSubscriber log(cli.get_bool("verbose", false));
   server.add_subscriber(&log);
+
+  // Observability: decision trace (JSONL + Chrome trace) and metrics dumps.
+  const std::string trace_path = cli.get("trace-out", "");
+  std::ofstream trace_stream;
+  std::unique_ptr<obs::DecisionTracer> tracer;
+  if (!trace_path.empty()) {
+    auto* traceable = dynamic_cast<obs::Traceable*>(policy.get());
+    if (traceable == nullptr) {
+      throw std::invalid_argument("policy does not support --trace-out");
+    }
+    trace_stream.open(trace_path);
+    if (!trace_stream) throw std::runtime_error("cannot open trace file");
+    tracer = std::make_unique<obs::DecisionTracer>(&trace_stream);
+    traceable->set_trace_sink(tracer.get());
+    obs::Profiler::instance().set_enabled(true);
+    obs::Profiler::instance().set_timeline(true);
+  }
+
+  const std::string metrics_path = cli.get("metrics-out", "");
+  const auto metrics_every = cli.get_int("metrics-every", 0);
+  std::signal(SIGUSR1, &on_sigusr1);
+  const auto dump_metrics = [&] {
+    std::ostringstream text;
+    server.registry().write_prometheus(text);
+    if (metrics_path.empty()) {
+      std::cerr << text.str();
+      return;
+    }
+    // Write-then-rename, same as checkpoints: a scraper never reads a
+    // half-written exposition.
+    const std::string tmp = metrics_path + ".tmp";
+    {
+      std::ofstream out(tmp);
+      if (!out) throw std::runtime_error("cannot write metrics file");
+      out << text.str();
+      if (!out.flush()) throw std::runtime_error("metrics write failed");
+    }
+    if (std::rename(tmp.c_str(), metrics_path.c_str()) != 0) {
+      throw std::runtime_error("cannot replace metrics file");
+    }
+  };
 
   // Bids the checkpoint already accounts for (decided or still pending);
   // the feeder skips them so replaying the same bid file after a resume
@@ -180,6 +242,11 @@ int main(int argc, char** argv) try {
   // Slot loop (consumer thread = main), with periodic checkpoints.
   const auto slot_period =
       std::chrono::milliseconds(cli.get_int("slot-ms", 0));
+  // slot-ms 0 is offline replay: ingest the whole stream first, then decide
+  // every slot back to back. Racing the unpaced loop against the feeder
+  // would otherwise let the horizon finish mid-ingestion on a loaded
+  // machine, leaving an arbitrary suffix of bids undecided.
+  if (slot_period.count() == 0) feeder.join();
   const auto checkpoint_every = cli.get_int("checkpoint-every", 0);
   const std::string checkpoint_path = cli.get("checkpoint", "");
   const service::SlotClock clock(slot_period);
@@ -201,8 +268,15 @@ int main(int argc, char** argv) try {
         throw std::runtime_error("cannot replace checkpoint file");
       }
     }
+    if (g_dump_requested != 0) {
+      g_dump_requested = 0;
+      dump_metrics();
+    }
+    if (metrics_every > 0 && server.current_slot() % metrics_every == 0) {
+      dump_metrics();
+    }
   }
-  feeder.join();
+  if (feeder.joinable()) feeder.join();
 
   const auto ops = server.metrics();
   const SimResult result = server.finish();
@@ -213,6 +287,24 @@ int main(int argc, char** argv) try {
             << ", ingest " << ops.ingest_rate << " bids/s, decide p50 "
             << ops.decide_p50 * 1e6 << "us p99 " << ops.decide_p99 * 1e6
             << "us\n";
+
+  if (!metrics_path.empty() || metrics_every > 0 || g_dump_requested != 0) {
+    dump_metrics();
+  }
+  if (tracer != nullptr) {
+    tracer->flush();
+    trace_stream.close();
+    std::ofstream chrome(trace_path + ".chrome.json");
+    if (!chrome) throw std::runtime_error("cannot open chrome trace file");
+    obs::write_chrome_trace(chrome, tracer->instants());
+    std::cerr << "trace: " << tracer->records() << " decisions to "
+              << trace_path << " (+ .chrome.json timeline)\n";
+    for (const obs::SpanStats& span : obs::Profiler::instance().snapshot()) {
+      std::cerr << "span " << span.name << ": " << span.count << " x, total "
+                << span.total_seconds * 1e3 << "ms self "
+                << span.self_seconds * 1e3 << "ms\n";
+    }
+  }
 
   if (cli.has("out")) {
     std::ofstream out(cli.get("out", ""));

@@ -1,0 +1,167 @@
+// trace_check — CI validator for lorasched_serve's observability outputs.
+//
+// Reads the three artifacts a traced serve run emits and cross-checks them
+// against each other:
+//  * --trace JSONL: every line must parse back through parse_decision_line
+//    (the exact schema the tests pin down), every record must carry the
+//    Alg. 2 candidate list, and admitted records must charge the eq. (14)
+//    payment total.
+//  * --metrics Prometheus exposition: must parse, and its counters must
+//    agree with the decision log — records == service_bids_decided_total,
+//    admitted records == service_bids_admitted_total.
+//  * --chrome trace-event JSON: must parse with a non-empty traceEvents
+//    array (a timeline Perfetto can load).
+//
+// Exits 0 when everything is consistent, 1 with a diagnostic otherwise.
+//
+//   ./trace_check --trace d.jsonl --metrics m.prom --chrome d.jsonl.chrome.json
+#include <cmath>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "lorasched/obs/json.h"
+#include "lorasched/obs/trace.h"
+#include "lorasched/util/cli.h"
+
+using namespace lorasched;
+
+namespace {
+
+/// Parses a Prometheus text exposition into {metric name -> value},
+/// ignoring HELP/TYPE comments and labeled series (histogram buckets).
+std::map<std::string, double> parse_exposition(std::istream& in) {
+  std::map<std::string, double> values;
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty() || line.front() == '#') continue;
+    const auto space = line.find(' ');
+    if (space == std::string::npos) {
+      throw std::runtime_error("exposition line " + std::to_string(lineno) +
+                               ": no value");
+    }
+    const std::string name = line.substr(0, space);
+    std::size_t parsed = 0;
+    const double value = std::stod(line.substr(space + 1), &parsed);
+    if (name.empty()) {
+      throw std::runtime_error("exposition line " + std::to_string(lineno) +
+                               ": empty metric name");
+    }
+    // Labeled series (foo_bucket{le="..."}) keep their label string in the
+    // key — the cross-check below only reads unlabeled counters.
+    values[name] = value;
+  }
+  return values;
+}
+
+[[noreturn]] void fail(const std::string& what) {
+  std::cerr << "trace_check: FAIL: " << what << "\n";
+  std::exit(1);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  const util::Cli cli(argc, argv);
+  cli.allow_only({"trace", "metrics", "chrome"});
+
+  // --- Decision JSONL ------------------------------------------------------
+  std::ifstream trace_in(cli.get("trace", ""));
+  if (!trace_in) fail("cannot open --trace file");
+  std::uint64_t records = 0;
+  std::uint64_t admitted = 0;
+  std::string line;
+  int lineno = 0;
+  while (std::getline(trace_in, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    obs::DecisionTraceRecord record;
+    try {
+      record = obs::parse_decision_line(line);
+    } catch (const std::exception& e) {
+      fail("trace line " + std::to_string(lineno) + ": " + e.what());
+    }
+    if (record.candidates.empty()) {
+      fail("trace line " + std::to_string(lineno) +
+           ": no Alg. 2 candidates recorded");
+    }
+    if (record.admitted) {
+      if (record.chosen < 0 ||
+          record.chosen >= static_cast<std::int32_t>(record.candidates.size())) {
+        fail("trace line " + std::to_string(lineno) +
+             ": admitted without a chosen candidate");
+      }
+      if (record.duals.empty()) {
+        fail("trace line " + std::to_string(lineno) +
+             ": admitted without sampled duals");
+      }
+      const obs::PaymentTrace& pay = record.payment;
+      const double total =
+          pay.vendor + pay.energy + pay.compute + pay.memory;
+      if (std::abs(pay.total - total) > 1e-9 * std::max(1.0, total)) {
+        fail("trace line " + std::to_string(lineno) +
+             ": payment components do not sum to total");
+      }
+      if (std::abs(pay.charged - pay.total) >
+          1e-9 * std::max(1.0, pay.total)) {
+        fail("trace line " + std::to_string(lineno) +
+             ": admitted bid not charged the eq. (14) total");
+      }
+      ++admitted;
+    } else if (record.payment.charged != 0.0) {
+      fail("trace line " + std::to_string(lineno) + ": rejected bid charged");
+    }
+    ++records;
+  }
+  if (records == 0) fail("trace JSONL is empty");
+
+  // --- Prometheus exposition ----------------------------------------------
+  std::ifstream metrics_in(cli.get("metrics", ""));
+  if (!metrics_in) fail("cannot open --metrics file");
+  const auto values = parse_exposition(metrics_in);
+  if (values.empty()) fail("metrics exposition is empty");
+  const auto expect = [&](const std::string& name, std::uint64_t want) {
+    const auto it = values.find(name);
+    if (it == values.end()) fail("exposition missing " + name);
+    if (static_cast<std::uint64_t>(it->second) != want) {
+      std::ostringstream msg;
+      msg << name << " = " << it->second << " but the decision log has "
+          << want;
+      fail(msg.str());
+    }
+  };
+  // With --late clamp every ingested bid reaches the policy, so the JSONL
+  // decision log and the service counters must agree exactly.
+  expect("service_bids_decided_total", records);
+  expect("service_bids_admitted_total", admitted);
+  expect("service_bids_rejected_total", records - admitted);
+
+  // --- Chrome trace --------------------------------------------------------
+  std::ifstream chrome_in(cli.get("chrome", ""));
+  if (!chrome_in) fail("cannot open --chrome file");
+  std::ostringstream chrome_text;
+  chrome_text << chrome_in.rdbuf();
+  obs::Json chrome;
+  try {
+    chrome = obs::Json::parse(chrome_text.str());
+  } catch (const std::exception& e) {
+    fail(std::string("chrome trace does not parse: ") + e.what());
+  }
+  const obs::Json* events = chrome.find("traceEvents");
+  if (events == nullptr) fail("chrome trace has no traceEvents member");
+  if (events->as_array().empty()) fail("chrome traceEvents is empty");
+
+  std::cout << "trace_check: OK — " << records << " decisions (" << admitted
+            << " admitted), " << values.size() << " exposition series, "
+            << events->as_array().size() << " trace events\n";
+  return 0;
+} catch (const std::exception& e) {
+  std::cerr << "trace_check: error: " << e.what() << "\n";
+  return 1;
+}

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "lorasched/obs/span.h"
+
 namespace lorasched {
 
 DualState::DualState(int nodes, Slot horizon)
@@ -45,6 +47,7 @@ void DualState::load(std::vector<double> lambda, std::vector<double> phi) {
 void DualState::apply_update(const Task& task, const Schedule& schedule,
                              const Cluster& cluster, double alpha, double beta,
                              double welfare_unit) {
+  LORASCHED_SPAN("duals/update");
   // Lemma 2 requires b̄ >= 1 (in scaled money units); κ gets typical
   // schedules there and the clamp enforces it for the stragglers, so the
   // capacity-control doubling argument always holds.

@@ -65,7 +65,9 @@ class OnlineParamEstimator {
 
 /// pdFTSP with self-calibrating prices: every arriving task first updates
 /// the estimator, then is auctioned under the current parameter estimates.
-class AdaptivePdftsp final : public Policy, public CheckpointableState {
+class AdaptivePdftsp final : public Policy,
+                             public CheckpointableState,
+                             public obs::Traceable {
  public:
   AdaptivePdftsp(OnlineParamEstimator::Config config, const Cluster& cluster,
                  const EnergyModel& energy, Slot horizon,
@@ -80,6 +82,11 @@ class AdaptivePdftsp final : public Policy, public CheckpointableState {
     return estimator_;
   }
   [[nodiscard]] const Pdftsp& inner() const noexcept { return inner_; }
+
+  /// Decision tracing rides on the inner pdFTSP (observation-only).
+  void set_trace_sink(obs::DecisionTraceSink* sink) noexcept override {
+    inner_.set_trace_sink(sink);
+  }
 
   /// CheckpointableState: estimator dump followed by the inner pdFTSP dump.
   [[nodiscard]] std::vector<double> checkpoint_state() const override;

@@ -1,8 +1,10 @@
 #include "lorasched/core/pdftsp.h"
 
 #include <stdexcept>
+#include <utility>
 
 #include "lorasched/core/pricing.h"
+#include "lorasched/obs/span.h"
 
 namespace lorasched {
 
@@ -58,9 +60,10 @@ bool not_blocked(const void* ctx, NodeId k, Slot t) {
 }
 }  // namespace
 
-Pdftsp::Candidate Pdftsp::select_schedule(const Task& task,
-                                          const std::vector<VendorQuote>& quotes,
-                                          const CapacityLedger* ledger) const {
+Pdftsp::Candidate Pdftsp::select_schedule(
+    const Task& task, const std::vector<VendorQuote>& quotes,
+    const CapacityLedger* ledger,
+    std::vector<obs::CandidateTrace>* candidates) const {
   Candidate best;
   best.objective = -std::numeric_limits<double>::infinity();
   const SlotFilter filter = ledger != nullptr ? &not_blocked : nullptr;
@@ -71,6 +74,18 @@ Pdftsp::Candidate Pdftsp::select_schedule(const Task& task,
     Task effective = task;
     if (share > 0.0) effective.compute_share = share;
     Schedule candidate = dp_.find(effective, start, duals_, ledger, filter);
+    // Observation-only: record the Alg. 2 candidate (feasible or not)
+    // before the best-of comparison, so the trace shows every vendor's DP
+    // outcome, not just the winner's.
+    obs::CandidateTrace* traced = nullptr;
+    if (candidates != nullptr) {
+      traced = &candidates->emplace_back();
+      traced->vendor = vendor;
+      traced->vendor_price = vendor_price;
+      traced->prep_delay = delay;
+      traced->share = share;
+      traced->feasible = !candidate.empty();
+    }
     if (candidate.empty()) return;
     candidate.vendor = vendor;
     candidate.vendor_price = vendor_price;
@@ -78,9 +93,22 @@ Pdftsp::Candidate Pdftsp::select_schedule(const Task& task,
     candidate.share_override = share > 0.0 ? share : 0.0;
     finalize_schedule(candidate, task, cluster_, energy_);
     const double objective = objective_value(candidate, duals_);
+    if (traced != nullptr) {
+      traced->objective = objective;
+      traced->energy_cost = candidate.energy_cost;
+      traced->welfare_gain = candidate.welfare_gain;
+      traced->norm_compute = candidate.norm_compute;
+      traced->norm_mem = candidate.norm_mem;
+      traced->start = candidate.run.front().slot;
+      traced->completion = candidate.completion_slot();
+      traced->slots = static_cast<std::int32_t>(candidate.run.size());
+    }
     if (objective > best.objective) {
       best.schedule = std::move(candidate);
       best.objective = objective;
+      if (candidates != nullptr) {
+        best.trace_index = static_cast<int>(candidates->size()) - 1;
+      }
     }
   };
   auto consider = [&](VendorId vendor, Money vendor_price, Slot delay) {
@@ -104,19 +132,79 @@ Pdftsp::Candidate Pdftsp::select_schedule(const Task& task,
   return best;
 }
 
+void Pdftsp::emit_trace(const Task& task, const Candidate& best,
+                        std::vector<obs::CandidateTrace>&& candidates,
+                        const std::vector<obs::DualCellSample>& cells,
+                        double max_lambda, double max_phi, bool admitted,
+                        bool capacity_reject) const {
+  obs::DecisionTraceRecord record;
+  record.task = task.id;
+  record.arrival = task.arrival;
+  record.bid = task.bid;
+  record.needs_prep = task.needs_prep;
+  record.candidates = std::move(candidates);
+  record.chosen = best.trace_index;
+  record.objective = best.schedule.empty() ? 0.0 : best.objective;
+  record.admitted = admitted;
+  record.capacity_reject = capacity_reject;
+  record.duals = cells;
+  if (!best.schedule.empty()) {
+    record.payment.vendor = best.schedule.vendor_price;
+    record.payment.energy = best.schedule.energy_cost;
+    record.payment.compute = max_lambda * best.schedule.norm_compute;
+    record.payment.memory = max_phi * best.schedule.norm_mem;
+    record.payment.total =
+        payment_from_prices(best.schedule, max_lambda, max_phi);
+    record.payment.charged = admitted ? record.payment.total : 0.0;
+    record.payment.max_lambda = max_lambda;
+    record.payment.max_phi = max_phi;
+  }
+  trace_->on_decision(record);
+}
+
 Decision Pdftsp::handle_task(const Task& task,
                              const std::vector<VendorQuote>& quotes,
                              const CapacityLedger& ledger) {
+  LORASCHED_SPAN("pdftsp/decide");
   Decision decision;
   decision.task = task.id;
 
-  const Candidate best = select_schedule(task, quotes, &ledger);
+  const bool tracing = trace_ != nullptr;
+  std::vector<obs::CandidateTrace> cand_trace;
+  const Candidate best =
+      select_schedule(task, quotes, &ledger, tracing ? &cand_trace : nullptr);
   if (best.schedule.empty() || best.objective <= 0.0) {
+    if (tracing) {
+      // The trace's payment decomposition for an F(il) <= 0 reject is the
+      // would-be eq. (14) charge of the best candidate (nothing charged).
+      const double max_l =
+          best.schedule.empty() ? 0.0 : duals_.max_lambda(best.schedule);
+      const double max_p =
+          best.schedule.empty() ? 0.0 : duals_.max_phi(best.schedule);
+      emit_trace(task, best, std::move(cand_trace), {}, max_l, max_p,
+                 /*admitted=*/false, /*capacity_reject=*/false);
+    }
     return decision;  // Alg. 1 line 13: reject, duals untouched.
   }
 
-  // Payment must use the pre-update duals (eq. 14).
-  const Money price = payment(best.schedule, duals_);
+  // Payment must use the pre-update duals (eq. 14). payment_from_prices
+  // with the explicit maxima is exactly payment(schedule, duals_), spelled
+  // out so the trace can reuse the same pre-update prices.
+  const double max_lambda = duals_.max_lambda(best.schedule);
+  const double max_phi = duals_.max_phi(best.schedule);
+  const Money price = payment_from_prices(best.schedule, max_lambda, max_phi);
+
+  // Sample the pre-update duals on the chosen schedule's cells while they
+  // are still the prices eq. (14) charged (observation only).
+  std::vector<obs::DualCellSample> cells;
+  if (tracing) {
+    cells.reserve(best.schedule.run.size());
+    for (const Assignment& a : best.schedule.run) {
+      cells.push_back(obs::DualCellSample{a.node, a.slot,
+                                          duals_.lambda(a.node, a.slot),
+                                          duals_.phi(a.node, a.slot)});
+    }
+  }
 
   // Alg. 1 line 7: F(il) > 0 — update the duals even if the capacity check
   // below rejects the task (the competitive analysis depends on this).
@@ -127,6 +215,10 @@ Decision Pdftsp::handle_task(const Task& task,
   for (const Assignment& a : best.schedule.run) {
     const double s = schedule_rate(best.schedule, task, cluster_, a.node);
     if (!ledger.fits(a.node, a.slot, s, task.mem_gb)) {
+      if (tracing) {
+        emit_trace(task, best, std::move(cand_trace), cells, max_lambda,
+                   max_phi, /*admitted=*/false, /*capacity_reject=*/true);
+      }
       return decision;  // line 12: reject.
     }
   }
@@ -134,6 +226,10 @@ Decision Pdftsp::handle_task(const Task& task,
   decision.admit = true;
   decision.schedule = best.schedule;
   decision.payment = price;
+  if (tracing) {
+    emit_trace(task, best, std::move(cand_trace), cells, max_lambda, max_phi,
+               /*admitted=*/true, /*capacity_reject=*/false);
+  }
   return decision;
 }
 

@@ -19,6 +19,7 @@
 #include "lorasched/cluster/energy.h"
 #include "lorasched/core/duals.h"
 #include "lorasched/core/schedule_dp.h"
+#include "lorasched/obs/trace.h"
 #include "lorasched/sim/policy.h"
 #include "lorasched/types.h"
 
@@ -44,7 +45,9 @@ struct PdftspConfig {
   ScheduleDpConfig dp{};
 };
 
-class Pdftsp final : public Policy, public CheckpointableState {
+class Pdftsp final : public Policy,
+                     public CheckpointableState,
+                     public obs::Traceable {
  public:
   Pdftsp(PdftspConfig config, const Cluster& cluster, const EnergyModel& energy,
          Slot horizon);
@@ -68,10 +71,14 @@ class Pdftsp final : public Policy, public CheckpointableState {
   struct Candidate {
     Schedule schedule;
     double objective = 0.0;  // F(il)
+    /// Index into the trace-candidate list of the winner (-1 when no
+    /// feasible candidate, or when no list was collected).
+    int trace_index = -1;
   };
   [[nodiscard]] Candidate select_schedule(
       const Task& task, const std::vector<VendorQuote>& quotes,
-      const CapacityLedger* ledger = nullptr) const;
+      const CapacityLedger* ledger = nullptr,
+      std::vector<obs::CandidateTrace>* candidates = nullptr) const;
 
   [[nodiscard]] const DualState& duals() const noexcept { return duals_; }
   [[nodiscard]] const PdftspConfig& config() const noexcept { return config_; }
@@ -80,17 +87,31 @@ class Pdftsp final : public Policy, public CheckpointableState {
   /// estimates tighten as bids are observed. Values must be positive.
   void set_pricing(double alpha, double beta, double welfare_unit);
 
+  /// Observation-only decision tracing (obs::Traceable): with a sink
+  /// attached, every handle_task() emits one DecisionTraceRecord; decisions
+  /// are bit-identical with and without a sink. nullptr detaches.
+  void set_trace_sink(obs::DecisionTraceSink* sink) noexcept override {
+    trace_ = sink;
+  }
+
   /// CheckpointableState: [alpha, beta, welfare_unit, λ grid, φ grid] — the
   /// complete mutable state of Alg. 1 (the DP and cluster are config).
   [[nodiscard]] std::vector<double> checkpoint_state() const override;
   void restore_state(const std::vector<double>& state) override;
 
  private:
+  void emit_trace(const Task& task, const Candidate& best,
+                  std::vector<obs::CandidateTrace>&& candidates,
+                  const std::vector<obs::DualCellSample>& cells,
+                  double max_lambda, double max_phi, bool admitted,
+                  bool capacity_reject) const;
+
   PdftspConfig config_;
   const Cluster& cluster_;  // must outlive the policy
   EnergyModel energy_;
   ScheduleDp dp_;
   DualState duals_;
+  obs::DecisionTraceSink* trace_ = nullptr;
 };
 
 }  // namespace lorasched

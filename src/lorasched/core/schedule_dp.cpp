@@ -7,6 +7,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "lorasched/obs/span.h"
+
 namespace lorasched {
 
 namespace {
@@ -27,6 +29,7 @@ ScheduleDp::ScheduleDp(const Cluster& cluster, const EnergyModel& energy,
 
 Schedule ScheduleDp::find(const Task& task, Slot start, const DualState& duals,
                           const void* filter_ctx, SlotFilter filter) const {
+  LORASCHED_SPAN("dp/find");
   Schedule schedule;
   schedule.task = task.id;
   if (task.work <= 0.0) return schedule;  // nothing to run

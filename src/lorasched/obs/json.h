@@ -1,0 +1,83 @@
+// Minimal JSON value type with a compact writer and a strict
+// recursive-descent parser — the backbone of the observability layer's
+// interchange formats (decision-trace JSONL, Chrome trace-event files,
+// BENCH_*.json) and of the parse-back helpers the tests and the CI
+// validator use to read them again.
+//
+// Scope is deliberately small: one number type (double, serialized with 17
+// significant digits so values round-trip bit-exactly), ordered objects
+// (std::map, so serialization is deterministic), UTF-8 passed through
+// verbatim with only the mandatory escapes. Not a general-purpose JSON
+// library — no comments, no trailing commas, no \u escapes beyond BMP
+// code points.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lorasched::obs {
+
+class Json {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  using Array = std::vector<Json>;
+  using Object = std::map<std::string, Json>;
+
+  Json() = default;  // null
+  Json(bool value) : kind_(Kind::kBool), bool_(value) {}
+  Json(double value) : kind_(Kind::kNumber), number_(value) {}
+  Json(int value) : Json(static_cast<double>(value)) {}
+  Json(long value) : Json(static_cast<double>(value)) {}
+  Json(long long value) : Json(static_cast<double>(value)) {}
+  Json(unsigned value) : Json(static_cast<double>(value)) {}
+  Json(unsigned long value) : Json(static_cast<double>(value)) {}
+  Json(unsigned long long value) : Json(static_cast<double>(value)) {}
+  Json(const char* value) : kind_(Kind::kString), string_(value) {}
+  Json(std::string value) : kind_(Kind::kString), string_(std::move(value)) {}
+  Json(Array value) : kind_(Kind::kArray), array_(std::move(value)) {}
+  Json(Object value) : kind_(Kind::kObject), object_(std::move(value)) {}
+
+  [[nodiscard]] Kind kind() const noexcept { return kind_; }
+  [[nodiscard]] bool is_null() const noexcept { return kind_ == Kind::kNull; }
+
+  /// Typed accessors; throw std::invalid_argument on kind mismatch.
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_number() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const Array& as_array() const;
+  [[nodiscard]] const Object& as_object() const;
+  [[nodiscard]] Array& as_array();
+  [[nodiscard]] Object& as_object();
+
+  /// Object member lookup: nullptr when absent (or not an object) / throwing.
+  [[nodiscard]] const Json* find(const std::string& key) const;
+  [[nodiscard]] const Json& at(const std::string& key) const;
+
+  /// Compact serialization (no whitespace); deterministic member order.
+  void write(std::ostream& out) const;
+  [[nodiscard]] std::string dump() const;
+
+  /// Parses exactly one JSON document (trailing whitespace allowed; any
+  /// other trailing content throws). Throws std::invalid_argument with a
+  /// byte offset on malformed input.
+  [[nodiscard]] static Json parse(std::string_view text);
+
+  friend bool operator==(const Json&, const Json&) = default;
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  Array array_;
+  Object object_;
+};
+
+/// Writes `text` as a quoted JSON string with the mandatory escapes.
+void write_json_string(std::ostream& out, std::string_view text);
+
+}  // namespace lorasched::obs

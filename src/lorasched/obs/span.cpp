@@ -1,0 +1,132 @@
+#include "lorasched/obs/span.h"
+
+#include <algorithm>
+
+#include "lorasched/util/timing.h"
+
+namespace lorasched::obs {
+
+namespace {
+
+std::uint64_t now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          util::MonoClock::now().time_since_epoch())
+          .count());
+}
+
+std::uint32_t this_thread_number() noexcept {
+  static std::atomic<std::uint32_t> next{0};
+  thread_local const std::uint32_t number =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return number;
+}
+
+// The innermost open span on this thread (for self-time attribution).
+thread_local ScopedSpan* t_current_span = nullptr;
+
+}  // namespace
+
+Profiler& Profiler::instance() noexcept {
+  static Profiler profiler;
+  return profiler;
+}
+
+void Profiler::set_enabled(bool on) noexcept {
+  enabled_.store(on, std::memory_order_relaxed);
+}
+
+void Profiler::set_timeline(bool on, std::size_t max_events) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  timeline_.store(on, std::memory_order_relaxed);
+  max_events_ = on ? max_events : 0;
+  if (on) events_.reserve(std::min<std::size_t>(max_events, 4096));
+}
+
+std::uint32_t Profiler::register_site(const char* name,
+                                      detail::SiteSlot* slot) {
+  (void)name;
+  std::lock_guard<std::mutex> lock(mutex_);
+  sites_.push_back(slot);
+  return static_cast<std::uint32_t>(sites_.size() - 1);
+}
+
+void Profiler::append_event(const SpanEvent& event) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!timeline_.load(std::memory_order_relaxed)) return;
+  if (events_.size() >= max_events_) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  events_.push_back(event);
+}
+
+std::vector<SpanStats> Profiler::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<SpanStats> out;
+  out.reserve(sites_.size());
+  for (const detail::SiteSlot* site : sites_) {
+    SpanStats stats;
+    stats.name = site->name;
+    stats.count = site->count.load(std::memory_order_relaxed);
+    const auto total = site->total_ns.load(std::memory_order_relaxed);
+    const auto child = site->child_ns.load(std::memory_order_relaxed);
+    stats.total_seconds = static_cast<double>(total) * 1e-9;
+    stats.self_seconds =
+        static_cast<double>(total > child ? total - child : 0) * 1e-9;
+    out.push_back(std::move(stats));
+  }
+  return out;
+}
+
+std::vector<SpanEvent> Profiler::timeline_events() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_;
+}
+
+std::string Profiler::site_name(std::uint32_t site) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (site >= sites_.size()) return "?";
+  return sites_[site]->name;
+}
+
+std::uint64_t Profiler::timeline_dropped() const noexcept {
+  return dropped_.load(std::memory_order_relaxed);
+}
+
+void Profiler::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (detail::SiteSlot* site : sites_) {
+    site->count.store(0, std::memory_order_relaxed);
+    site->total_ns.store(0, std::memory_order_relaxed);
+    site->child_ns.store(0, std::memory_order_relaxed);
+  }
+  events_.clear();
+  dropped_.store(0, std::memory_order_relaxed);
+}
+
+ScopedSpan::ScopedSpan(detail::SiteSlot& site) noexcept {
+  Profiler& profiler = Profiler::instance();
+  if (!profiler.enabled()) return;  // disabled: one relaxed load, done
+  site_ = &site;
+  parent_ = t_current_span;
+  t_current_span = this;
+  start_ns_ = now_ns();
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (site_ == nullptr) return;
+  const std::uint64_t duration = now_ns() - start_ns_;
+  site_->count.fetch_add(1, std::memory_order_relaxed);
+  site_->total_ns.fetch_add(duration, std::memory_order_relaxed);
+  site_->child_ns.fetch_add(child_ns_, std::memory_order_relaxed);
+  t_current_span = parent_;
+  if (parent_ != nullptr) parent_->child_ns_ += duration;
+  Profiler& profiler = Profiler::instance();
+  if (profiler.timeline_enabled()) {
+    profiler.append_event(SpanEvent{site_->index, this_thread_number(),
+                                    start_ns_, duration});
+  }
+}
+
+}  // namespace lorasched::obs

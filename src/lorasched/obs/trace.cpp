@@ -1,0 +1,222 @@
+#include "lorasched/obs/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <limits>
+#include <ostream>
+
+#include "lorasched/obs/span.h"
+#include "lorasched/util/timing.h"
+
+namespace lorasched::obs {
+
+namespace {
+
+std::uint64_t now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          util::MonoClock::now().time_since_epoch())
+          .count());
+}
+
+Json candidate_to_json(const CandidateTrace& c) {
+  Json::Object o;
+  o.emplace("vendor", Json(c.vendor));
+  o.emplace("vendor_price", Json(c.vendor_price));
+  o.emplace("prep_delay", Json(c.prep_delay));
+  o.emplace("share", Json(c.share));
+  o.emplace("feasible", Json(c.feasible));
+  o.emplace("objective", Json(c.objective));
+  o.emplace("energy_cost", Json(c.energy_cost));
+  o.emplace("welfare_gain", Json(c.welfare_gain));
+  o.emplace("norm_compute", Json(c.norm_compute));
+  o.emplace("norm_mem", Json(c.norm_mem));
+  o.emplace("start", Json(c.start));
+  o.emplace("completion", Json(c.completion));
+  o.emplace("slots", Json(c.slots));
+  return Json(std::move(o));
+}
+
+CandidateTrace candidate_from_json(const Json& json) {
+  CandidateTrace c;
+  c.vendor = static_cast<VendorId>(json.at("vendor").as_number());
+  c.vendor_price = json.at("vendor_price").as_number();
+  c.prep_delay = static_cast<Slot>(json.at("prep_delay").as_number());
+  c.share = json.at("share").as_number();
+  c.feasible = json.at("feasible").as_bool();
+  c.objective = json.at("objective").as_number();
+  c.energy_cost = json.at("energy_cost").as_number();
+  c.welfare_gain = json.at("welfare_gain").as_number();
+  c.norm_compute = json.at("norm_compute").as_number();
+  c.norm_mem = json.at("norm_mem").as_number();
+  c.start = static_cast<Slot>(json.at("start").as_number());
+  c.completion = static_cast<Slot>(json.at("completion").as_number());
+  c.slots = static_cast<std::int32_t>(json.at("slots").as_number());
+  return c;
+}
+
+}  // namespace
+
+Json decision_to_json(const DecisionTraceRecord& record) {
+  Json::Object o;
+  o.emplace("type", Json("decision"));
+  o.emplace("task", Json(record.task));
+  o.emplace("arrival", Json(record.arrival));
+  o.emplace("bid", Json(record.bid));
+  o.emplace("needs_prep", Json(record.needs_prep));
+  Json::Array candidates;
+  candidates.reserve(record.candidates.size());
+  for (const CandidateTrace& c : record.candidates) {
+    candidates.push_back(candidate_to_json(c));
+  }
+  o.emplace("candidates", Json(std::move(candidates)));
+  o.emplace("chosen", Json(record.chosen));
+  o.emplace("objective", Json(record.objective));
+  o.emplace("admitted", Json(record.admitted));
+  o.emplace("capacity_reject", Json(record.capacity_reject));
+  Json::Array duals;
+  duals.reserve(record.duals.size());
+  for (const DualCellSample& cell : record.duals) {
+    Json::Object d;
+    d.emplace("node", Json(cell.node));
+    d.emplace("slot", Json(cell.slot));
+    d.emplace("lambda", Json(cell.lambda));
+    d.emplace("phi", Json(cell.phi));
+    duals.push_back(Json(std::move(d)));
+  }
+  o.emplace("duals", Json(std::move(duals)));
+  Json::Object payment;
+  payment.emplace("vendor", Json(record.payment.vendor));
+  payment.emplace("energy", Json(record.payment.energy));
+  payment.emplace("compute", Json(record.payment.compute));
+  payment.emplace("memory", Json(record.payment.memory));
+  payment.emplace("total", Json(record.payment.total));
+  payment.emplace("charged", Json(record.payment.charged));
+  payment.emplace("max_lambda", Json(record.payment.max_lambda));
+  payment.emplace("max_phi", Json(record.payment.max_phi));
+  o.emplace("payment", Json(std::move(payment)));
+  return Json(std::move(o));
+}
+
+DecisionTraceRecord decision_from_json(const Json& json) {
+  DecisionTraceRecord record;
+  record.task = static_cast<TaskId>(json.at("task").as_number());
+  record.arrival = static_cast<Slot>(json.at("arrival").as_number());
+  record.bid = json.at("bid").as_number();
+  record.needs_prep = json.at("needs_prep").as_bool();
+  for (const Json& c : json.at("candidates").as_array()) {
+    record.candidates.push_back(candidate_from_json(c));
+  }
+  record.chosen = static_cast<std::int32_t>(json.at("chosen").as_number());
+  record.objective = json.at("objective").as_number();
+  record.admitted = json.at("admitted").as_bool();
+  record.capacity_reject = json.at("capacity_reject").as_bool();
+  for (const Json& d : json.at("duals").as_array()) {
+    DualCellSample cell;
+    cell.node = static_cast<NodeId>(d.at("node").as_number());
+    cell.slot = static_cast<Slot>(d.at("slot").as_number());
+    cell.lambda = d.at("lambda").as_number();
+    cell.phi = d.at("phi").as_number();
+    record.duals.push_back(cell);
+  }
+  const Json& payment = json.at("payment");
+  record.payment.vendor = payment.at("vendor").as_number();
+  record.payment.energy = payment.at("energy").as_number();
+  record.payment.compute = payment.at("compute").as_number();
+  record.payment.memory = payment.at("memory").as_number();
+  record.payment.total = payment.at("total").as_number();
+  record.payment.charged = payment.at("charged").as_number();
+  record.payment.max_lambda = payment.at("max_lambda").as_number();
+  record.payment.max_phi = payment.at("max_phi").as_number();
+  return record;
+}
+
+DecisionTraceRecord parse_decision_line(const std::string& line) {
+  return decision_from_json(Json::parse(line));
+}
+
+void DecisionTracer::on_decision(const DecisionTraceRecord& record) {
+  const std::uint64_t ts = now_ns();
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++records_;
+  if (record.admitted) ++admitted_;
+  if (out_ != nullptr) {
+    decision_to_json(record).write(*out_);
+    *out_ << '\n';
+  }
+  if (instants_.size() < max_instants_) {
+    instants_.push_back(DecisionInstant{ts, record.task, record.admitted,
+                                        record.objective,
+                                        record.payment.charged});
+  } else {
+    ++dropped_;
+  }
+}
+
+std::uint64_t DecisionTracer::records() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return records_;
+}
+
+std::uint64_t DecisionTracer::admitted() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return admitted_;
+}
+
+std::uint64_t DecisionTracer::instants_dropped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return dropped_;
+}
+
+std::vector<DecisionInstant> DecisionTracer::instants() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return instants_;
+}
+
+void DecisionTracer::flush() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (out_ != nullptr) out_->flush();
+}
+
+void write_chrome_trace(std::ostream& out,
+                        const std::vector<DecisionInstant>& decisions) {
+  const Profiler& profiler = Profiler::instance();
+  const std::vector<SpanEvent> spans = profiler.timeline_events();
+
+  std::uint64_t base = std::numeric_limits<std::uint64_t>::max();
+  for (const SpanEvent& event : spans) base = std::min(base, event.start_ns);
+  for (const DecisionInstant& d : decisions) base = std::min(base, d.ts_ns);
+  if (base == std::numeric_limits<std::uint64_t>::max()) base = 0;
+
+  out << "{\"traceEvents\":[";
+  bool first = true;
+  char buf[96];
+  for (const SpanEvent& event : spans) {
+    if (!first) out << ',';
+    first = false;
+    out << "{\"ph\":\"X\",\"pid\":1,\"tid\":" << event.thread << ",\"name\":";
+    write_json_string(out, profiler.site_name(event.site));
+    std::snprintf(buf, sizeof(buf), ",\"ts\":%.3f,\"dur\":%.3f}",
+                  static_cast<double>(event.start_ns - base) * 1e-3,
+                  static_cast<double>(event.duration_ns) * 1e-3);
+    out << buf;
+  }
+  for (const DecisionInstant& d : decisions) {
+    if (!first) out << ',';
+    first = false;
+    std::snprintf(buf, sizeof(buf),
+                  "{\"ph\":\"i\",\"pid\":1,\"tid\":0,\"s\":\"p\",\"ts\":%.3f",
+                  static_cast<double>(d.ts_ns - base) * 1e-3);
+    out << buf << ",\"name\":";
+    write_json_string(out, (d.admitted ? "admit task " : "reject task ") +
+                               std::to_string(d.task));
+    std::snprintf(buf, sizeof(buf),
+                  ",\"args\":{\"objective\":%.17g,\"charged\":%.17g}}",
+                  d.objective, d.charged);
+    out << buf;
+  }
+  out << "]}";
+}
+
+}  // namespace lorasched::obs

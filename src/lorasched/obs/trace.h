@@ -1,0 +1,165 @@
+// Structured decision tracing for the pdFTSP auction (Alg. 1/2).
+//
+// Every decided bid produces one DecisionTraceRecord capturing the full
+// "why" of the verdict, tied to the paper's quantities:
+//  * candidates — Alg. 2's outer loop: one entry per (vendor, share)
+//    candidate with the DP's outcome (feasible?), the candidate's cost
+//    components (vendor quote q_in, energy Σ e_ikt), its welfare gain
+//    b_il = b_i − q_in − Σ e_ikt, and its objective F(il) (eq. 10) under
+//    the duals the DP saw.
+//  * duals — the λ_kt/φ_kt prices sampled on the *chosen* schedule's
+//    (node, slot) cells, pre-update: exactly the prices eq. (14) charges.
+//  * objective / admitted / capacity_reject — the eq. (10) admission
+//    comparison F(il) vs 0 and, when F(il) > 0, whether Alg. 1's line-8
+//    ground-truth capacity check overturned it.
+//  * payment — eq. (14) decomposed: vendor + energy + max λ · s̃ +
+//    max φ · r̃; `charged` is what the user actually pays (0 on reject).
+//
+// Tracing is observation-only by contract: a policy with a sink attached
+// makes bit-identical decisions to one without (tests/test_trace.cpp pins
+// this down). Records serialize to JSONL (one compact object per line,
+// schema documented in DESIGN.md §8) with an exact-round-trip parse-back
+// helper, plus Chrome trace-event instants for Perfetto timelines.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <limits>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "lorasched/obs/json.h"
+#include "lorasched/types.h"
+
+namespace lorasched::obs {
+
+/// One (vendor, share) candidate from Alg. 2's outer loop.
+struct CandidateTrace {
+  VendorId vendor = kNoVendor;
+  Money vendor_price = 0.0;  ///< q_in (0 when no vendor).
+  Slot prep_delay = 0;       ///< h_in.
+  double share = 0.0;        ///< Share override; 0 = the task's own batch.
+  bool feasible = false;     ///< DP found a schedule inside the window.
+  double objective = 0.0;    ///< F(il), eq. (10); 0 when infeasible.
+  Money energy_cost = 0.0;   ///< Σ e_ikt over the candidate's run.
+  double welfare_gain = 0.0; ///< b_il = b_i − q_in − Σ e_ikt.
+  double norm_compute = 0.0; ///< s̃ — capacity-normalized compute volume.
+  double norm_mem = 0.0;     ///< r̃ — normalized adapter-memory volume.
+  Slot start = -1;           ///< First executing slot (-1 when infeasible).
+  Slot completion = -1;      ///< Last executing slot.
+  std::int32_t slots = 0;    ///< |run|.
+};
+
+/// λ/φ sampled at one (node, slot) cell of the chosen schedule, pre-update.
+struct DualCellSample {
+  NodeId node = -1;
+  Slot slot = -1;
+  double lambda = 0.0;
+  double phi = 0.0;
+};
+
+/// Eq. (14) decomposed. For rejected bids the decomposition is the
+/// would-be payment of the best candidate (hypothetical) and charged is 0.
+struct PaymentTrace {
+  Money vendor = 0.0;
+  Money energy = 0.0;
+  Money compute = 0.0;  ///< max λ^(i−1) · s̃.
+  Money memory = 0.0;   ///< max φ^(i−1) · r̃.
+  Money total = 0.0;    ///< Sum of the four components.
+  Money charged = 0.0;  ///< What the user pays: total if admitted, else 0.
+  double max_lambda = 0.0;
+  double max_phi = 0.0;
+};
+
+struct DecisionTraceRecord {
+  TaskId task = -1;
+  Slot arrival = 0;
+  Money bid = 0.0;
+  bool needs_prep = false;
+  std::vector<CandidateTrace> candidates;
+  /// Index into `candidates` of the F(il)-maximizing feasible candidate;
+  /// -1 when no candidate was feasible.
+  std::int32_t chosen = -1;
+  /// F(il) of the best candidate — the eq. (10) admission comparison is
+  /// `objective > 0`.
+  double objective = 0.0;
+  bool admitted = false;
+  /// F(il) > 0 but Alg. 1 line 8 (ground-truth capacity) rejected.
+  bool capacity_reject = false;
+  std::vector<DualCellSample> duals;
+  PaymentTrace payment;
+};
+
+/// Receives one record per decided bid, synchronously, on the deciding
+/// thread. Implementations must not mutate scheduler state.
+class DecisionTraceSink {
+ public:
+  virtual ~DecisionTraceSink() = default;
+  virtual void on_decision(const DecisionTraceRecord& record) = 0;
+};
+
+/// Implemented by policies that can emit decision traces (Pdftsp and
+/// AdaptivePdftsp). Passing nullptr detaches.
+class Traceable {
+ public:
+  virtual ~Traceable() = default;
+  virtual void set_trace_sink(DecisionTraceSink* sink) noexcept = 0;
+};
+
+// --- JSONL serialization ----------------------------------------------------
+
+[[nodiscard]] Json decision_to_json(const DecisionTraceRecord& record);
+/// Inverse of decision_to_json; throws std::invalid_argument on schema
+/// mismatch (missing members, wrong types).
+[[nodiscard]] DecisionTraceRecord decision_from_json(const Json& json);
+/// Parses one JSONL line (convenience: Json::parse + decision_from_json).
+[[nodiscard]] DecisionTraceRecord parse_decision_line(const std::string& line);
+
+/// Chrome trace-event instant for one decision (merged with profiler span
+/// events into the exported timeline).
+struct DecisionInstant {
+  std::uint64_t ts_ns = 0;
+  TaskId task = -1;
+  bool admitted = false;
+  double objective = 0.0;
+  Money charged = 0.0;
+};
+
+/// The standard sink: streams each record as one JSONL line to `out`
+/// (skipped when null) and keeps bounded aggregates plus Chrome-trace
+/// instants. Thread-safe (the service decides on one thread, but tests and
+/// multi-zone setups may not).
+class DecisionTracer final : public DecisionTraceSink {
+ public:
+  /// `out` is borrowed, not owned; may be null for aggregation-only use.
+  explicit DecisionTracer(std::ostream* out = nullptr,
+                          std::size_t max_instants = 1 << 20)
+      : out_(out), max_instants_(max_instants) {}
+
+  void on_decision(const DecisionTraceRecord& record) override;
+
+  [[nodiscard]] std::uint64_t records() const;
+  [[nodiscard]] std::uint64_t admitted() const;
+  [[nodiscard]] std::uint64_t instants_dropped() const;
+  [[nodiscard]] std::vector<DecisionInstant> instants() const;
+  void flush();
+
+ private:
+  mutable std::mutex mutex_;
+  std::ostream* out_;
+  std::size_t max_instants_;
+  std::uint64_t records_ = 0;
+  std::uint64_t admitted_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::vector<DecisionInstant> instants_;
+};
+
+/// Writes span timeline events and decision instants as one Chrome
+/// trace-event JSON document (Perfetto-loadable): spans as "X" duration
+/// events (from Profiler::timeline_events()), decisions as "i" instants on
+/// their own track.
+void write_chrome_trace(std::ostream& out,
+                        const std::vector<DecisionInstant>& decisions);
+
+}  // namespace lorasched::obs

@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "lorasched/obs/span.h"
 #include "lorasched/service/slot_clock.h"
 #include "lorasched/sim/validator.h"
 #include "lorasched/util/timing.h"
@@ -61,6 +62,7 @@ void AdmissionService::step() {
   if (finished_ || next_slot_ >= horizon_) {
     throw std::logic_error("admission service stepped past its horizon");
   }
+  LORASCHED_SPAN("service/step");
   dirty_.store(true, std::memory_order_relaxed);
   const Slot now = next_slot_;
 

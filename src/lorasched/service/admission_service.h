@@ -129,6 +129,15 @@ class AdmissionService {
   [[nodiscard]] const BidQueue& queue() const noexcept { return queue_; }
   [[nodiscard]] MetricsSnapshot metrics() const { return metrics_.snapshot(); }
 
+  /// The metrics registry backing metrics() — counters/gauges/histograms
+  /// with Prometheus exposition (lorasched_serve --metrics-out dumps it).
+  [[nodiscard]] obs::MetricsRegistry& registry() noexcept {
+    return metrics_.registry();
+  }
+  [[nodiscard]] const obs::MetricsRegistry& registry() const noexcept {
+    return metrics_.registry();
+  }
+
  private:
   void decide_batch(Slot now, std::vector<Task>& batch, std::size_t drained,
                     std::size_t queue_depth);

@@ -3,6 +3,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "lorasched/obs/span.h"
+
 namespace lorasched::service {
 
 const char* to_string(SubmitResult result) noexcept {
@@ -23,6 +25,9 @@ BidQueue::BidQueue(std::size_t capacity, BackpressureMode mode)
 }
 
 SubmitResult BidQueue::submit(Task bid) {
+  // Self time here includes any kBlock backpressure wait — by design: the
+  // span answers "how long do producers stall", not just lock cost.
+  LORASCHED_SPAN("queue/submit");
   std::unique_lock<std::mutex> lock(mutex_);
   if (closed_) return SubmitResult::kRejectedClosed;
   if (bids_.size() >= capacity_) {
@@ -40,6 +45,7 @@ SubmitResult BidQueue::submit(Task bid) {
 }
 
 std::vector<Task> BidQueue::drain() {
+  LORASCHED_SPAN("queue/drain");
   std::vector<Task> out;
   {
     std::lock_guard<std::mutex> lock(mutex_);

@@ -1,15 +1,49 @@
 #include "lorasched/service/service_metrics.h"
 
-#include <algorithm>
-
-#include "lorasched/util/stats.h"
-
 namespace lorasched::service {
+
+namespace {
+
+// Decision latencies: 100ns .. 100s covers everything from a cache-warm
+// greedy decision to a pathological DP on a huge cluster.
+obs::HistogramOptions decide_histogram_options() {
+  obs::HistogramOptions options;
+  options.min = 1e-7;
+  options.max = 100.0;
+  options.buckets_per_octave = 8;
+  return options;
+}
+
+}  // namespace
+
+ServiceMetrics::ServiceMetrics()
+    : ingested_(registry_.counter("service_bids_ingested_total",
+                                  "Bids accepted into the ingest queue")),
+      decided_(registry_.counter("service_bids_decided_total",
+                                 "Bids the policy decided (admit or reject)")),
+      admitted_(registry_.counter("service_bids_admitted_total",
+                                  "Bids admitted by the policy")),
+      rejected_(registry_.counter("service_bids_rejected_total",
+                                  "Bids rejected by the policy")),
+      rejected_late_(registry_.counter(
+          "service_bids_rejected_late_total",
+          "Bids shed at ingestion because their arrival slot had passed")),
+      slots_(registry_.counter("service_slots_processed_total",
+                               "Slots the consumer loop has decided")),
+      queue_depth_(registry_.gauge(
+          "service_queue_depth",
+          "Ingest-queue depth observed at the most recent drain")),
+      max_queue_depth_(registry_.gauge(
+          "service_queue_depth_max",
+          "Largest ingest-queue depth observed at any drain")),
+      decide_seconds_(registry_.histogram(
+          "service_decide_seconds", decide_histogram_options(),
+          "Per-task decision latency (policy time / batch size)")) {}
 
 void ServiceMetrics::record_ingest() {
   const auto now = util::MonoClock::now();
+  ingested_.add();
   std::lock_guard<std::mutex> lock(mutex_);
-  ++ingested_;
   if (!saw_first_ingest_) {
     saw_first_ingest_ = true;
     first_ingest_ = now;
@@ -19,50 +53,45 @@ void ServiceMetrics::record_ingest() {
 
 void ServiceMetrics::record_slot(const SlotReport& report,
                                  double per_task_seconds) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  ++slots_;
-  decided_ += report.batch;
-  max_queue_depth_ = std::max(max_queue_depth_, report.queue_depth);
+  slots_.add();
+  decided_.add(report.batch);
+  queue_depth_.set(static_cast<double>(report.queue_depth));
+  max_queue_depth_.set_max(static_cast<double>(report.queue_depth));
   for (std::size_t i = 0; i < report.batch; ++i) {
-    decide_samples_.push_back(per_task_seconds);
+    decide_seconds_.record(per_task_seconds);
   }
 }
 
-void ServiceMetrics::record_admitted() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  ++admitted_;
-}
+void ServiceMetrics::record_admitted() { admitted_.add(); }
 
-void ServiceMetrics::record_rejected() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  ++rejected_;
-}
+void ServiceMetrics::record_rejected() { rejected_.add(); }
 
-void ServiceMetrics::record_rejected_late() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  ++rejected_late_;
-}
+void ServiceMetrics::record_rejected_late() { rejected_late_.add(); }
 
 MetricsSnapshot ServiceMetrics::snapshot() const {
-  std::lock_guard<std::mutex> lock(mutex_);
   MetricsSnapshot snap;
-  snap.bids_ingested = ingested_;
-  snap.bids_decided = decided_;
-  snap.admitted = admitted_;
-  snap.rejected = rejected_;
-  snap.rejected_late = rejected_late_;
-  snap.max_queue_depth = max_queue_depth_;
-  snap.slots_processed = slots_;
-  if (ingested_ >= 2) {
-    const double span = util::seconds_between(first_ingest_, last_ingest_);
-    if (span > 0.0) {
-      snap.ingest_rate = static_cast<double>(ingested_) / span;
+  snap.bids_ingested = ingested_.value();
+  snap.bids_decided = decided_.value();
+  snap.admitted = admitted_.value();
+  snap.rejected = rejected_.value();
+  snap.rejected_late = rejected_late_.value();
+  snap.queue_depth = static_cast<std::size_t>(queue_depth_.value());
+  snap.max_queue_depth = static_cast<std::size_t>(max_queue_depth_.value());
+  snap.slots_processed = static_cast<std::size_t>(slots_.value());
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (saw_first_ingest_ && snap.bids_ingested >= 2) {
+      const double span = util::seconds_between(first_ingest_, last_ingest_);
+      if (span > 0.0) {
+        snap.ingest_rate = static_cast<double>(snap.bids_ingested) / span;
+      }
     }
   }
-  if (!decide_samples_.empty()) {
-    snap.decide_p50 = util::percentile(decide_samples_, 50.0);
-    snap.decide_p99 = util::percentile(decide_samples_, 99.0);
-    snap.decide_mean = util::mean(decide_samples_);
+  const obs::HistogramSnapshot decide = decide_seconds_.snapshot();
+  if (decide.count > 0) {
+    snap.decide_p50 = decide.percentile(50.0);
+    snap.decide_p99 = decide.percentile(99.0);
+    snap.decide_mean = decide.mean();
   }
   return snap;
 }

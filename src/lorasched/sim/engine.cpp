@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "lorasched/obs/span.h"
 #include "lorasched/sim/validator.h"
 #include "lorasched/util/timing.h"
 
@@ -12,6 +13,7 @@ namespace lorasched {
 void commit_decision(CapacityLedger& ledger, const Cluster& cluster,
                      const Task& task, const Decision& decision) {
   if (!decision.admit) return;
+  LORASCHED_SPAN("ledger/commit");
   for (const Assignment& a : decision.schedule.run) {
     ledger.reserve(a.node, a.slot,
                    schedule_rate(decision.schedule, task, cluster, a.node),
@@ -54,6 +56,7 @@ SimResult run_simulation(const Instance& instance, Policy& policy,
 
     const SlotContext ctx{now,           arrivals,        instance.cluster,
                           instance.energy, instance.market, ledger};
+    LORASCHED_SPAN("engine/slot");
     const util::Stopwatch watch;
     const std::vector<Decision> decisions = policy.on_slot(ctx);
     const double per_task_seconds =

@@ -1,0 +1,462 @@
+// Observability primitives: the metrics registry (counters, gauges,
+// log-bucketed histograms, Prometheus exposition), the minimal JSON
+// value type, RAII profiling spans with self-time attribution, and the
+// ServiceMetrics facade built on top of them. Includes concurrent
+// hammering of every recording path so the TSan job certifies the
+// lock-free claims.
+#include "lorasched/obs/registry.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "lorasched/obs/json.h"
+#include "lorasched/obs/span.h"
+#include "lorasched/service/service_metrics.h"
+#include "lorasched/util/stats.h"
+
+namespace lorasched::obs {
+namespace {
+
+// --- Counter / Gauge --------------------------------------------------------
+
+TEST(Counter, AddsAndReads) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(Gauge, SetAddAndRunningMax) {
+  Gauge g;
+  g.set(3.0);
+  EXPECT_DOUBLE_EQ(g.value(), 3.0);
+  g.add(-1.5);
+  EXPECT_DOUBLE_EQ(g.value(), 1.5);
+  g.set_max(7.0);
+  EXPECT_DOUBLE_EQ(g.value(), 7.0);
+  g.set_max(2.0);  // smaller: no change
+  EXPECT_DOUBLE_EQ(g.value(), 7.0);
+}
+
+// --- Histogram --------------------------------------------------------------
+
+HistogramOptions coarse_options() {
+  // One bucket per octave over [1, 16): finite buckets [1,2) [2,4) [4,8)
+  // [8,16), so bucket membership is easy to reason about by hand.
+  HistogramOptions options;
+  options.min = 1.0;
+  options.max = 16.0;
+  options.buckets_per_octave = 1;
+  return options;
+}
+
+TEST(Histogram, EmptySnapshot) {
+  const Histogram h(coarse_options());
+  const HistogramSnapshot snap = h.snapshot();
+  EXPECT_EQ(snap.count, 0u);
+  EXPECT_DOUBLE_EQ(snap.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(snap.percentile(50.0), 0.0);
+  EXPECT_DOUBLE_EQ(snap.percentile(99.0), 0.0);
+}
+
+TEST(Histogram, OneSampleEveryPercentileIsThatSample) {
+  Histogram h(coarse_options());
+  h.record(3.0);
+  const HistogramSnapshot snap = h.snapshot();
+  EXPECT_EQ(snap.count, 1u);
+  EXPECT_DOUBLE_EQ(snap.mean(), 3.0);
+  // Clamping to [min_seen, max_seen] collapses a single sample exactly.
+  EXPECT_DOUBLE_EQ(snap.percentile(0.0), 3.0);
+  EXPECT_DOUBLE_EQ(snap.percentile(50.0), 3.0);
+  EXPECT_DOUBLE_EQ(snap.percentile(100.0), 3.0);
+}
+
+TEST(Histogram, BucketBoundaries) {
+  Histogram h(coarse_options());
+  h.record(1.0);   // first finite bucket, lower edge inclusive
+  h.record(1.99);  // still [1, 2)
+  h.record(2.0);   // [2, 4), boundary lands up
+  h.record(7.9);   // [4, 8)
+  h.record(8.0);   // [8, 16)
+  const HistogramSnapshot snap = h.snapshot();
+  ASSERT_EQ(snap.finite_buckets(), 4u);
+  ASSERT_EQ(snap.counts.size(), 6u);  // + underflow/overflow
+  EXPECT_EQ(snap.counts[0], 0u);      // underflow
+  EXPECT_EQ(snap.counts[1], 2u);      // [1, 2)
+  EXPECT_EQ(snap.counts[2], 1u);      // [2, 4)
+  EXPECT_EQ(snap.counts[3], 1u);      // [4, 8)
+  EXPECT_EQ(snap.counts[4], 1u);      // [8, 16)
+  EXPECT_EQ(snap.counts[5], 0u);      // overflow
+  EXPECT_DOUBLE_EQ(snap.bucket_lower(0), 1.0);
+  EXPECT_DOUBLE_EQ(snap.bucket_upper(0), 2.0);
+  EXPECT_DOUBLE_EQ(snap.bucket_lower(3), 8.0);
+  EXPECT_DOUBLE_EQ(snap.bucket_upper(3), 16.0);
+}
+
+TEST(Histogram, UnderflowAndOverflow) {
+  Histogram h(coarse_options());
+  h.record(0.25);   // below min
+  h.record(16.0);   // at max: overflow by contract
+  h.record(1e9);    // far above
+  const HistogramSnapshot snap = h.snapshot();
+  EXPECT_EQ(snap.counts.front(), 1u);
+  EXPECT_EQ(snap.counts.back(), 2u);
+  EXPECT_EQ(snap.count, 3u);
+  // min/max tracking is exact even for out-of-range samples.
+  EXPECT_DOUBLE_EQ(snap.min_seen, 0.25);
+  EXPECT_DOUBLE_EQ(snap.max_seen, 1e9);
+  // Percentiles stay within the observed range even in overflow.
+  EXPECT_LE(snap.percentile(99.0), 1e9);
+  EXPECT_GE(snap.percentile(1.0), 0.25);
+}
+
+TEST(Histogram, NanSamplesAreDropped) {
+  Histogram h(coarse_options());
+  h.record(std::nan(""));
+  h.record(2.0);
+  EXPECT_EQ(h.snapshot().count, 1u);
+}
+
+TEST(Histogram, PercentileTracksExactWithinBucketError) {
+  // Default 8 buckets/octave bounds relative error at 2^(1/8)-1 ~ 9.05%.
+  HistogramOptions options;
+  options.min = 1e-6;
+  options.max = 10.0;
+  options.buckets_per_octave = 8;
+  Histogram h(options);
+  std::vector<double> exact;
+  // A skewed latency-like stream spanning several octaves.
+  for (int i = 1; i <= 2000; ++i) {
+    const double v = 1e-4 * std::pow(1.004, i);
+    h.record(v);
+    exact.push_back(v);
+  }
+  const HistogramSnapshot snap = h.snapshot();
+  for (const double p : {10.0, 50.0, 90.0, 99.0}) {
+    const double truth = util::percentile(exact, p);
+    const double estimate = snap.percentile(p);
+    EXPECT_NEAR(estimate, truth, truth * 0.0905)
+        << "p" << p << " drifted beyond one bucket width";
+  }
+  // Mean and count are exact regardless of bucketing.
+  double sum = 0.0;
+  for (const double v : exact) sum += v;
+  EXPECT_EQ(snap.count, exact.size());
+  EXPECT_NEAR(snap.mean(), sum / static_cast<double>(exact.size()), 1e-12);
+}
+
+// --- Registry ---------------------------------------------------------------
+
+TEST(Registry, GetOrCreateReturnsSameHandle) {
+  MetricsRegistry registry;
+  Counter& a = registry.counter("requests_total", "help");
+  Counter& b = registry.counter("requests_total");
+  EXPECT_EQ(&a, &b);
+  a.add(5);
+  EXPECT_EQ(b.value(), 5u);
+}
+
+TEST(Registry, KindMismatchThrows) {
+  MetricsRegistry registry;
+  registry.counter("metric_a");
+  EXPECT_THROW(registry.gauge("metric_a"), std::invalid_argument);
+  EXPECT_THROW(registry.histogram("metric_a"), std::invalid_argument);
+}
+
+TEST(Registry, RejectsInvalidPrometheusNames) {
+  MetricsRegistry registry;
+  EXPECT_THROW(registry.counter(""), std::invalid_argument);
+  EXPECT_THROW(registry.counter("9starts_with_digit"), std::invalid_argument);
+  EXPECT_THROW(registry.counter("has space"), std::invalid_argument);
+  EXPECT_THROW(registry.counter("has-dash"), std::invalid_argument);
+  EXPECT_NO_THROW(registry.counter("ok_name:with_colon_42"));
+}
+
+TEST(Registry, SnapshotCarriesAllKinds) {
+  MetricsRegistry registry;
+  registry.counter("c_total", "a counter").add(3);
+  registry.gauge("g", "a gauge").set(1.5);
+  registry.histogram("h_seconds", coarse_options(), "a histogram").record(2.0);
+  const std::vector<MetricSnapshot> snap = registry.snapshot();
+  ASSERT_EQ(snap.size(), 3u);
+  EXPECT_EQ(snap[0].name, "c_total");
+  EXPECT_EQ(snap[0].kind, MetricKind::kCounter);
+  EXPECT_DOUBLE_EQ(snap[0].value, 3.0);
+  EXPECT_EQ(snap[1].kind, MetricKind::kGauge);
+  EXPECT_DOUBLE_EQ(snap[1].value, 1.5);
+  EXPECT_EQ(snap[2].kind, MetricKind::kHistogram);
+  EXPECT_EQ(snap[2].histogram.count, 1u);
+}
+
+TEST(Registry, PrometheusExposition) {
+  MetricsRegistry registry;
+  registry.counter("c_total", "counts things").add(7);
+  registry.gauge("depth").set(4.0);
+  Histogram& h = registry.histogram("lat_seconds", coarse_options());
+  h.record(1.5);
+  h.record(3.0);
+  std::ostringstream out;
+  registry.write_prometheus(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("# HELP c_total counts things"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE c_total counter"), std::string::npos);
+  EXPECT_NE(text.find("c_total 7"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE depth gauge"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE lat_seconds histogram"), std::string::npos);
+  // Buckets are cumulative and end with +Inf == _count.
+  EXPECT_NE(text.find("lat_seconds_bucket{le=\"2\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("lat_seconds_bucket{le=\"4\"} 2"), std::string::npos);
+  EXPECT_NE(text.find("lat_seconds_bucket{le=\"+Inf\"} 2"), std::string::npos);
+  EXPECT_NE(text.find("lat_seconds_count 2"), std::string::npos);
+  EXPECT_NE(text.find("lat_seconds_sum 4.5"), std::string::npos);
+}
+
+// --- JSON -------------------------------------------------------------------
+
+TEST(Json, RoundTripsNestedDocument) {
+  Json::Object obj;
+  obj["flag"] = Json(true);
+  obj["name"] = Json("pd\"FTSP\"\n");
+  obj["nil"] = Json();
+  Json::Array arr;
+  arr.push_back(Json(1));
+  arr.push_back(Json(0.1));  // needs 17 significant digits to round-trip
+  arr.push_back(Json(-2.5e-300));
+  obj["xs"] = Json(std::move(arr));
+  const Json doc(std::move(obj));
+  const Json back = Json::parse(doc.dump());
+  EXPECT_EQ(back, doc);
+  EXPECT_DOUBLE_EQ(back.at("xs").as_array()[1].as_number(), 0.1);
+}
+
+TEST(Json, DeterministicObjectOrder) {
+  Json::Object obj;
+  obj["zebra"] = Json(1);
+  obj["alpha"] = Json(2);
+  EXPECT_EQ(Json(std::move(obj)).dump(), "{\"alpha\":2,\"zebra\":1}");
+}
+
+TEST(Json, ParseRejectsMalformedInput) {
+  EXPECT_THROW((void)Json::parse(""), std::invalid_argument);
+  EXPECT_THROW((void)Json::parse("{\"a\":1,}"), std::invalid_argument);
+  EXPECT_THROW((void)Json::parse("[1, 2] garbage"), std::invalid_argument);
+  EXPECT_THROW((void)Json::parse("{'a': 1}"), std::invalid_argument);
+  EXPECT_THROW((void)Json::parse("\"unterminated"), std::invalid_argument);
+}
+
+TEST(Json, AccessorsThrowOnKindMismatch) {
+  const Json number(1.0);
+  EXPECT_THROW((void)number.as_string(), std::invalid_argument);
+  EXPECT_THROW((void)number.as_object(), std::invalid_argument);
+  EXPECT_THROW((void)number.at("missing"), std::invalid_argument);
+  EXPECT_EQ(number.find("x"), nullptr);
+}
+
+// --- Spans ------------------------------------------------------------------
+
+/// Restores the global profiler to its pristine disabled state on scope
+/// exit so span tests cannot leak into the tracing-equivalence tests.
+struct ProfilerGuard {
+  ~ProfilerGuard() {
+    Profiler::instance().set_enabled(false);
+    Profiler::instance().set_timeline(false);
+    Profiler::instance().reset();
+  }
+};
+
+const SpanStats* find_span(const std::vector<SpanStats>& spans,
+                           const std::string& name) {
+  for (const SpanStats& s : spans) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+void spin_briefly() {
+  // Enough work for a measurable (nonzero) steady_clock delta.
+  volatile double x = 1.0;
+  for (int i = 0; i < 5000; ++i) x = x * 1.0000001 + 1e-9;
+}
+
+TEST(Span, DisabledSpansRecordNothing) {
+  const ProfilerGuard guard;
+  Profiler::instance().reset();
+  ASSERT_FALSE(Profiler::instance().enabled());
+  { LORASCHED_SPAN("test/disabled"); }
+  const std::vector<SpanStats> spans = Profiler::instance().snapshot();
+  const SpanStats* s = find_span(spans, "test/disabled");
+  if (s != nullptr) {
+    EXPECT_EQ(s->count, 0u);
+  }
+}
+
+TEST(Span, NestedSelfTimeExcludesChildren) {
+  const ProfilerGuard guard;
+  Profiler::instance().reset();
+  Profiler::instance().set_enabled(true);
+  for (int i = 0; i < 3; ++i) {
+    LORASCHED_SPAN("test/outer");
+    spin_briefly();
+    {
+      LORASCHED_SPAN("test/inner");
+      spin_briefly();
+    }
+  }
+  const std::vector<SpanStats> spans = Profiler::instance().snapshot();
+  const SpanStats* outer = find_span(spans, "test/outer");
+  const SpanStats* inner = find_span(spans, "test/inner");
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  EXPECT_EQ(outer->count, 3u);
+  EXPECT_EQ(inner->count, 3u);
+  EXPECT_GT(inner->total_seconds, 0.0);
+  // The inner span has no children, so self == total; the outer span's
+  // self time is exactly total minus its only child's total.
+  EXPECT_DOUBLE_EQ(inner->self_seconds, inner->total_seconds);
+  EXPECT_NEAR(outer->self_seconds, outer->total_seconds - inner->total_seconds,
+              1e-12);
+  EXPECT_GT(outer->self_seconds, 0.0);
+}
+
+TEST(Span, TimelineIsBoundedAndCountsDrops) {
+  const ProfilerGuard guard;
+  Profiler::instance().reset();
+  Profiler::instance().set_enabled(true);
+  Profiler::instance().set_timeline(true, 4);
+  for (int i = 0; i < 7; ++i) {
+    LORASCHED_SPAN("test/timeline");
+  }
+  EXPECT_EQ(Profiler::instance().timeline_events().size(), 4u);
+  EXPECT_EQ(Profiler::instance().timeline_dropped(), 3u);
+  const std::vector<SpanEvent> events = Profiler::instance().timeline_events();
+  for (const SpanEvent& e : events) {
+    EXPECT_EQ(Profiler::instance().site_name(e.site), "test/timeline");
+  }
+}
+
+TEST(Span, ResetZeroesAggregates) {
+  const ProfilerGuard guard;
+  Profiler::instance().set_enabled(true);
+  { LORASCHED_SPAN("test/reset"); }
+  Profiler::instance().reset();
+  const SpanStats* s = find_span(Profiler::instance().snapshot(), "test/reset");
+  ASSERT_NE(s, nullptr);  // interned sites persist
+  EXPECT_EQ(s->count, 0u);
+  EXPECT_DOUBLE_EQ(s->total_seconds, 0.0);
+}
+
+// --- Concurrency (exercised under TSan in CI) -------------------------------
+
+TEST(ObsConcurrency, ParallelRecordingIsRaceFree) {
+  const ProfilerGuard guard;
+  Profiler::instance().reset();
+  Profiler::instance().set_enabled(true);
+  Profiler::instance().set_timeline(true, 1024);
+
+  MetricsRegistry registry;
+  constexpr int kThreads = 4;
+  constexpr int kIters = 5000;
+  std::atomic<int> barrier{0};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&registry, &barrier, t] {
+      barrier.fetch_add(1);
+      while (barrier.load() < kThreads) {
+      }
+      // Handles are get-or-create under contention on purpose.
+      Counter& c = registry.counter("conc_total");
+      Gauge& g = registry.gauge("conc_gauge");
+      Histogram& h = registry.histogram("conc_seconds");
+      for (int i = 0; i < kIters; ++i) {
+        LORASCHED_SPAN("test/concurrent");
+        c.add();
+        g.set_max(static_cast<double>(t * kIters + i));
+        h.record(1e-6 * static_cast<double>(i + 1));
+        if (i % 512 == 0) (void)registry.snapshot();
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  EXPECT_EQ(registry.counter("conc_total").value(),
+            static_cast<std::uint64_t>(kThreads * kIters));
+  EXPECT_DOUBLE_EQ(registry.gauge("conc_gauge").value(),
+                   static_cast<double>(kThreads * kIters - 1));
+  const HistogramSnapshot h = registry.histogram("conc_seconds").snapshot();
+  EXPECT_EQ(h.count, static_cast<std::uint64_t>(kThreads * kIters));
+  const SpanStats* s =
+      find_span(Profiler::instance().snapshot(), "test/concurrent");
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->count, static_cast<std::uint64_t>(kThreads * kIters));
+}
+
+}  // namespace
+}  // namespace lorasched::obs
+
+// --- ServiceMetrics on the registry ----------------------------------------
+
+namespace lorasched::service {
+namespace {
+
+SlotReport slot_report(Slot slot, std::size_t batch, std::size_t queue_depth,
+                       double decide_seconds) {
+  SlotReport report;
+  report.slot = slot;
+  report.batch = batch;
+  report.queue_depth = queue_depth;
+  report.decide_seconds = decide_seconds;
+  return report;
+}
+
+TEST(ServiceMetrics, QueueDepthGaugeTracksCurrentAndMax) {
+  ServiceMetrics metrics;
+  metrics.record_slot(slot_report(0, 2, 10, 2e-4), 1e-4);
+  metrics.record_slot(slot_report(1, 1, 25, 1e-4), 1e-4);
+  metrics.record_slot(slot_report(2, 0, 3, 0.0), 0.0);
+  const MetricsSnapshot snap = metrics.snapshot();
+  EXPECT_EQ(snap.queue_depth, 3u);       // most recent drain
+  EXPECT_EQ(snap.max_queue_depth, 25u);  // high-water mark
+  EXPECT_EQ(snap.slots_processed, 3u);
+  EXPECT_EQ(snap.bids_decided, 3u);
+}
+
+TEST(ServiceMetrics, DecideLatencyFromHistogram) {
+  ServiceMetrics metrics;
+  for (int i = 0; i < 100; ++i) {
+    metrics.record_slot(slot_report(i, 1, 0, 1e-3), 1e-3);
+  }
+  const MetricsSnapshot snap = metrics.snapshot();
+  EXPECT_NEAR(snap.decide_mean, 1e-3, 1e-15);  // mean is exact
+  EXPECT_NEAR(snap.decide_p50, 1e-3, 1e-3 * 0.0905);
+  EXPECT_NEAR(snap.decide_p99, 1e-3, 1e-3 * 0.0905);
+}
+
+TEST(ServiceMetrics, CountersFlowThroughToRegistryExposition) {
+  ServiceMetrics metrics;
+  metrics.record_ingest();
+  metrics.record_ingest();
+  metrics.record_admitted();
+  metrics.record_rejected();
+  metrics.record_rejected_late();
+  std::ostringstream out;
+  metrics.registry().write_prometheus(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("service_bids_ingested_total 2"), std::string::npos);
+  EXPECT_NE(text.find("service_bids_admitted_total 1"), std::string::npos);
+  EXPECT_NE(text.find("service_bids_rejected_total 1"), std::string::npos);
+  EXPECT_NE(text.find("service_bids_rejected_late_total 1"),
+            std::string::npos);
+  const MetricsSnapshot snap = metrics.snapshot();
+  EXPECT_EQ(snap.bids_ingested, 2u);
+  EXPECT_EQ(snap.rejected_late, 1u);
+}
+
+}  // namespace
+}  // namespace lorasched::service
