@@ -145,8 +145,9 @@ int main(int argc, char** argv) try {
   const std::string trace_path = cli.get("trace-out", "");
   std::ofstream trace_stream;
   std::unique_ptr<obs::DecisionTracer> tracer;
+  obs::Traceable* traceable = nullptr;
   if (!trace_path.empty()) {
-    auto* traceable = dynamic_cast<obs::Traceable*>(policy.get());
+    traceable = dynamic_cast<obs::Traceable*>(policy.get());
     if (traceable == nullptr) {
       throw std::invalid_argument("policy does not support --trace-out");
     }
@@ -245,8 +246,18 @@ int main(int argc, char** argv) try {
   // slot-ms 0 is offline replay: ingest the whole stream first, then decide
   // every slot back to back. Racing the unpaced loop against the feeder
   // would otherwise let the horizon finish mid-ingestion on a loaded
-  // machine, leaving an arbitrary suffix of bids undecided.
-  if (slot_period.count() == 0) feeder.join();
+  // machine, leaving an arbitrary suffix of bids undecided. A plain
+  // feeder.join() would deadlock once the bid file outgrows --queue-cap
+  // under the default block backpressure (the feeder waits for a drain
+  // that join() prevents), so pump the queue into the service while the
+  // feeder runs — pump() absorbs bids without deciding anything.
+  if (slot_period.count() == 0) {
+    while (!server.queue().closed() || server.queue().depth() != 0) {
+      server.queue().wait_available();
+      server.pump();
+    }
+    feeder.join();
+  }
   const auto checkpoint_every = cli.get_int("checkpoint-every", 0);
   const std::string checkpoint_path = cli.get("checkpoint", "");
   const service::SlotClock clock(slot_period);
@@ -292,6 +303,10 @@ int main(int argc, char** argv) try {
     dump_metrics();
   }
   if (tracer != nullptr) {
+    // Detach the sink before anything else: the tracer and trace_stream
+    // are declared after policy/server, so they are destroyed first at
+    // scope exit — the policy must not hold the pointer past this point.
+    traceable->set_trace_sink(nullptr);
     tracer->flush();
     trace_stream.close();
     std::ofstream chrome(trace_path + ".chrome.json");

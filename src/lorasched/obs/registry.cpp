@@ -98,12 +98,6 @@ void Histogram::record(double value) noexcept {
   counts_[slot].fetch_add(1, std::memory_order_relaxed);
   count_.fetch_add(1, std::memory_order_relaxed);
   atomic_add_double(sum_, value);
-  if (!any_.exchange(true, std::memory_order_relaxed)) {
-    // First sample seeds min/max; concurrent first samples both fall
-    // through to the CAS loops below, so the seed value only narrows.
-    min_seen_.store(value, std::memory_order_relaxed);
-    max_seen_.store(value, std::memory_order_relaxed);
-  }
   atomic_min_double(min_seen_, value);
   atomic_max_double(max_seen_, value);
 }
@@ -117,9 +111,14 @@ HistogramSnapshot Histogram::snapshot() const {
   }
   snap.count = count_.load(std::memory_order_relaxed);
   snap.sum = sum_.load(std::memory_order_relaxed);
-  if (any_.load(std::memory_order_relaxed)) {
-    snap.min_seen = min_seen_.load(std::memory_order_relaxed);
-    snap.max_seen = max_seen_.load(std::memory_order_relaxed);
+  // lo <= hi excludes the +/-inf construction seeds and the transient
+  // where a racing record() has updated one edge but not the other yet;
+  // either way the snapshot keeps its 0.0 defaults.
+  const double lo = min_seen_.load(std::memory_order_relaxed);
+  const double hi = max_seen_.load(std::memory_order_relaxed);
+  if (snap.count > 0 && lo <= hi) {
+    snap.min_seen = lo;
+    snap.max_seen = hi;
   }
   return snap;
 }
@@ -254,11 +253,14 @@ void MetricsRegistry::write_prometheus(std::ostream& out) const {
         break;
       case MetricKind::kHistogram: {
         const HistogramSnapshot& h = metric.histogram;
+        // Prometheus `le` is inclusive, but record() places a sample equal
+        // to options.min in the first finite bucket, so an le="min" series
+        // for the underflow bucket would exclude boundary samples it
+        // claims to cover. Fold the underflow count into the first finite
+        // bucket's cumulative instead — placement and exposition then
+        // agree at the min edge.
         std::uint64_t cumulative = h.counts.empty() ? 0 : h.counts.front();
         if (!h.counts.empty()) {
-          out << metric.name << "_bucket{le=\"";
-          write_number(out, h.options.min);
-          out << "\"} " << cumulative << '\n';
           for (std::size_t i = 0; i < h.finite_buckets(); ++i) {
             cumulative += h.counts[i + 1];
             out << metric.name << "_bucket{le=\"";

@@ -24,6 +24,7 @@
 #include <cstdint>
 #include <deque>
 #include <iosfwd>
+#include <limits>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -116,9 +117,12 @@ class Histogram {
   std::deque<std::atomic<std::uint64_t>> counts_;
   std::atomic<std::uint64_t> count_{0};
   std::atomic<double> sum_{0.0};
-  std::atomic<double> min_seen_{0.0};
-  std::atomic<double> max_seen_{0.0};
-  std::atomic<bool> any_{false};
+  // Seeded to +/-inf so every record() runs the min/max CAS loops — a
+  // first-sample "seed" store would race concurrent first records (the
+  // CAS loser could compare against the pre-seed value and lose its
+  // sample). snapshot() masks the seeds for empty histograms.
+  std::atomic<double> min_seen_{std::numeric_limits<double>::infinity()};
+  std::atomic<double> max_seen_{-std::numeric_limits<double>::infinity()};
 };
 
 enum class MetricKind { kCounter, kGauge, kHistogram };

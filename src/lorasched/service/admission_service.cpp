@@ -58,6 +58,16 @@ void AdmissionService::reject_late(const Task& bid) {
   for (DecisionSubscriber* sub : subscribers_) sub->on_rejected(outcome);
 }
 
+void AdmissionService::pump() {
+  dirty_.store(true, std::memory_order_relaxed);
+  for (Task& bid : queue_.drain()) {
+    // Keyed by arrival even when stale: step()'s merge loop picks up any
+    // held entry with slot <= now and routes it through the late-bid
+    // policy, the same path restore() relies on for pending bids.
+    held_[bid.arrival].push_back(std::move(bid));
+  }
+}
+
 void AdmissionService::step() {
   if (finished_ || next_slot_ >= horizon_) {
     throw std::logic_error("admission service stepped past its horizon");

@@ -86,6 +86,17 @@ class AdmissionService {
   /// horizon.
   void step();
 
+  /// Absorbs queued bids into the held-bid map without advancing the slot
+  /// or running the policy, freeing queue capacity (and waking producers
+  /// blocked under kBlock backpressure). Decisions are unchanged: step()
+  /// treats a pumped bid exactly like one it drained itself — due bids
+  /// join the current batch, future ones wait, stale ones hit the
+  /// late-bid policy. Offline replay uses this to ingest a bid stream
+  /// longer than the queue capacity before the first step; a plain "join
+  /// the feeder, then step" would deadlock there. Pumped bids count as
+  /// pending, not drained, in subsequent SlotReports.
+  void pump();
+
   /// Drives step() from the current slot to the horizon, pacing each slot
   /// by `slot_period` on the monotonic clock (zero = as fast as possible).
   /// Once the queue is closed and no bids are in flight the remaining

@@ -41,6 +41,11 @@ SubmitResult BidQueue::submit(Task bid) {
   }
   bids_.push_back(std::move(bid));
   ++accepted_;
+  const bool was_empty = bids_.size() == 1;
+  lock.unlock();
+  // Only the empty -> nonempty transition can unblock wait_available();
+  // the predicate re-check under mutex_ makes the elision race-free.
+  if (was_empty) bid_ready_.notify_all();
   return SubmitResult::kAccepted;
 }
 
@@ -62,12 +67,18 @@ std::vector<Task> BidQueue::peek() const {
   return std::vector<Task>(bids_.begin(), bids_.end());
 }
 
+void BidQueue::wait_available() const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  bid_ready_.wait(lock, [this] { return closed_ || !bids_.empty(); });
+}
+
 void BidQueue::close() {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     closed_ = true;
   }
   space_free_.notify_all();
+  bid_ready_.notify_all();
 }
 
 bool BidQueue::closed() const {

@@ -52,6 +52,11 @@ class BidQueue {
   /// the in-flight bids through this.
   [[nodiscard]] std::vector<Task> peek() const;
 
+  /// Consumer side: blocks until at least one bid is queued or the queue
+  /// is closed (returns immediately if either already holds). Lets a
+  /// consumer pump an ingestion stream without spinning on drain().
+  void wait_available() const;
+
   /// Rejects all future submits and wakes producers blocked on a full
   /// queue (they return kRejectedClosed). Queued bids remain drainable.
   void close();
@@ -69,6 +74,7 @@ class BidQueue {
   const BackpressureMode mode_;
   mutable std::mutex mutex_;
   std::condition_variable space_free_;
+  mutable std::condition_variable bid_ready_;
   std::deque<Task> bids_;
   bool closed_ = false;
   std::uint64_t accepted_ = 0;

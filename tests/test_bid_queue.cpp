@@ -43,6 +43,19 @@ TEST(BidQueue, PeekDoesNotConsume) {
   EXPECT_EQ(queue.drain().size(), 1u);
 }
 
+TEST(BidQueue, WaitAvailableWakesOnSubmitAndOnClose) {
+  BidQueue queue(4, BackpressureMode::kBlock);
+  std::thread producer([&] { (void)queue.submit(bid(1)); });
+  queue.wait_available();  // blocks until the bid lands (or is already in)
+  EXPECT_EQ(queue.drain().size(), 1u);
+  producer.join();
+
+  std::thread closer([&] { queue.close(); });
+  queue.wait_available();  // an empty queue unblocks on close
+  EXPECT_TRUE(queue.closed());
+  closer.join();
+}
+
 TEST(BidQueue, RejectModeShedsWhenFull) {
   BidQueue queue(3, BackpressureMode::kReject);
   for (TaskId id = 0; id < 3; ++id) {

@@ -117,6 +117,30 @@ TEST(Histogram, UnderflowAndOverflow) {
   EXPECT_GE(snap.percentile(1.0), 0.25);
 }
 
+TEST(Histogram, ConcurrentFirstRecordsKeepExactMinMax) {
+  // Regression: a first-sample seeding flag let the exchange loser run
+  // its min/max CAS against the pre-seed 0.0 and lose its sample (e.g.
+  // concurrent first records of 3 and 5 could leave min_seen == 5). With
+  // +/-inf construction seeds every record goes through the CAS loops.
+  for (int round = 0; round < 200; ++round) {
+    Histogram h(coarse_options());
+    std::atomic<int> barrier{0};
+    auto record = [&](double value) {
+      barrier.fetch_add(1);
+      while (barrier.load() < 2) {
+      }
+      h.record(value);
+    };
+    std::thread a(record, 3.0);
+    std::thread b(record, 5.0);
+    a.join();
+    b.join();
+    const HistogramSnapshot snap = h.snapshot();
+    ASSERT_DOUBLE_EQ(snap.min_seen, 3.0);
+    ASSERT_DOUBLE_EQ(snap.max_seen, 5.0);
+  }
+}
+
 TEST(Histogram, NanSamplesAreDropped) {
   Histogram h(coarse_options());
   h.record(std::nan(""));
@@ -216,6 +240,24 @@ TEST(Registry, PrometheusExposition) {
   EXPECT_NE(text.find("lat_seconds_bucket{le=\"+Inf\"} 2"), std::string::npos);
   EXPECT_NE(text.find("lat_seconds_count 2"), std::string::npos);
   EXPECT_NE(text.find("lat_seconds_sum 4.5"), std::string::npos);
+}
+
+TEST(Registry, PrometheusFoldsUnderflowIntoFirstFiniteBucket) {
+  MetricsRegistry registry;
+  Histogram& h = registry.histogram("edge_seconds", coarse_options());
+  h.record(0.5);  // underflow
+  h.record(1.0);  // exactly min: first finite bucket by record()'s contract
+  std::ostringstream out;
+  registry.write_prometheus(out);
+  const std::string text = out.str();
+  // No le="1" series: `le` is inclusive, and a sample equal to min sits in
+  // [1, 2), which an le="1" cumulative could not cover.
+  EXPECT_EQ(text.find("edge_seconds_bucket{le=\"1\"}"), std::string::npos);
+  // The first emitted bucket is le="2" and already includes the underflow.
+  EXPECT_NE(text.find("edge_seconds_bucket{le=\"2\"} 2"), std::string::npos);
+  EXPECT_NE(text.find("edge_seconds_bucket{le=\"+Inf\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("edge_seconds_count 2"), std::string::npos);
 }
 
 // --- JSON -------------------------------------------------------------------
@@ -346,7 +388,8 @@ TEST(Span, ResetZeroesAggregates) {
   Profiler::instance().set_enabled(true);
   { LORASCHED_SPAN("test/reset"); }
   Profiler::instance().reset();
-  const SpanStats* s = find_span(Profiler::instance().snapshot(), "test/reset");
+  const std::vector<SpanStats> spans = Profiler::instance().snapshot();
+  const SpanStats* s = find_span(spans, "test/reset");
   ASSERT_NE(s, nullptr);  // interned sites persist
   EXPECT_EQ(s->count, 0u);
   EXPECT_DOUBLE_EQ(s->total_seconds, 0.0);
@@ -391,8 +434,8 @@ TEST(ObsConcurrency, ParallelRecordingIsRaceFree) {
                    static_cast<double>(kThreads * kIters - 1));
   const HistogramSnapshot h = registry.histogram("conc_seconds").snapshot();
   EXPECT_EQ(h.count, static_cast<std::uint64_t>(kThreads * kIters));
-  const SpanStats* s =
-      find_span(Profiler::instance().snapshot(), "test/concurrent");
+  const std::vector<SpanStats> spans = Profiler::instance().snapshot();
+  const SpanStats* s = find_span(spans, "test/concurrent");
   ASSERT_NE(s, nullptr);
   EXPECT_EQ(s->count, static_cast<std::uint64_t>(kThreads * kIters));
 }

@@ -93,6 +93,47 @@ TEST(AdmissionService, MatchesBatchSimulatorExactly) {
   }
 }
 
+// Regression for the lorasched_serve --slot-ms 0 deadlock: offline replay
+// must be able to absorb a bid stream longer than the queue capacity
+// under block backpressure *before* the first decision. pump() frees
+// queue space without advancing the slot, and the result must still match
+// the batch simulator bit for bit.
+TEST(AdmissionService, PumpIngestsBeyondQueueCapacityWithoutDeadlock) {
+  const Instance instance = make_instance(testing::small_scenario());
+  const PdftspConfig config = pdftsp_config_for(instance);
+
+  Pdftsp sim_policy(config, instance.cluster, instance.energy,
+                    instance.horizon);
+  const SimResult expected = run_simulation(instance, sim_policy);
+
+  Pdftsp served_policy(config, instance.cluster, instance.energy,
+                       instance.horizon);
+  ServiceConfig service_config;
+  service_config.queue_capacity = 2;  // far below the bid count
+  service_config.backpressure = BackpressureMode::kBlock;
+  AdmissionService service(instance, served_policy, service_config);
+  ASSERT_GT(instance.tasks.size(), service_config.queue_capacity);
+
+  std::thread feeder([&] {
+    for (const Task& task : instance.tasks) {
+      ASSERT_EQ(service.submit(task), SubmitResult::kAccepted);
+    }
+    service.close();
+  });
+  // The serve binary's offline-replay loop: pump until the feeder is done
+  // (queue closed) and the queue is empty, then decide every slot.
+  while (!service.queue().closed() || service.queue().depth() != 0) {
+    service.queue().wait_available();
+    service.pump();
+  }
+  feeder.join();
+  while (!service.done()) service.step();
+  const SimResult actual = service.finish();
+
+  expect_same_outcomes(expected.outcomes, actual.outcomes);
+  expect_same_metrics(expected.metrics, actual.metrics);
+}
+
 TEST(AdmissionService, CheckpointRestoreResumesBitIdentically) {
   const Instance instance = make_instance(testing::small_scenario(7));
   const PdftspConfig config = pdftsp_config_for(instance);
