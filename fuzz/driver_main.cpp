@@ -1,0 +1,64 @@
+// Standalone driver for toolchains without libFuzzer (the local GCC build).
+//
+// Usage:
+//   <harness> [--smoke N] [file...]
+//
+// Replays every file argument through LLVMFuzzerTestOneInput, and with
+// --smoke additionally feeds N pseudo-random buffers from a fixed seed so
+// the ctest smoke runs are deterministic. Crashes and uncaught exceptions
+// terminate the process, exactly as they would under libFuzzer.
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iterator>
+#include <random>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size);
+
+namespace {
+
+void run_smoke(int runs) {
+  std::mt19937_64 rng(0x10a5c4ed5eedULL);
+  std::uniform_int_distribution<std::size_t> length(0, 512);
+  for (int i = 0; i < runs; ++i) {
+    std::vector<std::uint8_t> buffer(length(rng));
+    for (std::uint8_t& byte : buffer) {
+      byte = static_cast<std::uint8_t>(rng());
+    }
+    LLVMFuzzerTestOneInput(buffer.data(), buffer.size());
+  }
+  std::printf("smoke: %d pseudo-random inputs, no crashes\n", runs);
+}
+
+int replay_file(const char* path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "cannot open corpus file: %s\n", path);
+    return 2;
+  }
+  const std::vector<std::uint8_t> buffer(
+      (std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  LLVMFuzzerTestOneInput(buffer.data(), buffer.size());
+  std::printf("replayed %s (%zu bytes)\n", path, buffer.size());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      const int runs = i + 1 < argc ? std::atoi(argv[++i]) : 256;
+      run_smoke(runs > 0 ? runs : 256);
+    } else {
+      const int status = replay_file(argv[i]);
+      if (status != 0) return status;
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,392 @@
+#include "lorasched/audit/invariants.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <sstream>
+
+#include "lorasched/core/pricing.h"
+#include "lorasched/sim/validator.h"
+
+namespace lorasched::audit {
+
+namespace {
+
+/// Relative money/volume comparison (both sides are sums of products of
+/// well-scaled doubles computed in possibly different orders).
+bool close(double a, double b, double rel_tol) {
+  const double scale = std::max({1.0, std::abs(a), std::abs(b)});
+  return std::abs(a - b) <= rel_tol * scale;
+}
+
+std::size_t grid_index(NodeId k, Slot t, Slot horizon) {
+  return static_cast<std::size_t>(k) * static_cast<std::size_t>(horizon) +
+         static_cast<std::size_t>(t);
+}
+
+}  // namespace
+
+Auditor& Auditor::instance() {
+  static Auditor auditor;
+  return auditor;
+}
+
+void Auditor::fail(const std::string& what) {
+  violations_.fetch_add(1, std::memory_order_relaxed);
+  if (config_.fail_fast) throw InvariantViolation(what);
+}
+
+void check_dual_update(const Task& task, const Schedule& schedule,
+                       const Cluster& cluster,
+                       const std::vector<double>& pre_lambda,
+                       const std::vector<double>& pre_phi,
+                       const DualState& post, double alpha, double beta,
+                       double welfare_unit) {
+  Auditor& auditor = Auditor::instance();
+  auditor.count_check();
+  const double tol = auditor.config().rel_tol;
+
+  const Slot horizon = post.horizon();
+  const auto cells = static_cast<std::size_t>(post.node_count()) *
+                     static_cast<std::size_t>(horizon);
+  if (pre_lambda.size() != cells || pre_phi.size() != cells) {
+    auditor.fail("eq.(7)/(8): pre-update dual grids have the wrong size");
+    return;
+  }
+
+  // Replay eq. (7)/(8) over the run, sequentially (a cell booked twice is
+  // updated twice, exactly as apply_update does).
+  std::vector<double> expected_lambda = pre_lambda;
+  std::vector<double> expected_phi = pre_phi;
+  const double b_bar = std::max(1.0, unit_welfare(schedule) / welfare_unit);
+  for (const Assignment& a : schedule.run) {
+    const double s_norm = schedule_rate(schedule, task, cluster, a.node) /
+                          cluster.compute_capacity(a.node);
+    const double r_norm = task.mem_gb / cluster.adapter_mem_capacity(a.node);
+    if (!(s_norm >= 0.0) || !std::isfinite(s_norm) || !(r_norm >= 0.0) ||
+        !std::isfinite(r_norm)) {
+      std::ostringstream why;
+      why << "eq.(7)/(8): normalized loads for task " << task.id
+          << " on node " << a.node << " are not finite non-negative (s~="
+          << s_norm << ", r~=" << r_norm << ")";
+      auditor.fail(why.str());
+      return;
+    }
+    const std::size_t cell = grid_index(a.node, a.slot, horizon);
+    expected_lambda[cell] =
+        expected_lambda[cell] * (1.0 + s_norm) + alpha * b_bar * s_norm;
+    expected_phi[cell] =
+        expected_phi[cell] * (1.0 + r_norm) + beta * b_bar * r_norm;
+  }
+
+  for (NodeId k = 0; k < post.node_count(); ++k) {
+    for (Slot t = 0; t < horizon; ++t) {
+      const std::size_t cell = grid_index(k, t, horizon);
+      const bool touched = expected_lambda[cell] != pre_lambda[cell] ||
+                           expected_phi[cell] != pre_phi[cell];
+      const double lambda = post.lambda(k, t);
+      const double phi = post.phi(k, t);
+      // Monotonicity: the update never lowers a price (eq. 7/8 have
+      // non-negative increments), and untouched cells stay bit-identical.
+      if (lambda < pre_lambda[cell] || phi < pre_phi[cell]) {
+        std::ostringstream why;
+        why << "eq.(7)/(8): dual price decreased at (" << k << ", " << t
+            << ") after task " << task.id << ": lambda " << pre_lambda[cell]
+            << " -> " << lambda << ", phi " << pre_phi[cell] << " -> " << phi;
+        auditor.fail(why.str());
+        return;
+      }
+      const bool ok =
+          touched ? close(lambda, expected_lambda[cell], tol) &&
+                        close(phi, expected_phi[cell], tol)
+                  : lambda == pre_lambda[cell] && phi == pre_phi[cell];
+      if (!ok) {
+        std::ostringstream why;
+        why << "eq.(7)/(8): dual update mismatch at (" << k << ", " << t
+            << ") after task " << task.id << ": expected lambda "
+            << expected_lambda[cell] << " got " << lambda << ", expected phi "
+            << expected_phi[cell] << " got " << phi
+            << (touched ? "" : " (cell not in the schedule's run)");
+        auditor.fail(why.str());
+        return;
+      }
+    }
+  }
+}
+
+void check_ledger_reserve(const CapacityLedger& ledger, NodeId k, Slot t,
+                          double pre_compute, double pre_mem, double compute,
+                          double mem) {
+  Auditor& auditor = Auditor::instance();
+  auditor.count_check();
+
+  // The booked amounts must have landed on exactly this cell. reserve()
+  // performs the same single additions, so the comparison is exact.
+  if (ledger.used_compute(k, t) != pre_compute + compute ||
+      ledger.used_mem(k, t) != pre_mem + mem) {
+    std::ostringstream why;
+    why << "(4f)/(4g): reserve(" << k << ", " << t
+        << ") did not book the requested amounts";
+    auditor.fail(why.str());
+    return;
+  }
+  // Capacity: remaining = cap - used may be a hair negative because the
+  // ledger admits up to cap * (1 + 1e-9); allow twice that slack.
+  const double comp_cap = ledger.remaining_compute(k, t) + ledger.used_compute(k, t);
+  const double mem_cap = ledger.remaining_mem(k, t) + ledger.used_mem(k, t);
+  const bool over_compute =
+      ledger.remaining_compute(k, t) < -2e-9 * std::max(1.0, comp_cap);
+  const bool over_mem =
+      ledger.remaining_mem(k, t) < -2e-9 * std::max(1.0, mem_cap);
+  if (over_compute || over_mem || ledger.tasks_on(k, t) < 1) {
+    std::ostringstream why;
+    why << "(4f)/(4g): cell (" << k << ", " << t
+        << ") over capacity after reserve: compute " << ledger.used_compute(k, t)
+        << "/" << comp_cap << ", mem " << ledger.used_mem(k, t) << "/"
+        << mem_cap << ", tasks " << ledger.tasks_on(k, t);
+    auditor.fail(why.str());
+  }
+}
+
+void check_ledger_restore(const CapacityLedger& ledger,
+                          const CapacityLedger::Snapshot& snapshot) {
+  Auditor& auditor = Auditor::instance();
+  auditor.count_check();
+
+  double snap_compute = 0.0;
+  double snap_mem = 0.0;
+  double live_compute = 0.0;
+  double live_mem = 0.0;
+  for (NodeId k = 0; k < ledger.node_count(); ++k) {
+    for (Slot t = 0; t < ledger.horizon(); ++t) {
+      const std::size_t cell = grid_index(k, t, ledger.horizon());
+      const double used_c = ledger.used_compute(k, t);
+      const double used_m = ledger.used_mem(k, t);
+      if (used_c != snapshot.used_compute[cell] ||
+          used_m != snapshot.used_mem[cell] ||
+          ledger.tasks_on(k, t) != snapshot.task_count[cell]) {
+        std::ostringstream why;
+        why << "snapshot/restore: cell (" << k << ", " << t
+            << ") does not match the snapshot after restore";
+        auditor.fail(why.str());
+        return;
+      }
+      const double comp_cap = ledger.remaining_compute(k, t) + used_c;
+      const double mem_cap = ledger.remaining_mem(k, t) + used_m;
+      if (used_c < 0.0 || used_m < 0.0 || ledger.tasks_on(k, t) < 0 ||
+          used_c > comp_cap * (1.0 + 2e-9) || used_m > mem_cap * (1.0 + 2e-9)) {
+        std::ostringstream why;
+        why << "snapshot/restore: cell (" << k << ", " << t
+            << ") restored to an inconsistent booking: compute " << used_c
+            << "/" << comp_cap << ", mem " << used_m << "/" << mem_cap
+            << ", tasks " << ledger.tasks_on(k, t);
+        auditor.fail(why.str());
+        return;
+      }
+      snap_compute += snapshot.used_compute[cell];
+      snap_mem += snapshot.used_mem[cell];
+      live_compute += used_c;
+      live_mem += used_m;
+    }
+  }
+  // Totals are sums over bit-identical cells, accumulated in the same
+  // order, so conservation must hold exactly.
+  if (snap_compute != live_compute || snap_mem != live_mem) {
+    auditor.fail(
+        "snapshot/restore: booked totals not conserved across restore");
+  }
+}
+
+void check_ledger_totals(const CapacityLedger& ledger, double booked_compute) {
+  Auditor& auditor = Auditor::instance();
+  auditor.count_check();
+
+  double ledger_compute = 0.0;
+  for (NodeId k = 0; k < ledger.node_count(); ++k) {
+    for (Slot t = 0; t < ledger.horizon(); ++t) {
+      ledger_compute += ledger.used_compute(k, t);
+    }
+  }
+  if (std::abs(ledger_compute - booked_compute) >
+      1e-6 * std::max(1.0, booked_compute)) {
+    std::ostringstream why;
+    why << "(4f): ledger books " << ledger_compute
+        << " samples but admitted schedules sum to " << booked_compute;
+    auditor.fail(why.str());
+  }
+}
+
+void check_decision(const DecisionAudit& a, const Cluster& cluster) {
+  Auditor& auditor = Auditor::instance();
+  auditor.count_check();
+  const double tol = auditor.config().rel_tol;
+  const Task& task = a.task;
+
+  if (a.schedule.empty()) {
+    if (a.admitted || a.capacity_reject || a.payment != 0.0 ||
+        a.objective != 0.0) {
+      std::ostringstream why;
+      why << "eq.(10): task " << task.id
+          << " has no candidate but carries a decision (admitted="
+          << a.admitted << ", payment=" << a.payment << ")";
+      auditor.fail(why.str());
+    }
+    return;
+  }
+
+  // The best candidate must be a valid execution plan (4a)-(4e) whether or
+  // not it was admitted.
+  const std::string invalid =
+      validate_schedule(task, a.schedule, cluster, a.ledger.horizon());
+  if (!invalid.empty()) {
+    std::ostringstream why;
+    why << "Alg.2: candidate for task " << task.id
+        << " violates the schedule constraints: " << invalid;
+    auditor.fail(why.str());
+    return;
+  }
+
+  // Recompute the candidate's economics from first principles at the
+  // pre-update duals: volumes from the run, maxima from the grids.
+  const Slot horizon = a.ledger.horizon();
+  double norm_compute = 0.0;
+  double norm_mem = 0.0;
+  double max_lambda = 0.0;
+  double max_phi = 0.0;
+  for (const Assignment& cell : a.schedule.run) {
+    const double rate = schedule_rate(a.schedule, task, cluster, cell.node);
+    norm_compute += rate / cluster.compute_capacity(cell.node);
+    norm_mem += task.mem_gb / cluster.adapter_mem_capacity(cell.node);
+    const std::size_t idx = grid_index(cell.node, cell.slot, horizon);
+    max_lambda = std::max(max_lambda, a.pre_lambda[idx]);
+    max_phi = std::max(max_phi, a.pre_phi[idx]);
+  }
+  if (!close(norm_compute, a.schedule.norm_compute, 1e-7) ||
+      !close(norm_mem, a.schedule.norm_mem, 1e-7)) {
+    std::ostringstream why;
+    why << "Alg.2: finalized volumes of task " << task.id
+        << " do not match its run (compute " << a.schedule.norm_compute
+        << " vs " << norm_compute << ", mem " << a.schedule.norm_mem << " vs "
+        << norm_mem << ")";
+    auditor.fail(why.str());
+    return;
+  }
+
+  // (e) eq. (10): F(il) from the pre-update duals, and sign-consistent
+  // admission.
+  const double objective = a.schedule.welfare_gain -
+                           max_lambda * norm_compute - max_phi * norm_mem;
+  if (!close(objective, a.objective, 1e-7)) {
+    std::ostringstream why;
+    why << "eq.(10): F(il) mismatch for task " << task.id << ": policy "
+        << a.objective << ", recomputed " << objective;
+    auditor.fail(why.str());
+    return;
+  }
+  if ((a.admitted || a.capacity_reject) && !(a.objective > 0.0)) {
+    std::ostringstream why;
+    why << "eq.(10): task " << task.id
+        << " passed the sign test with F(il) = " << a.objective << " <= 0";
+    auditor.fail(why.str());
+    return;
+  }
+  if (!a.admitted && !a.capacity_reject && a.objective > 0.0) {
+    std::ostringstream why;
+    why << "eq.(10): task " << task.id << " rejected although F(il) = "
+        << a.objective << " > 0 and capacity did not refuse";
+    auditor.fail(why.str());
+    return;
+  }
+
+  if (a.admitted) {
+    // (d) eq. (14): payment from the pre-update duals, and Thm. 4
+    // individual rationality 0 <= p_i <= b_i.
+    const Money expected = payment_from_prices(a.schedule, max_lambda, max_phi);
+    if (!close(a.payment, expected, 1e-7)) {
+      std::ostringstream why;
+      why << "eq.(14): payment for task " << task.id << " is " << a.payment
+          << " but the pre-update duals price it at " << expected;
+      auditor.fail(why.str());
+      return;
+    }
+    const double money_scale = std::max(1.0, std::abs(task.bid));
+    if (a.payment < -tol * money_scale ||
+        a.payment > task.bid + 1e-7 * money_scale) {
+      std::ostringstream why;
+      why << "Thm.4: payment " << a.payment << " for task " << task.id
+          << " is outside [0, b_i = " << task.bid << "]";
+      auditor.fail(why.str());
+      return;
+    }
+    // Alg. 1 line 8: every booked cell fits the ground truth (the decision
+    // has not been committed yet when this check runs).
+    for (const Assignment& cell : a.schedule.run) {
+      const double rate = schedule_rate(a.schedule, task, cluster, cell.node);
+      if (!a.ledger.fits(cell.node, cell.slot, rate, task.mem_gb,
+                         a.schedule.exclusive)) {
+        std::ostringstream why;
+        why << "Alg.1: admitted task " << task.id
+            << " does not fit the ledger at (" << cell.node << ", "
+            << cell.slot << ")";
+        auditor.fail(why.str());
+        return;
+      }
+    }
+  } else if (a.capacity_reject) {
+    // Line 12 must have had a reason: some booked cell does not fit.
+    bool blocked = false;
+    for (const Assignment& cell : a.schedule.run) {
+      const double rate = schedule_rate(a.schedule, task, cluster, cell.node);
+      if (!a.ledger.fits(cell.node, cell.slot, rate, task.mem_gb,
+                         a.schedule.exclusive)) {
+        blocked = true;
+        break;
+      }
+    }
+    if (!blocked) {
+      std::ostringstream why;
+      why << "Alg.1: task " << task.id
+          << " was capacity-rejected although every booked cell fits";
+      auditor.fail(why.str());
+      return;
+    }
+    if (a.payment != 0.0) {
+      auditor.fail("eq.(14): capacity-rejected bid was charged");
+    }
+  } else if (a.payment != 0.0) {
+    auditor.fail("eq.(14): rejected bid was charged");
+  }
+}
+
+void check_outcome_accounting(const Task& task, const Decision& decision) {
+  Auditor& auditor = Auditor::instance();
+  auditor.count_check();
+
+  if (decision.task != task.id) {
+    std::ostringstream why;
+    why << "accounting: decision for task " << decision.task
+        << " paired with bid " << task.id;
+    auditor.fail(why.str());
+    return;
+  }
+  if (!std::isfinite(decision.payment)) {
+    auditor.fail("accounting: payment is not finite");
+    return;
+  }
+  if (decision.admit) {
+    if (decision.schedule.empty() || decision.schedule.task != task.id ||
+        decision.payment < -1e-9) {
+      std::ostringstream why;
+      why << "accounting: admitted task " << task.id
+          << " carries an empty/foreign schedule or a negative payment";
+      auditor.fail(why.str());
+    }
+  } else if (decision.payment != 0.0) {
+    std::ostringstream why;
+    why << "accounting: rejected task " << task.id << " charged "
+        << decision.payment;
+    auditor.fail(why.str());
+  }
+}
+
+}  // namespace lorasched::audit

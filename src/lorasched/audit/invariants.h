@@ -1,0 +1,96 @@
+// Invariant check entry points (see audit/audit.h for the catalogue and
+// DESIGN.md §9 for the rationale). All checks report through
+// Auditor::instance(): they count, and in fail-fast mode throw
+// InvariantViolation on the first failure. Every function here recomputes
+// the audited quantity from first principles — none of them reuse the value
+// the audited code produced.
+#pragma once
+
+#include <vector>
+
+#include "lorasched/audit/audit.h"
+#include "lorasched/cluster/capacity_ledger.h"
+#include "lorasched/cluster/cluster.h"
+#include "lorasched/core/duals.h"
+#include "lorasched/core/schedule.h"
+#include "lorasched/sim/policy.h"
+#include "lorasched/types.h"
+#include "lorasched/workload/task.h"
+
+namespace lorasched::audit {
+
+// --- (a) eq. (7)/(8): dual monotonicity + multiplicative update -----------
+
+/// Verifies one apply_update() against the update equations: `pre_lambda`
+/// and `pre_phi` are full-grid copies taken immediately before the update,
+/// `post` is the dual state after it. Recomputes the expected grids by
+/// replaying eq. (7)/(8) over the schedule's run, then requires (i) every
+/// touched cell matches exactly and is non-decreasing, (ii) every untouched
+/// cell is bit-identical.
+void check_dual_update(const Task& task, const Schedule& schedule,
+                       const Cluster& cluster,
+                       const std::vector<double>& pre_lambda,
+                       const std::vector<double>& pre_phi,
+                       const DualState& post, double alpha, double beta,
+                       double welfare_unit);
+
+// --- (b) (4f)/(4g): ledger capacity + snapshot conservation ---------------
+
+/// Verifies one reserve() of (`compute`, `mem`) at (k, t): the booked
+/// amounts landed on exactly that cell (pre + amount == used) and the cell
+/// still respects its capacity.
+void check_ledger_reserve(const CapacityLedger& ledger, NodeId k, Slot t,
+                          double pre_compute, double pre_mem, double compute,
+                          double mem);
+
+/// Verifies one restore(): the live grids equal the snapshot bit-for-bit,
+/// booked totals are conserved, and every cell is internally consistent
+/// (non-negative bookings within capacity, non-negative task counts).
+void check_ledger_restore(const CapacityLedger& ledger,
+                          const CapacityLedger::Snapshot& snapshot);
+
+/// Engine/service cross-check, per decided slot: total compute booked in
+/// the ledger equals the running sum over admitted schedules.
+void check_ledger_totals(const CapacityLedger& ledger, double booked_compute);
+
+// --- (d)/(e) eq. (14) + eq. (10): payment and admission consistency -------
+
+/// Everything Pdftsp::handle_task() knew when it decided one bid.
+/// `pre_lambda`/`pre_phi` are full-grid dual copies from *before* the
+/// eq. (7)/(8) update (for rejected-by-sign bids the duals were never
+/// touched, so the live grids qualify).
+struct DecisionAudit {
+  const Task& task;
+  /// Best candidate (empty when no vendor/share produced a feasible plan).
+  const Schedule& schedule;
+  /// F(il) as the policy computed it (0 when no candidate).
+  double objective = 0.0;
+  /// The payment the decision carries (0 unless admitted).
+  Money payment = 0.0;
+  bool admitted = false;
+  /// Alg. 1 line 12: F(il) > 0 but the ground-truth capacities refused.
+  bool capacity_reject = false;
+  const std::vector<double>& pre_lambda;
+  const std::vector<double>& pre_phi;
+  /// Ledger state at decision time (this bid not yet committed).
+  const CapacityLedger& ledger;
+};
+
+/// Verifies one pdFTSP decision:
+///  * a non-empty candidate is a valid execution plan (constraints 4a-4e);
+///  * F(il) recomputed from the pre-update duals matches `objective`;
+///  * admitted  ==> F > 0, payment == eq. (14) at the pre-update duals,
+///    0 <= p_i <= b_i (Thm. 4), and every booked cell fits the ledger;
+///  * rejected by sign ==> F <= 0 (or no candidate);
+///  * capacity_reject ==> F > 0 and at least one booked cell does not fit.
+void check_decision(const DecisionAudit& a, const Cluster& cluster);
+
+// --- Engine / service per-bid accounting ----------------------------------
+
+/// Policy-agnostic outcome sanity, applied to every decision the engine or
+/// the admission service accepts from any policy: an admitted decision
+/// carries a non-empty schedule for the right task and a finite,
+/// non-negative payment; a rejected one charges nothing.
+void check_outcome_accounting(const Task& task, const Decision& decision);
+
+}  // namespace lorasched::audit

@@ -2,6 +2,10 @@
 
 #include <stdexcept>
 
+#ifdef LORASCHED_AUDIT
+#include "lorasched/audit/invariants.h"
+#endif
+
 namespace lorasched {
 
 namespace {
@@ -54,10 +58,18 @@ void CapacityLedger::reserve(NodeId k, Slot t, double compute, double mem,
     throw std::logic_error("capacity ledger over-booked: policy bug");
   }
   const std::size_t cell = index(k, t);
+#ifdef LORASCHED_AUDIT
+  const double audit_pre_compute = used_compute_[cell];
+  const double audit_pre_mem = used_mem_[cell];
+#endif
   used_compute_[cell] += compute;
   used_mem_[cell] += mem;
   ++task_count_[cell];
   if (exclusive) exclusive_[cell] = 1;
+#ifdef LORASCHED_AUDIT
+  audit::check_ledger_reserve(*this, k, t, audit_pre_compute, audit_pre_mem,
+                              compute, mem);
+#endif
 }
 
 CapacityLedger::Snapshot CapacityLedger::snapshot() const {
@@ -87,6 +99,9 @@ void CapacityLedger::restore(const Snapshot& snapshot) {
   task_count_ = snapshot.task_count;
   exclusive_ = snapshot.exclusive;
   blocked_ = snapshot.blocked;
+#ifdef LORASCHED_AUDIT
+  audit::check_ledger_restore(*this, snapshot);
+#endif
 }
 
 double CapacityLedger::compute_utilization() const noexcept {

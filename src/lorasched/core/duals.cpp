@@ -5,6 +5,10 @@
 
 #include "lorasched/obs/span.h"
 
+#ifdef LORASCHED_AUDIT
+#include "lorasched/audit/invariants.h"
+#endif
+
 namespace lorasched {
 
 DualState::DualState(int nodes, Slot horizon)
@@ -48,6 +52,10 @@ void DualState::apply_update(const Task& task, const Schedule& schedule,
                              const Cluster& cluster, double alpha, double beta,
                              double welfare_unit) {
   LORASCHED_SPAN("duals/update");
+#ifdef LORASCHED_AUDIT
+  const std::vector<double> audit_pre_lambda = lambda_;
+  const std::vector<double> audit_pre_phi = phi_;
+#endif
   // Lemma 2 requires b̄ >= 1 (in scaled money units); κ gets typical
   // schedules there and the clamp enforces it for the stragglers, so the
   // capacity-control doubling argument always holds.
@@ -62,6 +70,10 @@ void DualState::apply_update(const Task& task, const Schedule& schedule,
     lambda_[cell] = lambda_[cell] * (1.0 + s_norm) + alpha * b_bar * s_norm;
     phi_[cell] = phi_[cell] * (1.0 + r_norm) + beta * b_bar * r_norm;
   }
+#ifdef LORASCHED_AUDIT
+  audit::check_dual_update(task, schedule, cluster, audit_pre_lambda,
+                           audit_pre_phi, *this, alpha, beta, welfare_unit);
+#endif
 }
 
 double objective_value(const Schedule& schedule, const DualState& duals) {

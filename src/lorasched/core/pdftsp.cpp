@@ -6,6 +6,10 @@
 #include "lorasched/core/pricing.h"
 #include "lorasched/obs/span.h"
 
+#ifdef LORASCHED_AUDIT
+#include "lorasched/audit/invariants.h"
+#endif
+
 namespace lorasched {
 
 Pdftsp::Pdftsp(PdftspConfig config, const Cluster& cluster,
@@ -184,6 +188,22 @@ Decision Pdftsp::handle_task(const Task& task,
       emit_trace(task, best, std::move(cand_trace), {}, max_l, max_p,
                  /*admitted=*/false, /*capacity_reject=*/false);
     }
+#ifdef LORASCHED_AUDIT
+    // Invariant (e): F(il) <= 0 rejects leave the duals untouched, so the
+    // live grids are the pre-update prices the sign test used.
+    audit::check_decision(
+        audit::DecisionAudit{.task = task,
+                             .schedule = best.schedule,
+                             .objective =
+                                 best.schedule.empty() ? 0.0 : best.objective,
+                             .payment = 0.0,
+                             .admitted = false,
+                             .capacity_reject = false,
+                             .pre_lambda = duals_.lambda_values(),
+                             .pre_phi = duals_.phi_values(),
+                             .ledger = ledger},
+        cluster_);
+#endif
     return decision;  // Alg. 1 line 13: reject, duals untouched.
   }
 
@@ -206,6 +226,12 @@ Decision Pdftsp::handle_task(const Task& task,
     }
   }
 
+#ifdef LORASCHED_AUDIT
+  // Invariants (d)/(e) need the pre-update prices after the duals move on.
+  const std::vector<double> audit_pre_lambda = duals_.lambda_values();
+  const std::vector<double> audit_pre_phi = duals_.phi_values();
+#endif
+
   // Alg. 1 line 7: F(il) > 0 — update the duals even if the capacity check
   // below rejects the task (the competitive analysis depends on this).
   duals_.apply_update(task, best.schedule, cluster_, config_.alpha,
@@ -219,6 +245,19 @@ Decision Pdftsp::handle_task(const Task& task,
         emit_trace(task, best, std::move(cand_trace), cells, max_lambda,
                    max_phi, /*admitted=*/false, /*capacity_reject=*/true);
       }
+#ifdef LORASCHED_AUDIT
+      audit::check_decision(
+          audit::DecisionAudit{.task = task,
+                               .schedule = best.schedule,
+                               .objective = best.objective,
+                               .payment = 0.0,
+                               .admitted = false,
+                               .capacity_reject = true,
+                               .pre_lambda = audit_pre_lambda,
+                               .pre_phi = audit_pre_phi,
+                               .ledger = ledger},
+          cluster_);
+#endif
       return decision;  // line 12: reject.
     }
   }
@@ -230,6 +269,19 @@ Decision Pdftsp::handle_task(const Task& task,
     emit_trace(task, best, std::move(cand_trace), cells, max_lambda, max_phi,
                /*admitted=*/true, /*capacity_reject=*/false);
   }
+#ifdef LORASCHED_AUDIT
+  audit::check_decision(
+      audit::DecisionAudit{.task = task,
+                           .schedule = best.schedule,
+                           .objective = best.objective,
+                           .payment = price,
+                           .admitted = true,
+                           .capacity_reject = false,
+                           .pre_lambda = audit_pre_lambda,
+                           .pre_phi = audit_pre_phi,
+                           .ledger = ledger},
+      cluster_);
+#endif
   return decision;
 }
 

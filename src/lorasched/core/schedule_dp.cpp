@@ -9,6 +9,10 @@
 
 #include "lorasched/obs/span.h"
 
+#ifdef LORASCHED_AUDIT
+#include "lorasched/audit/oracle.h"
+#endif
+
 namespace lorasched {
 
 namespace {
@@ -29,6 +33,19 @@ ScheduleDp::ScheduleDp(const Cluster& cluster, const EnergyModel& energy,
 
 Schedule ScheduleDp::find(const Task& task, Slot start, const DualState& duals,
                           const void* filter_ctx, SlotFilter filter) const {
+  Schedule schedule = find_impl(task, start, duals, filter_ctx, filter);
+#ifdef LORASCHED_AUDIT
+  // Invariant (c): on instances small enough to enumerate, the DP result
+  // must match the brute-force oracle (feasibility and optimal cost).
+  audit::check_dp_schedule(task, start, duals, cluster_, energy_, config_,
+                           filter_ctx, filter, schedule);
+#endif
+  return schedule;
+}
+
+Schedule ScheduleDp::find_impl(const Task& task, Slot start,
+                               const DualState& duals, const void* filter_ctx,
+                               SlotFilter filter) const {
   LORASCHED_SPAN("dp/find");
   Schedule schedule;
   schedule.task = task.id;

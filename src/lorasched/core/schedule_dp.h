@@ -56,6 +56,11 @@ class ScheduleDp {
   }
 
  private:
+  [[nodiscard]] Schedule find_impl(const Task& task, Slot start,
+                                   const DualState& duals,
+                                   const void* filter_ctx,
+                                   SlotFilter filter) const;
+
   const Cluster& cluster_;  // must outlive the ScheduleDp
   EnergyModel energy_;      // by value: cheap, and callers often pass rvalues
   ScheduleDpConfig config_;

@@ -26,7 +26,15 @@ std::string fmt(double value) {
 
 double parse_double(const std::string& text) {
   std::size_t used = 0;
-  const double value = std::stod(text, &used);
+  double value = 0.0;
+  try {
+    value = std::stod(text, &used);
+  } catch (const std::out_of_range&) {
+    // The documented contract is invalid_argument on any malformed field;
+    // out-of-range magnitudes ("1e99999") are malformed input, not a
+    // different error class (flushed out by fuzz/fuzz_bid_parser).
+    throw std::invalid_argument("number out of range: " + text);
+  }
   if (used != text.size()) {
     throw std::invalid_argument("trailing characters in number: " + text);
   }
@@ -35,7 +43,12 @@ double parse_double(const std::string& text) {
 
 long parse_long(const std::string& text) {
   std::size_t used = 0;
-  const long value = std::stol(text, &used);
+  long value = 0;
+  try {
+    value = std::stol(text, &used);
+  } catch (const std::out_of_range&) {
+    throw std::invalid_argument("integer out of range: " + text);
+  }
   if (used != text.size()) {
     throw std::invalid_argument("trailing characters in integer: " + text);
   }
@@ -155,6 +168,21 @@ T read_value(std::istream& in, const char* what) {
   return value;
 }
 
+/// Hard ceiling on any element count read from a checkpoint. A corrupted
+/// (or adversarial) count must not drive a multi-gigabyte allocation before
+/// the stream runs dry — fuzz/fuzz_checkpoint found exactly that via
+/// vector(n) on a forged length field. 1 << 26 grid cells is far beyond any
+/// cluster/horizon this system targets.
+constexpr std::size_t kMaxCheckpointCount = std::size_t{1} << 26;
+
+std::size_t read_count(std::istream& in, const char* what) {
+  const auto n = read_value<std::size_t>(in, what);
+  if (n > kMaxCheckpointCount) {
+    throw std::invalid_argument(std::string("checkpoint: absurd ") + what);
+  }
+  return n;
+}
+
 void write_doubles(std::ostream& out, const std::vector<double>& values) {
   out << values.size();
   for (double v : values) out << ' ' << v;
@@ -162,7 +190,7 @@ void write_doubles(std::ostream& out, const std::vector<double>& values) {
 }
 
 std::vector<double> read_doubles(std::istream& in, const char* what) {
-  const auto n = read_value<std::size_t>(in, what);
+  const auto n = read_count(in, what);
   std::vector<double> values(n);
   for (std::size_t i = 0; i < n; ++i) values[i] = read_value<double>(in, what);
   return values;
@@ -177,7 +205,7 @@ void write_ints(std::ostream& out, const std::vector<Int>& values) {
 
 template <typename Int>
 std::vector<Int> read_ints(std::istream& in, const char* what) {
-  const auto n = read_value<std::size_t>(in, what);
+  const auto n = read_count(in, what);
   std::vector<Int> values(n);
   for (std::size_t i = 0; i < n; ++i) {
     values[i] = static_cast<Int>(read_value<long>(in, what));
@@ -259,7 +287,7 @@ Schedule read_schedule_record(std::istream& in) {
   s.norm_mem = read_value<double>(in, "schedule norm mem");
   s.energy_cost = read_value<double>(in, "schedule energy");
   s.welfare_gain = read_value<double>(in, "schedule welfare");
-  const auto n = read_value<std::size_t>(in, "schedule run length");
+  const auto n = read_count(in, "schedule run length");
   s.run.resize(n);
   for (auto& a : s.run) {
     a.node = read_value<NodeId>(in, "schedule node");
@@ -341,19 +369,19 @@ service::Checkpoint read_checkpoint(std::istream& in) {
   cp.ledger.blocked = read_ints<char>(in, "blocked");
 
   expect_token(in, "pending");
-  const auto pending = read_value<std::size_t>(in, "pending count");
+  const auto pending = read_count(in, "pending count");
   cp.pending.reserve(pending);
   for (std::size_t i = 0; i < pending; ++i) {
     cp.pending.push_back(read_task_record(in));
   }
   expect_token(in, "outcomes");
-  const auto outcomes = read_value<std::size_t>(in, "outcome count");
+  const auto outcomes = read_count(in, "outcome count");
   cp.outcomes.reserve(outcomes);
   for (std::size_t i = 0; i < outcomes; ++i) {
     cp.outcomes.push_back(read_outcome_record(in));
   }
   expect_token(in, "schedules");
-  const auto schedules = read_value<std::size_t>(in, "schedule count");
+  const auto schedules = read_count(in, "schedule count");
   cp.schedules.reserve(schedules);
   for (std::size_t i = 0; i < schedules; ++i) {
     cp.schedules.push_back(read_schedule_record(in));

@@ -10,6 +10,10 @@
 #include "lorasched/sim/validator.h"
 #include "lorasched/util/timing.h"
 
+#ifdef LORASCHED_AUDIT
+#include "lorasched/audit/invariants.h"
+#endif
+
 namespace lorasched::service {
 
 AdmissionService::AdmissionService(const Instance& env, Policy& policy,
@@ -135,6 +139,9 @@ void AdmissionService::decide_batch(Slot now, std::vector<Task>& batch,
       if (d.task != task.id) {
         throw std::logic_error("policy decisions out of order");
       }
+#ifdef LORASCHED_AUDIT
+      audit::check_outcome_accounting(task, d);
+#endif
       TaskOutcome outcome;
       outcome.task = task.id;
       outcome.bid = task.bid;
@@ -175,6 +182,10 @@ void AdmissionService::decide_batch(Slot now, std::vector<Task>& batch,
       outcomes_.push_back(outcome);
       schedules_.push_back(d.admit ? d.schedule : Schedule{});
     }
+#ifdef LORASCHED_AUDIT
+    // Same per-slot conservation cross-check the engine runs (invariant b).
+    audit::check_ledger_totals(ledger_, booked_compute_);
+#endif
   }
 
   SlotReport report;

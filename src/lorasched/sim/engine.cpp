@@ -8,6 +8,10 @@
 #include "lorasched/sim/validator.h"
 #include "lorasched/util/timing.h"
 
+#ifdef LORASCHED_AUDIT
+#include "lorasched/audit/invariants.h"
+#endif
+
 namespace lorasched {
 
 void commit_decision(CapacityLedger& ledger, const Cluster& cluster,
@@ -73,6 +77,9 @@ SimResult run_simulation(const Instance& instance, Policy& policy,
       if (d.task != task.id) {
         throw std::logic_error("policy decisions out of order");
       }
+#ifdef LORASCHED_AUDIT
+      audit::check_outcome_accounting(task, d);
+#endif
       TaskOutcome outcome;
       outcome.task = task.id;
       outcome.bid = task.bid;
@@ -105,6 +112,11 @@ SimResult run_simulation(const Instance& instance, Policy& policy,
       result.outcomes.push_back(outcome);
       result.schedules.push_back(d.admit ? d.schedule : Schedule{});
     }
+#ifdef LORASCHED_AUDIT
+    // Invariant (b), per slot: the ledger's booked compute tracks the sum
+    // over admitted schedules — drift is blamed on the slot it appears in.
+    audit::check_ledger_totals(ledger, booked_compute);
+#endif
   }
 
   // Cross-check: the ledger's booked compute must equal the sum over
