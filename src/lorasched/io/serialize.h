@@ -14,6 +14,7 @@
 
 #include "lorasched/experiments/scenario.h"
 #include "lorasched/service/checkpoint.h"
+#include "lorasched/shard/sharded_checkpoint.h"
 #include "lorasched/sim/metrics.h"
 #include "lorasched/workload/task.h"
 
@@ -54,5 +55,17 @@ void write_scenario(std::ostream& out, const ScenarioConfig& config);
 void write_checkpoint(std::ostream& out, const service::Checkpoint& checkpoint);
 /// Throws std::invalid_argument on a malformed or truncated checkpoint.
 [[nodiscard]] service::Checkpoint read_checkpoint(std::istream& in);
+
+// --- Sharded-service checkpoints --------------------------------------------
+// Same text discipline for a shard::ShardedCheckpoint: one labeled section
+// per shard (bookings, policy dump, ledger grids), then the service-level
+// decision log. Full double precision, so restore + resume is
+// bit-identical.
+
+void write_sharded_checkpoint(std::ostream& out,
+                              const shard::ShardedCheckpoint& checkpoint);
+/// Throws std::invalid_argument on a malformed or truncated checkpoint.
+[[nodiscard]] shard::ShardedCheckpoint read_sharded_checkpoint(
+    std::istream& in);
 
 }  // namespace lorasched::io

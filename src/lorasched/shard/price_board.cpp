@@ -1,0 +1,71 @@
+#include "lorasched/shard/price_board.h"
+
+#include <stdexcept>
+
+namespace lorasched::shard {
+
+PriceBoard::PriceBoard(int shards, int classes) : classes_(classes) {
+  if (shards < 1 || classes < 1) {
+    throw std::invalid_argument(
+        "price board needs at least one shard and one class");
+  }
+  entries_ = std::vector<Entry>(static_cast<std::size_t>(shards));
+  for (Entry& entry : entries_) {
+    entry.values = std::make_unique<std::atomic<double>[]>(payload_size());
+    for (std::size_t i = 0; i < payload_size(); ++i) {
+      entry.values[i].store(0.0, std::memory_order_relaxed);
+    }
+    // Slot -1 marks "nothing published yet"; free capacity is zero until
+    // the runner's first publish, so the router treats an unpublished
+    // shard as cold rather than infinitely attractive.
+    entry.values[0].store(-1.0, std::memory_order_relaxed);
+  }
+}
+
+void PriceBoard::publish(int s, const PriceSnapshot& snapshot) {
+  if (snapshot.classes.size() != static_cast<std::size_t>(classes_)) {
+    throw std::invalid_argument("price snapshot has wrong class count");
+  }
+  Entry& entry = entries_.at(static_cast<std::size_t>(s));
+  const std::uint64_t begin =
+      entry.version.load(std::memory_order_relaxed) + 1;  // odd: in flight
+  entry.version.store(begin, std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_release);
+  std::size_t i = 0;
+  entry.values[i++].store(static_cast<double>(snapshot.published_slot),
+                          std::memory_order_relaxed);
+  entry.values[i++].store(snapshot.free_compute, std::memory_order_relaxed);
+  for (const ClassPrice& cls : snapshot.classes) {
+    entry.values[i++].store(cls.free_compute, std::memory_order_relaxed);
+    entry.values[i++].store(cls.free_mem, std::memory_order_relaxed);
+    entry.values[i++].store(cls.mean_lambda, std::memory_order_relaxed);
+    entry.values[i++].store(cls.mean_phi, std::memory_order_relaxed);
+  }
+  entry.version.store(begin + 1, std::memory_order_release);  // even: stable
+}
+
+PriceSnapshot PriceBoard::read(int s) const {
+  const Entry& entry = entries_.at(static_cast<std::size_t>(s));
+  PriceSnapshot snapshot;
+  snapshot.classes.resize(static_cast<std::size_t>(classes_));
+  for (;;) {
+    const std::uint64_t before = entry.version.load(std::memory_order_acquire);
+    if (before % 2 != 0) continue;  // publish in flight
+    std::size_t i = 0;
+    snapshot.published_slot = static_cast<Slot>(
+        entry.values[i++].load(std::memory_order_relaxed));
+    snapshot.free_compute = entry.values[i++].load(std::memory_order_relaxed);
+    for (ClassPrice& cls : snapshot.classes) {
+      cls.free_compute = entry.values[i++].load(std::memory_order_relaxed);
+      cls.free_mem = entry.values[i++].load(std::memory_order_relaxed);
+      cls.mean_lambda = entry.values[i++].load(std::memory_order_relaxed);
+      cls.mean_phi = entry.values[i++].load(std::memory_order_relaxed);
+    }
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (entry.version.load(std::memory_order_relaxed) == before) {
+      return snapshot;
+    }
+  }
+}
+
+}  // namespace lorasched::shard

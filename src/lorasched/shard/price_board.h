@@ -1,0 +1,87 @@
+// PriceBoard — each shard's published dual-price summary, the only state
+// that crosses the shard boundary (DESIGN.md §10). After deciding a slot, a
+// ShardRunner publishes a compact per-GPU-class digest of its pdFTSP dual
+// grids (mean λ / mean φ over the remaining horizon) plus its free-capacity
+// counts; the router reads these to estimate where an arriving bid would
+// schedule cheapest.
+//
+// Publication is a seqlock-style snapshot: one atomic version counter per
+// shard (odd while a write is in flight) over a fixed-size grid of relaxed
+// atomic doubles. Writers (the shard's own decision thread) never block;
+// readers retry the rare torn read. All cells are std::atomic, so the
+// pattern is data-race-free under TSan, not just "benign".
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "lorasched/types.h"
+
+namespace lorasched::shard {
+
+/// One GPU class's digest inside a shard's snapshot. Class indices are the
+/// *global* cluster's class ids (see ShardTopology), so summaries from
+/// different shards are comparable.
+struct ClassPrice {
+  /// Unreserved, unblocked compute (samples) over the remaining horizon.
+  double free_compute = 0.0;
+  /// Unreserved adapter memory (GB-slots) over the remaining horizon.
+  double free_mem = 0.0;
+  /// Mean λ_kt over the class's remaining (node, slot) cells.
+  double mean_lambda = 0.0;
+  /// Mean φ_kt over the class's remaining (node, slot) cells.
+  double mean_phi = 0.0;
+};
+
+/// A consistent point-in-time copy of one shard's published summary.
+struct PriceSnapshot {
+  /// Slot the summary was computed after (-1 = initial, nothing decided).
+  Slot published_slot = -1;
+  /// Total unreserved compute across all the shard's classes.
+  double free_compute = 0.0;
+  std::vector<ClassPrice> classes;
+};
+
+class PriceBoard {
+ public:
+  /// `shards` entries, each summarizing `classes` global GPU classes.
+  PriceBoard(int shards, int classes);
+
+  PriceBoard(const PriceBoard&) = delete;
+  PriceBoard& operator=(const PriceBoard&) = delete;
+
+  [[nodiscard]] int shard_count() const noexcept {
+    return static_cast<int>(entries_.size());
+  }
+  [[nodiscard]] int class_count() const noexcept { return classes_; }
+
+  /// Publishes `snapshot` as shard `s`'s current summary. One writer per
+  /// shard (its runner thread); never blocks readers.
+  /// snapshot.classes.size() must equal class_count().
+  void publish(int s, const PriceSnapshot& snapshot);
+
+  /// Lock-free consistent read of shard `s`'s latest summary; retries while
+  /// a publish is in flight.
+  [[nodiscard]] PriceSnapshot read(int s) const;
+
+ private:
+  // Flat payload layout per shard entry:
+  //   [0] published_slot  [1] free_compute
+  //   then 4 doubles per class: free_compute, free_mem, mean_lambda, mean_phi
+  [[nodiscard]] std::size_t payload_size() const noexcept {
+    return 2 + 4 * static_cast<std::size_t>(classes_);
+  }
+
+  struct Entry {
+    /// Even = stable, odd = publish in flight.
+    std::atomic<std::uint64_t> version{0};
+    std::unique_ptr<std::atomic<double>[]> values;
+  };
+
+  int classes_;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace lorasched::shard

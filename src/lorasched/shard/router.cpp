@@ -1,0 +1,94 @@
+#include "lorasched/shard/router.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace lorasched::shard {
+
+namespace {
+
+/// splitmix64 — deterministic, well-mixed tie-break hash.
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+Router::Router(RouterConfig config, ShardTopology topology)
+    : config_(config), topology_(std::move(topology)) {
+  if (config_.reroute_attempts < 0) {
+    throw std::invalid_argument("reroute_attempts must be non-negative");
+  }
+  if (topology_.shard_count() < 1 || topology_.class_count() < 1) {
+    throw std::invalid_argument("router topology is empty");
+  }
+}
+
+double Router::estimate(const Task& bid, int s,
+                        const PriceSnapshot& snapshot) const {
+  double best = std::numeric_limits<double>::infinity();
+  const auto& owned = topology_.shard_class_nodes.at(static_cast<std::size_t>(s));
+  for (int c = 0; c < topology_.class_count(); ++c) {
+    const auto ci = static_cast<std::size_t>(c);
+    if (owned[ci] == 0) continue;
+    const ShardTopology::ClassInfo& info = topology_.classes[ci];
+    if (bid.mem_gb > info.adapter_mem_gb) continue;
+    const double rate = bid.compute_share * info.compute_per_slot;
+    if (rate <= 0.0) continue;
+    const double slots = std::ceil(bid.work / rate);
+    // The published mean prices at the bid's normalized per-cell demand
+    // (s̃ = compute share, r̃ = adapter-memory fraction) — the same units
+    // eq. (10) charges a concrete schedule in, minus the energy term the
+    // router cannot know without running the DP.
+    const ClassPrice& price = snapshot.classes[ci];
+    const double per_slot = price.mean_lambda * bid.compute_share +
+                            price.mean_phi * (bid.mem_gb / info.adapter_mem_gb);
+    best = std::min(best, slots * per_slot);
+  }
+  return best;
+}
+
+std::vector<int> Router::rank(const Task& bid,
+                              const std::vector<PriceSnapshot>& prices) const {
+  const int shards = topology_.shard_count();
+  if (prices.size() != static_cast<std::size_t>(shards)) {
+    throw std::invalid_argument("router needs one price snapshot per shard");
+  }
+  struct Scored {
+    int shard = 0;
+    double cost = 0.0;
+    double free_compute = 0.0;
+    std::uint64_t salt = 0;
+  };
+  std::vector<Scored> scored(static_cast<std::size_t>(shards));
+  for (int s = 0; s < shards; ++s) {
+    auto& row = scored[static_cast<std::size_t>(s)];
+    row.shard = s;
+    row.cost = estimate(bid, s, prices[static_cast<std::size_t>(s)]);
+    row.free_compute = prices[static_cast<std::size_t>(s)].free_compute;
+    row.salt = mix(config_.seed ^
+                   (static_cast<std::uint64_t>(static_cast<std::uint32_t>(
+                        bid.id)) << 16U) ^
+                   static_cast<std::uint64_t>(static_cast<std::uint32_t>(s)));
+  }
+  std::sort(scored.begin(), scored.end(), [](const Scored& a, const Scored& b) {
+    // Infinity (no feasible class) sorts last through the cost compare;
+    // NaN cannot occur (prices and demands are finite by construction).
+    if (a.cost != b.cost) return a.cost < b.cost;
+    if (a.free_compute != b.free_compute) {
+      return a.free_compute > b.free_compute;
+    }
+    if (a.salt != b.salt) return a.salt < b.salt;
+    return a.shard < b.shard;
+  });
+  std::vector<int> order(static_cast<std::size_t>(shards));
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = scored[i].shard;
+  return order;
+}
+
+}  // namespace lorasched::shard

@@ -1,0 +1,68 @@
+// Router — price-aware bid dispatch across pdFTSP shards (DESIGN.md §10).
+//
+// For each arriving bid the router estimates, per shard, what the shard's
+// published dual prices would charge for the bid's cheapest feasible
+// schedule shape (slots needed on the shard's best class × the class's mean
+// λ/φ at the bid's normalized demand), and ranks shards by ascending
+// estimate. Equal estimates — the common case while prices are still near
+// zero — fall back to most-free-capacity-first, and exact residual ties
+// break by a seeded hash of the task id, which both load-balances cold
+// shards and makes every run reproducible from the router seed.
+//
+// Shards with no feasible class (memory or rate) rank last rather than
+// being dropped: some shard always decides the bid, so a 1-shard router
+// degenerates to a pure pass-through and the sharded service inherits the
+// monolithic engine's decisions bit for bit.
+//
+// Second-chance re-routing is driven by the service: when a shard's pdFTSP
+// rejects a bid, the service re-offers it to the next shard in this
+// ranking, up to `reroute_attempts` alternatives, before the reject becomes
+// final.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "lorasched/shard/price_board.h"
+#include "lorasched/shard/shard_planner.h"
+#include "lorasched/types.h"
+#include "lorasched/workload/task.h"
+
+namespace lorasched::shard {
+
+struct RouterConfig {
+  /// Additional shards a rejected bid is re-offered to before the reject
+  /// becomes final (0 = single irrevocable offer, the paper's pdFTSP).
+  int reroute_attempts = 1;
+  /// Tie-break seed; two runs with equal seeds route identically.
+  std::uint64_t seed = 0;
+};
+
+class Router {
+ public:
+  Router(RouterConfig config, ShardTopology topology);
+
+  [[nodiscard]] const RouterConfig& config() const noexcept { return config_; }
+  [[nodiscard]] int shard_count() const noexcept {
+    return topology_.shard_count();
+  }
+
+  /// Full shard preference order for `bid` under the published prices:
+  /// feasible shards by ascending estimated cost, infeasible ones last.
+  /// `prices` must hold one snapshot per shard. Deterministic in
+  /// (bid, prices, seed). Never empty.
+  [[nodiscard]] std::vector<int> rank(
+      const Task& bid, const std::vector<PriceSnapshot>& prices) const;
+
+  /// The router's cost estimate for running `bid` on shard `s` (exposed for
+  /// tests and the auction-explorer tooling). Infinity when no class of the
+  /// shard can run the bid at all.
+  [[nodiscard]] double estimate(const Task& bid, int s,
+                                const PriceSnapshot& snapshot) const;
+
+ private:
+  RouterConfig config_;
+  ShardTopology topology_;
+};
+
+}  // namespace lorasched::shard

@@ -1,0 +1,90 @@
+#include "lorasched/shard/shard_planner.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace lorasched::shard {
+
+ShardPlan ShardPlanner::plan(const Cluster& cluster, int shards) {
+  const int nodes = cluster.node_count();
+  if (shards < 1 || shards > nodes) {
+    throw std::invalid_argument(
+        "shard count must be between 1 and the node count");
+  }
+
+  // Classes with more nodes are split first: they have the finest
+  // granularity, so later (coarser) classes land on whatever imbalance is
+  // left and the greedy stays near-optimal.
+  std::vector<int> class_order(static_cast<std::size_t>(cluster.class_count()));
+  for (std::size_t c = 0; c < class_order.size(); ++c) {
+    class_order[c] = static_cast<int>(c);
+  }
+  std::stable_sort(class_order.begin(), class_order.end(), [&](int a, int b) {
+    return cluster.class_nodes(a).size() > cluster.class_nodes(b).size();
+  });
+
+  ShardPlan plan;
+  plan.nodes.resize(static_cast<std::size_t>(shards));
+  std::vector<double> assigned_compute(static_cast<std::size_t>(shards), 0.0);
+  std::vector<std::size_t> assigned_nodes(static_cast<std::size_t>(shards), 0);
+
+  for (const int cls : class_order) {
+    for (const NodeId k : cluster.class_nodes(cls)) {
+      int target = 0;
+      for (int s = 1; s < shards; ++s) {
+        const auto si = static_cast<std::size_t>(s);
+        const auto ti = static_cast<std::size_t>(target);
+        if (assigned_compute[si] < assigned_compute[ti] ||
+            (assigned_compute[si] == assigned_compute[ti] &&
+             assigned_nodes[si] < assigned_nodes[ti])) {
+          target = s;
+        }
+      }
+      const auto ti = static_cast<std::size_t>(target);
+      plan.nodes[ti].push_back(k);
+      assigned_compute[ti] += cluster.compute_capacity(k);
+      ++assigned_nodes[ti];
+    }
+  }
+
+  // Global ascending id order inside each shard (K=1 => identity plan).
+  for (auto& members : plan.nodes) {
+    std::sort(members.begin(), members.end());
+  }
+  return plan;
+}
+
+Cluster ShardPlanner::sub_cluster(const Cluster& cluster,
+                                  const std::vector<NodeId>& nodes) {
+  if (nodes.empty()) {
+    throw std::invalid_argument("shard sub-cluster needs at least one node");
+  }
+  std::vector<GpuProfile> profiles;
+  profiles.reserve(nodes.size());
+  for (const NodeId k : nodes) profiles.push_back(cluster.profile(k));
+  return Cluster(std::move(profiles), cluster.base_model_gb());
+}
+
+ShardTopology ShardPlanner::topology(const Cluster& cluster,
+                                     const ShardPlan& plan) {
+  ShardTopology topo;
+  topo.classes.resize(static_cast<std::size_t>(cluster.class_count()));
+  for (int c = 0; c < cluster.class_count(); ++c) {
+    const NodeId rep = cluster.class_representative(c);
+    auto& info = topo.classes[static_cast<std::size_t>(c)];
+    info.compute_per_slot = cluster.compute_capacity(rep);
+    info.adapter_mem_gb = cluster.adapter_mem_capacity(rep);
+  }
+  topo.shard_class_nodes.assign(
+      plan.nodes.size(),
+      std::vector<int>(static_cast<std::size_t>(cluster.class_count()), 0));
+  for (std::size_t s = 0; s < plan.nodes.size(); ++s) {
+    for (const NodeId k : plan.nodes[s]) {
+      ++topo.shard_class_nodes[s][static_cast<std::size_t>(
+          cluster.node_class(k))];
+    }
+  }
+  return topo;
+}
+
+}  // namespace lorasched::shard

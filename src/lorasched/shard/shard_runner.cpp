@@ -1,0 +1,249 @@
+#include "lorasched/shard/shard_runner.h"
+
+#include <stdexcept>
+#include <utility>
+
+#include "lorasched/obs/span.h"
+#include "lorasched/shard/shard_planner.h"
+#include "lorasched/sim/validator.h"
+#include "lorasched/util/timing.h"
+
+#ifdef LORASCHED_AUDIT
+#include "lorasched/audit/invariants.h"
+#endif
+
+namespace lorasched::shard {
+
+PolicyFactory make_pdftsp_factory(PdftspConfig config) {
+  return [config](const Cluster& cluster, const EnergyModel& energy,
+                  Slot horizon) -> std::unique_ptr<Policy> {
+    return std::make_unique<Pdftsp>(config, cluster, energy, horizon);
+  };
+}
+
+ShardRunner::ShardRunner(int shard_id, const Cluster& fleet,
+                         std::vector<NodeId> members, const EnergyModel& energy,
+                         const Marketplace& market, Slot horizon,
+                         const PolicyFactory& factory, PriceBoard& board,
+                         std::size_t inbox_capacity, bool time_decisions)
+    : shard_id_(shard_id),
+      horizon_(horizon),
+      time_decisions_(time_decisions),
+      to_global_(std::move(members)),
+      cluster_(ShardPlanner::sub_cluster(fleet, to_global_)),
+      energy_(energy),
+      market_(market),
+      ledger_(cluster_, horizon),
+      policy_(factory(cluster_, energy_, horizon)),
+      pdftsp_(dynamic_cast<const Pdftsp*>(policy_.get())),
+      board_(board),
+      inbox_(inbox_capacity, service::BackpressureMode::kBlock) {
+  if (policy_ == nullptr) {
+    throw std::invalid_argument("policy factory returned null");
+  }
+  global_class_of_local_.reserve(to_global_.size());
+  for (const NodeId g : to_global_) {
+    global_class_of_local_.push_back(fleet.node_class(g));
+  }
+  worker_ = std::thread(&ShardRunner::thread_main, this);
+}
+
+ShardRunner::~ShardRunner() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    command_ = Command::kStop;
+  }
+  command_cv_.notify_one();
+  if (worker_.joinable()) worker_.join();
+}
+
+void ShardRunner::block(NodeId local_node, Slot t) {
+  ledger_.block(local_node, t);
+}
+
+void ShardRunner::begin_round(Slot slot, std::size_t expected) {
+  if (expected == 0) {
+    throw std::invalid_argument("shard round needs at least one bid");
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (command_ != Command::kIdle) {
+      throw std::logic_error("shard round already in flight");
+    }
+    round_slot_ = slot;
+    round_expected_ = expected;
+    round_done_ = false;
+    command_ = Command::kDecide;
+  }
+  command_cv_.notify_one();
+}
+
+void ShardRunner::offer(Task bid) {
+  const service::SubmitResult result = inbox_.submit(std::move(bid));
+  if (result != service::SubmitResult::kAccepted) {
+    throw std::logic_error("shard inbox refused a bid mid-round");
+  }
+}
+
+const std::vector<ShardRunner::RoundResult>& ShardRunner::wait_round() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_cv_.wait(lock, [&] { return round_done_; });
+  if (round_error_ != nullptr) {
+    const std::exception_ptr error = std::exchange(round_error_, nullptr);
+    std::rethrow_exception(error);
+  }
+  return results_;
+}
+
+void ShardRunner::thread_main() {
+  for (;;) {
+    Slot slot = 0;
+    std::size_t expected = 0;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      command_cv_.wait(lock, [&] { return command_ != Command::kIdle; });
+      if (command_ == Command::kStop) return;
+      slot = round_slot_;
+      expected = round_expected_;
+    }
+    std::exception_ptr error;
+    try {
+      decide_round(slot, expected);
+    } catch (...) {
+      error = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      round_error_ = error;
+      command_ = Command::kIdle;
+      round_done_ = true;
+    }
+    done_cv_.notify_all();
+  }
+}
+
+void ShardRunner::decide_round(Slot slot, std::size_t expected) {
+  LORASCHED_SPAN("shard/decide");
+  std::vector<Task> batch;
+  batch.reserve(expected);
+  while (batch.size() < expected) {
+    inbox_.wait_available();
+    for (Task& bid : inbox_.drain()) batch.push_back(std::move(bid));
+  }
+  if (batch.size() != expected) {
+    throw std::logic_error("shard inbox over-fed (leader protocol bug)");
+  }
+
+  const SlotContext ctx{slot, batch, cluster_, energy_, market_, ledger_};
+  const util::Stopwatch watch;
+  const std::vector<Decision> decisions = policy_->on_slot(ctx);
+  const double batch_seconds = watch.seconds();
+  if (decisions.size() != batch.size()) {
+    throw std::logic_error("policy returned wrong number of decisions");
+  }
+  const double per_task_seconds =
+      time_decisions_ ? batch_seconds / static_cast<double>(batch.size()) : 0.0;
+
+  results_.clear();
+  results_.reserve(batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const Task& task = batch[i];
+    const Decision& d = decisions[i];
+    if (d.task != task.id) {
+      throw std::logic_error("policy decisions out of order");
+    }
+#ifdef LORASCHED_AUDIT
+    audit::check_outcome_accounting(task, d);
+#endif
+    if (d.admit) {
+      // Validated against the shard's own sub-cluster; the service re-maps
+      // node ids to the fleet before anything escapes the shard boundary.
+      require_valid_schedule(task, d.schedule, cluster_, horizon_);
+      if (d.payment < -1e-9) {
+        throw std::logic_error("negative payment");
+      }
+      booked_ += d.schedule.total_compute;
+    }
+    RoundResult result;
+    result.task = task;
+    result.decision = d;
+    result.decide_seconds = per_task_seconds;
+    results_.push_back(std::move(result));
+  }
+#ifdef LORASCHED_AUDIT
+  // Per-shard conservation: this shard's ledger against its own bookings.
+  audit::check_ledger_totals(ledger_, booked_);
+#endif
+
+  publish(slot + 1);
+}
+
+void ShardRunner::publish(Slot from) {
+  PriceSnapshot snapshot;
+  snapshot.published_slot = from - 1;
+  const int classes = board_.class_count();
+  snapshot.classes.assign(static_cast<std::size_t>(classes), ClassPrice{});
+  std::vector<double> cells(static_cast<std::size_t>(classes), 0.0);
+  const DualState* duals = pdftsp_ != nullptr ? &pdftsp_->duals() : nullptr;
+
+  for (NodeId k = 0; k < cluster_.node_count(); ++k) {
+    const auto c =
+        static_cast<std::size_t>(global_class_of_local_[static_cast<
+            std::size_t>(k)]);
+    ClassPrice& cls = snapshot.classes[c];
+    for (Slot t = from; t < horizon_; ++t) {
+      cells[c] += 1.0;
+      if (!ledger_.is_blocked(k, t)) {
+        cls.free_compute += ledger_.remaining_compute(k, t);
+        cls.free_mem += ledger_.remaining_mem(k, t);
+      }
+      if (duals != nullptr) {
+        cls.mean_lambda += duals->lambda(k, t);
+        cls.mean_phi += duals->phi(k, t);
+      }
+    }
+  }
+  for (int c = 0; c < classes; ++c) {
+    const auto ci = static_cast<std::size_t>(c);
+    ClassPrice& cls = snapshot.classes[ci];
+    if (cells[ci] > 0.0) {
+      cls.mean_lambda /= cells[ci];
+      cls.mean_phi /= cells[ci];
+    }
+    snapshot.free_compute += cls.free_compute;
+  }
+  board_.publish(shard_id_, snapshot);
+}
+
+std::vector<double> ShardRunner::policy_state() const {
+  const auto* state = dynamic_cast<const CheckpointableState*>(policy_.get());
+  if (state == nullptr) {
+    throw std::logic_error("shard policy does not implement CheckpointableState");
+  }
+  return state->checkpoint_state();
+}
+
+void ShardRunner::restore_policy_state(const std::vector<double>& state) {
+  auto* target = dynamic_cast<CheckpointableState*>(policy_.get());
+  if (target == nullptr) {
+    throw std::logic_error("shard policy does not implement CheckpointableState");
+  }
+  target->restore_state(state);
+}
+
+void ShardRunner::restore_ledger(const CapacityLedger::Snapshot& snapshot,
+                                 double booked) {
+  ledger_.restore(snapshot);
+  booked_ = booked;
+}
+
+void ShardRunner::accumulate_utilization(double& used, double& cap) const {
+  // Mirrors CapacityLedger::compute_utilization()'s accumulation order so a
+  // 1-shard service reproduces the monolithic fraction bit for bit.
+  for (NodeId k = 0; k < cluster_.node_count(); ++k) {
+    cap += cluster_.compute_capacity(k) * static_cast<double>(horizon_);
+    for (Slot t = 0; t < horizon_; ++t) used += ledger_.used_compute(k, t);
+  }
+}
+
+}  // namespace lorasched::shard

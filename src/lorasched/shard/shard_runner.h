@@ -1,0 +1,166 @@
+// ShardRunner — one scheduling shard: a private policy instance (its own
+// dual grids), a private CapacityLedger over the shard's sub-cluster, and a
+// decision thread fed through a bounded BidQueue inbox (DESIGN.md §10).
+//
+// The runner speaks a slot-synchronous round protocol with the service's
+// leader thread:
+//
+//   leader:  begin_round(slot, n)  →  offer() × n  →  wait_round()
+//   runner:  drain inbox until n bids collected → policy->on_slot(batch)
+//            → validate/book exactly like AdmissionService::decide_batch
+//            → publish fresh price summary → park
+//
+// begin_round() is called *before* the bids are fed, so a batch larger than
+// the inbox capacity cannot deadlock: the runner is already draining while
+// the leader is still offering. Between wait_round() and the next
+// begin_round() the runner is parked and the leader may freely read or
+// restore the shard's state (checkpointing, price re-publication) — the
+// round mutex orders those accesses.
+//
+// Node ids inside the runner are shard-local (0..members-1); to_global()
+// maps them back to the fleet's ids. Decisions returned from a round still
+// carry local ids — the service remaps when it builds outcomes.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "lorasched/cluster/capacity_ledger.h"
+#include "lorasched/cluster/cluster.h"
+#include "lorasched/cluster/energy.h"
+#include "lorasched/core/pdftsp.h"
+#include "lorasched/service/bid_queue.h"
+#include "lorasched/shard/price_board.h"
+#include "lorasched/sim/policy.h"
+#include "lorasched/types.h"
+#include "lorasched/workload/task.h"
+#include "lorasched/workload/vendor.h"
+
+namespace lorasched::shard {
+
+/// Builds one shard's policy over the shard's own sub-cluster. Invoked once
+/// per shard; the cluster reference stays valid for the policy's lifetime.
+using PolicyFactory = std::function<std::unique_ptr<Policy>(
+    const Cluster& cluster, const EnergyModel& energy, Slot horizon)>;
+
+/// The standard factory: an independent pdFTSP auction per shard, all with
+/// the same pricing parameters. Per-shard duals evolve from each shard's
+/// own admission stream.
+[[nodiscard]] PolicyFactory make_pdftsp_factory(PdftspConfig config);
+
+class ShardRunner {
+ public:
+  struct RoundResult {
+    Task task;
+    /// Schedule node ids are shard-local; remap through to_global().
+    Decision decision;
+    double decide_seconds = 0.0;
+  };
+
+  /// `members` are the shard's global node ids (ascending); the runner
+  /// copies their profiles into a private sub-cluster. `board` outlives the
+  /// runner; the runner publishes to entry `shard_id` only.
+  ShardRunner(int shard_id, const Cluster& fleet, std::vector<NodeId> members,
+              const EnergyModel& energy, const Marketplace& market,
+              Slot horizon, const PolicyFactory& factory, PriceBoard& board,
+              std::size_t inbox_capacity, bool time_decisions);
+  ~ShardRunner();
+
+  ShardRunner(const ShardRunner&) = delete;
+  ShardRunner& operator=(const ShardRunner&) = delete;
+
+  [[nodiscard]] int id() const noexcept { return shard_id_; }
+  [[nodiscard]] const Cluster& cluster() const noexcept { return cluster_; }
+  [[nodiscard]] const std::vector<NodeId>& to_global() const noexcept {
+    return to_global_;
+  }
+
+  /// Pre-blocks a shard-local node-slot (outage calendar). Call before the
+  /// first round or between rounds.
+  void block(NodeId local_node, Slot t);
+
+  // --- Round protocol (leader thread) -------------------------------------
+
+  /// Arms the runner for a decision round at `slot` expecting exactly
+  /// `expected` bids (> 0). Feed them with offer(), then wait_round().
+  void begin_round(Slot slot, std::size_t expected);
+
+  /// Feeds one bid into the armed round's inbox. May block briefly when the
+  /// inbox is full — the runner is draining concurrently, so it always
+  /// makes progress.
+  void offer(Task bid);
+
+  /// Blocks until the armed round completes; returns one result per offered
+  /// bid, in offer order. The reference stays valid until the next
+  /// begin_round().
+  [[nodiscard]] const std::vector<RoundResult>& wait_round();
+
+  /// Publishes the shard's price summary as of `from`: free capacity and
+  /// mean duals over slots [from, horizon). The runner publishes
+  /// automatically after every round (from = slot + 1); the leader calls
+  /// this for shards that sat a slot out, so the board's content is a pure
+  /// function of decision history — never of thread timing. Leader calls
+  /// are only safe while the runner is parked.
+  void publish(Slot from);
+
+  // --- Parked-state access (leader thread, between rounds only) -----------
+
+  [[nodiscard]] double booked_compute() const noexcept { return booked_; }
+  [[nodiscard]] const CapacityLedger& ledger() const noexcept {
+    return ledger_;
+  }
+  [[nodiscard]] std::vector<double> policy_state() const;
+  void restore_policy_state(const std::vector<double>& state);
+  [[nodiscard]] CapacityLedger::Snapshot ledger_snapshot() const {
+    return ledger_.snapshot();
+  }
+  void restore_ledger(const CapacityLedger::Snapshot& snapshot, double booked);
+
+  /// Adds this shard's reserved compute and total capacity to the running
+  /// sums, in exactly CapacityLedger::compute_utilization()'s accumulation
+  /// order — so a 1-shard service reproduces the monolithic utilization
+  /// float for float.
+  void accumulate_utilization(double& used, double& cap) const;
+
+ private:
+  void thread_main();
+  void decide_round(Slot slot, std::size_t expected);
+
+  enum class Command { kIdle, kDecide, kStop };
+
+  const int shard_id_;
+  const Slot horizon_;
+  const bool time_decisions_;
+  std::vector<NodeId> to_global_;
+  std::vector<int> global_class_of_local_;  // local node -> fleet class id
+  Cluster cluster_;                         // the shard's private sub-cluster
+  const EnergyModel& energy_;
+  const Marketplace& market_;
+  CapacityLedger ledger_;
+  std::unique_ptr<Policy> policy_;
+  const Pdftsp* pdftsp_ = nullptr;  // non-null iff the policy is a Pdftsp
+  PriceBoard& board_;
+  service::BidQueue inbox_;
+  double booked_ = 0.0;
+
+  mutable std::mutex mutex_;
+  std::condition_variable command_cv_;
+  std::condition_variable done_cv_;
+  Command command_ = Command::kIdle;
+  Slot round_slot_ = 0;
+  std::size_t round_expected_ = 0;
+  bool round_done_ = false;
+  /// A throw inside the round (policy/validation bug) parks here and is
+  /// rethrown to the leader from wait_round().
+  std::exception_ptr round_error_;
+  std::vector<RoundResult> results_;
+  std::thread worker_;
+};
+
+}  // namespace lorasched::shard

@@ -1,0 +1,451 @@
+#include "lorasched/shard/sharded_service.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+#include "lorasched/obs/span.h"
+#include "lorasched/service/slot_clock.h"
+#include "lorasched/sim/validator.h"
+#include "lorasched/util/timing.h"
+
+namespace lorasched::shard {
+
+namespace {
+
+/// Rewrites a shard-local schedule onto fleet node ids.
+Schedule to_fleet(Schedule schedule, const std::vector<NodeId>& to_global) {
+  for (Assignment& a : schedule.run) {
+    a.node = to_global[static_cast<std::size_t>(a.node)];
+  }
+  return schedule;
+}
+
+}  // namespace
+
+ShardedService::ShardedService(const Instance& env,
+                               const PolicyFactory& factory,
+                               ShardedConfig config)
+    : cluster_(env.cluster),
+      energy_(env.energy),
+      market_(env.market),
+      horizon_(env.horizon),
+      config_(config),
+      plan_(ShardPlanner::plan(cluster_, config.shards)),
+      board_(config.shards, cluster_.class_count()),
+      router_(RouterConfig{config.reroute_attempts, config.router_seed},
+              ShardPlanner::topology(cluster_, plan_)),
+      queue_(config.queue_capacity, config.backpressure) {
+  if (horizon_ <= 0) {
+    throw std::invalid_argument("service horizon must be positive");
+  }
+  owner_.assign(static_cast<std::size_t>(cluster_.node_count()), {-1, -1});
+  runners_.reserve(plan_.nodes.size());
+  for (std::size_t s = 0; s < plan_.nodes.size(); ++s) {
+    const std::vector<NodeId>& members = plan_.nodes[s];
+    for (std::size_t local = 0; local < members.size(); ++local) {
+      owner_[static_cast<std::size_t>(members[local])] = {
+          static_cast<int>(s), static_cast<NodeId>(local)};
+    }
+    runners_.push_back(std::make_unique<ShardRunner>(
+        static_cast<int>(s), cluster_, members, energy_, market_, horizon_,
+        factory, board_, config_.inbox_capacity, config_.time_decisions));
+  }
+  // Failure calendar, mapped into the owning shard's ledger — the union of
+  // the shard ledgers is exactly the monolithic service's blocked set.
+  for (const Outage& outage : env.outages) {
+    const auto [shard, local] = owner_[static_cast<std::size_t>(outage.node)];
+    for (Slot t = std::max<Slot>(0, outage.from);
+         t < std::min<Slot>(horizon_, outage.to); ++t) {
+      runners_[static_cast<std::size_t>(shard)]->block(local, t);
+    }
+  }
+  // Seed the board so slot-0 routing sees real free capacity, not the
+  // "nothing published" placeholder.
+  for (const auto& runner : runners_) runner->publish(0);
+}
+
+service::SubmitResult ShardedService::submit(const Task& bid) {
+  dirty_.store(true, std::memory_order_relaxed);
+  const service::SubmitResult result = queue_.submit(bid);
+  if (result == service::SubmitResult::kAccepted) metrics_.record_ingest();
+  return result;
+}
+
+void ShardedService::add_subscriber(service::DecisionSubscriber* subscriber) {
+  if (subscriber != nullptr) subscribers_.push_back(subscriber);
+}
+
+void ShardedService::reject_late(const Task& bid) {
+  TaskOutcome outcome;
+  outcome.task = bid.id;
+  outcome.bid = bid.bid;
+  outcome.true_value = bid.true_value;
+  outcome.arrival = bid.arrival;
+  sim_metrics_.add_rejected();
+  metrics_.record_rejected_late();
+  outcomes_.push_back(outcome);
+  schedules_.push_back(Schedule{});
+  for (service::DecisionSubscriber* sub : subscribers_) {
+    sub->on_rejected(outcome);
+  }
+}
+
+void ShardedService::pump() {
+  dirty_.store(true, std::memory_order_relaxed);
+  for (Task& bid : queue_.drain()) {
+    held_[bid.arrival].push_back(std::move(bid));
+  }
+}
+
+void ShardedService::step() {
+  if (finished_ || next_slot_ >= horizon_) {
+    throw std::logic_error("sharded service stepped past its horizon");
+  }
+  LORASCHED_SPAN("shard/step");
+  dirty_.store(true, std::memory_order_relaxed);
+  const Slot now = next_slot_;
+
+  const std::vector<Task> drained = queue_.drain();
+  const std::size_t queue_depth = queue_.depth();
+
+  // Identical batch assembly to AdmissionService::step() — a prerequisite
+  // for the 1-shard bit-identity guarantee.
+  std::vector<Task> batch;
+  for (auto it = held_.begin(); it != held_.end() && it->first <= now;
+       it = held_.erase(it)) {
+    for (Task& bid : it->second) batch.push_back(std::move(bid));
+  }
+  for (const Task& bid : drained) {
+    if (bid.arrival > now) {
+      held_[bid.arrival].push_back(bid);
+    } else {
+      batch.push_back(bid);
+    }
+  }
+  std::erase_if(batch, [&](const Task& bid) {
+    if (bid.arrival >= now) return false;
+    if (config_.late_bids == service::LateBidMode::kReject) {
+      reject_late(bid);
+      return true;
+    }
+    return false;
+  });
+  for (Task& bid : batch) bid.arrival = now;  // no-op except clamped bids
+
+  std::stable_sort(batch.begin(), batch.end(),
+                   [](const Task& a, const Task& b) { return a.id < b.id; });
+
+  decide_batch(now, batch, drained.size(), queue_depth);
+  ++next_slot_;
+}
+
+void ShardedService::decide_batch(Slot now, std::vector<Task>& batch,
+                                  std::size_t drained,
+                                  std::size_t queue_depth) {
+  double batch_seconds = 0.0;
+  if (!batch.empty()) {
+    const int shards = shard_count();
+    const util::Stopwatch watch;
+
+    // One consistent price read per slot; every ranking this slot uses it.
+    std::vector<PriceSnapshot> prices;
+    prices.reserve(static_cast<std::size_t>(shards));
+    for (int s = 0; s < shards; ++s) prices.push_back(board_.read(s));
+
+    struct Item {
+      Task task;
+      std::vector<int> ranking;
+      std::size_t choice = 0;  // index into ranking of the current offer
+      double decide_seconds = 0.0;
+    };
+    std::vector<Item> items;
+    items.reserve(batch.size());
+    for (Task& task : batch) {
+      Item item;
+      item.ranking = router_.rank(task, prices);
+      item.task = std::move(task);
+      items.push_back(std::move(item));
+    }
+
+    struct Final {
+      std::size_t item = 0;
+      int shard = -1;  // admitting shard; -1 = final reject
+      Decision decision;
+    };
+    std::vector<Final> finals;
+    finals.reserve(items.size());
+
+    // offers[s] = item indices this round, ascending (== ascending task id,
+    // the monolithic batch order within each shard's sub-batch).
+    std::vector<std::vector<std::size_t>> offers(
+        static_cast<std::size_t>(shards));
+    std::vector<char> touched(static_cast<std::size_t>(shards), 0);
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      offers[static_cast<std::size_t>(items[i].ranking[0])].push_back(i);
+    }
+
+    for (;;) {
+      bool any = false;
+      for (const auto& sub : offers) any = any || !sub.empty();
+      if (!any) break;
+
+      // Arm every shard with work *before* feeding any inbox: the runners
+      // drain concurrently, so sub-batches larger than the inbox capacity
+      // cannot deadlock, and the shards decide this round in parallel.
+      for (int s = 0; s < shards; ++s) {
+        const auto& sub = offers[static_cast<std::size_t>(s)];
+        if (sub.empty()) continue;
+        touched[static_cast<std::size_t>(s)] = 1;
+        runners_[static_cast<std::size_t>(s)]->begin_round(now, sub.size());
+      }
+      for (int s = 0; s < shards; ++s) {
+        for (const std::size_t i : offers[static_cast<std::size_t>(s)]) {
+          runners_[static_cast<std::size_t>(s)]->offer(items[i].task);
+        }
+      }
+
+      std::vector<std::vector<std::size_t>> next(
+          static_cast<std::size_t>(shards));
+      double round_critical = 0.0;
+      for (int s = 0; s < shards; ++s) {
+        const auto& sub = offers[static_cast<std::size_t>(s)];
+        if (sub.empty()) continue;
+        const auto& results =
+            runners_[static_cast<std::size_t>(s)]->wait_round();
+        double shard_seconds = 0.0;
+        for (std::size_t j = 0; j < results.size(); ++j) {
+          const ShardRunner::RoundResult& r = results[j];
+          shard_seconds += r.decide_seconds;
+          Item& item = items[sub[j]];
+          item.decide_seconds += r.decide_seconds;
+          if (r.decision.admit) {
+            if (item.choice > 0) ++reroute_admits_;
+            finals.push_back(Final{sub[j], s, r.decision});
+          } else {
+            ++item.choice;
+            const bool more =
+                item.choice <=
+                    static_cast<std::size_t>(config_.reroute_attempts) &&
+                item.choice < item.ranking.size();
+            if (more) {
+              if (item.choice == 1) ++rerouted_bids_;
+              next[static_cast<std::size_t>(item.ranking[item.choice])]
+                  .push_back(sub[j]);
+            } else {
+              finals.push_back(Final{sub[j], -1, r.decision});
+            }
+          }
+        }
+        round_critical = std::max(round_critical, shard_seconds);
+      }
+      critical_seconds_ += round_critical;
+      offers.swap(next);
+    }
+    batch_seconds = watch.seconds();
+
+    // The service's irrevocable decision order: ascending task id within
+    // the slot, exactly the monolithic batch order.
+    std::sort(finals.begin(), finals.end(), [&](const Final& a,
+                                                const Final& b) {
+      return items[a.item].task.id < items[b.item].task.id;
+    });
+
+    for (Final& f : finals) {
+      const Item& item = items[f.item];
+      const Task& task = item.task;
+      TaskOutcome outcome;
+      outcome.task = task.id;
+      outcome.bid = task.bid;
+      outcome.true_value = task.true_value;
+      outcome.arrival = task.arrival;
+      outcome.decide_seconds = item.decide_seconds;
+      if (f.shard >= 0) {
+        Schedule schedule = to_fleet(
+            std::move(f.decision.schedule),
+            runners_[static_cast<std::size_t>(f.shard)]->to_global());
+        // The runner validated against its sub-cluster; re-check against
+        // the fleet to pin the id remap (profiles are identical copies, so
+        // a correct remap can never fail here).
+        require_valid_schedule(task, schedule, cluster_, horizon_);
+        outcome.admitted = true;
+        outcome.payment = f.decision.payment;
+        outcome.vendor = schedule.vendor;
+        outcome.vendor_cost = schedule.vendor_price;
+        outcome.energy_cost = schedule.energy_cost;
+        outcome.completion = schedule.completion_slot();
+        outcome.slots_used = static_cast<int>(schedule.run.size());
+        for (std::size_t r = 1; r < schedule.run.size(); ++r) {
+          if (schedule.run[r].slot != schedule.run[r - 1].slot + 1) {
+            ++outcome.preemptions;
+          }
+        }
+        booked_compute_ += schedule.total_compute;
+        sim_metrics_.add_admitted(outcome);
+        metrics_.record_admitted();
+        for (service::DecisionSubscriber* sub : subscribers_) {
+          sub->on_admitted(outcome, schedule);
+          sub->on_payment(task.id, f.decision.payment);
+        }
+        outcomes_.push_back(outcome);
+        schedules_.push_back(std::move(schedule));
+      } else {
+        sim_metrics_.add_rejected();
+        metrics_.record_rejected();
+        for (service::DecisionSubscriber* sub : subscribers_) {
+          sub->on_rejected(outcome);
+        }
+        outcomes_.push_back(outcome);
+        schedules_.push_back(Schedule{});
+      }
+    }
+
+    // Shards that sat the slot out republish under the leader, so the
+    // board's content after every slot is a pure function of decision
+    // history — a restored service reproduces it exactly.
+    for (int s = 0; s < shards; ++s) {
+      if (touched[static_cast<std::size_t>(s)] == 0) {
+        runners_[static_cast<std::size_t>(s)]->publish(now + 1);
+      }
+    }
+  }
+
+  service::SlotReport report;
+  report.slot = now;
+  report.drained = drained;
+  report.batch = batch.size();
+  std::size_t held = 0;
+  for (const auto& [slot, bids] : held_) held += bids.size();
+  report.pending = held;
+  report.queue_depth = queue_depth;
+  report.decide_seconds = batch_seconds;
+  metrics_.record_slot(report, batch.empty() || !config_.time_decisions
+                                   ? 0.0
+                                   : batch_seconds /
+                                         static_cast<double>(batch.size()));
+  for (service::DecisionSubscriber* sub : subscribers_) {
+    sub->on_slot_end(report);
+  }
+}
+
+void ShardedService::run(std::chrono::nanoseconds slot_period) {
+  const service::SlotClock clock(slot_period);
+  while (next_slot_ < horizon_) {
+    if (!idle()) clock.wait_slot_end(next_slot_);
+    step();
+  }
+}
+
+SimResult ShardedService::finish() {
+  if (!done()) {
+    throw std::logic_error("finish() before the horizon completed");
+  }
+  if (finished_) {
+    throw std::logic_error("finish() called twice");
+  }
+  finished_ = true;
+
+  // Conservation, twice: each shard's ledger against its own bookings, and
+  // the shard sum against the service's aggregate.
+  double ledger_compute = 0.0;
+  for (const auto& runner : runners_) {
+    const CapacityLedger& ledger = runner->ledger();
+    double shard_compute = 0.0;
+    for (NodeId k = 0; k < ledger.node_count(); ++k) {
+      for (Slot t = 0; t < horizon_; ++t) {
+        shard_compute += ledger.used_compute(k, t);
+      }
+    }
+    if (std::abs(shard_compute - runner->booked_compute()) >
+        1e-6 * std::max(1.0, runner->booked_compute())) {
+      throw std::logic_error(
+          "shard ledger bookings do not match admitted schedules "
+          "(policy bug)");
+    }
+    ledger_compute += shard_compute;
+  }
+  if (std::abs(ledger_compute - booked_compute_) >
+      1e-6 * std::max(1.0, booked_compute_)) {
+    throw std::logic_error(
+        "aggregate ledger bookings do not match admitted schedules");
+  }
+
+  SimResult result;
+  result.metrics = sim_metrics_;
+  double used = 0.0;
+  double cap = 0.0;
+  for (const auto& runner : runners_) {
+    runner->accumulate_utilization(used, cap);
+  }
+  result.metrics.utilization = cap > 0.0 ? used / cap : 0.0;
+  result.outcomes = std::move(outcomes_);
+  result.schedules = std::move(schedules_);
+  return result;
+}
+
+ShardedCheckpoint ShardedService::checkpoint() const {
+  ShardedCheckpoint cp;
+  cp.next_slot = next_slot_;
+  cp.horizon = horizon_;
+  cp.shards = shard_count();
+  cp.router_seed = config_.router_seed;
+  cp.reroute_attempts = config_.reroute_attempts;
+  cp.booked_compute = booked_compute_;
+  cp.shard_states.reserve(runners_.size());
+  for (const auto& runner : runners_) {
+    ShardState state;
+    state.booked_compute = runner->booked_compute();
+    state.policy_state = runner->policy_state();
+    state.ledger = runner->ledger_snapshot();
+    cp.shard_states.push_back(std::move(state));
+  }
+  for (const auto& [slot, bids] : held_) {
+    cp.pending.insert(cp.pending.end(), bids.begin(), bids.end());
+  }
+  const std::vector<Task> queued = queue_.peek();
+  cp.pending.insert(cp.pending.end(), queued.begin(), queued.end());
+  cp.outcomes = outcomes_;
+  cp.schedules = schedules_;
+  cp.metrics = sim_metrics_;
+  return cp;
+}
+
+void ShardedService::restore(const ShardedCheckpoint& checkpoint) {
+  if (dirty_.load(std::memory_order_relaxed) || finished_) {
+    throw std::logic_error("restore() requires a fresh service");
+  }
+  if (checkpoint.horizon != horizon_) {
+    throw std::invalid_argument("checkpoint horizon mismatch");
+  }
+  if (checkpoint.next_slot < 0 || checkpoint.next_slot > horizon_) {
+    throw std::invalid_argument("checkpoint slot out of range");
+  }
+  if (checkpoint.shards != shard_count() ||
+      checkpoint.shard_states.size() != runners_.size()) {
+    throw std::invalid_argument("checkpoint shard count mismatch");
+  }
+  if (checkpoint.router_seed != config_.router_seed ||
+      checkpoint.reroute_attempts != config_.reroute_attempts) {
+    throw std::invalid_argument("checkpoint router config mismatch");
+  }
+  for (std::size_t s = 0; s < runners_.size(); ++s) {
+    const ShardState& state = checkpoint.shard_states[s];
+    runners_[s]->restore_policy_state(state.policy_state);
+    runners_[s]->restore_ledger(state.ledger, state.booked_compute);
+  }
+  next_slot_ = checkpoint.next_slot;
+  booked_compute_ = checkpoint.booked_compute;
+  sim_metrics_ = checkpoint.metrics;
+  outcomes_ = checkpoint.outcomes;
+  schedules_ = checkpoint.schedules;
+  held_.clear();
+  for (const Task& bid : checkpoint.pending) {
+    held_[bid.arrival].push_back(bid);
+  }
+  // Re-publish the board exactly as the original service last did (its
+  // final act of slot next_slot-1 published from = next_slot everywhere).
+  for (const auto& runner : runners_) runner->publish(next_slot_);
+}
+
+}  // namespace lorasched::shard

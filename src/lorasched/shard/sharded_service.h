@@ -1,0 +1,213 @@
+// ShardedService — the sharded drop-in for service::AdmissionService
+// (DESIGN.md §10): the same ingestion edge (BidQueue, backpressure,
+// late-bid policy), the same DecisionSubscriber contract and SimResult
+// accounting, but decisions are made by K independent pdFTSP shards, each
+// with its own dual grids, capacity ledger, and decision thread.
+//
+// Per slot the leader (the thread calling step()/run()):
+//   1. assembles the slot batch exactly like the monolithic service
+//      (held-bid merge, late-bid policy, stable sort by task id);
+//   2. reads every shard's published price summary once and ranks the
+//      shards per bid (Router);
+//   3. round 0: offers each bid to its first-choice shard; all shards with
+//      work decide their sub-batches concurrently;
+//   4. rounds 1..R: bids a shard rejected are re-offered to the next shard
+//      in their ranking ("second chance") until admitted, out of
+//      alternatives, or reroute_attempts is exhausted;
+//   5. emits outcomes sorted by task id — schedules re-mapped to fleet node
+//      ids — and publishes fresh prices for shards that sat the slot out.
+//
+// Determinism: routing uses only the previous slot's published prices, the
+// bid, and the router seed; per-shard batches are decided sequentially on
+// the shard's thread; price publication points are fixed by the protocol.
+// Two runs with the same environment, bid stream, and config produce
+// identical decisions regardless of thread scheduling — and a 1-shard
+// service is bit-identical to the monolithic AdmissionService over the
+// same policy configuration (pinned by test_shard).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "lorasched/cluster/cluster.h"
+#include "lorasched/cluster/energy.h"
+#include "lorasched/obs/registry.h"
+#include "lorasched/service/admission_service.h"
+#include "lorasched/service/bid_queue.h"
+#include "lorasched/service/service_metrics.h"
+#include "lorasched/service/subscriber.h"
+#include "lorasched/shard/price_board.h"
+#include "lorasched/shard/router.h"
+#include "lorasched/shard/shard_planner.h"
+#include "lorasched/shard/shard_runner.h"
+#include "lorasched/shard/sharded_checkpoint.h"
+#include "lorasched/sim/instance.h"
+#include "lorasched/sim/metrics.h"
+#include "lorasched/types.h"
+#include "lorasched/workload/task.h"
+#include "lorasched/workload/vendor.h"
+
+namespace lorasched::shard {
+
+struct ShardedConfig {
+  /// Number of shards K (1..node count). K=1 reproduces the monolithic
+  /// service bit for bit.
+  int shards = 1;
+  /// Second-chance budget: additional shards a rejected bid is re-offered
+  /// to before the reject becomes final.
+  int reroute_attempts = 1;
+  /// Router tie-break seed (see RouterConfig::seed).
+  std::uint64_t router_seed = 0;
+  /// Ingestion edge, identical semantics to ServiceConfig.
+  std::size_t queue_capacity = 1024;
+  service::BackpressureMode backpressure = service::BackpressureMode::kBlock;
+  service::LateBidMode late_bids = service::LateBidMode::kReject;
+  bool time_decisions = true;
+  /// Capacity of each shard's inbox; sub-batches larger than this still
+  /// work (the runner drains while the leader feeds).
+  std::size_t inbox_capacity = 1024;
+};
+
+class ShardedService {
+ public:
+  /// Serves env's environment (cluster, energy, marketplace, horizon,
+  /// outages — all copied; env.tasks is ignored, bids arrive via submit()).
+  /// `factory` builds one policy per shard over the shard's sub-cluster.
+  ShardedService(const Instance& env, const PolicyFactory& factory,
+                 ShardedConfig config = {});
+
+  ShardedService(const ShardedService&) = delete;
+  ShardedService& operator=(const ShardedService&) = delete;
+
+  // --- Producer side (thread-safe) ----------------------------------------
+
+  service::SubmitResult submit(const Task& bid);
+  void close() { queue_.close(); }
+
+  // --- Consumer side (single leader thread) --------------------------------
+
+  /// Register before the first step (the slot loop reads the list
+  /// unlocked). Callbacks fire on the leader thread, outcomes sorted by
+  /// task id within each slot.
+  void add_subscriber(service::DecisionSubscriber* subscriber);
+
+  /// Decides the current slot across the shards, then advances it. Throws
+  /// std::logic_error on policy contract violations (rethrown from the
+  /// offending shard's thread) or when already past the horizon.
+  void step();
+
+  /// Absorbs queued bids into the held-bid map without deciding (offline
+  /// replay of streams longer than the queue; see AdmissionService::pump).
+  void pump();
+
+  /// Drives step() to the horizon, pacing by `slot_period` (zero = as fast
+  /// as possible); fast-forwards once closed and idle.
+  void run(std::chrono::nanoseconds slot_period);
+
+  [[nodiscard]] Slot current_slot() const noexcept { return next_slot_; }
+  [[nodiscard]] Slot horizon() const noexcept { return horizon_; }
+  [[nodiscard]] bool done() const noexcept { return next_slot_ >= horizon_; }
+  [[nodiscard]] bool idle() const noexcept {
+    return queue_.closed() && queue_.depth() == 0 && held_.empty();
+  }
+
+  /// Terminal accounting: per-shard and aggregate ledger-vs-bookings
+  /// cross-checks, fleet utilization, accumulated SimResult. Requires
+  /// done(); call once.
+  [[nodiscard]] SimResult finish();
+
+  // --- Checkpoint / restore ------------------------------------------------
+
+  /// Snapshot of the full decision state of all K shards plus the service's
+  /// accounting and undecided bids. Take it between slots on the leader
+  /// thread (every runner is parked then).
+  [[nodiscard]] ShardedCheckpoint checkpoint() const;
+
+  /// Rewinds a *fresh* service (no submits, no steps) to the checkpointed
+  /// state. The environment, policy factory, and sharding/router config
+  /// must match; throws std::invalid_argument otherwise.
+  void restore(const ShardedCheckpoint& checkpoint);
+
+  // --- Introspection -------------------------------------------------------
+
+  [[nodiscard]] const service::BidQueue& queue() const noexcept {
+    return queue_;
+  }
+  [[nodiscard]] service::MetricsSnapshot metrics() const {
+    return metrics_.snapshot();
+  }
+  [[nodiscard]] obs::MetricsRegistry& registry() noexcept {
+    return metrics_.registry();
+  }
+  [[nodiscard]] const ShardPlan& plan() const noexcept { return plan_; }
+  [[nodiscard]] const Router& router() const noexcept { return router_; }
+  [[nodiscard]] const PriceBoard& price_board() const noexcept {
+    return board_;
+  }
+  [[nodiscard]] int shard_count() const noexcept {
+    return static_cast<int>(runners_.size());
+  }
+
+  /// Sum over slots and re-offer rounds of the slowest shard's decision
+  /// time in that round — the decision latency a K-thread deployment pays
+  /// per slot (shards within a round run concurrently; rounds are
+  /// sequential). Requires time_decisions; bench/micro_shard reports
+  /// throughput against this alongside wall clock, which on a single-core
+  /// host serializes the shards and hides the parallel speedup.
+  [[nodiscard]] double critical_path_seconds() const noexcept {
+    return critical_seconds_;
+  }
+
+  /// Bids that were admitted by a shard other than their first choice —
+  /// welfare the second chance recovered. Subset of rerouted_bids().
+  [[nodiscard]] std::uint64_t reroute_admits() const noexcept {
+    return reroute_admits_;
+  }
+  /// Bids re-offered at least once.
+  [[nodiscard]] std::uint64_t rerouted_bids() const noexcept {
+    return rerouted_bids_;
+  }
+
+ private:
+  void decide_batch(Slot now, std::vector<Task>& batch, std::size_t drained,
+                    std::size_t queue_depth);
+  void reject_late(const Task& bid);
+
+  Cluster cluster_;
+  EnergyModel energy_;
+  Marketplace market_;
+  Slot horizon_;
+  ShardedConfig config_;
+
+  ShardPlan plan_;
+  PriceBoard board_;
+  Router router_;
+  /// owner_[global node] = (shard, local id) — outage mapping.
+  std::vector<std::pair<int, NodeId>> owner_;
+  std::vector<std::unique_ptr<ShardRunner>> runners_;
+
+  service::BidQueue queue_;
+  service::ServiceMetrics metrics_;
+  std::vector<service::DecisionSubscriber*> subscribers_;
+
+  std::map<Slot, std::vector<Task>> held_;
+  Slot next_slot_ = 0;
+  bool finished_ = false;
+  std::atomic<bool> dirty_{false};
+  double booked_compute_ = 0.0;
+  double critical_seconds_ = 0.0;
+  std::uint64_t reroute_admits_ = 0;
+  std::uint64_t rerouted_bids_ = 0;
+
+  Metrics sim_metrics_;
+  std::vector<TaskOutcome> outcomes_;
+  std::vector<Schedule> schedules_;
+};
+
+}  // namespace lorasched::shard

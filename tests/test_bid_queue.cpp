@@ -110,6 +110,46 @@ TEST(BidQueue, CloseWakesBlockedProducers) {
   EXPECT_EQ(queue.accepted_total(), 1u);
 }
 
+// close() must wake *every* producer parked on a full queue at once — a
+// notify_one here strands all but one forever — and the bids that were
+// already queued must stay drainable after the close.
+TEST(BidQueue, CloseWakesEveryBlockedProducerAndKeepsQueuedBids) {
+  constexpr int kProducers = 8;
+  BidQueue queue(2, BackpressureMode::kBlock);
+  ASSERT_EQ(queue.submit(bid(100)), SubmitResult::kAccepted);
+  ASSERT_EQ(queue.submit(bid(101)), SubmitResult::kAccepted);
+
+  std::atomic<int> rejected_closed{0};
+  std::atomic<int> other_results{0};
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      const auto result = queue.submit(bid(static_cast<TaskId>(p)));
+      if (result == SubmitResult::kRejectedClosed) {
+        ++rejected_closed;
+      } else {
+        ++other_results;
+      }
+    });
+  }
+  // Give every producer a moment to park on the full queue, then close
+  // without draining. No producer may stay blocked past the close.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  queue.close();
+  for (auto& t : producers) t.join();
+
+  EXPECT_EQ(rejected_closed.load(), kProducers);
+  EXPECT_EQ(other_results.load(), 0);
+  EXPECT_EQ(queue.accepted_total(), 2u);
+
+  // The close sheds waiters, not work: the queued bids still drain.
+  const auto drained = queue.drain();
+  ASSERT_EQ(drained.size(), 2u);
+  EXPECT_EQ(drained[0].id, 100);
+  EXPECT_EQ(drained[1].id, 101);
+  EXPECT_EQ(queue.depth(), 0u);
+}
+
 TEST(BidQueue, MultiProducerStressLosesNothing) {
   constexpr int kProducers = 8;
   constexpr int kPerProducer = 2000;

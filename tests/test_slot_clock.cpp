@@ -1,0 +1,66 @@
+// SlotClock drift regression: slot boundaries are absolute (epoch +
+// (t+1)·period), so per-slot decision work must never accumulate into the
+// pacing. A relative-sleep clock ("sleep period after finishing the
+// batch") drifts by the callback cost every slot; this pins the
+// sleep_until contract.
+#include "lorasched/service/slot_clock.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+#include "lorasched/util/timing.h"
+
+namespace lorasched::service {
+namespace {
+
+using std::chrono::milliseconds;
+
+void busy_wait(milliseconds duration) {
+  const auto start = util::MonoClock::now();
+  while (util::MonoClock::now() - start < duration) {
+    // spin — a sleeping callback would not expose relative-sleep drift
+  }
+}
+
+TEST(SlotClock, BusySlotCallbacksDoNotAccumulateDrift) {
+  constexpr Slot kSlots = 20;
+  const milliseconds period(10);
+  const milliseconds busy(5);  // half a period of decision work per slot
+
+  const SlotClock clock(period);
+  for (Slot t = 0; t < kSlots; ++t) {
+    clock.wait_slot_end(t);
+    busy_wait(busy);  // the slot's decision batch
+  }
+  const auto elapsed = util::MonoClock::now() - clock.epoch();
+
+  // Absolute boundaries absorb the busy work: total ≈ kSlots·period (plus
+  // the final callback). A drifting clock would need at least
+  // kSlots·(period + busy) = 300 ms; leave generous scheduler headroom
+  // below that.
+  EXPECT_GE(elapsed, period * kSlots);
+  EXPECT_LT(elapsed, period * kSlots + milliseconds(60));
+  EXPECT_GE(clock.now(), kSlots);
+}
+
+TEST(SlotClock, ZeroPeriodNeverBlocks) {
+  const SlotClock clock(milliseconds(0));
+  const auto start = util::MonoClock::now();
+  clock.wait_slot_end(1'000'000);
+  EXPECT_LT(util::MonoClock::now() - start, milliseconds(5));
+  EXPECT_EQ(clock.now(), 0);
+}
+
+TEST(SlotClock, PastBoundariesReturnImmediately) {
+  const SlotClock clock(milliseconds(5));
+  busy_wait(milliseconds(12));  // slots 0 and 1 are already over
+  const auto start = util::MonoClock::now();
+  clock.wait_slot_end(0);
+  clock.wait_slot_end(1);
+  EXPECT_LT(util::MonoClock::now() - start, milliseconds(4));
+  EXPECT_GE(clock.now(), 2);
+}
+
+}  // namespace
+}  // namespace lorasched::service
