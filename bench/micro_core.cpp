@@ -3,12 +3,59 @@
 // per-task pdFTSP decision, the simplex solver, a price-scale ablation
 // of end-to-end welfare (the DESIGN.md §5 knob), and the raw cost of a
 // LORASCHED_SPAN in its disabled and enabled states.
+//
+// With --json-out the binary instead runs the price-cache A/B harness
+// (DESIGN.md §5): the fig08 paper-scale cell replayed through the legacy
+// (price_cache = false), cached, and cached + parallel-candidate arms,
+// cross-checked bit-identical via an outcome fingerprint, measuring
+// decisions/sec and steady-state allocations per ScheduleDp::find via the
+// global operator new hook below. Emits BENCH_core.json (CI artifact):
+//
+//   ./micro_core --json-out BENCH_core.json
 #include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <new>
+#include <stdexcept>
+#include <string>
+#include <string_view>
 
 #include "lorasched/core/pdftsp.h"
 #include "lorasched/experiments/runner.h"
+#include "lorasched/obs/json.h"
 #include "lorasched/obs/span.h"
 #include "lorasched/solver/simplex.h"
+#include "lorasched/util/cli.h"
+
+// --- Allocation-counting hook ------------------------------------------------
+// Counts every global operator new in the process; the A/B harness diffs
+// the counter around steady-state find() calls to pin "0 allocations per
+// decision". Counting only (no interposed allocator): the hot path's claim
+// is about call counts, not bytes.
+namespace {
+std::atomic<std::uint64_t> g_alloc_count{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
 namespace lorasched {
 namespace {
@@ -131,7 +178,315 @@ void BM_SpanCost(benchmark::State& state) {
 }
 BENCHMARK(BM_SpanCost)->Arg(0)->Arg(1);
 
+// --- Price-cache A/B harness (--json-out) -----------------------------------
+
+/// FNV-1a over the replay's decisions: admit bit, payment bits, and every
+/// (node, slot) of the admitted run. Any divergence between arms — placement,
+/// pricing, or admission — changes the digest.
+struct Fingerprint {
+  std::uint64_t hash = 1469598103934665603ull;
+  void mix(std::uint64_t value) {
+    hash ^= value;
+    hash *= 1099511628211ull;
+  }
+  void mix_double(double value) {
+    std::uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(value));
+    std::memcpy(&bits, &value, sizeof(bits));
+    mix(bits);
+  }
+  void mix_decision(const Decision& d) {
+    mix(static_cast<std::uint64_t>(d.task));
+    mix(d.admit ? 1 : 0);
+    mix_double(d.payment);
+    if (d.admit) {
+      mix(static_cast<std::uint64_t>(d.schedule.vendor) + 7);
+      for (const Assignment& a : d.schedule.run) {
+        mix(static_cast<std::uint64_t>(a.node));
+        mix(static_cast<std::uint64_t>(a.slot));
+      }
+    }
+  }
+};
+
+struct FindArm {
+  std::string label;
+  std::uint64_t calls = 0;
+  double wall_seconds = 0.0;
+  std::uint64_t steady_calls = 0;
+  std::uint64_t steady_allocs = 0;
+  std::uint64_t fingerprint = 0;
+
+  [[nodiscard]] double finds_per_sec() const {
+    return wall_seconds > 0.0 ? static_cast<double>(calls) / wall_seconds : 0.0;
+  }
+  [[nodiscard]] double allocs_per_find() const {
+    return steady_calls > 0
+               ? static_cast<double>(steady_allocs) /
+                     static_cast<double>(steady_calls)
+               : 0.0;
+  }
+};
+
+/// Kernel-level A/B: replay the instance's bids through bare
+/// ScheduleDp::find under moving duals (an eq. 7/8 update every
+/// `admit_every`-th feasible plan, mimicking pdFTSP's admission cadence),
+/// with one warmup lap to grow the arena before allocations are counted.
+FindArm run_find_arm(const Instance& instance, bool price_cache,
+                     std::string label, std::size_t max_bids,
+                     int admit_every) {
+  FindArm arm;
+  arm.label = std::move(label);
+  ScheduleDpConfig config;
+  config.price_cache = price_cache;
+  const ScheduleDp dp(instance.cluster, instance.energy, config);
+  DpScratch scratch;
+  Schedule plan;
+  Fingerprint digest;
+
+  const std::size_t bids = std::min(max_bids, instance.tasks.size());
+  DualState duals(instance.cluster.node_count(), instance.horizon);
+  for (int lap = 0; lap < 2; ++lap) {
+    const bool measured = lap == 1;
+    duals = DualState(instance.cluster.node_count(), instance.horizon);
+    int feasible = 0;
+    const auto started = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < bids; ++i) {
+      const Task& task = instance.tasks[i];
+      dp.find_into(plan, task, task.arrival, duals, scratch);
+      if (!plan.empty() && ++feasible % admit_every == 0) {
+        finalize_schedule(plan, task, instance.cluster, instance.energy);
+        duals.apply_update(task, plan, instance.cluster, 1.0, 1.0, 1.0);
+      }
+      if (measured) digest.mix(plan.empty() ? 0 : 1);
+    }
+    const auto stopped = std::chrono::steady_clock::now();
+    if (measured) {
+      arm.calls = bids;
+      arm.wall_seconds = std::chrono::duration<double>(stopped - started).count();
+      arm.fingerprint = digest.hash;
+    }
+  }
+  // Steady-state allocation window: prices frozen (runs of rejected bids
+  // between admissions — the common case eq. 7/8 creates), arena warm.
+  // This is the "0 allocations per find" claim the cached path makes.
+  const std::size_t steady = std::min<std::size_t>(512, bids);
+  for (std::size_t i = 0; i < steady; ++i) {  // warm the arena once more
+    const Task& task = instance.tasks[i];
+    dp.find_into(plan, task, task.arrival, duals, scratch);
+  }
+  const std::uint64_t allocs_before =
+      g_alloc_count.load(std::memory_order_relaxed);
+  for (std::size_t i = 0; i < steady; ++i) {
+    const Task& task = instance.tasks[i];
+    dp.find_into(plan, task, task.arrival, duals, scratch);
+  }
+  arm.steady_calls = steady;
+  arm.steady_allocs =
+      g_alloc_count.load(std::memory_order_relaxed) - allocs_before;
+  return arm;
+}
+
+struct DecisionArm {
+  std::string label;
+  std::uint64_t decisions = 0;
+  double wall_seconds = 0.0;
+  std::uint64_t admitted = 0;
+  double welfare = 0.0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t fingerprint = 0;
+
+  [[nodiscard]] double decisions_per_sec() const {
+    return wall_seconds > 0.0
+               ? static_cast<double>(decisions) / wall_seconds
+               : 0.0;
+  }
+  [[nodiscard]] double hit_rate() const {
+    const double total = static_cast<double>(cache_hits + cache_misses);
+    return total > 0.0 ? static_cast<double>(cache_hits) / total : 0.0;
+  }
+};
+
+/// Decision-level A/B: full Alg. 1 replay (vendor loop + DP + pricing +
+/// booking) of every bid, exactly as Pdftsp::on_slot processes a batch.
+DecisionArm run_decision_arm(const Instance& instance, bool price_cache,
+                             int parallel_candidates, std::string label) {
+  DecisionArm arm;
+  arm.label = std::move(label);
+  PdftspConfig config = pdftsp_config_for(instance);
+  config.dp.price_cache = price_cache;
+  config.parallel_candidates = parallel_candidates;
+  Pdftsp policy(config, instance.cluster, instance.energy, instance.horizon);
+  CapacityLedger ledger(instance.cluster, instance.horizon);
+  for (const Outage& outage : instance.outages) {
+    for (Slot t = std::max<Slot>(0, outage.from);
+         t < std::min<Slot>(instance.horizon, outage.to); ++t) {
+      ledger.block(outage.node, t);
+    }
+  }
+  Fingerprint digest;
+  const auto started = std::chrono::steady_clock::now();
+  for (const Task& task : instance.tasks) {
+    Decision d = policy.handle_task(task, instance.market.quotes(task), ledger);
+    commit_decision(ledger, instance.cluster, task, d);
+    if (d.admit) {
+      ++arm.admitted;
+      arm.welfare += d.schedule.welfare_gain;
+    }
+    digest.mix_decision(d);
+  }
+  const auto stopped = std::chrono::steady_clock::now();
+  arm.decisions = instance.tasks.size();
+  arm.wall_seconds = std::chrono::duration<double>(stopped - started).count();
+  arm.cache_hits = policy.dp_cache_stats().hits;
+  arm.cache_misses = policy.dp_cache_stats().misses;
+  arm.fingerprint = digest.hash;
+  return arm;
+}
+
+int run_cache_ab(const util::Cli& cli) {
+  // Fig. 8 "high" cell at paper scale, same as bench/micro_shard: 100
+  // hybrid nodes, one day of 10-minute slots, Poisson arrivals at mean 80
+  // bids per slot.
+  ScenarioConfig config;
+  config.nodes = static_cast<int>(cli.get_int("nodes", 100));
+  config.fleet = FleetKind::kHybrid;
+  config.horizon = static_cast<Slot>(cli.get_int("horizon", 144));
+  config.arrival_rate = cli.get_double("rate", 80.0);
+  config.seed = static_cast<std::uint64_t>(cli.get_int("seed", 42));
+  const auto find_bids =
+      static_cast<std::size_t>(cli.get_int("find-bids", 4000));
+  const Instance instance = make_instance(config);
+
+  std::cout << "micro_core cache A/B: " << instance.tasks.size() << " bids, "
+            << config.nodes << " nodes (hybrid), horizon " << config.horizon
+            << "\n";
+
+  // Kernel level: bare ScheduleDp::find, admission-paced dual movement.
+  std::vector<FindArm> finds;
+  finds.push_back(
+      run_find_arm(instance, false, "find-uncached", find_bids, 16));
+  finds.push_back(run_find_arm(instance, true, "find-cached", find_bids, 16));
+  const FindArm& find_base = finds.front();
+  std::cout << "  arm            finds/s   speedup  allocs/find (steady)\n";
+  for (const FindArm& arm : finds) {
+    std::printf("  %-14s %8.0f %8.2fx %12.3f\n", arm.label.c_str(),
+                arm.finds_per_sec(),
+                find_base.finds_per_sec() > 0.0
+                    ? arm.finds_per_sec() / find_base.finds_per_sec()
+                    : 0.0,
+                arm.allocs_per_find());
+    if (arm.fingerprint != find_base.fingerprint) {
+      std::cerr << "error: find-level feasibility fingerprint diverged for "
+                << arm.label << "\n";
+      return 1;
+    }
+  }
+
+  // Decision level: full Alg. 1 replay.
+  std::vector<DecisionArm> decisions;
+  decisions.push_back(run_decision_arm(instance, false, 0, "uncached"));
+  decisions.push_back(run_decision_arm(instance, true, 0, "cached"));
+  decisions.push_back(
+      run_decision_arm(instance, true, 4, "cached+parallel"));
+  const DecisionArm& base = decisions.front();
+  std::cout << "  arm              decisions/s  speedup  admitted    welfare  "
+               "hit-rate\n";
+  for (const DecisionArm& arm : decisions) {
+    std::printf("  %-16s %11.0f %8.2fx %9llu %10.1f %9.3f\n",
+                arm.label.c_str(), arm.decisions_per_sec(),
+                base.decisions_per_sec() > 0.0
+                    ? arm.decisions_per_sec() / base.decisions_per_sec()
+                    : 0.0,
+                static_cast<unsigned long long>(arm.admitted), arm.welfare,
+                arm.hit_rate());
+    if (arm.fingerprint != base.fingerprint) {
+      std::cerr << "error: decisions diverged between arms (" << arm.label
+                << " vs " << base.label << ") — the cache is not bit-exact\n";
+      return 1;
+    }
+  }
+
+  if (cli.has("json-out")) {
+    obs::Json::Object doc;
+    doc["bench"] = obs::Json("micro_core");
+    obs::Json::Object cfg;
+    cfg["nodes"] = obs::Json(static_cast<double>(config.nodes));
+    cfg["horizon"] = obs::Json(static_cast<double>(config.horizon));
+    cfg["rate"] = obs::Json(config.arrival_rate);
+    cfg["seed"] = obs::Json(static_cast<double>(config.seed));
+    cfg["bids"] = obs::Json(static_cast<double>(instance.tasks.size()));
+    cfg["find_bids"] = obs::Json(static_cast<double>(find_bids));
+    doc["config"] = obs::Json(std::move(cfg));
+
+    obs::Json::Array find_rows;
+    for (const FindArm& arm : finds) {
+      obs::Json::Object row;
+      row["label"] = obs::Json(arm.label);
+      row["calls"] = obs::Json(static_cast<double>(arm.calls));
+      row["wall_seconds"] = obs::Json(arm.wall_seconds);
+      row["finds_per_sec"] = obs::Json(arm.finds_per_sec());
+      row["speedup_vs_uncached"] =
+          obs::Json(find_base.finds_per_sec() > 0.0
+                        ? arm.finds_per_sec() / find_base.finds_per_sec()
+                        : 0.0);
+      row["allocs_per_find_steady"] = obs::Json(arm.allocs_per_find());
+      find_rows.push_back(obs::Json(std::move(row)));
+    }
+    doc["find"] = obs::Json(std::move(find_rows));
+
+    obs::Json::Array decision_rows;
+    for (const DecisionArm& arm : decisions) {
+      obs::Json::Object row;
+      row["label"] = obs::Json(arm.label);
+      row["decisions"] = obs::Json(static_cast<double>(arm.decisions));
+      row["wall_seconds"] = obs::Json(arm.wall_seconds);
+      row["decisions_per_sec"] = obs::Json(arm.decisions_per_sec());
+      row["speedup_vs_uncached"] =
+          obs::Json(base.decisions_per_sec() > 0.0
+                        ? arm.decisions_per_sec() / base.decisions_per_sec()
+                        : 0.0);
+      row["admitted"] = obs::Json(static_cast<double>(arm.admitted));
+      row["welfare"] = obs::Json(arm.welfare);
+      row["cache_hits"] = obs::Json(static_cast<double>(arm.cache_hits));
+      row["cache_misses"] = obs::Json(static_cast<double>(arm.cache_misses));
+      row["cache_hit_rate"] = obs::Json(arm.hit_rate());
+      row["decisions_identical_to_uncached"] =
+          obs::Json(arm.fingerprint == base.fingerprint);
+      decision_rows.push_back(obs::Json(std::move(row)));
+    }
+    doc["decision"] = obs::Json(std::move(decision_rows));
+
+    std::ofstream out(cli.get("json-out", ""));
+    if (!out) throw std::runtime_error("cannot open json output file");
+    out << obs::Json(std::move(doc)).dump() << "\n";
+  }
+  return 0;
+}
+
 }  // namespace
 }  // namespace lorasched
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) try {
+  // --json-out selects the cache A/B harness; anything else runs the
+  // google-benchmark suite unchanged.
+  bool ab_mode = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]).rfind("--json-out", 0) == 0) ab_mode = true;
+  }
+  if (ab_mode) {
+    const lorasched::util::Cli cli(argc, argv);
+    cli.allow_only(
+        {"nodes", "rate", "horizon", "seed", "find-bids", "json-out"});
+    return lorasched::run_cache_ab(cli);
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+} catch (const std::exception& e) {
+  std::cerr << "error: " << e.what() << "\n";
+  return 1;
+}

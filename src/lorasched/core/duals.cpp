@@ -1,7 +1,9 @@
 #include "lorasched/core/duals.h"
 
 #include <algorithm>
+#include <atomic>
 #include <stdexcept>
+#include <utility>
 
 #include "lorasched/obs/span.h"
 
@@ -11,8 +13,13 @@
 
 namespace lorasched {
 
+std::uint64_t DualState::next_uid() noexcept {
+  static std::atomic<std::uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
 DualState::DualState(int nodes, Slot horizon)
-    : nodes_(nodes), horizon_(horizon) {
+    : nodes_(nodes), horizon_(horizon), uid_(next_uid()) {
   if (nodes <= 0 || horizon <= 0) {
     throw std::invalid_argument("dual state needs positive dimensions");
   }
@@ -20,6 +27,77 @@ DualState::DualState(int nodes, Slot horizon)
       static_cast<std::size_t>(nodes) * static_cast<std::size_t>(horizon);
   lambda_.assign(cells, 0.0);
   phi_.assign(cells, 0.0);
+}
+
+// Copies and moves reset the journal: the fresh uid forces a full snapshot
+// rebuild on first use anyway, so carrying the source's dirty history would
+// only risk a stale base epoch.
+DualState::DualState(const DualState& other)
+    : nodes_(other.nodes_),
+      horizon_(other.horizon_),
+      uid_(next_uid()),
+      epoch_(other.epoch_),
+      lambda_(other.lambda_),
+      phi_(other.phi_),
+      journal_base_epoch_(other.epoch_) {}
+
+DualState::DualState(DualState&& other) noexcept
+    : nodes_(other.nodes_),
+      horizon_(other.horizon_),
+      uid_(next_uid()),
+      epoch_(other.epoch_),
+      lambda_(std::move(other.lambda_)),
+      phi_(std::move(other.phi_)),
+      journal_base_epoch_(other.epoch_) {}
+
+DualState& DualState::operator=(const DualState& other) {
+  if (this != &other) {
+    nodes_ = other.nodes_;
+    horizon_ = other.horizon_;
+    lambda_ = other.lambda_;
+    phi_ = other.phi_;
+    // The grids changed wholesale: new identity, like load().
+    uid_ = next_uid();
+    epoch_ = other.epoch_;
+    journal_reset();
+  }
+  return *this;
+}
+
+DualState& DualState::operator=(DualState&& other) noexcept {
+  if (this != &other) {
+    nodes_ = other.nodes_;
+    horizon_ = other.horizon_;
+    lambda_ = std::move(other.lambda_);
+    phi_ = std::move(other.phi_);
+    uid_ = next_uid();
+    epoch_ = other.epoch_;
+    journal_reset();
+  }
+  return *this;
+}
+
+void DualState::journal_step(const std::uint32_t* cells, std::size_t count) {
+  if (journal_cells_.size() + count > kJournalCap) {
+    journal_reset();
+    return;
+  }
+  journal_cells_.insert(journal_cells_.end(), cells, cells + count);
+  journal_ends_.push_back(static_cast<std::uint32_t>(journal_cells_.size()));
+}
+
+bool DualState::dirty_cells_since(std::uint64_t since_epoch,
+                                  std::vector<std::uint32_t>& out) const {
+  if (since_epoch > epoch_) return false;  // not a state we ever had
+  if (since_epoch == epoch_) return true;  // nothing changed
+  if (since_epoch < journal_base_epoch_) return false;  // predates journal
+  const auto steps = static_cast<std::size_t>(epoch_ - journal_base_epoch_);
+  if (journal_ends_.size() != steps) return false;  // overflow gap
+  const auto skip =
+      static_cast<std::size_t>(since_epoch - journal_base_epoch_);
+  const std::uint32_t start = skip == 0 ? 0 : journal_ends_[skip - 1];
+  out.insert(out.end(), journal_cells_.begin() + start, journal_cells_.end());
+  return true;
 }
 
 double DualState::max_lambda(const Schedule& schedule) const {
@@ -46,6 +124,8 @@ void DualState::load(std::vector<double> lambda, std::vector<double> phi) {
   }
   lambda_ = std::move(lambda);
   phi_ = std::move(phi);
+  ++epoch_;
+  journal_reset();  // wholesale change — every cell is dirty
 }
 
 void DualState::apply_update(const Task& task, const Schedule& schedule,
@@ -60,6 +140,12 @@ void DualState::apply_update(const Task& task, const Schedule& schedule,
   // schedules there and the clamp enforces it for the stragglers, so the
   // capacity-control doubling argument always holds.
   const double b_bar = std::max(1.0, unit_welfare(schedule) / welfare_unit);
+  // Journal the touched cells inline (no temporary): an admission only
+  // moves prices on its own run, which is what lets the snapshot cache
+  // patch instead of rebuild.
+  const std::size_t journal_mark = journal_cells_.size();
+  const bool journal_fits =
+      journal_cells_.size() + schedule.run.size() <= kJournalCap;
   for (const Assignment& a : schedule.run) {
     // Normalized per-slot loads: cell capacity is 1 in these units.
     const double s_norm = schedule_rate(schedule, task, cluster, a.node) /
@@ -69,6 +155,16 @@ void DualState::apply_update(const Task& task, const Schedule& schedule,
     const std::size_t cell = index(a.node, a.slot);
     lambda_[cell] = lambda_[cell] * (1.0 + s_norm) + alpha * b_bar * s_norm;
     phi_[cell] = phi_[cell] * (1.0 + r_norm) + beta * b_bar * r_norm;
+    if (journal_fits) {
+      journal_cells_.push_back(static_cast<std::uint32_t>(cell));
+    }
+  }
+  ++epoch_;
+  if (journal_fits) {
+    journal_ends_.push_back(static_cast<std::uint32_t>(journal_cells_.size()));
+  } else {
+    journal_cells_.resize(journal_mark);
+    journal_reset();
   }
 #ifdef LORASCHED_AUDIT
   audit::check_dual_update(task, schedule, cluster, audit_pre_lambda,

@@ -16,6 +16,7 @@
 // behaviour the paper's analysis (and its experiments) rely on.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "lorasched/cluster/cluster.h"
@@ -29,8 +30,29 @@ class DualState {
  public:
   DualState(int nodes, Slot horizon);
 
+  // Copies and moves carry the price grids but receive a fresh identity:
+  // ScheduleDp's price-epoch cache keys snapshots on (uid, epoch), so two
+  // distinct live objects must never share a stamp (a cache built against
+  // the original would otherwise serve stale prices for the copy).
+  DualState(const DualState& other);
+  DualState(DualState&& other) noexcept;
+  DualState& operator=(const DualState& other);
+  DualState& operator=(DualState&& other) noexcept;
+
   [[nodiscard]] int node_count() const noexcept { return nodes_; }
   [[nodiscard]] Slot horizon() const noexcept { return horizon_; }
+
+  /// Process-unique identity of this object (fresh per construction, copy,
+  /// and move). Together with epoch() it stamps the exact price state.
+  [[nodiscard]] std::uint64_t uid() const noexcept { return uid_; }
+  /// Monotone per-object mutation counter: bumped by apply_update(),
+  /// load(), set_lambda(), and set_phi(). Consumers (the ScheduleDp
+  /// price-epoch cache) compare it to decide whether their snapshot of the
+  /// grids is still current — prices only move on admission (eq. 7/8), so
+  /// runs of rejected bids between admissions share one epoch. Mutation
+  /// requires external synchronization; epoch() is safe to read wherever
+  /// lambda()/phi() are.
+  [[nodiscard]] std::uint64_t epoch() const noexcept { return epoch_; }
 
   [[nodiscard]] double lambda(NodeId k, Slot t) const {
     return lambda_[index(k, t)];
@@ -47,8 +69,24 @@ class DualState {
   /// normalized-resource units ($ per node-slot fraction).
   void set_lambda(NodeId k, Slot t, double value) {
     lambda_[index(k, t)] = value;
+    ++epoch_;
+    journal_one(index(k, t));
   }
-  void set_phi(NodeId k, Slot t, double value) { phi_[index(k, t)] = value; }
+  void set_phi(NodeId k, Slot t, double value) {
+    phi_[index(k, t)] = value;
+    ++epoch_;
+    journal_one(index(k, t));
+  }
+
+  /// Incremental-snapshot support: appends to `out` the index() of every
+  /// cell mutated in epochs (since_epoch, epoch()] and returns true, or
+  /// returns false when the journal cannot cover that range (wholesale
+  /// mutation via load(), journal overflow, or since_epoch predating the
+  /// journal) — the caller must then treat every cell as dirty. Cells may
+  /// repeat; both grids share one index space (a logged cell means λ, φ, or
+  /// both moved there).
+  bool dirty_cells_since(std::uint64_t since_epoch,
+                         std::vector<std::uint32_t>& out) const;
 
   // --- Snapshot access (service checkpoint/restore) -----------------------
   // The flat price grids in (node-major, slot-minor) order. load() restores
@@ -79,10 +117,37 @@ class DualState {
            static_cast<std::size_t>(t);
   }
 
+  [[nodiscard]] static std::uint64_t next_uid() noexcept;
+
+  /// Appends one mutation step's dirty cells to the journal; resets the
+  /// journal (empty, based at the current epoch) past kJournalCap.
+  void journal_step(const std::uint32_t* cells, std::size_t count);
+  void journal_one(std::size_t cell) {
+    const auto c = static_cast<std::uint32_t>(cell);
+    journal_step(&c, 1);
+  }
+  void journal_reset() {
+    journal_base_epoch_ = epoch_;
+    journal_cells_.clear();
+    journal_ends_.clear();
+  }
+
   int nodes_;
   Slot horizon_;
+  std::uint64_t uid_;
+  std::uint64_t epoch_ = 0;
   std::vector<double> lambda_;
   std::vector<double> phi_;
+
+  /// Dirty-cell journal: journal_ends_[i] is the journal_cells_ prefix
+  /// length after the mutation that moved the epoch to
+  /// journal_base_epoch_ + i + 1. Bounded by kJournalCap (reset on
+  /// overflow); eq. 7/8 admissions touch only the schedule's cells, so in
+  /// steady state the snapshot cache patches those instead of rebuilding.
+  static constexpr std::size_t kJournalCap = 1u << 15;
+  std::uint64_t journal_base_epoch_ = 0;
+  std::vector<std::uint32_t> journal_cells_;
+  std::vector<std::uint32_t> journal_ends_;
 };
 
 /// F(il) — equation (10): the schedule's welfare gain minus the posted price

@@ -1,10 +1,12 @@
 #include "lorasched/core/pdftsp.h"
 
+#include <cstddef>
 #include <stdexcept>
 #include <utility>
 
 #include "lorasched/core/pricing.h"
 #include "lorasched/obs/span.h"
+#include "lorasched/util/threadpool.h"
 
 #ifdef LORASCHED_AUDIT
 #include "lorasched/audit/invariants.h"
@@ -24,7 +26,13 @@ Pdftsp::Pdftsp(PdftspConfig config, const Cluster& cluster,
     throw std::invalid_argument(
         "pdFTSP needs positive alpha, beta, and welfare_unit");
   }
+  if (config_.parallel_candidates > 1) {
+    pool_ = std::make_unique<util::ThreadPool>(
+        static_cast<std::size_t>(config_.parallel_candidates));
+  }
 }
+
+Pdftsp::~Pdftsp() = default;
 
 void Pdftsp::set_pricing(double alpha, double beta, double welfare_unit) {
   if (alpha <= 0.0 || beta <= 0.0 || welfare_unit <= 0.0) {
@@ -72,65 +80,94 @@ Pdftsp::Candidate Pdftsp::select_schedule(
   best.objective = -std::numeric_limits<double>::infinity();
   const SlotFilter filter = ledger != nullptr ? &not_blocked : nullptr;
 
-  auto consider_at_share = [&](VendorId vendor, Money vendor_price, Slot delay,
-                               double share) {
-    const Slot start = task.arrival + delay;
+  // Phase 1 — enumerate the (vendor, delay, share) candidate specs in the
+  // canonical order: per vendor, the task's own share first, then each
+  // distinct share option. The order is load-bearing — the strict-> best-of
+  // below keeps the *earliest* maximizer, and traces index into this list.
+  struct Spec {
+    VendorId vendor = kNoVendor;
+    Money vendor_price = 0.0;
+    Slot delay = 0;
+    double share = 0.0;  // 0 = the task's own compute share
+    Schedule schedule;
+    double objective = 0.0;
+    bool feasible = false;
+  };
+  std::vector<Spec> specs;
+  auto push_specs = [&](VendorId vendor, Money vendor_price, Slot delay) {
+    specs.push_back(Spec{vendor, vendor_price, delay, 0.0, {}, 0.0, false});
+    for (double share : config_.share_options) {
+      if (share > 0.0 && share != task.compute_share) {
+        specs.push_back(
+            Spec{vendor, vendor_price, delay, share, {}, 0.0, false});
+      }
+    }
+  };
+  if (task.needs_prep) {
+    // Constraint (4a): exactly one vendor must be chosen when f_i = 1.
+    for (std::size_t n = 0; n < quotes.size(); ++n) {
+      push_specs(static_cast<VendorId>(n), quotes[n].price, quotes[n].delay);
+    }
+  } else {
+    push_specs(kNoVendor, 0.0, 0);
+  }
+
+  // Phase 2 — run Alg. 2 per spec, concurrently when a pool is configured.
+  // Each DP reads the shared price snapshot and a thread_local scratch;
+  // finalize/objective are pure functions of the (const) duals, so every
+  // spec's result is independent of evaluation order and thread placement.
+  auto evaluate = [&](Spec& spec) {
+    const Slot start = task.arrival + spec.delay;
     Task effective = task;
-    if (share > 0.0) effective.compute_share = share;
-    Schedule candidate = dp_.find(effective, start, duals_, ledger, filter);
-    // Observation-only: record the Alg. 2 candidate (feasible or not)
-    // before the best-of comparison, so the trace shows every vendor's DP
-    // outcome, not just the winner's.
+    if (spec.share > 0.0) effective.compute_share = spec.share;
+    spec.schedule = dp_.find(effective, start, duals_, ledger, filter);
+    if (spec.schedule.empty()) return;
+    spec.feasible = true;
+    spec.schedule.vendor = spec.vendor;
+    spec.schedule.vendor_price = spec.vendor_price;
+    spec.schedule.prep_delay = spec.delay;
+    spec.schedule.share_override = spec.share > 0.0 ? spec.share : 0.0;
+    finalize_schedule(spec.schedule, task, cluster_, energy_);
+    spec.objective = objective_value(spec.schedule, duals_);
+  };
+  if (pool_ != nullptr && specs.size() > 1) {
+    util::parallel_for(*pool_, 0, specs.size(),
+                       [&](std::size_t i) { evaluate(specs[i]); });
+  } else {
+    for (Spec& spec : specs) evaluate(spec);
+  }
+
+  // Phase 3 — sequential reduction in spec order: trace entries (feasible
+  // or not — the trace shows every vendor's DP outcome, not just the
+  // winner's) and the strict-> comparison replay the serial loop exactly.
+  for (Spec& spec : specs) {
     obs::CandidateTrace* traced = nullptr;
     if (candidates != nullptr) {
       traced = &candidates->emplace_back();
-      traced->vendor = vendor;
-      traced->vendor_price = vendor_price;
-      traced->prep_delay = delay;
-      traced->share = share;
-      traced->feasible = !candidate.empty();
+      traced->vendor = spec.vendor;
+      traced->vendor_price = spec.vendor_price;
+      traced->prep_delay = spec.delay;
+      traced->share = spec.share;
+      traced->feasible = spec.feasible;
     }
-    if (candidate.empty()) return;
-    candidate.vendor = vendor;
-    candidate.vendor_price = vendor_price;
-    candidate.prep_delay = delay;
-    candidate.share_override = share > 0.0 ? share : 0.0;
-    finalize_schedule(candidate, task, cluster_, energy_);
-    const double objective = objective_value(candidate, duals_);
+    if (!spec.feasible) continue;
     if (traced != nullptr) {
-      traced->objective = objective;
-      traced->energy_cost = candidate.energy_cost;
-      traced->welfare_gain = candidate.welfare_gain;
-      traced->norm_compute = candidate.norm_compute;
-      traced->norm_mem = candidate.norm_mem;
-      traced->start = candidate.run.front().slot;
-      traced->completion = candidate.completion_slot();
-      traced->slots = static_cast<std::int32_t>(candidate.run.size());
+      traced->objective = spec.objective;
+      traced->energy_cost = spec.schedule.energy_cost;
+      traced->welfare_gain = spec.schedule.welfare_gain;
+      traced->norm_compute = spec.schedule.norm_compute;
+      traced->norm_mem = spec.schedule.norm_mem;
+      traced->start = spec.schedule.run.front().slot;
+      traced->completion = spec.schedule.completion_slot();
+      traced->slots = static_cast<std::int32_t>(spec.schedule.run.size());
     }
-    if (objective > best.objective) {
-      best.schedule = std::move(candidate);
-      best.objective = objective;
+    if (spec.objective > best.objective) {
+      best.schedule = std::move(spec.schedule);
+      best.objective = spec.objective;
       if (candidates != nullptr) {
         best.trace_index = static_cast<int>(candidates->size()) - 1;
       }
     }
-  };
-  auto consider = [&](VendorId vendor, Money vendor_price, Slot delay) {
-    consider_at_share(vendor, vendor_price, delay, 0.0);
-    for (double share : config_.share_options) {
-      if (share > 0.0 && share != task.compute_share) {
-        consider_at_share(vendor, vendor_price, delay, share);
-      }
-    }
-  };
-
-  if (task.needs_prep) {
-    // Constraint (4a): exactly one vendor must be chosen when f_i = 1.
-    for (std::size_t n = 0; n < quotes.size(); ++n) {
-      consider(static_cast<VendorId>(n), quotes[n].price, quotes[n].delay);
-    }
-  } else {
-    consider(kNoVendor, 0.0, 0);
   }
   if (best.schedule.empty()) best.objective = 0.0;
   return best;

@@ -11,6 +11,7 @@
 //     the pre-update duals.
 #pragma once
 
+#include <memory>
 #include <string_view>
 #include <vector>
 
@@ -24,6 +25,10 @@
 #include "lorasched/types.h"
 
 namespace lorasched {
+
+namespace util {
+class ThreadPool;
+}  // namespace util
 
 struct PdftspConfig {
   /// Lemma 2's capacity-control parameters in normalized units:
@@ -42,6 +47,14 @@ struct PdftspConfig {
   /// size. The best (vendor, share) candidate by F(il) wins; the chosen
   /// share is recorded as Schedule::share_override.
   std::vector<double> share_options{};
+  /// Candidate-level parallelism for Alg. 2 (0 or 1 = serial, the default):
+  /// with a value > 1, each bid's vendor/delay/share candidate DPs run
+  /// concurrently on a private pool of that many workers. The best-of
+  /// reduction stays sequential in candidate order, so decisions, payments,
+  /// and traces are bit-identical to the serial path (the differential
+  /// tests pin this). Pays off when vendors × shares is large; a lone
+  /// candidate always runs inline.
+  int parallel_candidates = 0;
   ScheduleDpConfig dp{};
 };
 
@@ -51,6 +64,7 @@ class Pdftsp final : public Policy,
  public:
   Pdftsp(PdftspConfig config, const Cluster& cluster, const EnergyModel& energy,
          Slot horizon);
+  ~Pdftsp() override;
 
   [[nodiscard]] std::string_view name() const override { return "pdFTSP"; }
   [[nodiscard]] std::vector<Decision> on_slot(const SlotContext& ctx) override;
@@ -83,6 +97,17 @@ class Pdftsp final : public Policy,
   [[nodiscard]] const DualState& duals() const noexcept { return duals_; }
   [[nodiscard]] const PdftspConfig& config() const noexcept { return config_; }
 
+  /// Wires the schedule-DP price-cache counters and arena gauges into
+  /// `registry` (forwards to ScheduleDp::register_metrics; services call
+  /// this during setup so the hit rate shows up in /metrics).
+  void register_metrics(obs::MetricsRegistry& registry,
+                        std::string_view prefix = "lorasched_dp") const {
+    dp_.register_metrics(registry, prefix);
+  }
+  [[nodiscard]] ScheduleDp::CacheStats dp_cache_stats() const noexcept {
+    return dp_.cache_stats();
+  }
+
   /// Re-points the pricing parameters; used by AdaptivePdftsp, whose
   /// estimates tighten as bids are observed. Values must be positive.
   void set_pricing(double alpha, double beta, double welfare_unit);
@@ -111,6 +136,10 @@ class Pdftsp final : public Policy,
   EnergyModel energy_;
   ScheduleDp dp_;
   DualState duals_;
+  /// Private pool for parallel_candidates > 1 (null when serial). Private
+  /// because ThreadPool::wait_idle() is pool-global — sharing one pool with
+  /// other subsystems would make select_schedule wait on their jobs.
+  std::unique_ptr<util::ThreadPool> pool_;
   obs::DecisionTraceSink* trace_ = nullptr;
 };
 

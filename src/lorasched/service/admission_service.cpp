@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "lorasched/core/pdftsp.h"
 #include "lorasched/obs/span.h"
 #include "lorasched/service/slot_clock.h"
 #include "lorasched/sim/validator.h"
@@ -35,6 +36,11 @@ AdmissionService::AdmissionService(const Instance& env, Policy& policy,
          t < std::min<Slot>(horizon_, outage.to); ++t) {
       ledger_.block(outage.node, t);
     }
+  }
+  // Surface the schedule-DP price-cache hit rate in this service's /metrics
+  // (no-op for policies without a schedule DP).
+  if (const auto* pdftsp = dynamic_cast<const Pdftsp*>(&policy_)) {
+    pdftsp->register_metrics(metrics_.registry());
   }
 }
 

@@ -57,6 +57,10 @@ ShardRunner::~ShardRunner() {
   if (worker_.joinable()) worker_.join();
 }
 
+void ShardRunner::register_dp_metrics(obs::MetricsRegistry& registry) const {
+  if (pdftsp_ != nullptr) pdftsp_->register_metrics(registry);
+}
+
 void ShardRunner::block(NodeId local_node, Slot t) {
   ledger_.block(local_node, t);
 }

@@ -85,6 +85,12 @@ class ShardRunner {
   /// first round or between rounds.
   void block(NodeId local_node, Slot t);
 
+  /// Wires the shard policy's schedule-DP price-cache metrics into
+  /// `registry` (no-op for non-pdFTSP policies). Every shard registers the
+  /// same metric names, so the counters aggregate fleet-wide. Call during
+  /// setup, before the first round.
+  void register_dp_metrics(obs::MetricsRegistry& registry) const;
+
   // --- Round protocol (leader thread) -------------------------------------
 
   /// Arms the runner for a decision round at `slot` expecting exactly

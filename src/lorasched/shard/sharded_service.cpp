@@ -64,6 +64,11 @@ ShardedService::ShardedService(const Instance& env,
   // Seed the board so slot-0 routing sees real free capacity, not the
   // "nothing published" placeholder.
   for (const auto& runner : runners_) runner->publish(0);
+  // Every shard registers the same DP cache-metric names, so hits/misses
+  // aggregate fleet-wide in this service's registry.
+  for (const auto& runner : runners_) {
+    runner->register_dp_metrics(metrics_.registry());
+  }
 }
 
 service::SubmitResult ShardedService::submit(const Task& bid) {

@@ -1,0 +1,398 @@
+// Differential coverage for the Alg. 2 hot-path overhaul (DESIGN.md §5):
+// the price-epoch cached + arena path must be bit-identical to the legacy
+// per-call path at every level — bare ScheduleDp::find across interleaved
+// admissions/rejections, full AdmissionService replays (schedules,
+// payments, and DecisionTraceRecords), K=4 ShardedService replays, and
+// pdFTSP's parallel candidate evaluation — plus unit coverage of the
+// DualState dirty-cell journal and TSan-covered concurrent find() calls
+// sharing one ScheduleDp.
+#include "lorasched/core/schedule_dp.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "lorasched/core/pdftsp.h"
+#include "lorasched/obs/registry.h"
+#include "lorasched/obs/trace.h"
+#include "lorasched/service/admission_service.h"
+#include "lorasched/shard/sharded_service.h"
+#include "lorasched/sim/engine.h"
+#include "lorasched/util/rng.h"
+#include "test_helpers.h"
+
+namespace lorasched {
+namespace {
+
+/// Rejects every node on slots divisible by 3 and node 0 everywhere —
+/// exercises both the dead-row skip (whole slots with no usable class) and
+/// per-class argmin filtering in the cached Δ scan.
+bool test_filter(const void*, NodeId k, Slot t) {
+  return k != 0 && t % 3 != 0;
+}
+
+/// Replays `bids` tasks through a cached and a legacy ScheduleDp under
+/// lock-step dual movement (an eq. 7/8 update every `admit_every`-th
+/// feasible plan) and requires identical runs at every step.
+void expect_lockstep_identical(const Instance& instance, std::size_t bids,
+                               int admit_every, SlotFilter filter) {
+  ScheduleDpConfig cached_config;
+  cached_config.price_cache = true;
+  ScheduleDpConfig legacy_config;
+  legacy_config.price_cache = false;
+  const ScheduleDp cached(instance.cluster, instance.energy, cached_config);
+  const ScheduleDp legacy(instance.cluster, instance.energy, legacy_config);
+  DualState cached_duals(instance.cluster.node_count(), instance.horizon);
+  DualState legacy_duals(instance.cluster.node_count(), instance.horizon);
+  DpScratch scratch;
+
+  int feasible = 0;
+  const std::size_t n = std::min(bids, instance.tasks.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const Task& task = instance.tasks[i];
+    Schedule fast;
+    cached.find_into(fast, task, task.arrival, cached_duals, scratch, nullptr,
+                     filter);
+    const Schedule slow =
+        legacy.find(task, task.arrival, legacy_duals, nullptr, filter);
+    ASSERT_EQ(fast.run, slow.run) << "bid " << i;
+    if (!fast.empty() && ++feasible % admit_every == 0) {
+      Schedule plan = fast;
+      finalize_schedule(plan, task, instance.cluster, instance.energy);
+      cached_duals.apply_update(task, plan, instance.cluster, 1.0, 1.0, 1.0);
+      legacy_duals.apply_update(task, plan, instance.cluster, 1.0, 1.0, 1.0);
+      ASSERT_EQ(cached_duals.lambda_values(), legacy_duals.lambda_values());
+    }
+  }
+  EXPECT_GT(feasible, 0);  // the scenario must actually exercise admissions
+}
+
+TEST(DpCacheDifferential, FindMatchesLegacyAcrossInterleavedAdmissions) {
+  for (const std::uint64_t seed : {1ull, 7ull, 2024ull}) {
+    SCOPED_TRACE(seed);
+    ScenarioConfig config = testing::small_scenario(seed);
+    config.nodes = 8;
+    config.horizon = 64;
+    config.arrival_rate = 4.0;
+    const Instance instance = make_instance(config);
+    expect_lockstep_identical(instance, 160, 5, nullptr);
+  }
+}
+
+TEST(DpCacheDifferential, FilteredFindMatchesLegacy) {
+  const Instance instance = make_instance(testing::small_scenario(3));
+  expect_lockstep_identical(instance, 120, 4, &test_filter);
+}
+
+TEST(DpCacheDifferential, SetLambdaPerturbationsInvalidateTheSnapshot) {
+  const Instance instance = make_instance(testing::small_scenario(5));
+  ScheduleDpConfig cached_config;  // price_cache defaults to true
+  const ScheduleDp cached(instance.cluster, instance.energy, cached_config);
+  ScheduleDpConfig legacy_config;
+  legacy_config.price_cache = false;
+  const ScheduleDp legacy(instance.cluster, instance.energy, legacy_config);
+  DualState duals(instance.cluster.node_count(), instance.horizon);
+
+  util::Rng rng(99);
+  for (std::size_t i = 0; i < 60 && i < instance.tasks.size(); ++i) {
+    const Task& task = instance.tasks[i];
+    EXPECT_EQ(cached.find(task, task.arrival, duals).run,
+              legacy.find(task, task.arrival, duals).run);
+    // Unchanged prices: the repeat must be a cache hit and still agree.
+    EXPECT_EQ(cached.find(task, task.arrival, duals).run,
+              legacy.find(task, task.arrival, duals).run);
+    // Poke one random cell through the colgen-style setters; the epoch
+    // bump must invalidate (or journal-patch) the snapshot.
+    const auto k = static_cast<NodeId>(
+        rng.uniform_int(0, instance.cluster.node_count() - 1));
+    const auto t =
+        static_cast<Slot>(rng.uniform_int(0, instance.horizon - 1));
+    duals.set_lambda(k, t, rng.uniform() * 0.3);
+    duals.set_phi(k, t, rng.uniform() * 0.2);
+  }
+  const ScheduleDp::CacheStats stats = cached.cache_stats();
+  EXPECT_GT(stats.hits, 0u);
+  EXPECT_GT(stats.misses, 0u);
+}
+
+TEST(DpCacheDifferential, CopiedDualStateGetsFreshIdentity) {
+  const Instance instance = make_instance(testing::small_scenario(8));
+  const ScheduleDp dp(instance.cluster, instance.energy);
+  DualState original(instance.cluster.node_count(), instance.horizon);
+  const Task& task = instance.tasks.front();
+
+  const Schedule before = dp.find(task, task.arrival, original);
+  DualState copy = original;  // same grids, fresh uid
+  EXPECT_NE(copy.uid(), original.uid());
+  EXPECT_EQ(copy.epoch(), original.epoch());
+  // Mutating the copy must never be served from the original's snapshot.
+  copy.set_lambda(0, task.arrival, 1e9);
+  const Schedule after_copy = dp.find(task, task.arrival, copy);
+  const Schedule after_original = dp.find(task, task.arrival, original);
+  EXPECT_EQ(after_original.run, before.run);
+  if (!after_copy.empty()) {
+    for (const Assignment& a : after_copy.run) {
+      EXPECT_FALSE(a.node == 0 && a.slot == task.arrival);
+    }
+  }
+}
+
+TEST(DpCacheDifferential, CacheStatsCountHitsAndMisses) {
+  const Instance instance = make_instance(testing::small_scenario());
+  const ScheduleDp dp(instance.cluster, instance.energy);
+  DualState duals(instance.cluster.node_count(), instance.horizon);
+  const Task& task = instance.tasks.front();
+
+  obs::MetricsRegistry registry;
+  dp.register_metrics(registry);
+
+  (void)dp.find(task, task.arrival, duals);  // first use: miss
+  (void)dp.find(task, task.arrival, duals);  // unchanged prices: hit
+  (void)dp.find(task, task.arrival, duals);
+  ScheduleDp::CacheStats stats = dp.cache_stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 2u);
+
+  duals.set_lambda(0, 0, 0.5);  // price moved: next find misses
+  (void)dp.find(task, task.arrival, duals);
+  stats = dp.cache_stats();
+  EXPECT_EQ(stats.misses, 2u);
+
+  std::ostringstream prom_out;
+  registry.write_prometheus(prom_out);
+  const std::string prom = prom_out.str();
+  EXPECT_NE(prom.find("lorasched_dp_price_cache_hits_total 2"),
+            std::string::npos);
+  EXPECT_NE(prom.find("lorasched_dp_price_cache_misses_total 2"),
+            std::string::npos);
+  EXPECT_NE(prom.find("lorasched_dp_scratch_bytes"), std::string::npos);
+  EXPECT_NE(prom.find("lorasched_dp_snapshot_bytes"), std::string::npos);
+}
+
+// --- DualState dirty-cell journal -------------------------------------------
+
+TEST(DualJournal, EnumeratesCellsMutatedSinceAnEpoch) {
+  DualState duals(4, 16);
+  const std::uint64_t base = duals.epoch();
+  duals.set_lambda(1, 3, 0.5);   // cell 1*16+3 = 19
+  duals.set_phi(2, 10, 0.25);    // cell 2*16+10 = 42
+  std::vector<std::uint32_t> dirty;
+  ASSERT_TRUE(duals.dirty_cells_since(base, dirty));
+  EXPECT_EQ(dirty, (std::vector<std::uint32_t>{19, 42}));
+
+  // A later caller only sees the tail.
+  dirty.clear();
+  ASSERT_TRUE(duals.dirty_cells_since(base + 1, dirty));
+  EXPECT_EQ(dirty, (std::vector<std::uint32_t>{42}));
+
+  // Same epoch: nothing dirty, still covered.
+  dirty.clear();
+  ASSERT_TRUE(duals.dirty_cells_since(duals.epoch(), dirty));
+  EXPECT_TRUE(dirty.empty());
+}
+
+TEST(DualJournal, LoadIsWholesaleAndUncoverable) {
+  DualState duals(2, 8);
+  const std::uint64_t base = duals.epoch();
+  duals.set_lambda(0, 0, 0.1);
+  duals.load(duals.lambda_values(), duals.phi_values());
+  std::vector<std::uint32_t> dirty;
+  EXPECT_FALSE(duals.dirty_cells_since(base, dirty));
+  // After load, new mutations journal again from the post-load epoch.
+  const std::uint64_t after_load = duals.epoch();
+  duals.set_phi(1, 2, 0.3);
+  dirty.clear();
+  ASSERT_TRUE(duals.dirty_cells_since(after_load, dirty));
+  EXPECT_EQ(dirty, (std::vector<std::uint32_t>{10}));
+}
+
+TEST(DualJournal, ApplyUpdateJournalsExactlyTheRunCells) {
+  const Cluster cluster = testing::mini_cluster();
+  DualState duals(cluster.node_count(), 16);
+  const Task task = testing::make_task(0, 0, 7, 900.0);
+  Schedule schedule;
+  schedule.task = task.id;
+  schedule.run = {{0, 2}, {1, 3}, {0, 4}};
+  finalize_schedule(schedule, task, cluster, testing::flat_energy());
+  const std::uint64_t base = duals.epoch();
+  duals.apply_update(task, schedule, cluster, 1.0, 1.0, 1.0);
+  std::vector<std::uint32_t> dirty;
+  ASSERT_TRUE(duals.dirty_cells_since(base, dirty));
+  EXPECT_EQ(dirty, (std::vector<std::uint32_t>{2, 16 + 3, 4}));
+}
+
+// --- Service-level differentials --------------------------------------------
+
+struct ServiceReplay {
+  SimResult result;
+  std::string trace_jsonl;
+};
+
+ServiceReplay replay_monolithic(const Instance& instance, bool price_cache) {
+  PdftspConfig config = pdftsp_config_for(instance);
+  config.dp.price_cache = price_cache;
+  Pdftsp policy(config, instance.cluster, instance.energy, instance.horizon);
+  std::ostringstream jsonl;
+  obs::DecisionTracer tracer(&jsonl);
+  policy.set_trace_sink(&tracer);
+  service::AdmissionService service(instance, policy);
+  for (const Task& task : instance.tasks) {
+    EXPECT_EQ(service.submit(task), service::SubmitResult::kAccepted);
+  }
+  while (!service.done()) service.step();
+  ServiceReplay replay;
+  replay.result = service.finish();
+  tracer.flush();
+  replay.trace_jsonl = jsonl.str();
+  return replay;
+}
+
+void expect_same_results(const SimResult& a, const SimResult& b) {
+  ASSERT_EQ(a.outcomes.size(), b.outcomes.size());
+  for (std::size_t i = 0; i < a.outcomes.size(); ++i) {
+    SCOPED_TRACE(i);
+    EXPECT_EQ(a.outcomes[i].task, b.outcomes[i].task);
+    EXPECT_EQ(a.outcomes[i].admitted, b.outcomes[i].admitted);
+    EXPECT_EQ(a.outcomes[i].payment, b.outcomes[i].payment);
+    EXPECT_EQ(a.outcomes[i].vendor, b.outcomes[i].vendor);
+    EXPECT_EQ(a.outcomes[i].energy_cost, b.outcomes[i].energy_cost);
+  }
+  ASSERT_EQ(a.schedules.size(), b.schedules.size());
+  for (std::size_t i = 0; i < a.schedules.size(); ++i) {
+    EXPECT_EQ(a.schedules[i].run, b.schedules[i].run);
+  }
+  EXPECT_EQ(a.metrics.social_welfare, b.metrics.social_welfare);
+  EXPECT_EQ(a.metrics.total_payments, b.metrics.total_payments);
+  EXPECT_EQ(a.metrics.admitted, b.metrics.admitted);
+  EXPECT_EQ(a.metrics.rejected, b.metrics.rejected);
+}
+
+TEST(ServiceDifferential, MonolithicCacheOnOffBitIdentical) {
+  const Instance instance = make_instance(testing::small_scenario(17));
+  const ServiceReplay cached = replay_monolithic(instance, true);
+  const ServiceReplay legacy = replay_monolithic(instance, false);
+  expect_same_results(cached.result, legacy.result);
+  // Byte-identical DecisionTraceRecord streams: candidates, objectives,
+  // payment decompositions, and dual samples all match exactly.
+  EXPECT_EQ(cached.trace_jsonl, legacy.trace_jsonl);
+  EXPECT_FALSE(cached.trace_jsonl.empty());
+}
+
+SimResult replay_sharded(const Instance& instance, bool price_cache,
+                         int parallel_candidates = 0) {
+  PdftspConfig config = pdftsp_config_for(instance);
+  config.dp.price_cache = price_cache;
+  config.parallel_candidates = parallel_candidates;
+  shard::ShardedConfig sharded;
+  sharded.shards = 4;
+  shard::ShardedService service(instance,
+                                shard::make_pdftsp_factory(config), sharded);
+  for (const Task& task : instance.tasks) {
+    EXPECT_EQ(service.submit(task), service::SubmitResult::kAccepted);
+  }
+  while (!service.done()) service.step();
+  return service.finish();
+}
+
+TEST(ServiceDifferential, ShardedK4CacheOnOffBitIdentical) {
+  ScenarioConfig config = testing::small_scenario(23);
+  config.nodes = 8;  // four 2-node shards
+  const Instance instance = make_instance(config);
+  expect_same_results(replay_sharded(instance, true),
+                      replay_sharded(instance, false));
+}
+
+TEST(ServiceDifferential, ShardedParallelCandidatesBitIdentical) {
+  ScenarioConfig config = testing::small_scenario(29);
+  config.nodes = 8;
+  const Instance instance = make_instance(config);
+  expect_same_results(replay_sharded(instance, true, 0),
+                      replay_sharded(instance, true, 4));
+}
+
+// --- Parallel candidate evaluation ------------------------------------------
+
+TEST(ParallelCandidates, BitIdenticalToSerialWithShareOptions) {
+  const Instance instance = make_instance(testing::small_scenario(31));
+  PdftspConfig serial_config = pdftsp_config_for(instance);
+  // Widen the candidate set (vendors × shares) so the pool actually fans
+  // out, including exact-tie opportunities the reduction must break by
+  // candidate order, not completion order.
+  serial_config.share_options = {0.25, 0.5, 1.0};
+  PdftspConfig parallel_config = serial_config;
+  parallel_config.parallel_candidates = 4;
+
+  Pdftsp serial(serial_config, instance.cluster, instance.energy,
+                instance.horizon);
+  Pdftsp parallel(parallel_config, instance.cluster, instance.energy,
+                  instance.horizon);
+  std::ostringstream serial_jsonl;
+  std::ostringstream parallel_jsonl;
+  obs::DecisionTracer serial_tracer(&serial_jsonl);
+  obs::DecisionTracer parallel_tracer(&parallel_jsonl);
+  serial.set_trace_sink(&serial_tracer);
+  parallel.set_trace_sink(&parallel_tracer);
+
+  const SimResult a = run_simulation(instance, serial);
+  const SimResult b = run_simulation(instance, parallel);
+  expect_same_results(a, b);
+  serial_tracer.flush();
+  parallel_tracer.flush();
+  EXPECT_EQ(serial_jsonl.str(), parallel_jsonl.str());
+  EXPECT_FALSE(serial_jsonl.str().empty());
+}
+
+// --- Concurrency (TSan coverage: ScheduleDpConcurrency in the CI regex) ------
+
+TEST(ScheduleDpConcurrency, ConcurrentFindsShareOneScheduleDp) {
+  const Instance instance = make_instance(testing::small_scenario(37));
+  const ScheduleDp dp(instance.cluster, instance.energy);
+  obs::MetricsRegistry registry;
+  dp.register_metrics(registry);
+  DualState duals(instance.cluster.node_count(), instance.horizon);
+
+  const std::size_t bids = std::min<std::size_t>(48, instance.tasks.size());
+  std::vector<Schedule> expected(bids);
+  for (std::size_t i = 0; i < bids; ++i) {
+    const Task& task = instance.tasks[i];
+    expected[i] = dp.find(task, task.arrival, duals);
+  }
+
+  // Two rounds separated by a dual mutation: round 0 exercises concurrent
+  // snapshot *use*, round 1 concurrent miss/rebuild racing against hits.
+  for (int round = 0; round < 2; ++round) {
+    std::atomic<int> mismatches{0};
+    std::vector<std::thread> workers;
+    for (int w = 0; w < 4; ++w) {
+      workers.emplace_back([&] {
+        DpScratch scratch;
+        Schedule plan;
+        for (std::size_t i = 0; i < bids; ++i) {
+          const Task& task = instance.tasks[i];
+          dp.find_into(plan, task, task.arrival, duals, scratch);
+          if (plan.run != expected[i].run) {
+            mismatches.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      });
+    }
+    for (auto& worker : workers) worker.join();
+    EXPECT_EQ(mismatches.load(), 0);
+    if (round == 0) {
+      duals.set_lambda(0, 0, 0.7);  // workers are joined: safe to mutate
+      for (std::size_t i = 0; i < bids; ++i) {
+        const Task& task = instance.tasks[i];
+        expected[i] = dp.find(task, task.arrival, duals);
+      }
+    }
+  }
+  const ScheduleDp::CacheStats stats = dp.cache_stats();
+  EXPECT_GT(stats.hits, 0u);
+  EXPECT_GE(stats.misses, 1u);
+}
+
+}  // namespace
+}  // namespace lorasched
