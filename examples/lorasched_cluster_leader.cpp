@@ -1,38 +1,39 @@
-// lorasched_shard_serve — the sharded admission daemon (DESIGN.md §10).
+// lorasched_cluster_leader — the leader process of the distributed control
+// plane (DESIGN.md §11). The same CLI surface as lorasched_shard_serve
+// (bid ingestion, slot pacing, checkpoints, metrics), but the K pdFTSP
+// shards run inside lorasched_host_agent processes reached over the binary
+// wire protocol: shard i is served by agent i mod A.
 //
-// The sharded sibling of lorasched_serve: the same line-delimited bid
-// ingestion, slot pacing, outcome export, and checkpoint/resume workflow,
-// but decisions run on a ShardedService — K independent pdFTSP shards, a
-// price-aware router, and second-chance re-routing of rejected bids.
+//   ./lorasched_host_agent --port 7701 &
+//   ./lorasched_host_agent --port 7702 &
+//   ./lorasched_cluster_leader --agents 127.0.0.1:7701,127.0.0.1:7702
+//       --bids bids.txt --shards 4 --slot-ms 0 --out outcomes.csv
+//       --shutdown-agents
 //
-//   ./lorasched_feed --export bids.txt
-//   ./lorasched_shard_serve --bids bids.txt --shards 4 --slot-ms 0
-//   ./lorasched_feed --slot-ms 100 |
-//       ./lorasched_shard_serve --shards 8 --slot-ms 100
-//   ./lorasched_shard_serve --bids bids.txt --shards 4
-//       --checkpoint ck.txt --checkpoint-every 12
-//   ./lorasched_shard_serve --bids bids.txt --shards 4 --resume ck.txt
-//
-// A checkpoint pins the shard count and router config; resuming under a
-// different --shards/--reroute/--router-seed is rejected rather than
-// silently diverging. --metrics-out writes the Prometheus exposition of
-// the service registry (rewritten every --metrics-every slots; SIGUSR1
-// forces a dump).
+// Decisions, payments, and welfare are bit-identical to an in-process
+// ShardedService with the same K and config (test_net and the CI smoke pin
+// this). A crashed agent is detected by heartbeat; its shards' bids fail
+// over to live shards and the run completes degraded instead of hanging.
+// --checkpoint-every 1 keeps every shard's leader-side state cache fresh,
+// which lets a between-round reconnect resume bit-identically.
 #include <atomic>
 #include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <stdexcept>
 #include <string>
 #include <thread>
 #include <unordered_set>
+#include <vector>
 
 #include "lorasched/core/online_params.h"
 #include "lorasched/experiments/scenario.h"
 #include "lorasched/io/serialize.h"
+#include "lorasched/net/remote_shard.h"
 #include "lorasched/service/slot_clock.h"
 #include "lorasched/shard/sharded_service.h"
 #include "lorasched/util/cli.h"
@@ -41,35 +42,32 @@ using namespace lorasched;
 
 namespace {
 
-class LogSubscriber final : public service::DecisionSubscriber {
- public:
-  explicit LogSubscriber(bool verbose) : verbose_(verbose) {}
-
-  void on_admitted(const TaskOutcome& outcome,
-                   const Schedule& schedule) override {
-    if (!verbose_) return;
-    std::cerr << "admit task " << outcome.task << " pay " << outcome.payment
-              << "$ completes slot " << schedule.completion_slot() << "\n";
+/// "host:port,host:port" -> endpoint list (bare "port" implies loopback).
+std::vector<std::pair<std::string, std::uint16_t>> parse_agents(
+    const std::string& spec) {
+  std::vector<std::pair<std::string, std::uint16_t>> endpoints;
+  std::istringstream in(spec);
+  std::string item;
+  while (std::getline(in, item, ',')) {
+    if (item.empty()) continue;
+    const auto colon = item.rfind(':');
+    std::string host = "127.0.0.1";
+    std::string port = item;
+    if (colon != std::string::npos) {
+      host = item.substr(0, colon);
+      port = item.substr(colon + 1);
+    }
+    const int parsed = std::stoi(port);
+    if (parsed <= 0 || parsed > 65535) {
+      throw std::invalid_argument("bad agent port in --agents: " + item);
+    }
+    endpoints.emplace_back(host, static_cast<std::uint16_t>(parsed));
   }
-  void on_rejected(const TaskOutcome& outcome) override {
-    if (!verbose_) return;
-    std::cerr << "reject task " << outcome.task << " bid " << outcome.bid
-              << "$\n";
+  if (endpoints.empty()) {
+    throw std::invalid_argument("--agents needs at least one host:port");
   }
-  void on_slot_end(const service::SlotReport& report) override {
-    if (!verbose_ || report.batch == 0) return;
-    std::cerr << "slot " << report.slot << ": batch " << report.batch
-              << " queue " << report.queue_depth << " decide "
-              << report.decide_seconds * 1e3 << "ms\n";
-  }
-
- private:
-  bool verbose_;
-};
-
-volatile std::sig_atomic_t g_dump_requested = 0;
-
-void on_sigusr1(int) { g_dump_requested = 1; }
+  return endpoints;
+}
 
 }  // namespace
 
@@ -78,7 +76,8 @@ int main(int argc, char** argv) try {
   cli.allow_only({"scenario", "seed", "shards", "reroute", "router-seed",
                   "bids", "slot-ms", "queue-cap", "backpressure", "late",
                   "checkpoint", "checkpoint-every", "resume", "out", "verbose",
-                  "metrics-out", "metrics-every", "timing"});
+                  "metrics-out", "metrics-every", "agents", "rpc-timeout-ms",
+                  "heartbeat-ms", "timing", "shutdown-agents"});
 
   ScenarioConfig config;
   config.seed = static_cast<std::uint64_t>(cli.get_int("seed", 42));
@@ -114,16 +113,45 @@ int main(int argc, char** argv) try {
     throw std::invalid_argument("late must be clamp|reject");
   }
 
-  // One independent pdFTSP per shard, priced for the full scenario (the
-  // α/β/κ bounds depend on the bid population, not the partition).
-  shard::ShardedService server(
-      env, shard::make_pdftsp_factory(pdftsp_config_for(env)), sharded_config);
-  LogSubscriber log(cli.get_bool("verbose", false));
-  server.add_subscriber(&log);
+  // One link per agent process, shared by the shards it serves.
+  const auto endpoints = parse_agents(cli.get("agents", ""));
+  net::HelloMsg hello;
+  hello.digest = net::env_digest(env.cluster, env.market, env.horizon);
+  hello.nodes = env.cluster.node_count();
+  hello.classes = env.cluster.class_count();
+  hello.horizon = env.horizon;
+  hello.shards_total = sharded_config.shards;
+  std::vector<std::shared_ptr<net::AgentLink>> links;
+  links.reserve(endpoints.size());
+  for (const auto& [host, port] : endpoints) {
+    net::LinkConfig link_config;
+    link_config.host = host;
+    link_config.port = port;
+    link_config.heartbeat_timeout =
+        std::chrono::milliseconds(cli.get_int("heartbeat-ms", 2000));
+    link_config.rpc_timeout =
+        std::chrono::milliseconds(cli.get_int("rpc-timeout-ms", 30000));
+    auto link = std::make_shared<net::AgentLink>(link_config, hello);
+    link->connect();
+    std::cerr << "connected to host-agent " << host << ":" << port << "\n";
+    links.push_back(std::move(link));
+  }
+
+  // The same pdFTSP pricing the in-process service would use; each remote
+  // handle ships it in its AssignShard.
+  const PdftspConfig policy = pdftsp_config_for(env);
+  const shard::HandleFactory remote_handles =
+      [&](int shard_id, std::vector<NodeId> members,
+          const shard::ShardContext& ctx)
+      -> std::unique_ptr<shard::ShardHandle> {
+    return std::make_unique<net::RemoteShardHandle>(
+        links[static_cast<std::size_t>(shard_id) % links.size()], policy,
+        shard_id, std::move(members), ctx);
+  };
+  shard::ShardedService server(env, remote_handles, sharded_config);
 
   const std::string metrics_path = cli.get("metrics-out", "");
   const auto metrics_every = cli.get_int("metrics-every", 0);
-  std::signal(SIGUSR1, &on_sigusr1);
   const auto dump_metrics = [&] {
     std::ostringstream text;
     server.registry().write_prometheus(text);
@@ -155,8 +183,7 @@ int main(int argc, char** argv) try {
     server.restore(snapshot);
     std::cerr << "resumed at slot " << server.current_slot() << "/"
               << server.horizon() << " across " << server.shard_count()
-              << " shards (" << already_known.size()
-              << " bids already ingested)\n";
+              << " remote shards\n";
   }
 
   std::atomic<std::uint64_t> fed{0};
@@ -198,8 +225,6 @@ int main(int argc, char** argv) try {
 
   const auto slot_period =
       std::chrono::milliseconds(cli.get_int("slot-ms", 0));
-  // slot-ms 0 = offline replay: pump the whole stream in first (see
-  // lorasched_serve for why a plain join would deadlock past --queue-cap).
   if (slot_period.count() == 0) {
     while (!server.queue().closed() || server.queue().depth() != 0) {
       server.queue().wait_available();
@@ -226,10 +251,6 @@ int main(int argc, char** argv) try {
         throw std::runtime_error("cannot replace checkpoint file");
       }
     }
-    if (g_dump_requested != 0) {
-      g_dump_requested = 0;
-      dump_metrics();
-    }
     if (metrics_every > 0 && server.current_slot() % metrics_every == 0) {
       dump_metrics();
     }
@@ -239,25 +260,32 @@ int main(int argc, char** argv) try {
   const auto ops = server.metrics();
   const std::uint64_t rerouted = server.rerouted_bids();
   const std::uint64_t recovered = server.reroute_admits();
+  const std::uint64_t failed_over = server.failover_bids();
+  const int dead = server.dead_shards();
   const SimResult result = server.finish();
   std::cerr << "served " << fed.load() << " bids (" << shed.load()
-            << " shed) on " << server.shard_count() << " shards, welfare "
+            << " shed) on " << server.shard_count() << " remote shards over "
+            << links.size() << " agent(s), welfare "
             << result.metrics.social_welfare << "$, admitted "
             << result.metrics.admitted << "/"
             << (result.metrics.admitted + result.metrics.rejected)
             << ", rerouted " << rerouted << " (" << recovered
             << " admitted on a second chance), ingest " << ops.ingest_rate
-            << " bids/s, decide p50 " << ops.decide_p50 * 1e6 << "us p99 "
-            << ops.decide_p99 * 1e6 << "us\n";
-
-  if (!metrics_path.empty() || metrics_every > 0 || g_dump_requested != 0) {
-    dump_metrics();
+            << " bids/s\n";
+  if (dead > 0) {
+    std::cerr << "degraded: " << dead << " shard(s) lost mid-run, "
+              << failed_over << " bids failed over to live shards\n";
   }
+
+  if (!metrics_path.empty() || metrics_every > 0) dump_metrics();
 
   if (cli.has("out")) {
     std::ofstream out(cli.get("out", ""));
     if (!out) throw std::runtime_error("cannot open output file");
     io::write_outcomes_csv(out, result.outcomes);
+  }
+  if (cli.get_bool("shutdown-agents", false)) {
+    for (const auto& link : links) link->send_shutdown();
   }
   return 0;
 } catch (const std::exception& e) {

@@ -1,0 +1,73 @@
+// lorasched_host_agent — the worker process of the distributed control
+// plane (DESIGN.md §11). It loads the same scenario as the cluster leader,
+// binds a loopback TCP port, and serves shard assignments: each
+// AssignShard from the leader builds an in-process ShardRunner whose
+// rounds are driven entirely over the wire.
+//
+//   ./lorasched_host_agent --port 7701 &
+//   ./lorasched_host_agent --port 7702 &
+//   ./lorasched_cluster_leader --agents 127.0.0.1:7701,127.0.0.1:7702
+//       --bids bids.txt --shards 4 --slot-ms 0
+//
+// The agent and leader MUST be launched with the same --scenario/--seed:
+// the Hello handshake compares environment digests and refuses mismatched
+// pairs. The process exits when the leader sends Shutdown (leader flag
+// --shutdown-agents) or on SIGINT/SIGTERM.
+#include <chrono>
+#include <csignal>
+#include <fstream>
+#include <iostream>
+#include <stdexcept>
+#include <string>
+
+#include "lorasched/experiments/scenario.h"
+#include "lorasched/io/serialize.h"
+#include "lorasched/net/host_agent.h"
+#include "lorasched/util/cli.h"
+
+using namespace lorasched;
+
+namespace {
+
+net::HostAgent* g_agent = nullptr;
+
+void on_signal(int) {
+  if (g_agent != nullptr) g_agent->stop();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  const util::Cli cli(argc, argv);
+  cli.allow_only({"scenario", "seed", "port", "ping-ms", "idle-ms"});
+
+  ScenarioConfig config;
+  config.seed = static_cast<std::uint64_t>(cli.get_int("seed", 42));
+  if (cli.has("scenario")) {
+    std::ifstream in(cli.get("scenario", ""));
+    if (!in) throw std::runtime_error("cannot open scenario file");
+    config = io::read_scenario(in);
+  }
+  Instance env = make_instance(config);
+
+  net::HostAgent::Config agent_config;
+  agent_config.port = static_cast<std::uint16_t>(cli.get_int("port", 7701));
+  agent_config.ping_interval =
+      std::chrono::milliseconds(cli.get_int("ping-ms", 200));
+  agent_config.idle_timeout =
+      std::chrono::milliseconds(cli.get_int("idle-ms", 5000));
+
+  net::HostAgent agent(std::move(env), agent_config);
+  agent.start();
+  g_agent = &agent;
+  std::signal(SIGINT, &on_signal);
+  std::signal(SIGTERM, &on_signal);
+  std::cerr << "host-agent listening on 127.0.0.1:" << agent.port() << "\n";
+  agent.wait();
+  std::cerr << "host-agent stopped after " << agent.sessions_served()
+            << " leader session(s)\n";
+  return 0;
+} catch (const std::exception& e) {
+  std::cerr << "error: " << e.what() << "\n";
+  return 1;
+}

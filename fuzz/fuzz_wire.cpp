@@ -1,0 +1,127 @@
+// Fuzz harness: the control-plane wire decoder (net/wire.h, net/messages.h).
+//
+// Contract under test: FrameDecoder and every decode_*() throw WireError on
+// any malformed input — bad magic, version skew, truncated frames, overlong
+// or overflowing varints, absurd counts — never a different exception,
+// never an allocation driven by an unvalidated length, never a crash. Any
+// payload a decoder does accept must re-encode byte-identically (the
+// distributed service's bit-exact determinism rides on this).
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "lorasched/net/messages.h"
+#include "lorasched/net/wire.h"
+
+namespace {
+
+using namespace lorasched::net;
+
+/// Feeds the stream decoder in two chunks split at `pivot` to exercise the
+/// partial-frame buffering paths, collecting whatever frames survive.
+std::vector<Frame> decode_stream(const std::uint8_t* data, std::size_t size,
+                                 std::size_t pivot) {
+  FrameDecoder decoder;
+  std::vector<Frame> frames;
+  decoder.feed(data, pivot);
+  Frame frame;
+  while (decoder.next(frame)) frames.push_back(frame);
+  decoder.feed(data + pivot, size - pivot);
+  while (decoder.next(frame)) frames.push_back(frame);
+  return frames;
+}
+
+void roundtrip_payload(const Frame& frame) {
+  // A payload the typed decoder accepts must re-encode byte-identically.
+  // Every exception past the WireError catch is a codec bug: crash.
+  std::vector<std::uint8_t> again;
+  try {
+    switch (frame.type) {
+      case MsgType::kHello:
+        again = encode(decode_hello(frame.payload));
+        break;
+      case MsgType::kHelloAck:
+        again = encode(decode_hello_ack(frame.payload));
+        break;
+      case MsgType::kAssignShard:
+        again = encode(decode_assign_shard(frame.payload));
+        break;
+      case MsgType::kAssignAck:
+        again = encode(decode_assign_ack(frame.payload));
+        break;
+      case MsgType::kBlockCells:
+        again = encode(decode_block_cells(frame.payload));
+        break;
+      case MsgType::kBlockAck:
+        again = encode(decode_block_ack(frame.payload));
+        break;
+      case MsgType::kBeginRound:
+        again = encode(decode_begin_round(frame.payload));
+        break;
+      case MsgType::kOffer:
+        again = encode(decode_offer(frame.payload));
+        break;
+      case MsgType::kRoundResults:
+        again = encode(decode_round_results(frame.payload));
+        break;
+      case MsgType::kPublishRequest:
+        again = encode(decode_publish_request(frame.payload));
+        break;
+      case MsgType::kPublishReply:
+        again = encode(decode_publish_reply(frame.payload));
+        break;
+      case MsgType::kStateRequest:
+        again = encode(decode_state_request(frame.payload));
+        break;
+      case MsgType::kStateReply:
+        again = encode(decode_state_reply(frame.payload));
+        break;
+      case MsgType::kRestoreState:
+        again = encode(decode_restore_state(frame.payload));
+        break;
+      case MsgType::kRestoreAck:
+        again = encode(decode_restore_ack(frame.payload));
+        break;
+      case MsgType::kError:
+        again = encode(decode_error(frame.payload));
+        break;
+      default:
+        return;  // Ping/Pong/Shutdown carry no typed payload
+    }
+  } catch (const WireError&) {
+    return;  // the documented failure mode for a malformed payload
+  }
+  if (again != frame.payload) {
+    std::fprintf(stderr, "wire payload round-trip not byte-stable\n");
+    std::abort();
+  }
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  std::vector<Frame> frames;
+  const std::size_t pivot = size == 0 ? 0 : size / 3;
+  try {
+    frames = decode_stream(data, size, pivot);
+  } catch (const WireError&) {
+    return 0;  // framing rejected (bad magic / version / length): fine
+  }
+  for (const Frame& frame : frames) {
+    roundtrip_payload(frame);
+    // A frame the decoder produced must survive re-framing bit-exactly.
+    const std::vector<std::uint8_t> bytes =
+        encode_frame(frame.type, frame.payload);
+    FrameDecoder again;
+    again.feed(bytes.data(), bytes.size());
+    Frame reread;
+    if (!again.next(reread) || reread.type != frame.type ||
+        reread.payload != frame.payload) {
+      std::fprintf(stderr, "frame re-encode round-trip failed\n");
+      std::abort();
+    }
+  }
+  return 0;
+}

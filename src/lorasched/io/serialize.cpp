@@ -170,6 +170,28 @@ T read_value(std::istream& in, const char* what) {
   return value;
 }
 
+/// Validates the "<magic> <version>" header every checkpoint stream starts
+/// with. The two failure modes get distinct, actionable errors: a wrong
+/// magic means the file is not this kind of checkpoint at all (or not a
+/// checkpoint), while a known magic with an unknown version names both
+/// versions so the operator knows which side to upgrade.
+void read_header(std::istream& in, const char* magic, int supported,
+                 const char* what) {
+  std::string got;
+  if (!(in >> got) || got != magic) {
+    throw std::invalid_argument(
+        std::string("not a ") + what + " stream: expected the '" + magic +
+        "' magic header, got '" + got + "'");
+  }
+  const auto version = read_value<int>(in, "format version");
+  if (version != supported) {
+    throw std::invalid_argument(
+        std::string(what) + " format version " + std::to_string(version) +
+        " is not supported (this build reads version " +
+        std::to_string(supported) + ")");
+  }
+}
+
 /// Hard ceiling on any element count read from a checkpoint. A corrupted
 /// (or adversarial) count must not drive a multi-gigabyte allocation before
 /// the stream runs dry — fuzz/fuzz_checkpoint found exactly that via
@@ -386,11 +408,7 @@ void write_checkpoint(std::ostream& out,
 }
 
 service::Checkpoint read_checkpoint(std::istream& in) {
-  expect_token(in, kCheckpointMagic);
-  const auto version = read_value<int>(in, "version");
-  if (version != kCheckpointVersion) {
-    throw std::invalid_argument("unsupported checkpoint version");
-  }
+  read_header(in, kCheckpointMagic, kCheckpointVersion, "checkpoint");
   service::Checkpoint cp;
   expect_token(in, "next_slot");
   cp.next_slot = read_value<Slot>(in, "next_slot");
@@ -459,11 +477,8 @@ void write_sharded_checkpoint(std::ostream& out,
 }
 
 shard::ShardedCheckpoint read_sharded_checkpoint(std::istream& in) {
-  expect_token(in, kShardedCheckpointMagic);
-  const auto version = read_value<int>(in, "version");
-  if (version != kShardedCheckpointVersion) {
-    throw std::invalid_argument("unsupported sharded checkpoint version");
-  }
+  read_header(in, kShardedCheckpointMagic, kShardedCheckpointVersion,
+              "sharded checkpoint");
   shard::ShardedCheckpoint cp;
   expect_token(in, "next_slot");
   cp.next_slot = read_value<Slot>(in, "next_slot");

@@ -1,0 +1,381 @@
+#include "lorasched/net/host_agent.h"
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace lorasched::net {
+
+// --- Worker -----------------------------------------------------------------
+
+/// One assigned shard's server loop: a queue of frames fed by the reader
+/// thread, drained by a dedicated thread that owns the ShardRunner. Any
+/// exception while processing a request is shipped back as kError — the
+/// leader rethrows it with the shard id attached.
+class HostAgent::Worker {
+ public:
+  Worker(HostAgent& agent, int shard_id)
+      : agent_(agent),
+        shard_id_(shard_id),
+        thread_(&Worker::main, this) {}
+
+  ~Worker() {
+    stop();
+    if (thread_.joinable()) thread_.join();
+  }
+
+  void stop() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  void enqueue(Frame&& frame) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      queue_.push_back(std::move(frame));
+    }
+    cv_.notify_all();
+  }
+
+ private:
+  [[nodiscard]] std::optional<Frame> pop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+    if (stop_) return std::nullopt;
+    Frame frame = std::move(queue_.front());
+    queue_.pop_front();
+    return frame;
+  }
+
+  void main() {
+    for (;;) {
+      std::optional<Frame> frame = pop();
+      if (!frame.has_value()) return;
+      try {
+        process(std::move(*frame));
+      } catch (const std::exception& e) {
+        agent_.send(MsgType::kError, encode(ErrorMsg{shard_id_, e.what()}));
+      }
+    }
+  }
+
+  shard::ShardRunner& runner() {
+    if (runner_ == nullptr) {
+      throw std::runtime_error("shard " + std::to_string(shard_id_) +
+                               " is not assigned");
+    }
+    return *runner_;
+  }
+
+  void process(Frame&& frame) {
+    switch (frame.type) {
+      case MsgType::kAssignShard: {
+        const AssignShardMsg m = decode_assign_shard(frame.payload);
+        runner_ = std::make_unique<shard::ShardRunner>(
+            m.shard_id, agent_.env_.cluster, m.members, agent_.env_.energy,
+            agent_.env_.market, agent_.env_.horizon, agent_.factory_(m),
+            *agent_.board_, static_cast<std::size_t>(m.inbox_capacity),
+            m.time_decisions);
+        agent_.send(MsgType::kAssignAck, encode(AssignAckMsg{shard_id_}));
+        return;
+      }
+      case MsgType::kBlockCells: {
+        const BlockCellsMsg m = decode_block_cells(frame.payload);
+        for (const auto& [node, slot] : m.cells) runner().block(node, slot);
+        agent_.send(MsgType::kBlockAck, encode(BlockAckMsg{shard_id_}));
+        return;
+      }
+      case MsgType::kBeginRound: {
+        (void)runner();
+        do_round(decode_begin_round(frame.payload));
+        return;
+      }
+      case MsgType::kPublishRequest: {
+        const PublishRequestMsg m = decode_publish_request(frame.payload);
+        runner().publish(m.from);
+        PublishReplyMsg reply;
+        reply.shard_id = shard_id_;
+        reply.snapshot = agent_.board_read(shard_id_);
+        agent_.send(MsgType::kPublishReply, encode(reply));
+        return;
+      }
+      case MsgType::kStateRequest: {
+        const shard::ShardState st = runner().state();
+        StateReplyMsg reply;
+        reply.shard_id = shard_id_;
+        reply.state =
+            ShardWireState{st.booked_compute, st.policy_state, st.ledger};
+        agent_.send(MsgType::kStateReply, encode(reply));
+        return;
+      }
+      case MsgType::kRestoreState: {
+        const RestoreStateMsg m = decode_restore_state(frame.payload);
+        runner().restore_state(shard::ShardState{m.state.booked_compute,
+                                                 m.state.policy_state,
+                                                 m.state.ledger});
+        agent_.send(MsgType::kRestoreAck, encode(RestoreAckMsg{shard_id_}));
+        return;
+      }
+      default:
+        throw std::runtime_error(std::string("unexpected frame ") +
+                                 to_string(frame.type) +
+                                 " outside a round");
+    }
+  }
+
+  void do_round(const BeginRoundMsg& m) {
+    // Collect every expected offer BEFORE arming the runner: a leader that
+    // dies mid-feed then never touches the runner, so its state stays at
+    // the last completed round (exactly what a reconnecting leader's
+    // restore assumes).
+    std::vector<Task> tasks;
+    tasks.reserve(static_cast<std::size_t>(m.expected));
+    while (tasks.size() < m.expected) {
+      std::optional<Frame> frame = pop();
+      if (!frame.has_value()) return;  // session teardown mid-feed
+      if (frame->type != MsgType::kOffer) {
+        throw std::runtime_error(
+            std::string("expected an offer during the round, got ") +
+            to_string(frame->type));
+      }
+      OfferMsg offer = decode_offer(frame->payload);
+      tasks.push_back(std::move(offer.task));
+    }
+    shard::ShardRunner& r = runner();
+    r.begin_round(m.slot, static_cast<std::size_t>(m.expected));
+    for (Task& t : tasks) r.offer(std::move(t));
+    const std::vector<shard::RoundResult>& results = r.wait_round();
+    RoundResultsMsg out;
+    out.shard_id = shard_id_;
+    out.slot = m.slot;
+    out.results.reserve(results.size());
+    for (const shard::RoundResult& res : results) {
+      WireDecision d;
+      d.task = res.task.id;
+      d.admit = res.decision.admit;
+      d.payment = res.decision.payment;
+      d.decide_seconds = res.decide_seconds;
+      if (d.admit) d.schedule = res.decision.schedule;
+      out.results.push_back(std::move(d));
+    }
+    // The runner already republished (from = slot + 1); ship the fresh
+    // summary with the results so the leader's board update is part of the
+    // round, not a separate race.
+    out.snapshot = agent_.board_read(shard_id_);
+    agent_.send(MsgType::kRoundResults, encode(out));
+  }
+
+  HostAgent& agent_;
+  const int shard_id_;
+  std::unique_ptr<shard::ShardRunner> runner_;
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<Frame> queue_;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
+// --- HostAgent --------------------------------------------------------------
+
+HostAgent::HostAgent(Instance env, Config config, FactoryBuilder factory)
+    : env_(std::move(env)),
+      config_(config),
+      factory_(std::move(factory)),
+      digest_(env_digest(env_.cluster, env_.market, env_.horizon)) {
+  if (!factory_) {
+    factory_ = [](const AssignShardMsg& m) {
+      PdftspConfig policy;
+      policy.alpha = m.alpha;
+      policy.beta = m.beta;
+      policy.welfare_unit = m.welfare_unit;
+      policy.share_options = m.share_options;
+      policy.parallel_candidates = m.parallel_candidates;
+      return shard::make_pdftsp_factory(policy);
+    };
+  }
+}
+
+HostAgent::~HostAgent() { stop(); }
+
+void HostAgent::start() {
+  if (running_.load(std::memory_order_acquire)) return;
+  listener_ = std::make_unique<Listener>(config_.port);
+  stopping_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(session_mutex_);
+    session_closed_ = true;
+  }
+  accept_thread_ = std::thread(&HostAgent::accept_main, this);
+}
+
+void HostAgent::stop() {
+  stopping_.store(true, std::memory_order_release);
+  if (listener_ != nullptr) listener_->interrupt();
+  // Wake serve()'s session wait (its predicate checks stopping_); the
+  // accept thread then tears the live connection down itself — touching
+  // conn_ from here would race that teardown.
+  {
+    std::lock_guard<std::mutex> lock(session_mutex_);
+  }
+  session_cv_.notify_all();
+  if (accept_thread_.joinable()) accept_thread_.join();
+}
+
+void HostAgent::wait() {
+  std::unique_lock<std::mutex> lock(session_mutex_);
+  session_cv_.wait(lock, [this] {
+    return !running_.load(std::memory_order_acquire);
+  });
+}
+
+std::uint16_t HostAgent::port() const {
+  return listener_ != nullptr ? listener_->port() : 0;
+}
+
+void HostAgent::accept_main() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    Socket peer;
+    try {
+      peer = listener_->accept();
+    } catch (const TransportError&) {
+      break;  // interrupted (stop/shutdown) or listener died
+    }
+    serve(std::move(peer));
+  }
+  running_.store(false, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(session_mutex_);
+  }
+  session_cv_.notify_all();
+}
+
+void HostAgent::serve(Socket socket) {
+  sessions_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(workers_mutex_);
+    accepting_frames_ = true;
+    got_hello_ = false;
+  }
+  {
+    std::lock_guard<std::mutex> lock(session_mutex_);
+    session_closed_ = false;
+    conn_published_ = false;
+  }
+  Connection::Config cc;
+  cc.ping_interval = config_.ping_interval;
+  cc.idle_timeout = config_.idle_timeout;
+  conn_ = std::make_unique<Connection>(
+      std::move(socket), cc,
+      [this](Frame&& f) {
+        // Hold the first frames until serve() has published conn_ — the
+        // handshake reply must not race the assignment below.
+        {
+          std::unique_lock<std::mutex> lock(session_mutex_);
+          session_cv_.wait(lock, [this] { return conn_published_; });
+        }
+        handle_frame(std::move(f));
+      },
+      [this](const std::string&) {
+        {
+          std::lock_guard<std::mutex> lock(session_mutex_);
+          session_closed_ = true;
+        }
+        session_cv_.notify_all();
+      });
+  {
+    std::lock_guard<std::mutex> lock(session_mutex_);
+    conn_published_ = true;
+  }
+  session_cv_.notify_all();
+  {
+    std::unique_lock<std::mutex> lock(session_mutex_);
+    session_cv_.wait(lock, [this] {
+      return session_closed_ || stopping_.load(std::memory_order_acquire);
+    });
+  }
+  // Teardown order matters: workers may still be mid-round and sending —
+  // stop and join them while conn_ is alive, then drop the connection,
+  // then the board the runners publish into.
+  {
+    std::lock_guard<std::mutex> lock(workers_mutex_);
+    accepting_frames_ = false;
+    for (auto& [shard, worker] : workers_) {
+      (void)shard;
+      worker->stop();
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(workers_mutex_);
+    workers_.clear();  // joins every worker thread
+  }
+  conn_.reset();
+  board_.reset();
+}
+
+void HostAgent::handle_frame(Frame&& frame) {
+  // Reader thread. Decode errors thrown here fail the connection.
+  if (frame.type == MsgType::kHello) {
+    const HelloMsg m = decode_hello(frame.payload);
+    if (m.digest != digest_) {
+      send(MsgType::kError,
+           encode(ErrorMsg{-1, "environment digest mismatch — leader and "
+                               "agent run different scenarios"}));
+      fail_session("environment digest mismatch");
+      return;
+    }
+    if (m.shards_total <= 0) {
+      throw WireError("hello: shards_total must be positive");
+    }
+    board_ = std::make_unique<shard::PriceBoard>(m.shards_total,
+                                                 env_.cluster.class_count());
+    {
+      std::lock_guard<std::mutex> lock(workers_mutex_);
+      got_hello_ = true;
+    }
+    send(MsgType::kHelloAck, encode(HelloAckMsg{digest_}));
+    return;
+  }
+  if (frame.type == MsgType::kShutdown) {
+    stopping_.store(true, std::memory_order_release);
+    if (listener_ != nullptr) listener_->interrupt();
+    fail_session("shutdown requested by leader");
+    return;
+  }
+  // Everything else is shard-scoped: demux on the leading shard id.
+  WireReader peek(frame.payload);
+  const int shard = static_cast<int>(peek.get_svarint("shard id"));
+  std::lock_guard<std::mutex> lock(workers_mutex_);
+  if (!accepting_frames_) return;  // session already tearing down
+  if (!got_hello_) {
+    throw WireError("shard frame before the hello handshake");
+  }
+  auto it = workers_.find(shard);
+  if (it == workers_.end()) {
+    if (frame.type != MsgType::kAssignShard) {
+      send(MsgType::kError,
+           encode(ErrorMsg{shard, "message for an unassigned shard"}));
+      return;
+    }
+    it = workers_.emplace(shard, std::make_unique<Worker>(*this, shard)).first;
+  }
+  it->second->enqueue(std::move(frame));
+}
+
+bool HostAgent::send(MsgType type, const std::vector<std::uint8_t>& payload) {
+  return conn_ != nullptr && conn_->send(type, payload);
+}
+
+void HostAgent::fail_session(const std::string& reason) {
+  if (conn_ != nullptr) conn_->fail(reason);
+}
+
+shard::PriceSnapshot HostAgent::board_read(int shard) const {
+  return board_->read(shard);
+}
+
+}  // namespace lorasched::net

@@ -1,0 +1,131 @@
+// HostAgent — the process that owns ShardRunners on behalf of a remote
+// leader (DESIGN.md §11). It listens on loopback TCP, serves one leader
+// connection at a time, and speaks the wire protocol:
+//
+//   Hello/HelloAck      environment-digest handshake (scenario mismatch is
+//                       a handshake failure, not silent divergence)
+//   AssignShard         builds a ShardRunner over the shard's members with
+//                       the leader's pricing parameters
+//   BlockCells          replays the leader's outage calendar
+//   BeginRound+Offer×n  one decision round; the worker buffers ALL n
+//                       offers before arming the runner, so a leader that
+//                       dies mid-feed can never leave a runner stuck in a
+//                       half-fed round
+//   RoundResults        decisions + the shard's post-round price summary
+//   Publish/State/Restore  parked-state access for boards and checkpoints
+//   Shutdown            stops the agent
+//
+// Each assigned shard gets a worker thread (rounds on different shards of
+// the same agent decide concurrently, matching the in-process service).
+// The transport answers heartbeats internally, so a busy round never makes
+// the agent look dead. When the leader connection drops, the session's
+// runners are torn down; a reconnecting leader re-assigns and restores
+// state (see remote_shard.h).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "lorasched/net/messages.h"
+#include "lorasched/net/transport.h"
+#include "lorasched/shard/price_board.h"
+#include "lorasched/shard/shard_runner.h"
+#include "lorasched/sim/instance.h"
+
+namespace lorasched::net {
+
+class HostAgent {
+ public:
+  /// Builds the per-shard policy from the leader's AssignShard parameters.
+  /// The default wires them into make_pdftsp_factory (alpha, beta,
+  /// welfare_unit, share_options, parallel_candidates).
+  using FactoryBuilder =
+      std::function<shard::PolicyFactory(const AssignShardMsg&)>;
+
+  struct Config {
+    /// 0 picks an ephemeral port (see port()) — the test/CI mode.
+    std::uint16_t port = 0;
+    std::chrono::milliseconds ping_interval{200};
+    /// Fail the session when the leader is silent this long (it pings
+    /// constantly while alive). 0 disables.
+    std::chrono::milliseconds idle_timeout{2000};
+  };
+
+  /// `env` supplies cluster/energy/market/horizon (tasks and outages are
+  /// ignored — bids and blocks arrive over the wire).
+  HostAgent(Instance env, Config config, FactoryBuilder factory = {});
+  ~HostAgent();
+
+  HostAgent(const HostAgent&) = delete;
+  HostAgent& operator=(const HostAgent&) = delete;
+
+  /// Binds the listener and starts the accept thread.
+  void start();
+  /// Stops serving: interrupts the listener, fails the live session, joins.
+  /// Idempotent; also triggered by a kShutdown frame from the leader.
+  void stop();
+  /// Blocks until the agent stopped (kShutdown or stop()).
+  void wait();
+
+  [[nodiscard]] std::uint16_t port() const;
+  [[nodiscard]] bool running() const noexcept {
+    return running_.load(std::memory_order_acquire);
+  }
+  /// Leader sessions accepted so far (reconnects increment it).
+  [[nodiscard]] std::uint64_t sessions_served() const noexcept {
+    return sessions_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  class Worker;
+
+  void accept_main();
+  void serve(Socket socket);
+  void handle_frame(Frame&& frame);
+  /// Sends through the live session connection; false once it failed.
+  bool send(MsgType type, const std::vector<std::uint8_t>& payload);
+  void fail_session(const std::string& reason);
+  [[nodiscard]] shard::PriceSnapshot board_read(int shard) const;
+
+  Instance env_;
+  Config config_;
+  FactoryBuilder factory_;
+  std::uint64_t digest_ = 0;
+
+  std::unique_ptr<Listener> listener_;
+  std::thread accept_thread_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> running_{false};
+  std::atomic<std::uint64_t> sessions_{0};
+
+  // --- Per-session state (reset by serve()) -------------------------------
+  std::unique_ptr<Connection> conn_;
+  std::unique_ptr<shard::PriceBoard> board_;
+  mutable std::mutex workers_mutex_;
+  bool got_hello_ = false;
+  /// False outside a session and during teardown — late reader-thread
+  /// frames are dropped instead of resurrecting a worker.
+  bool accepting_frames_ = false;
+  std::map<int, std::unique_ptr<Worker>> workers_;
+
+  std::mutex session_mutex_;
+  std::condition_variable session_cv_;
+  bool session_closed_ = true;
+  /// The reader thread starts inside the Connection constructor, so on a
+  /// fast loopback the leader's Hello can arrive before serve()'s
+  /// assignment to conn_ retires — replying through a still-null conn_
+  /// would silently drop the HelloAck. Frame delivery waits on this flag.
+  bool conn_published_ = false;
+};
+
+}  // namespace lorasched::net

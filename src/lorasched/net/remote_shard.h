@@ -1,0 +1,194 @@
+// Leader-side remote shard plumbing (DESIGN.md §11): AgentLink owns one
+// framed TCP connection to a lorasched_host_agent and demultiplexes its
+// replies into per-shard mailboxes; RemoteShardHandle implements
+// shard::ShardHandle over that link, so ShardedService drives a shard in
+// another process through exactly the code path it uses for an in-process
+// ShardRunner.
+//
+// Failure semantics (the part that makes degradation graceful instead of
+// hang-or-crash):
+//  * Heartbeats live in the transport (Connection pings every
+//    ping_interval and fails after heartbeat_timeout of silence), so a
+//    killed agent is detected within ~heartbeat_timeout even mid-round.
+//  * Every RPC is bounded by rpc_timeout; a timeout FAILS the whole link
+//    (socket shut down, mailboxes flushed) so a late reply can never be
+//    misdelivered to a later request.
+//  * A link failure while a round is in flight permanently kills the
+//    affected handles: the agent may or may not have applied the round, so
+//    resuming it could silently diverge. The service fails the bids over
+//    to live shards (no reroute budget consumed) and routes around the
+//    dead shard from then on.
+//  * A link failure *between* rounds is recoverable when the handle's
+//    leader-side state cache is current (the last wait_round was followed
+//    by a state() fetch or restore_state push — true whenever the driver
+//    checkpoints every slot): the next use reconnects with backoff,
+//    re-handshakes, re-assigns, replays blocks, and restores the cached
+//    state, and the shard continues bit-identically.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "lorasched/core/pdftsp.h"
+#include "lorasched/net/messages.h"
+#include "lorasched/net/transport.h"
+#include "lorasched/shard/shard_handle.h"
+#include "lorasched/shard/sharded_service.h"
+
+namespace lorasched::net {
+
+struct LinkConfig {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  /// Transport heartbeat cadence and silence budget (see Connection).
+  std::chrono::milliseconds ping_interval{200};
+  std::chrono::milliseconds heartbeat_timeout{2000};
+  /// Per-RPC reply deadline; also bounds wait_round(). A timeout fails the
+  /// link (see header comment).
+  std::chrono::milliseconds rpc_timeout{10000};
+  /// Initial-dial retry budget (connect_with_backoff).
+  int connect_attempts = 10;
+  std::chrono::milliseconds connect_backoff{50};
+  /// Re-dial budget when an established link drops between rounds; 0
+  /// disables revival entirely (first failure is permanent).
+  int reconnect_attempts = 2;
+};
+
+/// One connection to one host-agent; shared by every RemoteShardHandle
+/// assigned to that agent. All request methods are leader-thread-only; the
+/// reader thread only fills mailboxes.
+class AgentLink {
+ public:
+  AgentLink(LinkConfig config, HelloMsg hello);
+  ~AgentLink();
+
+  AgentLink(const AgentLink&) = delete;
+  AgentLink& operator=(const AgentLink&) = delete;
+
+  /// Dials (with backoff) and runs the Hello handshake. Throws
+  /// TransportError / WireError / std::runtime_error on failure.
+  void connect();
+  [[nodiscard]] bool open() const noexcept;
+  [[nodiscard]] const LinkConfig& config() const noexcept { return config_; }
+  /// Close reason of the last failure ("" while open).
+  [[nodiscard]] std::string last_error() const;
+
+  /// Sends `type` and blocks for the matching `want` reply for `shard`
+  /// (kError from the agent rethrows as std::logic_error — the shard hit a
+  /// contract violation, not an outage). Throws shard::ShardUnavailable on
+  /// link failure or timeout.
+  Frame call(int shard, MsgType type, const std::vector<std::uint8_t>& payload,
+             MsgType want);
+  /// Fire-and-forget (BeginRound / Offer). Throws shard::ShardUnavailable
+  /// when the link is down.
+  void post(MsgType type, const std::vector<std::uint8_t>& payload);
+  /// Like call() without a request — waits for an already-requested reply
+  /// (RoundResults after BeginRound+Offers).
+  Frame wait(int shard, MsgType want);
+
+  /// Re-dials a dropped link (bounded attempts) and replays every
+  /// registered handle's resync. False when the link stays down. No-op
+  /// true when already open.
+  bool ensure_open();
+  /// Runs after every successful reconnect handshake, in shard order. The
+  /// callback must not throw (mark the handle dead instead).
+  void register_resync(int shard, std::function<void()> resync);
+
+  /// Best-effort kShutdown to the agent (process teardown).
+  void send_shutdown();
+
+ private:
+  void dial_and_handshake();
+  void on_frame(Frame&& frame);
+  Frame take_or_wait(int shard, MsgType want,
+                     std::chrono::steady_clock::time_point deadline,
+                     const char* what);
+
+  LinkConfig config_;
+  HelloMsg hello_;
+  std::unique_ptr<Connection> conn_;
+  std::map<int, std::function<void()>> resyncs_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable mail_cv_;
+  std::map<int, std::deque<Frame>> mail_;
+  std::string last_error_;
+};
+
+/// shard::ShardHandle over an AgentLink — the drop-in that makes
+/// ShardedService distributed. Construction assigns the shard on the agent
+/// (AssignShard round trip); block() calls are batched and flushed before
+/// the first round, mirroring the in-process setup order.
+class RemoteShardHandle final : public shard::ShardHandle {
+ public:
+  RemoteShardHandle(std::shared_ptr<AgentLink> link,
+                    const PdftspConfig& policy, int shard_id,
+                    std::vector<NodeId> members,
+                    const shard::ShardContext& ctx);
+
+  [[nodiscard]] int id() const noexcept override { return shard_id_; }
+  [[nodiscard]] const std::vector<NodeId>& to_global()
+      const noexcept override {
+    return to_global_;
+  }
+  [[nodiscard]] bool alive() const noexcept override { return !dead_; }
+
+  void block(NodeId local_node, Slot t) override;
+  void register_dp_metrics(obs::MetricsRegistry& registry) const override {
+    // The DP cache counters live in the agent process; its own registry
+    // exports them.
+    (void)registry;
+  }
+
+  void begin_round(Slot slot, std::size_t expected) override;
+  void offer(Task bid) override;
+  [[nodiscard]] const std::vector<shard::RoundResult>& wait_round() override;
+  void publish(Slot from) override;
+
+  [[nodiscard]] double booked_compute() const noexcept override {
+    return booked_;
+  }
+  [[nodiscard]] shard::ShardState state() const override;
+  void restore_state(const shard::ShardState& state) override;
+  void accumulate_utilization(double& used, double& cap) const override;
+
+ private:
+  /// Throws ShardUnavailable unless the link is usable, reviving it first
+  /// when that is safe (see header comment).
+  void ensure_ready() const;
+  void flush_blocks() const;
+  void assign() const;
+  void resync();
+  [[noreturn]] void die(const std::string& reason) const;
+
+  std::shared_ptr<AgentLink> link_;
+  const int shard_id_;
+  std::vector<NodeId> to_global_;
+  std::vector<double> compute_caps_;  // per local node, for utilization
+  const Slot horizon_;
+  shard::PriceBoard& board_;
+  AssignShardMsg assignment_;
+
+  mutable bool dead_ = false;
+  mutable std::string death_reason_;
+  /// Rounds ran since the cache was last synced — a drop now loses state.
+  mutable bool dirty_ = false;
+  bool in_round_ = false;
+  mutable std::vector<std::pair<NodeId, Slot>> pending_blocks_;
+  std::vector<std::pair<NodeId, Slot>> all_blocks_;  // replay on resync
+  std::vector<Task> round_tasks_;
+  Slot round_slot_ = 0;
+  std::vector<shard::RoundResult> results_;
+  double booked_ = 0.0;
+  mutable bool have_cache_ = false;
+  mutable shard::ShardState cache_;
+};
+
+}  // namespace lorasched::net

@@ -1,0 +1,313 @@
+#include "lorasched/net/transport.h"
+
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace lorasched::net {
+
+namespace {
+
+[[nodiscard]] std::string errno_text(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+[[nodiscard]] std::int64_t now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void set_nodelay(int fd) noexcept {
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+}  // namespace
+
+Socket::~Socket() { close(); }
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.release();
+  }
+  return *this;
+}
+
+Socket Socket::connect(const std::string& host, std::uint16_t port) {
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* results = nullptr;
+  const std::string service = std::to_string(port);
+  const int rc = ::getaddrinfo(host.c_str(), service.c_str(), &hints,
+                               &results);
+  if (rc != 0) {
+    throw TransportError("resolve " + host + ": " + gai_strerror(rc));
+  }
+  int last_errno = ECONNREFUSED;
+  for (addrinfo* ai = results; ai != nullptr; ai = ai->ai_next) {
+    const int fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) {
+      last_errno = errno;
+      continue;
+    }
+    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) {
+      ::freeaddrinfo(results);
+      set_nodelay(fd);
+      return Socket(fd);
+    }
+    last_errno = errno;
+    ::close(fd);
+  }
+  ::freeaddrinfo(results);
+  errno = last_errno;
+  throw TransportError(errno_text(("connect " + host + ":" + service)
+                                      .c_str()));
+}
+
+void Socket::shutdown() noexcept {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+void Socket::close() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Listener::Listener(std::uint16_t port, bool loopback_only) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw TransportError(errno_text("socket"));
+  socket_ = Socket(fd);
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = loopback_only ? htonl(INADDR_LOOPBACK)
+                                       : htonl(INADDR_ANY);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    throw TransportError(errno_text("bind"));
+  }
+  if (::listen(fd, 16) != 0) throw TransportError(errno_text("listen"));
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+    throw TransportError(errno_text("getsockname"));
+  }
+  port_ = ntohs(bound.sin_port);
+}
+
+Socket Listener::accept() {
+  const int fd = ::accept(socket_.fd(), nullptr, nullptr);
+  if (fd < 0) throw TransportError(errno_text("accept"));
+  set_nodelay(fd);
+  return Socket(fd);
+}
+
+void Listener::interrupt() noexcept {
+  socket_.shutdown();
+  // Linux accept() does not always wake on shutdown of a listening socket;
+  // closing the fd does, at the cost of accept() returning EBADF/EINVAL —
+  // both surface as the TransportError the caller expects.
+  socket_.close();
+}
+
+Connection::Connection(Socket socket, Config config, FrameHandler on_frame,
+                       CloseHandler on_close)
+    : socket_(std::move(socket)),
+      config_(config),
+      on_frame_(std::move(on_frame)),
+      on_close_(std::move(on_close)) {
+  last_rx_ns_.store(now_ns(), std::memory_order_relaxed);
+  reader_ = std::thread(&Connection::reader_main, this);
+  writer_ = std::thread(&Connection::writer_main, this);
+  if (config_.ping_interval.count() > 0 || config_.idle_timeout.count() > 0) {
+    maintenance_ = std::thread(&Connection::maintenance_main, this);
+  }
+}
+
+Connection::~Connection() {
+  stopping_.store(true, std::memory_order_release);
+  fail("connection destroyed");
+  if (reader_.joinable()) reader_.join();
+  if (writer_.joinable()) writer_.join();
+  if (maintenance_.joinable()) maintenance_.join();
+}
+
+void Connection::fail(const std::string& reason) noexcept {
+  if (failed_.exchange(true, std::memory_order_acq_rel)) return;
+  socket_.shutdown();  // wakes the reader blocked in recv
+  outbox_cv_.notify_all();
+  outbox_room_.notify_all();
+  maint_cv_.notify_all();
+  if (on_close_) {
+    try {
+      std::call_once(close_once_, on_close_, reason);
+    } catch (...) {
+      // A throwing close handler must not take the process down from a
+      // transport thread; the failure state is already set.
+    }
+  }
+}
+
+bool Connection::send(MsgType type, const std::vector<std::uint8_t>& payload) {
+  if (!open()) return false;
+  return enqueue(encode_frame(type, payload));
+}
+
+bool Connection::enqueue(std::vector<std::uint8_t> bytes) {
+  std::unique_lock<std::mutex> lock(outbox_mutex_);
+  outbox_room_.wait(lock, [&] {
+    return failed_.load(std::memory_order_acquire) ||
+           outbox_.size() < config_.outbox_capacity;
+  });
+  if (failed_.load(std::memory_order_acquire)) return false;
+  outbox_.push_back(std::move(bytes));
+  ++in_flight_;
+  outbox_cv_.notify_one();
+  return true;
+}
+
+void Connection::drain(std::chrono::milliseconds budget) {
+  std::unique_lock<std::mutex> lock(outbox_mutex_);
+  outbox_room_.wait_for(lock, budget, [&] {
+    return failed_.load(std::memory_order_acquire) || in_flight_ == 0;
+  });
+}
+
+void Connection::writer_main() {
+  for (;;) {
+    std::vector<std::uint8_t> bytes;
+    {
+      std::unique_lock<std::mutex> lock(outbox_mutex_);
+      outbox_cv_.wait(lock, [&] {
+        return failed_.load(std::memory_order_acquire) || !outbox_.empty();
+      });
+      if (failed_.load(std::memory_order_acquire)) return;
+      bytes = std::move(outbox_.front());
+      outbox_.pop_front();
+      outbox_room_.notify_one();
+    }
+    std::size_t written = 0;
+    while (written < bytes.size()) {
+      const ssize_t n =
+          ::send(socket_.fd(), bytes.data() + written, bytes.size() - written,
+                 MSG_NOSIGNAL);
+      if (n <= 0) {
+        if (n < 0 && errno == EINTR) continue;
+        fail(errno_text("send"));
+        return;
+      }
+      written += static_cast<std::size_t>(n);
+    }
+    bytes_sent_.fetch_add(bytes.size(), std::memory_order_relaxed);
+    frames_sent_.fetch_add(1, std::memory_order_relaxed);
+    {
+      const std::lock_guard<std::mutex> lock(outbox_mutex_);
+      --in_flight_;
+      outbox_room_.notify_all();  // wakes drain() as well as blocked senders
+    }
+  }
+}
+
+void Connection::reader_main() {
+  FrameDecoder decoder;
+  std::uint8_t chunk[16 * 1024];
+  Frame frame;
+  for (;;) {
+    const ssize_t n = ::recv(socket_.fd(), chunk, sizeof(chunk), 0);
+    if (n == 0) {
+      fail("peer closed the connection");
+      return;
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      fail(stopping_.load(std::memory_order_acquire) ? "connection destroyed"
+                                                     : errno_text("recv"));
+      return;
+    }
+    bytes_received_.fetch_add(static_cast<std::uint64_t>(n),
+                              std::memory_order_relaxed);
+    last_rx_ns_.store(now_ns(), std::memory_order_relaxed);
+    try {
+      decoder.feed(chunk, static_cast<std::size_t>(n));
+      while (decoder.next(frame)) {
+        frames_received_.fetch_add(1, std::memory_order_relaxed);
+        if (frame.type == MsgType::kPing) {
+          // Transport-level heartbeat: answer in kind, don't surface.
+          enqueue(encode_frame(MsgType::kPong, frame.payload));
+          continue;
+        }
+        if (frame.type == MsgType::kPong) continue;  // liveness refreshed
+        if (on_frame_) on_frame_(std::move(frame));
+      }
+    } catch (const WireError& e) {
+      fail(e.what());
+      return;
+    } catch (const std::exception& e) {
+      fail(std::string("frame handler: ") + e.what());
+      return;
+    }
+  }
+}
+
+void Connection::maintenance_main() {
+  const auto tick = config_.ping_interval.count() > 0
+                        ? config_.ping_interval
+                        : config_.idle_timeout / 4;
+  auto last_ping = std::chrono::steady_clock::now();
+  std::unique_lock<std::mutex> lock(maint_mutex_);
+  while (!failed_.load(std::memory_order_acquire)) {
+    maint_cv_.wait_for(lock, tick);
+    if (failed_.load(std::memory_order_acquire)) return;
+    const auto now = std::chrono::steady_clock::now();
+    if (config_.idle_timeout.count() > 0) {
+      const auto last_rx = std::chrono::steady_clock::time_point(
+          std::chrono::nanoseconds(
+              last_rx_ns_.load(std::memory_order_relaxed)));
+      if (now - last_rx > config_.idle_timeout) {
+        fail("peer silent past the idle timeout (heartbeat lost)");
+        return;
+      }
+    }
+    if (config_.ping_interval.count() > 0 &&
+        now - last_ping >= config_.ping_interval) {
+      last_ping = now;
+      enqueue(encode_frame(MsgType::kPing, {}));
+    }
+  }
+}
+
+Socket connect_with_backoff(const std::string& host, std::uint16_t port,
+                            int attempts,
+                            std::chrono::milliseconds initial_backoff) {
+  std::string last_error = "no attempts made";
+  auto pause = initial_backoff;
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      std::this_thread::sleep_for(pause);
+      pause = std::min(pause * 2, std::chrono::milliseconds(5000));
+    }
+    try {
+      return Socket::connect(host, port);
+    } catch (const TransportError& e) {
+      last_error = e.what();
+    }
+  }
+  throw TransportError("connect to " + host + ":" + std::to_string(port) +
+                       " failed after " + std::to_string(attempts) +
+                       " attempts: " + last_error);
+}
+
+}  // namespace lorasched::net

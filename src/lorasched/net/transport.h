@@ -1,0 +1,196 @@
+// TCP transport for the control plane (DESIGN.md §11): RAII sockets, a
+// listener, and a framed Connection with one read and one write thread.
+//
+// Connection threading model:
+//  * the writer thread drains a bounded outbox, so send() never blocks on
+//    the network (it blocks only when the outbox is full — backpressure
+//    against a stalled peer);
+//  * the reader thread decodes frames and hands them to the frame handler;
+//    kPing frames are answered with kPong and kPong frames only refresh
+//    the liveness clock — heartbeating lives entirely inside the
+//    transport, so every protocol layer above gets failure detection for
+//    free;
+//  * an optional maintenance thread sends pings every `ping_interval` and
+//    fails the connection when nothing (data or pong) arrived within
+//    `idle_timeout`.
+//
+// Any failure — peer close, read/write error, decode error, idle timeout —
+// runs the close handler exactly once with a reason, after which send()
+// returns false. connect_with_backoff() retries an outbound connect a
+// bounded number of times with exponentially growing pauses.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <thread>
+
+#include "lorasched/net/wire.h"
+
+namespace lorasched::net {
+
+/// Socket-level failure (connect/bind/accept/IO). Distinct from WireError
+/// so callers can tell "peer unreachable" from "peer speaks garbage".
+class TransportError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// RAII file descriptor for a connected TCP stream (TCP_NODELAY set — the
+/// round protocol is latency-bound request/response, not bulk transfer).
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket();
+  Socket(Socket&& other) noexcept : fd_(other.release()) {}
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  /// Blocking connect to host:port. Throws TransportError on failure.
+  [[nodiscard]] static Socket connect(const std::string& host,
+                                      std::uint16_t port);
+
+  [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
+  [[nodiscard]] int fd() const noexcept { return fd_; }
+  [[nodiscard]] int release() noexcept {
+    const int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+  /// Shuts down both directions, waking any thread blocked in recv/send on
+  /// this socket. Safe to call from another thread; idempotent.
+  void shutdown() noexcept;
+  void close() noexcept;
+
+ private:
+  int fd_ = -1;
+};
+
+/// Listening TCP socket bound to 127.0.0.1 (the control plane is expected
+/// to run behind a private network; wildcard binding is opt-in).
+class Listener {
+ public:
+  /// Binds and listens; `port` 0 picks an ephemeral port (see port()).
+  explicit Listener(std::uint16_t port, bool loopback_only = true);
+
+  /// Blocks until a peer connects or interrupt() is called (then throws
+  /// TransportError).
+  [[nodiscard]] Socket accept();
+
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+  /// Unblocks a pending accept() and fails all future ones.
+  void interrupt() noexcept;
+
+ private:
+  Socket socket_;
+  std::uint16_t port_ = 0;
+};
+
+class Connection {
+ public:
+  struct Config {
+    /// Outbox bound in frames; send() blocks when full (peer stalled).
+    std::size_t outbox_capacity = 4096;
+    /// > 0: the maintenance thread sends kPing at this cadence.
+    std::chrono::milliseconds ping_interval{0};
+    /// > 0: fail the connection when no frame arrived for this long.
+    std::chrono::milliseconds idle_timeout{0};
+  };
+
+  using FrameHandler = std::function<void(Frame&&)>;
+  using CloseHandler = std::function<void(const std::string& reason)>;
+
+  /// Takes ownership of a connected socket and starts the reader/writer
+  /// threads. `on_frame` runs on the reader thread (do not block it on the
+  /// network); `on_close` runs exactly once, from whichever thread detects
+  /// the failure.
+  Connection(Socket socket, Config config, FrameHandler on_frame,
+             CloseHandler on_close);
+  ~Connection();
+
+  Connection(const Connection&) = delete;
+  Connection& operator=(const Connection&) = delete;
+
+  /// Enqueues a frame; returns false if the connection already failed.
+  bool send(MsgType type, const std::vector<std::uint8_t>& payload);
+
+  /// Blocks until every frame accepted by send() has been written to the
+  /// socket, the connection failed, or `budget` elapsed — whichever comes
+  /// first. Destroying a Connection fails it immediately, dropping queued
+  /// frames; a sender whose last frame must actually reach the peer (the
+  /// leader's final Shutdown) drains before tearing down.
+  void drain(std::chrono::milliseconds budget);
+
+  [[nodiscard]] bool open() const noexcept {
+    return !failed_.load(std::memory_order_acquire);
+  }
+  /// Fails the connection with a reason (runs the close handler once).
+  void fail(const std::string& reason) noexcept;
+
+  // Lifetime traffic counters (relaxed; exported as RPC metrics).
+  [[nodiscard]] std::uint64_t bytes_sent() const noexcept {
+    return bytes_sent_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t bytes_received() const noexcept {
+    return bytes_received_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t frames_sent() const noexcept {
+    return frames_sent_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t frames_received() const noexcept {
+    return frames_received_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void reader_main();
+  void writer_main();
+  void maintenance_main();
+  bool enqueue(std::vector<std::uint8_t> bytes);
+
+  Socket socket_;
+  Config config_;
+  FrameHandler on_frame_;
+  CloseHandler on_close_;
+
+  std::mutex outbox_mutex_;
+  std::condition_variable outbox_cv_;   // writer waits for work
+  std::condition_variable outbox_room_; // senders wait for space or drain
+  std::deque<std::vector<std::uint8_t>> outbox_;
+  /// Frames accepted by send() but not yet written to the socket (guarded
+  /// by outbox_mutex_; drain() waits for zero).
+  std::size_t in_flight_ = 0;
+
+  std::atomic<bool> failed_{false};
+  std::atomic<bool> stopping_{false};
+  std::once_flag close_once_;
+
+  std::atomic<std::int64_t> last_rx_ns_{0};  // steady_clock since epoch
+  std::atomic<std::uint64_t> bytes_sent_{0};
+  std::atomic<std::uint64_t> bytes_received_{0};
+  std::atomic<std::uint64_t> frames_sent_{0};
+  std::atomic<std::uint64_t> frames_received_{0};
+
+  std::mutex maint_mutex_;
+  std::condition_variable maint_cv_;
+
+  std::thread reader_;
+  std::thread writer_;
+  std::thread maintenance_;
+};
+
+/// Outbound connect retried with exponential backoff: `attempts` tries,
+/// pausing `initial_backoff` then doubling (capped at 5 s). Throws
+/// TransportError when every attempt failed.
+[[nodiscard]] Socket connect_with_backoff(
+    const std::string& host, std::uint16_t port, int attempts,
+    std::chrono::milliseconds initial_backoff);
+
+}  // namespace lorasched::net

@@ -1,0 +1,204 @@
+#include "lorasched/net/wire.h"
+
+#include <cstring>
+
+namespace lorasched::net {
+
+const char* to_string(MsgType type) noexcept {
+  switch (type) {
+    case MsgType::kHello: return "hello";
+    case MsgType::kHelloAck: return "hello_ack";
+    case MsgType::kAssignShard: return "assign_shard";
+    case MsgType::kAssignAck: return "assign_ack";
+    case MsgType::kBlockCells: return "block_cells";
+    case MsgType::kBlockAck: return "block_ack";
+    case MsgType::kBeginRound: return "begin_round";
+    case MsgType::kOffer: return "offer";
+    case MsgType::kRoundResults: return "round_results";
+    case MsgType::kPublishRequest: return "publish_request";
+    case MsgType::kPublishReply: return "publish_reply";
+    case MsgType::kStateRequest: return "state_request";
+    case MsgType::kStateReply: return "state_reply";
+    case MsgType::kRestoreState: return "restore_state";
+    case MsgType::kRestoreAck: return "restore_ack";
+    case MsgType::kPing: return "ping";
+    case MsgType::kPong: return "pong";
+    case MsgType::kShutdown: return "shutdown";
+    case MsgType::kError: return "error";
+  }
+  return "unknown";
+}
+
+namespace {
+
+[[nodiscard]] bool known_type(std::uint8_t raw) noexcept {
+  return raw >= static_cast<std::uint8_t>(MsgType::kHello) &&
+         raw <= static_cast<std::uint8_t>(MsgType::kError);
+}
+
+[[noreturn]] void fail(const char* what, const char* why) {
+  throw WireError(std::string("wire: ") + why + " reading " + what);
+}
+
+}  // namespace
+
+void WireWriter::put_varint(std::uint64_t v) {
+  while (v >= 0x80) {
+    buffer_.push_back(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  buffer_.push_back(static_cast<std::uint8_t>(v));
+}
+
+void WireWriter::put_f64(double v) {
+  const auto bits = std::bit_cast<std::uint64_t>(v);
+  for (int i = 0; i < 8; ++i) {
+    buffer_.push_back(static_cast<std::uint8_t>(bits >> (8 * i)));
+  }
+}
+
+void WireWriter::put_string(const std::string& s) {
+  put_varint(s.size());
+  buffer_.insert(buffer_.end(), s.begin(), s.end());
+}
+
+void WireWriter::put_doubles(const std::vector<double>& values) {
+  put_varint(values.size());
+  for (const double v : values) put_f64(v);
+}
+
+std::uint8_t WireReader::get_u8(const char* what) {
+  if (pos_ >= size_) fail(what, "truncated byte");
+  return data_[pos_++];
+}
+
+std::uint64_t WireReader::get_varint(const char* what) {
+  std::uint64_t value = 0;
+  for (int shift = 0; shift < 64; shift += 7) {
+    if (pos_ >= size_) fail(what, "truncated varint");
+    const std::uint8_t byte = data_[pos_++];
+    const auto low = static_cast<std::uint64_t>(byte & 0x7F);
+    if (shift == 63 && low > 1) fail(what, "varint overflows 64 bits");
+    value |= low << shift;
+    if ((byte & 0x80) == 0) {
+      // An overlong encoding ("0x80 0x00" for zero) would make the format
+      // non-canonical; reject it so every value has exactly one encoding.
+      if (byte == 0 && shift != 0) fail(what, "overlong varint");
+      return value;
+    }
+  }
+  fail(what, "varint longer than 10 bytes");
+}
+
+double WireReader::get_f64(const char* what) {
+  if (size_ - pos_ < 8) fail(what, "truncated f64");
+  std::uint64_t bits = 0;
+  for (int i = 0; i < 8; ++i) {
+    bits |= static_cast<std::uint64_t>(data_[pos_ + static_cast<std::size_t>(
+                                                        i)])
+            << (8 * i);
+  }
+  pos_ += 8;
+  return std::bit_cast<double>(bits);
+}
+
+std::string WireReader::get_string(const char* what) {
+  const std::uint64_t n = get_count(what);
+  if (remaining() < n) fail(what, "truncated string");
+  std::string s(reinterpret_cast<const char*>(data_ + pos_),
+                static_cast<std::size_t>(n));
+  pos_ += static_cast<std::size_t>(n);
+  return s;
+}
+
+std::vector<double> WireReader::get_doubles(const char* what) {
+  const std::uint64_t n = get_count(what);
+  if (remaining() < n * 8) fail(what, "truncated double array");
+  std::vector<double> values(static_cast<std::size_t>(n));
+  for (double& v : values) v = get_f64(what);
+  return values;
+}
+
+std::uint64_t WireReader::get_count(const char* what) {
+  const std::uint64_t n = get_varint(what);
+  if (n > kMaxWireElements) fail(what, "absurd element count");
+  return n;
+}
+
+void WireReader::expect_done(const char* what) const {
+  if (pos_ != size_) fail(what, "trailing bytes after payload");
+}
+
+std::vector<std::uint8_t> encode_frame(MsgType type,
+                                       const std::vector<std::uint8_t>&
+                                           payload) {
+  if (payload.size() > kMaxWirePayload) {
+    throw WireError("wire: refusing to encode an oversized frame");
+  }
+  WireWriter header;
+  for (const std::uint8_t b : kWireMagic) header.put_u8(b);
+  header.put_u8(kWireVersion);
+  header.put_u8(static_cast<std::uint8_t>(type));
+  header.put_varint(payload.size());
+  std::vector<std::uint8_t> bytes = header.take();
+  bytes.insert(bytes.end(), payload.begin(), payload.end());
+  return bytes;
+}
+
+void FrameDecoder::feed(const std::uint8_t* data, std::size_t size) {
+  // Compact the consumed prefix before it dominates the buffer.
+  if (scan_ > 0 && scan_ >= buffer_.size() / 2) {
+    buffer_.erase(buffer_.begin(),
+                  buffer_.begin() + static_cast<std::ptrdiff_t>(scan_));
+    scan_ = 0;
+  }
+  buffer_.insert(buffer_.end(), data, data + size);
+}
+
+bool FrameDecoder::next(Frame& out) {
+  const std::size_t available = buffer_.size() - scan_;
+  if (available < kFramePrefix + 1) return false;
+  const std::uint8_t* head = buffer_.data() + scan_;
+  if (std::memcmp(head, kWireMagic, sizeof(kWireMagic)) != 0) {
+    throw WireError("wire: bad frame magic (stream is not lswp framed)");
+  }
+  if (head[4] != kWireVersion) {
+    throw WireError(
+        "wire: protocol version " + std::to_string(int{head[4]}) +
+        " from peer, this build speaks version " +
+        std::to_string(int{kWireVersion}));
+  }
+  if (!known_type(head[5])) {
+    throw WireError("wire: unknown message type " +
+                    std::to_string(int{head[5]}));
+  }
+  // Varint payload length, bounded to 10 bytes past the fixed prefix.
+  std::uint64_t length = 0;
+  std::size_t used = 0;
+  bool complete = false;
+  for (; used < 10 && kFramePrefix + used < available; ++used) {
+    const std::uint8_t byte = head[kFramePrefix + used];
+    length |= static_cast<std::uint64_t>(byte & 0x7F) << (7 * used);
+    if ((byte & 0x80) == 0) {
+      complete = true;
+      ++used;
+      break;
+    }
+  }
+  if (!complete) {
+    if (used >= 10) throw WireError("wire: frame length varint too long");
+    return false;  // header still arriving
+  }
+  if (length > kMaxWirePayload) {
+    throw WireError("wire: frame payload length is absurd");
+  }
+  const std::size_t header = kFramePrefix + used;
+  if (available < header + length) return false;  // payload still arriving
+  out.type = static_cast<MsgType>(head[5]);
+  out.payload.assign(head + header,
+                     head + header + static_cast<std::size_t>(length));
+  scan_ += header + static_cast<std::size_t>(length);
+  return true;
+}
+
+}  // namespace lorasched::net

@@ -1,0 +1,99 @@
+// ShardHandle — the leader's view of one scheduling shard, abstracted over
+// *where* the shard runs. ShardRunner implements it in-process (the shard's
+// decision thread lives in this address space); net::RemoteShardHandle
+// implements it over the wire protocol (the shard lives inside a
+// lorasched_host_agent process). ShardedService drives the slot-synchronous
+// round protocol purely through this interface, so local and distributed
+// deployments share every line of routing, re-offer, accounting, and
+// checkpoint logic — which is what makes the bit-identity guarantee between
+// the two modes a property of one code path instead of two parallel ones.
+//
+// Liveness: alive() is true until the shard becomes unreachable (only the
+// remote implementation can ever turn false). Once a handle is dead, the
+// round-protocol and state methods throw ShardUnavailable; the service
+// degrades by routing around the shard instead of crashing or hanging.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "lorasched/obs/registry.h"
+#include "lorasched/shard/sharded_checkpoint.h"
+#include "lorasched/sim/policy.h"
+#include "lorasched/types.h"
+#include "lorasched/workload/task.h"
+
+namespace lorasched::shard {
+
+/// One bid's outcome from a decision round. Schedule node ids are
+/// shard-local (0..members-1); the service remaps through to_global().
+struct RoundResult {
+  Task task;
+  Decision decision;
+  double decide_seconds = 0.0;
+};
+
+/// The shard cannot be reached (host-agent crashed, link failed, round
+/// timed out). Distinct from std::logic_error — a contract violation is a
+/// bug and propagates; unavailability is an operational condition the
+/// service survives by degrading.
+class ShardUnavailable : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class ShardHandle {
+ public:
+  virtual ~ShardHandle() = default;
+
+  [[nodiscard]] virtual int id() const noexcept = 0;
+  /// Shard-local node id -> fleet node id, ascending.
+  [[nodiscard]] virtual const std::vector<NodeId>& to_global()
+      const noexcept = 0;
+  /// False once the shard became unreachable (remote only). A dead shard
+  /// stays dead for the rest of the run.
+  [[nodiscard]] virtual bool alive() const noexcept = 0;
+
+  /// Pre-blocks a shard-local node-slot (outage calendar). Call before the
+  /// first round or between rounds.
+  virtual void block(NodeId local_node, Slot t) = 0;
+  /// Wires the shard policy's DP-cache metrics into `registry` (no-op when
+  /// the policy has none, or when the counters live in another process).
+  virtual void register_dp_metrics(obs::MetricsRegistry& registry) const = 0;
+
+  // --- Round protocol (leader thread) -------------------------------------
+
+  /// Arms a decision round at `slot` expecting exactly `expected` bids.
+  virtual void begin_round(Slot slot, std::size_t expected) = 0;
+  /// Feeds one bid into the armed round.
+  virtual void offer(Task bid) = 0;
+  /// Blocks until the armed round completes; one result per offered bid, in
+  /// offer order. The reference stays valid until the next begin_round().
+  /// Throws ShardUnavailable when the shard died mid-round.
+  [[nodiscard]] virtual const std::vector<RoundResult>& wait_round() = 0;
+  /// Publishes the shard's price summary as of `from` to the leader's
+  /// board. Only safe while the shard is parked (between rounds).
+  virtual void publish(Slot from) = 0;
+
+  // --- Parked-state access (leader thread, between rounds only) -----------
+
+  /// Running sum of admitted schedules' compute — tracked leader-side even
+  /// for remote shards, so it stays readable after the shard dies.
+  [[nodiscard]] virtual double booked_compute() const noexcept = 0;
+  /// Full decision state (policy dump + ledger + booked compute) — the
+  /// checkpoint unit. Throws ShardUnavailable for a dead remote shard.
+  [[nodiscard]] virtual ShardState state() const = 0;
+  /// Overwrites the shard's decision state from a checkpoint.
+  virtual void restore_state(const ShardState& state) = 0;
+
+  /// Adds this shard's reserved compute and total capacity to the running
+  /// sums, in exactly CapacityLedger::compute_utilization()'s accumulation
+  /// order (node-major, slot-minor) — so a 1-shard service reproduces the
+  /// monolithic utilization float for float. Throws ShardUnavailable for a
+  /// dead remote shard.
+  virtual void accumulate_utilization(double& used, double& cap) const = 0;
+};
+
+}  // namespace lorasched::shard

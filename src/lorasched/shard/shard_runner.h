@@ -37,6 +37,7 @@
 #include "lorasched/core/pdftsp.h"
 #include "lorasched/service/bid_queue.h"
 #include "lorasched/shard/price_board.h"
+#include "lorasched/shard/shard_handle.h"
 #include "lorasched/sim/policy.h"
 #include "lorasched/types.h"
 #include "lorasched/workload/task.h"
@@ -54,14 +55,10 @@ using PolicyFactory = std::function<std::unique_ptr<Policy>(
 /// own admission stream.
 [[nodiscard]] PolicyFactory make_pdftsp_factory(PdftspConfig config);
 
-class ShardRunner {
+class ShardRunner : public ShardHandle {
  public:
-  struct RoundResult {
-    Task task;
-    /// Schedule node ids are shard-local; remap through to_global().
-    Decision decision;
-    double decide_seconds = 0.0;
-  };
+  /// Schedule node ids are shard-local; remap through to_global().
+  using RoundResult = shard::RoundResult;
 
   /// `members` are the shard's global node ids (ascending); the runner
   /// copies their profiles into a private sub-cluster. `board` outlives the
@@ -75,37 +72,40 @@ class ShardRunner {
   ShardRunner(const ShardRunner&) = delete;
   ShardRunner& operator=(const ShardRunner&) = delete;
 
-  [[nodiscard]] int id() const noexcept { return shard_id_; }
+  [[nodiscard]] int id() const noexcept override { return shard_id_; }
   [[nodiscard]] const Cluster& cluster() const noexcept { return cluster_; }
-  [[nodiscard]] const std::vector<NodeId>& to_global() const noexcept {
+  [[nodiscard]] const std::vector<NodeId>& to_global()
+      const noexcept override {
     return to_global_;
   }
+  /// An in-process shard can never become unreachable.
+  [[nodiscard]] bool alive() const noexcept override { return true; }
 
   /// Pre-blocks a shard-local node-slot (outage calendar). Call before the
   /// first round or between rounds.
-  void block(NodeId local_node, Slot t);
+  void block(NodeId local_node, Slot t) override;
 
   /// Wires the shard policy's schedule-DP price-cache metrics into
   /// `registry` (no-op for non-pdFTSP policies). Every shard registers the
   /// same metric names, so the counters aggregate fleet-wide. Call during
   /// setup, before the first round.
-  void register_dp_metrics(obs::MetricsRegistry& registry) const;
+  void register_dp_metrics(obs::MetricsRegistry& registry) const override;
 
   // --- Round protocol (leader thread) -------------------------------------
 
   /// Arms the runner for a decision round at `slot` expecting exactly
   /// `expected` bids (> 0). Feed them with offer(), then wait_round().
-  void begin_round(Slot slot, std::size_t expected);
+  void begin_round(Slot slot, std::size_t expected) override;
 
   /// Feeds one bid into the armed round's inbox. May block briefly when the
   /// inbox is full — the runner is draining concurrently, so it always
   /// makes progress.
-  void offer(Task bid);
+  void offer(Task bid) override;
 
   /// Blocks until the armed round completes; returns one result per offered
   /// bid, in offer order. The reference stays valid until the next
   /// begin_round().
-  [[nodiscard]] const std::vector<RoundResult>& wait_round();
+  [[nodiscard]] const std::vector<RoundResult>& wait_round() override;
 
   /// Publishes the shard's price summary as of `from`: free capacity and
   /// mean duals over slots [from, horizon). The runner publishes
@@ -113,11 +113,13 @@ class ShardRunner {
   /// this for shards that sat a slot out, so the board's content is a pure
   /// function of decision history — never of thread timing. Leader calls
   /// are only safe while the runner is parked.
-  void publish(Slot from);
+  void publish(Slot from) override;
 
   // --- Parked-state access (leader thread, between rounds only) -----------
 
-  [[nodiscard]] double booked_compute() const noexcept { return booked_; }
+  [[nodiscard]] double booked_compute() const noexcept override {
+    return booked_;
+  }
   [[nodiscard]] const CapacityLedger& ledger() const noexcept {
     return ledger_;
   }
@@ -128,11 +130,19 @@ class ShardRunner {
   }
   void restore_ledger(const CapacityLedger::Snapshot& snapshot, double booked);
 
+  [[nodiscard]] ShardState state() const override {
+    return ShardState{booked_, policy_state(), ledger_.snapshot()};
+  }
+  void restore_state(const ShardState& state) override {
+    restore_policy_state(state.policy_state);
+    restore_ledger(state.ledger, state.booked_compute);
+  }
+
   /// Adds this shard's reserved compute and total capacity to the running
   /// sums, in exactly CapacityLedger::compute_utilization()'s accumulation
   /// order — so a 1-shard service reproduces the monolithic utilization
   /// float for float.
-  void accumulate_utilization(double& used, double& cap) const;
+  void accumulate_utilization(double& used, double& cap) const override;
 
  private:
   void thread_main();

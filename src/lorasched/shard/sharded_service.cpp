@@ -24,8 +24,24 @@ Schedule to_fleet(Schedule schedule, const std::vector<NodeId>& to_global) {
 
 }  // namespace
 
+HandleFactory local_handles(PolicyFactory factory) {
+  return [factory = std::move(factory)](
+             int shard_id, std::vector<NodeId> members,
+             const ShardContext& ctx) -> std::unique_ptr<ShardHandle> {
+    return std::make_unique<ShardRunner>(
+        shard_id, ctx.fleet, std::move(members), ctx.energy, ctx.market,
+        ctx.horizon, factory, ctx.board, ctx.config.inbox_capacity,
+        ctx.config.time_decisions);
+  };
+}
+
 ShardedService::ShardedService(const Instance& env,
                                const PolicyFactory& factory,
+                               ShardedConfig config)
+    : ShardedService(env, local_handles(factory), config) {}
+
+ShardedService::ShardedService(const Instance& env,
+                               const HandleFactory& handles,
                                ShardedConfig config)
     : cluster_(env.cluster),
       energy_(env.energy),
@@ -40,17 +56,35 @@ ShardedService::ShardedService(const Instance& env,
   if (horizon_ <= 0) {
     throw std::invalid_argument("service horizon must be positive");
   }
+  init_shards(env, handles);
+  reroutes_total_ = &metrics_.registry().counter(
+      "lorasched_router_reroutes_total",
+      "Bids the router re-offered to another shard at least once "
+      "(second chance)");
+  reroute_admits_total_ = &metrics_.registry().counter(
+      "lorasched_router_reroute_admits_total",
+      "Rerouted bids eventually admitted by a non-first-choice shard");
+  failovers_total_ = &metrics_.registry().counter(
+      "lorasched_router_failovers_total",
+      "Bid offers moved off a dead shard (no reroute budget consumed)");
+  reroute_ratio_ = &metrics_.registry().gauge(
+      "lorasched_router_reroute_ratio",
+      "Fraction of routed bids re-offered at least once, over the run");
+}
+
+void ShardedService::init_shards(const Instance& env,
+                                 const HandleFactory& handles) {
+  const ShardContext ctx{cluster_, energy_, market_,
+                         horizon_,  board_,  config_};
   owner_.assign(static_cast<std::size_t>(cluster_.node_count()), {-1, -1});
-  runners_.reserve(plan_.nodes.size());
+  shards_.reserve(plan_.nodes.size());
   for (std::size_t s = 0; s < plan_.nodes.size(); ++s) {
     const std::vector<NodeId>& members = plan_.nodes[s];
     for (std::size_t local = 0; local < members.size(); ++local) {
       owner_[static_cast<std::size_t>(members[local])] = {
           static_cast<int>(s), static_cast<NodeId>(local)};
     }
-    runners_.push_back(std::make_unique<ShardRunner>(
-        static_cast<int>(s), cluster_, members, energy_, market_, horizon_,
-        factory, board_, config_.inbox_capacity, config_.time_decisions));
+    shards_.push_back(handles(static_cast<int>(s), members, ctx));
   }
   // Failure calendar, mapped into the owning shard's ledger — the union of
   // the shard ledgers is exactly the monolithic service's blocked set.
@@ -58,16 +92,16 @@ ShardedService::ShardedService(const Instance& env,
     const auto [shard, local] = owner_[static_cast<std::size_t>(outage.node)];
     for (Slot t = std::max<Slot>(0, outage.from);
          t < std::min<Slot>(horizon_, outage.to); ++t) {
-      runners_[static_cast<std::size_t>(shard)]->block(local, t);
+      shards_[static_cast<std::size_t>(shard)]->block(local, t);
     }
   }
   // Seed the board so slot-0 routing sees real free capacity, not the
   // "nothing published" placeholder.
-  for (const auto& runner : runners_) runner->publish(0);
+  for (const auto& shard : shards_) shard->publish(0);
   // Every shard registers the same DP cache-metric names, so hits/misses
   // aggregate fleet-wide in this service's registry.
-  for (const auto& runner : runners_) {
-    runner->register_dp_metrics(metrics_.registry());
+  for (const auto& shard : shards_) {
+    shard->register_dp_metrics(metrics_.registry());
   }
 }
 
@@ -149,6 +183,9 @@ void ShardedService::step() {
 void ShardedService::decide_batch(Slot now, std::vector<Task>& batch,
                                   std::size_t drained,
                                   std::size_t queue_depth) {
+  const std::uint64_t rerouted_before = rerouted_bids_;
+  const std::uint64_t admits_before = reroute_admits_;
+  const std::uint64_t failovers_before = failover_bids_;
   double batch_seconds = 0.0;
   if (!batch.empty()) {
     const int shards = shard_count();
@@ -163,6 +200,10 @@ void ShardedService::decide_batch(Slot now, std::vector<Task>& batch,
       Task task;
       std::vector<int> ranking;
       std::size_t choice = 0;  // index into ranking of the current offer
+      /// Ranking steps taken because the shard was dead, not because it
+      /// rejected — they don't consume the second-chance budget, so a
+      /// healthy run (credits always 0) behaves exactly as before.
+      std::size_t credits = 0;
       double decide_seconds = 0.0;
     };
     std::vector<Item> items;
@@ -173,6 +214,18 @@ void ShardedService::decide_batch(Slot now, std::vector<Task>& batch,
       item.task = std::move(task);
       items.push_back(std::move(item));
     }
+    routed_bids_ += items.size();
+
+    // Advances the item's choice past dead shards, free of budget.
+    const auto skip_dead = [&](Item& item) {
+      while (item.choice < item.ranking.size() &&
+             !shards_[static_cast<std::size_t>(
+                          item.ranking[item.choice])]
+                  ->alive()) {
+        ++item.choice;
+        ++item.credits;
+      }
+    };
 
     struct Final {
       std::size_t item = 0;
@@ -188,7 +241,13 @@ void ShardedService::decide_batch(Slot now, std::vector<Task>& batch,
         static_cast<std::size_t>(shards));
     std::vector<char> touched(static_cast<std::size_t>(shards), 0);
     for (std::size_t i = 0; i < items.size(); ++i) {
-      offers[static_cast<std::size_t>(items[i].ranking[0])].push_back(i);
+      skip_dead(items[i]);
+      if (items[i].choice < items[i].ranking.size()) {
+        offers[static_cast<std::size_t>(items[i].ranking[items[i].choice])]
+            .push_back(i);
+      } else {
+        finals.push_back(Final{i, -1, Decision{}});  // no live shard left
+      }
     }
 
     for (;;) {
@@ -198,49 +257,86 @@ void ShardedService::decide_batch(Slot now, std::vector<Task>& batch,
 
       // Arm every shard with work *before* feeding any inbox: the runners
       // drain concurrently, so sub-batches larger than the inbox capacity
-      // cannot deadlock, and the shards decide this round in parallel.
+      // cannot deadlock, and the shards decide this round in parallel. A
+      // shard dying at any point this round (arm, feed, or wait) fails over
+      // its whole sub-batch instead of failing the slot.
+      std::vector<char> down(static_cast<std::size_t>(shards), 0);
       for (int s = 0; s < shards; ++s) {
         const auto& sub = offers[static_cast<std::size_t>(s)];
         if (sub.empty()) continue;
-        touched[static_cast<std::size_t>(s)] = 1;
-        runners_[static_cast<std::size_t>(s)]->begin_round(now, sub.size());
+        try {
+          shards_[static_cast<std::size_t>(s)]->begin_round(now, sub.size());
+          touched[static_cast<std::size_t>(s)] = 1;
+        } catch (const ShardUnavailable&) {
+          down[static_cast<std::size_t>(s)] = 1;
+        }
       }
       for (int s = 0; s < shards; ++s) {
-        for (const std::size_t i : offers[static_cast<std::size_t>(s)]) {
-          runners_[static_cast<std::size_t>(s)]->offer(items[i].task);
+        if (down[static_cast<std::size_t>(s)] != 0) continue;
+        try {
+          for (const std::size_t i : offers[static_cast<std::size_t>(s)]) {
+            shards_[static_cast<std::size_t>(s)]->offer(items[i].task);
+          }
+        } catch (const ShardUnavailable&) {
+          down[static_cast<std::size_t>(s)] = 1;
         }
       }
 
       std::vector<std::vector<std::size_t>> next(
           static_cast<std::size_t>(shards));
+      // A reject (or dead shard) moves the bid to the next live shard in
+      // its ranking; only rejects consume the reroute budget.
+      const auto reoffer_or_reject = [&](std::size_t i,
+                                         const Decision& decision,
+                                         bool budget) {
+        Item& item = items[i];
+        ++item.choice;
+        if (!budget) ++item.credits;
+        skip_dead(item);
+        const bool more =
+            item.choice - item.credits <=
+                static_cast<std::size_t>(config_.reroute_attempts) &&
+            item.choice < item.ranking.size();
+        if (more) {
+          if (item.choice - item.credits == 1 && budget) ++rerouted_bids_;
+          next[static_cast<std::size_t>(item.ranking[item.choice])]
+              .push_back(i);
+        } else {
+          finals.push_back(Final{i, -1, decision});
+        }
+      };
+
       double round_critical = 0.0;
       for (int s = 0; s < shards; ++s) {
         const auto& sub = offers[static_cast<std::size_t>(s)];
         if (sub.empty()) continue;
-        const auto& results =
-            runners_[static_cast<std::size_t>(s)]->wait_round();
+        const std::vector<RoundResult>* results = nullptr;
+        if (down[static_cast<std::size_t>(s)] == 0) {
+          try {
+            results = &shards_[static_cast<std::size_t>(s)]->wait_round();
+          } catch (const ShardUnavailable&) {
+            results = nullptr;
+          }
+        }
+        if (results == nullptr) {
+          // The shard died mid-round; none of its decisions happened.
+          failover_bids_ += sub.size();
+          for (const std::size_t i : sub) {
+            reoffer_or_reject(i, Decision{}, /*budget=*/false);
+          }
+          continue;
+        }
         double shard_seconds = 0.0;
-        for (std::size_t j = 0; j < results.size(); ++j) {
-          const ShardRunner::RoundResult& r = results[j];
+        for (std::size_t j = 0; j < results->size(); ++j) {
+          const RoundResult& r = (*results)[j];
           shard_seconds += r.decide_seconds;
           Item& item = items[sub[j]];
           item.decide_seconds += r.decide_seconds;
           if (r.decision.admit) {
-            if (item.choice > 0) ++reroute_admits_;
+            if (item.choice > item.credits) ++reroute_admits_;
             finals.push_back(Final{sub[j], s, r.decision});
           } else {
-            ++item.choice;
-            const bool more =
-                item.choice <=
-                    static_cast<std::size_t>(config_.reroute_attempts) &&
-                item.choice < item.ranking.size();
-            if (more) {
-              if (item.choice == 1) ++rerouted_bids_;
-              next[static_cast<std::size_t>(item.ranking[item.choice])]
-                  .push_back(sub[j]);
-            } else {
-              finals.push_back(Final{sub[j], -1, r.decision});
-            }
+            reoffer_or_reject(sub[j], r.decision, /*budget=*/true);
           }
         }
         round_critical = std::max(round_critical, shard_seconds);
@@ -269,7 +365,7 @@ void ShardedService::decide_batch(Slot now, std::vector<Task>& batch,
       if (f.shard >= 0) {
         Schedule schedule = to_fleet(
             std::move(f.decision.schedule),
-            runners_[static_cast<std::size_t>(f.shard)]->to_global());
+            shards_[static_cast<std::size_t>(f.shard)]->to_global());
         // The runner validated against its sub-cluster; re-check against
         // the fleet to pin the id remap (profiles are identical copies, so
         // a correct remap can never fail here).
@@ -308,13 +404,26 @@ void ShardedService::decide_batch(Slot now, std::vector<Task>& batch,
 
     // Shards that sat the slot out republish under the leader, so the
     // board's content after every slot is a pure function of decision
-    // history — a restored service reproduces it exactly.
+    // history — a restored service reproduces it exactly. Dead shards keep
+    // their last published summary (the router already skips them).
     for (int s = 0; s < shards; ++s) {
-      if (touched[static_cast<std::size_t>(s)] == 0) {
-        runners_[static_cast<std::size_t>(s)]->publish(now + 1);
+      if (touched[static_cast<std::size_t>(s)] != 0) continue;
+      if (!shards_[static_cast<std::size_t>(s)]->alive()) continue;
+      try {
+        shards_[static_cast<std::size_t>(s)]->publish(now + 1);
+      } catch (const ShardUnavailable&) {
+        // Died between the liveness check and the publish; degrade.
       }
     }
   }
+
+  reroutes_total_->add(rerouted_bids_ - rerouted_before);
+  reroute_admits_total_->add(reroute_admits_ - admits_before);
+  failovers_total_->add(failover_bids_ - failovers_before);
+  reroute_ratio_->set(routed_bids_ == 0
+                          ? 0.0
+                          : static_cast<double>(rerouted_bids_) /
+                                static_cast<double>(routed_bids_));
 
   service::SlotReport report;
   report.slot = now;
@@ -352,18 +461,33 @@ SimResult ShardedService::finish() {
   finished_ = true;
 
   // Conservation, twice: each shard's ledger against its own bookings, and
-  // the shard sum against the service's aggregate.
+  // the shard sum against the service's aggregate. A dead shard has no
+  // ledger to read — its leader-side booked sum (every admission the leader
+  // actually applied) stands in, so the aggregate check still holds.
   double ledger_compute = 0.0;
-  for (const auto& runner : runners_) {
-    const CapacityLedger& ledger = runner->ledger();
+  for (const auto& shard : shards_) {
     double shard_compute = 0.0;
-    for (NodeId k = 0; k < ledger.node_count(); ++k) {
-      for (Slot t = 0; t < horizon_; ++t) {
-        shard_compute += ledger.used_compute(k, t);
+    bool have_ledger = false;
+    if (shard->alive()) {
+      try {
+        // Snapshot order is node-major, slot-minor — the same accumulation
+        // order as iterating used_compute(k, t), so the sum is bit-equal to
+        // the pre-snapshot formulation.
+        const ShardState state = shard->state();
+        for (const double used : state.ledger.used_compute) {
+          shard_compute += used;
+        }
+        have_ledger = true;
+      } catch (const ShardUnavailable&) {
+        have_ledger = false;
       }
     }
-    if (std::abs(shard_compute - runner->booked_compute()) >
-        1e-6 * std::max(1.0, runner->booked_compute())) {
+    if (!have_ledger) {
+      ledger_compute += shard->booked_compute();
+      continue;
+    }
+    if (std::abs(shard_compute - shard->booked_compute()) >
+        1e-6 * std::max(1.0, shard->booked_compute())) {
       throw std::logic_error(
           "shard ledger bookings do not match admitted schedules "
           "(policy bug)");
@@ -380,8 +504,13 @@ SimResult ShardedService::finish() {
   result.metrics = sim_metrics_;
   double used = 0.0;
   double cap = 0.0;
-  for (const auto& runner : runners_) {
-    runner->accumulate_utilization(used, cap);
+  for (const auto& shard : shards_) {
+    try {
+      shard->accumulate_utilization(used, cap);
+    } catch (const ShardUnavailable&) {
+      // A dead shard's grid is unreadable; utilization covers the shards
+      // that survived.
+    }
   }
   result.metrics.utilization = cap > 0.0 ? used / cap : 0.0;
   result.outcomes = std::move(outcomes_);
@@ -397,13 +526,9 @@ ShardedCheckpoint ShardedService::checkpoint() const {
   cp.router_seed = config_.router_seed;
   cp.reroute_attempts = config_.reroute_attempts;
   cp.booked_compute = booked_compute_;
-  cp.shard_states.reserve(runners_.size());
-  for (const auto& runner : runners_) {
-    ShardState state;
-    state.booked_compute = runner->booked_compute();
-    state.policy_state = runner->policy_state();
-    state.ledger = runner->ledger_snapshot();
-    cp.shard_states.push_back(std::move(state));
+  cp.shard_states.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    cp.shard_states.push_back(shard->state());
   }
   for (const auto& [slot, bids] : held_) {
     cp.pending.insert(cp.pending.end(), bids.begin(), bids.end());
@@ -427,17 +552,15 @@ void ShardedService::restore(const ShardedCheckpoint& checkpoint) {
     throw std::invalid_argument("checkpoint slot out of range");
   }
   if (checkpoint.shards != shard_count() ||
-      checkpoint.shard_states.size() != runners_.size()) {
+      checkpoint.shard_states.size() != shards_.size()) {
     throw std::invalid_argument("checkpoint shard count mismatch");
   }
   if (checkpoint.router_seed != config_.router_seed ||
       checkpoint.reroute_attempts != config_.reroute_attempts) {
     throw std::invalid_argument("checkpoint router config mismatch");
   }
-  for (std::size_t s = 0; s < runners_.size(); ++s) {
-    const ShardState& state = checkpoint.shard_states[s];
-    runners_[s]->restore_policy_state(state.policy_state);
-    runners_[s]->restore_ledger(state.ledger, state.booked_compute);
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    shards_[s]->restore_state(checkpoint.shard_states[s]);
   }
   next_slot_ = checkpoint.next_slot;
   booked_compute_ = checkpoint.booked_compute;
@@ -450,7 +573,7 @@ void ShardedService::restore(const ShardedCheckpoint& checkpoint) {
   }
   // Re-publish the board exactly as the original service last did (its
   // final act of slot next_slot-1 published from = next_slot everywhere).
-  for (const auto& runner : runners_) runner->publish(next_slot_);
+  for (const auto& shard : shards_) shard->publish(next_slot_);
 }
 
 }  // namespace lorasched::shard

@@ -44,6 +44,7 @@
 #include "lorasched/service/subscriber.h"
 #include "lorasched/shard/price_board.h"
 #include "lorasched/shard/router.h"
+#include "lorasched/shard/shard_handle.h"
 #include "lorasched/shard/shard_planner.h"
 #include "lorasched/shard/shard_runner.h"
 #include "lorasched/shard/sharded_checkpoint.h"
@@ -74,12 +75,40 @@ struct ShardedConfig {
   std::size_t inbox_capacity = 1024;
 };
 
+/// What a HandleFactory may borrow from the service while building a
+/// shard's handle. Every reference outlives the handles.
+struct ShardContext {
+  const Cluster& fleet;
+  const EnergyModel& energy;
+  const Marketplace& market;
+  Slot horizon;
+  PriceBoard& board;
+  const ShardedConfig& config;
+};
+
+/// Builds the leader-side handle for shard `shard_id` over the given
+/// global node ids — a ShardRunner in local mode, a net::RemoteShardHandle
+/// in distributed mode. Invoked once per shard at construction.
+using HandleFactory = std::function<std::unique_ptr<ShardHandle>(
+    int shard_id, std::vector<NodeId> members, const ShardContext& ctx)>;
+
+/// The in-process HandleFactory: one ShardRunner (own policy, ledger, and
+/// decision thread) per shard.
+[[nodiscard]] HandleFactory local_handles(PolicyFactory factory);
+
 class ShardedService {
  public:
   /// Serves env's environment (cluster, energy, marketplace, horizon,
   /// outages — all copied; env.tasks is ignored, bids arrive via submit()).
   /// `factory` builds one policy per shard over the shard's sub-cluster.
   ShardedService(const Instance& env, const PolicyFactory& factory,
+                 ShardedConfig config = {});
+
+  /// Generalized constructor: `handles` builds each shard's ShardHandle —
+  /// the distributed leader injects remote handles here and every other
+  /// line of the service (routing, re-offers, accounting, checkpoints)
+  /// runs unchanged.
+  ShardedService(const Instance& env, const HandleFactory& handles,
                  ShardedConfig config = {});
 
   ShardedService(const ShardedService&) = delete;
@@ -151,7 +180,14 @@ class ShardedService {
     return board_;
   }
   [[nodiscard]] int shard_count() const noexcept {
-    return static_cast<int>(runners_.size());
+    return static_cast<int>(shards_.size());
+  }
+  /// Shards whose handle reported dead (remote agent crashed). The service
+  /// routes around them; their last known bookings still count.
+  [[nodiscard]] int dead_shards() const noexcept {
+    int dead = 0;
+    for (const auto& shard : shards_) dead += shard->alive() ? 0 : 1;
+    return dead;
   }
 
   /// Sum over slots and re-offer rounds of the slowest shard's decision
@@ -169,12 +205,17 @@ class ShardedService {
   [[nodiscard]] std::uint64_t reroute_admits() const noexcept {
     return reroute_admits_;
   }
-  /// Bids re-offered at least once.
+  /// Bids re-offered at least once (second-chance budget consumed).
   [[nodiscard]] std::uint64_t rerouted_bids() const noexcept {
     return rerouted_bids_;
   }
+  /// Bids moved off a dead shard (does not consume the reroute budget).
+  [[nodiscard]] std::uint64_t failover_bids() const noexcept {
+    return failover_bids_;
+  }
 
  private:
+  void init_shards(const Instance& env, const HandleFactory& handles);
   void decide_batch(Slot now, std::vector<Task>& batch, std::size_t drained,
                     std::size_t queue_depth);
   void reject_late(const Task& bid);
@@ -190,7 +231,7 @@ class ShardedService {
   Router router_;
   /// owner_[global node] = (shard, local id) — outage mapping.
   std::vector<std::pair<int, NodeId>> owner_;
-  std::vector<std::unique_ptr<ShardRunner>> runners_;
+  std::vector<std::unique_ptr<ShardHandle>> shards_;
 
   service::BidQueue queue_;
   service::ServiceMetrics metrics_;
@@ -204,6 +245,14 @@ class ShardedService {
   double critical_seconds_ = 0.0;
   std::uint64_t reroute_admits_ = 0;
   std::uint64_t rerouted_bids_ = 0;
+  std::uint64_t routed_bids_ = 0;
+  std::uint64_t failover_bids_ = 0;
+  // Router reroute volume, exported through the service registry
+  // (lorasched_router_* — see DESIGN.md §10).
+  obs::Counter* reroutes_total_ = nullptr;
+  obs::Counter* reroute_admits_total_ = nullptr;
+  obs::Counter* failovers_total_ = nullptr;
+  obs::Gauge* reroute_ratio_ = nullptr;
 
   Metrics sim_metrics_;
   std::vector<TaskOutcome> outcomes_;

@@ -204,5 +204,66 @@ TEST(Serialize, ReplayedTasksProduceIdenticalAuction) {
   EXPECT_EQ(a.metrics.admitted, b.metrics.admitted);
 }
 
+// Checkpoint streams open with a "<magic> <version>" header; the two
+// failure modes must be told apart: a foreign file is "not a checkpoint"
+// while a version skew names both versions so the operator knows which
+// side to upgrade.
+TEST(Serialize, CheckpointRejectsForeignMagicWithClearError) {
+  std::istringstream garbage("some-other-format 3\n");
+  try {
+    (void)read_checkpoint(garbage);
+    FAIL() << "foreign magic must be rejected";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("not a checkpoint stream"), std::string::npos) << what;
+    EXPECT_NE(what.find("lorasched-checkpoint"), std::string::npos) << what;
+    EXPECT_NE(what.find("some-other-format"), std::string::npos) << what;
+  }
+}
+
+TEST(Serialize, CheckpointNamesBothVersionsOnSkew) {
+  std::ostringstream out;
+  write_checkpoint(out, service::Checkpoint{});
+  std::string bytes = out.str();
+  const std::string header = "lorasched-checkpoint 1";
+  ASSERT_EQ(bytes.rfind(header, 0), 0u);  // writer emits the v1 header
+  bytes.replace(0, header.size(), "lorasched-checkpoint 99");
+  std::istringstream in(bytes);
+  try {
+    (void)read_checkpoint(in);
+    FAIL() << "version skew must be rejected";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("version 99"), std::string::npos) << what;
+    EXPECT_NE(what.find("reads version 1"), std::string::npos) << what;
+  }
+}
+
+TEST(Serialize, ShardedCheckpointHeaderIsValidatedToo) {
+  // The sharded magic embeds the plain one as a prefix-free superset;
+  // feeding a plain checkpoint to the sharded reader must name the
+  // expected magic rather than mis-parse.
+  std::istringstream plain("lorasched-checkpoint 1\n");
+  try {
+    (void)read_sharded_checkpoint(plain);
+    FAIL() << "plain checkpoint fed to sharded reader must be rejected";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("not a sharded checkpoint stream"), std::string::npos)
+        << what;
+    EXPECT_NE(what.find("lorasched-sharded-checkpoint"), std::string::npos)
+        << what;
+  }
+
+  std::istringstream skew("lorasched-sharded-checkpoint 7\n");
+  try {
+    (void)read_sharded_checkpoint(skew);
+    FAIL() << "sharded version skew must be rejected";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("version 7"), std::string::npos) << what;
+  }
+}
+
 }  // namespace
 }  // namespace lorasched::io

@@ -1,0 +1,794 @@
+// Distributed control plane (DESIGN.md §11): wire primitives and frame
+// decoding must reject every malformed input with WireError; every typed
+// message must round-trip bit-exactly (doubles cross as fixed64 bit
+// patterns); the TCP transport must detect peer failure via heartbeats; and
+// a ShardedService over RemoteShardHandles must be *bit-identical* to the
+// in-process service at the same K — including after an agent crash
+// (graceful degradation, no hang) and after a reconnect-and-resync.
+#include "lorasched/net/remote_shard.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <bit>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "lorasched/experiments/scenario.h"
+#include "lorasched/io/serialize.h"
+#include "lorasched/net/host_agent.h"
+#include "lorasched/net/messages.h"
+#include "lorasched/net/transport.h"
+#include "lorasched/net/wire.h"
+#include "lorasched/shard/sharded_service.h"
+#include "test_helpers.h"
+
+namespace lorasched::net {
+namespace {
+
+using namespace std::chrono_literals;
+
+std::uint64_t bits(double v) { return std::bit_cast<std::uint64_t>(v); }
+
+// --- Wire primitives --------------------------------------------------------
+
+TEST(Wire, VarintRoundTrip) {
+  const std::uint64_t values[] = {
+      0, 1, 127, 128, 300, (std::uint64_t{1} << 32) + 5,
+      std::numeric_limits<std::uint64_t>::max()};
+  WireWriter w;
+  for (const std::uint64_t v : values) w.put_varint(v);
+  WireReader r(w.bytes());
+  for (const std::uint64_t v : values) EXPECT_EQ(r.get_varint("v"), v);
+  r.expect_done("varints");
+}
+
+TEST(Wire, SvarintRoundTrip) {
+  const std::int64_t values[] = {0,  -1, 1, 63, -64, 1234567,
+                                 std::numeric_limits<std::int64_t>::min(),
+                                 std::numeric_limits<std::int64_t>::max()};
+  WireWriter w;
+  for (const std::int64_t v : values) w.put_svarint(v);
+  WireReader r(w.bytes());
+  for (const std::int64_t v : values) EXPECT_EQ(r.get_svarint("v"), v);
+}
+
+TEST(Wire, DoublesCrossBitExactly) {
+  const double values[] = {0.0,
+                           -0.0,
+                           0.1 + 0.2,
+                           1e308,
+                           5e-324,  // smallest denormal
+                           -std::numeric_limits<double>::infinity(),
+                           std::numeric_limits<double>::quiet_NaN()};
+  WireWriter w;
+  for (const double v : values) w.put_f64(v);
+  WireReader r(w.bytes());
+  for (const double v : values) {
+    EXPECT_EQ(bits(r.get_f64("v")), bits(v));
+  }
+}
+
+TEST(Wire, RejectsOverlongVarint) {
+  // 0 encoded in two bytes (0x80 0x00) is overlong and must not decode.
+  const std::vector<std::uint8_t> overlong{0x80, 0x00};
+  WireReader r(overlong);
+  EXPECT_THROW((void)r.get_varint("overlong"), WireError);
+}
+
+TEST(Wire, RejectsVarintOverflow) {
+  // Ten continuation-heavy bytes pushing past 64 bits.
+  const std::vector<std::uint8_t> huge{0xFF, 0xFF, 0xFF, 0xFF, 0xFF,
+                                       0xFF, 0xFF, 0xFF, 0xFF, 0x7F};
+  WireReader r(huge);
+  EXPECT_THROW((void)r.get_varint("overflow"), WireError);
+}
+
+TEST(Wire, RejectsTruncation) {
+  WireWriter w;
+  w.put_f64(3.5);
+  {
+    WireReader r(w.bytes().data(), 3);
+    EXPECT_THROW((void)r.get_f64("f"), WireError);
+  }
+  WireWriter s;
+  s.put_varint(5);  // string length 5 with no bytes behind it
+  WireReader r(s.bytes());
+  EXPECT_THROW((void)r.get_string("s"), WireError);
+}
+
+TEST(Wire, RejectsAbsurdCounts) {
+  WireWriter w;
+  w.put_varint(kMaxWireElements + 1);
+  WireReader r(w.bytes());
+  EXPECT_THROW((void)r.get_count("count"), WireError);
+}
+
+TEST(Wire, RejectsTrailingBytes) {
+  WireWriter w;
+  w.put_u8(1);
+  w.put_u8(2);
+  WireReader r(w.bytes());
+  (void)r.get_u8("first");
+  EXPECT_THROW(r.expect_done("payload"), WireError);
+}
+
+// --- Frame decoding ---------------------------------------------------------
+
+TEST(FrameDecoding, ByteAtATimeReassembly) {
+  const auto a = encode_frame(MsgType::kPing, {});
+  const auto b = encode_frame(MsgType::kError, encode(ErrorMsg{3, "x"}));
+  std::vector<std::uint8_t> stream = a;
+  stream.insert(stream.end(), b.begin(), b.end());
+  FrameDecoder decoder;
+  std::vector<Frame> frames;
+  Frame frame;
+  for (const std::uint8_t byte : stream) {
+    decoder.feed(&byte, 1);
+    while (decoder.next(frame)) frames.push_back(frame);
+  }
+  ASSERT_EQ(frames.size(), 2u);
+  EXPECT_EQ(frames[0].type, MsgType::kPing);
+  EXPECT_EQ(frames[1].type, MsgType::kError);
+  EXPECT_EQ(decode_error(frames[1].payload).message, "x");
+}
+
+TEST(FrameDecoding, RejectsBadMagic) {
+  auto bytes = encode_frame(MsgType::kPing, {});
+  bytes[0] = 'X';
+  FrameDecoder decoder;
+  EXPECT_THROW(
+      {
+        decoder.feed(bytes.data(), bytes.size());
+        Frame frame;
+        while (decoder.next(frame)) {
+        }
+      },
+      WireError);
+}
+
+TEST(FrameDecoding, RejectsVersionSkew) {
+  auto bytes = encode_frame(MsgType::kPing, {});
+  bytes[4] = kWireVersion + 1;
+  FrameDecoder decoder;
+  try {
+    decoder.feed(bytes.data(), bytes.size());
+    Frame frame;
+    while (decoder.next(frame)) {
+    }
+    FAIL() << "version skew must throw";
+  } catch (const WireError& e) {
+    EXPECT_NE(std::string(e.what()).find("version"), std::string::npos);
+  }
+}
+
+TEST(FrameDecoding, RejectsUnknownType) {
+  auto bytes = encode_frame(MsgType::kPing, {});
+  bytes[5] = 200;
+  FrameDecoder decoder;
+  EXPECT_THROW(
+      {
+        decoder.feed(bytes.data(), bytes.size());
+        Frame frame;
+        while (decoder.next(frame)) {
+        }
+      },
+      WireError);
+}
+
+TEST(FrameDecoding, RejectsAbsurdPayloadLength) {
+  std::vector<std::uint8_t> bytes(kWireMagic, kWireMagic + 4);
+  bytes.push_back(kWireVersion);
+  bytes.push_back(static_cast<std::uint8_t>(MsgType::kOffer));
+  WireWriter w;
+  w.put_varint(kMaxWirePayload + 1);
+  for (const std::uint8_t byte : w.bytes()) bytes.push_back(byte);
+  FrameDecoder decoder;
+  EXPECT_THROW(
+      {
+        decoder.feed(bytes.data(), bytes.size());
+        Frame frame;
+        while (decoder.next(frame)) {
+        }
+      },
+      WireError);
+}
+
+TEST(FrameDecoding, PartialFrameIsNotAFrame) {
+  const auto bytes = encode_frame(MsgType::kError, encode(ErrorMsg{1, "yo"}));
+  FrameDecoder decoder;
+  decoder.feed(bytes.data(), bytes.size() - 1);
+  Frame frame;
+  EXPECT_FALSE(decoder.next(frame));
+}
+
+// --- Typed messages ---------------------------------------------------------
+
+Task gnarly_task() {
+  Task task;
+  task.id = 987654321;
+  task.arrival = 3;
+  task.deadline = 47;
+  task.dataset_samples = 0.1 + 0.2;  // not exactly representable
+  task.epochs = 5;
+  task.work = 1.5e6;
+  task.mem_gb = 2.0 / 3.0;
+  task.compute_share = 1.0 / 3.0;
+  task.needs_prep = true;
+  task.model = 2;
+  task.bid = 12.345678901234567;
+  task.true_value = 12.0;
+  return task;
+}
+
+TEST(Messages, OfferRoundTripIsBitExact) {
+  OfferMsg msg;
+  msg.shard_id = 3;
+  msg.task = gnarly_task();
+  const OfferMsg back = decode_offer(encode(msg));
+  EXPECT_EQ(back.shard_id, msg.shard_id);
+  EXPECT_EQ(back.task.id, msg.task.id);
+  EXPECT_EQ(back.task.arrival, msg.task.arrival);
+  EXPECT_EQ(back.task.deadline, msg.task.deadline);
+  EXPECT_EQ(bits(back.task.dataset_samples), bits(msg.task.dataset_samples));
+  EXPECT_EQ(back.task.epochs, msg.task.epochs);
+  EXPECT_EQ(bits(back.task.work), bits(msg.task.work));
+  EXPECT_EQ(bits(back.task.mem_gb), bits(msg.task.mem_gb));
+  EXPECT_EQ(bits(back.task.compute_share), bits(msg.task.compute_share));
+  EXPECT_EQ(back.task.needs_prep, msg.task.needs_prep);
+  EXPECT_EQ(back.task.model, msg.task.model);
+  EXPECT_EQ(bits(back.task.bid), bits(msg.task.bid));
+  EXPECT_EQ(bits(back.task.true_value), bits(msg.task.true_value));
+}
+
+TEST(Messages, AssignShardRoundTrip) {
+  AssignShardMsg msg;
+  msg.shard_id = 2;
+  msg.members = {1, 4, 6};
+  msg.alpha = 2.25;
+  msg.beta = 1.0 / 7.0;
+  msg.welfare_unit = 0.01;
+  msg.share_options = {0.25, 0.5, 1.0};
+  msg.parallel_candidates = 3;
+  msg.time_decisions = false;
+  msg.inbox_capacity = 77;
+  const AssignShardMsg back = decode_assign_shard(encode(msg));
+  EXPECT_EQ(back.shard_id, msg.shard_id);
+  EXPECT_EQ(back.members, msg.members);
+  EXPECT_EQ(bits(back.alpha), bits(msg.alpha));
+  EXPECT_EQ(bits(back.beta), bits(msg.beta));
+  EXPECT_EQ(bits(back.welfare_unit), bits(msg.welfare_unit));
+  ASSERT_EQ(back.share_options.size(), msg.share_options.size());
+  for (std::size_t i = 0; i < msg.share_options.size(); ++i) {
+    EXPECT_EQ(bits(back.share_options[i]), bits(msg.share_options[i]));
+  }
+  EXPECT_EQ(back.parallel_candidates, msg.parallel_candidates);
+  EXPECT_EQ(back.time_decisions, msg.time_decisions);
+  EXPECT_EQ(back.inbox_capacity, msg.inbox_capacity);
+}
+
+TEST(Messages, RoundResultsRoundTrip) {
+  RoundResultsMsg msg;
+  msg.shard_id = 1;
+  msg.slot = 9;
+  WireDecision admit;
+  admit.task = 17;
+  admit.admit = true;
+  admit.payment = 3.14159;
+  admit.decide_seconds = 0.0;
+  admit.schedule.task = 17;
+  admit.schedule.vendor = 2;
+  admit.schedule.vendor_price = 0.5;
+  admit.schedule.prep_delay = 1;
+  admit.schedule.run = {{0, 10}, {0, 11}, {1, 12}};
+  admit.schedule.total_compute = 750.0;
+  admit.schedule.total_mem = 6.0;
+  admit.schedule.norm_compute = 0.75;
+  admit.schedule.norm_mem = 0.125;
+  admit.schedule.energy_cost = 0.9;
+  admit.schedule.welfare_gain = 7.7;
+  admit.schedule.share_override = 0.5;
+  WireDecision reject;
+  reject.task = 18;
+  msg.results = {admit, reject};
+  msg.snapshot.published_slot = 9;
+  msg.snapshot.free_compute = 1234.5;
+  msg.snapshot.classes = {{10.0, 2.0, 0.25, 0.5}, {20.0, 4.0, 0.125, 0.0}};
+
+  const RoundResultsMsg back = decode_round_results(encode(msg));
+  EXPECT_EQ(back.shard_id, msg.shard_id);
+  EXPECT_EQ(back.slot, msg.slot);
+  ASSERT_EQ(back.results.size(), 2u);
+  EXPECT_EQ(back.results[0].task, 17);
+  EXPECT_TRUE(back.results[0].admit);
+  EXPECT_EQ(bits(back.results[0].payment), bits(admit.payment));
+  EXPECT_EQ(back.results[0].schedule.run, admit.schedule.run);
+  EXPECT_EQ(back.results[0].schedule.vendor, admit.schedule.vendor);
+  EXPECT_EQ(bits(back.results[0].schedule.total_compute),
+            bits(admit.schedule.total_compute));
+  EXPECT_EQ(bits(back.results[0].schedule.welfare_gain),
+            bits(admit.schedule.welfare_gain));
+  EXPECT_EQ(bits(back.results[0].schedule.share_override),
+            bits(admit.schedule.share_override));
+  EXPECT_EQ(back.results[1].task, 18);
+  EXPECT_FALSE(back.results[1].admit);
+  EXPECT_TRUE(back.results[1].schedule.empty());
+  EXPECT_EQ(back.snapshot.published_slot, 9);
+  ASSERT_EQ(back.snapshot.classes.size(), 2u);
+  EXPECT_EQ(bits(back.snapshot.classes[0].mean_lambda), bits(0.25));
+}
+
+/// The satellite pin: a seqlock PriceBoard snapshot shipped over the wire
+/// and republished into another board reads back bit-identically.
+TEST(Messages, PriceBoardSummaryWireRoundTripIsBitExact) {
+  shard::PriceBoard board(2, 3);
+  shard::PriceSnapshot snap;
+  snap.published_slot = 7;
+  snap.free_compute = 0.1 + 0.2;
+  snap.classes = {{1.0 / 3.0, 2.0 / 3.0, 1e-17, -0.0},
+                  {5e-324, 1e308, 0.5, 0.25},
+                  {0.0, 1.0, 2.0, 3.0}};
+  board.publish(1, snap);
+
+  PublishReplyMsg msg;
+  msg.shard_id = 1;
+  msg.snapshot = board.read(1);
+  const PublishReplyMsg decoded = decode_publish_reply(encode(msg));
+
+  shard::PriceBoard restored(2, 3);
+  restored.publish(1, decoded.snapshot);
+  const shard::PriceSnapshot back = restored.read(1);
+  EXPECT_EQ(back.published_slot, snap.published_slot);
+  EXPECT_EQ(bits(back.free_compute), bits(snap.free_compute));
+  ASSERT_EQ(back.classes.size(), snap.classes.size());
+  for (std::size_t c = 0; c < snap.classes.size(); ++c) {
+    SCOPED_TRACE(c);
+    EXPECT_EQ(bits(back.classes[c].free_compute),
+              bits(snap.classes[c].free_compute));
+    EXPECT_EQ(bits(back.classes[c].free_mem), bits(snap.classes[c].free_mem));
+    EXPECT_EQ(bits(back.classes[c].mean_lambda),
+              bits(snap.classes[c].mean_lambda));
+    EXPECT_EQ(bits(back.classes[c].mean_phi), bits(snap.classes[c].mean_phi));
+  }
+}
+
+TEST(Messages, StateReplyRoundTrip) {
+  StateReplyMsg msg;
+  msg.shard_id = 0;
+  msg.state.booked_compute = 42.5;
+  msg.state.policy_state = {0.1, -0.2, 3.0e-9};
+  msg.state.ledger.used_compute = {1.0, 0.0, 0.5, 0.25};
+  const StateReplyMsg back = decode_state_reply(encode(msg));
+  EXPECT_EQ(bits(back.state.booked_compute), bits(msg.state.booked_compute));
+  ASSERT_EQ(back.state.policy_state.size(), msg.state.policy_state.size());
+  for (std::size_t i = 0; i < msg.state.policy_state.size(); ++i) {
+    EXPECT_EQ(bits(back.state.policy_state[i]),
+              bits(msg.state.policy_state[i]));
+  }
+  EXPECT_EQ(back.state.ledger.used_compute.size(),
+            msg.state.ledger.used_compute.size());
+}
+
+TEST(Messages, DecodersRejectTruncatedPayloads) {
+  const auto payload = encode(OfferMsg{0, gnarly_task()});
+  for (const std::size_t cut : {std::size_t{0}, payload.size() / 2,
+                                payload.size() - 1}) {
+    const std::vector<std::uint8_t> trimmed(payload.begin(),
+                                            payload.begin() +
+                                                static_cast<std::ptrdiff_t>(
+                                                    cut));
+    EXPECT_THROW((void)decode_offer(trimmed), WireError) << cut;
+  }
+  // Trailing garbage is as malformed as truncation.
+  auto padded = payload;
+  padded.push_back(0);
+  EXPECT_THROW((void)decode_offer(padded), WireError);
+}
+
+TEST(Messages, EnvDigestSeparatesScenarios) {
+  const Instance a = make_instance(lorasched::testing::small_scenario(1));
+  // Same seed, different fleet shape: the handshake must tell them apart
+  // (same-shape different-seed scenarios share an environment by design —
+  // the digest covers the fleet, market, and horizon, not the bid stream).
+  auto bigger = lorasched::testing::small_scenario(1);
+  bigger.nodes = 8;
+  const Instance b = make_instance(bigger);
+  EXPECT_NE(env_digest(a.cluster, a.market, a.horizon),
+            env_digest(b.cluster, b.market, b.horizon));
+  EXPECT_EQ(env_digest(a.cluster, a.market, a.horizon),
+            env_digest(a.cluster, a.market, a.horizon));
+  EXPECT_NE(env_digest(a.cluster, a.market, a.horizon),
+            env_digest(a.cluster, a.market, a.horizon + 1));
+}
+
+// --- Transport --------------------------------------------------------------
+
+struct Mailbox {
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::vector<Frame> frames;
+  std::string close_reason;
+  int closes = 0;
+
+  void on_frame(Frame&& frame) {
+    std::lock_guard<std::mutex> lock(mutex);
+    frames.push_back(std::move(frame));
+    cv.notify_all();
+  }
+  void on_close(const std::string& reason) {
+    std::lock_guard<std::mutex> lock(mutex);
+    close_reason = reason;
+    ++closes;
+    cv.notify_all();
+  }
+  bool wait_frames(std::size_t n, std::chrono::milliseconds budget) {
+    std::unique_lock<std::mutex> lock(mutex);
+    return cv.wait_for(lock, budget, [&] { return frames.size() >= n; });
+  }
+  bool wait_close(std::chrono::milliseconds budget) {
+    std::unique_lock<std::mutex> lock(mutex);
+    return cv.wait_for(lock, budget, [&] { return closes > 0; });
+  }
+};
+
+/// Accepts exactly one peer on a loopback listener.
+Socket accept_one(Listener& listener) { return listener.accept(); }
+
+TEST(Transport, LoopbackFramesFlowBothWays) {
+  Listener listener(0);
+  Socket server_sock;
+  std::thread acceptor([&] { server_sock = accept_one(listener); });
+  Socket client_sock = Socket::connect("127.0.0.1", listener.port());
+  acceptor.join();
+
+  Mailbox server_mail;
+  Mailbox client_mail;
+  Connection server(
+      std::move(server_sock), {}, [&](Frame&& f) { server_mail.on_frame(std::move(f)); },
+      [&](const std::string& r) { server_mail.on_close(r); });
+  Connection client(
+      std::move(client_sock), {}, [&](Frame&& f) { client_mail.on_frame(std::move(f)); },
+      [&](const std::string& r) { client_mail.on_close(r); });
+
+  ASSERT_TRUE(client.send(MsgType::kHello, encode(HelloMsg{99, 1, 1, 4, 1})));
+  ASSERT_TRUE(server_mail.wait_frames(1, 5000ms));
+  EXPECT_EQ(server_mail.frames[0].type, MsgType::kHello);
+  EXPECT_EQ(decode_hello(server_mail.frames[0].payload).digest, 99u);
+
+  ASSERT_TRUE(server.send(MsgType::kHelloAck, encode(HelloAckMsg{99})));
+  ASSERT_TRUE(client_mail.wait_frames(1, 5000ms));
+  EXPECT_EQ(client_mail.frames[0].type, MsgType::kHelloAck);
+  EXPECT_GT(client.frames_sent(), 0u);
+  EXPECT_GT(client.bytes_received(), 0u);
+}
+
+TEST(Transport, PeerDropRunsCloseHandlerOnce) {
+  Listener listener(0);
+  Socket server_sock;
+  std::thread acceptor([&] { server_sock = accept_one(listener); });
+  Socket client_sock = Socket::connect("127.0.0.1", listener.port());
+  acceptor.join();
+
+  Mailbox client_mail;
+  auto server = std::make_unique<Connection>(
+      std::move(server_sock), Connection::Config{}, [](Frame&&) {},
+      [](const std::string&) {});
+  Connection client(
+      std::move(client_sock), {}, [&](Frame&& f) { client_mail.on_frame(std::move(f)); },
+      [&](const std::string& r) { client_mail.on_close(r); });
+  server.reset();  // peer goes away
+  ASSERT_TRUE(client_mail.wait_close(5000ms));
+  EXPECT_EQ(client_mail.closes, 1);
+  EXPECT_FALSE(client.open());
+  EXPECT_FALSE(client.send(MsgType::kPing, {}));
+}
+
+TEST(Transport, IdleTimeoutDetectsSilentPeer) {
+  Listener listener(0);
+  Socket server_sock;
+  std::thread acceptor([&] { server_sock = accept_one(listener); });
+  Socket client_sock = Socket::connect("127.0.0.1", listener.port());
+  acceptor.join();
+
+  Mailbox server_mail;
+  Connection::Config watchful;
+  watchful.idle_timeout = 200ms;  // no pings from the client -> dead
+  Connection server(
+      std::move(server_sock), watchful, [&](Frame&& f) { server_mail.on_frame(std::move(f)); },
+      [&](const std::string& r) { server_mail.on_close(r); });
+  Connection client(std::move(client_sock), {}, [](Frame&&) {},
+                    [](const std::string&) {});
+  EXPECT_TRUE(server_mail.wait_close(5000ms));
+}
+
+TEST(Transport, HeartbeatsKeepAnIdleLinkAlive) {
+  Listener listener(0);
+  Socket server_sock;
+  std::thread acceptor([&] { server_sock = accept_one(listener); });
+  Socket client_sock = Socket::connect("127.0.0.1", listener.port());
+  acceptor.join();
+
+  Connection::Config watchful;
+  watchful.idle_timeout = 400ms;
+  Connection server(std::move(server_sock), watchful, [](Frame&&) {},
+                    [](const std::string&) {});
+  Connection::Config chatty;
+  chatty.ping_interval = 50ms;  // transport answers pongs by itself
+  Connection client(std::move(client_sock), chatty, [](Frame&&) {},
+                    [](const std::string&) {});
+  std::this_thread::sleep_for(1000ms);
+  EXPECT_TRUE(server.open());
+  EXPECT_TRUE(client.open());
+}
+
+// --- Distributed service: helpers -------------------------------------------
+
+std::unique_ptr<HostAgent> start_agent(const Instance& env,
+                                       std::uint16_t port = 0) {
+  HostAgent::Config config;
+  config.port = port;
+  config.ping_interval = 100ms;
+  config.idle_timeout = 5000ms;
+  auto agent = std::make_unique<HostAgent>(env, config);
+  agent->start();
+  return agent;
+}
+
+HelloMsg hello_for(const Instance& env, int shards) {
+  HelloMsg hello;
+  hello.digest = env_digest(env.cluster, env.market, env.horizon);
+  hello.nodes = env.cluster.node_count();
+  hello.classes = env.cluster.class_count();
+  hello.horizon = env.horizon;
+  hello.shards_total = shards;
+  return hello;
+}
+
+std::shared_ptr<AgentLink> connect_link(
+    const Instance& env, int shards, std::uint16_t port,
+    std::chrono::milliseconds rpc_timeout = 20000ms) {
+  LinkConfig config;
+  config.port = port;
+  config.ping_interval = 100ms;
+  config.heartbeat_timeout = 5000ms;
+  config.rpc_timeout = rpc_timeout;
+  auto link = std::make_shared<AgentLink>(config, hello_for(env, shards));
+  link->connect();
+  return link;
+}
+
+shard::HandleFactory remote_factory(
+    std::vector<std::shared_ptr<AgentLink>> links, PdftspConfig policy) {
+  return [links = std::move(links), policy](
+             int shard_id, std::vector<NodeId> members,
+             const shard::ShardContext& ctx)
+             -> std::unique_ptr<shard::ShardHandle> {
+    return std::make_unique<RemoteShardHandle>(
+        links[static_cast<std::size_t>(shard_id) % links.size()], policy,
+        shard_id, std::move(members), ctx);
+  };
+}
+
+void submit_all(shard::ShardedService& service, const Instance& env) {
+  for (const Task& task : env.tasks) {
+    ASSERT_EQ(service.submit(task), service::SubmitResult::kAccepted);
+  }
+  service.close();
+}
+
+void expect_same_outcomes(const std::vector<TaskOutcome>& a,
+                          const std::vector<TaskOutcome>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    SCOPED_TRACE(i);
+    EXPECT_EQ(a[i].task, b[i].task);
+    EXPECT_EQ(a[i].admitted, b[i].admitted);
+    EXPECT_EQ(a[i].bid, b[i].bid);
+    EXPECT_EQ(a[i].payment, b[i].payment);
+    EXPECT_EQ(a[i].vendor, b[i].vendor);
+    EXPECT_EQ(a[i].vendor_cost, b[i].vendor_cost);
+    EXPECT_EQ(a[i].energy_cost, b[i].energy_cost);
+    EXPECT_EQ(a[i].completion, b[i].completion);
+    EXPECT_EQ(a[i].slots_used, b[i].slots_used);
+  }
+}
+
+void expect_same_metrics(const Metrics& a, const Metrics& b) {
+  EXPECT_EQ(a.social_welfare, b.social_welfare);
+  EXPECT_EQ(a.provider_utility, b.provider_utility);
+  EXPECT_EQ(a.user_utility, b.user_utility);
+  EXPECT_EQ(a.total_payments, b.total_payments);
+  EXPECT_EQ(a.total_energy_cost, b.total_energy_cost);
+  EXPECT_EQ(a.admitted, b.admitted);
+  EXPECT_EQ(a.rejected, b.rejected);
+  EXPECT_EQ(a.utilization, b.utilization);
+}
+
+// --- Distributed service: bit-identical to in-process -----------------------
+
+TEST(RemoteService, BitIdenticalToInProcessAtSameK) {
+  const Instance env = make_instance(lorasched::testing::small_scenario(13));
+  const PdftspConfig policy = pdftsp_config_for(env);
+  shard::ShardedConfig config;
+  config.shards = 3;
+  config.time_decisions = false;
+
+  shard::ShardedService local(env, shard::make_pdftsp_factory(policy),
+                              config);
+  submit_all(local, env);
+  while (!local.done()) local.step();
+
+  auto agent_a = start_agent(env);
+  auto agent_b = start_agent(env);
+  std::vector<std::shared_ptr<AgentLink>> links = {
+      connect_link(env, config.shards, agent_a->port()),
+      connect_link(env, config.shards, agent_b->port())};
+  shard::ShardedService remote(env, remote_factory(links, policy), config);
+  submit_all(remote, env);
+  while (!remote.done()) remote.step();
+
+  // Checkpoints taken at the same point serialize byte-identically — the
+  // strongest parity statement (policy duals, ledgers, outcomes, metrics).
+  std::ostringstream local_bytes;
+  io::write_sharded_checkpoint(local_bytes, local.checkpoint());
+  std::ostringstream remote_bytes;
+  io::write_sharded_checkpoint(remote_bytes, remote.checkpoint());
+  EXPECT_EQ(local_bytes.str(), remote_bytes.str());
+
+  EXPECT_EQ(remote.rerouted_bids(), local.rerouted_bids());
+  EXPECT_EQ(remote.reroute_admits(), local.reroute_admits());
+  EXPECT_EQ(remote.dead_shards(), 0);
+  EXPECT_EQ(remote.failover_bids(), 0u);
+
+  const SimResult local_result = local.finish();
+  const SimResult remote_result = remote.finish();
+  expect_same_outcomes(local_result.outcomes, remote_result.outcomes);
+  expect_same_metrics(local_result.metrics, remote_result.metrics);
+
+  for (const auto& link : links) link->send_shutdown();
+  agent_a->wait();
+  agent_b->wait();
+}
+
+// --- Distributed service: failure paths -------------------------------------
+
+TEST(RemoteFault, AgentCrashMidRunDegradesInsteadOfHanging) {
+  const Instance env = make_instance(lorasched::testing::small_scenario(5));
+  const PdftspConfig policy = pdftsp_config_for(env);
+  shard::ShardedConfig config;
+  config.shards = 2;
+  config.time_decisions = false;
+
+  auto agent_a = start_agent(env);
+  auto agent_b = start_agent(env);
+  std::vector<std::shared_ptr<AgentLink>> links = {
+      connect_link(env, 2, agent_a->port(), 2000ms),
+      connect_link(env, 2, agent_b->port(), 2000ms)};
+  shard::ShardedService service(env, remote_factory(links, policy), config);
+  submit_all(service, env);
+
+  const Slot kill_at = env.horizon / 3;
+  while (!service.done()) {
+    if (service.current_slot() == kill_at) {
+      agent_b->stop();  // shard 1's host dies mid-run
+    }
+    service.step();
+  }
+  EXPECT_EQ(service.dead_shards(), 1);
+  const SimResult result = service.finish();  // must not hang or throw
+  EXPECT_GT(result.metrics.admitted, 0);
+  // Every bid decided despite the dead shard.
+  EXPECT_EQ(
+      static_cast<std::size_t>(result.metrics.admitted +
+                               result.metrics.rejected),
+      env.tasks.size());
+  links[0]->send_shutdown();
+  agent_a->wait();
+}
+
+TEST(RemoteFault, SilentAgentTripsTheRpcTimeout) {
+  const Instance env = make_instance(lorasched::testing::small_scenario(3));
+  const std::uint64_t digest = env_digest(env.cluster, env.market, env.horizon);
+
+  // A fake agent that completes the handshake, then never answers anything.
+  Listener listener(0);
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool got_hello = false;
+  bool finished = false;
+  std::unique_ptr<Connection> conn;
+  std::thread fake([&] {
+    Socket sock;
+    try {
+      sock = listener.accept();
+    } catch (const TransportError&) {
+      return;
+    }
+    conn = std::make_unique<Connection>(
+        std::move(sock), Connection::Config{},
+        [&](Frame&& frame) {
+          if (frame.type == MsgType::kHello) {
+            std::lock_guard<std::mutex> lock(mutex);
+            got_hello = true;
+            cv.notify_all();
+          }
+        },
+        [](const std::string&) {});
+    std::unique_lock<std::mutex> lock(mutex);
+    cv.wait(lock, [&] { return got_hello; });
+    conn->send(MsgType::kHelloAck, encode(HelloAckMsg{digest}));
+    cv.wait(lock, [&] { return finished; });
+  });
+
+  const PdftspConfig policy = pdftsp_config_for(env);
+  shard::ShardedConfig config;
+  config.shards = 1;
+  auto link = connect_link(env, 1, listener.port(), /*rpc_timeout=*/300ms);
+  // The first AssignShard RPC gets no reply: the link must fail within the
+  // rpc timeout instead of wedging the leader forever.
+  EXPECT_THROW(shard::ShardedService(env, remote_factory({link}, policy),
+                                     config),
+               shard::ShardUnavailable);
+  EXPECT_FALSE(link->open());
+  {
+    std::lock_guard<std::mutex> lock(mutex);
+    finished = true;
+  }
+  cv.notify_all();
+  fake.join();
+}
+
+TEST(RemoteFault, ReconnectAndResyncContinuesBitIdentically) {
+  const Instance env = make_instance(lorasched::testing::small_scenario(9));
+  const PdftspConfig policy = pdftsp_config_for(env);
+  shard::ShardedConfig config;
+  config.shards = 2;
+  config.time_decisions = false;
+
+  shard::ShardedService local(env, shard::make_pdftsp_factory(policy),
+                              config);
+  submit_all(local, env);
+  while (!local.done()) local.step();
+  const SimResult local_result = local.finish();
+
+  auto agent = start_agent(env);
+  const std::uint16_t port = agent->port();
+  auto link = connect_link(env, 2, port);
+  shard::ShardedService remote(env, remote_factory({link}, policy), config);
+  submit_all(remote, env);
+
+  const Slot restart_at = env.horizon / 2;
+  while (!remote.done()) {
+    if (remote.current_slot() == restart_at) {
+      // Checkpointing refreshes every handle's leader-side state cache —
+      // the precondition for a faithful resync.
+      (void)remote.checkpoint();
+      agent->stop();
+      // A revival is only safe once the leader has *noticed* the drop; a
+      // link that still looks open would feed the next round into the
+      // void and the handle would (correctly) declare the shard dead.
+      while (link->open()) std::this_thread::sleep_for(10ms);
+      agent = start_agent(env, port);  // fresh process state, same address
+    }
+    remote.step();
+  }
+  EXPECT_EQ(remote.dead_shards(), 0);
+  EXPECT_EQ(remote.failover_bids(), 0u);
+  EXPECT_EQ(agent->sessions_served(), 1u);  // the post-restart session
+
+  const SimResult remote_result = remote.finish();
+  expect_same_outcomes(local_result.outcomes, remote_result.outcomes);
+  expect_same_metrics(local_result.metrics, remote_result.metrics);
+  link->send_shutdown();
+  agent->wait();
+}
+
+}  // namespace
+}  // namespace lorasched::net

@@ -378,6 +378,43 @@ TEST(ShardedService, WithoutSecondChanceTheRejectIsFinal) {
   ASSERT_FALSE(result.outcomes.empty());
 }
 
+// The second-chance volume is exported through the service registry
+// (DESIGN.md §10) so operators can watch reroute pressure without parsing
+// logs: the counters must track the accessors exactly.
+TEST(ShardedService, ExportsRouterRerouteMetrics) {
+  const Instance instance = two_shard_contention();
+  const PdftspConfig config = pdftsp_config_for(instance);
+
+  ShardedConfig sharded;
+  sharded.shards = 2;
+  sharded.reroute_attempts = 1;
+  ShardedService service(instance, make_pdftsp_factory(config), sharded);
+  serve_instance(service, instance, 1);
+
+  auto& registry = service.registry();
+  EXPECT_EQ(registry.counter("lorasched_router_reroutes_total").value(),
+            service.rerouted_bids());
+  EXPECT_EQ(registry.counter("lorasched_router_reroute_admits_total").value(),
+            service.reroute_admits());
+  EXPECT_EQ(registry.counter("lorasched_router_failovers_total").value(),
+            service.failover_bids());
+  EXPECT_EQ(service.rerouted_bids(), 1u);  // this scenario forces exactly one
+  // Two bids routed, one re-offered.
+  EXPECT_DOUBLE_EQ(registry.gauge("lorasched_router_reroute_ratio").value(),
+                   0.5);
+
+  // The Prometheus exposition carries all four series.
+  std::ostringstream text;
+  registry.write_prometheus(text);
+  const std::string exposition = text.str();
+  for (const char* name :
+       {"lorasched_router_reroutes_total", "lorasched_router_reroute_admits_total",
+        "lorasched_router_failovers_total", "lorasched_router_reroute_ratio"}) {
+    EXPECT_NE(exposition.find(name), std::string::npos) << name;
+  }
+  (void)service.finish();
+}
+
 // Offline replay of a stream longer than the queue under block
 // backpressure (the lorasched_shard_serve --slot-ms 0 path).
 TEST(ShardedService, PumpIngestsBeyondQueueCapacityWithoutDeadlock) {
