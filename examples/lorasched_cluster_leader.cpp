@@ -16,6 +16,15 @@
 // over to live shards and the run completes degraded instead of hanging.
 // --checkpoint-every 1 keeps every shard's leader-side state cache fresh,
 // which lets a between-round reconnect resume bit-identically.
+//
+// Observability (DESIGN.md §12): agents launched with --push-ms stream
+// cumulative metric snapshots that the leader merges into a federated
+// registry (series labeled agent/shard); --http-port serves /metrics
+// (federated exposition), /healthz (per-agent link liveness), and /tracez;
+// --trace-out writes one merged Chrome trace where each agent's decision
+// spans parent to the leader's per-round bid spans. All of it is
+// observation-only — decisions are bit-identical with everything on or off
+// (SIGUSR1 forces a --metrics-out dump, as in lorasched_shard_serve).
 #include <atomic>
 #include <chrono>
 #include <csignal>
@@ -33,7 +42,10 @@
 #include "lorasched/core/online_params.h"
 #include "lorasched/experiments/scenario.h"
 #include "lorasched/io/serialize.h"
+#include "lorasched/net/http.h"
 #include "lorasched/net/remote_shard.h"
+#include "lorasched/obs/cluster_trace.h"
+#include "lorasched/obs/federation.h"
 #include "lorasched/service/slot_clock.h"
 #include "lorasched/shard/sharded_service.h"
 #include "lorasched/util/cli.h"
@@ -69,6 +81,10 @@ std::vector<std::pair<std::string, std::uint16_t>> parse_agents(
   return endpoints;
 }
 
+volatile std::sig_atomic_t g_dump_requested = 0;
+
+void on_sigusr1(int) { g_dump_requested = 1; }
+
 }  // namespace
 
 int main(int argc, char** argv) try {
@@ -77,7 +93,8 @@ int main(int argc, char** argv) try {
                   "bids", "slot-ms", "queue-cap", "backpressure", "late",
                   "checkpoint", "checkpoint-every", "resume", "out", "verbose",
                   "metrics-out", "metrics-every", "agents", "rpc-timeout-ms",
-                  "heartbeat-ms", "timing", "shutdown-agents"});
+                  "heartbeat-ms", "timing", "shutdown-agents", "http-port",
+                  "trace-out"});
 
   ScenarioConfig config;
   config.seed = static_cast<std::uint64_t>(cli.get_int("seed", 42));
@@ -113,6 +130,15 @@ int main(int argc, char** argv) try {
     throw std::invalid_argument("late must be clamp|reject");
   }
 
+  // Observability plane (DESIGN.md §12). Declared before the links: the
+  // metrics sinks and the transport counters borrow these for the links'
+  // whole lifetime.
+  obs::MetricsRegistry leader_net;      // leader-side transport counters
+  obs::FederatedRegistry federated;     // merged agent pushes, /metrics
+  obs::ClusterTraceCollector tracer;    // merged bid trace, --trace-out
+  const std::string trace_path = cli.get("trace-out", "");
+  if (!trace_path.empty()) sharded_config.tracer = &tracer;
+
   // One link per agent process, shared by the shards it serves.
   const auto endpoints = parse_agents(cli.get("agents", ""));
   net::HelloMsg hello;
@@ -131,7 +157,11 @@ int main(int argc, char** argv) try {
         std::chrono::milliseconds(cli.get_int("heartbeat-ms", 2000));
     link_config.rpc_timeout =
         std::chrono::milliseconds(cli.get_int("rpc-timeout-ms", 30000));
+    link_config.metrics = &leader_net;
     auto link = std::make_shared<net::AgentLink>(link_config, hello);
+    link->set_metrics_sink([&federated](net::MetricsSnapshotMsg&& msg) {
+      federated.absorb(msg.agent, msg.seq, msg.groups);
+    });
     link->connect();
     std::cerr << "connected to host-agent " << host << ":" << port << "\n";
     links.push_back(std::move(link));
@@ -170,6 +200,60 @@ int main(int argc, char** argv) try {
       throw std::runtime_error("cannot replace metrics file");
     }
   };
+  std::signal(SIGUSR1, &on_sigusr1);
+
+  std::unique_ptr<net::HttpServer> http;
+  std::atomic<std::uint64_t> leader_seq{0};
+  if (cli.has("http-port")) {
+    http = std::make_unique<net::HttpServer>(
+        static_cast<std::uint16_t>(cli.get_int("http-port", 0)));
+    http->handle("/metrics", [&] {
+      // The leader federates itself like any agent: absorb a fresh
+      // cumulative snapshot of its own registries under agent="leader",
+      // then emit the one merged document.
+      std::vector<obs::MetricsGroup> groups(1);
+      groups[0].shard = -1;
+      groups[0].metrics = server.registry().snapshot();
+      for (obs::MetricSnapshot& metric : leader_net.snapshot()) {
+        groups[0].metrics.push_back(std::move(metric));
+      }
+      federated.absorb("leader", leader_seq.fetch_add(1) + 1, groups);
+      std::ostringstream text;
+      federated.write_prometheus(text);
+      return net::HttpResponse{200, "text/plain; version=0.0.4; charset=utf-8",
+                               text.str()};
+    });
+    http->handle("/healthz", [&] {
+      std::ostringstream text;
+      for (std::size_t a = 0; a < links.size(); ++a) {
+        const net::AgentLink::Health h = links[a]->health();
+        text << "agent " << endpoints[a].first << ":" << endpoints[a].second
+             << " link=" << (h.open ? "open" : "down") << " last_rx_ms="
+             << (h.last_rx_age_ns < 0 ? -1 : h.last_rx_age_ns / 1000000)
+             << " reconnects=" << h.reconnects
+             << " rpc_timeouts=" << h.rpc_timeouts;
+        if (!h.last_error.empty()) text << " error=\"" << h.last_error << "\"";
+        text << "\n";
+      }
+      return net::HttpResponse{200, "text/plain; charset=utf-8", text.str()};
+    });
+    http->handle("/tracez", [&] {
+      std::ostringstream text;
+      if (sharded_config.tracer == nullptr) {
+        text << "tracing disabled (run with --trace-out)\n";
+      } else {
+        for (const auto& span : tracer.summaries()) {
+          text << span.name << " count=" << span.count
+               << " total_ms=" << static_cast<double>(span.total_ns) / 1e6
+               << " max_ms=" << static_cast<double>(span.max_ns) / 1e6 << "\n";
+        }
+      }
+      return net::HttpResponse{200, "text/plain; charset=utf-8", text.str()};
+    });
+    http->start();
+    std::cerr << "http endpoint on 127.0.0.1:" << http->port()
+              << " (/metrics /healthz /tracez)\n";
+  }
 
   std::unordered_set<TaskId> already_known;
   if (cli.has("resume")) {
@@ -251,6 +335,10 @@ int main(int argc, char** argv) try {
         throw std::runtime_error("cannot replace checkpoint file");
       }
     }
+    if (g_dump_requested != 0) {
+      g_dump_requested = 0;
+      dump_metrics();
+    }
     if (metrics_every > 0 && server.current_slot() % metrics_every == 0) {
       dump_metrics();
     }
@@ -277,12 +365,22 @@ int main(int argc, char** argv) try {
               << failed_over << " bids failed over to live shards\n";
   }
 
-  if (!metrics_path.empty() || metrics_every > 0) dump_metrics();
+  if (!metrics_path.empty() || metrics_every > 0 || g_dump_requested != 0) {
+    dump_metrics();
+  }
 
   if (cli.has("out")) {
     std::ofstream out(cli.get("out", ""));
     if (!out) throw std::runtime_error("cannot open output file");
     io::write_outcomes_csv(out, result.outcomes);
+  }
+  if (!trace_path.empty()) {
+    std::ofstream out(trace_path);
+    if (!out) throw std::runtime_error("cannot open trace output file");
+    tracer.write_chrome_trace(out);
+    std::cerr << "wrote merged cluster trace (" << tracer.events()
+              << " spans" << (tracer.dropped() > 0 ? ", some dropped" : "")
+              << ") to " << trace_path << "\n";
   }
   if (cli.get_bool("shutdown-agents", false)) {
     for (const auto& link : links) link->send_shutdown();

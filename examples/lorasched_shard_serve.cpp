@@ -24,6 +24,7 @@
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <stdexcept>
 #include <string>
@@ -33,6 +34,7 @@
 #include "lorasched/core/online_params.h"
 #include "lorasched/experiments/scenario.h"
 #include "lorasched/io/serialize.h"
+#include "lorasched/net/http.h"
 #include "lorasched/service/slot_clock.h"
 #include "lorasched/shard/sharded_service.h"
 #include "lorasched/util/cli.h"
@@ -78,7 +80,7 @@ int main(int argc, char** argv) try {
   cli.allow_only({"scenario", "seed", "shards", "reroute", "router-seed",
                   "bids", "slot-ms", "queue-cap", "backpressure", "late",
                   "checkpoint", "checkpoint-every", "resume", "out", "verbose",
-                  "metrics-out", "metrics-every", "timing"});
+                  "metrics-out", "metrics-every", "timing", "http-port"});
 
   ScenarioConfig config;
   config.seed = static_cast<std::uint64_t>(cli.get_int("seed", 42));
@@ -142,6 +144,28 @@ int main(int argc, char** argv) try {
       throw std::runtime_error("cannot replace metrics file");
     }
   };
+
+  std::unique_ptr<net::HttpServer> http;
+  if (cli.has("http-port")) {
+    http = std::make_unique<net::HttpServer>(
+        static_cast<std::uint16_t>(cli.get_int("http-port", 0)));
+    http->handle("/metrics", [&server] {
+      std::ostringstream text;
+      server.registry().write_prometheus(text);
+      return net::HttpResponse{200, "text/plain; version=0.0.4; charset=utf-8",
+                               text.str()};
+    });
+    http->handle("/healthz", [&server] {
+      std::ostringstream text;
+      text << "status: serving\n"
+           << "shards: " << server.shard_count() << "\n"
+           << "queue_depth: " << server.queue().depth() << "\n";
+      return net::HttpResponse{200, "text/plain; charset=utf-8", text.str()};
+    });
+    http->start();
+    std::cerr << "http endpoint on 127.0.0.1:" << http->port()
+              << " (/metrics /healthz)\n";
+  }
 
   std::unordered_set<TaskId> already_known;
   if (cli.has("resume")) {

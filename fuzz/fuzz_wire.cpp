@@ -86,6 +86,9 @@ void roundtrip_payload(const Frame& frame) {
       case MsgType::kError:
         again = encode(decode_error(frame.payload));
         break;
+      case MsgType::kMetricsSnapshot:
+        again = encode(decode_metrics_snapshot(frame.payload));
+        break;
       default:
         return;  // Ping/Pong/Shutdown carry no typed payload
     }

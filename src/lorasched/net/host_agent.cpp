@@ -1,8 +1,13 @@
 #include "lorasched/net/host_agent.h"
 
+#include <ostream>
+#include <set>
 #include <stdexcept>
 #include <string>
 #include <utility>
+
+#include "lorasched/obs/cluster_trace.h"
+#include "lorasched/obs/federation.h"
 
 namespace lorasched::net {
 
@@ -79,6 +84,9 @@ class HostAgent::Worker {
             agent_.env_.market, agent_.env_.horizon, agent_.factory_(m),
             *agent_.board_, static_cast<std::size_t>(m.inbox_capacity),
             m.time_decisions);
+        // Same metric names every session → the same counters continue,
+        // so federated series stay monotone across leader reconnects.
+        runner_->register_dp_metrics(agent_.shard_registry(shard_id_));
         agent_.send(MsgType::kAssignAck, encode(AssignAckMsg{shard_id_}));
         return;
       }
@@ -131,9 +139,9 @@ class HostAgent::Worker {
     // dies mid-feed then never touches the runner, so its state stays at
     // the last completed round (exactly what a reconnecting leader's
     // restore assumes).
-    std::vector<Task> tasks;
-    tasks.reserve(static_cast<std::size_t>(m.expected));
-    while (tasks.size() < m.expected) {
+    std::vector<OfferMsg> offers;
+    offers.reserve(static_cast<std::size_t>(m.expected));
+    while (offers.size() < m.expected) {
       std::optional<Frame> frame = pop();
       if (!frame.has_value()) return;  // session teardown mid-feed
       if (frame->type != MsgType::kOffer) {
@@ -141,13 +149,19 @@ class HostAgent::Worker {
             std::string("expected an offer during the round, got ") +
             to_string(frame->type));
       }
-      OfferMsg offer = decode_offer(frame->payload);
-      tasks.push_back(std::move(offer.task));
+      offers.push_back(decode_offer(frame->payload));
     }
+    // Tracing (DESIGN.md §12) is observation-only: the context is read,
+    // never consulted by the decision path below.
+    const bool traced = !offers.empty() && offers.front().trace_id != 0;
+    const auto round_start = std::chrono::steady_clock::now();
     shard::ShardRunner& r = runner();
     r.begin_round(m.slot, static_cast<std::size_t>(m.expected));
-    for (Task& t : tasks) r.offer(std::move(t));
+    for (OfferMsg& offer : offers) r.offer(std::move(offer.task));
     const std::vector<shard::RoundResult>& results = r.wait_round();
+    const auto round_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                              std::chrono::steady_clock::now() - round_start)
+                              .count();
     RoundResultsMsg out;
     out.shard_id = shard_id_;
     out.slot = m.slot;
@@ -160,6 +174,29 @@ class HostAgent::Worker {
       d.decide_seconds = res.decide_seconds;
       if (d.admit) d.schedule = res.decision.schedule;
       out.results.push_back(std::move(d));
+    }
+    if (traced) {
+      // One round span parented to the leader's bid span, plus one decide
+      // span per bid. The shard decides bids sequentially, so cumulative
+      // decide_seconds offsets recover the in-round timeline.
+      const std::uint64_t trace_id = offers.front().trace_id;
+      const std::uint64_t round_span =
+          obs::trace_mix(offers.front().parent_span, 1);
+      out.spans.push_back(obs::RemoteSpan{"agent_round", -1, trace_id,
+                                          round_span,
+                                          offers.front().parent_span, 0,
+                                          round_ns});
+      std::int64_t offset_ns = 0;
+      for (const shard::RoundResult& res : results) {
+        const auto decide_ns =
+            static_cast<std::int64_t>(res.decide_seconds * 1e9);
+        out.spans.push_back(obs::RemoteSpan{
+            "decide", res.task.id, trace_id,
+            obs::trace_mix(round_span,
+                           static_cast<std::uint64_t>(res.task.id) + 1),
+            round_span, offset_ns, decide_ns});
+        offset_ns += decide_ns;
+      }
     }
     // The runner already republished (from = slot + 1); ship the fresh
     // summary with the results so the leader's board update is part of the
@@ -269,6 +306,13 @@ void HostAgent::serve(Socket socket) {
   Connection::Config cc;
   cc.ping_interval = config_.ping_interval;
   cc.idle_timeout = config_.idle_timeout;
+  cc.metrics = &agent_registry_;
+  if (config_.metrics_push_interval.count() > 0) {
+    // The push rides the maintenance thread; conn_.reset() below joins
+    // that thread before the session state goes away.
+    cc.hook_interval = config_.metrics_push_interval;
+    cc.tick_hook = [this] { push_metrics(); };
+  }
   conn_ = std::make_unique<Connection>(
       std::move(socket), cc,
       [this](Frame&& f) {
@@ -376,6 +420,59 @@ void HostAgent::fail_session(const std::string& reason) {
 
 shard::PriceSnapshot HostAgent::board_read(int shard) const {
   return board_->read(shard);
+}
+
+obs::MetricsRegistry& HostAgent::shard_registry(int shard) {
+  std::lock_guard<std::mutex> lock(registries_mutex_);
+  auto it = shard_registries_.find(shard);
+  if (it == shard_registries_.end()) {
+    it = shard_registries_
+             .emplace(shard, std::make_unique<obs::MetricsRegistry>())
+             .first;
+  }
+  return *it->second;
+}
+
+std::vector<int> HostAgent::assigned_shards() const {
+  std::lock_guard<std::mutex> lock(registries_mutex_);
+  std::vector<int> shards;
+  shards.reserve(shard_registries_.size());
+  for (const auto& [shard, registry] : shard_registries_) {
+    (void)registry;
+    shards.push_back(shard);
+  }
+  return shards;
+}
+
+void HostAgent::write_metrics(std::ostream& out) const {
+  agent_registry_.write_prometheus(out);
+  std::lock_guard<std::mutex> lock(registries_mutex_);
+  // Shard registries repeat metric names across shards (by design — the
+  // series differ only in the shard label), so each name's HELP/TYPE
+  // header is emitted once.
+  std::set<std::string> seen;
+  for (const auto& [shard, registry] : shard_registries_) {
+    const std::vector<std::pair<std::string, std::string>> labels = {
+        {"shard", std::to_string(shard)}};
+    for (const obs::MetricSnapshot& metric : registry->snapshot()) {
+      const bool headers = seen.insert(metric.name).second;
+      obs::write_prometheus_labeled(out, {metric}, labels, headers);
+    }
+  }
+}
+
+bool HostAgent::push_metrics() {
+  MetricsSnapshotMsg msg;
+  msg.agent = config_.name;
+  msg.seq = push_seq_.fetch_add(1, std::memory_order_relaxed) + 1;
+  msg.groups.push_back(obs::MetricsGroup{-1, agent_registry_.snapshot()});
+  {
+    std::lock_guard<std::mutex> lock(registries_mutex_);
+    for (const auto& [shard, registry] : shard_registries_) {
+      msg.groups.push_back(obs::MetricsGroup{shard, registry->snapshot()});
+    }
+  }
+  return send(MsgType::kMetricsSnapshot, encode(msg));
 }
 
 }  // namespace lorasched::net

@@ -29,15 +29,18 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <iosfwd>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "lorasched/net/messages.h"
 #include "lorasched/net/transport.h"
+#include "lorasched/obs/registry.h"
 #include "lorasched/shard/price_board.h"
 #include "lorasched/shard/shard_runner.h"
 #include "lorasched/sim/instance.h"
@@ -59,6 +62,12 @@ class HostAgent {
     /// Fail the session when the leader is silent this long (it pings
     /// constantly while alive). 0 disables.
     std::chrono::milliseconds idle_timeout{2000};
+    /// Agent name stamped on metrics pushes — the leader's federated
+    /// `agent` label (DESIGN.md §12).
+    std::string name = "agent";
+    /// > 0: push a cumulative MetricsSnapshot to the leader at this
+    /// cadence, piggybacked on the connection's maintenance thread.
+    std::chrono::milliseconds metrics_push_interval{0};
   };
 
   /// `env` supplies cluster/energy/market/horizon (tasks and outages are
@@ -86,6 +95,20 @@ class HostAgent {
     return sessions_.load(std::memory_order_relaxed);
   }
 
+  /// The agent's process-wide registry (transport counters). Shard-level
+  /// registries are created per assigned shard and persist across leader
+  /// sessions, so counters stay monotone through reconnects.
+  [[nodiscard]] obs::MetricsRegistry& registry() noexcept {
+    return agent_registry_;
+  }
+  /// Shards assigned at least once (sorted) — the /healthz shard list.
+  [[nodiscard]] std::vector<int> assigned_shards() const;
+  /// Prometheus exposition of the agent registry plus each shard registry
+  /// (shard-labeled) — the agent's /metrics and --metrics-out document.
+  void write_metrics(std::ostream& out) const;
+  /// Sends one cumulative metrics push now; false without a live session.
+  bool push_metrics();
+
  private:
   class Worker;
 
@@ -96,6 +119,8 @@ class HostAgent {
   bool send(MsgType type, const std::vector<std::uint8_t>& payload);
   void fail_session(const std::string& reason);
   [[nodiscard]] shard::PriceSnapshot board_read(int shard) const;
+  /// Get-or-create the shard's registry (stable address, agent lifetime).
+  [[nodiscard]] obs::MetricsRegistry& shard_registry(int shard);
 
   Instance env_;
   Config config_;
@@ -107,6 +132,12 @@ class HostAgent {
   std::atomic<bool> stopping_{false};
   std::atomic<bool> running_{false};
   std::atomic<std::uint64_t> sessions_{0};
+
+  // --- Observability (agent lifetime, survives sessions) ------------------
+  obs::MetricsRegistry agent_registry_;
+  mutable std::mutex registries_mutex_;
+  std::map<int, std::unique_ptr<obs::MetricsRegistry>> shard_registries_;
+  std::atomic<std::uint64_t> push_seq_{0};
 
   // --- Per-session state (reset by serve()) -------------------------------
   std::unique_ptr<Connection> conn_;

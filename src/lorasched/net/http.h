@@ -1,0 +1,71 @@
+// Minimal HTTP/1.1 scrape endpoint (DESIGN.md §12).
+//
+// Just enough HTTP for `curl` and a Prometheus scraper: GET only, exact
+// path match (query strings ignored), one request per connection
+// (`Connection: close`), responses with Content-Length. Requests are
+// served serially on the accept thread — a scrape endpoint has no
+// concurrency requirement, and serial service means handlers can read
+// shared state with a plain mutex.
+//
+// Hard limits keep a hostile peer harmless: request heads over 8 KiB are
+// rejected with 431, a socket that goes quiet mid-request times out via
+// SO_RCVTIMEO, and anything unparsable gets 400 and a close.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "lorasched/net/transport.h"
+
+namespace lorasched::net {
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+/// Registered per path; runs on the accept thread, one request at a time.
+using HttpHandler = std::function<HttpResponse()>;
+
+class HttpServer {
+ public:
+  /// Binds immediately (port 0 picks an ephemeral port, see port());
+  /// throws TransportError when the bind fails. Serving starts at start().
+  explicit HttpServer(std::uint16_t port, bool loopback_only = true);
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Registers `handler` for exact-match `path` (e.g. "/metrics").
+  /// Register everything before start() — the map is not locked.
+  void handle(std::string path, HttpHandler handler);
+
+  void start();
+  /// Idempotent; joins the accept thread.
+  void stop();
+
+  [[nodiscard]] std::uint16_t port() const noexcept;
+  [[nodiscard]] std::uint64_t requests_served() const noexcept {
+    return requests_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void accept_main();
+  void serve_one(Socket socket);
+
+  Listener listener_;
+  std::map<std::string, HttpHandler> handlers_;
+  std::thread accept_thread_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> started_{false};
+  std::atomic<std::uint64_t> requests_{0};
+};
+
+}  // namespace lorasched::net

@@ -343,6 +343,8 @@ std::vector<std::uint8_t> encode(const OfferMsg& m) {
   WireWriter w;
   w.put_svarint(m.shard_id);
   put_task(w, m.task);
+  w.put_varint(m.trace_id);
+  w.put_varint(m.parent_span);
   return w.take();
 }
 
@@ -351,6 +353,8 @@ OfferMsg decode_offer(const std::vector<std::uint8_t>& p) {
   OfferMsg m;
   m.shard_id = static_cast<std::int32_t>(r.get_svarint("offer shard"));
   m.task = get_task(r);
+  m.trace_id = r.get_varint("offer trace id");
+  m.parent_span = r.get_varint("offer parent span");
   r.expect_done("offer");
   return m;
 }
@@ -368,6 +372,8 @@ std::vector<std::uint8_t> encode(const RoundResultsMsg& m) {
     if (d.admit) put_schedule(w, d.schedule);
   }
   put_price_snapshot(w, m.snapshot);
+  w.put_varint(m.spans.size());
+  for (const obs::RemoteSpan& s : m.spans) put_span(w, s);
   return w.take();
 }
 
@@ -386,6 +392,9 @@ RoundResultsMsg decode_round_results(const std::vector<std::uint8_t>& p) {
     if (d.admit) d.schedule = get_schedule(r);
   }
   m.snapshot = get_price_snapshot(r);
+  const std::uint64_t spans = r.get_count("results span count");
+  m.spans.resize(static_cast<std::size_t>(spans));
+  for (obs::RemoteSpan& s : m.spans) s = get_span(r);
   r.expect_done("round_results");
   return m;
 }
@@ -479,6 +488,112 @@ RestoreAckMsg decode_restore_ack(const std::vector<std::uint8_t>& p) {
   RestoreAckMsg m;
   m.shard_id = static_cast<std::int32_t>(r.get_svarint("restore_ack shard"));
   r.expect_done("restore_ack");
+  return m;
+}
+
+void put_histogram_snapshot(WireWriter& w, const obs::HistogramSnapshot& h) {
+  w.put_f64(h.options.min);
+  w.put_f64(h.options.max);
+  w.put_svarint(h.options.buckets_per_octave);
+  w.put_varint(h.counts.size());
+  for (const std::uint64_t c : h.counts) w.put_varint(c);
+  w.put_varint(h.count);
+  w.put_f64(h.sum);
+  w.put_f64(h.min_seen);
+  w.put_f64(h.max_seen);
+}
+
+obs::HistogramSnapshot get_histogram_snapshot(WireReader& r) {
+  obs::HistogramSnapshot h;
+  h.options.min = r.get_f64("histogram min");
+  h.options.max = r.get_f64("histogram max");
+  h.options.buckets_per_octave =
+      static_cast<int>(r.get_svarint("histogram bpo"));
+  const std::uint64_t buckets = r.get_count("histogram bucket count");
+  h.counts.resize(static_cast<std::size_t>(buckets));
+  for (std::uint64_t& c : h.counts) c = r.get_varint("histogram bucket");
+  h.count = r.get_varint("histogram count");
+  h.sum = r.get_f64("histogram sum");
+  h.min_seen = r.get_f64("histogram min seen");
+  h.max_seen = r.get_f64("histogram max seen");
+  return h;
+}
+
+void put_metric(WireWriter& w, const obs::MetricSnapshot& m) {
+  w.put_string(m.name);
+  w.put_string(m.help);
+  w.put_u8(static_cast<std::uint8_t>(m.kind));
+  w.put_f64(m.value);
+  if (m.kind == obs::MetricKind::kHistogram) {
+    put_histogram_snapshot(w, m.histogram);
+  }
+}
+
+obs::MetricSnapshot get_metric(WireReader& r) {
+  obs::MetricSnapshot m;
+  m.name = r.get_string("metric name");
+  m.help = r.get_string("metric help");
+  const std::uint8_t kind = r.get_u8("metric kind");
+  if (kind > static_cast<std::uint8_t>(obs::MetricKind::kHistogram)) {
+    throw WireError("wire: bad metric kind");
+  }
+  m.kind = static_cast<obs::MetricKind>(kind);
+  m.value = r.get_f64("metric value");
+  if (m.kind == obs::MetricKind::kHistogram) {
+    m.histogram = get_histogram_snapshot(r);
+  }
+  return m;
+}
+
+void put_span(WireWriter& w, const obs::RemoteSpan& s) {
+  w.put_string(s.name);
+  w.put_svarint(s.task);
+  w.put_varint(s.trace_id);
+  w.put_varint(s.span_id);
+  w.put_varint(s.parent_span);
+  w.put_svarint(s.start_offset_ns);
+  w.put_svarint(s.duration_ns);
+}
+
+obs::RemoteSpan get_span(WireReader& r) {
+  obs::RemoteSpan s;
+  s.name = r.get_string("span name");
+  s.task = r.get_svarint("span task");
+  s.trace_id = r.get_varint("span trace id");
+  s.span_id = r.get_varint("span id");
+  s.parent_span = r.get_varint("span parent");
+  s.start_offset_ns = r.get_svarint("span start offset");
+  s.duration_ns = r.get_svarint("span duration");
+  return s;
+}
+
+std::vector<std::uint8_t> encode(const MetricsSnapshotMsg& m) {
+  WireWriter w;
+  w.put_string(m.agent);
+  w.put_varint(m.seq);
+  w.put_varint(m.groups.size());
+  for (const obs::MetricsGroup& g : m.groups) {
+    w.put_svarint(g.shard);
+    w.put_varint(g.metrics.size());
+    for (const obs::MetricSnapshot& metric : g.metrics) put_metric(w, metric);
+  }
+  return w.take();
+}
+
+MetricsSnapshotMsg decode_metrics_snapshot(const std::vector<std::uint8_t>& p) {
+  WireReader r(p);
+  MetricsSnapshotMsg m;
+  m.agent = r.get_string("metrics agent");
+  m.seq = r.get_varint("metrics seq");
+  const std::uint64_t groups = r.get_count("metrics group count");
+  m.groups.resize(static_cast<std::size_t>(groups));
+  for (obs::MetricsGroup& g : m.groups) {
+    g.shard = static_cast<std::int32_t>(r.get_svarint("metrics shard"));
+    const std::uint64_t metrics = r.get_count("metrics metric count");
+    g.metrics.resize(static_cast<std::size_t>(metrics));
+    for (obs::MetricSnapshot& metric : g.metrics) metric = get_metric(r);
+  }
+  r.expect_done("metrics_snapshot");
   return m;
 }
 

@@ -17,6 +17,8 @@
 #include "lorasched/cluster/cluster.h"
 #include "lorasched/core/schedule.h"
 #include "lorasched/net/wire.h"
+#include "lorasched/obs/cluster_trace.h"
+#include "lorasched/obs/federation.h"
 #include "lorasched/shard/price_board.h"
 #include "lorasched/types.h"
 #include "lorasched/workload/task.h"
@@ -83,6 +85,11 @@ struct BeginRoundMsg {
 struct OfferMsg {
   std::int32_t shard_id = -1;
   Task task;
+  /// Trace context (DESIGN.md §12): the leader's round trace id and bid
+  /// span id. Always encoded; both zero when tracing is off, and never
+  /// consulted by decision logic (bit-identity pinned by tests).
+  std::uint64_t trace_id = 0;
+  std::uint64_t parent_span = 0;
 };
 
 /// One bid's outcome inside a RoundResults frame. The leader already holds
@@ -103,6 +110,9 @@ struct RoundResultsMsg {
   /// The shard's post-round price summary (published_slot = slot), shipped
   /// with the results so the leader's board update is part of the round.
   shard::PriceSnapshot snapshot;
+  /// Agent-side spans for this round (empty when the offers carried no
+  /// trace context); offsets are relative to the agent's round start.
+  std::vector<obs::RemoteSpan> spans;
 };
 
 struct PublishRequestMsg {
@@ -148,6 +158,16 @@ struct ErrorMsg {
   std::string message;
 };
 
+/// One metrics push: the agent's process-wide registry plus each assigned
+/// shard's registry as cumulative snapshots (replace-not-add federation,
+/// see obs/federation.h). `seq` increments per push so the leader can drop
+/// duplicates after a resync.
+struct MetricsSnapshotMsg {
+  std::string agent;
+  std::uint64_t seq = 0;
+  std::vector<obs::MetricsGroup> groups;
+};
+
 // --- Payload codecs ---------------------------------------------------------
 
 [[nodiscard]] std::vector<std::uint8_t> encode(const HelloMsg& m);
@@ -166,6 +186,7 @@ struct ErrorMsg {
 [[nodiscard]] std::vector<std::uint8_t> encode(const RestoreStateMsg& m);
 [[nodiscard]] std::vector<std::uint8_t> encode(const RestoreAckMsg& m);
 [[nodiscard]] std::vector<std::uint8_t> encode(const ErrorMsg& m);
+[[nodiscard]] std::vector<std::uint8_t> encode(const MetricsSnapshotMsg& m);
 
 [[nodiscard]] HelloMsg decode_hello(const std::vector<std::uint8_t>& p);
 [[nodiscard]] HelloAckMsg decode_hello_ack(const std::vector<std::uint8_t>& p);
@@ -194,6 +215,8 @@ struct ErrorMsg {
 [[nodiscard]] RestoreAckMsg decode_restore_ack(
     const std::vector<std::uint8_t>& p);
 [[nodiscard]] ErrorMsg decode_error(const std::vector<std::uint8_t>& p);
+[[nodiscard]] MetricsSnapshotMsg decode_metrics_snapshot(
+    const std::vector<std::uint8_t>& p);
 
 // --- Shared sub-codecs (exposed for fuzzing and tests) ----------------------
 
@@ -205,5 +228,11 @@ void put_price_snapshot(WireWriter& w, const shard::PriceSnapshot& s);
 [[nodiscard]] shard::PriceSnapshot get_price_snapshot(WireReader& r);
 void put_ledger(WireWriter& w, const CapacityLedger::Snapshot& s);
 [[nodiscard]] CapacityLedger::Snapshot get_ledger(WireReader& r);
+void put_metric(WireWriter& w, const obs::MetricSnapshot& m);
+[[nodiscard]] obs::MetricSnapshot get_metric(WireReader& r);
+void put_histogram_snapshot(WireWriter& w, const obs::HistogramSnapshot& h);
+[[nodiscard]] obs::HistogramSnapshot get_histogram_snapshot(WireReader& r);
+void put_span(WireWriter& w, const obs::RemoteSpan& s);
+[[nodiscard]] obs::RemoteSpan get_span(WireReader& r);
 
 }  // namespace lorasched::net

@@ -8,7 +8,16 @@ namespace lorasched::net {
 using shard::ShardUnavailable;
 
 AgentLink::AgentLink(LinkConfig config, HelloMsg hello)
-    : config_(std::move(config)), hello_(hello) {}
+    : config_(std::move(config)), hello_(hello) {
+  if (config_.metrics != nullptr) {
+    reconnects_total_ = &config_.metrics->counter(
+        "lorasched_net_reconnects_total",
+        "Successful link re-dials after a drop");
+    rpc_timeouts_total_ = &config_.metrics->counter(
+        "lorasched_net_rpc_timeouts_total",
+        "RPCs that failed the link on a missed reply deadline");
+  }
+}
 
 AgentLink::~AgentLink() { conn_.reset(); }
 
@@ -24,7 +33,10 @@ std::string AgentLink::last_error() const {
 void AgentLink::connect() { dial_and_handshake(); }
 
 void AgentLink::dial_and_handshake() {
-  conn_.reset();  // joins the old transport threads first
+  {
+    std::lock_guard<std::mutex> lock(conn_mutex_);
+    conn_.reset();  // joins the old transport threads first
+  }
   {
     std::lock_guard<std::mutex> lock(mutex_);
     mail_.clear();
@@ -36,13 +48,18 @@ void AgentLink::dial_and_handshake() {
   Connection::Config cc;
   cc.ping_interval = config_.ping_interval;
   cc.idle_timeout = config_.heartbeat_timeout;
-  conn_ = std::make_unique<Connection>(
+  cc.metrics = config_.metrics;
+  auto conn = std::make_unique<Connection>(
       std::move(socket), cc, [this](Frame&& f) { on_frame(std::move(f)); },
       [this](const std::string& reason) {
         std::lock_guard<std::mutex> lock(mutex_);
         if (last_error_.empty()) last_error_ = reason;
         mail_cv_.notify_all();
       });
+  {
+    std::lock_guard<std::mutex> lock(conn_mutex_);
+    conn_ = std::move(conn);
+  }
   if (!conn_->send(MsgType::kHello, encode(hello_))) {
     throw TransportError("hello send failed: " + last_error());
   }
@@ -60,7 +77,21 @@ void AgentLink::dial_and_handshake() {
 }
 
 void AgentLink::on_frame(Frame&& frame) {
-  // Reader thread. Route by the leading shard id every shard-scoped reply
+  // Reader thread. kMetricsSnapshot is agent-scoped — its payload leads
+  // with the agent name, not a shard id — so it must bypass the shard-id
+  // peek below. Decode and hand off right here; a malformed push throws
+  // WireError, which the transport turns into a link failure.
+  if (frame.type == MsgType::kMetricsSnapshot) {
+    MetricsSnapshotMsg msg = decode_metrics_snapshot(frame.payload);
+    std::function<void(MetricsSnapshotMsg&&)> sink;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      sink = metrics_sink_;
+    }
+    if (sink) sink(std::move(msg));
+    return;
+  }
+  // Route by the leading shard id every shard-scoped reply
   // carries; HelloAck is connection-scoped (shard -1). A malformed prefix
   // throws WireError, which the transport turns into a link failure.
   int shard = -1;
@@ -107,6 +138,8 @@ Frame AgentLink::take_or_wait(int shard, MsgType want,
       }
       if (present) continue;
       lock.unlock();
+      rpc_timeouts_.fetch_add(1, std::memory_order_relaxed);
+      if (rpc_timeouts_total_ != nullptr) rpc_timeouts_total_->add(1);
       // Fail the whole link: a reply arriving after we gave up must never
       // be delivered to a later request.
       conn_->fail(std::string(what) + ": no reply within the rpc timeout");
@@ -145,6 +178,8 @@ bool AgentLink::ensure_open() {
     try {
       dial_and_handshake();
       dialed = true;
+      reconnects_.fetch_add(1, std::memory_order_relaxed);
+      if (reconnects_total_ != nullptr) reconnects_total_->add(1);
       break;
     } catch (const std::exception&) {
       // Backoff lives inside connect_with_backoff; try the full dial again.
@@ -162,6 +197,25 @@ bool AgentLink::ensure_open() {
 
 void AgentLink::register_resync(int shard, std::function<void()> resync) {
   resyncs_[shard] = std::move(resync);
+}
+
+void AgentLink::set_metrics_sink(
+    std::function<void(MetricsSnapshotMsg&&)> sink) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  metrics_sink_ = std::move(sink);
+}
+
+AgentLink::Health AgentLink::health() const {
+  Health h;
+  {
+    std::lock_guard<std::mutex> lock(conn_mutex_);
+    h.open = conn_ != nullptr && conn_->open();
+    if (conn_ != nullptr) h.last_rx_age_ns = conn_->last_rx_age().count();
+  }
+  h.last_error = last_error();
+  h.reconnects = reconnects_.load(std::memory_order_relaxed);
+  h.rpc_timeouts = rpc_timeouts_.load(std::memory_order_relaxed);
+  return h;
 }
 
 void AgentLink::send_shutdown() {
@@ -197,6 +251,9 @@ RemoteShardHandle::RemoteShardHandle(std::shared_ptr<AgentLink> link,
   assignment_.parallel_candidates = policy.parallel_candidates;
   assignment_.time_decisions = ctx.config.time_decisions;
   assignment_.inbox_capacity = ctx.config.inbox_capacity;
+  tracer_ = ctx.config.tracer;
+  agent_label_ = link_->config().host + ":" +
+                 std::to_string(link_->config().port);
   link_->register_resync(shard_id_, [this] { resync(); });
   assign();
 }
@@ -297,6 +354,8 @@ void RemoteShardHandle::begin_round(Slot slot, std::size_t expected) {
   round_tasks_.clear();
   round_tasks_.reserve(expected);
   round_slot_ = slot;
+  round_trace_ = tracer_ != nullptr ? tracer_->begin_round(shard_id_, slot)
+                                    : obs::RoundTraceCtx{};
   in_round_ = true;
   try {
     BeginRoundMsg begin;
@@ -321,6 +380,8 @@ void RemoteShardHandle::offer(Task bid) {
     OfferMsg msg;
     msg.shard_id = shard_id_;
     msg.task = bid;
+    msg.trace_id = round_trace_.trace_id;
+    msg.parent_span = round_trace_.span_id;
     link_->post(MsgType::kOffer, encode(msg));
   } catch (...) {
     in_round_ = false;  // the round can never have started on the agent
@@ -365,6 +426,10 @@ const std::vector<shard::RoundResult>& RemoteShardHandle::wait_round() {
     r.decision.schedule = d.schedule;
     if (d.admit) booked_ += d.schedule.total_compute;
     results_.push_back(std::move(r));
+  }
+  if (tracer_ != nullptr && round_trace_.active()) {
+    tracer_->end_round(shard_id_);
+    tracer_->absorb(agent_label_, shard_id_, round_slot_, msg.spans);
   }
   dirty_ = true;  // duals/ledger advanced past the cached state
   board_.publish(shard_id_, msg.snapshot);

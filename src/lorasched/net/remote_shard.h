@@ -26,6 +26,7 @@
 //    state, and the shard continues bit-identically.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <deque>
@@ -39,6 +40,8 @@
 #include "lorasched/core/pdftsp.h"
 #include "lorasched/net/messages.h"
 #include "lorasched/net/transport.h"
+#include "lorasched/obs/cluster_trace.h"
+#include "lorasched/obs/registry.h"
 #include "lorasched/shard/shard_handle.h"
 #include "lorasched/shard/sharded_service.h"
 
@@ -59,6 +62,10 @@ struct LinkConfig {
   /// Re-dial budget when an established link drops between rounds; 0
   /// disables revival entirely (first failure is permanent).
   int reconnect_attempts = 2;
+  /// Optional registry for link observability (borrowed, not owned): the
+  /// transport's per-type frame/byte counters and heartbeat RTT histogram
+  /// plus the link's reconnect / rpc-timeout counters (DESIGN.md §12).
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// One connection to one host-agent; shared by every RemoteShardHandle
@@ -104,6 +111,25 @@ class AgentLink {
   /// Best-effort kShutdown to the agent (process teardown).
   void send_shutdown();
 
+  /// Installs the sink for the agent's metrics pushes (kMetricsSnapshot is
+  /// agent-scoped — its payload leads with the agent name, not a shard id).
+  /// Set before connect(); the sink runs on the reader thread and must not
+  /// block on this link. A malformed push fails the link like any other
+  /// bad frame.
+  void set_metrics_sink(std::function<void(MetricsSnapshotMsg&&)> sink);
+
+  /// Liveness summary for /healthz (DESIGN.md §12). Safe to call from a
+  /// scrape thread while the leader thread is using the link.
+  struct Health {
+    bool open = false;
+    std::string last_error;
+    /// Nanoseconds since the last frame from the agent (-1: never dialed).
+    std::int64_t last_rx_age_ns = -1;
+    std::uint64_t reconnects = 0;
+    std::uint64_t rpc_timeouts = 0;
+  };
+  [[nodiscard]] Health health() const;
+
  private:
   void dial_and_handshake();
   void on_frame(Frame&& frame);
@@ -113,6 +139,10 @@ class AgentLink {
 
   LinkConfig config_;
   HelloMsg hello_;
+  /// conn_ is mutated (reset/replaced) only on the leader thread;
+  /// conn_mutex_ guards those swaps against concurrent health() reads from
+  /// a scrape thread. Leader-thread-only uses stay unguarded.
+  mutable std::mutex conn_mutex_;
   std::unique_ptr<Connection> conn_;
   std::map<int, std::function<void()>> resyncs_;
 
@@ -120,6 +150,11 @@ class AgentLink {
   std::condition_variable mail_cv_;
   std::map<int, std::deque<Frame>> mail_;
   std::string last_error_;
+  std::function<void(MetricsSnapshotMsg&&)> metrics_sink_;
+  std::atomic<std::uint64_t> reconnects_{0};
+  std::atomic<std::uint64_t> rpc_timeouts_{0};
+  obs::Counter* reconnects_total_ = nullptr;
+  obs::Counter* rpc_timeouts_total_ = nullptr;
 };
 
 /// shard::ShardHandle over an AgentLink — the drop-in that makes
@@ -189,6 +224,14 @@ class RemoteShardHandle final : public shard::ShardHandle {
   double booked_ = 0.0;
   mutable bool have_cache_ = false;
   mutable shard::ShardState cache_;
+
+  // Cross-process tracing (observation-only — never consulted by decision
+  // logic). round_trace_ is stamped on every Offer of the round; the
+  // agent's spans come back on RoundResults and are absorbed under this
+  // agent's label.
+  obs::ClusterTraceCollector* tracer_ = nullptr;
+  std::string agent_label_;
+  obs::RoundTraceCtx round_trace_;
 };
 
 }  // namespace lorasched::net

@@ -130,11 +130,40 @@ Connection::Connection(Socket socket, Config config, FrameHandler on_frame,
       on_frame_(std::move(on_frame)),
       on_close_(std::move(on_close)) {
   last_rx_ns_.store(now_ns(), std::memory_order_relaxed);
+  if (config_.metrics != nullptr) register_metrics();
   reader_ = std::thread(&Connection::reader_main, this);
   writer_ = std::thread(&Connection::writer_main, this);
-  if (config_.ping_interval.count() > 0 || config_.idle_timeout.count() > 0) {
+  if (config_.ping_interval.count() > 0 || config_.idle_timeout.count() > 0 ||
+      (config_.hook_interval.count() > 0 && config_.tick_hook)) {
     maintenance_ = std::thread(&Connection::maintenance_main, this);
   }
+}
+
+void Connection::register_metrics() {
+  obs::MetricsRegistry& reg = *config_.metrics;
+  const std::string& prefix = config_.metrics_prefix;
+  for (std::size_t raw = static_cast<std::size_t>(MsgType::kHello);
+       raw < kTypeSlots; ++raw) {
+    const std::string suffix =
+        std::string(to_string(static_cast<MsgType>(raw))) + "_total";
+    tx_frames_[raw] = &reg.counter(prefix + "_tx_frames_" + suffix,
+                                   "Frames enqueued for send, by type");
+    tx_bytes_[raw] = &reg.counter(prefix + "_tx_bytes_" + suffix,
+                                  "Encoded frame bytes enqueued, by type");
+    rx_frames_[raw] = &reg.counter(prefix + "_rx_frames_" + suffix,
+                                   "Frames decoded from the peer, by type");
+    rx_bytes_[raw] = &reg.counter(prefix + "_rx_bytes_" + suffix,
+                                  "Decoded frame bytes received, by type");
+  }
+  rtt_hist_ = &reg.histogram(
+      prefix + "_heartbeat_rtt_seconds",
+      obs::HistogramOptions{.min = 1e-6, .max = 10.0},
+      "Ping to pong round-trip time");
+}
+
+std::chrono::nanoseconds Connection::last_rx_age() const noexcept {
+  return std::chrono::nanoseconds(
+      now_ns() - last_rx_ns_.load(std::memory_order_relaxed));
 }
 
 Connection::~Connection() {
@@ -163,19 +192,27 @@ void Connection::fail(const std::string& reason) noexcept {
 
 bool Connection::send(MsgType type, const std::vector<std::uint8_t>& payload) {
   if (!open()) return false;
-  return enqueue(encode_frame(type, payload));
+  return enqueue(type, encode_frame(type, payload));
 }
 
-bool Connection::enqueue(std::vector<std::uint8_t> bytes) {
-  std::unique_lock<std::mutex> lock(outbox_mutex_);
-  outbox_room_.wait(lock, [&] {
-    return failed_.load(std::memory_order_acquire) ||
-           outbox_.size() < config_.outbox_capacity;
-  });
-  if (failed_.load(std::memory_order_acquire)) return false;
-  outbox_.push_back(std::move(bytes));
-  ++in_flight_;
-  outbox_cv_.notify_one();
+bool Connection::enqueue(MsgType type, std::vector<std::uint8_t> bytes) {
+  const std::size_t encoded_size = bytes.size();
+  {
+    std::unique_lock<std::mutex> lock(outbox_mutex_);
+    outbox_room_.wait(lock, [&] {
+      return failed_.load(std::memory_order_acquire) ||
+             outbox_.size() < config_.outbox_capacity;
+    });
+    if (failed_.load(std::memory_order_acquire)) return false;
+    outbox_.push_back(std::move(bytes));
+    ++in_flight_;
+    outbox_cv_.notify_one();
+  }
+  const auto raw = static_cast<std::size_t>(type);
+  if (raw < kTypeSlots && tx_frames_[raw] != nullptr) {
+    tx_frames_[raw]->add(1);
+    tx_bytes_[raw]->add(encoded_size);
+  }
   return true;
 }
 
@@ -244,12 +281,24 @@ void Connection::reader_main() {
       decoder.feed(chunk, static_cast<std::size_t>(n));
       while (decoder.next(frame)) {
         frames_received_.fetch_add(1, std::memory_order_relaxed);
+        const auto raw = static_cast<std::size_t>(frame.type);
+        if (raw < kTypeSlots && rx_frames_[raw] != nullptr) {
+          rx_frames_[raw]->add(1);
+          rx_bytes_[raw]->add(frame.payload.size());
+        }
         if (frame.type == MsgType::kPing) {
           // Transport-level heartbeat: answer in kind, don't surface.
-          enqueue(encode_frame(MsgType::kPong, frame.payload));
+          enqueue(MsgType::kPong, encode_frame(MsgType::kPong, frame.payload));
           continue;
         }
-        if (frame.type == MsgType::kPong) continue;  // liveness refreshed
+        if (frame.type == MsgType::kPong) {  // liveness refreshed
+          const std::int64_t sent =
+              last_ping_sent_ns_.exchange(0, std::memory_order_relaxed);
+          if (sent != 0 && rtt_hist_ != nullptr) {
+            rtt_hist_->record(static_cast<double>(now_ns() - sent) * 1e-9);
+          }
+          continue;
+        }
         if (on_frame_) on_frame_(std::move(frame));
       }
     } catch (const WireError& e) {
@@ -263,10 +312,18 @@ void Connection::reader_main() {
 }
 
 void Connection::maintenance_main() {
-  const auto tick = config_.ping_interval.count() > 0
-                        ? config_.ping_interval
-                        : config_.idle_timeout / 4;
+  auto tick = std::chrono::milliseconds::max();
+  if (config_.ping_interval.count() > 0) {
+    tick = std::min(tick, config_.ping_interval);
+  }
+  if (config_.idle_timeout.count() > 0) {
+    tick = std::min(tick, config_.idle_timeout / 4);
+  }
+  if (config_.hook_interval.count() > 0 && config_.tick_hook) {
+    tick = std::min(tick, config_.hook_interval);
+  }
   auto last_ping = std::chrono::steady_clock::now();
+  auto last_hook = last_ping;
   std::unique_lock<std::mutex> lock(maint_mutex_);
   while (!failed_.load(std::memory_order_acquire)) {
     maint_cv_.wait_for(lock, tick);
@@ -284,7 +341,21 @@ void Connection::maintenance_main() {
     if (config_.ping_interval.count() > 0 &&
         now - last_ping >= config_.ping_interval) {
       last_ping = now;
-      enqueue(encode_frame(MsgType::kPing, {}));
+      last_ping_sent_ns_.store(now_ns(), std::memory_order_relaxed);
+      enqueue(MsgType::kPing, encode_frame(MsgType::kPing, {}));
+    }
+    if (config_.hook_interval.count() > 0 && config_.tick_hook &&
+        now - last_hook >= config_.hook_interval) {
+      last_hook = now;
+      // The metrics-push piggyback (DESIGN.md §12); runs unlocked so the
+      // hook may call send() on this connection.
+      lock.unlock();
+      try {
+        config_.tick_hook();
+      } catch (...) {
+        // An observability hook must never take the transport down.
+      }
+      lock.lock();
     }
   }
 }

@@ -20,6 +20,7 @@
 // bounded number of times with exponentially growing pauses.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
@@ -32,6 +33,7 @@
 #include <thread>
 
 #include "lorasched/net/wire.h"
+#include "lorasched/obs/registry.h"
 
 namespace lorasched::net {
 
@@ -103,6 +105,18 @@ class Connection {
     std::chrono::milliseconds ping_interval{0};
     /// > 0: fail the connection when no frame arrived for this long.
     std::chrono::milliseconds idle_timeout{0};
+    /// Optional transport metrics (DESIGN.md §12): per-message-type frame
+    /// and byte counters (tx at enqueue, rx at decode) plus a heartbeat
+    /// RTT histogram. The registry must outlive the connection; counters
+    /// are get-or-create by name, so successive connections of one process
+    /// continue the same series.
+    obs::MetricsRegistry* metrics = nullptr;
+    std::string metrics_prefix = "lorasched_net";
+    /// > 0: the maintenance thread calls `tick_hook` at this cadence (the
+    /// metrics-push piggyback). The hook runs on the maintenance thread
+    /// and must not block on this connection's outbox being full.
+    std::chrono::milliseconds hook_interval{0};
+    std::function<void()> tick_hook;
   };
 
   using FrameHandler = std::function<void(Frame&&)>;
@@ -148,12 +162,16 @@ class Connection {
   [[nodiscard]] std::uint64_t frames_received() const noexcept {
     return frames_received_.load(std::memory_order_relaxed);
   }
+  /// Time since the last frame (or byte) arrived from the peer — the
+  /// /healthz "last heartbeat age".
+  [[nodiscard]] std::chrono::nanoseconds last_rx_age() const noexcept;
 
  private:
   void reader_main();
   void writer_main();
   void maintenance_main();
-  bool enqueue(std::vector<std::uint8_t> bytes);
+  void register_metrics();
+  bool enqueue(MsgType type, std::vector<std::uint8_t> bytes);
 
   Socket socket_;
   Config config_;
@@ -177,6 +195,18 @@ class Connection {
   std::atomic<std::uint64_t> bytes_received_{0};
   std::atomic<std::uint64_t> frames_sent_{0};
   std::atomic<std::uint64_t> frames_received_{0};
+
+  // Per-message-type counters, indexed by the raw MsgType byte (null when
+  // Config.metrics is unset). Registered once in the constructor; the hot
+  // path is a single relaxed add.
+  static constexpr std::size_t kTypeSlots =
+      static_cast<std::size_t>(MsgType::kMetricsSnapshot) + 1;
+  std::array<obs::Counter*, kTypeSlots> tx_frames_{};
+  std::array<obs::Counter*, kTypeSlots> tx_bytes_{};
+  std::array<obs::Counter*, kTypeSlots> rx_frames_{};
+  std::array<obs::Counter*, kTypeSlots> rx_bytes_{};
+  obs::Histogram* rtt_hist_ = nullptr;
+  std::atomic<std::int64_t> last_ping_sent_ns_{0};
 
   std::mutex maint_mutex_;
   std::condition_variable maint_cv_;

@@ -25,6 +25,7 @@ const char* to_string(MsgType type) noexcept {
     case MsgType::kPong: return "pong";
     case MsgType::kShutdown: return "shutdown";
     case MsgType::kError: return "error";
+    case MsgType::kMetricsSnapshot: return "metrics_snapshot";
   }
   return "unknown";
 }
@@ -33,7 +34,7 @@ namespace {
 
 [[nodiscard]] bool known_type(std::uint8_t raw) noexcept {
   return raw >= static_cast<std::uint8_t>(MsgType::kHello) &&
-         raw <= static_cast<std::uint8_t>(MsgType::kError);
+         raw <= static_cast<std::uint8_t>(MsgType::kMetricsSnapshot);
 }
 
 [[noreturn]] void fail(const char* what, const char* why) {

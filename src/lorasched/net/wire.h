@@ -70,6 +70,7 @@ enum class MsgType : std::uint8_t {
   kPong = 17,
   kShutdown = 18,  // leader -> agent: drain and exit
   kError = 19,     // agent -> leader: round failed (message = what())
+  kMetricsSnapshot = 20,  // agent -> leader: cumulative metrics push
 };
 
 [[nodiscard]] const char* to_string(MsgType type) noexcept;

@@ -1,0 +1,178 @@
+#include "lorasched/obs/cluster_trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <map>
+#include <ostream>
+
+#include "lorasched/obs/json.h"
+
+namespace lorasched::obs {
+
+namespace {
+
+std::int64_t steady_now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void write_hex_id(std::ostream& out, std::uint64_t id) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "0x%016llx",
+                static_cast<unsigned long long>(id));
+  out << buf;
+}
+
+}  // namespace
+
+RoundTraceCtx ClusterTraceCollector::begin_round(int shard, Slot slot) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  RoundState& state = rounds_[shard];
+  ++state.rounds;
+  RoundTraceCtx ctx;
+  ctx.trace_id = trace_mix(kTraceSeed, static_cast<std::uint64_t>(slot) + 1);
+  ctx.span_id = trace_mix(
+      trace_mix(ctx.trace_id, static_cast<std::uint64_t>(shard) + 1),
+      state.rounds);
+  state.ctx = ctx;
+  state.slot = slot;
+  state.anchor_ns = steady_now_ns();
+  state.open = true;
+  return ctx;
+}
+
+void ClusterTraceCollector::end_round(int shard) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = rounds_.find(shard);
+  if (it == rounds_.end() || !it->second.open) return;
+  RoundState& state = it->second;
+  state.open = false;  // anchor_ns survives for a late absorb()
+  Event event;
+  event.pid = 1;
+  event.tid = shard;
+  event.name = "leader_round";
+  event.trace_id = state.ctx.trace_id;
+  event.span_id = state.ctx.span_id;
+  event.start_ns = state.anchor_ns;
+  event.duration_ns = std::max<std::int64_t>(
+      steady_now_ns() - state.anchor_ns, 0);
+  push_event(std::move(event));
+}
+
+void ClusterTraceCollector::absorb(const std::string& agent, int shard,
+                                   Slot /*slot*/,
+                                   const std::vector<RemoteSpan>& spans) {
+  if (spans.empty()) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = rounds_.find(shard);
+  // Unsolicited spans (no round ever begun on this shard) have no anchor;
+  // anchor them at absorb time rather than dropping them.
+  const std::int64_t anchor =
+      it == rounds_.end() ? steady_now_ns() : it->second.anchor_ns;
+  const int pid = agent_pid(agent);
+  for (const RemoteSpan& span : spans) {
+    Event event;
+    event.pid = pid;
+    event.tid = shard;
+    event.name = span.name;
+    event.task = span.task;
+    event.trace_id = span.trace_id;
+    event.span_id = span.span_id;
+    event.parent_span = span.parent_span;
+    event.start_ns = anchor + span.start_offset_ns;
+    event.duration_ns = std::max<std::int64_t>(span.duration_ns, 0);
+    push_event(std::move(event));
+  }
+}
+
+std::vector<ClusterTraceCollector::SpanSummary>
+ClusterTraceCollector::summaries() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::map<std::string, SpanSummary> by_name;
+  for (const Event& event : events_) {
+    SpanSummary& s = by_name[event.name];
+    if (s.count == 0) s.name = event.name;
+    ++s.count;
+    s.total_ns += event.duration_ns;
+    s.max_ns = std::max(s.max_ns, event.duration_ns);
+  }
+  std::vector<SpanSummary> out;
+  out.reserve(by_name.size());
+  for (auto& [name, summary] : by_name) out.push_back(std::move(summary));
+  return out;
+}
+
+std::size_t ClusterTraceCollector::events() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_.size();
+}
+
+std::uint64_t ClusterTraceCollector::dropped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return dropped_;
+}
+
+void ClusterTraceCollector::write_chrome_trace(std::ostream& out) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::int64_t base = 0;
+  for (const Event& event : events_) {
+    if (base == 0 || event.start_ns < base) base = event.start_ns;
+  }
+  out << "{\"traceEvents\":[";
+  bool first = true;
+  auto sep = [&] {
+    if (!first) out << ',';
+    first = false;
+  };
+  sep();
+  out << R"({"ph":"M","pid":1,"name":"process_name","args":{"name":"leader"}})";
+  for (const auto& [agent, pid] : agent_pids_) {
+    sep();
+    out << "{\"ph\":\"M\",\"pid\":" << pid
+        << ",\"name\":\"process_name\",\"args\":{\"name\":";
+    write_json_string(out, "agent:" + agent);
+    out << "}}";
+  }
+  char buf[32];
+  for (const Event& event : events_) {
+    sep();
+    out << "{\"ph\":\"X\",\"pid\":" << event.pid << ",\"tid\":" << event.tid
+        << ",\"name\":";
+    write_json_string(out, event.name);
+    std::snprintf(buf, sizeof(buf), "%.3f",
+                  static_cast<double>(event.start_ns - base) / 1000.0);
+    out << ",\"ts\":" << buf;
+    std::snprintf(buf, sizeof(buf), "%.3f",
+                  static_cast<double>(event.duration_ns) / 1000.0);
+    out << ",\"dur\":" << buf << ",\"args\":{\"trace_id\":\"";
+    write_hex_id(out, event.trace_id);
+    out << "\",\"span_id\":\"";
+    write_hex_id(out, event.span_id);
+    out << "\",\"parent_span\":\"";
+    write_hex_id(out, event.parent_span);
+    out << '"';
+    if (event.task >= 0) out << ",\"task\":" << event.task;
+    out << "}}";
+  }
+  out << "]}\n";
+}
+
+void ClusterTraceCollector::push_event(Event&& event) {
+  if (events_.size() >= max_events_) {
+    ++dropped_;
+    return;
+  }
+  events_.push_back(std::move(event));
+}
+
+int ClusterTraceCollector::agent_pid(const std::string& agent) {
+  const auto it = agent_pids_.find(agent);
+  if (it != agent_pids_.end()) return it->second;
+  const int pid = 2 + static_cast<int>(agent_pids_.size());
+  agent_pids_.emplace(agent, pid);
+  return pid;
+}
+
+}  // namespace lorasched::obs

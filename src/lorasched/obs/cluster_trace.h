@@ -1,0 +1,146 @@
+// Cross-process bid tracing (DESIGN.md §12).
+//
+// A decision round that travels leader→agent→leader used to leave two
+// disjoint trace fragments: the leader's round span and the agent's DP
+// spans, each on its own process clock with no shared ids. This module
+// stitches them:
+//
+//  * The leader's ClusterTraceCollector mints a RoundTraceCtx per
+//    (shard, round) — a trace id shared by every shard of the slot and a
+//    span id for the leader's bid span. The context rides on each Offer
+//    frame (trace_id, parent_span).
+//  * The agent measures its round and per-decision DP work as RemoteSpans
+//    whose parent ids chain back to the leader's span, with start offsets
+//    relative to the agent's round start (no cross-host clock needed),
+//    and ships them home inside RoundResults.
+//  * absorb() re-anchors the offsets on the leader's steady clock at the
+//    moment the leader armed that round, producing one merged Chrome
+//    trace where agent DP spans nest under leader bid spans.
+//
+// Ids are derived deterministically (FNV-1a over logical coordinates:
+// slot, shard, round index, task id) — never from the wall clock — so two
+// runs of the same scenario produce the same span graph. Timestamps are
+// steady-clock and observation-only: with the collector detached the
+// Offer trace fields are zero and decisions are bit-identical
+// (tests pin this).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "lorasched/types.h"
+
+namespace lorasched::obs {
+
+/// One FNV-1a absorption step. Chain from kTraceSeed (or a parent id) to
+/// derive child ids from logical coordinates.
+[[nodiscard]] constexpr std::uint64_t trace_mix(std::uint64_t seed,
+                                                std::uint64_t value) noexcept {
+  // FNV-1a, one 64-bit input absorbed bytewise.
+  std::uint64_t h = seed;
+  for (int i = 0; i < 8; ++i) {
+    h ^= (value >> (8 * i)) & 0xffU;
+    h *= 1099511628211ULL;
+  }
+  return h == 0 ? 1 : h;  // 0 is the "tracing off" sentinel on the wire
+}
+
+inline constexpr std::uint64_t kTraceSeed = 14695981039346656037ULL;
+
+/// One span measured on a remote process, shipped inside RoundResults.
+/// `start_offset_ns` is relative to the remote round start; the collector
+/// re-anchors it on the leader's clock.
+struct RemoteSpan {
+  std::string name;
+  std::int64_t task = -1;  ///< TaskId when the span covers one bid; -1 else.
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+  std::uint64_t parent_span = 0;
+  std::int64_t start_offset_ns = 0;
+  std::int64_t duration_ns = 0;
+};
+
+/// Trace context for one (shard, round): zero-initialized means tracing is
+/// off and the Offer frames carry zeros.
+struct RoundTraceCtx {
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+  [[nodiscard]] bool active() const noexcept { return trace_id != 0; }
+};
+
+/// Leader-side collector: mints round contexts, records the leader's bid
+/// spans, re-anchors agent spans, and writes the merged Chrome trace.
+/// Thread-safe (shards round concurrently).
+class ClusterTraceCollector {
+ public:
+  explicit ClusterTraceCollector(std::size_t max_events = 1 << 20)
+      : max_events_(max_events) {}
+  ClusterTraceCollector(const ClusterTraceCollector&) = delete;
+  ClusterTraceCollector& operator=(const ClusterTraceCollector&) = delete;
+
+  /// Opens the leader's bid span for this shard's next round of `slot` and
+  /// returns the context to stamp on the round's Offer frames.
+  RoundTraceCtx begin_round(int shard, Slot slot);
+  /// Closes the shard's open bid span (duration = begin→now).
+  void end_round(int shard);
+
+  /// Re-anchors `spans` from `agent` (pid-mapped in first-seen order) at
+  /// the leader-side start of the shard's current round.
+  void absorb(const std::string& agent, int shard, Slot slot,
+              const std::vector<RemoteSpan>& spans);
+
+  struct SpanSummary {
+    std::string name;
+    std::uint64_t count = 0;
+    std::int64_t total_ns = 0;
+    std::int64_t max_ns = 0;
+  };
+  /// Per-name aggregates over every recorded span (name-sorted) — the
+  /// /tracez payload.
+  [[nodiscard]] std::vector<SpanSummary> summaries() const;
+
+  [[nodiscard]] std::size_t events() const;
+  [[nodiscard]] std::uint64_t dropped() const;
+
+  /// One merged Chrome trace-event JSON document: pid 1 is the leader,
+  /// agents get pids 2+ in first-seen order, tid is the shard id, and
+  /// every X event carries trace/span/parent ids in args.
+  void write_chrome_trace(std::ostream& out) const;
+
+ private:
+  struct Event {
+    int pid = 1;
+    int tid = 0;
+    std::string name;
+    std::int64_t task = -1;
+    std::uint64_t trace_id = 0;
+    std::uint64_t span_id = 0;
+    std::uint64_t parent_span = 0;
+    std::int64_t start_ns = 0;
+    std::int64_t duration_ns = 0;
+  };
+
+  struct RoundState {
+    RoundTraceCtx ctx;
+    Slot slot = -1;
+    std::int64_t anchor_ns = 0;  ///< Leader steady clock at begin_round.
+    bool open = false;
+    std::uint64_t rounds = 0;  ///< Rounds begun on this shard (id salt).
+  };
+
+  void push_event(Event&& event);  // mutex_ held
+  int agent_pid(const std::string& agent);  // mutex_ held
+
+  const std::size_t max_events_;
+  mutable std::mutex mutex_;
+  std::map<int, RoundState> rounds_;
+  std::map<std::string, int> agent_pids_;
+  std::vector<Event> events_;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace lorasched::obs

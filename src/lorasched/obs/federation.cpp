@@ -1,0 +1,283 @@
+#include "lorasched/obs/federation.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+#include <set>
+
+namespace lorasched::obs {
+
+namespace {
+
+const char* kind_name(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter: return "counter";
+    case MetricKind::kGauge: return "gauge";
+    case MetricKind::kHistogram: return "histogram";
+  }
+  return "unknown";
+}
+
+void write_number(std::ostream& out, double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  out << buf;
+}
+
+void write_labels(
+    std::ostream& out,
+    const std::vector<std::pair<std::string, std::string>>& labels,
+    const char* le = nullptr, double le_value = 0.0, bool le_inf = false) {
+  if (labels.empty() && le == nullptr) return;
+  out << '{';
+  bool first = true;
+  for (const auto& [key, value] : labels) {
+    if (!first) out << ',';
+    first = false;
+    out << key << "=\"" << escape_label_value(value) << '"';
+  }
+  if (le != nullptr) {
+    if (!first) out << ',';
+    out << le << "=\"";
+    if (le_inf) {
+      out << "+Inf";
+    } else {
+      write_number(out, le_value);
+    }
+    out << '"';
+  }
+  out << '}';
+}
+
+/// One labeled metric line set (value line for counters/gauges, the
+/// bucket/sum/count family for histograms). Shared by the standalone
+/// labeled writer and the federated exposition.
+void write_series(std::ostream& out, const std::string& name, MetricKind kind,
+                  double value, const HistogramSnapshot& hist,
+                  const std::vector<std::pair<std::string, std::string>>&
+                      labels) {
+  switch (kind) {
+    case MetricKind::kCounter:
+    case MetricKind::kGauge:
+      out << name;
+      write_labels(out, labels);
+      out << ' ';
+      write_number(out, value);
+      out << '\n';
+      break;
+    case MetricKind::kHistogram: {
+      // Same underflow-folding convention as
+      // MetricsRegistry::write_prometheus: the underflow bucket joins the
+      // first finite bucket's cumulative so placement and exposition agree
+      // at the min edge.
+      std::uint64_t cumulative = hist.counts.empty() ? 0 : hist.counts.front();
+      if (!hist.counts.empty()) {
+        for (std::size_t i = 0; i < hist.finite_buckets(); ++i) {
+          cumulative += hist.counts[i + 1];
+          out << name << "_bucket";
+          write_labels(out, labels, "le", hist.bucket_upper(i));
+          out << ' ' << cumulative << '\n';
+        }
+        cumulative += hist.counts.back();
+      }
+      out << name << "_bucket";
+      write_labels(out, labels, "le", 0.0, /*le_inf=*/true);
+      out << ' ' << cumulative << '\n';
+      out << name << "_sum";
+      write_labels(out, labels);
+      out << ' ';
+      write_number(out, hist.sum);
+      out << '\n';
+      out << name << "_count";
+      write_labels(out, labels);
+      out << ' ' << hist.count << '\n';
+      break;
+    }
+  }
+}
+
+void write_headers(std::ostream& out, const std::string& name,
+                   const std::string& help, MetricKind kind) {
+  if (!help.empty()) out << "# HELP " << name << ' ' << help << '\n';
+  out << "# TYPE " << name << ' ' << kind_name(kind) << '\n';
+}
+
+}  // namespace
+
+std::string escape_label_value(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c; break;
+    }
+  }
+  return out;
+}
+
+void merge_histogram(HistogramSnapshot& into, const HistogramSnapshot& from) {
+  if (from.count == 0 && from.counts.empty()) return;
+  if (into.count == 0 && into.counts.empty()) {
+    into = from;
+    return;
+  }
+  const std::size_t shared = std::min(into.counts.size(), from.counts.size());
+  for (std::size_t i = 0; i < shared; ++i) into.counts[i] += from.counts[i];
+  // Buckets past the shared prefix (mismatched grids) have nowhere exact
+  // to land; fold them into the overflow bucket so the total is preserved.
+  if (!into.counts.empty()) {
+    for (std::size_t i = shared; i < from.counts.size(); ++i) {
+      into.counts.back() += from.counts[i];
+    }
+  }
+  into.sum += from.sum;
+  if (from.count > 0) {
+    if (into.count == 0) {
+      into.min_seen = from.min_seen;
+      into.max_seen = from.max_seen;
+    } else {
+      into.min_seen = std::min(into.min_seen, from.min_seen);
+      into.max_seen = std::max(into.max_seen, from.max_seen);
+    }
+  }
+  into.count += from.count;
+}
+
+void write_prometheus_labeled(
+    std::ostream& out, const std::vector<MetricSnapshot>& metrics,
+    const std::vector<std::pair<std::string, std::string>>& labels,
+    bool headers) {
+  for (const MetricSnapshot& metric : metrics) {
+    if (headers) write_headers(out, metric.name, metric.help, metric.kind);
+    write_series(out, metric.name, metric.kind, metric.value,
+                 metric.histogram, labels);
+  }
+}
+
+HistogramSnapshot FederatedRegistry::exported_histogram(const Series& s) {
+  HistogramSnapshot merged = s.hist_base;
+  merge_histogram(merged, s.hist_last);
+  return merged;
+}
+
+bool FederatedRegistry::absorb(const std::string& agent, std::uint64_t seq,
+                               const std::vector<MetricsGroup>& groups) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  AgentState& state = agents_[agent];
+  if (state.dead) return false;
+  if (state.have_seq && seq == state.last_seq) return false;  // duplicate
+  state.have_seq = true;
+  state.last_seq = seq;
+  for (const MetricsGroup& group : groups) {
+    for (const MetricSnapshot& metric : group.metrics) {
+      Series& series = series_[SeriesKey{metric.name, agent, group.shard}];
+      series.kind = metric.kind;
+      if (series.help.empty()) series.help = metric.help;
+      switch (metric.kind) {
+        case MetricKind::kCounter:
+          // Monotonicity across source restarts: a value below the last
+          // seen one means the counter restarted from (near) zero — the
+          // old window is banked into the base.
+          if (metric.value < series.last) series.base += series.last;
+          series.last = metric.value;
+          break;
+        case MetricKind::kGauge:
+          series.base = 0.0;
+          series.last = metric.value;
+          break;
+        case MetricKind::kHistogram:
+          if (metric.histogram.count < series.hist_last.count) {
+            merge_histogram(series.hist_base, series.hist_last);
+          }
+          series.hist_last = metric.histogram;
+          break;
+      }
+    }
+  }
+  return true;
+}
+
+void FederatedRegistry::mark_dead(const std::string& agent) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  agents_[agent].dead = true;
+}
+
+void FederatedRegistry::mark_alive(const std::string& agent) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  agents_[agent].dead = false;
+}
+
+double FederatedRegistry::value(const std::string& agent, std::int32_t shard,
+                                std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = series_.find(SeriesKey{std::string(name), agent, shard});
+  return it == series_.end() ? 0.0 : exported(it->second);
+}
+
+HistogramSnapshot FederatedRegistry::histogram(const std::string& agent,
+                                               std::int32_t shard,
+                                               std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = series_.find(SeriesKey{std::string(name), agent, shard});
+  return it == series_.end() ? HistogramSnapshot{}
+                             : exported_histogram(it->second);
+}
+
+double FederatedRegistry::aggregate_value(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  double total = 0.0;
+  for (const auto& [key, series] : series_) {
+    if (key.name == name) total += exported(series);
+  }
+  return total;
+}
+
+HistogramSnapshot FederatedRegistry::aggregate_histogram(
+    std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  HistogramSnapshot merged;
+  for (const auto& [key, series] : series_) {
+    if (key.name != name) continue;
+    merge_histogram(merged, series.hist_base);
+    merge_histogram(merged, series.hist_last);
+  }
+  return merged;
+}
+
+std::size_t FederatedRegistry::series_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return series_.size();
+}
+
+std::vector<std::pair<std::string, bool>> FederatedRegistry::agents() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::pair<std::string, bool>> out;
+  out.reserve(agents_.size());
+  for (const auto& [name, state] : agents_) {
+    out.emplace_back(name, !state.dead);
+  }
+  return out;
+}
+
+void FederatedRegistry::write_prometheus(std::ostream& out) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  // series_ is ordered by (name, agent, shard), so one pass emits each
+  // name's header once followed by its labeled series.
+  const std::string* current = nullptr;
+  for (const auto& [key, series] : series_) {
+    if (current == nullptr || *current != key.name) {
+      write_headers(out, key.name, series.help, series.kind);
+      current = &key.name;
+    }
+    std::vector<std::pair<std::string, std::string>> labels;
+    labels.emplace_back("agent", key.agent);
+    if (key.shard >= 0) labels.emplace_back("shard", std::to_string(key.shard));
+    write_series(out, key.name, series.kind, exported(series),
+                 exported_histogram(series), labels);
+  }
+}
+
+}  // namespace lorasched::obs

@@ -1,0 +1,149 @@
+// Metrics federation (DESIGN.md §12): the leader-side registry that merges
+// MetricsRegistry snapshots pushed by host-agent processes into one
+// labeled Prometheus exposition.
+//
+// A MetricsRegistry has no label support by design (lock-free handles, one
+// series per name); federation layers the `agent`/`shard` labels on top:
+// each push carries the agent's name and a list of (shard, snapshot)
+// groups, and the FederatedRegistry keys every series by
+// (agent, shard, name).
+//
+// Merge semantics (the part the edge-case tests pin down):
+//  * Pushes are cumulative snapshots, not deltas — absorb() REPLACES the
+//    series' current window, it never adds. Re-absorbing the same snapshot
+//    twice is idempotent, so a reconnect-time re-push can never
+//    double-count.
+//  * Counters stay monotone across agent restarts: every series keeps a
+//    {base, last} pair, and a new value below `last` means the source
+//    process restarted — `last` is folded into `base` and the window
+//    restarts. The exported value is base + last.
+//  * Histograms merge the same way, bucket-wise (bucket counts, count and
+//    sum add; min_seen/max_seen take the min/max of the merged parts).
+//  * A snapshot from an agent marked dead is dropped (a late push queued
+//    behind a failed link must not resurrect its series), as is a
+//    duplicate sequence number. A sequence regression is a restarted
+//    agent: accepted, with the counter logic above keeping monotonicity.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "lorasched/obs/registry.h"
+
+namespace lorasched::obs {
+
+/// Escapes a Prometheus label value per the text exposition format:
+/// backslash, double quote, and newline become \\, \", and \n. Everything
+/// else (UTF-8 included) passes through verbatim.
+[[nodiscard]] std::string escape_label_value(std::string_view value);
+
+/// Bucket-wise histogram merge: counts, count, and sum add;
+/// min_seen/max_seen take the min/max over the non-empty parts; `into`
+/// keeps its options. Layout mismatches (different bucket grids) merge the
+/// overlapping bucket prefix and stay exact on count/sum/min/max.
+void merge_histogram(HistogramSnapshot& into, const HistogramSnapshot& from);
+
+/// One shard's worth of metrics inside a push; shard < 0 carries the
+/// agent-level (process-wide) series, which are exported without a shard
+/// label.
+struct MetricsGroup {
+  std::int32_t shard = -1;
+  std::vector<MetricSnapshot> metrics;
+};
+
+/// Writes `metrics` in Prometheus text exposition with `labels` attached
+/// to every series (values escaped). HELP/TYPE headers are emitted when
+/// `headers` is true — suppress them when the same metric name was already
+/// typed earlier in the document.
+void write_prometheus_labeled(
+    std::ostream& out, const std::vector<MetricSnapshot>& metrics,
+    const std::vector<std::pair<std::string, std::string>>& labels,
+    bool headers = true);
+
+class FederatedRegistry {
+ public:
+  FederatedRegistry() = default;
+  FederatedRegistry(const FederatedRegistry&) = delete;
+  FederatedRegistry& operator=(const FederatedRegistry&) = delete;
+
+  /// Merges one push from `agent`. Returns false (and changes nothing)
+  /// when the push is dropped: the agent is marked dead, or `seq` repeats
+  /// the last accepted sequence number. Thread-safe (reader threads push,
+  /// the scrape endpoint reads).
+  bool absorb(const std::string& agent, std::uint64_t seq,
+              const std::vector<MetricsGroup>& groups);
+
+  /// Late pushes from `agent` are dropped until mark_alive(). Series
+  /// absorbed so far stay exported (last known value).
+  void mark_dead(const std::string& agent);
+  /// Re-admits a reconnected agent's pushes.
+  void mark_alive(const std::string& agent);
+
+  /// Exported value of one counter/gauge series; 0 when absent.
+  [[nodiscard]] double value(const std::string& agent, std::int32_t shard,
+                             std::string_view name) const;
+  /// Exported state of one histogram series; empty snapshot when absent.
+  [[nodiscard]] HistogramSnapshot histogram(const std::string& agent,
+                                            std::int32_t shard,
+                                            std::string_view name) const;
+
+  /// Sum of a counter/gauge series over every (agent, shard).
+  [[nodiscard]] double aggregate_value(std::string_view name) const;
+  /// Bucket-wise merge of a histogram series over every (agent, shard).
+  [[nodiscard]] HistogramSnapshot aggregate_histogram(
+      std::string_view name) const;
+
+  [[nodiscard]] std::size_t series_count() const;
+  /// Agents that have pushed at least once, with their liveness.
+  [[nodiscard]] std::vector<std::pair<std::string, bool>> agents() const;
+
+  /// Prometheus text exposition of every federated series:
+  /// `name{agent="...",shard="..."} value`, histograms with the usual
+  /// _bucket/_sum/_count series. Series are grouped by metric name (one
+  /// HELP/TYPE header per name) and ordered (name, agent, shard) — the
+  /// output is deterministic for a fixed state.
+  void write_prometheus(std::ostream& out) const;
+
+ private:
+  struct SeriesKey {
+    std::string name;
+    std::string agent;
+    std::int32_t shard = -1;
+    auto operator<=>(const SeriesKey&) const = default;
+  };
+
+  struct Series {
+    MetricKind kind = MetricKind::kCounter;
+    std::string help;
+    // Counter/gauge window: exported = base + last (base absorbs each
+    // detected source restart).
+    double base = 0.0;
+    double last = 0.0;
+    // Histogram window, same scheme.
+    HistogramSnapshot hist_base;
+    HistogramSnapshot hist_last;
+  };
+
+  struct AgentState {
+    bool dead = false;
+    bool have_seq = false;
+    std::uint64_t last_seq = 0;
+  };
+
+  [[nodiscard]] static double exported(const Series& s) noexcept {
+    return s.base + s.last;
+  }
+  [[nodiscard]] static HistogramSnapshot exported_histogram(const Series& s);
+
+  mutable std::mutex mutex_;
+  std::map<std::string, AgentState> agents_;
+  std::map<SeriesKey, Series> series_;
+};
+
+}  // namespace lorasched::obs

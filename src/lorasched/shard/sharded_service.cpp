@@ -70,6 +70,19 @@ ShardedService::ShardedService(const Instance& env,
   reroute_ratio_ = &metrics_.registry().gauge(
       "lorasched_router_reroute_ratio",
       "Fraction of routed bids re-offered at least once, over the run");
+  const obs::HistogramOptions phase_options{.min = 1e-6, .max = 10.0};
+  phase_arm_ = &metrics_.registry().histogram(
+      "lorasched_round_arm_seconds", phase_options,
+      "Per re-offer round: arming every shard with work (begin_round)");
+  phase_offer_ = &metrics_.registry().histogram(
+      "lorasched_round_offer_seconds", phase_options,
+      "Per re-offer round: feeding every armed shard's inbox");
+  phase_decide_ = &metrics_.registry().histogram(
+      "lorasched_round_decide_seconds", phase_options,
+      "Per re-offer round: waiting out every shard's decisions");
+  phase_publish_ = &metrics_.registry().histogram(
+      "lorasched_round_publish_seconds", phase_options,
+      "Per slot: refreshing prices of shards that sat the slot out");
 }
 
 void ShardedService::init_shards(const Instance& env,
@@ -261,6 +274,7 @@ void ShardedService::decide_batch(Slot now, std::vector<Task>& batch,
       // shard dying at any point this round (arm, feed, or wait) fails over
       // its whole sub-batch instead of failing the slot.
       std::vector<char> down(static_cast<std::size_t>(shards), 0);
+      const util::Stopwatch arm_watch;
       for (int s = 0; s < shards; ++s) {
         const auto& sub = offers[static_cast<std::size_t>(s)];
         if (sub.empty()) continue;
@@ -271,6 +285,8 @@ void ShardedService::decide_batch(Slot now, std::vector<Task>& batch,
           down[static_cast<std::size_t>(s)] = 1;
         }
       }
+      phase_arm_->record(arm_watch.seconds());
+      const util::Stopwatch offer_watch;
       for (int s = 0; s < shards; ++s) {
         if (down[static_cast<std::size_t>(s)] != 0) continue;
         try {
@@ -281,6 +297,7 @@ void ShardedService::decide_batch(Slot now, std::vector<Task>& batch,
           down[static_cast<std::size_t>(s)] = 1;
         }
       }
+      phase_offer_->record(offer_watch.seconds());
 
       std::vector<std::vector<std::size_t>> next(
           static_cast<std::size_t>(shards));
@@ -307,6 +324,7 @@ void ShardedService::decide_batch(Slot now, std::vector<Task>& batch,
       };
 
       double round_critical = 0.0;
+      const util::Stopwatch decide_watch;
       for (int s = 0; s < shards; ++s) {
         const auto& sub = offers[static_cast<std::size_t>(s)];
         if (sub.empty()) continue;
@@ -341,6 +359,7 @@ void ShardedService::decide_batch(Slot now, std::vector<Task>& batch,
         }
         round_critical = std::max(round_critical, shard_seconds);
       }
+      phase_decide_->record(decide_watch.seconds());
       critical_seconds_ += round_critical;
       offers.swap(next);
     }
@@ -406,6 +425,7 @@ void ShardedService::decide_batch(Slot now, std::vector<Task>& batch,
     // board's content after every slot is a pure function of decision
     // history — a restored service reproduces it exactly. Dead shards keep
     // their last published summary (the router already skips them).
+    const util::Stopwatch publish_watch;
     for (int s = 0; s < shards; ++s) {
       if (touched[static_cast<std::size_t>(s)] != 0) continue;
       if (!shards_[static_cast<std::size_t>(s)]->alive()) continue;
@@ -415,6 +435,7 @@ void ShardedService::decide_batch(Slot now, std::vector<Task>& batch,
         // Died between the liveness check and the publish; degrade.
       }
     }
+    phase_publish_->record(publish_watch.seconds());
   }
 
   reroutes_total_->add(rerouted_bids_ - rerouted_before);

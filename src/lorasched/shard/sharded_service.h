@@ -37,6 +37,7 @@
 
 #include "lorasched/cluster/cluster.h"
 #include "lorasched/cluster/energy.h"
+#include "lorasched/obs/cluster_trace.h"
 #include "lorasched/obs/registry.h"
 #include "lorasched/service/admission_service.h"
 #include "lorasched/service/bid_queue.h"
@@ -73,6 +74,11 @@ struct ShardedConfig {
   /// Capacity of each shard's inbox; sub-batches larger than this still
   /// work (the runner drains while the leader feeds).
   std::size_t inbox_capacity = 1024;
+  /// Optional cluster trace collector (DESIGN.md §12). Borrowed, not
+  /// owned; observation-only — decisions are bit-identical with or
+  /// without it. Remote handles stamp its round contexts on their Offer
+  /// frames and feed agent spans back into it.
+  obs::ClusterTraceCollector* tracer = nullptr;
 };
 
 /// What a HandleFactory may borrow from the service while building a
@@ -253,6 +259,12 @@ class ShardedService {
   obs::Counter* reroute_admits_total_ = nullptr;
   obs::Counter* failovers_total_ = nullptr;
   obs::Gauge* reroute_ratio_ = nullptr;
+  // Round-phase latency histograms (arm/offer/decide per re-offer round,
+  // publish per slot — DESIGN.md §12).
+  obs::Histogram* phase_arm_ = nullptr;
+  obs::Histogram* phase_offer_ = nullptr;
+  obs::Histogram* phase_decide_ = nullptr;
+  obs::Histogram* phase_publish_ = nullptr;
 
   Metrics sim_metrics_;
   std::vector<TaskOutcome> outcomes_;

@@ -21,12 +21,17 @@
 #include <thread>
 #include <vector>
 
+#include <sys/socket.h>
+
 #include "lorasched/experiments/scenario.h"
 #include "lorasched/io/serialize.h"
 #include "lorasched/net/host_agent.h"
+#include "lorasched/net/http.h"
 #include "lorasched/net/messages.h"
 #include "lorasched/net/transport.h"
 #include "lorasched/net/wire.h"
+#include "lorasched/obs/cluster_trace.h"
+#include "lorasched/obs/federation.h"
 #include "lorasched/shard/sharded_service.h"
 #include "test_helpers.h"
 
@@ -786,6 +791,315 @@ TEST(RemoteFault, ReconnectAndResyncContinuesBitIdentically) {
   const SimResult remote_result = remote.finish();
   expect_same_outcomes(local_result.outcomes, remote_result.outcomes);
   expect_same_metrics(local_result.metrics, remote_result.metrics);
+  link->send_shutdown();
+  agent->wait();
+}
+
+// --- Observability plane (DESIGN.md §12) ------------------------------------
+
+TEST(Messages, MetricsSnapshotRoundTripIsBitExact) {
+  MetricsSnapshotMsg msg;
+  msg.agent = "agent-7701";
+  msg.seq = 42;
+  obs::MetricsGroup agent_level;
+  agent_level.shard = -1;
+  obs::MetricSnapshot counter;
+  counter.name = "frames_total";
+  counter.help = "frames on the wire";
+  counter.kind = obs::MetricKind::kCounter;
+  counter.value = 1234.0;
+  agent_level.metrics.push_back(counter);
+  obs::MetricsGroup shard_level;
+  shard_level.shard = 3;
+  obs::MetricSnapshot gauge;
+  gauge.name = "scratch_bytes";
+  gauge.kind = obs::MetricKind::kGauge;
+  gauge.value = 0.1 + 0.2;  // not exactly representable; must cross bit-exact
+  shard_level.metrics.push_back(gauge);
+  obs::Histogram hist(obs::HistogramOptions{.min = 1e-6, .max = 10.0});
+  hist.record(1e-3);
+  hist.record(0.5);
+  hist.record(100.0);  // overflow bucket
+  obs::MetricSnapshot histogram;
+  histogram.name = "rtt_seconds";
+  histogram.kind = obs::MetricKind::kHistogram;
+  histogram.histogram = hist.snapshot();
+  shard_level.metrics.push_back(histogram);
+  msg.groups = {agent_level, shard_level};
+
+  const std::vector<std::uint8_t> bytes = encode(msg);
+  const MetricsSnapshotMsg back = decode_metrics_snapshot(bytes);
+  EXPECT_EQ(back.agent, msg.agent);
+  EXPECT_EQ(back.seq, 42u);
+  ASSERT_EQ(back.groups.size(), 2u);
+  EXPECT_EQ(back.groups[0].shard, -1);
+  ASSERT_EQ(back.groups[0].metrics.size(), 1u);
+  EXPECT_EQ(back.groups[0].metrics[0].name, "frames_total");
+  EXPECT_EQ(back.groups[0].metrics[0].help, "frames on the wire");
+  EXPECT_EQ(back.groups[1].shard, 3);
+  ASSERT_EQ(back.groups[1].metrics.size(), 2u);
+  EXPECT_EQ(bits(back.groups[1].metrics[0].value), bits(gauge.value));
+  const obs::HistogramSnapshot& h = back.groups[1].metrics[1].histogram;
+  EXPECT_EQ(h.counts, histogram.histogram.counts);
+  EXPECT_EQ(h.count, 3u);
+  EXPECT_EQ(bits(h.sum), bits(histogram.histogram.sum));
+  EXPECT_EQ(bits(h.min_seen), bits(histogram.histogram.min_seen));
+  EXPECT_EQ(bits(h.max_seen), bits(histogram.histogram.max_seen));
+  // Accepted payloads re-encode byte-identically (also pinned by the wire
+  // fuzzer over its corpus).
+  EXPECT_EQ(encode(back), bytes);
+}
+
+TEST(Messages, OfferAndRoundResultsCarryTraceContext) {
+  OfferMsg offer;
+  offer.shard_id = 1;
+  offer.task = gnarly_task();
+  offer.trace_id = obs::trace_mix(obs::kTraceSeed, 8);
+  offer.parent_span = obs::trace_mix(offer.trace_id, 3);
+  const OfferMsg offer_back = decode_offer(encode(offer));
+  EXPECT_EQ(offer_back.trace_id, offer.trace_id);
+  EXPECT_EQ(offer_back.parent_span, offer.parent_span);
+
+  RoundResultsMsg results;
+  results.shard_id = 1;
+  results.slot = 4;
+  obs::RemoteSpan span;
+  span.name = "decide";
+  span.task = 17;
+  span.trace_id = offer.trace_id;
+  span.span_id = obs::trace_mix(offer.parent_span, 18);
+  span.parent_span = offer.parent_span;
+  span.start_offset_ns = 1500;
+  span.duration_ns = 250;
+  results.spans.push_back(span);
+  const std::vector<std::uint8_t> bytes = encode(results);
+  const RoundResultsMsg back = decode_round_results(bytes);
+  ASSERT_EQ(back.spans.size(), 1u);
+  EXPECT_EQ(back.spans[0].name, "decide");
+  EXPECT_EQ(back.spans[0].task, 17);
+  EXPECT_EQ(back.spans[0].trace_id, span.trace_id);
+  EXPECT_EQ(back.spans[0].span_id, span.span_id);
+  EXPECT_EQ(back.spans[0].parent_span, span.parent_span);
+  EXPECT_EQ(back.spans[0].start_offset_ns, 1500);
+  EXPECT_EQ(back.spans[0].duration_ns, 250);
+  EXPECT_EQ(encode(back), bytes);
+}
+
+TEST(Transport, CountsFramesPerTypeAndHeartbeatRtt) {
+  Listener listener(0);
+  Socket server_sock;
+  std::thread acceptor([&] { server_sock = accept_one(listener); });
+  Socket client_sock = Socket::connect("127.0.0.1", listener.port());
+  acceptor.join();
+
+  Mailbox server_mail;
+  Mailbox client_mail;
+  obs::MetricsRegistry registry;
+  Connection::Config instrumented;
+  instrumented.metrics = &registry;
+  instrumented.ping_interval = 50ms;  // exercises the RTT histogram
+  Connection server(
+      std::move(server_sock), {},
+      [&](Frame&& f) { server_mail.on_frame(std::move(f)); },
+      [&](const std::string& r) { server_mail.on_close(r); });
+  Connection client(
+      std::move(client_sock), instrumented,
+      [&](Frame&& f) { client_mail.on_frame(std::move(f)); },
+      [&](const std::string& r) { client_mail.on_close(r); });
+
+  ASSERT_TRUE(client.send(MsgType::kHello, encode(HelloMsg{99, 1, 1, 4, 1})));
+  ASSERT_TRUE(server_mail.wait_frames(1, 5000ms));
+  ASSERT_TRUE(server.send(MsgType::kHelloAck, encode(HelloAckMsg{99})));
+  ASSERT_TRUE(client_mail.wait_frames(1, 5000ms));
+
+  EXPECT_EQ(registry.counter("lorasched_net_tx_frames_hello_total").value(),
+            1u);
+  EXPECT_GT(registry.counter("lorasched_net_tx_bytes_hello_total").value(),
+            0u);
+  EXPECT_EQ(
+      registry.counter("lorasched_net_rx_frames_hello_ack_total").value(),
+      1u);
+  EXPECT_EQ(registry.counter("lorasched_net_tx_frames_offer_total").value(),
+            0u);
+  // Pings flow client->server (transport-internal); the pongs coming back
+  // feed the RTT histogram.
+  const auto deadline = std::chrono::steady_clock::now() + 5000ms;
+  while (registry.histogram("lorasched_net_heartbeat_rtt_seconds")
+                 .snapshot()
+                 .count == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(10ms);
+  }
+  EXPECT_GT(registry.histogram("lorasched_net_heartbeat_rtt_seconds")
+                .snapshot()
+                .count,
+            0u);
+}
+
+std::string http_get(std::uint16_t port, const std::string& path) {
+  Socket socket = connect_with_backoff("127.0.0.1", port, 5, 50ms);
+  const std::string request =
+      "GET " + path + " HTTP/1.1\r\nHost: localhost\r\n\r\n";
+  std::size_t written = 0;
+  while (written < request.size()) {
+    const ssize_t n = ::send(socket.fd(), request.data() + written,
+                             request.size() - written, 0);
+    if (n <= 0) break;
+    written += static_cast<std::size_t>(n);
+  }
+  std::string reply;
+  char buffer[1024];
+  ssize_t n = 0;
+  while ((n = ::recv(socket.fd(), buffer, sizeof buffer, 0)) > 0) {
+    reply.append(buffer, static_cast<std::size_t>(n));
+  }
+  return reply;
+}
+
+TEST(Transport, HttpServerServesMetricsHealthAndRejectsJunk) {
+  obs::MetricsRegistry registry;
+  registry.counter("demo_total", "a demo counter").add(5);
+  HttpServer http(0);
+  http.handle("/metrics", [&registry] {
+    std::ostringstream text;
+    registry.write_prometheus(text);
+    return HttpResponse{200, "text/plain; version=0.0.4; charset=utf-8",
+                        text.str()};
+  });
+  http.handle("/healthz",
+              [] { return HttpResponse{200, "text/plain", "ok\n"}; });
+  http.start();
+
+  const std::string metrics = http_get(http.port(), "/metrics");
+  EXPECT_NE(metrics.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(metrics.find("# TYPE demo_total counter"), std::string::npos);
+  EXPECT_NE(metrics.find("demo_total 5"), std::string::npos);
+
+  EXPECT_NE(http_get(http.port(), "/healthz").find("ok"), std::string::npos);
+  EXPECT_NE(http_get(http.port(), "/healthz?verbose=1").find("200"),
+            std::string::npos);  // query strings are ignored
+  EXPECT_NE(http_get(http.port(), "/nope").find("404"), std::string::npos);
+  EXPECT_GE(http.requests_served(), 4u);
+  http.stop();
+}
+
+TEST(RemoteService, ObservabilityOnIsBitIdenticalAndFederates) {
+  const Instance env = make_instance(lorasched::testing::small_scenario(13));
+  const PdftspConfig policy = pdftsp_config_for(env);
+  shard::ShardedConfig config;
+  config.shards = 2;
+  config.time_decisions = false;
+
+  // Baseline: everything off (the configuration every other parity test
+  // runs with).
+  shard::ShardedService plain(env, shard::make_pdftsp_factory(policy),
+                              config);
+  submit_all(plain, env);
+  while (!plain.done()) plain.step();
+
+  // Remote run with the whole observability plane on: agent metric pushes,
+  // leader-side transport counters, and cross-process tracing.
+  HostAgent::Config agent_config;
+  agent_config.port = 0;
+  agent_config.ping_interval = 100ms;
+  agent_config.idle_timeout = 5000ms;
+  agent_config.name = "agent-x";
+  agent_config.metrics_push_interval = 50ms;
+  auto agent = std::make_unique<HostAgent>(env, agent_config);
+  agent->start();
+
+  obs::FederatedRegistry federated;
+  obs::ClusterTraceCollector tracer;
+  obs::MetricsRegistry leader_net;
+  LinkConfig link_config;
+  link_config.port = agent->port();
+  link_config.ping_interval = 100ms;
+  link_config.heartbeat_timeout = 5000ms;
+  link_config.rpc_timeout = 20000ms;
+  link_config.metrics = &leader_net;
+  auto link = std::make_shared<AgentLink>(link_config,
+                                          hello_for(env, config.shards));
+  link->set_metrics_sink([&federated](MetricsSnapshotMsg&& msg) {
+    federated.absorb(msg.agent, msg.seq, msg.groups);
+  });
+  link->connect();
+
+  shard::ShardedConfig traced_config = config;
+  traced_config.tracer = &tracer;
+  shard::ShardedService remote(env, remote_factory({link}, policy),
+                               traced_config);
+  submit_all(remote, env);
+  while (!remote.done()) remote.step();
+
+  // The tentpole pin: decisions are bit-identical with the full
+  // observability plane on (checkpoints serialize every dual, ledger cell,
+  // and outcome).
+  std::ostringstream plain_bytes;
+  io::write_sharded_checkpoint(plain_bytes, plain.checkpoint());
+  std::ostringstream traced_bytes;
+  io::write_sharded_checkpoint(traced_bytes, remote.checkpoint());
+  EXPECT_EQ(plain_bytes.str(), traced_bytes.str());
+
+  // The merged trace holds leader bid spans and the agent spans that
+  // parent to them.
+  EXPECT_GT(tracer.events(), 0u);
+  bool saw_leader = false;
+  bool saw_agent = false;
+  bool saw_decide = false;
+  for (const auto& summary : tracer.summaries()) {
+    saw_leader = saw_leader || summary.name == "leader_round";
+    saw_agent = saw_agent || summary.name == "agent_round";
+    saw_decide = saw_decide || summary.name == "decide";
+  }
+  EXPECT_TRUE(saw_leader);
+  EXPECT_TRUE(saw_agent);
+  EXPECT_TRUE(saw_decide);
+
+  // Federation: wait for a push that carries the agent's per-shard DP
+  // cache counters, then check the exposition labels them.
+  const auto deadline = std::chrono::steady_clock::now() + 5000ms;
+  const auto exposition = [&federated] {
+    std::ostringstream text;
+    federated.write_prometheus(text);
+    return text.str();
+  };
+  while (exposition().find("lorasched_dp_price_cache_hits_total{agent="
+                           "\"agent-x\",shard=\"0\"}") == std::string::npos &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(20ms);
+  }
+  const std::string text = exposition();
+  EXPECT_NE(text.find("lorasched_dp_price_cache_hits_total{agent=\"agent-x\","
+                      "shard=\"0\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("lorasched_dp_price_cache_hits_total{agent=\"agent-x\","
+                      "shard=\"1\"}"),
+            std::string::npos);
+  // Agent-level transport counters federate without a shard label.
+  EXPECT_GT(federated.value("agent-x", -1,
+                            "lorasched_net_tx_frames_round_results_total"),
+            0.0);
+  // Leader-side transport counters live in the local link registry.
+  EXPECT_GT(
+      leader_net.counter("lorasched_net_tx_frames_offer_total").value(), 0u);
+  EXPECT_GT(
+      leader_net.counter("lorasched_net_rx_frames_round_results_total")
+          .value(),
+      0u);
+  // Round-phase histograms populate on the leader's service registry.
+  EXPECT_GT(remote.registry()
+                .histogram("lorasched_round_decide_seconds")
+                .snapshot()
+                .count,
+            0u);
+  EXPECT_GT(remote.registry()
+                .histogram("lorasched_round_publish_seconds")
+                .snapshot()
+                .count,
+            0u);
+
+  (void)plain.finish();
+  (void)remote.finish();
   link->send_shutdown();
   agent->wait();
 }

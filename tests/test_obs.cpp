@@ -15,6 +15,8 @@
 #include <thread>
 #include <vector>
 
+#include "lorasched/obs/cluster_trace.h"
+#include "lorasched/obs/federation.h"
 #include "lorasched/obs/json.h"
 #include "lorasched/obs/span.h"
 #include "lorasched/service/service_metrics.h"
@@ -438,6 +440,248 @@ TEST(ObsConcurrency, ParallelRecordingIsRaceFree) {
   const SpanStats* s = find_span(spans, "test/concurrent");
   ASSERT_NE(s, nullptr);
   EXPECT_EQ(s->count, static_cast<std::uint64_t>(kThreads * kIters));
+}
+
+// --- Metrics federation (DESIGN.md §12) -------------------------------------
+
+MetricSnapshot counter_snapshot(std::string name, double value) {
+  MetricSnapshot m;
+  m.name = std::move(name);
+  m.kind = MetricKind::kCounter;
+  m.value = value;
+  return m;
+}
+
+std::vector<MetricsGroup> one_counter(std::int32_t shard, double value) {
+  MetricsGroup g;
+  g.shard = shard;
+  g.metrics.push_back(counter_snapshot("hits_total", value));
+  return {g};
+}
+
+TEST(Federation, EscapesHostileLabelValues) {
+  EXPECT_EQ(escape_label_value("plain"), "plain");
+  EXPECT_EQ(escape_label_value("back\\slash"), "back\\\\slash");
+  EXPECT_EQ(escape_label_value("quo\"te"), "quo\\\"te");
+  EXPECT_EQ(escape_label_value("new\nline"), "new\\nline");
+
+  // A hostile agent name cannot break the exposition: the label value
+  // stays one quoted token on one sample line.
+  FederatedRegistry fed;
+  const std::string hostile = "agent\"} 1\nevil_total{x=\"\\";
+  ASSERT_TRUE(fed.absorb(hostile, 1, one_counter(-1, 3.0)));
+  std::ostringstream out;
+  fed.write_prometheus(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("agent=\"agent\\\"} 1\\nevil_total{x=\\\"\\\\\""),
+            std::string::npos);
+  EXPECT_EQ(text.find("\nevil_total"), std::string::npos);
+}
+
+TEST(Federation, AbsorbReplacesInsteadOfAdding) {
+  FederatedRegistry fed;
+  ASSERT_TRUE(fed.absorb("a", 1, one_counter(0, 5.0)));
+  EXPECT_DOUBLE_EQ(fed.value("a", 0, "hits_total"), 5.0);
+  // Cumulative re-push: replaces the window, never adds.
+  ASSERT_TRUE(fed.absorb("a", 2, one_counter(0, 7.0)));
+  EXPECT_DOUBLE_EQ(fed.value("a", 0, "hits_total"), 7.0);
+  // A duplicate sequence number (reconnect-time re-send) is dropped.
+  EXPECT_FALSE(fed.absorb("a", 2, one_counter(0, 9.0)));
+  EXPECT_DOUBLE_EQ(fed.value("a", 0, "hits_total"), 7.0);
+}
+
+TEST(Federation, CountersStayMonotoneAcrossAgentRestart) {
+  FederatedRegistry fed;
+  ASSERT_TRUE(fed.absorb("a", 5, one_counter(0, 7.0)));
+  // The agent process restarted: its counter restarted below the last
+  // absorbed value, and its push sequence regressed. Both are accepted,
+  // and the exported series keeps rising: 7 (folded into base) + 2.
+  ASSERT_TRUE(fed.absorb("a", 1, one_counter(0, 2.0)));
+  EXPECT_DOUBLE_EQ(fed.value("a", 0, "hits_total"), 9.0);
+  ASSERT_TRUE(fed.absorb("a", 2, one_counter(0, 4.0)));
+  EXPECT_DOUBLE_EQ(fed.value("a", 0, "hits_total"), 11.0);
+}
+
+TEST(Federation, DeadAgentPushesAreDropped) {
+  FederatedRegistry fed;
+  ASSERT_TRUE(fed.absorb("a", 1, one_counter(0, 5.0)));
+  fed.mark_dead("a");
+  // A late push queued behind the failed link must not land.
+  EXPECT_FALSE(fed.absorb("a", 2, one_counter(0, 50.0)));
+  EXPECT_DOUBLE_EQ(fed.value("a", 0, "hits_total"), 5.0);  // last known
+  fed.mark_alive("a");
+  EXPECT_TRUE(fed.absorb("a", 2, one_counter(0, 6.0)));
+  EXPECT_DOUBLE_EQ(fed.value("a", 0, "hits_total"), 6.0);
+}
+
+TEST(Federation, HistogramMergePreservesBucketsAndMinMax) {
+  const HistogramOptions options{.min = 1e-6, .max = 1.0};
+  Histogram first(options);
+  Histogram second(options);
+  first.record(1e-5);
+  first.record(3e-4);
+  second.record(2e-3);
+  second.record(0.5);
+  second.record(5.0);  // overflow bucket
+
+  HistogramSnapshot merged = first.snapshot();
+  merge_histogram(merged, second.snapshot());
+  EXPECT_EQ(merged.count, 5u);
+  EXPECT_DOUBLE_EQ(merged.sum, 1e-5 + 3e-4 + 2e-3 + 0.5 + 5.0);
+  EXPECT_DOUBLE_EQ(merged.min_seen, 1e-5);
+  EXPECT_DOUBLE_EQ(merged.max_seen, 5.0);
+  std::uint64_t total = 0;
+  for (const std::uint64_t c : merged.counts) total += c;
+  EXPECT_EQ(total, 5u);  // every sample still in exactly one bucket
+
+  // Mismatched grids: the longer tail folds into the overflow bucket, so
+  // count/sum/min/max stay exact.
+  Histogram coarse(HistogramOptions{.min = 1e-6, .max = 1e-3});
+  coarse.record(1e-5);
+  HistogramSnapshot into = coarse.snapshot();
+  merge_histogram(into, second.snapshot());
+  EXPECT_EQ(into.count, 4u);
+  EXPECT_DOUBLE_EQ(into.max_seen, 5.0);
+  total = 0;
+  for (const std::uint64_t c : into.counts) total += c;
+  EXPECT_EQ(total, 4u);
+}
+
+TEST(Federation, HistogramSeriesMergeAcrossRestart) {
+  const HistogramOptions options{.min = 1e-6, .max = 1.0};
+  Histogram before(options);
+  before.record(1e-3);
+  before.record(1e-2);
+  Histogram after(options);
+  after.record(1e-4);
+
+  const auto push = [](const HistogramSnapshot& h) {
+    MetricsGroup g;
+    g.shard = 2;
+    MetricSnapshot m;
+    m.name = "rtt_seconds";
+    m.kind = MetricKind::kHistogram;
+    m.histogram = h;
+    g.metrics.push_back(std::move(m));
+    return std::vector<MetricsGroup>{g};
+  };
+
+  FederatedRegistry fed;
+  ASSERT_TRUE(fed.absorb("a", 5, push(before.snapshot())));
+  EXPECT_EQ(fed.histogram("a", 2, "rtt_seconds").count, 2u);
+  // Restart (sequence regressed): the new window's count is below the last
+  // one — the old window folds into the base and the totals keep rising.
+  ASSERT_TRUE(fed.absorb("a", 1, push(after.snapshot())));
+  const HistogramSnapshot merged = fed.histogram("a", 2, "rtt_seconds");
+  EXPECT_EQ(merged.count, 3u);
+  EXPECT_DOUBLE_EQ(merged.min_seen, 1e-4);
+  EXPECT_DOUBLE_EQ(merged.max_seen, 1e-2);
+}
+
+TEST(Federation, ExpositionLabelsEverySeriesAndTypesNamesOnce) {
+  FederatedRegistry fed;
+  std::vector<MetricsGroup> groups;
+  MetricsGroup agent_level;
+  agent_level.shard = -1;
+  agent_level.metrics.push_back(counter_snapshot("hits_total", 1.0));
+  MetricsGroup shard_level;
+  shard_level.shard = 3;
+  shard_level.metrics.push_back(counter_snapshot("hits_total", 2.0));
+  groups.push_back(agent_level);
+  groups.push_back(shard_level);
+  ASSERT_TRUE(fed.absorb("a", 1, groups));
+  ASSERT_TRUE(fed.absorb("b", 1, one_counter(0, 4.0)));
+
+  std::ostringstream out;
+  fed.write_prometheus(out);
+  const std::string text = out.str();
+  // One TYPE header for the shared name, three labeled samples.
+  std::size_t type_lines = 0;
+  for (std::size_t at = text.find("# TYPE hits_total");
+       at != std::string::npos; at = text.find("# TYPE hits_total", at + 1)) {
+    ++type_lines;
+  }
+  EXPECT_EQ(type_lines, 1u);
+  EXPECT_NE(text.find("hits_total{agent=\"a\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("hits_total{agent=\"a\",shard=\"3\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("hits_total{agent=\"b\",shard=\"0\"} 4"),
+            std::string::npos);
+  EXPECT_DOUBLE_EQ(fed.aggregate_value("hits_total"), 7.0);
+  EXPECT_EQ(fed.series_count(), 3u);
+}
+
+// --- Cluster-wide bid tracing (DESIGN.md §12) -------------------------------
+
+TEST(ClusterTrace, IdsAreDeterministicAndNeverZero) {
+  // Same logical coordinates, same ids — across processes and runs.
+  EXPECT_EQ(trace_mix(kTraceSeed, 7), trace_mix(kTraceSeed, 7));
+  EXPECT_NE(trace_mix(kTraceSeed, 7), trace_mix(kTraceSeed, 8));
+  EXPECT_NE(trace_mix(kTraceSeed, 7), 0u);  // 0 is the tracing-off sentinel
+
+  ClusterTraceCollector collector;
+  const RoundTraceCtx a = collector.begin_round(0, 5);
+  collector.end_round(0);
+  const RoundTraceCtx b = collector.begin_round(1, 5);
+  collector.end_round(1);
+  EXPECT_EQ(a.trace_id, b.trace_id);  // one trace per slot
+  EXPECT_NE(a.span_id, b.span_id);    // one bid span per (shard, round)
+  EXPECT_TRUE(a.active());
+}
+
+TEST(ClusterTrace, MergedChromeTraceParentsAgentSpansToLeader) {
+  ClusterTraceCollector collector;
+  const RoundTraceCtx ctx = collector.begin_round(0, 3);
+  collector.end_round(0);
+
+  // What a host agent would ship back on RoundResults.
+  RemoteSpan round_span;
+  round_span.name = "agent_round";
+  round_span.trace_id = ctx.trace_id;
+  round_span.span_id = trace_mix(ctx.span_id, 1);
+  round_span.parent_span = ctx.span_id;
+  round_span.duration_ns = 2000;
+  RemoteSpan decide_span;
+  decide_span.name = "decide";
+  decide_span.task = 42;
+  decide_span.trace_id = ctx.trace_id;
+  decide_span.span_id = trace_mix(round_span.span_id, 43);
+  decide_span.parent_span = round_span.span_id;
+  decide_span.start_offset_ns = 100;
+  decide_span.duration_ns = 900;
+  collector.absorb("127.0.0.1:7701", 0, 3, {round_span, decide_span});
+
+  EXPECT_EQ(collector.events(), 3u);  // leader_round + the two agent spans
+  const auto summaries = collector.summaries();
+  ASSERT_EQ(summaries.size(), 3u);
+
+  std::ostringstream out;
+  collector.write_chrome_trace(out);
+  const std::string json = out.str();
+  EXPECT_NE(json.find("\"leader_round\""), std::string::npos);
+  EXPECT_NE(json.find("\"agent_round\""), std::string::npos);
+  EXPECT_NE(json.find("\"agent:127.0.0.1:7701\""), std::string::npos);
+  // The agent round span names the leader's bid span as its parent.
+  char leader_span_hex[32];
+  std::snprintf(leader_span_hex, sizeof leader_span_hex, "0x%016llx",
+                static_cast<unsigned long long>(ctx.span_id));
+  std::size_t hits = 0;
+  for (std::size_t at = json.find(leader_span_hex); at != std::string::npos;
+       at = json.find(leader_span_hex, at + 1)) {
+    ++hits;
+  }
+  // Once as the leader span's own id, once as the agent span's parent.
+  EXPECT_GE(hits, 2u);
+}
+
+TEST(ClusterTrace, EventCapDropsInsteadOfGrowing) {
+  ClusterTraceCollector collector(/*max_events=*/2);
+  for (int round = 0; round < 5; ++round) {
+    collector.begin_round(0, round);
+    collector.end_round(0);
+  }
+  EXPECT_EQ(collector.events(), 2u);
+  EXPECT_EQ(collector.dropped(), 3u);
 }
 
 }  // namespace
