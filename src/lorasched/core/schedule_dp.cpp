@@ -205,7 +205,7 @@ void ScheduleDp::register_metrics(obs::MetricsRegistry& registry,
 
 std::shared_ptr<const ScheduleDp::PriceSnapshot> ScheduleDp::snapshot_for(
     const DualState& duals) const {
-  std::lock_guard<std::mutex> lock(cache_mutex_);
+  util::MutexLock lock(cache_mutex_);
   if (cache_ != nullptr && cache_->uid == duals.uid() &&
       cache_->epoch == duals.epoch()) {
     cache_hits_.fetch_add(1, std::memory_order_relaxed);

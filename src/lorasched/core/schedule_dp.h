@@ -26,7 +26,6 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string_view>
 #include <vector>
 
@@ -35,6 +34,8 @@
 #include "lorasched/core/duals.h"
 #include "lorasched/core/schedule.h"
 #include "lorasched/types.h"
+#include "lorasched/util/mutex.h"
+#include "lorasched/util/thread_annotations.h"
 #include "lorasched/workload/task.h"
 
 namespace lorasched {
@@ -211,7 +212,7 @@ class ScheduleDp {
                                      const void* filter_ctx,
                                      SlotFilter filter) const;
   [[nodiscard]] std::shared_ptr<const PriceSnapshot> snapshot_for(
-      const DualState& duals) const;
+      const DualState& duals) const EXCLUDES(cache_mutex_);
   void audit_result(const Task& task, Slot start, const DualState& duals,
                     const void* filter_ctx, SlotFilter filter,
                     const Schedule& schedule) const;
@@ -221,9 +222,10 @@ class ScheduleDp {
   ScheduleDpConfig config_;
   std::uint64_t uid_;  // keys the thread_local scratch's quantization memo
 
-  mutable std::mutex cache_mutex_;
-  mutable std::shared_ptr<const PriceSnapshot> cache_;  // guarded by mutex
-  mutable std::vector<std::uint32_t> dirty_;            // guarded by mutex
+  mutable util::Mutex cache_mutex_;
+  mutable std::shared_ptr<const PriceSnapshot> cache_
+      GUARDED_BY(cache_mutex_);
+  mutable std::vector<std::uint32_t> dirty_ GUARDED_BY(cache_mutex_);
   mutable std::atomic<std::uint64_t> cache_hits_{0};
   mutable std::atomic<std::uint64_t> cache_misses_{0};
   // Optional obs wiring (register_metrics); null until registered.

@@ -29,26 +29,26 @@ class HostAgent::Worker {
     if (thread_.joinable()) thread_.join();
   }
 
-  void stop() {
+  void stop() EXCLUDES(mutex_) {
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      util::MutexLock lock(mutex_);
       stop_ = true;
     }
     cv_.notify_all();
   }
 
-  void enqueue(Frame&& frame) {
+  void enqueue(Frame&& frame) EXCLUDES(mutex_) {
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      util::MutexLock lock(mutex_);
       queue_.push_back(std::move(frame));
     }
     cv_.notify_all();
   }
 
  private:
-  [[nodiscard]] std::optional<Frame> pop() {
-    std::unique_lock<std::mutex> lock(mutex_);
-    cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+  [[nodiscard]] std::optional<Frame> pop() EXCLUDES(mutex_) {
+    util::MutexLock lock(mutex_);
+    while (!stop_ && queue_.empty()) cv_.wait(lock);
     if (stop_) return std::nullopt;
     Frame frame = std::move(queue_.front());
     queue_.pop_front();
@@ -82,7 +82,7 @@ class HostAgent::Worker {
         runner_ = std::make_unique<shard::ShardRunner>(
             m.shard_id, agent_.env_.cluster, m.members, agent_.env_.energy,
             agent_.env_.market, agent_.env_.horizon, agent_.factory_(m),
-            *agent_.board_, static_cast<std::size_t>(m.inbox_capacity),
+            *agent_.board(), static_cast<std::size_t>(m.inbox_capacity),
             m.time_decisions);
         // Same metric names every session → the same counters continue,
         // so federated series stay monotone across leader reconnects.
@@ -207,12 +207,14 @@ class HostAgent::Worker {
 
   HostAgent& agent_;
   const int shard_id_;
+  /// Worker-thread-only (created and used inside process()); deliberately
+  /// unguarded — the runner has its own internal locking.
   std::unique_ptr<shard::ShardRunner> runner_;
 
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  std::deque<Frame> queue_;
-  bool stop_ = false;
+  util::Mutex mutex_;
+  util::CondVar cv_;
+  std::deque<Frame> queue_ GUARDED_BY(mutex_);
+  bool stop_ GUARDED_BY(mutex_) = false;
   std::thread thread_;
 };
 
@@ -244,7 +246,7 @@ void HostAgent::start() {
   stopping_.store(false, std::memory_order_release);
   running_.store(true, std::memory_order_release);
   {
-    std::lock_guard<std::mutex> lock(session_mutex_);
+    util::MutexLock lock(session_mutex_);
     session_closed_ = true;
   }
   accept_thread_ = std::thread(&HostAgent::accept_main, this);
@@ -257,17 +259,15 @@ void HostAgent::stop() {
   // accept thread then tears the live connection down itself — touching
   // conn_ from here would race that teardown.
   {
-    std::lock_guard<std::mutex> lock(session_mutex_);
+    util::MutexLock lock(session_mutex_);
   }
   session_cv_.notify_all();
   if (accept_thread_.joinable()) accept_thread_.join();
 }
 
 void HostAgent::wait() {
-  std::unique_lock<std::mutex> lock(session_mutex_);
-  session_cv_.wait(lock, [this] {
-    return !running_.load(std::memory_order_acquire);
-  });
+  util::MutexLock lock(session_mutex_);
+  while (running_.load(std::memory_order_acquire)) session_cv_.wait(lock);
 }
 
 std::uint16_t HostAgent::port() const {
@@ -286,7 +286,7 @@ void HostAgent::accept_main() {
   }
   running_.store(false, std::memory_order_release);
   {
-    std::lock_guard<std::mutex> lock(session_mutex_);
+    util::MutexLock lock(session_mutex_);
   }
   session_cv_.notify_all();
 }
@@ -294,12 +294,12 @@ void HostAgent::accept_main() {
 void HostAgent::serve(Socket socket) {
   sessions_.fetch_add(1, std::memory_order_relaxed);
   {
-    std::lock_guard<std::mutex> lock(workers_mutex_);
+    util::MutexLock lock(workers_mutex_);
     accepting_frames_ = true;
     got_hello_ = false;
   }
   {
-    std::lock_guard<std::mutex> lock(session_mutex_);
+    util::MutexLock lock(session_mutex_);
     session_closed_ = false;
     conn_published_ = false;
   }
@@ -308,57 +308,68 @@ void HostAgent::serve(Socket socket) {
   cc.idle_timeout = config_.idle_timeout;
   cc.metrics = &agent_registry_;
   if (config_.metrics_push_interval.count() > 0) {
-    // The push rides the maintenance thread; conn_.reset() below joins
+    // The push rides the maintenance thread; the teardown below joins
     // that thread before the session state goes away.
     cc.hook_interval = config_.metrics_push_interval;
     cc.tick_hook = [this] { push_metrics(); };
   }
-  conn_ = std::make_unique<Connection>(
+  auto conn = std::make_unique<Connection>(
       std::move(socket), cc,
       [this](Frame&& f) {
         // Hold the first frames until serve() has published conn_ — the
         // handshake reply must not race the assignment below.
         {
-          std::unique_lock<std::mutex> lock(session_mutex_);
-          session_cv_.wait(lock, [this] { return conn_published_; });
+          util::MutexLock lock(session_mutex_);
+          while (!conn_published_) session_cv_.wait(lock);
         }
         handle_frame(std::move(f));
       },
       [this](const std::string&) {
         {
-          std::lock_guard<std::mutex> lock(session_mutex_);
+          util::MutexLock lock(session_mutex_);
           session_closed_ = true;
         }
         session_cv_.notify_all();
       });
   {
-    std::lock_guard<std::mutex> lock(session_mutex_);
+    util::MutexLock lock(session_mutex_);
+    conn_ = std::move(conn);
     conn_published_ = true;
   }
   session_cv_.notify_all();
   {
-    std::unique_lock<std::mutex> lock(session_mutex_);
-    session_cv_.wait(lock, [this] {
-      return session_closed_ || stopping_.load(std::memory_order_acquire);
-    });
+    util::MutexLock lock(session_mutex_);
+    while (!session_closed_ && !stopping_.load(std::memory_order_acquire)) {
+      session_cv_.wait(lock);
+    }
   }
   // Teardown order matters: workers may still be mid-round and sending —
   // stop and join them while conn_ is alive, then drop the connection,
-  // then the board the runners publish into.
+  // then the board the runners publish into. The joins run OUTSIDE
+  // workers_mutex_: a worker mid-round fetches the board through board()
+  // (which takes workers_mutex_), so joining under the lock would
+  // deadlock against the very threads being joined.
+  std::map<int, std::unique_ptr<Worker>> dead_workers;
   {
-    std::lock_guard<std::mutex> lock(workers_mutex_);
+    util::MutexLock lock(workers_mutex_);
     accepting_frames_ = false;
     for (auto& [shard, worker] : workers_) {
       (void)shard;
       worker->stop();
     }
+    dead_workers.swap(workers_);
   }
+  dead_workers.clear();  // joins every worker thread
+  std::unique_ptr<Connection> old_conn;
   {
-    std::lock_guard<std::mutex> lock(workers_mutex_);
-    workers_.clear();  // joins every worker thread
+    util::MutexLock lock(session_mutex_);
+    old_conn = std::move(conn_);
   }
-  conn_.reset();
-  board_.reset();
+  old_conn.reset();  // joins the transport threads outside session_mutex_
+  {
+    util::MutexLock lock(workers_mutex_);
+    board_.reset();
+  }
 }
 
 void HostAgent::handle_frame(Frame&& frame) {
@@ -375,10 +386,17 @@ void HostAgent::handle_frame(Frame&& frame) {
     if (m.shards_total <= 0) {
       throw WireError("hello: shards_total must be positive");
     }
-    board_ = std::make_unique<shard::PriceBoard>(m.shards_total,
-                                                 env_.cluster.class_count());
+    auto board = std::make_unique<shard::PriceBoard>(
+        m.shards_total, env_.cluster.class_count());
     {
-      std::lock_guard<std::mutex> lock(workers_mutex_);
+      util::MutexLock lock(workers_mutex_);
+      if (got_hello_) {
+        // A second Hello would swap the PriceBoard out from under the
+        // session's ShardRunners — they hold references into it. Fail the
+        // session; the leader must reconnect for a fresh one.
+        throw WireError("duplicate hello within one session");
+      }
+      board_ = std::move(board);
       got_hello_ = true;
     }
     send(MsgType::kHelloAck, encode(HelloAckMsg{digest_}));
@@ -393,7 +411,7 @@ void HostAgent::handle_frame(Frame&& frame) {
   // Everything else is shard-scoped: demux on the leading shard id.
   WireReader peek(frame.payload);
   const int shard = static_cast<int>(peek.get_svarint("shard id"));
-  std::lock_guard<std::mutex> lock(workers_mutex_);
+  util::MutexLock lock(workers_mutex_);
   if (!accepting_frames_) return;  // session already tearing down
   if (!got_hello_) {
     throw WireError("shard frame before the hello handshake");
@@ -410,20 +428,32 @@ void HostAgent::handle_frame(Frame&& frame) {
   it->second->enqueue(std::move(frame));
 }
 
+Connection* HostAgent::connection() const {
+  util::MutexLock lock(session_mutex_);
+  return conn_.get();
+}
+
+shard::PriceBoard* HostAgent::board() const {
+  util::MutexLock lock(workers_mutex_);
+  return board_.get();
+}
+
 bool HostAgent::send(MsgType type, const std::vector<std::uint8_t>& payload) {
-  return conn_ != nullptr && conn_->send(type, payload);
+  Connection* c = connection();
+  return c != nullptr && c->send(type, payload);
 }
 
 void HostAgent::fail_session(const std::string& reason) {
-  if (conn_ != nullptr) conn_->fail(reason);
+  Connection* c = connection();
+  if (c != nullptr) c->fail(reason);
 }
 
 shard::PriceSnapshot HostAgent::board_read(int shard) const {
-  return board_->read(shard);
+  return board()->read(shard);
 }
 
 obs::MetricsRegistry& HostAgent::shard_registry(int shard) {
-  std::lock_guard<std::mutex> lock(registries_mutex_);
+  util::MutexLock lock(registries_mutex_);
   auto it = shard_registries_.find(shard);
   if (it == shard_registries_.end()) {
     it = shard_registries_
@@ -434,7 +464,7 @@ obs::MetricsRegistry& HostAgent::shard_registry(int shard) {
 }
 
 std::vector<int> HostAgent::assigned_shards() const {
-  std::lock_guard<std::mutex> lock(registries_mutex_);
+  util::MutexLock lock(registries_mutex_);
   std::vector<int> shards;
   shards.reserve(shard_registries_.size());
   for (const auto& [shard, registry] : shard_registries_) {
@@ -446,7 +476,7 @@ std::vector<int> HostAgent::assigned_shards() const {
 
 void HostAgent::write_metrics(std::ostream& out) const {
   agent_registry_.write_prometheus(out);
-  std::lock_guard<std::mutex> lock(registries_mutex_);
+  util::MutexLock lock(registries_mutex_);
   // Shard registries repeat metric names across shards (by design — the
   // series differ only in the shard label), so each name's HELP/TYPE
   // header is emitted once.
@@ -467,12 +497,17 @@ bool HostAgent::push_metrics() {
   msg.seq = push_seq_.fetch_add(1, std::memory_order_relaxed) + 1;
   msg.groups.push_back(obs::MetricsGroup{-1, agent_registry_.snapshot()});
   {
-    std::lock_guard<std::mutex> lock(registries_mutex_);
+    util::MutexLock lock(registries_mutex_);
     for (const auto& [shard, registry] : shard_registries_) {
       msg.groups.push_back(obs::MetricsGroup{shard, registry->snapshot()});
     }
   }
-  return send(MsgType::kMetricsSnapshot, encode(msg));
+  // try_send, not send: this runs on the connection's maintenance thread,
+  // which must never park behind a full outbox (the same thread drives the
+  // idle-timeout failure detector). A shed push is made up for by the next
+  // tick — the snapshots are cumulative.
+  Connection* c = connection();
+  return c != nullptr && c->try_send(MsgType::kMetricsSnapshot, encode(msg));
 }
 
 }  // namespace lorasched::net

@@ -25,14 +25,12 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <iosfwd>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
@@ -44,6 +42,8 @@
 #include "lorasched/shard/price_board.h"
 #include "lorasched/shard/shard_runner.h"
 #include "lorasched/sim/instance.h"
+#include "lorasched/util/mutex.h"
+#include "lorasched/util/thread_annotations.h"
 
 namespace lorasched::net {
 
@@ -79,12 +79,12 @@ class HostAgent {
   HostAgent& operator=(const HostAgent&) = delete;
 
   /// Binds the listener and starts the accept thread.
-  void start();
+  void start() EXCLUDES(session_mutex_);
   /// Stops serving: interrupts the listener, fails the live session, joins.
   /// Idempotent; also triggered by a kShutdown frame from the leader.
-  void stop();
+  void stop() EXCLUDES(session_mutex_);
   /// Blocks until the agent stopped (kShutdown or stop()).
-  void wait();
+  void wait() EXCLUDES(session_mutex_);
 
   [[nodiscard]] std::uint16_t port() const;
   [[nodiscard]] bool running() const noexcept {
@@ -102,25 +102,41 @@ class HostAgent {
     return agent_registry_;
   }
   /// Shards assigned at least once (sorted) — the /healthz shard list.
-  [[nodiscard]] std::vector<int> assigned_shards() const;
+  [[nodiscard]] std::vector<int> assigned_shards() const
+      EXCLUDES(registries_mutex_);
   /// Prometheus exposition of the agent registry plus each shard registry
   /// (shard-labeled) — the agent's /metrics and --metrics-out document.
-  void write_metrics(std::ostream& out) const;
-  /// Sends one cumulative metrics push now; false without a live session.
-  bool push_metrics();
+  void write_metrics(std::ostream& out) const EXCLUDES(registries_mutex_);
+  /// Best-effort: one cumulative metrics push now. False without a live
+  /// session or when the outbox is full (it rides the connection's
+  /// maintenance thread, which must never block behind a stalled peer —
+  /// the next tick retries).
+  bool push_metrics() EXCLUDES(registries_mutex_, session_mutex_);
 
  private:
   class Worker;
 
-  void accept_main();
-  void serve(Socket socket);
-  void handle_frame(Frame&& frame);
+  void accept_main() EXCLUDES(session_mutex_);
+  void serve(Socket socket) EXCLUDES(session_mutex_, workers_mutex_);
+  void handle_frame(Frame&& frame) EXCLUDES(session_mutex_, workers_mutex_);
   /// Sends through the live session connection; false once it failed.
-  bool send(MsgType type, const std::vector<std::uint8_t>& payload);
-  void fail_session(const std::string& reason);
-  [[nodiscard]] shard::PriceSnapshot board_read(int shard) const;
+  bool send(MsgType type, const std::vector<std::uint8_t>& payload)
+      EXCLUDES(session_mutex_);
+  void fail_session(const std::string& reason) EXCLUDES(session_mutex_);
+  [[nodiscard]] shard::PriceSnapshot board_read(int shard) const
+      EXCLUDES(workers_mutex_);
   /// Get-or-create the shard's registry (stable address, agent lifetime).
-  [[nodiscard]] obs::MetricsRegistry& shard_registry(int shard);
+  [[nodiscard]] obs::MetricsRegistry& shard_registry(int shard)
+      EXCLUDES(registries_mutex_);
+  /// Fetches the live transport under session_mutex_ and drops the lock
+  /// before the caller touches it (DESIGN.md §13). Safe because only the
+  /// accept thread swaps conn_, workers are joined before the swap-out,
+  /// and the transport's own threads are joined by its destructor — so the
+  /// pointee outlives every fetched use.
+  [[nodiscard]] Connection* connection() const EXCLUDES(session_mutex_);
+  /// Same raw-pointer pattern for the session's price board (workers_mutex_
+  /// guards the swap; the pointee is lock-free and outlives the workers).
+  [[nodiscard]] shard::PriceBoard* board() const EXCLUDES(workers_mutex_);
 
   Instance env_;
   Config config_;
@@ -135,28 +151,37 @@ class HostAgent {
 
   // --- Observability (agent lifetime, survives sessions) ------------------
   obs::MetricsRegistry agent_registry_;
-  mutable std::mutex registries_mutex_;
-  std::map<int, std::unique_ptr<obs::MetricsRegistry>> shard_registries_;
+  mutable util::Mutex registries_mutex_;
+  std::map<int, std::unique_ptr<obs::MetricsRegistry>> shard_registries_
+      GUARDED_BY(registries_mutex_);
   std::atomic<std::uint64_t> push_seq_{0};
 
   // --- Per-session state (reset by serve()) -------------------------------
-  std::unique_ptr<Connection> conn_;
-  std::unique_ptr<shard::PriceBoard> board_;
-  mutable std::mutex workers_mutex_;
-  bool got_hello_ = false;
+  // Lock order (DESIGN.md §13): workers_mutex_ before a Worker's own
+  // queue mutex (stop/enqueue run under the map lock); session_mutex_,
+  // workers_mutex_ and registries_mutex_ are never held together.
+  mutable util::Mutex workers_mutex_;
+  bool got_hello_ GUARDED_BY(workers_mutex_) = false;
   /// False outside a session and during teardown — late reader-thread
   /// frames are dropped instead of resurrecting a worker.
-  bool accepting_frames_ = false;
-  std::map<int, std::unique_ptr<Worker>> workers_;
+  bool accepting_frames_ GUARDED_BY(workers_mutex_) = false;
+  std::map<int, std::unique_ptr<Worker>> workers_ GUARDED_BY(workers_mutex_);
+  /// The session's price board. Runners hold references into it, so it is
+  /// created exactly once per session (a duplicate Hello is a wire error)
+  /// and destroyed only after every worker joined.
+  std::unique_ptr<shard::PriceBoard> board_ GUARDED_BY(workers_mutex_);
 
-  std::mutex session_mutex_;
-  std::condition_variable session_cv_;
-  bool session_closed_ = true;
+  mutable util::Mutex session_mutex_;
+  util::CondVar session_cv_;
+  /// Swapped by the accept thread only; send()s from the worker, reader
+  /// and maintenance threads go through connection() — see its comment.
+  std::unique_ptr<Connection> conn_ GUARDED_BY(session_mutex_);
+  bool session_closed_ GUARDED_BY(session_mutex_) = true;
   /// The reader thread starts inside the Connection constructor, so on a
   /// fast loopback the leader's Hello can arrive before serve()'s
   /// assignment to conn_ retires — replying through a still-null conn_
   /// would silently drop the HelloAck. Frame delivery waits on this flag.
-  bool conn_published_ = false;
+  bool conn_published_ GUARDED_BY(session_mutex_) = false;
 };
 
 }  // namespace lorasched::net

@@ -4,6 +4,7 @@
 #include <sys/time.h>
 
 #include <cstring>
+#include <stdexcept>
 
 namespace lorasched::net {
 
@@ -54,6 +55,11 @@ HttpServer::HttpServer(std::uint16_t port, bool loopback_only)
 HttpServer::~HttpServer() { stop(); }
 
 void HttpServer::handle(std::string path, HttpHandler handler) {
+  if (started_.load(std::memory_order_acquire)) {
+    // The accept thread reads handlers_ without a lock — the map must be
+    // frozen before it starts.
+    throw std::logic_error("HttpServer::handle() after start()");
+  }
   handlers_[std::move(path)] = std::move(handler);
 }
 

@@ -44,7 +44,8 @@ class HttpServer {
   HttpServer& operator=(const HttpServer&) = delete;
 
   /// Registers `handler` for exact-match `path` (e.g. "/metrics").
-  /// Register everything before start() — the map is not locked.
+  /// Register everything before start() — the map is not locked, so this
+  /// throws std::logic_error once the accept thread is running.
   void handle(std::string path, HttpHandler handler);
 
   void start();
@@ -61,6 +62,10 @@ class HttpServer {
   void serve_one(Socket socket);
 
   Listener listener_;
+  /// Frozen before the accept thread starts (handle() throws after
+  /// start()), then read-only — the documented no-mutex exemption
+  /// (DESIGN.md §13): publication happens-before via started_ / the
+  /// accept-thread spawn.
   std::map<std::string, HttpHandler> handlers_;
   std::thread accept_thread_;
   std::atomic<bool> stopping_{false};

@@ -19,14 +19,28 @@ AgentLink::AgentLink(LinkConfig config, HelloMsg hello)
   }
 }
 
-AgentLink::~AgentLink() { conn_.reset(); }
+AgentLink::~AgentLink() {
+  std::unique_ptr<Connection> old;
+  {
+    util::MutexLock lock(conn_mutex_);
+    old = std::move(conn_);
+  }
+  // `old` joins the transport threads here, outside conn_mutex_, so a
+  // concurrent health() scrape is never parked behind the join.
+}
+
+Connection* AgentLink::connection() const {
+  util::MutexLock lock(conn_mutex_);
+  return conn_.get();
+}
 
 bool AgentLink::open() const noexcept {
+  util::MutexLock lock(conn_mutex_);
   return conn_ != nullptr && conn_->open();
 }
 
 std::string AgentLink::last_error() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   return last_error_;
 }
 
@@ -34,11 +48,16 @@ void AgentLink::connect() { dial_and_handshake(); }
 
 void AgentLink::dial_and_handshake() {
   {
-    std::lock_guard<std::mutex> lock(conn_mutex_);
-    conn_.reset();  // joins the old transport threads first
+    std::unique_ptr<Connection> old;
+    {
+      util::MutexLock lock(conn_mutex_);
+      old = std::move(conn_);
+    }
+    // Destroying `old` joins the dropped transport's threads; done outside
+    // conn_mutex_ (see ~AgentLink).
   }
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     mail_.clear();
     last_error_.clear();
   }
@@ -52,15 +71,16 @@ void AgentLink::dial_and_handshake() {
   auto conn = std::make_unique<Connection>(
       std::move(socket), cc, [this](Frame&& f) { on_frame(std::move(f)); },
       [this](const std::string& reason) {
-        std::lock_guard<std::mutex> lock(mutex_);
+        util::MutexLock lock(mutex_);
         if (last_error_.empty()) last_error_ = reason;
         mail_cv_.notify_all();
       });
+  Connection* raw = conn.get();
   {
-    std::lock_guard<std::mutex> lock(conn_mutex_);
+    util::MutexLock lock(conn_mutex_);
     conn_ = std::move(conn);
   }
-  if (!conn_->send(MsgType::kHello, encode(hello_))) {
+  if (!raw->send(MsgType::kHello, encode(hello_))) {
     throw TransportError("hello send failed: " + last_error());
   }
   const Frame ack = take_or_wait(
@@ -69,7 +89,7 @@ void AgentLink::dial_and_handshake() {
       "hello handshake");
   const HelloAckMsg reply = decode_hello_ack(ack.payload);
   if (reply.digest != hello_.digest) {
-    conn_->fail("environment digest mismatch");
+    raw->fail("environment digest mismatch");
     throw std::runtime_error(
         "host-agent environment digest mismatch — leader and agent were "
         "launched with different scenarios");
@@ -85,7 +105,7 @@ void AgentLink::on_frame(Frame&& frame) {
     MetricsSnapshotMsg msg = decode_metrics_snapshot(frame.payload);
     std::function<void(MetricsSnapshotMsg&&)> sink;
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      util::MutexLock lock(mutex_);
       sink = metrics_sink_;
     }
     if (sink) sink(std::move(msg));
@@ -99,7 +119,7 @@ void AgentLink::on_frame(Frame&& frame) {
     WireReader r(frame.payload);
     shard = static_cast<int>(r.get_svarint("reply shard id"));
   }
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   mail_[shard].push_back(std::move(frame));
   mail_cv_.notify_all();
 }
@@ -107,7 +127,7 @@ void AgentLink::on_frame(Frame&& frame) {
 Frame AgentLink::take_or_wait(int shard, MsgType want,
                               std::chrono::steady_clock::time_point deadline,
                               const char* what) {
-  std::unique_lock<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   for (;;) {
     std::deque<Frame>& box = mail_[shard];
     for (auto it = box.begin(); it != box.end(); ++it) {
@@ -126,7 +146,12 @@ Frame AgentLink::take_or_wait(int shard, MsgType want,
       }
       return frame;
     }
-    if (conn_ == nullptr || !conn_->open()) {
+    // Link-down test via last_error_, not the transport: the close handler
+    // sets it under mutex_ and notifies mail_cv_, so a failure mid-wait
+    // wakes us with the reason already posted — and mutex_ never nests
+    // with conn_mutex_ (DESIGN.md §13). A link that dropped before the
+    // handler ran just waits the one extra wakeup.
+    if (!last_error_.empty()) {
       throw ShardUnavailable(std::string(what) +
                              ": link down: " + last_error_);
     }
@@ -141,8 +166,11 @@ Frame AgentLink::take_or_wait(int shard, MsgType want,
       rpc_timeouts_.fetch_add(1, std::memory_order_relaxed);
       if (rpc_timeouts_total_ != nullptr) rpc_timeouts_total_->add(1);
       // Fail the whole link: a reply arriving after we gave up must never
-      // be delivered to a later request.
-      conn_->fail(std::string(what) + ": no reply within the rpc timeout");
+      // be delivered to a later request. No lock is held here, so the
+      // close handler (which takes mutex_) may run synchronously.
+      if (Connection* c = connection()) {
+        c->fail(std::string(what) + ": no reply within the rpc timeout");
+      }
       throw ShardUnavailable(std::string(what) +
                              ": no reply within the rpc timeout");
     }
@@ -159,7 +187,8 @@ Frame AgentLink::call(int shard, MsgType type,
 }
 
 void AgentLink::post(MsgType type, const std::vector<std::uint8_t>& payload) {
-  if (conn_ == nullptr || !conn_->send(type, payload)) {
+  Connection* c = connection();
+  if (c == nullptr || !c->send(type, payload)) {
     throw ShardUnavailable(std::string(to_string(type)) +
                            ": link down: " + last_error());
   }
@@ -201,14 +230,17 @@ void AgentLink::register_resync(int shard, std::function<void()> resync) {
 
 void AgentLink::set_metrics_sink(
     std::function<void(MetricsSnapshotMsg&&)> sink) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   metrics_sink_ = std::move(sink);
 }
 
 AgentLink::Health AgentLink::health() const {
+  // Scrape thread: takes the two mutexes one after the other, never
+  // nested. conn_->open()/last_rx_age() are atomic reads, safe to call
+  // while holding conn_mutex_ (they take no lock of their own).
   Health h;
   {
-    std::lock_guard<std::mutex> lock(conn_mutex_);
+    util::MutexLock lock(conn_mutex_);
     h.open = conn_ != nullptr && conn_->open();
     if (conn_ != nullptr) h.last_rx_age_ns = conn_->last_rx_age().count();
   }
@@ -219,12 +251,13 @@ AgentLink::Health AgentLink::health() const {
 }
 
 void AgentLink::send_shutdown() {
-  if (conn_ == nullptr) return;
-  if (!conn_->send(MsgType::kShutdown, {})) return;
+  Connection* c = connection();
+  if (c == nullptr) return;
+  if (!c->send(MsgType::kShutdown, {})) return;
   // send() only enqueues; the caller typically destroys the link right
   // after, which drops unwritten frames. Linger until the frame actually
   // reached the socket so the agent really gets told to exit.
-  conn_->drain(std::chrono::milliseconds(1000));
+  c->drain(std::chrono::milliseconds(1000));
 }
 
 // --- RemoteShardHandle ------------------------------------------------------

@@ -33,7 +33,6 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
@@ -44,6 +43,8 @@
 #include "lorasched/obs/registry.h"
 #include "lorasched/shard/shard_handle.h"
 #include "lorasched/shard/sharded_service.h"
+#include "lorasched/util/mutex.h"
+#include "lorasched/util/thread_annotations.h"
 
 namespace lorasched::net {
 
@@ -71,6 +72,13 @@ struct LinkConfig {
 /// One connection to one host-agent; shared by every RemoteShardHandle
 /// assigned to that agent. All request methods are leader-thread-only; the
 /// reader thread only fills mailboxes.
+///
+/// Lock discipline (DESIGN.md §13): two mutexes, never held together.
+/// mutex_ guards the mailboxes and failure state the reader/close threads
+/// share with the leader; conn_mutex_ guards conn_ swaps against health()
+/// scrapes. Link-down detection inside take_or_wait() reads last_error_
+/// (set by the close handler, which notifies mail_cv_) instead of poking
+/// the transport, which is what keeps the two locks disjoint.
 class AgentLink {
  public:
   AgentLink(LinkConfig config, HelloMsg hello);
@@ -81,42 +89,44 @@ class AgentLink {
 
   /// Dials (with backoff) and runs the Hello handshake. Throws
   /// TransportError / WireError / std::runtime_error on failure.
-  void connect();
-  [[nodiscard]] bool open() const noexcept;
+  void connect() EXCLUDES(mutex_, conn_mutex_);
+  [[nodiscard]] bool open() const noexcept EXCLUDES(conn_mutex_);
   [[nodiscard]] const LinkConfig& config() const noexcept { return config_; }
   /// Close reason of the last failure ("" while open).
-  [[nodiscard]] std::string last_error() const;
+  [[nodiscard]] std::string last_error() const EXCLUDES(mutex_);
 
   /// Sends `type` and blocks for the matching `want` reply for `shard`
   /// (kError from the agent rethrows as std::logic_error — the shard hit a
   /// contract violation, not an outage). Throws shard::ShardUnavailable on
   /// link failure or timeout.
   Frame call(int shard, MsgType type, const std::vector<std::uint8_t>& payload,
-             MsgType want);
+             MsgType want) EXCLUDES(mutex_, conn_mutex_);
   /// Fire-and-forget (BeginRound / Offer). Throws shard::ShardUnavailable
   /// when the link is down.
-  void post(MsgType type, const std::vector<std::uint8_t>& payload);
+  void post(MsgType type, const std::vector<std::uint8_t>& payload)
+      EXCLUDES(mutex_, conn_mutex_);
   /// Like call() without a request — waits for an already-requested reply
   /// (RoundResults after BeginRound+Offers).
-  Frame wait(int shard, MsgType want);
+  Frame wait(int shard, MsgType want) EXCLUDES(mutex_, conn_mutex_);
 
   /// Re-dials a dropped link (bounded attempts) and replays every
   /// registered handle's resync. False when the link stays down. No-op
   /// true when already open.
-  bool ensure_open();
+  bool ensure_open() EXCLUDES(mutex_, conn_mutex_);
   /// Runs after every successful reconnect handshake, in shard order. The
   /// callback must not throw (mark the handle dead instead).
   void register_resync(int shard, std::function<void()> resync);
 
   /// Best-effort kShutdown to the agent (process teardown).
-  void send_shutdown();
+  void send_shutdown() EXCLUDES(conn_mutex_);
 
   /// Installs the sink for the agent's metrics pushes (kMetricsSnapshot is
   /// agent-scoped — its payload leads with the agent name, not a shard id).
   /// Set before connect(); the sink runs on the reader thread and must not
   /// block on this link. A malformed push fails the link like any other
   /// bad frame.
-  void set_metrics_sink(std::function<void(MetricsSnapshotMsg&&)> sink);
+  void set_metrics_sink(std::function<void(MetricsSnapshotMsg&&)> sink)
+      EXCLUDES(mutex_);
 
   /// Liveness summary for /healthz (DESIGN.md §12). Safe to call from a
   /// scrape thread while the leader thread is using the link.
@@ -128,29 +138,38 @@ class AgentLink {
     std::uint64_t reconnects = 0;
     std::uint64_t rpc_timeouts = 0;
   };
-  [[nodiscard]] Health health() const;
+  [[nodiscard]] Health health() const EXCLUDES(mutex_, conn_mutex_);
 
  private:
-  void dial_and_handshake();
-  void on_frame(Frame&& frame);
+  void dial_and_handshake() EXCLUDES(mutex_, conn_mutex_);
+  void on_frame(Frame&& frame) EXCLUDES(mutex_);
   Frame take_or_wait(int shard, MsgType want,
                      std::chrono::steady_clock::time_point deadline,
-                     const char* what);
+                     const char* what) EXCLUDES(mutex_, conn_mutex_);
+  /// Leader-thread-only: fetches the transport pointer under conn_mutex_
+  /// and drops the lock before the caller touches it. Safe because only
+  /// the leader thread ever swaps conn_, so the pointee outlives every
+  /// leader-side use; the scrape thread must instead hold conn_mutex_
+  /// across its whole read (health() does).
+  [[nodiscard]] Connection* connection() const EXCLUDES(conn_mutex_);
 
   LinkConfig config_;
   HelloMsg hello_;
-  /// conn_ is mutated (reset/replaced) only on the leader thread;
-  /// conn_mutex_ guards those swaps against concurrent health() reads from
-  /// a scrape thread. Leader-thread-only uses stay unguarded.
-  mutable std::mutex conn_mutex_;
-  std::unique_ptr<Connection> conn_;
+  /// Guards conn_ swaps (dial / teardown, leader thread) against health()
+  /// reads from a scrape thread. Never held together with mutex_ — see the
+  /// class comment.
+  mutable util::Mutex conn_mutex_;
+  std::unique_ptr<Connection> conn_ GUARDED_BY(conn_mutex_);
+  /// Leader-thread-only (registered during setup, replayed inside
+  /// ensure_open()); deliberately unguarded.
   std::map<int, std::function<void()>> resyncs_;
 
-  mutable std::mutex mutex_;
-  std::condition_variable mail_cv_;
-  std::map<int, std::deque<Frame>> mail_;
-  std::string last_error_;
-  std::function<void(MetricsSnapshotMsg&&)> metrics_sink_;
+  mutable util::Mutex mutex_;
+  util::CondVar mail_cv_;
+  std::map<int, std::deque<Frame>> mail_ GUARDED_BY(mutex_);
+  std::string last_error_ GUARDED_BY(mutex_);
+  std::function<void(MetricsSnapshotMsg&&)> metrics_sink_ GUARDED_BY(mutex_);
+  // Lock-free health counters (read by the scrape thread).
   std::atomic<std::uint64_t> reconnects_{0};
   std::atomic<std::uint64_t> rpc_timeouts_{0};
   obs::Counter* reconnects_total_ = nullptr;
@@ -211,6 +230,11 @@ class RemoteShardHandle final : public shard::ShardHandle {
   shard::PriceBoard& board_;
   AssignShardMsg assignment_;
 
+  // Documented exemption (DESIGN.md §13): every mutable member below is
+  // leader-thread-only — the handle is driven exclusively by
+  // ShardedService's leader thread, including resync(), which runs inside
+  // the leader's own ensure_open() call. Nothing here needs a mutex; the
+  // concurrent surface is entirely inside AgentLink.
   mutable bool dead_ = false;
   mutable std::string death_reason_;
   /// Rounds ran since the cache was last synced — a drop now loses state.

@@ -195,19 +195,17 @@ bool Connection::send(MsgType type, const std::vector<std::uint8_t>& payload) {
   return enqueue(type, encode_frame(type, payload));
 }
 
-bool Connection::enqueue(MsgType type, std::vector<std::uint8_t> bytes) {
-  const std::size_t encoded_size = bytes.size();
-  {
-    std::unique_lock<std::mutex> lock(outbox_mutex_);
-    outbox_room_.wait(lock, [&] {
-      return failed_.load(std::memory_order_acquire) ||
-             outbox_.size() < config_.outbox_capacity;
-    });
-    if (failed_.load(std::memory_order_acquire)) return false;
-    outbox_.push_back(std::move(bytes));
-    ++in_flight_;
-    outbox_cv_.notify_one();
-  }
+bool Connection::try_send(MsgType type,
+                          const std::vector<std::uint8_t>& payload) {
+  if (!open()) return false;
+  return try_enqueue(type, encode_frame(type, payload));
+}
+
+bool Connection::push_locked(MsgType type, std::vector<std::uint8_t>&& bytes,
+                             std::size_t encoded_size) {
+  outbox_.push_back(std::move(bytes));
+  ++in_flight_;
+  outbox_cv_.notify_one();
   const auto raw = static_cast<std::size_t>(type);
   if (raw < kTypeSlots && tx_frames_[raw] != nullptr) {
     tx_frames_[raw]->add(1);
@@ -216,21 +214,49 @@ bool Connection::enqueue(MsgType type, std::vector<std::uint8_t> bytes) {
   return true;
 }
 
+bool Connection::enqueue(MsgType type, std::vector<std::uint8_t> bytes) {
+  const std::size_t encoded_size = bytes.size();
+  util::MutexLock lock(outbox_mutex_);
+  while (!failed_.load(std::memory_order_acquire) &&
+         outbox_.size() >= config_.outbox_capacity) {
+    outbox_room_.wait(lock);
+  }
+  if (failed_.load(std::memory_order_acquire)) return false;
+  return push_locked(type, std::move(bytes), encoded_size);
+}
+
+bool Connection::try_enqueue(MsgType type, std::vector<std::uint8_t> bytes) {
+  const std::size_t encoded_size = bytes.size();
+  util::MutexLock lock(outbox_mutex_);
+  if (failed_.load(std::memory_order_acquire)) return false;
+  if (outbox_.size() >= config_.outbox_capacity) {
+    // Shedding instead of waiting keeps the reader and maintenance
+    // threads live while a stalled peer backs the outbox up; the missed
+    // heartbeat only hastens the idle timeout that stall deserves.
+    sends_shed_full_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  return push_locked(type, std::move(bytes), encoded_size);
+}
+
 void Connection::drain(std::chrono::milliseconds budget) {
-  std::unique_lock<std::mutex> lock(outbox_mutex_);
-  outbox_room_.wait_for(lock, budget, [&] {
-    return failed_.load(std::memory_order_acquire) || in_flight_ == 0;
-  });
+  const auto deadline = std::chrono::steady_clock::now() + budget;
+  util::MutexLock lock(outbox_mutex_);
+  while (!failed_.load(std::memory_order_acquire) && in_flight_ != 0) {
+    if (outbox_room_.wait_until(lock, deadline) == std::cv_status::timeout) {
+      return;
+    }
+  }
 }
 
 void Connection::writer_main() {
   for (;;) {
     std::vector<std::uint8_t> bytes;
     {
-      std::unique_lock<std::mutex> lock(outbox_mutex_);
-      outbox_cv_.wait(lock, [&] {
-        return failed_.load(std::memory_order_acquire) || !outbox_.empty();
-      });
+      util::MutexLock lock(outbox_mutex_);
+      while (!failed_.load(std::memory_order_acquire) && outbox_.empty()) {
+        outbox_cv_.wait(lock);
+      }
       if (failed_.load(std::memory_order_acquire)) return;
       bytes = std::move(outbox_.front());
       outbox_.pop_front();
@@ -251,7 +277,7 @@ void Connection::writer_main() {
     bytes_sent_.fetch_add(bytes.size(), std::memory_order_relaxed);
     frames_sent_.fetch_add(1, std::memory_order_relaxed);
     {
-      const std::lock_guard<std::mutex> lock(outbox_mutex_);
+      util::MutexLock lock(outbox_mutex_);
       --in_flight_;
       outbox_room_.notify_all();  // wakes drain() as well as blocked senders
     }
@@ -287,8 +313,12 @@ void Connection::reader_main() {
           rx_bytes_[raw]->add(frame.payload.size());
         }
         if (frame.type == MsgType::kPing) {
-          // Transport-level heartbeat: answer in kind, don't surface.
-          enqueue(MsgType::kPong, encode_frame(MsgType::kPong, frame.payload));
+          // Transport-level heartbeat: answer in kind, don't surface. The
+          // reply must not block the reader — a full outbox (peer stalled)
+          // previously parked the reader here, which froze rx entirely and
+          // could deadlock two mutually-stalled peers; shed instead.
+          try_enqueue(MsgType::kPong,
+                      encode_frame(MsgType::kPong, frame.payload));
           continue;
         }
         if (frame.type == MsgType::kPong) {  // liveness refreshed
@@ -324,7 +354,7 @@ void Connection::maintenance_main() {
   }
   auto last_ping = std::chrono::steady_clock::now();
   auto last_hook = last_ping;
-  std::unique_lock<std::mutex> lock(maint_mutex_);
+  util::MutexLock lock(maint_mutex_);
   while (!failed_.load(std::memory_order_acquire)) {
     maint_cv_.wait_for(lock, tick);
     if (failed_.load(std::memory_order_acquire)) return;
@@ -342,7 +372,12 @@ void Connection::maintenance_main() {
         now - last_ping >= config_.ping_interval) {
       last_ping = now;
       last_ping_sent_ns_.store(now_ns(), std::memory_order_relaxed);
-      enqueue(MsgType::kPing, encode_frame(MsgType::kPing, {}));
+      // Never block the failure detector on a full outbox: a blocking
+      // enqueue() here meant a stalled peer stopped this loop — and with
+      // it the idle-timeout check — exactly when detection mattered most.
+      if (!try_enqueue(MsgType::kPing, encode_frame(MsgType::kPing, {}))) {
+        last_ping_sent_ns_.store(0, std::memory_order_relaxed);
+      }
     }
     if (config_.hook_interval.count() > 0 && config_.tick_hook &&
         now - last_hook >= config_.hook_interval) {

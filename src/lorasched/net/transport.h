@@ -23,7 +23,6 @@
 #include <array>
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -34,6 +33,8 @@
 
 #include "lorasched/net/wire.h"
 #include "lorasched/obs/registry.h"
+#include "lorasched/util/mutex.h"
+#include "lorasched/util/thread_annotations.h"
 
 namespace lorasched::net {
 
@@ -114,7 +115,9 @@ class Connection {
     std::string metrics_prefix = "lorasched_net";
     /// > 0: the maintenance thread calls `tick_hook` at this cadence (the
     /// metrics-push piggyback). The hook runs on the maintenance thread
-    /// and must not block on this connection's outbox being full.
+    /// and must not block on this connection's outbox being full — use
+    /// try_send(), which sheds instead of waiting, so a stalled peer can
+    /// never wedge the failure detector behind its own full outbox.
     std::chrono::milliseconds hook_interval{0};
     std::function<void()> tick_hook;
   };
@@ -134,14 +137,27 @@ class Connection {
   Connection& operator=(const Connection&) = delete;
 
   /// Enqueues a frame; returns false if the connection already failed.
-  bool send(MsgType type, const std::vector<std::uint8_t>& payload);
+  /// Blocks while the outbox is full (backpressure against a stalled
+  /// peer) — never call it from the reader or maintenance thread.
+  bool send(MsgType type, const std::vector<std::uint8_t>& payload)
+      EXCLUDES(outbox_mutex_);
+
+  /// Non-blocking send: returns false without enqueuing when the
+  /// connection failed OR the outbox is full (counted in
+  /// sends_shed_full()). The only send the transport's own threads may
+  /// use — the reader answers pings with it and the maintenance hook
+  /// pushes metrics through it, so liveness machinery keeps running when
+  /// a stalled peer has filled the outbox (a dropped heartbeat just
+  /// brings the idle timeout closer, which is the correct outcome).
+  bool try_send(MsgType type, const std::vector<std::uint8_t>& payload)
+      EXCLUDES(outbox_mutex_);
 
   /// Blocks until every frame accepted by send() has been written to the
   /// socket, the connection failed, or `budget` elapsed — whichever comes
   /// first. Destroying a Connection fails it immediately, dropping queued
   /// frames; a sender whose last frame must actually reach the peer (the
   /// leader's final Shutdown) drains before tearing down.
-  void drain(std::chrono::milliseconds budget);
+  void drain(std::chrono::milliseconds budget) EXCLUDES(outbox_mutex_);
 
   [[nodiscard]] bool open() const noexcept {
     return !failed_.load(std::memory_order_acquire);
@@ -162,29 +178,39 @@ class Connection {
   [[nodiscard]] std::uint64_t frames_received() const noexcept {
     return frames_received_.load(std::memory_order_relaxed);
   }
+  /// Frames a transport-internal try_send() shed because the outbox was
+  /// full (pings, pongs, maintenance-hook pushes).
+  [[nodiscard]] std::uint64_t sends_shed_full() const noexcept {
+    return sends_shed_full_.load(std::memory_order_relaxed);
+  }
   /// Time since the last frame (or byte) arrived from the peer — the
   /// /healthz "last heartbeat age".
   [[nodiscard]] std::chrono::nanoseconds last_rx_age() const noexcept;
 
  private:
-  void reader_main();
-  void writer_main();
-  void maintenance_main();
+  void reader_main() EXCLUDES(outbox_mutex_);
+  void writer_main() EXCLUDES(outbox_mutex_);
+  void maintenance_main() EXCLUDES(outbox_mutex_);
   void register_metrics();
-  bool enqueue(MsgType type, std::vector<std::uint8_t> bytes);
+  bool enqueue(MsgType type, std::vector<std::uint8_t> bytes)
+      EXCLUDES(outbox_mutex_);
+  bool try_enqueue(MsgType type, std::vector<std::uint8_t> bytes)
+      EXCLUDES(outbox_mutex_);
+  bool push_locked(MsgType type, std::vector<std::uint8_t>&& bytes,
+                   std::size_t encoded_size) REQUIRES(outbox_mutex_);
 
   Socket socket_;
   Config config_;
   FrameHandler on_frame_;
   CloseHandler on_close_;
 
-  std::mutex outbox_mutex_;
-  std::condition_variable outbox_cv_;   // writer waits for work
-  std::condition_variable outbox_room_; // senders wait for space or drain
-  std::deque<std::vector<std::uint8_t>> outbox_;
-  /// Frames accepted by send() but not yet written to the socket (guarded
-  /// by outbox_mutex_; drain() waits for zero).
-  std::size_t in_flight_ = 0;
+  util::Mutex outbox_mutex_;
+  util::CondVar outbox_cv_;    // writer waits for work
+  util::CondVar outbox_room_;  // senders wait for space or drain
+  std::deque<std::vector<std::uint8_t>> outbox_ GUARDED_BY(outbox_mutex_);
+  /// Frames accepted by send() but not yet written to the socket;
+  /// drain() waits for zero.
+  std::size_t in_flight_ GUARDED_BY(outbox_mutex_) = 0;
 
   std::atomic<bool> failed_{false};
   std::atomic<bool> stopping_{false};
@@ -195,6 +221,7 @@ class Connection {
   std::atomic<std::uint64_t> bytes_received_{0};
   std::atomic<std::uint64_t> frames_sent_{0};
   std::atomic<std::uint64_t> frames_received_{0};
+  std::atomic<std::uint64_t> sends_shed_full_{0};
 
   // Per-message-type counters, indexed by the raw MsgType byte (null when
   // Config.metrics is unset). Registered once in the constructor; the hot
@@ -208,8 +235,10 @@ class Connection {
   obs::Histogram* rtt_hist_ = nullptr;
   std::atomic<std::int64_t> last_ping_sent_ns_{0};
 
-  std::mutex maint_mutex_;
-  std::condition_variable maint_cv_;
+  /// maint_mutex_ guards no data — it only carries maint_cv_, the
+  /// maintenance thread's interruptible sleep (fail() notifies it).
+  util::Mutex maint_mutex_;
+  util::CondVar maint_cv_;
 
   std::thread reader_;
   std::thread writer_;

@@ -28,7 +28,7 @@ void write_hex_id(std::ostream& out, std::uint64_t id) {
 }  // namespace
 
 RoundTraceCtx ClusterTraceCollector::begin_round(int shard, Slot slot) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   RoundState& state = rounds_[shard];
   ++state.rounds;
   RoundTraceCtx ctx;
@@ -44,7 +44,7 @@ RoundTraceCtx ClusterTraceCollector::begin_round(int shard, Slot slot) {
 }
 
 void ClusterTraceCollector::end_round(int shard) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   const auto it = rounds_.find(shard);
   if (it == rounds_.end() || !it->second.open) return;
   RoundState& state = it->second;
@@ -65,7 +65,7 @@ void ClusterTraceCollector::absorb(const std::string& agent, int shard,
                                    Slot /*slot*/,
                                    const std::vector<RemoteSpan>& spans) {
   if (spans.empty()) return;
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   const auto it = rounds_.find(shard);
   // Unsolicited spans (no round ever begun on this shard) have no anchor;
   // anchor them at absorb time rather than dropping them.
@@ -89,7 +89,7 @@ void ClusterTraceCollector::absorb(const std::string& agent, int shard,
 
 std::vector<ClusterTraceCollector::SpanSummary>
 ClusterTraceCollector::summaries() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   std::map<std::string, SpanSummary> by_name;
   for (const Event& event : events_) {
     SpanSummary& s = by_name[event.name];
@@ -105,17 +105,17 @@ ClusterTraceCollector::summaries() const {
 }
 
 std::size_t ClusterTraceCollector::events() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   return events_.size();
 }
 
 std::uint64_t ClusterTraceCollector::dropped() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   return dropped_;
 }
 
 void ClusterTraceCollector::write_chrome_trace(std::ostream& out) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   std::int64_t base = 0;
   for (const Event& event : events_) {
     if (base == 0 || event.start_ns < base) base = event.start_ns;

@@ -28,11 +28,12 @@
 #include <cstdint>
 #include <iosfwd>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "lorasched/types.h"
+#include "lorasched/util/mutex.h"
+#include "lorasched/util/thread_annotations.h"
 
 namespace lorasched::obs {
 
@@ -84,14 +85,14 @@ class ClusterTraceCollector {
 
   /// Opens the leader's bid span for this shard's next round of `slot` and
   /// returns the context to stamp on the round's Offer frames.
-  RoundTraceCtx begin_round(int shard, Slot slot);
+  RoundTraceCtx begin_round(int shard, Slot slot) EXCLUDES(mutex_);
   /// Closes the shard's open bid span (duration = begin→now).
-  void end_round(int shard);
+  void end_round(int shard) EXCLUDES(mutex_);
 
   /// Re-anchors `spans` from `agent` (pid-mapped in first-seen order) at
   /// the leader-side start of the shard's current round.
   void absorb(const std::string& agent, int shard, Slot slot,
-              const std::vector<RemoteSpan>& spans);
+              const std::vector<RemoteSpan>& spans) EXCLUDES(mutex_);
 
   struct SpanSummary {
     std::string name;
@@ -101,15 +102,16 @@ class ClusterTraceCollector {
   };
   /// Per-name aggregates over every recorded span (name-sorted) — the
   /// /tracez payload.
-  [[nodiscard]] std::vector<SpanSummary> summaries() const;
+  [[nodiscard]] std::vector<SpanSummary> summaries() const
+      EXCLUDES(mutex_);
 
-  [[nodiscard]] std::size_t events() const;
-  [[nodiscard]] std::uint64_t dropped() const;
+  [[nodiscard]] std::size_t events() const EXCLUDES(mutex_);
+  [[nodiscard]] std::uint64_t dropped() const EXCLUDES(mutex_);
 
   /// One merged Chrome trace-event JSON document: pid 1 is the leader,
   /// agents get pids 2+ in first-seen order, tid is the shard id, and
   /// every X event carries trace/span/parent ids in args.
-  void write_chrome_trace(std::ostream& out) const;
+  void write_chrome_trace(std::ostream& out) const EXCLUDES(mutex_);
 
  private:
   struct Event {
@@ -132,15 +134,15 @@ class ClusterTraceCollector {
     std::uint64_t rounds = 0;  ///< Rounds begun on this shard (id salt).
   };
 
-  void push_event(Event&& event);  // mutex_ held
-  int agent_pid(const std::string& agent);  // mutex_ held
+  void push_event(Event&& event) REQUIRES(mutex_);
+  int agent_pid(const std::string& agent) REQUIRES(mutex_);
 
   const std::size_t max_events_;
-  mutable std::mutex mutex_;
-  std::map<int, RoundState> rounds_;
-  std::map<std::string, int> agent_pids_;
-  std::vector<Event> events_;
-  std::uint64_t dropped_ = 0;
+  mutable util::Mutex mutex_;
+  std::map<int, RoundState> rounds_ GUARDED_BY(mutex_);
+  std::map<std::string, int> agent_pids_ GUARDED_BY(mutex_);
+  std::vector<Event> events_ GUARDED_BY(mutex_);
+  std::uint64_t dropped_ GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace lorasched::obs

@@ -165,7 +165,7 @@ HistogramSnapshot FederatedRegistry::exported_histogram(const Series& s) {
 
 bool FederatedRegistry::absorb(const std::string& agent, std::uint64_t seq,
                                const std::vector<MetricsGroup>& groups) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   AgentState& state = agents_[agent];
   if (state.dead) return false;
   if (state.have_seq && seq == state.last_seq) return false;  // duplicate
@@ -201,18 +201,18 @@ bool FederatedRegistry::absorb(const std::string& agent, std::uint64_t seq,
 }
 
 void FederatedRegistry::mark_dead(const std::string& agent) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   agents_[agent].dead = true;
 }
 
 void FederatedRegistry::mark_alive(const std::string& agent) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   agents_[agent].dead = false;
 }
 
 double FederatedRegistry::value(const std::string& agent, std::int32_t shard,
                                 std::string_view name) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   const auto it = series_.find(SeriesKey{std::string(name), agent, shard});
   return it == series_.end() ? 0.0 : exported(it->second);
 }
@@ -220,14 +220,14 @@ double FederatedRegistry::value(const std::string& agent, std::int32_t shard,
 HistogramSnapshot FederatedRegistry::histogram(const std::string& agent,
                                                std::int32_t shard,
                                                std::string_view name) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   const auto it = series_.find(SeriesKey{std::string(name), agent, shard});
   return it == series_.end() ? HistogramSnapshot{}
                              : exported_histogram(it->second);
 }
 
 double FederatedRegistry::aggregate_value(std::string_view name) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   double total = 0.0;
   for (const auto& [key, series] : series_) {
     if (key.name == name) total += exported(series);
@@ -237,7 +237,7 @@ double FederatedRegistry::aggregate_value(std::string_view name) const {
 
 HistogramSnapshot FederatedRegistry::aggregate_histogram(
     std::string_view name) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   HistogramSnapshot merged;
   for (const auto& [key, series] : series_) {
     if (key.name != name) continue;
@@ -248,12 +248,12 @@ HistogramSnapshot FederatedRegistry::aggregate_histogram(
 }
 
 std::size_t FederatedRegistry::series_count() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   return series_.size();
 }
 
 std::vector<std::pair<std::string, bool>> FederatedRegistry::agents() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   std::vector<std::pair<std::string, bool>> out;
   out.reserve(agents_.size());
   for (const auto& [name, state] : agents_) {
@@ -263,7 +263,7 @@ std::vector<std::pair<std::string, bool>> FederatedRegistry::agents() const {
 }
 
 void FederatedRegistry::write_prometheus(std::ostream& out) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   // series_ is ordered by (name, agent, shard), so one pass emits each
   // name's header once followed by its labeled series.
   const std::string* current = nullptr;

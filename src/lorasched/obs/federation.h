@@ -28,13 +28,14 @@
 #include <cstdint>
 #include <iosfwd>
 #include <map>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
 
 #include "lorasched/obs/registry.h"
+#include "lorasched/util/mutex.h"
+#include "lorasched/util/thread_annotations.h"
 
 namespace lorasched::obs {
 
@@ -77,38 +78,41 @@ class FederatedRegistry {
   /// the last accepted sequence number. Thread-safe (reader threads push,
   /// the scrape endpoint reads).
   bool absorb(const std::string& agent, std::uint64_t seq,
-              const std::vector<MetricsGroup>& groups);
+              const std::vector<MetricsGroup>& groups) EXCLUDES(mutex_);
 
   /// Late pushes from `agent` are dropped until mark_alive(). Series
   /// absorbed so far stay exported (last known value).
-  void mark_dead(const std::string& agent);
+  void mark_dead(const std::string& agent) EXCLUDES(mutex_);
   /// Re-admits a reconnected agent's pushes.
-  void mark_alive(const std::string& agent);
+  void mark_alive(const std::string& agent) EXCLUDES(mutex_);
 
   /// Exported value of one counter/gauge series; 0 when absent.
   [[nodiscard]] double value(const std::string& agent, std::int32_t shard,
-                             std::string_view name) const;
+                             std::string_view name) const EXCLUDES(mutex_);
   /// Exported state of one histogram series; empty snapshot when absent.
   [[nodiscard]] HistogramSnapshot histogram(const std::string& agent,
                                             std::int32_t shard,
-                                            std::string_view name) const;
+                                            std::string_view name) const
+      EXCLUDES(mutex_);
 
   /// Sum of a counter/gauge series over every (agent, shard).
-  [[nodiscard]] double aggregate_value(std::string_view name) const;
+  [[nodiscard]] double aggregate_value(std::string_view name) const
+      EXCLUDES(mutex_);
   /// Bucket-wise merge of a histogram series over every (agent, shard).
   [[nodiscard]] HistogramSnapshot aggregate_histogram(
-      std::string_view name) const;
+      std::string_view name) const EXCLUDES(mutex_);
 
-  [[nodiscard]] std::size_t series_count() const;
+  [[nodiscard]] std::size_t series_count() const EXCLUDES(mutex_);
   /// Agents that have pushed at least once, with their liveness.
-  [[nodiscard]] std::vector<std::pair<std::string, bool>> agents() const;
+  [[nodiscard]] std::vector<std::pair<std::string, bool>> agents() const
+      EXCLUDES(mutex_);
 
   /// Prometheus text exposition of every federated series:
   /// `name{agent="...",shard="..."} value`, histograms with the usual
   /// _bucket/_sum/_count series. Series are grouped by metric name (one
   /// HELP/TYPE header per name) and ordered (name, agent, shard) — the
   /// output is deterministic for a fixed state.
-  void write_prometheus(std::ostream& out) const;
+  void write_prometheus(std::ostream& out) const EXCLUDES(mutex_);
 
  private:
   struct SeriesKey {
@@ -141,9 +145,9 @@ class FederatedRegistry {
   }
   [[nodiscard]] static HistogramSnapshot exported_histogram(const Series& s);
 
-  mutable std::mutex mutex_;
-  std::map<std::string, AgentState> agents_;
-  std::map<SeriesKey, Series> series_;
+  mutable util::Mutex mutex_;
+  std::map<std::string, AgentState> agents_ GUARDED_BY(mutex_);
+  std::map<SeriesKey, Series> series_ GUARDED_BY(mutex_);
 };
 
 }  // namespace lorasched::obs

@@ -176,7 +176,7 @@ MetricsRegistry::Entry& MetricsRegistry::find_or_insert(std::string_view name,
   if (!valid_metric_name(name)) {
     throw std::invalid_argument("invalid metric name: " + std::string(name));
   }
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   const auto it = index_.find(name);
   if (it != index_.end()) {
     if (it->second->kind != kind) {
@@ -216,7 +216,7 @@ Histogram& MetricsRegistry::histogram(std::string_view name,
 }
 
 std::vector<MetricSnapshot> MetricsRegistry::snapshot() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   std::vector<MetricSnapshot> out;
   out.reserve(entries_.size());
   for (const Entry& entry : entries_) {

@@ -27,10 +27,12 @@
 #include <limits>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "lorasched/util/mutex.h"
+#include "lorasched/util/thread_annotations.h"
 
 namespace lorasched::obs {
 
@@ -147,16 +149,19 @@ class MetricsRegistry {
   /// re-registering a name with a different kind throws
   /// std::invalid_argument. Returned references stay valid for the
   /// registry's lifetime.
-  Counter& counter(std::string_view name, std::string_view help = "");
-  Gauge& gauge(std::string_view name, std::string_view help = "");
+  Counter& counter(std::string_view name, std::string_view help = "")
+      EXCLUDES(mutex_);
+  Gauge& gauge(std::string_view name, std::string_view help = "")
+      EXCLUDES(mutex_);
   Histogram& histogram(std::string_view name, HistogramOptions options = {},
-                       std::string_view help = "");
+                       std::string_view help = "") EXCLUDES(mutex_);
 
-  [[nodiscard]] std::vector<MetricSnapshot> snapshot() const;
+  [[nodiscard]] std::vector<MetricSnapshot> snapshot() const
+      EXCLUDES(mutex_);
 
   /// Prometheus text exposition (HELP/TYPE lines, cumulative histogram
   /// buckets with `le` labels, `_sum`/`_count` series).
-  void write_prometheus(std::ostream& out) const;
+  void write_prometheus(std::ostream& out) const EXCLUDES(mutex_);
 
  private:
   struct Entry {
@@ -170,11 +175,11 @@ class MetricsRegistry {
   };
 
   Entry& find_or_insert(std::string_view name, std::string_view help,
-                        MetricKind kind);
+                        MetricKind kind) REQUIRES(mutex_);
 
-  mutable std::mutex mutex_;
-  std::deque<Entry> entries_;  // stable addresses
-  std::map<std::string, Entry*, std::less<>> index_;
+  mutable util::Mutex mutex_;
+  std::deque<Entry> entries_ GUARDED_BY(mutex_);  // stable addresses
+  std::map<std::string, Entry*, std::less<>> index_ GUARDED_BY(mutex_);
 };
 
 }  // namespace lorasched::obs

@@ -37,7 +37,7 @@ void Profiler::set_enabled(bool on) noexcept {
 }
 
 void Profiler::set_timeline(bool on, std::size_t max_events) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   timeline_.store(on, std::memory_order_relaxed);
   max_events_ = on ? max_events : 0;
   if (on) events_.reserve(std::min<std::size_t>(max_events, 4096));
@@ -46,13 +46,13 @@ void Profiler::set_timeline(bool on, std::size_t max_events) {
 std::uint32_t Profiler::register_site(const char* name,
                                       detail::SiteSlot* slot) {
   (void)name;
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   sites_.push_back(slot);
   return static_cast<std::uint32_t>(sites_.size() - 1);
 }
 
 void Profiler::append_event(const SpanEvent& event) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   if (!timeline_.load(std::memory_order_relaxed)) return;
   if (events_.size() >= max_events_) {
     dropped_.fetch_add(1, std::memory_order_relaxed);
@@ -62,7 +62,7 @@ void Profiler::append_event(const SpanEvent& event) {
 }
 
 std::vector<SpanStats> Profiler::snapshot() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   std::vector<SpanStats> out;
   out.reserve(sites_.size());
   for (const detail::SiteSlot* site : sites_) {
@@ -80,12 +80,12 @@ std::vector<SpanStats> Profiler::snapshot() const {
 }
 
 std::vector<SpanEvent> Profiler::timeline_events() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   return events_;
 }
 
 std::string Profiler::site_name(std::uint32_t site) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   if (site >= sites_.size()) return "?";
   return sites_[site]->name;
 }
@@ -95,7 +95,7 @@ std::uint64_t Profiler::timeline_dropped() const noexcept {
 }
 
 void Profiler::reset() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   for (detail::SiteSlot* site : sites_) {
     site->count.store(0, std::memory_order_relaxed);
     site->total_ns.store(0, std::memory_order_relaxed);

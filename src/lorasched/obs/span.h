@@ -36,9 +36,11 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "lorasched/util/mutex.h"
+#include "lorasched/util/thread_annotations.h"
 
 namespace lorasched::obs {
 
@@ -77,19 +79,22 @@ class Profiler {
   /// `max_events` bounds memory (events past the cap are dropped and
   /// counted). Implies nothing about set_enabled — enable both for a
   /// timeline.
-  void set_timeline(bool on, std::size_t max_events = 1 << 20);
+  void set_timeline(bool on, std::size_t max_events = 1 << 20)
+      EXCLUDES(mutex_);
   [[nodiscard]] bool timeline_enabled() const noexcept {
     return timeline_.load(std::memory_order_relaxed);
   }
 
-  [[nodiscard]] std::vector<SpanStats> snapshot() const;
-  [[nodiscard]] std::vector<SpanEvent> timeline_events() const;
-  [[nodiscard]] std::string site_name(std::uint32_t site) const;
+  [[nodiscard]] std::vector<SpanStats> snapshot() const EXCLUDES(mutex_);
+  [[nodiscard]] std::vector<SpanEvent> timeline_events() const
+      EXCLUDES(mutex_);
+  [[nodiscard]] std::string site_name(std::uint32_t site) const
+      EXCLUDES(mutex_);
   [[nodiscard]] std::uint64_t timeline_dropped() const noexcept;
 
   /// Zeroes every site aggregate and clears the timeline buffer. Sites
   /// themselves (the interned names) persist for the process lifetime.
-  void reset();
+  void reset() EXCLUDES(mutex_);
 
  private:
   friend struct detail::SiteSlot;
@@ -97,16 +102,17 @@ class Profiler {
 
   Profiler() = default;
 
-  std::uint32_t register_site(const char* name, detail::SiteSlot* slot);
-  void append_event(const SpanEvent& event);
+  std::uint32_t register_site(const char* name, detail::SiteSlot* slot)
+      EXCLUDES(mutex_);
+  void append_event(const SpanEvent& event) EXCLUDES(mutex_);
 
   std::atomic<bool> enabled_{false};
   std::atomic<bool> timeline_{false};
 
-  mutable std::mutex mutex_;  // guards sites_ growth and the timeline buffer
-  std::vector<detail::SiteSlot*> sites_;
-  std::vector<SpanEvent> events_;
-  std::size_t max_events_ = 0;
+  mutable util::Mutex mutex_;  // guards sites_ growth and the timeline buffer
+  std::vector<detail::SiteSlot*> sites_ GUARDED_BY(mutex_);
+  std::vector<SpanEvent> events_ GUARDED_BY(mutex_);
+  std::size_t max_events_ GUARDED_BY(mutex_) = 0;
   std::atomic<std::uint64_t> dropped_{0};
 };
 

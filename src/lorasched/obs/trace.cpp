@@ -138,7 +138,7 @@ DecisionTraceRecord parse_decision_line(const std::string& line) {
 
 void DecisionTracer::on_decision(const DecisionTraceRecord& record) {
   const std::uint64_t ts = now_ns();
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   ++records_;
   if (record.admitted) ++admitted_;
   if (out_ != nullptr) {
@@ -155,27 +155,27 @@ void DecisionTracer::on_decision(const DecisionTraceRecord& record) {
 }
 
 std::uint64_t DecisionTracer::records() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   return records_;
 }
 
 std::uint64_t DecisionTracer::admitted() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   return admitted_;
 }
 
 std::uint64_t DecisionTracer::instants_dropped() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   return dropped_;
 }
 
 std::vector<DecisionInstant> DecisionTracer::instants() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   return instants_;
 }
 
 void DecisionTracer::flush() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   if (out_ != nullptr) out_->flush();
 }
 

@@ -25,12 +25,13 @@
 #include <cstdint>
 #include <iosfwd>
 #include <limits>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "lorasched/obs/json.h"
 #include "lorasched/types.h"
+#include "lorasched/util/mutex.h"
+#include "lorasched/util/thread_annotations.h"
 
 namespace lorasched::obs {
 
@@ -137,22 +138,24 @@ class DecisionTracer final : public DecisionTraceSink {
                           std::size_t max_instants = 1 << 20)
       : out_(out), max_instants_(max_instants) {}
 
-  void on_decision(const DecisionTraceRecord& record) override;
+  void on_decision(const DecisionTraceRecord& record) override
+      EXCLUDES(mutex_);
 
-  [[nodiscard]] std::uint64_t records() const;
-  [[nodiscard]] std::uint64_t admitted() const;
-  [[nodiscard]] std::uint64_t instants_dropped() const;
-  [[nodiscard]] std::vector<DecisionInstant> instants() const;
-  void flush();
+  [[nodiscard]] std::uint64_t records() const EXCLUDES(mutex_);
+  [[nodiscard]] std::uint64_t admitted() const EXCLUDES(mutex_);
+  [[nodiscard]] std::uint64_t instants_dropped() const EXCLUDES(mutex_);
+  [[nodiscard]] std::vector<DecisionInstant> instants() const
+      EXCLUDES(mutex_);
+  void flush() EXCLUDES(mutex_);
 
  private:
-  mutable std::mutex mutex_;
-  std::ostream* out_;
-  std::size_t max_instants_;
-  std::uint64_t records_ = 0;
-  std::uint64_t admitted_ = 0;
-  std::uint64_t dropped_ = 0;
-  std::vector<DecisionInstant> instants_;
+  mutable util::Mutex mutex_;
+  std::ostream* out_ GUARDED_BY(mutex_);
+  const std::size_t max_instants_;
+  std::uint64_t records_ GUARDED_BY(mutex_) = 0;
+  std::uint64_t admitted_ GUARDED_BY(mutex_) = 0;
+  std::uint64_t dropped_ GUARDED_BY(mutex_) = 0;
+  std::vector<DecisionInstant> instants_ GUARDED_BY(mutex_);
 };
 
 /// Writes span timeline events and decision instants as one Chrome

@@ -165,6 +165,10 @@ class AdmissionService {
   ServiceMetrics metrics_;
   std::vector<DecisionSubscriber*> subscribers_;
 
+  // Documented exemption (DESIGN.md §13): everything below is
+  // consumer-thread-only — producers touch only queue_ (internally locked)
+  // and metrics_; the consumer drives step()/drain()/finish() from one
+  // thread. dirty_ is the single cross-thread flag and stays an atomic.
   CapacityLedger ledger_;
   /// Bids accepted for a slot the clock has not reached yet, keyed by
   /// arrival slot. Consumer-thread only.

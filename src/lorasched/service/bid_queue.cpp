@@ -28,15 +28,14 @@ SubmitResult BidQueue::submit(Task bid) {
   // Self time here includes any kBlock backpressure wait — by design: the
   // span answers "how long do producers stall", not just lock cost.
   LORASCHED_SPAN("queue/submit");
-  std::unique_lock<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   if (closed_) return SubmitResult::kRejectedClosed;
   if (bids_.size() >= capacity_) {
     if (mode_ == BackpressureMode::kReject) {
       ++rejected_full_;
       return SubmitResult::kRejectedFull;
     }
-    space_free_.wait(lock,
-                     [this] { return closed_ || bids_.size() < capacity_; });
+    while (!closed_ && bids_.size() >= capacity_) space_free_.wait(lock);
     if (closed_) return SubmitResult::kRejectedClosed;
   }
   bids_.push_back(std::move(bid));
@@ -53,7 +52,7 @@ std::vector<Task> BidQueue::drain() {
   LORASCHED_SPAN("queue/drain");
   std::vector<Task> out;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     out.assign(std::make_move_iterator(bids_.begin()),
                std::make_move_iterator(bids_.end()));
     bids_.clear();
@@ -63,18 +62,18 @@ std::vector<Task> BidQueue::drain() {
 }
 
 std::vector<Task> BidQueue::peek() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   return std::vector<Task>(bids_.begin(), bids_.end());
 }
 
 void BidQueue::wait_available() const {
-  std::unique_lock<std::mutex> lock(mutex_);
-  bid_ready_.wait(lock, [this] { return closed_ || !bids_.empty(); });
+  util::MutexLock lock(mutex_);
+  while (!closed_ && bids_.empty()) bid_ready_.wait(lock);
 }
 
 void BidQueue::close() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     closed_ = true;
   }
   space_free_.notify_all();
@@ -82,22 +81,22 @@ void BidQueue::close() {
 }
 
 bool BidQueue::closed() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   return closed_;
 }
 
 std::size_t BidQueue::depth() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   return bids_.size();
 }
 
 std::uint64_t BidQueue::accepted_total() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   return accepted_;
 }
 
 std::uint64_t BidQueue::rejected_full_total() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   return rejected_full_;
 }
 

@@ -6,13 +6,13 @@
 // frontends expose as "queue or shed".
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <vector>
 
+#include "lorasched/util/mutex.h"
+#include "lorasched/util/thread_annotations.h"
 #include "lorasched/workload/task.h"
 
 namespace lorasched::service {
@@ -42,43 +42,43 @@ class BidQueue {
   BidQueue(std::size_t capacity, BackpressureMode mode);
 
   /// Thread-safe. Never returns kRejectedLate (that is service policy).
-  SubmitResult submit(Task bid);
+  SubmitResult submit(Task bid) EXCLUDES(mutex_);
 
   /// Consumer side: moves out every queued bid (possibly none) and wakes
   /// blocked producers. Thread-safe, but intended for a single consumer.
-  [[nodiscard]] std::vector<Task> drain();
+  [[nodiscard]] std::vector<Task> drain() EXCLUDES(mutex_);
 
   /// Copy of the queued bids without consuming them — checkpointing reads
   /// the in-flight bids through this.
-  [[nodiscard]] std::vector<Task> peek() const;
+  [[nodiscard]] std::vector<Task> peek() const EXCLUDES(mutex_);
 
   /// Consumer side: blocks until at least one bid is queued or the queue
   /// is closed (returns immediately if either already holds). Lets a
   /// consumer pump an ingestion stream without spinning on drain().
-  void wait_available() const;
+  void wait_available() const EXCLUDES(mutex_);
 
   /// Rejects all future submits and wakes producers blocked on a full
   /// queue (they return kRejectedClosed). Queued bids remain drainable.
-  void close();
-  [[nodiscard]] bool closed() const;
+  void close() EXCLUDES(mutex_);
+  [[nodiscard]] bool closed() const EXCLUDES(mutex_);
 
-  [[nodiscard]] std::size_t depth() const;
+  [[nodiscard]] std::size_t depth() const EXCLUDES(mutex_);
   [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
 
   /// Lifetime counters (monotone, thread-safe).
-  [[nodiscard]] std::uint64_t accepted_total() const;
-  [[nodiscard]] std::uint64_t rejected_full_total() const;
+  [[nodiscard]] std::uint64_t accepted_total() const EXCLUDES(mutex_);
+  [[nodiscard]] std::uint64_t rejected_full_total() const EXCLUDES(mutex_);
 
  private:
   const std::size_t capacity_;
   const BackpressureMode mode_;
-  mutable std::mutex mutex_;
-  std::condition_variable space_free_;
-  mutable std::condition_variable bid_ready_;
-  std::deque<Task> bids_;
-  bool closed_ = false;
-  std::uint64_t accepted_ = 0;
-  std::uint64_t rejected_full_ = 0;
+  mutable util::Mutex mutex_;
+  util::CondVar space_free_;
+  mutable util::CondVar bid_ready_;
+  std::deque<Task> bids_ GUARDED_BY(mutex_);
+  bool closed_ GUARDED_BY(mutex_) = false;
+  std::uint64_t accepted_ GUARDED_BY(mutex_) = 0;
+  std::uint64_t rejected_full_ GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace lorasched::service

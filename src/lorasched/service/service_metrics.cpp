@@ -43,7 +43,7 @@ ServiceMetrics::ServiceMetrics()
 void ServiceMetrics::record_ingest() {
   const auto now = util::MonoClock::now();
   ingested_.add();
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   if (!saw_first_ingest_) {
     saw_first_ingest_ = true;
     first_ingest_ = now;
@@ -79,7 +79,7 @@ MetricsSnapshot ServiceMetrics::snapshot() const {
   snap.max_queue_depth = static_cast<std::size_t>(max_queue_depth_.value());
   snap.slots_processed = static_cast<std::size_t>(slots_.value());
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     if (saw_first_ingest_ && snap.bids_ingested >= 2) {
       const double span = util::seconds_between(first_ingest_, last_ingest_);
       if (span > 0.0) {

@@ -17,11 +17,12 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
 
 #include "lorasched/obs/registry.h"
 #include "lorasched/service/subscriber.h"
 #include "lorasched/types.h"
+#include "lorasched/util/mutex.h"
+#include "lorasched/util/thread_annotations.h"
 #include "lorasched/util/timing.h"
 
 namespace lorasched::service {
@@ -56,7 +57,7 @@ class ServiceMetrics {
   ServiceMetrics();
 
   /// Producer side: one bid accepted into the queue. Thread-safe.
-  void record_ingest();
+  void record_ingest() EXCLUDES(mutex_);
 
   /// Consumer side: one slot decided. `per_task_seconds` is the batch's
   /// policy time divided by the batch size (exactly the engine's
@@ -67,7 +68,7 @@ class ServiceMetrics {
   void record_rejected();
   void record_rejected_late();
 
-  [[nodiscard]] MetricsSnapshot snapshot() const;
+  [[nodiscard]] MetricsSnapshot snapshot() const EXCLUDES(mutex_);
 
   /// The backing registry — for Prometheus exposition (lorasched_serve
   /// --metrics-out) or merging additional metrics alongside the service's.
@@ -90,10 +91,10 @@ class ServiceMetrics {
 
   // First/last ingest timestamps for the offered-load rate; the only state
   // the registry's atomics cannot carry.
-  mutable std::mutex mutex_;
-  bool saw_first_ingest_ = false;
-  util::MonoClock::time_point first_ingest_{};
-  util::MonoClock::time_point last_ingest_{};
+  mutable util::Mutex mutex_;
+  bool saw_first_ingest_ GUARDED_BY(mutex_) = false;
+  util::MonoClock::time_point first_ingest_ GUARDED_BY(mutex_) = {};
+  util::MonoClock::time_point last_ingest_ GUARDED_BY(mutex_) = {};
 };
 
 }  // namespace lorasched::service

@@ -10,6 +10,15 @@
 // atomic doubles. Writers (the shard's own decision thread) never block;
 // readers retry the rare torn read. All cells are std::atomic, so the
 // pattern is data-race-free under TSan, not just "benign".
+//
+// Thread-safety annotations (DESIGN.md §13): this class is the documented
+// seqlock exemption — there is no mutex to GUARDED_BY. Correctness rests
+// on the version protocol instead: publish() makes the version odd
+// (acquire CAS is not needed; one writer per entry by contract), writes
+// the cells, then bumps it even with release ordering; read() acquires
+// the version, copies the cells, and retries unless the version was even
+// and unchanged across the copy. tests/test_shard.cpp stresses exactly
+// this invariant (no torn snapshot, even-on-read versions) under TSan.
 #pragma once
 
 #include <atomic>
@@ -65,6 +74,15 @@ class PriceBoard {
   /// Lock-free consistent read of shard `s`'s latest summary; retries while
   /// a publish is in flight.
   [[nodiscard]] PriceSnapshot read(int s) const;
+
+  /// Test/observability hook: shard `s`'s current sequence number. Even =
+  /// stable (exactly 2 × publishes so far), odd = a publish is in flight.
+  /// read() only ever returns data captured between two identical even
+  /// observations of this counter.
+  [[nodiscard]] std::uint64_t version(int s) const {
+    return entries_.at(static_cast<std::size_t>(s))
+        .version.load(std::memory_order_acquire);
+  }
 
  private:
   // Flat payload layout per shard entry:

@@ -33,11 +33,11 @@ ShardRunner::ShardRunner(int shard_id, const Cluster& fleet,
       cluster_(ShardPlanner::sub_cluster(fleet, to_global_)),
       energy_(energy),
       market_(market),
+      board_(board),
+      inbox_(inbox_capacity, service::BackpressureMode::kBlock),
       ledger_(cluster_, horizon),
       policy_(factory(cluster_, energy_, horizon)),
-      pdftsp_(dynamic_cast<const Pdftsp*>(policy_.get())),
-      board_(board),
-      inbox_(inbox_capacity, service::BackpressureMode::kBlock) {
+      pdftsp_(dynamic_cast<const Pdftsp*>(policy_.get())) {
   if (policy_ == nullptr) {
     throw std::invalid_argument("policy factory returned null");
   }
@@ -50,7 +50,7 @@ ShardRunner::ShardRunner(int shard_id, const Cluster& fleet,
 
 ShardRunner::~ShardRunner() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     command_ = Command::kStop;
   }
   command_cv_.notify_one();
@@ -58,10 +58,12 @@ ShardRunner::~ShardRunner() {
 }
 
 void ShardRunner::register_dp_metrics(obs::MetricsRegistry& registry) const {
+  util::MutexLock lock(mutex_);
   if (pdftsp_ != nullptr) pdftsp_->register_metrics(registry);
 }
 
 void ShardRunner::block(NodeId local_node, Slot t) {
+  util::MutexLock lock(mutex_);
   ledger_.block(local_node, t);
 }
 
@@ -70,7 +72,7 @@ void ShardRunner::begin_round(Slot slot, std::size_t expected) {
     throw std::invalid_argument("shard round needs at least one bid");
   }
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     if (command_ != Command::kIdle) {
       throw std::logic_error("shard round already in flight");
     }
@@ -90,8 +92,8 @@ void ShardRunner::offer(Task bid) {
 }
 
 const std::vector<ShardRunner::RoundResult>& ShardRunner::wait_round() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  done_cv_.wait(lock, [&] { return round_done_; });
+  util::MutexLock lock(mutex_);
+  while (!round_done_) done_cv_.wait(lock);
   if (round_error_ != nullptr) {
     const std::exception_ptr error = std::exchange(round_error_, nullptr);
     std::rethrow_exception(error);
@@ -101,27 +103,25 @@ const std::vector<ShardRunner::RoundResult>& ShardRunner::wait_round() {
 
 void ShardRunner::thread_main() {
   for (;;) {
-    Slot slot = 0;
-    std::size_t expected = 0;
-    {
-      std::unique_lock<std::mutex> lock(mutex_);
-      command_cv_.wait(lock, [&] { return command_ != Command::kIdle; });
-      if (command_ == Command::kStop) return;
-      slot = round_slot_;
-      expected = round_expected_;
-    }
+    util::MutexLock lock(mutex_);
+    while (command_ == Command::kIdle) command_cv_.wait(lock);
+    if (command_ == Command::kStop) return;
+    const Slot slot = round_slot_;
+    const std::size_t expected = round_expected_;
+    // The round runs with mutex_ held (see the header's lock-discipline
+    // note): the leader only touches the inbox while a round is in
+    // flight, so this serializes decision state against parked-state
+    // accessors without ever blocking the offer path.
     std::exception_ptr error;
     try {
       decide_round(slot, expected);
     } catch (...) {
       error = std::current_exception();
     }
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      round_error_ = error;
-      command_ = Command::kIdle;
-      round_done_ = true;
-    }
+    round_error_ = error;
+    command_ = Command::kIdle;
+    round_done_ = true;
+    lock.unlock();
     done_cv_.notify_all();
   }
 }
@@ -179,10 +179,15 @@ void ShardRunner::decide_round(Slot slot, std::size_t expected) {
   audit::check_ledger_totals(ledger_, booked_);
 #endif
 
-  publish(slot + 1);
+  publish_locked(slot + 1);
 }
 
 void ShardRunner::publish(Slot from) {
+  util::MutexLock lock(mutex_);
+  publish_locked(from);
+}
+
+void ShardRunner::publish_locked(Slot from) {
   PriceSnapshot snapshot;
   snapshot.published_slot = from - 1;
   const int classes = board_.class_count();
@@ -220,6 +225,11 @@ void ShardRunner::publish(Slot from) {
 }
 
 std::vector<double> ShardRunner::policy_state() const {
+  util::MutexLock lock(mutex_);
+  return policy_state_locked();
+}
+
+std::vector<double> ShardRunner::policy_state_locked() const {
   const auto* state = dynamic_cast<const CheckpointableState*>(policy_.get());
   if (state == nullptr) {
     throw std::logic_error("shard policy does not implement CheckpointableState");
@@ -227,7 +237,13 @@ std::vector<double> ShardRunner::policy_state() const {
   return state->checkpoint_state();
 }
 
+ShardState ShardRunner::state() const {
+  util::MutexLock lock(mutex_);
+  return ShardState{booked_, policy_state_locked(), ledger_.snapshot()};
+}
+
 void ShardRunner::restore_policy_state(const std::vector<double>& state) {
+  util::MutexLock lock(mutex_);
   auto* target = dynamic_cast<CheckpointableState*>(policy_.get());
   if (target == nullptr) {
     throw std::logic_error("shard policy does not implement CheckpointableState");
@@ -237,6 +253,7 @@ void ShardRunner::restore_policy_state(const std::vector<double>& state) {
 
 void ShardRunner::restore_ledger(const CapacityLedger::Snapshot& snapshot,
                                  double booked) {
+  util::MutexLock lock(mutex_);
   ledger_.restore(snapshot);
   booked_ = booked;
 }
@@ -244,6 +261,7 @@ void ShardRunner::restore_ledger(const CapacityLedger::Snapshot& snapshot,
 void ShardRunner::accumulate_utilization(double& used, double& cap) const {
   // Mirrors CapacityLedger::compute_utilization()'s accumulation order so a
   // 1-shard service reproduces the monolithic fraction bit for bit.
+  util::MutexLock lock(mutex_);
   for (NodeId k = 0; k < cluster_.node_count(); ++k) {
     cap += cluster_.compute_capacity(k) * static_cast<double>(horizon_);
     for (Slot t = 0; t < horizon_; ++t) used += ledger_.used_compute(k, t);

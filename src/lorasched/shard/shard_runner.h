@@ -14,20 +14,27 @@
 // the inbox capacity cannot deadlock: the runner is already draining while
 // the leader is still offering. Between wait_round() and the next
 // begin_round() the runner is parked and the leader may freely read or
-// restore the shard's state (checkpointing, price re-publication) — the
-// round mutex orders those accesses.
+// restore the shard's state (checkpointing, price re-publication).
+//
+// Lock discipline (DESIGN.md §13): the worker holds mutex_ for the whole
+// decision round, so every piece of decision state (ledger, policy duals,
+// bookings, results) is mutex_-guarded and the "parked leader access" rule
+// is provable instead of conventional — a leader accessor called mid-round
+// blocks until the round ends rather than racing it. The leader never
+// blocks the worker: offers flow through the inbox's own lock, and
+// wait_round() waiting on mutex_ is exactly the wait it wanted. Lock
+// order: mutex_ before the inbox's internal lock (worker drains while
+// armed); the leader takes them one at a time, never nested.
 //
 // Node ids inside the runner are shard-local (0..members-1); to_global()
 // maps them back to the fleet's ids. Decisions returned from a round still
 // carry local ids — the service remaps when it builds outcomes.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <exception>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -40,6 +47,8 @@
 #include "lorasched/shard/shard_handle.h"
 #include "lorasched/sim/policy.h"
 #include "lorasched/types.h"
+#include "lorasched/util/mutex.h"
+#include "lorasched/util/thread_annotations.h"
 #include "lorasched/workload/task.h"
 #include "lorasched/workload/vendor.h"
 
@@ -83,57 +92,60 @@ class ShardRunner : public ShardHandle {
 
   /// Pre-blocks a shard-local node-slot (outage calendar). Call before the
   /// first round or between rounds.
-  void block(NodeId local_node, Slot t) override;
+  void block(NodeId local_node, Slot t) override EXCLUDES(mutex_);
 
   /// Wires the shard policy's schedule-DP price-cache metrics into
   /// `registry` (no-op for non-pdFTSP policies). Every shard registers the
   /// same metric names, so the counters aggregate fleet-wide. Call during
   /// setup, before the first round.
-  void register_dp_metrics(obs::MetricsRegistry& registry) const override;
+  void register_dp_metrics(obs::MetricsRegistry& registry) const override
+      EXCLUDES(mutex_);
 
   // --- Round protocol (leader thread) -------------------------------------
 
   /// Arms the runner for a decision round at `slot` expecting exactly
   /// `expected` bids (> 0). Feed them with offer(), then wait_round().
-  void begin_round(Slot slot, std::size_t expected) override;
+  void begin_round(Slot slot, std::size_t expected) override EXCLUDES(mutex_);
 
   /// Feeds one bid into the armed round's inbox. May block briefly when the
   /// inbox is full — the runner is draining concurrently, so it always
-  /// makes progress.
+  /// makes progress. Takes only the inbox's internal lock, never mutex_
+  /// (the worker holds mutex_ for the whole round).
   void offer(Task bid) override;
 
   /// Blocks until the armed round completes; returns one result per offered
   /// bid, in offer order. The reference stays valid until the next
   /// begin_round().
-  [[nodiscard]] const std::vector<RoundResult>& wait_round() override;
+  [[nodiscard]] const std::vector<RoundResult>& wait_round() override
+      EXCLUDES(mutex_);
 
   /// Publishes the shard's price summary as of `from`: free capacity and
   /// mean duals over slots [from, horizon). The runner publishes
   /// automatically after every round (from = slot + 1); the leader calls
   /// this for shards that sat a slot out, so the board's content is a pure
-  /// function of decision history — never of thread timing. Leader calls
-  /// are only safe while the runner is parked.
-  void publish(Slot from) override;
+  /// function of decision history — never of thread timing.
+  void publish(Slot from) override EXCLUDES(mutex_);
 
   // --- Parked-state access (leader thread, between rounds only) -----------
 
-  [[nodiscard]] double booked_compute() const noexcept override {
+  [[nodiscard]] double booked_compute() const noexcept override
+      EXCLUDES(mutex_) {
+    util::MutexLock lock(mutex_);
     return booked_;
   }
-  [[nodiscard]] const CapacityLedger& ledger() const noexcept {
-    return ledger_;
-  }
-  [[nodiscard]] std::vector<double> policy_state() const;
-  void restore_policy_state(const std::vector<double>& state);
-  [[nodiscard]] CapacityLedger::Snapshot ledger_snapshot() const {
+  [[nodiscard]] std::vector<double> policy_state() const EXCLUDES(mutex_);
+  void restore_policy_state(const std::vector<double>& state)
+      EXCLUDES(mutex_);
+  [[nodiscard]] CapacityLedger::Snapshot ledger_snapshot() const
+      EXCLUDES(mutex_) {
+    util::MutexLock lock(mutex_);
     return ledger_.snapshot();
   }
-  void restore_ledger(const CapacityLedger::Snapshot& snapshot, double booked);
+  void restore_ledger(const CapacityLedger::Snapshot& snapshot, double booked)
+      EXCLUDES(mutex_);
 
-  [[nodiscard]] ShardState state() const override {
-    return ShardState{booked_, policy_state(), ledger_.snapshot()};
-  }
-  void restore_state(const ShardState& state) override {
+  [[nodiscard]] ShardState state() const override EXCLUDES(mutex_);
+  void restore_state(const ShardState& state) override EXCLUDES(mutex_) {
     restore_policy_state(state.policy_state);
     restore_ledger(state.ledger, state.booked_compute);
   }
@@ -142,11 +154,15 @@ class ShardRunner : public ShardHandle {
   /// sums, in exactly CapacityLedger::compute_utilization()'s accumulation
   /// order — so a 1-shard service reproduces the monolithic utilization
   /// float for float.
-  void accumulate_utilization(double& used, double& cap) const override;
+  void accumulate_utilization(double& used, double& cap) const override
+      EXCLUDES(mutex_);
 
  private:
-  void thread_main();
-  void decide_round(Slot slot, std::size_t expected);
+  void thread_main() EXCLUDES(mutex_);
+  void decide_round(Slot slot, std::size_t expected) REQUIRES(mutex_);
+  void publish_locked(Slot from) REQUIRES(mutex_);
+  [[nodiscard]] std::vector<double> policy_state_locked() const
+      REQUIRES(mutex_);
 
   enum class Command { kIdle, kDecide, kStop };
 
@@ -158,24 +174,25 @@ class ShardRunner : public ShardHandle {
   Cluster cluster_;                         // the shard's private sub-cluster
   const EnergyModel& energy_;
   const Marketplace& market_;
-  CapacityLedger ledger_;
-  std::unique_ptr<Policy> policy_;
-  const Pdftsp* pdftsp_ = nullptr;  // non-null iff the policy is a Pdftsp
   PriceBoard& board_;
   service::BidQueue inbox_;
-  double booked_ = 0.0;
 
-  mutable std::mutex mutex_;
-  std::condition_variable command_cv_;
-  std::condition_variable done_cv_;
-  Command command_ = Command::kIdle;
-  Slot round_slot_ = 0;
-  std::size_t round_expected_ = 0;
-  bool round_done_ = false;
+  mutable util::Mutex mutex_;
+  util::CondVar command_cv_;
+  util::CondVar done_cv_;
+  CapacityLedger ledger_ GUARDED_BY(mutex_);
+  std::unique_ptr<Policy> policy_ PT_GUARDED_BY(mutex_);
+  /// Non-null iff the policy is a Pdftsp; same pointee as policy_.
+  const Pdftsp* pdftsp_ PT_GUARDED_BY(mutex_) = nullptr;
+  double booked_ GUARDED_BY(mutex_) = 0.0;
+  Command command_ GUARDED_BY(mutex_) = Command::kIdle;
+  Slot round_slot_ GUARDED_BY(mutex_) = 0;
+  std::size_t round_expected_ GUARDED_BY(mutex_) = 0;
+  bool round_done_ GUARDED_BY(mutex_) = false;
   /// A throw inside the round (policy/validation bug) parks here and is
   /// rethrown to the leader from wait_round().
-  std::exception_ptr round_error_;
-  std::vector<RoundResult> results_;
+  std::exception_ptr round_error_ GUARDED_BY(mutex_);
+  std::vector<RoundResult> results_ GUARDED_BY(mutex_);
   std::thread worker_;
 };
 

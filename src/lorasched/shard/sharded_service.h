@@ -243,6 +243,11 @@ class ShardedService {
   service::ServiceMetrics metrics_;
   std::vector<service::DecisionSubscriber*> subscribers_;
 
+  // Documented exemption (DESIGN.md §13): everything below is
+  // leader-thread-only — producers touch only queue_ (internally locked)
+  // and metrics_; shard state crosses threads exclusively through the
+  // round protocol (each handle's own locks) and the seqlock board_.
+  // dirty_ is the single cross-thread flag and stays an atomic.
   std::map<Slot, std::vector<Task>> held_;
   Slot next_slot_ = 0;
   bool finished_ = false;

@@ -1,0 +1,99 @@
+// Annotated mutex / scoped-lock / condition-variable wrappers (DESIGN.md
+// §13). Thin shims over the std primitives that carry the Clang thread
+// safety attributes from thread_annotations.h, so `-Wthread-safety` can
+// prove that every GUARDED_BY member is only touched under its mutex.
+// Zero overhead: everything inlines to the std call.
+//
+// Condition waits: CondVar::wait takes the MutexLock by reference and is
+// deliberately *unannotated* — the analysis treats the capability as held
+// across the wait (the absl convention). Because lambda bodies are
+// analyzed with no capabilities held, call sites use explicit
+//   while (!predicate) cv.wait(lock);
+// loops instead of the predicate-lambda overloads.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#include "lorasched/util/thread_annotations.h"
+
+namespace lorasched::util {
+
+/// std::mutex with the `capability` attribute. Non-recursive — public
+/// entry points that lock internally are annotated EXCLUDES(mutex_) and
+/// call private `_locked` helpers annotated REQUIRES(mutex_).
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() ACQUIRE() { raw_.lock(); }
+  void unlock() RELEASE() { raw_.unlock(); }
+  [[nodiscard]] bool try_lock() TRY_ACQUIRE(true) { return raw_.try_lock(); }
+
+  /// The wrapped std::mutex — CondVar interop only.
+  [[nodiscard]] std::mutex& native() noexcept { return raw_; }
+
+ private:
+  std::mutex raw_;
+};
+
+/// Scoped lock over a Mutex (std::unique_lock underneath). Supports the
+/// early-unlock / re-lock pattern (drop the lock before notifying a
+/// condition variable); the destructor releases only if still held.
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mutex) ACQUIRE(mutex) : lock_(mutex.native()) {}
+  ~MutexLock() RELEASE() {}
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  /// Early release, e.g. to notify after the critical section.
+  void unlock() RELEASE() { lock_.unlock(); }
+  /// Re-acquire after an early unlock().
+  void lock() ACQUIRE() { lock_.lock(); }
+
+  /// The wrapped unique_lock — CondVar interop only.
+  [[nodiscard]] std::unique_lock<std::mutex>& native() noexcept {
+    return lock_;
+  }
+
+ private:
+  std::unique_lock<std::mutex> lock_;
+};
+
+/// Condition variable bound to util::Mutex via MutexLock. Waits atomically
+/// release and re-acquire the caller's lock; see the header comment for
+/// why they carry no thread-safety annotations.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void wait(MutexLock& lock) { cv_.wait(lock.native()); }
+
+  template <class Rep, class Period>
+  std::cv_status wait_for(MutexLock& lock,
+                          const std::chrono::duration<Rep, Period>& timeout) {
+    return cv_.wait_for(lock.native(), timeout);
+  }
+
+  template <class Clock, class Duration>
+  std::cv_status wait_until(
+      MutexLock& lock,
+      const std::chrono::time_point<Clock, Duration>& deadline) {
+    return cv_.wait_until(lock.native(), deadline);
+  }
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace lorasched::util

@@ -1,0 +1,77 @@
+// Clang Thread Safety Analysis attribute macros (DESIGN.md §13).
+//
+// These expand to Clang's `capability` attribute family when compiling
+// with Clang and to nothing elsewhere, so GCC builds are untouched while
+// the CI `thread-safety` job (clang, -Wthread-safety -Werror=thread-safety)
+// proves the lock discipline at compile time. Names follow the canonical
+// set from the Clang documentation; wrap a mutex type with CAPABILITY,
+// mark every member it protects GUARDED_BY, and annotate functions that
+// expect / take / drop the lock with REQUIRES / ACQUIRE / RELEASE.
+//
+// The analysis is intra-procedural and has two blind spots this codebase
+// works around rather than silences:
+//  * lambda bodies are analyzed with no capabilities held, so condition
+//    waits use explicit `while` loops instead of predicate lambdas;
+//  * constructors/destructors are analyzed like any function, so guarded
+//    members are locked even there (or only touched via the init list,
+//    which the analysis does not check).
+#pragma once
+
+#if defined(__clang__)
+#define LORASCHED_THREAD_ATTR_(x) __attribute__((x))
+#else
+#define LORASCHED_THREAD_ATTR_(x)  // no-op outside Clang
+#endif
+
+/// Class attribute: instances of this type are lockable capabilities.
+#define CAPABILITY(x) LORASCHED_THREAD_ATTR_(capability(x))
+
+/// Class attribute: RAII object that acquires on construction and
+/// releases on destruction (std::lock_guard shape).
+#define SCOPED_CAPABILITY LORASCHED_THREAD_ATTR_(scoped_lockable)
+
+/// Data member attribute: reads and writes require holding `x`.
+#define GUARDED_BY(x) LORASCHED_THREAD_ATTR_(guarded_by(x))
+
+/// Pointer member attribute: the pointee (not the pointer) is guarded.
+#define PT_GUARDED_BY(x) LORASCHED_THREAD_ATTR_(pt_guarded_by(x))
+
+/// Function attribute: caller must already hold the given capabilities.
+#define REQUIRES(...) \
+  LORASCHED_THREAD_ATTR_(requires_capability(__VA_ARGS__))
+#define REQUIRES_SHARED(...) \
+  LORASCHED_THREAD_ATTR_(requires_shared_capability(__VA_ARGS__))
+
+/// Function attribute: acquires the capabilities and holds them on return.
+#define ACQUIRE(...) LORASCHED_THREAD_ATTR_(acquire_capability(__VA_ARGS__))
+#define ACQUIRE_SHARED(...) \
+  LORASCHED_THREAD_ATTR_(acquire_shared_capability(__VA_ARGS__))
+
+/// Function attribute: releases capabilities the caller holds on entry.
+#define RELEASE(...) LORASCHED_THREAD_ATTR_(release_capability(__VA_ARGS__))
+#define RELEASE_SHARED(...) \
+  LORASCHED_THREAD_ATTR_(release_shared_capability(__VA_ARGS__))
+
+/// Function attribute: acquires only when the return value equals the
+/// first argument (try_lock shape).
+#define TRY_ACQUIRE(...) \
+  LORASCHED_THREAD_ATTR_(try_acquire_capability(__VA_ARGS__))
+
+/// Function attribute: caller must NOT hold the capabilities (the
+/// function locks them itself; guards against self-deadlock on the
+/// non-recursive std::mutex underneath util::Mutex).
+#define EXCLUDES(...) LORASCHED_THREAD_ATTR_(locks_excluded(__VA_ARGS__))
+
+/// Declaration attributes for documenting lock-ordering rules.
+#define ACQUIRED_BEFORE(...) \
+  LORASCHED_THREAD_ATTR_(acquired_before(__VA_ARGS__))
+#define ACQUIRED_AFTER(...) \
+  LORASCHED_THREAD_ATTR_(acquired_after(__VA_ARGS__))
+
+/// Function attribute: returns a reference to the given capability.
+#define RETURN_CAPABILITY(x) LORASCHED_THREAD_ATTR_(lock_returned(x))
+
+/// Escape hatch — every use must carry a comment proving why the access
+/// is safe (see DESIGN.md §13 for the audit list).
+#define NO_THREAD_SAFETY_ANALYSIS \
+  LORASCHED_THREAD_ATTR_(no_thread_safety_analysis)

@@ -17,7 +17,7 @@ ThreadPool::ThreadPool(std::size_t threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     shutting_down_ = true;
   }
   job_ready_.notify_all();
@@ -26,7 +26,7 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::submit(std::function<void()> job) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     jobs_.push(std::move(job));
     ++in_flight_;
   }
@@ -34,23 +34,23 @@ void ThreadPool::submit(std::function<void()> job) {
 }
 
 void ThreadPool::wait_idle() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+  MutexLock lock(mutex_);
+  while (in_flight_ != 0) all_done_.wait(lock);
 }
 
 void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> job;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      job_ready_.wait(lock, [this] { return shutting_down_ || !jobs_.empty(); });
+      MutexLock lock(mutex_);
+      while (!shutting_down_ && jobs_.empty()) job_ready_.wait(lock);
       if (jobs_.empty()) return;  // shutting down
       job = std::move(jobs_.front());
       jobs_.pop();
     }
     job();
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       --in_flight_;
       if (in_flight_ == 0) all_done_.notify_all();
     }
@@ -59,14 +59,17 @@ void ThreadPool::worker_loop() {
 
 void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
                   const std::function<void(std::size_t)>& body) {
-  std::mutex error_mutex;
+  // first_error is stack-local, so it cannot carry GUARDED_BY (the
+  // attribute only applies to members); error_mutex still serializes the
+  // racing workers.
+  Mutex error_mutex;
   std::exception_ptr first_error;
   for (std::size_t i = begin; i < end; ++i) {
     pool.submit([i, &body, &error_mutex, &first_error] {
       try {
         body(i);
       } catch (...) {
-        std::lock_guard<std::mutex> lock(error_mutex);
+        MutexLock lock(error_mutex);
         if (!first_error) first_error = std::current_exception();
       }
     });

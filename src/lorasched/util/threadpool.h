@@ -5,13 +5,14 @@
 // offline column-generation solver to price multiple tasks concurrently.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "lorasched/util/mutex.h"
+#include "lorasched/util/thread_annotations.h"
 
 namespace lorasched::util {
 
@@ -25,25 +26,25 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   /// Enqueues a job for asynchronous execution.
-  void submit(std::function<void()> job);
+  void submit(std::function<void()> job) EXCLUDES(mutex_);
 
   /// Blocks until every submitted job has finished.
-  void wait_idle();
+  void wait_idle() EXCLUDES(mutex_);
 
   [[nodiscard]] std::size_t thread_count() const noexcept {
     return workers_.size();
   }
 
  private:
-  void worker_loop();
+  void worker_loop() EXCLUDES(mutex_);
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> jobs_;
-  std::mutex mutex_;
-  std::condition_variable job_ready_;
-  std::condition_variable all_done_;
-  std::size_t in_flight_ = 0;
-  bool shutting_down_ = false;
+  Mutex mutex_;
+  std::queue<std::function<void()>> jobs_ GUARDED_BY(mutex_);
+  CondVar job_ready_;
+  CondVar all_done_;
+  std::size_t in_flight_ GUARDED_BY(mutex_) = 0;
+  bool shutting_down_ GUARDED_BY(mutex_) = false;
 };
 
 /// Runs body(i) for i in [begin, end) across the pool's workers and blocks

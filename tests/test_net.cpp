@@ -1104,5 +1104,120 @@ TEST(RemoteService, ObservabilityOnIsBitIdenticalAndFederates) {
   agent->wait();
 }
 
+// --- Concurrency regressions (DESIGN.md §13) --------------------------------
+
+TEST(Transport, StalledPeerCannotWedgeTheFailureDetector) {
+  // Regression: the maintenance thread used to enqueue pings with the
+  // blocking send path, so a peer that stopped reading (full outbox)
+  // parked the very thread that runs the idle-timeout check — two
+  // mutually-stalled peers could deadlock forever. Pings now shed via
+  // try_send() and the detector keeps ticking.
+  Listener listener(0);
+  Socket server_sock;
+  std::thread acceptor([&] { server_sock = accept_one(listener); });
+  Socket client_sock = Socket::connect("127.0.0.1", listener.port());
+  acceptor.join();
+
+  // Tiny kernel buffers so a handful of frames genuinely stalls the
+  // writer against the never-reading peer.
+  const int small = 4 * 1024;
+  setsockopt(server_sock.fd(), SOL_SOCKET, SO_SNDBUF, &small, sizeof(small));
+  setsockopt(client_sock.fd(), SOL_SOCKET, SO_RCVBUF, &small, sizeof(small));
+
+  Mailbox server_mail;
+  Connection::Config watchful;
+  watchful.outbox_capacity = 2;
+  watchful.ping_interval = 50ms;
+  watchful.idle_timeout = 300ms;
+  Connection server(
+      std::move(server_sock), watchful,
+      [&](Frame&& f) { server_mail.on_frame(std::move(f)); },
+      [&](const std::string& r) { server_mail.on_close(r); });
+  // The client never reads and never pings: its socket exists, nothing
+  // else. (client_sock stays alive in this scope so the peer is stalled,
+  // not gone.)
+  const std::vector<std::uint8_t> chunk(64 * 1024, 0xAB);
+  ASSERT_TRUE(server.send(MsgType::kOffer, chunk));   // writer blocks in send()
+  ASSERT_TRUE(server.send(MsgType::kOffer, chunk));   // fills the outbox
+  ASSERT_TRUE(server.send(MsgType::kOffer, chunk));
+
+  // The silent peer must still trip the idle timeout — the maintenance
+  // thread sheds its pings instead of blocking behind the full outbox.
+  ASSERT_TRUE(server_mail.wait_close(5000ms));
+  EXPECT_NE(server_mail.close_reason.find("idle timeout"), std::string::npos);
+  EXPECT_GT(server.sends_shed_full(), 0u);
+  EXPECT_FALSE(server.open());
+}
+
+TEST(RemoteFault, HealthScrapesRaceLinkFailureWithoutDeadlock) {
+  // Regression for the AgentLink lock split: health() (scrape thread,
+  // conn_mutex_ then mutex_, one at a time) must never deadlock or race
+  // against the close handler and mailbox waiters (mutex_). Under TSan
+  // this also proves the two-mutex discipline.
+  const Instance env = make_instance(lorasched::testing::small_scenario(7));
+  auto agent = start_agent(env);
+  auto link = connect_link(env, 1, agent->port(), 500ms);
+  ASSERT_TRUE(link->open());
+  EXPECT_TRUE(link->health().open);
+
+  std::atomic<bool> done{false};
+  std::thread scraper([&] {
+    while (!done.load(std::memory_order_relaxed)) {
+      const AgentLink::Health h = link->health();
+      (void)h;
+    }
+  });
+
+  // Kill the agent while the scraper hammers health().
+  agent->stop();
+  const auto deadline = std::chrono::steady_clock::now() + 5000ms;
+  while (link->open() && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(10ms);
+  }
+  EXPECT_FALSE(link->open());
+
+  // The leader path surfaces the failure via last_error_, not by poking
+  // the transport under mutex_ — an immediate throw, not an rpc_timeout
+  // wait.
+  EXPECT_THROW((void)link->wait(0, MsgType::kRoundResults),
+               shard::ShardUnavailable);
+  const AgentLink::Health h = link->health();
+  EXPECT_FALSE(h.open);
+  EXPECT_FALSE(h.last_error.empty());
+
+  done.store(true);
+  scraper.join();
+}
+
+TEST(RemoteFault, DuplicateHelloFailsTheSessionNotTheAgent) {
+  // Regression: a second Hello inside one session used to rebuild the
+  // PriceBoard while that session's ShardRunners held references into it.
+  // The agent must fail the offending session and keep serving new ones.
+  const Instance env = make_instance(lorasched::testing::small_scenario(3));
+  auto agent = start_agent(env);
+
+  Mailbox mail;
+  Socket sock = Socket::connect("127.0.0.1", agent->port());
+  Connection leader(
+      std::move(sock), {}, [&](Frame&& f) { mail.on_frame(std::move(f)); },
+      [&](const std::string& r) { mail.on_close(r); });
+  const HelloMsg hello = hello_for(env, 1);
+  ASSERT_TRUE(leader.send(MsgType::kHello, encode(hello)));
+  ASSERT_TRUE(mail.wait_frames(1, 5000ms));
+  EXPECT_EQ(mail.frames[0].type, MsgType::kHelloAck);
+
+  ASSERT_TRUE(leader.send(MsgType::kHello, encode(hello)));
+  ASSERT_TRUE(mail.wait_close(5000ms));
+  EXPECT_TRUE(agent->running());
+
+  // A fresh session handshakes normally — the agent routed around the
+  // poisoned one.
+  auto link = connect_link(env, 1, agent->port());
+  EXPECT_TRUE(link->open());
+  EXPECT_GE(agent->sessions_served(), 2u);
+  link->send_shutdown();
+  agent->wait();
+}
+
 }  // namespace
 }  // namespace lorasched::net

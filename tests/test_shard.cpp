@@ -265,6 +265,63 @@ TEST(PriceBoard, SeqlockReadsAreNeverTorn) {
   EXPECT_EQ(last.free_compute, static_cast<double>(kRounds));
 }
 
+TEST(PriceBoard, SeqlockVersionIsEvenOnEveryConsistentRead) {
+  // The DESIGN.md §13 seqlock exemption rests on the version protocol:
+  // odd while a publish is in flight, bumped twice per publish, and read()
+  // only returns data bracketed by two identical even observations. Stress
+  // it with readers sampling the version around every read; under TSan
+  // this is also the data-race proof for the documented exemption.
+  constexpr int kClasses = 2;
+  constexpr Slot kRounds = 10000;
+  PriceBoard board(2, kClasses);
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> violations{0};
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 2; ++r) {
+    readers.emplace_back([&, r] {
+      const int shard = r % board.shard_count();
+      while (!stop.load(std::memory_order_relaxed)) {
+        const std::uint64_t before = board.version(shard);
+        const PriceSnapshot snapshot = board.read(shard);
+        const std::uint64_t after = board.version(shard);
+        // The version never moves backwards, and a read that saw no
+        // concurrent publish (version unchanged and even across it) must
+        // be internally consistent with that stable version's contents.
+        if (after < before) violations.fetch_add(1);
+        if (before == after && before % 2 == 0) {
+          const auto v = static_cast<double>(snapshot.published_slot);
+          for (const ClassPrice& cls : snapshot.classes) {
+            if (snapshot.published_slot >= 0 && cls.free_compute != v) {
+              violations.fetch_add(1);
+            }
+          }
+        }
+      }
+    });
+  }
+
+  PriceSnapshot snapshot;
+  snapshot.classes.resize(kClasses);
+  for (Slot round = 0; round <= kRounds; ++round) {
+    const double v = static_cast<double>(round);
+    snapshot.published_slot = round;
+    snapshot.free_compute = v;
+    for (ClassPrice& cls : snapshot.classes) cls = ClassPrice{v, v, v, v};
+    board.publish(0, snapshot);
+    board.publish(1, snapshot);
+  }
+  stop.store(true);
+  for (auto& t : readers) t.join();
+
+  EXPECT_EQ(violations.load(), 0u);
+  // Quiescent: even, and exactly two bumps per publish.
+  for (int s = 0; s < board.shard_count(); ++s) {
+    EXPECT_EQ(board.version(s) % 2, 0u);
+    EXPECT_EQ(board.version(s), 2u * static_cast<std::uint64_t>(kRounds + 1));
+  }
+}
+
 // --- ShardedService --------------------------------------------------------
 
 TEST(ShardedService, SingleShardMatchesMonolithicExactly) {

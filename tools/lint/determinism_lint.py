@@ -1,0 +1,333 @@
+#!/usr/bin/env python3
+"""Determinism lint for the decision-path directories (DESIGN.md §13).
+
+The scheduler's contract is bit-identical replay: the same bid stream must
+produce the same decisions, payments, and golden fingerprints on every run
+and every host. This lint rejects the constructs that historically break
+that contract, in the directories whose code feeds decisions:
+
+    src/lorasched/core/   pricing, duals, schedule DP
+    src/lorasched/shard/  routing, shard rounds, price board
+    src/lorasched/net/    wire codecs, remote rounds
+
+Rules (regex/hybrid — line-based with comment/string stripping):
+
+  nondeterministic-rand   rand()/srand()/std::random_device/random_shuffle.
+                          Decision code draws randomness only from the
+                          seeded SplitMix/Philox streams in util/rng.
+  wall-clock              time(), clock(), gettimeofday(), localtime(),
+                          std::chrono::system_clock. Wall-clock time must
+                          never reach a decision; steady_clock is allowed
+                          because it only feeds *measurements* (latency
+                          metrics), never decisions.
+  float-equality          ==/!= where an operand is a floating literal or a
+                          float-suggesting name (cost, price, share, ...).
+                          Bit-exact compares that are PART of the
+                          determinism contract (drift detectors, tie-break
+                          orderings) belong in the allowlist with a
+                          justification.
+  unordered-container     std::unordered_map/set declarations. Iteration
+                          order is libstdc++-version- and seed-dependent;
+                          decision paths iterate ordered containers only.
+
+Diagnostics print as file:line: rule: message, and any finding exits
+non-zero. False positives and contract-exempt lines go in
+tools/lint/determinism_allow.txt (format documented there).
+
+    determinism_lint.py [--root DIR] [paths...]   lint tree or given files
+    determinism_lint.py --self-test               prove the rules fire
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import sys
+import tempfile
+
+DECISION_DIRS = (
+    os.path.join("src", "lorasched", "core"),
+    os.path.join("src", "lorasched", "shard"),
+    os.path.join("src", "lorasched", "net"),
+)
+ALLOWLIST = os.path.join("tools", "lint", "determinism_allow.txt")
+
+FLOAT_LITERAL = r"(?:\d+\.\d*|\.\d+)(?:[eE][+-]?\d+)?f?|\d+[eE][+-]?\d+f?"
+# Identifiers that (in this codebase) name double-valued quantities. The
+# list is deliberately curated, not exhaustive: a miss is a gap, a false
+# positive is an allowlist entry — both visible, neither silent.
+FLOATY_NAME = (
+    r"[A-Za-z0-9_.\->\[\]()]*"
+    r"(?:cost|price|payment|welfare|utilit|compute|share|seconds|booked|"
+    r"lambda|phi|alpha|beta|free_|mean_|rate|energy|budget|density)"
+    r"[A-Za-z0-9_.\->\[\]()]*"
+)
+FLOATY_OPERAND = re.compile(
+    r"^(?:{lit}|{name})$".format(lit=FLOAT_LITERAL, name=FLOATY_NAME)
+)
+# Integer-suggesting names rescue operands the floaty regex over-matches
+# (".size()", "free_count", version counters).
+INTY_OPERAND = re.compile(r"(?:size|count|length|version|index|\bid\b|_id\b)",
+                          re.IGNORECASE)
+
+RULES = [
+    (
+        "nondeterministic-rand",
+        re.compile(
+            r"\b(?:rand|srand)\s*\(|std::random_device|\brandom_shuffle\b"
+        ),
+        "unseeded randomness in a decision path (use util/rng streams)",
+    ),
+    (
+        "wall-clock",
+        re.compile(
+            r"std::chrono::system_clock|\btime\s*\(\s*(?:NULL|nullptr|0)?\s*\)"
+            r"|\bgettimeofday\b|\bclock\s*\(\s*\)|\blocaltime\b|\bgmtime\b"
+        ),
+        "wall-clock time in a decision path (decisions depend on slots, "
+        "never on the clock)",
+    ),
+    (
+        "unordered-container",
+        re.compile(r"\bstd::unordered_(?:map|set|multimap|multiset)\b"),
+        "unordered container in a decision path (iteration order is not "
+        "reproducible; use std::map/std::set/vector)",
+    ),
+]
+
+COMPARE = re.compile(r"([^=!<>&|^\s][^=!<>&|^]*?)\s*(==|!=)\s*([^=<>!&|^]+)")
+# The comparison's immediate operands: the token touching each side of the
+# operator (expressions like `return cost != 0.0;` carry leading keywords
+# and trailing punctuation the floaty test must not see).
+LHS_TOKEN = re.compile(r"[\w.\[\]()>-]+$")
+RHS_TOKEN = re.compile(r"^[\w.\[\]()>-]+")
+
+
+def strip_comments_and_strings(line: str, in_block: bool) -> tuple[str, bool]:
+    """Blanks out string/char literals, // and /* */ comments (tracking
+    block-comment state across lines) so rules never fire inside them."""
+    out = []
+    i, n = 0, len(line)
+    while i < n:
+        if in_block:
+            end = line.find("*/", i)
+            if end < 0:
+                return "".join(out), True
+            i = end + 2
+            continue
+        c = line[i]
+        if c == "/" and i + 1 < n and line[i + 1] == "/":
+            break
+        if c == "/" and i + 1 < n and line[i + 1] == "*":
+            in_block = True
+            i += 2
+            continue
+        if c in "\"'":
+            quote = c
+            out.append(quote)
+            i += 1
+            while i < n:
+                if line[i] == "\\":
+                    i += 2
+                    continue
+                if line[i] == quote:
+                    break
+                i += 1
+            out.append(quote)
+            i += 1
+            continue
+        out.append(c)
+        i += 1
+    return "".join(out), in_block
+
+
+def operand_is_floaty(text: str) -> bool:
+    text = text.strip().strip("()")
+    if not text or INTY_OPERAND.search(text):
+        return False
+    return bool(FLOATY_OPERAND.match(text))
+
+
+def float_equality_findings(code: str) -> list[str]:
+    findings = []
+    for m in COMPARE.finditer(code):
+        op = m.group(2)
+        lhs_match = LHS_TOKEN.search(m.group(1).strip())
+        rhs_match = RHS_TOKEN.search(m.group(3).strip())
+        lhs = lhs_match.group(0) if lhs_match else ""
+        rhs = rhs_match.group(0) if rhs_match else ""
+        if operand_is_floaty(lhs) or operand_is_floaty(rhs):
+            findings.append(
+                "floating-point {} comparison (decision paths compare "
+                "through explicit tolerances or documented bit-exact "
+                "contracts — allowlist the latter)".format(op)
+            )
+    return findings
+
+
+class Allowlist:
+    """Lines of the form  path|rule|substring  (see determinism_allow.txt).
+
+    An entry suppresses a finding when the path suffix matches, the rule
+    matches, and the offending line contains the substring — line numbers
+    are deliberately not used, so entries survive unrelated edits."""
+
+    def __init__(self, path: str):
+        self.entries: list[tuple[str, str, str]] = []
+        self.used = [False] * 0
+        if not os.path.exists(path):
+            return
+        with open(path, encoding="utf-8") as fh:
+            for raw in fh:
+                stripped = raw.strip()
+                if not stripped or stripped.startswith("#"):
+                    continue
+                parts = stripped.split("|", 2)
+                if len(parts) != 3:
+                    print(
+                        "{}: malformed allowlist entry: {}".format(path, raw),
+                        file=sys.stderr,
+                    )
+                    sys.exit(2)
+                self.entries.append((parts[0], parts[1], parts[2]))
+        self.used = [False] * len(self.entries)
+
+    def suppresses(self, path: str, rule: str, line: str) -> bool:
+        norm = path.replace(os.sep, "/")
+        for idx, (epath, erule, esub) in enumerate(self.entries):
+            if norm.endswith(epath) and rule == erule and esub in line:
+                self.used[idx] = True
+                return True
+        return False
+
+
+def lint_file(path: str, allow: Allowlist) -> list[str]:
+    diagnostics = []
+    try:
+        with open(path, encoding="utf-8", errors="replace") as fh:
+            lines = fh.readlines()
+    except OSError as err:
+        return ["{}: unreadable: {}".format(path, err)]
+    in_block = False
+    for lineno, raw in enumerate(lines, start=1):
+        code, in_block = strip_comments_and_strings(raw.rstrip("\n"), in_block)
+        if not code.strip():
+            continue
+        hits = []
+        for rule, pattern, message in RULES:
+            if pattern.search(code):
+                hits.append((rule, message))
+        for message in float_equality_findings(code):
+            hits.append(("float-equality", message))
+        for rule, message in hits:
+            if allow.suppresses(path, rule, raw):
+                continue
+            diagnostics.append(
+                "{}:{}: {}: {}".format(path, lineno, rule, message)
+            )
+    return diagnostics
+
+
+def collect_files(root: str, paths: list[str]) -> list[str]:
+    if paths:
+        return paths
+    files = []
+    for sub in DECISION_DIRS:
+        base = os.path.join(root, sub)
+        for dirpath, _, names in os.walk(base):
+            for name in sorted(names):
+                if name.endswith((".h", ".cpp", ".cc", ".hpp")):
+                    files.append(os.path.join(dirpath, name))
+    return sorted(files)
+
+
+BAD_EXAMPLE = """\
+// Seeded bad example: every construct below must be caught.
+#include <ctime>
+#include <unordered_map>
+double jitter() {
+  return rand() / 7.0;                       // nondeterministic-rand
+}
+long stamp() {
+  return time(nullptr);                       // wall-clock
+}
+bool same_price(double price_a, double price_b) {
+  return price_a == price_b;                  // float-equality (literal-free)
+}
+bool warm(double cost) {
+  return cost != 0.0;                         // float-equality (literal)
+}
+std::unordered_map<int, double> prices;       // unordered-container
+// rand() inside a comment must NOT fire.
+const char* s = "rand() inside a string";     // nor inside a string
+"""
+
+SELF_TEST_EXPECT = {
+    "nondeterministic-rand": 1,
+    "wall-clock": 1,
+    "float-equality": 2,
+    "unordered-container": 1,
+}
+
+
+def self_test() -> int:
+    with tempfile.TemporaryDirectory() as tmp:
+        bad = os.path.join(tmp, "bad_example.cpp")
+        with open(bad, "w", encoding="utf-8") as fh:
+            fh.write(BAD_EXAMPLE)
+        diagnostics = lint_file(bad, Allowlist(os.path.join(tmp, "none")))
+    counts: dict[str, int] = {}
+    for diag in diagnostics:
+        rule = diag.split(": ")[1]
+        counts[rule] = counts.get(rule, 0) + 1
+    ok = counts == SELF_TEST_EXPECT
+    for diag in diagnostics:
+        print(diag)
+    if not ok:
+        print(
+            "self-test FAILED: expected {} got {}".format(
+                SELF_TEST_EXPECT, counts
+            ),
+            file=sys.stderr,
+        )
+        return 1
+    print("self-test passed: every rule fires on the seeded bad example")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", default=".", help="repo root (default: .)")
+    parser.add_argument(
+        "--self-test",
+        action="store_true",
+        help="lint a seeded bad example and verify every rule fires",
+    )
+    parser.add_argument("paths", nargs="*", help="explicit files to lint")
+    args = parser.parse_args()
+
+    if args.self_test:
+        return self_test()
+
+    allow = Allowlist(os.path.join(args.root, ALLOWLIST))
+    diagnostics = []
+    for path in collect_files(args.root, args.paths):
+        diagnostics.extend(lint_file(path, allow))
+    for diag in diagnostics:
+        print(diag)
+    stale = [
+        "|".join(entry)
+        for entry, used in zip(allow.entries, allow.used)
+        if not used and not args.paths
+    ]
+    for entry in stale:
+        print("stale allowlist entry (matched nothing): {}".format(entry))
+    if diagnostics or stale:
+        return 1
+    print("determinism lint: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
