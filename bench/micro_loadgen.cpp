@@ -1,0 +1,139 @@
+// micro_loadgen — load-generation subsystem microbenchmark.
+//
+// Two passes, no service in the loop, so the numbers isolate the loadgen
+// side of a soak run (DESIGN.md §14):
+//  * generate: per-source BidFirehose stream synthesis throughput — the
+//    offered-rate ceiling one firehose process can sustain if sending were
+//    free. The soak target (>= 100k bids/s offered) needs this comfortably
+//    above that.
+//  * account: SoakMetrics offered+response round-trip throughput — the
+//    accounting cost per bid on the consumer side (two map touches, two
+//    histogram records). This bounds how fast a single soak consumer can
+//    keep up with the decision stream.
+// The accounting pass replays every generated bid as offered -> admitted,
+// so it also re-checks the clean-run invariant end to end.
+//
+//   ./micro_loadgen --sources 4 --rate 200 --horizon 288 --mix burst
+//       --json-out BENCH_micro_loadgen.json
+#include <cstddef>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "lorasched/experiments/scenario.h"
+#include "lorasched/loadgen/firehose.h"
+#include "lorasched/loadgen/soak_metrics.h"
+#include "lorasched/obs/json.h"
+#include "lorasched/util/cli.h"
+#include "lorasched/util/timing.h"
+
+using namespace lorasched;
+
+int main(int argc, char** argv) try {
+  const util::Cli cli(argc, argv);
+  cli.allow_only({"sources", "rate", "horizon", "mix", "seed", "nodes",
+                  "json-out"});
+  const auto sources = static_cast<std::uint32_t>(cli.get_int("sources", 4));
+  const double rate = cli.get_double("rate", 200.0);
+  const auto horizon = static_cast<Slot>(cli.get_int("horizon", 288));
+  const loadgen::ArrivalMix mix =
+      loadgen::parse_arrival_mix(cli.get("mix", "poisson"));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 42));
+
+  ScenarioConfig scenario;
+  scenario.nodes = static_cast<int>(cli.get_int("nodes", 20));
+  scenario.horizon = horizon;
+  scenario.seed = seed;
+  const Instance env = make_instance(scenario);
+
+  // Pass 1: stream synthesis. One warm-up source pages everything in.
+  {
+    loadgen::FirehoseConfig warm;
+    warm.seed = seed;
+    warm.mix = mix;
+    warm.rate_per_slot = rate;
+    warm.horizon = horizon;
+    warm.taskgen = scenario.taskgen;
+    (void)loadgen::BidFirehose(warm, env.cluster, env.energy, env.market)
+        .generate();
+  }
+  std::vector<std::vector<Task>> streams;
+  streams.reserve(sources);
+  const util::Stopwatch gen_wall;
+  for (std::uint32_t s = 0; s < sources; ++s) {
+    loadgen::FirehoseConfig config;
+    config.source = s;
+    config.seed = seed;
+    config.mix = mix;
+    config.rate_per_slot = rate;
+    config.horizon = horizon;
+    config.taskgen = scenario.taskgen;
+    loadgen::BidFirehose firehose(config, env.cluster, env.energy,
+                                  env.market);
+    streams.push_back(firehose.generate());
+  }
+  const double gen_seconds = gen_wall.seconds();
+  std::size_t total_bids = 0;
+  for (const auto& stream : streams) total_bids += stream.size();
+  const double gen_rate =
+      gen_seconds > 0.0 ? static_cast<double>(total_bids) / gen_seconds : 0.0;
+
+  // Pass 2: accounting round trips (offered then admitted, per bid).
+  auto soak = std::make_unique<loadgen::SoakMetrics>();
+  const util::Stopwatch acct_wall;
+  for (std::uint32_t s = 0; s < sources; ++s) {
+    for (const Task& bid : streams[s]) {
+      soak->record_offered(s, loadgen::bid_seq(bid.id),
+                           loadgen::SoakMetrics::now_ns());
+      soak->record_response(s, loadgen::bid_seq(bid.id),
+                            loadgen::SoakStatus::kAdmitted,
+                            loadgen::SoakMetrics::now_ns());
+    }
+  }
+  const double acct_seconds = acct_wall.seconds();
+  const double acct_rate =
+      acct_seconds > 0.0 ? static_cast<double>(total_bids) / acct_seconds
+                         : 0.0;
+  const loadgen::SoakReport report = soak->report();
+  if (!report.clean()) {
+    throw std::runtime_error("accounting replay was not clean");
+  }
+
+  std::cout << "micro_loadgen: " << sources << " sources x rate " << rate
+            << " x horizon " << horizon << " (" << to_string(mix)
+            << ") -> " << total_bids << " bids\n";
+  std::cout << "  generate    " << gen_rate << " bids/s (" << gen_seconds
+            << "s total)\n";
+  std::cout << "  account     " << acct_rate
+            << " offered+response round trips/s (" << acct_seconds
+            << "s total)\n";
+  std::cout << "  accounting  clean, latency count "
+            << report.latency.count << ", p99 "
+            << report.latency.percentile(99.0) * 1e6 << "us\n";
+
+  if (cli.has("json-out")) {
+    obs::Json::Object doc;
+    doc["bench"] = obs::Json("micro_loadgen");
+    obs::Json::Object cfg;
+    cfg["sources"] = obs::Json(static_cast<double>(sources));
+    cfg["rate_per_slot"] = obs::Json(rate);
+    cfg["horizon"] = obs::Json(static_cast<double>(horizon));
+    cfg["mix"] = obs::Json(to_string(mix));
+    cfg["bids"] = obs::Json(static_cast<double>(total_bids));
+    doc["config"] = obs::Json(std::move(cfg));
+    doc["generate_bids_per_sec"] = obs::Json(gen_rate);
+    doc["account_round_trips_per_sec"] = obs::Json(acct_rate);
+    doc["clean"] = obs::Json(report.clean());
+
+    std::ofstream out(cli.get("json-out", ""));
+    if (!out) throw std::runtime_error("cannot open json output file");
+    out << obs::Json(std::move(doc)).dump() << "\n";
+  }
+  return 0;
+} catch (const std::exception& e) {
+  std::cerr << "error: " << e.what() << "\n";
+  return 1;
+}

@@ -42,6 +42,7 @@
 #include "lorasched/core/online_params.h"
 #include "lorasched/experiments/scenario.h"
 #include "lorasched/io/serialize.h"
+#include "lorasched/net/firehose_ingest.h"
 #include "lorasched/net/http.h"
 #include "lorasched/net/remote_shard.h"
 #include "lorasched/obs/cluster_trace.h"
@@ -94,7 +95,7 @@ int main(int argc, char** argv) try {
                   "checkpoint", "checkpoint-every", "resume", "out", "verbose",
                   "metrics-out", "metrics-every", "agents", "rpc-timeout-ms",
                   "heartbeat-ms", "timing", "shutdown-agents", "http-port",
-                  "trace-out"});
+                  "trace-out", "ingest-port", "ingest-clients"});
 
   ScenarioConfig config;
   config.seed = static_cast<std::uint64_t>(cli.get_int("seed", 42));
@@ -179,6 +180,28 @@ int main(int argc, char** argv) try {
         shard_id, std::move(members), ctx);
   };
   shard::ShardedService server(env, remote_handles, sharded_config);
+
+  // Wire bid ingest (lorasched_firehose clients), same seam as
+  // lorasched_shard_serve: sequenced bids in, decisions back per
+  // connection, queue closed once every expected source ended its stream.
+  const bool wire_ingest = cli.has("ingest-port");
+  std::unique_ptr<net::FirehoseIngest> ingest;
+  std::unique_ptr<net::IngestSubscriber> ingest_sub;
+  if (wire_ingest) {
+    net::FirehoseIngest::Config ingest_config;
+    ingest_config.port =
+        static_cast<std::uint16_t>(cli.get_int("ingest-port", 0));
+    ingest_config.expected_streams = cli.get_int("ingest-clients", 1);
+    ingest_config.metrics = &server.registry();
+    ingest = std::make_unique<net::FirehoseIngest>(
+        ingest_config, [&server](const Task& bid) { return server.submit(bid); },
+        [&server] { server.close(); });
+    ingest_sub = std::make_unique<net::IngestSubscriber>(*ingest);
+    server.add_subscriber(ingest_sub.get());
+    std::cerr << "bid ingest on 127.0.0.1:" << ingest->port()
+              << " (expecting " << ingest_config.expected_streams
+              << " stream(s))\n";
+  }
 
   const std::string metrics_path = cli.get("metrics-out", "");
   const auto metrics_every = cli.get_int("metrics-every", 0);
@@ -272,49 +295,55 @@ int main(int argc, char** argv) try {
 
   std::atomic<std::uint64_t> fed{0};
   std::atomic<std::uint64_t> shed{0};
-  std::thread feeder([&] {
-    std::ifstream file;
-    const std::string bids = cli.get("bids", "-");
-    std::istream* in = &std::cin;
-    if (bids != "-") {
-      file.open(bids);
-      if (!file) {
-        std::cerr << "error: cannot open bids file " << bids << "\n";
-        server.close();
-        return;
+  // With wire ingest and no --bids file there is nothing to feed locally —
+  // stdin is not consumed.
+  std::thread feeder;
+  if (!wire_ingest || cli.has("bids")) {
+    feeder = std::thread([&] {
+      std::ifstream file;
+      const std::string bids = cli.get("bids", "-");
+      std::istream* in = &std::cin;
+      if (bids != "-") {
+        file.open(bids);
+        if (!file) {
+          std::cerr << "error: cannot open bids file " << bids << "\n";
+          if (!wire_ingest) server.close();
+          return;
+        }
+        in = &file;
       }
-      in = &file;
-    }
-    std::string line;
-    while (std::getline(*in, line)) {
-      if (line.empty() || line.front() == '#') continue;
-      Task bid;
-      try {
-        bid = io::parse_bid_line(line);
-      } catch (const std::exception& e) {
-        std::cerr << "skipping malformed bid line: " << e.what() << "\n";
-        shed.fetch_add(1);
-        continue;
+      std::string line;
+      while (std::getline(*in, line)) {
+        if (line.empty() || line.front() == '#') continue;
+        Task bid;
+        try {
+          bid = io::parse_bid_line(line);
+        } catch (const std::exception& e) {
+          std::cerr << "skipping malformed bid line: " << e.what() << "\n";
+          shed.fetch_add(1);
+          continue;
+        }
+        if (already_known.count(bid.id) != 0) continue;
+        const auto result = server.submit(bid);
+        if (result == service::SubmitResult::kAccepted) {
+          fed.fetch_add(1);
+        } else {
+          shed.fetch_add(1);
+        }
       }
-      if (already_known.count(bid.id) != 0) continue;
-      const auto result = server.submit(bid);
-      if (result == service::SubmitResult::kAccepted) {
-        fed.fetch_add(1);
-      } else {
-        shed.fetch_add(1);
-      }
-    }
-    server.close();
-  });
+      if (!wire_ingest) server.close();
+    });
+  }
 
   const auto slot_period =
       std::chrono::milliseconds(cli.get_int("slot-ms", 0));
+  // Under wire ingest the queue closes when every source ended its stream.
   if (slot_period.count() == 0) {
     while (!server.queue().closed() || server.queue().depth() != 0) {
       server.queue().wait_available();
       server.pump();
     }
-    feeder.join();
+    if (feeder.joinable()) feeder.join();
   }
   const auto checkpoint_every = cli.get_int("checkpoint-every", 0);
   const std::string checkpoint_path = cli.get("checkpoint", "");
@@ -344,6 +373,8 @@ int main(int argc, char** argv) try {
     }
   }
   if (feeder.joinable()) feeder.join();
+  // Flush tail decisions to firehose clients before tearing the links down.
+  if (ingest) ingest->stop();
 
   const auto ops = server.metrics();
   const std::uint64_t rerouted = server.rerouted_bids();

@@ -11,11 +11,10 @@
 #include <fstream>
 #include <iostream>
 #include <stdexcept>
-#include <thread>
 
 #include "lorasched/experiments/scenario.h"
 #include "lorasched/io/serialize.h"
-#include "lorasched/service/slot_clock.h"
+#include "lorasched/loadgen/arrival.h"
 #include "lorasched/util/cli.h"
 
 using namespace lorasched;
@@ -48,19 +47,11 @@ int main(int argc, char** argv) try {
   // slot clock (same --slot-ms) sees them exactly when the simulator would.
   const auto slot_period =
       std::chrono::milliseconds(cli.get_int("slot-ms", 0));
-  const service::SlotClock clock(slot_period);
-  std::size_t next = 0;
-  for (Slot now = 0; now < instance.horizon; ++now) {
-    while (next < instance.tasks.size() &&
-           instance.tasks[next].arrival <= now) {
-      std::cout << io::format_bid_line(instance.tasks[next]) << '\n';
-      ++next;
-    }
-    std::cout.flush();
-    if (next >= instance.tasks.size()) break;
-    clock.wait_slot_end(now);
-  }
-  std::cerr << "fed " << next << " bids over " << instance.horizon
+  const std::size_t fed = loadgen::pace_bids(
+      instance.tasks, slot_period,
+      [](const Task& task) { std::cout << io::format_bid_line(task) << '\n'; },
+      [](Slot) { std::cout.flush(); });
+  std::cerr << "fed " << fed << " bids over " << instance.horizon
             << " slots\n";
   return 0;
 } catch (const std::exception& e) {

@@ -34,6 +34,7 @@
 #include "lorasched/core/online_params.h"
 #include "lorasched/experiments/scenario.h"
 #include "lorasched/io/serialize.h"
+#include "lorasched/net/firehose_ingest.h"
 #include "lorasched/net/http.h"
 #include "lorasched/service/slot_clock.h"
 #include "lorasched/shard/sharded_service.h"
@@ -80,7 +81,8 @@ int main(int argc, char** argv) try {
   cli.allow_only({"scenario", "seed", "shards", "reroute", "router-seed",
                   "bids", "slot-ms", "queue-cap", "backpressure", "late",
                   "checkpoint", "checkpoint-every", "resume", "out", "verbose",
-                  "metrics-out", "metrics-every", "timing", "http-port"});
+                  "metrics-out", "metrics-every", "timing", "http-port",
+                  "ingest-port", "ingest-clients"});
 
   ScenarioConfig config;
   config.seed = static_cast<std::uint64_t>(cli.get_int("seed", 42));
@@ -122,6 +124,29 @@ int main(int argc, char** argv) try {
       env, shard::make_pdftsp_factory(pdftsp_config_for(env)), sharded_config);
   LogSubscriber log(cli.get_bool("verbose", false));
   server.add_subscriber(&log);
+
+  // Wire bid ingest (lorasched_firehose clients): sequenced bids arrive as
+  // kBidSubmit frames and decisions stream back per connection. Once every
+  // expected source ends its stream, the quiesce callback closes the queue
+  // — so the local feeder must NOT close it when wire ingest is active.
+  const bool wire_ingest = cli.has("ingest-port");
+  std::unique_ptr<net::FirehoseIngest> ingest;
+  std::unique_ptr<net::IngestSubscriber> ingest_sub;
+  if (wire_ingest) {
+    net::FirehoseIngest::Config ingest_config;
+    ingest_config.port =
+        static_cast<std::uint16_t>(cli.get_int("ingest-port", 0));
+    ingest_config.expected_streams = cli.get_int("ingest-clients", 1);
+    ingest_config.metrics = &server.registry();
+    ingest = std::make_unique<net::FirehoseIngest>(
+        ingest_config, [&server](const Task& bid) { return server.submit(bid); },
+        [&server] { server.close(); });
+    ingest_sub = std::make_unique<net::IngestSubscriber>(*ingest);
+    server.add_subscriber(ingest_sub.get());
+    std::cerr << "bid ingest on 127.0.0.1:" << ingest->port()
+              << " (expecting " << ingest_config.expected_streams
+              << " stream(s))\n";
+  }
 
   const std::string metrics_path = cli.get("metrics-out", "");
   const auto metrics_every = cli.get_int("metrics-every", 0);
@@ -185,51 +210,57 @@ int main(int argc, char** argv) try {
 
   std::atomic<std::uint64_t> fed{0};
   std::atomic<std::uint64_t> shed{0};
-  std::thread feeder([&] {
-    std::ifstream file;
-    const std::string bids = cli.get("bids", "-");
-    std::istream* in = &std::cin;
-    if (bids != "-") {
-      file.open(bids);
-      if (!file) {
-        std::cerr << "error: cannot open bids file " << bids << "\n";
-        server.close();
-        return;
+  // With wire ingest and no --bids file there is nothing to feed locally —
+  // stdin is not consumed.
+  std::thread feeder;
+  if (!wire_ingest || cli.has("bids")) {
+    feeder = std::thread([&] {
+      std::ifstream file;
+      const std::string bids = cli.get("bids", "-");
+      std::istream* in = &std::cin;
+      if (bids != "-") {
+        file.open(bids);
+        if (!file) {
+          std::cerr << "error: cannot open bids file " << bids << "\n";
+          if (!wire_ingest) server.close();
+          return;
+        }
+        in = &file;
       }
-      in = &file;
-    }
-    std::string line;
-    while (std::getline(*in, line)) {
-      if (line.empty() || line.front() == '#') continue;
-      Task bid;
-      try {
-        bid = io::parse_bid_line(line);
-      } catch (const std::exception& e) {
-        std::cerr << "skipping malformed bid line: " << e.what() << "\n";
-        shed.fetch_add(1);
-        continue;
+      std::string line;
+      while (std::getline(*in, line)) {
+        if (line.empty() || line.front() == '#') continue;
+        Task bid;
+        try {
+          bid = io::parse_bid_line(line);
+        } catch (const std::exception& e) {
+          std::cerr << "skipping malformed bid line: " << e.what() << "\n";
+          shed.fetch_add(1);
+          continue;
+        }
+        if (already_known.count(bid.id) != 0) continue;
+        const auto result = server.submit(bid);
+        if (result == service::SubmitResult::kAccepted) {
+          fed.fetch_add(1);
+        } else {
+          shed.fetch_add(1);
+        }
       }
-      if (already_known.count(bid.id) != 0) continue;
-      const auto result = server.submit(bid);
-      if (result == service::SubmitResult::kAccepted) {
-        fed.fetch_add(1);
-      } else {
-        shed.fetch_add(1);
-      }
-    }
-    server.close();
-  });
+      if (!wire_ingest) server.close();
+    });
+  }
 
   const auto slot_period =
       std::chrono::milliseconds(cli.get_int("slot-ms", 0));
   // slot-ms 0 = offline replay: pump the whole stream in first (see
   // lorasched_serve for why a plain join would deadlock past --queue-cap).
+  // Under wire ingest the queue closes when every source ended its stream.
   if (slot_period.count() == 0) {
     while (!server.queue().closed() || server.queue().depth() != 0) {
       server.queue().wait_available();
       server.pump();
     }
-    feeder.join();
+    if (feeder.joinable()) feeder.join();
   }
   const auto checkpoint_every = cli.get_int("checkpoint-every", 0);
   const std::string checkpoint_path = cli.get("checkpoint", "");
@@ -259,6 +290,8 @@ int main(int argc, char** argv) try {
     }
   }
   if (feeder.joinable()) feeder.join();
+  // Flush tail decisions to firehose clients before tearing the links down.
+  if (ingest) ingest->stop();
 
   const auto ops = server.metrics();
   const std::uint64_t rerouted = server.rerouted_bids();

@@ -89,6 +89,15 @@ void roundtrip_payload(const Frame& frame) {
       case MsgType::kMetricsSnapshot:
         again = encode(decode_metrics_snapshot(frame.payload));
         break;
+      case MsgType::kBidSubmit:
+        again = encode(decode_bid_submit(frame.payload));
+        break;
+      case MsgType::kBidDecision:
+        again = encode(decode_bid_decision(frame.payload));
+        break;
+      case MsgType::kBidStreamEnd:
+        again = encode(decode_bid_stream_end(frame.payload));
+        break;
       default:
         return;  // Ping/Pong/Shutdown carry no typed payload
     }

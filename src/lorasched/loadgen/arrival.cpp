@@ -1,0 +1,110 @@
+#include "lorasched/loadgen/arrival.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "lorasched/service/slot_clock.h"
+
+namespace lorasched::loadgen {
+
+const char* to_string(ArrivalMix mix) noexcept {
+  switch (mix) {
+    case ArrivalMix::kPoisson: return "poisson";
+    case ArrivalMix::kBurst: return "burst";
+    case ArrivalMix::kDiurnal: return "diurnal";
+    case ArrivalMix::kMLaaS: return "mlaas";
+    case ArrivalMix::kPhilly: return "philly";
+    case ArrivalMix::kHelios: return "helios";
+  }
+  return "unknown";
+}
+
+ArrivalMix parse_arrival_mix(const std::string& name) {
+  if (name == "poisson") return ArrivalMix::kPoisson;
+  if (name == "burst") return ArrivalMix::kBurst;
+  if (name == "diurnal") return ArrivalMix::kDiurnal;
+  if (name == "mlaas") return ArrivalMix::kMLaaS;
+  if (name == "philly") return ArrivalMix::kPhilly;
+  if (name == "helios") return ArrivalMix::kHelios;
+  throw std::invalid_argument(
+      "unknown arrival mix \"" + name +
+      "\" (want poisson|burst|diurnal|mlaas|philly|helios)");
+}
+
+std::vector<double> arrival_rates(ArrivalMix mix, Slot horizon,
+                                  double base_rate, std::uint64_t seed) {
+  if (horizon <= 0) {
+    throw std::invalid_argument("arrival horizon must be positive");
+  }
+  if (base_rate < 0.0) {
+    throw std::invalid_argument("arrival base rate must be non-negative");
+  }
+  const auto n = static_cast<std::size_t>(horizon);
+  switch (mix) {
+    case ArrivalMix::kPoisson:
+      return std::vector<double>(n, base_rate);
+    case ArrivalMix::kBurst: {
+      // On/off square wave with period kBurstPeriod and duty kBurstDuty;
+      // the on-rate is scaled so the mean over any whole cycle (and, up to
+      // partial-cycle truncation, the horizon) is base_rate.
+      const auto on_slots = static_cast<Slot>(
+          std::ceil(kBurstDuty * static_cast<double>(kBurstPeriod)));
+      const double on_rate = base_rate * static_cast<double>(kBurstPeriod) /
+                             static_cast<double>(on_slots);
+      std::vector<double> rates(n, 0.0);
+      for (Slot t = 0; t < horizon; ++t) {
+        if (t % kBurstPeriod < on_slots) {
+          rates[static_cast<std::size_t>(t)] = on_rate;
+        }
+      }
+      return rates;
+    }
+    case ArrivalMix::kDiurnal: {
+      constexpr double kPi = 3.14159265358979323846;
+      std::vector<double> rates(n, 0.0);
+      double sum = 0.0;
+      for (Slot t = 0; t < horizon; ++t) {
+        const double phase =
+            2.0 * kPi * static_cast<double>(t) / static_cast<double>(horizon);
+        const double r = std::max(0.0, 1.0 + 0.8 * std::sin(phase));
+        rates[static_cast<std::size_t>(t)] = r;
+        sum += r;
+      }
+      // Renormalize the clamped shape so the mean is exactly base_rate.
+      const double scale =
+          sum > 0.0 ? base_rate * static_cast<double>(horizon) / sum : 0.0;
+      for (double& r : rates) r *= scale;
+      return rates;
+    }
+    case ArrivalMix::kMLaaS:
+      return trace_rates(TraceKind::kMLaaS, horizon, base_rate, seed);
+    case ArrivalMix::kPhilly:
+      return trace_rates(TraceKind::kPhilly, horizon, base_rate, seed);
+    case ArrivalMix::kHelios:
+      return trace_rates(TraceKind::kHelios, horizon, base_rate, seed);
+  }
+  throw std::invalid_argument("unknown arrival mix");
+}
+
+std::size_t pace_bids(const std::vector<Task>& bids,
+                      std::chrono::nanoseconds period,
+                      const std::function<void(const Task&)>& emit,
+                      const std::function<void(Slot)>& on_slot_end) {
+  if (!emit) throw std::invalid_argument("pace_bids needs an emit sink");
+  const service::SlotClock clock(period);
+  std::size_t next = 0;
+  Slot now = 0;
+  while (next < bids.size()) {
+    while (next < bids.size() && bids[next].arrival <= now) {
+      emit(bids[next]);
+      ++next;
+    }
+    if (on_slot_end) on_slot_end(now);
+    if (next >= bids.size()) break;
+    clock.wait_slot_end(now);
+    ++now;
+  }
+  return next;
+}
+
+}  // namespace lorasched::loadgen

@@ -1,0 +1,72 @@
+// Arrival shaping for the load-generation subsystem (DESIGN.md §14).
+//
+// Two concerns live here because every bid emitter in the repo needs both:
+//  * arrival_rates() — seeded, deterministic per-slot Poisson rates for the
+//    soak harness's workload mixes: constant-rate, on/off burst, diurnal
+//    sinusoid, and the three Fig. 7 trace shapes (delegated to
+//    workload/traces). Every mix is normalized so the mean per-slot rate
+//    equals `base_rate`, making mixes comparable at equal offered load.
+//  * pace_bids() — the one paced-emission loop shared by lorasched_feed
+//    (line-delimited stdout), lorasched_firehose (framed wire submits), and
+//    any future emitter: walk an arrival-sorted bid stream on a SlotClock
+//    and hand each bid to a sink during its arrival slot. A zero period
+//    degenerates to an immediate ordered replay.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "lorasched/types.h"
+#include "lorasched/workload/task.h"
+#include "lorasched/workload/traces.h"
+
+namespace lorasched::loadgen {
+
+/// Workload arrival mixes for the bid firehose. The trace-shaped entries
+/// reuse the Fig. 7 shape generators (workload/traces.h).
+enum class ArrivalMix {
+  /// Homogeneous Poisson at base_rate per slot.
+  kPoisson,
+  /// On/off square wave: kBurstDuty of the slots carry base_rate/kBurstDuty,
+  /// the rest are silent (mean = base_rate). Stresses queue backpressure.
+  kBurst,
+  /// Sinusoidal day shape: rate(t) = base * (1 + 0.8 sin(2πt/horizon)),
+  /// clamped at 0 and renormalized to mean base_rate.
+  kDiurnal,
+  kMLaaS,
+  kPhilly,
+  kHelios,
+};
+
+/// Burst mix duty cycle: fraction of slots that are "on".
+inline constexpr double kBurstDuty = 0.25;
+/// Burst mix period in slots (one on/off cycle).
+inline constexpr Slot kBurstPeriod = 12;
+
+[[nodiscard]] const char* to_string(ArrivalMix mix) noexcept;
+/// Parses "poisson|burst|diurnal|mlaas|philly|helios"; throws
+/// std::invalid_argument on anything else.
+[[nodiscard]] ArrivalMix parse_arrival_mix(const std::string& name);
+
+/// Per-slot Poisson arrival rates for the mix; deterministic in every
+/// argument and with mean ≈ base_rate over the horizon. `seed` only
+/// matters for the trace shapes (their spike placement is seeded).
+[[nodiscard]] std::vector<double> arrival_rates(ArrivalMix mix, Slot horizon,
+                                                double base_rate,
+                                                std::uint64_t seed);
+
+/// Paced emission: walks `bids` (must be sorted by arrival slot) and calls
+/// `emit` for each bid during its arrival slot, sleeping on an absolute
+/// slot clock between slots (`period` zero = no sleeping, one ordered
+/// burst). `on_slot_end`, when set, fires after each slot's bids were
+/// emitted (feed uses it to flush the pipe once per slot). Returns the
+/// number of bids emitted.
+std::size_t pace_bids(const std::vector<Task>& bids,
+                      std::chrono::nanoseconds period,
+                      const std::function<void(const Task&)>& emit,
+                      const std::function<void(Slot)>& on_slot_end = {});
+
+}  // namespace lorasched::loadgen

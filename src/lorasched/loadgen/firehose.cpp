@@ -1,0 +1,89 @@
+#include "lorasched/loadgen/firehose.h"
+
+#include <stdexcept>
+#include <string>
+
+#include "lorasched/util/rng.h"
+
+namespace lorasched::loadgen {
+
+TaskId encode_bid_id(std::uint32_t source, std::uint64_t seq) {
+  if (source > kMaxBidSource) {
+    throw std::invalid_argument("firehose source " + std::to_string(source) +
+                                " exceeds the id-packing limit of " +
+                                std::to_string(kMaxBidSource));
+  }
+  if (seq > kMaxBidSeq) {
+    throw std::invalid_argument("firehose sequence " + std::to_string(seq) +
+                                " exceeds the id-packing limit of " +
+                                std::to_string(kMaxBidSeq));
+  }
+  return static_cast<TaskId>((static_cast<std::uint64_t>(source)
+                              << kBidSeqBits) |
+                             seq);
+}
+
+std::uint32_t bid_source(TaskId id) noexcept {
+  return static_cast<std::uint32_t>(static_cast<std::uint32_t>(id) >>
+                                    kBidSeqBits);
+}
+
+std::uint64_t bid_seq(TaskId id) noexcept {
+  return static_cast<std::uint64_t>(id) & kMaxBidSeq;
+}
+
+std::uint64_t firehose_stream_seed(std::uint64_t seed,
+                                   std::uint32_t source) noexcept {
+  // splitmix64 over (seed, source) — sources get independent substreams
+  // and the map is stable across platforms.
+  std::uint64_t state = seed + 0x9e3779b97f4a7c15ull * (source + 1);
+  return util::splitmix64(state);
+}
+
+BidFirehose::BidFirehose(FirehoseConfig config, const Cluster& cluster,
+                         const EnergyModel& energy, const Marketplace& market)
+    : config_(config),
+      taskgen_(config.taskgen, cluster, energy, market,
+               firehose_stream_seed(config.seed, config.source)),
+      stream_seed_(firehose_stream_seed(config.seed, config.source)) {
+  if (config_.source > kMaxBidSource) {
+    throw std::invalid_argument("firehose source id out of range");
+  }
+  if (config_.horizon <= 0) {
+    throw std::invalid_argument("firehose horizon must be positive");
+  }
+  if (config_.arrival_window < 0 || config_.arrival_window > config_.horizon) {
+    throw std::invalid_argument(
+        "firehose arrival window must lie within [0, horizon]");
+  }
+  if (config_.rate_per_slot < 0.0) {
+    throw std::invalid_argument("firehose rate must be non-negative");
+  }
+}
+
+std::vector<Task> BidFirehose::generate() {
+  const Slot window = config_.arrival_window == 0 ? config_.horizon
+                                                  : config_.arrival_window;
+  const std::vector<double> rates =
+      arrival_rates(config_.mix, window, config_.rate_per_slot, stream_seed_);
+  // A dedicated substream for the arrival counts keeps them independent of
+  // the task-body draws (which TaskGenerator keys off the task id).
+  util::Rng arrivals(stream_seed_ ^ 0xa5a5a5a5a5a5a5a5ull);
+  std::vector<Task> bids;
+  std::uint64_t seq = 0;
+  for (Slot t = 0; t < window; ++t) {
+    const int count = arrivals.poisson(rates[static_cast<std::size_t>(t)]);
+    for (int i = 0; i < count; ++i) {
+      if (seq > kMaxBidSeq) {
+        throw std::length_error(
+            "firehose source exhausted its 2^24 sequence space");
+      }
+      bids.push_back(taskgen_.draw(encode_bid_id(config_.source, seq), t,
+                                   config_.horizon));
+      ++seq;
+    }
+  }
+  return bids;
+}
+
+}  // namespace lorasched::loadgen

@@ -1,0 +1,97 @@
+// BidFirehose — seeded, deterministic per-source bid-stream generation for
+// the soak subsystem (DESIGN.md §14).
+//
+// Each firehose *source* models one independent bid origin (think: one
+// tenant frontend). A source draws its arrival counts from a seeded
+// arrival mix (loadgen/arrival.h) and its task bodies from the same
+// TaskGenerator the scenario assembler uses, so soak bids are
+// distributionally indistinguishable from paper-scale trace bids. Every
+// bid is stamped with
+//  * a task id that packs (source, per-source sequence number) — the
+//    monotone sequence the SoakMetrics consumer accounts loss /
+//    out-of-order / duplicates against; and
+//  * (at send time, by the driver) a send timestamp on the sender's
+//    monotonic clock, carried out-of-band (wire echo or the SoakMetrics
+//    offered map), never inside the Task — decisions stay a pure function
+//    of the bid stream.
+//
+// Determinism contract: generate() is a pure function of
+// (config, cluster, energy, market) — same seed, same stream, bit for bit.
+// tests/test_loadgen.cpp pins this; the acceptance soak relies on it to
+// reproduce identical offered streams across runs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "lorasched/cluster/cluster.h"
+#include "lorasched/cluster/energy.h"
+#include "lorasched/loadgen/arrival.h"
+#include "lorasched/types.h"
+#include "lorasched/workload/task.h"
+#include "lorasched/workload/taskgen.h"
+#include "lorasched/workload/vendor.h"
+
+namespace lorasched::loadgen {
+
+/// TaskId bit split: TaskId is a signed 32-bit int, so ids pack the source
+/// into bits [24, 30] and the sequence number into bits [0, 24) — up to
+/// 127 sources with ~16.7M bids each per run, all ids non-negative and
+/// source-major ordered (a slot batch sorted by task id is sorted by
+/// (source, seq), which is what keeps per-source decisions in order).
+inline constexpr int kBidSeqBits = 24;
+inline constexpr std::uint64_t kMaxBidSeq =
+    (std::uint64_t{1} << kBidSeqBits) - 1;
+inline constexpr std::uint32_t kMaxBidSource = 126;
+
+/// Packs (source, seq) into a TaskId; throws std::invalid_argument past
+/// the limits above.
+[[nodiscard]] TaskId encode_bid_id(std::uint32_t source, std::uint64_t seq);
+[[nodiscard]] std::uint32_t bid_source(TaskId id) noexcept;
+[[nodiscard]] std::uint64_t bid_seq(TaskId id) noexcept;
+
+struct FirehoseConfig {
+  /// This source's identity: substream seed, id prefix, accounting key.
+  std::uint32_t source = 0;
+  /// Shared run seed; each source derives an independent substream from
+  /// (seed, source), so a fleet of sources is reproducible from one seed.
+  std::uint64_t seed = 42;
+  ArrivalMix mix = ArrivalMix::kPoisson;
+  /// Mean bid arrivals per slot for this source.
+  double rate_per_slot = 50.0;
+  /// Service horizon the arrival slots are generated against.
+  Slot horizon = 144;
+  /// Arrivals are confined to [0, arrival_window) so the tail of the
+  /// horizon can drain every queued bid (zero-loss soak runs need the
+  /// service to reach every bid before done()). 0 means horizon.
+  Slot arrival_window = 0;
+  TaskGenConfig taskgen{};
+};
+
+class BidFirehose {
+ public:
+  /// The cluster/energy/market references are borrowed for the generator's
+  /// lifetime (they calibrate bids exactly like make_instance does).
+  BidFirehose(FirehoseConfig config, const Cluster& cluster,
+              const EnergyModel& energy, const Marketplace& market);
+
+  /// The full sequenced stream for this source, sorted by (arrival, seq)
+  /// with seq dense from 0. Deterministic in the constructor arguments.
+  [[nodiscard]] std::vector<Task> generate();
+
+  [[nodiscard]] const FirehoseConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  FirehoseConfig config_;
+  TaskGenerator taskgen_;
+  std::uint64_t stream_seed_ = 0;
+};
+
+/// The per-source substream seed (splitmix64 over seed and source) — shared
+/// with tests so expectations can be derived independently.
+[[nodiscard]] std::uint64_t firehose_stream_seed(std::uint64_t seed,
+                                                 std::uint32_t source) noexcept;
+
+}  // namespace lorasched::loadgen

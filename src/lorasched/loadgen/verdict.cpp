@@ -1,0 +1,237 @@
+#include "lorasched/loadgen/verdict.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <stdexcept>
+
+namespace lorasched::loadgen {
+
+namespace {
+
+constexpr const char* kSchema = "lorasched-soak-v1";
+
+obs::Json histogram_json(const obs::HistogramSnapshot& snap) {
+  obs::Json::Array counts;
+  counts.reserve(snap.counts.size());
+  for (const std::uint64_t c : snap.counts) counts.emplace_back(c);
+  obs::Json::Object hist;
+  hist["min"] = snap.options.min;
+  hist["max"] = snap.options.max;
+  hist["buckets_per_octave"] = snap.options.buckets_per_octave;
+  hist["counts"] = obs::Json(std::move(counts));
+
+  obs::Json::Object out;
+  out["count"] = snap.count;
+  out["sum"] = snap.sum;
+  out["mean"] = snap.mean();
+  out["min"] = snap.min_seen;
+  out["max"] = snap.max_seen;
+  out["p50"] = snap.percentile(50.0);
+  out["p90"] = snap.percentile(90.0);
+  out["p99"] = snap.percentile(99.0);
+  out["p999"] = snap.percentile(99.9);
+  out["histogram"] = obs::Json(std::move(hist));
+  return obs::Json(std::move(out));
+}
+
+obs::HistogramSnapshot parse_histogram(const obs::Json& doc) {
+  obs::HistogramSnapshot snap;
+  const obs::Json& hist = doc.at("histogram");
+  snap.options.min = hist.at("min").as_number();
+  snap.options.max = hist.at("max").as_number();
+  snap.options.buckets_per_octave =
+      static_cast<int>(hist.at("buckets_per_octave").as_number());
+  for (const obs::Json& c : hist.at("counts").as_array()) {
+    snap.counts.push_back(static_cast<std::uint64_t>(c.as_number()));
+  }
+  snap.count = static_cast<std::uint64_t>(doc.at("count").as_number());
+  snap.sum = doc.at("sum").as_number();
+  snap.min_seen = doc.at("min").as_number();
+  snap.max_seen = doc.at("max").as_number();
+  return snap;
+}
+
+void put_counters(obs::Json::Object& out, const SoakSourceReport& row) {
+  out["offered"] = row.offered;
+  out["responded"] = row.responded;
+  out["admitted"] = row.admitted;
+  out["rejected"] = row.rejected;
+  out["shed"] = row.shed;
+  out["lost"] = row.lost;
+  out["out_of_order"] = row.out_of_order;
+  out["duplicates"] = row.duplicates;
+  out["unknown"] = row.unknown;
+  out["reoffered"] = row.reoffered;
+}
+
+SoakSourceReport parse_counters(const obs::Json& doc) {
+  SoakSourceReport row;
+  row.offered = static_cast<std::uint64_t>(doc.at("offered").as_number());
+  row.responded = static_cast<std::uint64_t>(doc.at("responded").as_number());
+  row.admitted = static_cast<std::uint64_t>(doc.at("admitted").as_number());
+  row.rejected = static_cast<std::uint64_t>(doc.at("rejected").as_number());
+  row.shed = static_cast<std::uint64_t>(doc.at("shed").as_number());
+  row.lost = static_cast<std::uint64_t>(doc.at("lost").as_number());
+  row.out_of_order =
+      static_cast<std::uint64_t>(doc.at("out_of_order").as_number());
+  row.duplicates =
+      static_cast<std::uint64_t>(doc.at("duplicates").as_number());
+  row.unknown = static_cast<std::uint64_t>(doc.at("unknown").as_number());
+  row.reoffered = static_cast<std::uint64_t>(doc.at("reoffered").as_number());
+  return row;
+}
+
+void merge_histogram(obs::HistogramSnapshot& into,
+                     const obs::HistogramSnapshot& from) {
+  if (from.count == 0 && from.counts.empty()) return;
+  if (into.counts.empty()) {
+    into = from;
+    return;
+  }
+  if (into.counts.size() != from.counts.size() ||
+      into.options.min != from.options.min ||
+      into.options.max != from.options.max ||
+      into.options.buckets_per_octave != from.options.buckets_per_octave) {
+    throw std::invalid_argument(
+        "cannot merge soak histograms with different bucket grids");
+  }
+  for (std::size_t i = 0; i < into.counts.size(); ++i) {
+    into.counts[i] += from.counts[i];
+  }
+  if (from.count > 0) {
+    if (into.count == 0) {
+      into.min_seen = from.min_seen;
+      into.max_seen = from.max_seen;
+    } else {
+      into.min_seen = std::min(into.min_seen, from.min_seen);
+      into.max_seen = std::max(into.max_seen, from.max_seen);
+    }
+  }
+  into.count += from.count;
+  into.sum += from.sum;
+}
+
+void accumulate(SoakSourceReport& into, const SoakSourceReport& from) {
+  into.offered += from.offered;
+  into.responded += from.responded;
+  into.admitted += from.admitted;
+  into.rejected += from.rejected;
+  into.shed += from.shed;
+  into.lost += from.lost;
+  into.out_of_order += from.out_of_order;
+  into.duplicates += from.duplicates;
+  into.unknown += from.unknown;
+  into.reoffered += from.reoffered;
+}
+
+}  // namespace
+
+obs::Json verdict_json(const SoakReport& report) {
+  obs::Json::Object out;
+  out["schema"] = kSchema;
+  out["ok"] = report.clean();
+  put_counters(out, report.totals);
+  out["elapsed_seconds"] = report.elapsed_seconds;
+  const double elapsed =
+      report.elapsed_seconds > 0.0 ? report.elapsed_seconds : 1.0;
+  out["offered_per_second"] =
+      static_cast<double>(report.totals.offered) / elapsed;
+  out["responded_per_second"] =
+      static_cast<double>(report.totals.responded) / elapsed;
+  out["latency"] = histogram_json(report.latency);
+  out["admit_latency"] = histogram_json(report.admit_latency);
+
+  obs::Json::Array timeline;
+  timeline.reserve(report.responses_per_second.size());
+  for (const std::uint64_t n : report.responses_per_second) {
+    timeline.emplace_back(n);
+  }
+  out["throughput_timeline"] = obs::Json(std::move(timeline));
+
+  obs::Json::Array sources;
+  sources.reserve(report.sources.size());
+  for (const SoakSourceReport& row : report.sources) {
+    obs::Json::Object src;
+    src["source"] = row.source;
+    put_counters(src, row);
+    sources.emplace_back(std::move(src));
+  }
+  out["sources"] = obs::Json(std::move(sources));
+  return obs::Json(std::move(out));
+}
+
+SoakReport parse_verdict(const obs::Json& doc) {
+  const obs::Json* schema = doc.find("schema");
+  if (schema == nullptr || schema->as_string() != kSchema) {
+    throw std::invalid_argument("not a " + std::string(kSchema) +
+                                " verdict document");
+  }
+  SoakReport report;
+  report.totals = parse_counters(doc);
+  report.elapsed_seconds = doc.at("elapsed_seconds").as_number();
+  report.latency = parse_histogram(doc.at("latency"));
+  report.admit_latency = parse_histogram(doc.at("admit_latency"));
+  for (const obs::Json& n : doc.at("throughput_timeline").as_array()) {
+    report.responses_per_second.push_back(
+        static_cast<std::uint64_t>(n.as_number()));
+  }
+  for (const obs::Json& src : doc.at("sources").as_array()) {
+    SoakSourceReport row = parse_counters(src);
+    row.source = static_cast<std::uint32_t>(src.at("source").as_number());
+    report.sources.push_back(row);
+  }
+  return report;
+}
+
+SoakReport merge_reports(const std::vector<SoakReport>& parts) {
+  SoakReport merged;
+  std::map<std::uint32_t, SoakSourceReport> by_source;
+  for (const SoakReport& part : parts) {
+    for (const SoakSourceReport& row : part.sources) {
+      auto [it, inserted] = by_source.emplace(row.source, row);
+      if (!inserted) {
+        accumulate(it->second, row);
+      }
+    }
+    merge_histogram(merged.latency, part.latency);
+    merge_histogram(merged.admit_latency, part.admit_latency);
+    if (part.responses_per_second.size() >
+        merged.responses_per_second.size()) {
+      merged.responses_per_second.resize(part.responses_per_second.size(), 0);
+    }
+    for (std::size_t i = 0; i < part.responses_per_second.size(); ++i) {
+      merged.responses_per_second[i] += part.responses_per_second[i];
+    }
+    merged.elapsed_seconds =
+        std::max(merged.elapsed_seconds, part.elapsed_seconds);
+  }
+  merged.sources.reserve(by_source.size());
+  for (const auto& [source, row] : by_source) {
+    accumulate(merged.totals, row);
+    merged.sources.push_back(row);
+  }
+  return merged;
+}
+
+int write_verdict(const SoakReport& report, const std::string& path) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) {
+      throw std::runtime_error("cannot open " + tmp + " for writing");
+    }
+    verdict_json(report).write(out);
+    out << '\n';
+    if (!out.flush()) {
+      throw std::runtime_error("failed writing " + tmp);
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    throw std::runtime_error("failed renaming " + tmp + " to " + path);
+  }
+  return report.clean() ? 0 : 1;
+}
+
+}  // namespace lorasched::loadgen

@@ -1,0 +1,46 @@
+// SoakVerdict — the report writer that turns a SoakReport into the
+// BENCH_soak.json artifact and the harness exit code (DESIGN.md §14).
+//
+// Verdict schema (one JSON object):
+//   schema: "lorasched-soak-v1"
+//   ok: bool — lost == out_of_order == duplicates == unknown == 0
+//   offered / responded / admitted / rejected / shed /
+//   lost / out_of_order / duplicates / unknown / reoffered: totals
+//   elapsed_seconds, offered_per_second, responded_per_second: throughput
+//   latency / admit_latency: { count, sum, mean, min, max,
+//     p50, p90, p99, p999,
+//     histogram: { min, max, buckets_per_octave, counts: [...] } }
+//   throughput_timeline: responses per wall-clock second since start
+//   sources: per-source rows of the same counter set
+//
+// The raw histogram bucket counts ride along precisely so partial verdicts
+// from independent processes can be merged *exactly*: merge_verdicts() sums
+// counters and bucket counts element-wise and re-derives the quantiles from
+// the merged grid — no quantile-of-quantiles approximation. The firehose
+// driver's fork-per-process mode leans on this.
+#pragma once
+
+#include <string>
+
+#include "lorasched/loadgen/soak_metrics.h"
+#include "lorasched/obs/json.h"
+
+namespace lorasched::loadgen {
+
+/// The full verdict document for a report.
+[[nodiscard]] obs::Json verdict_json(const SoakReport& report);
+
+/// Inverse of verdict_json for the fields merging needs; throws
+/// std::invalid_argument on schema mismatch.
+[[nodiscard]] SoakReport parse_verdict(const obs::Json& doc);
+
+/// Exact element-wise merge of per-process partial reports: counters and
+/// histogram bucket counts sum, per-source rows join on source id,
+/// timelines align on the second index, elapsed takes the max.
+[[nodiscard]] SoakReport merge_reports(const std::vector<SoakReport>& parts);
+
+/// Writes verdict_json(report) to `path` atomically (tmp + rename).
+/// Returns the process exit code: 0 when report.clean(), 1 otherwise.
+int write_verdict(const SoakReport& report, const std::string& path);
+
+}  // namespace lorasched::loadgen

@@ -613,4 +613,71 @@ ErrorMsg decode_error(const std::vector<std::uint8_t>& p) {
   return m;
 }
 
+std::vector<std::uint8_t> encode(const BidSubmitMsg& m) {
+  WireWriter w;
+  w.put_varint(m.source);
+  w.put_varint(m.seq);
+  w.put_svarint(m.send_ns);
+  put_task(w, m.task);
+  return w.take();
+}
+
+BidSubmitMsg decode_bid_submit(const std::vector<std::uint8_t>& p) {
+  WireReader r(p);
+  BidSubmitMsg m;
+  m.source = static_cast<std::uint32_t>(r.get_varint("bid_submit source"));
+  m.seq = r.get_varint("bid_submit seq");
+  m.send_ns = r.get_svarint("bid_submit send_ns");
+  m.task = get_task(r);
+  r.expect_done("bid_submit");
+  return m;
+}
+
+std::vector<std::uint8_t> encode(const BidDecisionMsg& m) {
+  WireWriter w;
+  w.put_varint(m.source);
+  w.put_varint(m.seq);
+  w.put_svarint(m.send_ns);
+  w.put_svarint(m.task);
+  w.put_u8(static_cast<std::uint8_t>(m.status));
+  w.put_f64(m.payment);
+  w.put_svarint(m.decided_slot);
+  return w.take();
+}
+
+BidDecisionMsg decode_bid_decision(const std::vector<std::uint8_t>& p) {
+  WireReader r(p);
+  BidDecisionMsg m;
+  m.source = static_cast<std::uint32_t>(r.get_varint("bid_decision source"));
+  m.seq = r.get_varint("bid_decision seq");
+  m.send_ns = r.get_svarint("bid_decision send_ns");
+  m.task = static_cast<TaskId>(r.get_svarint("bid_decision task"));
+  const std::uint8_t status = r.get_u8("bid_decision status");
+  if (status > static_cast<std::uint8_t>(BidStatus::kShedClosed)) {
+    throw WireError("wire: unknown bid_decision status " +
+                    std::to_string(int{status}));
+  }
+  m.status = static_cast<BidStatus>(status);
+  m.payment = r.get_f64("bid_decision payment");
+  m.decided_slot = static_cast<Slot>(r.get_svarint("bid_decision slot"));
+  r.expect_done("bid_decision");
+  return m;
+}
+
+std::vector<std::uint8_t> encode(const BidStreamEndMsg& m) {
+  WireWriter w;
+  w.put_varint(m.source);
+  w.put_varint(m.offered);
+  return w.take();
+}
+
+BidStreamEndMsg decode_bid_stream_end(const std::vector<std::uint8_t>& p) {
+  WireReader r(p);
+  BidStreamEndMsg m;
+  m.source = static_cast<std::uint32_t>(r.get_varint("bid_stream_end source"));
+  m.offered = r.get_varint("bid_stream_end offered");
+  r.expect_done("bid_stream_end");
+  return m;
+}
+
 }  // namespace lorasched::net

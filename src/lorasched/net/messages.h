@@ -168,6 +168,48 @@ struct MetricsSnapshotMsg {
   std::vector<obs::MetricsGroup> groups;
 };
 
+// --- Bid-ingest stream (DESIGN.md §14) --------------------------------------
+
+/// One sequenced bid from a firehose source. `send_ns` is an opaque
+/// timestamp on the *sender's* monotonic clock; the server never interprets
+/// it, only echoes it back in the decision so a stateless client can
+/// compute end-to-end latency without clock synchronization.
+struct BidSubmitMsg {
+  std::uint32_t source = 0;
+  std::uint64_t seq = 0;
+  std::int64_t send_ns = 0;
+  Task task;
+};
+
+/// Terminal status of one submitted bid. Wire-stable values — matches
+/// loadgen::SoakStatus.
+enum class BidStatus : std::uint8_t {
+  kAdmitted = 0,
+  kRejected = 1,
+  kShedFull = 2,    // ingest queue full (BackpressureMode::kReject)
+  kShedClosed = 3,  // service no longer accepting bids
+};
+
+/// The server's answer to one BidSubmit: decision (or shed), payment for
+/// admitted bids, the slot it was decided at, and the echoed send stamp.
+struct BidDecisionMsg {
+  std::uint32_t source = 0;
+  std::uint64_t seq = 0;
+  std::int64_t send_ns = 0;
+  TaskId task = -1;
+  BidStatus status = BidStatus::kRejected;
+  Money payment = 0.0;
+  Slot decided_slot = -1;
+};
+
+/// End-of-stream marker: this source offered `offered` bids and will send
+/// no more. When every expected ingest client has ended its stream, the
+/// server closes its bid queue so a horizon-free run can quiesce.
+struct BidStreamEndMsg {
+  std::uint32_t source = 0;
+  std::uint64_t offered = 0;
+};
+
 // --- Payload codecs ---------------------------------------------------------
 
 [[nodiscard]] std::vector<std::uint8_t> encode(const HelloMsg& m);
@@ -187,6 +229,9 @@ struct MetricsSnapshotMsg {
 [[nodiscard]] std::vector<std::uint8_t> encode(const RestoreAckMsg& m);
 [[nodiscard]] std::vector<std::uint8_t> encode(const ErrorMsg& m);
 [[nodiscard]] std::vector<std::uint8_t> encode(const MetricsSnapshotMsg& m);
+[[nodiscard]] std::vector<std::uint8_t> encode(const BidSubmitMsg& m);
+[[nodiscard]] std::vector<std::uint8_t> encode(const BidDecisionMsg& m);
+[[nodiscard]] std::vector<std::uint8_t> encode(const BidStreamEndMsg& m);
 
 [[nodiscard]] HelloMsg decode_hello(const std::vector<std::uint8_t>& p);
 [[nodiscard]] HelloAckMsg decode_hello_ack(const std::vector<std::uint8_t>& p);
@@ -216,6 +261,11 @@ struct MetricsSnapshotMsg {
     const std::vector<std::uint8_t>& p);
 [[nodiscard]] ErrorMsg decode_error(const std::vector<std::uint8_t>& p);
 [[nodiscard]] MetricsSnapshotMsg decode_metrics_snapshot(
+    const std::vector<std::uint8_t>& p);
+[[nodiscard]] BidSubmitMsg decode_bid_submit(const std::vector<std::uint8_t>& p);
+[[nodiscard]] BidDecisionMsg decode_bid_decision(
+    const std::vector<std::uint8_t>& p);
+[[nodiscard]] BidStreamEndMsg decode_bid_stream_end(
     const std::vector<std::uint8_t>& p);
 
 // --- Shared sub-codecs (exposed for fuzzing and tests) ----------------------

@@ -227,7 +227,7 @@ class Connection {
   // Config.metrics is unset). Registered once in the constructor; the hot
   // path is a single relaxed add.
   static constexpr std::size_t kTypeSlots =
-      static_cast<std::size_t>(MsgType::kMetricsSnapshot) + 1;
+      static_cast<std::size_t>(MsgType::kBidStreamEnd) + 1;
   std::array<obs::Counter*, kTypeSlots> tx_frames_{};
   std::array<obs::Counter*, kTypeSlots> tx_bytes_{};
   std::array<obs::Counter*, kTypeSlots> rx_frames_{};

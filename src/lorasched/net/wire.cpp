@@ -26,6 +26,9 @@ const char* to_string(MsgType type) noexcept {
     case MsgType::kShutdown: return "shutdown";
     case MsgType::kError: return "error";
     case MsgType::kMetricsSnapshot: return "metrics_snapshot";
+    case MsgType::kBidSubmit: return "bid_submit";
+    case MsgType::kBidDecision: return "bid_decision";
+    case MsgType::kBidStreamEnd: return "bid_stream_end";
   }
   return "unknown";
 }
@@ -34,7 +37,7 @@ namespace {
 
 [[nodiscard]] bool known_type(std::uint8_t raw) noexcept {
   return raw >= static_cast<std::uint8_t>(MsgType::kHello) &&
-         raw <= static_cast<std::uint8_t>(MsgType::kMetricsSnapshot);
+         raw <= static_cast<std::uint8_t>(MsgType::kBidStreamEnd);
 }
 
 [[noreturn]] void fail(const char* what, const char* why) {

@@ -71,6 +71,10 @@ enum class MsgType : std::uint8_t {
   kShutdown = 18,  // leader -> agent: drain and exit
   kError = 19,     // agent -> leader: round failed (message = what())
   kMetricsSnapshot = 20,  // agent -> leader: cumulative metrics push
+  // Bid-ingest stream (firehose client -> serving process), DESIGN.md §14.
+  kBidSubmit = 21,     // client -> server: one sequenced bid
+  kBidDecision = 22,   // server -> client: decision/shed for one bid
+  kBidStreamEnd = 23,  // client -> server: this source is done sending
 };
 
 [[nodiscard]] const char* to_string(MsgType type) noexcept;

@@ -42,6 +42,7 @@ AdmissionService::AdmissionService(const Instance& env, Policy& policy,
   if (const auto* pdftsp = dynamic_cast<const Pdftsp*>(&policy_)) {
     pdftsp->register_metrics(metrics_.registry());
   }
+  queue_.register_metrics(metrics_.registry());
 }
 
 SubmitResult AdmissionService::submit(const Task& bid) {

@@ -1,8 +1,10 @@
 #include "lorasched/service/bid_queue.h"
 
+#include <chrono>
 #include <stdexcept>
 #include <utility>
 
+#include "lorasched/obs/registry.h"
 #include "lorasched/obs/span.h"
 
 namespace lorasched::service {
@@ -29,14 +31,27 @@ SubmitResult BidQueue::submit(Task bid) {
   // span answers "how long do producers stall", not just lock cost.
   LORASCHED_SPAN("queue/submit");
   util::MutexLock lock(mutex_);
-  if (closed_) return SubmitResult::kRejectedClosed;
+  if (closed_) {
+    if (rejected_metric_ != nullptr) rejected_metric_->add();
+    return SubmitResult::kRejectedClosed;
+  }
   if (bids_.size() >= capacity_) {
     if (mode_ == BackpressureMode::kReject) {
       ++rejected_full_;
+      if (rejected_metric_ != nullptr) rejected_metric_->add();
       return SubmitResult::kRejectedFull;
     }
+    const auto stall_begin = std::chrono::steady_clock::now();
     while (!closed_ && bids_.size() >= capacity_) space_free_.wait(lock);
-    if (closed_) return SubmitResult::kRejectedClosed;
+    if (block_metric_ != nullptr) {
+      block_metric_->record(std::chrono::duration<double>(
+                                std::chrono::steady_clock::now() - stall_begin)
+                                .count());
+    }
+    if (closed_) {
+      if (rejected_metric_ != nullptr) rejected_metric_->add();
+      return SubmitResult::kRejectedClosed;
+    }
   }
   bids_.push_back(std::move(bid));
   ++accepted_;
@@ -98,6 +113,21 @@ std::uint64_t BidQueue::accepted_total() const {
 std::uint64_t BidQueue::rejected_full_total() const {
   util::MutexLock lock(mutex_);
   return rejected_full_;
+}
+
+void BidQueue::register_metrics(obs::MetricsRegistry& registry) {
+  obs::Counter& rejected = registry.counter(
+      "lorasched_bids_rejected_total",
+      "Submits turned away at the bid queue (at capacity under kReject, or "
+      "after close())");
+  // Stalls range from microseconds (consumer mid-drain) to full slots.
+  obs::Histogram& block = registry.histogram(
+      "lorasched_bid_queue_block_seconds",
+      obs::HistogramOptions{.min = 1e-6, .max = 100.0},
+      "Producer stall time under kBlock backpressure, recorded per stall");
+  util::MutexLock lock(mutex_);
+  rejected_metric_ = &rejected;
+  block_metric_ = &block;
 }
 
 }  // namespace lorasched::service

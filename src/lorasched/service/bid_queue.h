@@ -15,6 +15,12 @@
 #include "lorasched/util/thread_annotations.h"
 #include "lorasched/workload/task.h"
 
+namespace lorasched::obs {
+class Counter;
+class Histogram;
+class MetricsRegistry;
+}  // namespace lorasched::obs
+
 namespace lorasched::service {
 
 enum class BackpressureMode {
@@ -69,6 +75,14 @@ class BidQueue {
   [[nodiscard]] std::uint64_t accepted_total() const EXCLUDES(mutex_);
   [[nodiscard]] std::uint64_t rejected_full_total() const EXCLUDES(mutex_);
 
+  /// Binds registry instruments to this queue (get-or-create by name):
+  ///  * lorasched_bids_rejected_total — submits turned away, full + closed;
+  ///  * lorasched_bid_queue_block_seconds — how long kBlock producers
+  ///    stalled waiting for the consumer to drain space (only actual waits
+  ///    are recorded, so count == number of stalls, not submits).
+  /// Call before producers start submitting (service constructors do).
+  void register_metrics(obs::MetricsRegistry& registry) EXCLUDES(mutex_);
+
  private:
   const std::size_t capacity_;
   const BackpressureMode mode_;
@@ -79,6 +93,10 @@ class BidQueue {
   bool closed_ GUARDED_BY(mutex_) = false;
   std::uint64_t accepted_ GUARDED_BY(mutex_) = 0;
   std::uint64_t rejected_full_ GUARDED_BY(mutex_) = 0;
+  // Bound once by register_metrics() before producers exist; the metric
+  // objects themselves record with relaxed atomics.
+  obs::Counter* rejected_metric_ GUARDED_BY(mutex_) = nullptr;
+  obs::Histogram* block_metric_ GUARDED_BY(mutex_) = nullptr;
 };
 
 }  // namespace lorasched::service

@@ -83,6 +83,7 @@ ShardedService::ShardedService(const Instance& env,
   phase_publish_ = &metrics_.registry().histogram(
       "lorasched_round_publish_seconds", phase_options,
       "Per slot: refreshing prices of shards that sat the slot out");
+  queue_.register_metrics(metrics_.registry());
 }
 
 void ShardedService::init_shards(const Instance& env,

@@ -6,9 +6,10 @@ produce the same decisions, payments, and golden fingerprints on every run
 and every host. This lint rejects the constructs that historically break
 that contract, in the directories whose code feeds decisions:
 
-    src/lorasched/core/   pricing, duals, schedule DP
-    src/lorasched/shard/  routing, shard rounds, price board
-    src/lorasched/net/    wire codecs, remote rounds
+    src/lorasched/core/     pricing, duals, schedule DP
+    src/lorasched/shard/    routing, shard rounds, price board
+    src/lorasched/net/      wire codecs, remote rounds
+    src/lorasched/loadgen/  firehose streams (seed-reproducible offered load)
 
 Rules (regex/hybrid — line-based with comment/string stripping):
 
@@ -50,6 +51,7 @@ DECISION_DIRS = (
     os.path.join("src", "lorasched", "core"),
     os.path.join("src", "lorasched", "shard"),
     os.path.join("src", "lorasched", "net"),
+    os.path.join("src", "lorasched", "loadgen"),
 )
 ALLOWLIST = os.path.join("tools", "lint", "determinism_allow.txt")
 
