@@ -4,12 +4,15 @@
 // of end-to-end welfare (the DESIGN.md §5 knob), and the raw cost of a
 // LORASCHED_SPAN in its disabled and enabled states.
 //
-// With --json-out the binary instead runs the price-cache A/B harness
-// (DESIGN.md §5): the fig08 paper-scale cell replayed through the legacy
-// (price_cache = false), cached, and cached + parallel-candidate arms,
-// cross-checked bit-identical via an outcome fingerprint, measuring
-// decisions/sec and steady-state allocations per ScheduleDp::find via the
-// global operator new hook below. Emits BENCH_core.json (CI artifact):
+// With --json-out the binary instead runs the kernel A/B harness
+// (DESIGN.md §5/§5c): the fig08 paper-scale cell replayed through the
+// legacy (price_cache = false), scalar (cached, SIMD off), and simd
+// (cached, runtime-dispatched kernel) find arms, and through the uncached /
+// cached / cached+parallel / cached+batched decision arms (the last one
+// drives Pdftsp::on_slot with epoch-batched admission), cross-checked
+// bit-identical via an outcome fingerprint, measuring decisions/sec and
+// steady-state allocations per ScheduleDp::find via the global operator
+// new hook below. Emits BENCH_core.json (CI artifact):
 //
 //   ./micro_core --json-out BENCH_core.json
 #include <benchmark/benchmark.h>
@@ -211,6 +214,7 @@ struct Fingerprint {
 
 struct FindArm {
   std::string label;
+  std::string kernel;
   std::uint64_t calls = 0;
   double wall_seconds = 0.0;
   std::uint64_t steady_calls = 0;
@@ -232,14 +236,16 @@ struct FindArm {
 /// ScheduleDp::find under moving duals (an eq. 7/8 update every
 /// `admit_every`-th feasible plan, mimicking pdFTSP's admission cadence),
 /// with one warmup lap to grow the arena before allocations are counted.
-FindArm run_find_arm(const Instance& instance, bool price_cache,
+FindArm run_find_arm(const Instance& instance, bool price_cache, bool simd,
                      std::string label, std::size_t max_bids,
                      int admit_every) {
   FindArm arm;
   arm.label = std::move(label);
   ScheduleDpConfig config;
   config.price_cache = price_cache;
+  config.simd = simd;
   const ScheduleDp dp(instance.cluster, instance.energy, config);
+  arm.kernel = simd::kernel_name(dp.kernel());
   DpScratch scratch;
   Schedule plan;
   Fingerprint digest;
@@ -309,14 +315,19 @@ struct DecisionArm {
 };
 
 /// Decision-level A/B: full Alg. 1 replay (vendor loop + DP + pricing +
-/// booking) of every bid, exactly as Pdftsp::on_slot processes a batch.
+/// booking) of every bid, driven through Pdftsp::on_slot slot-by-slot
+/// exactly as the simulation engine does — so the `admission_batch` knob
+/// (epoch-batched admission) is exercised by the same harness and pinned
+/// bit-identical against the one-at-a-time arms.
 DecisionArm run_decision_arm(const Instance& instance, bool price_cache,
-                             int parallel_candidates, std::string label) {
+                             int parallel_candidates, int admission_batch,
+                             std::string label) {
   DecisionArm arm;
   arm.label = std::move(label);
   PdftspConfig config = pdftsp_config_for(instance);
   config.dp.price_cache = price_cache;
   config.parallel_candidates = parallel_candidates;
+  config.admission_batch = admission_batch;
   Pdftsp policy(config, instance.cluster, instance.energy, instance.horizon);
   CapacityLedger ledger(instance.cluster, instance.horizon);
   for (const Outage& outage : instance.outages) {
@@ -326,15 +337,30 @@ DecisionArm run_decision_arm(const Instance& instance, bool price_cache,
     }
   }
   Fingerprint digest;
+  std::vector<Task> arrivals;
   const auto started = std::chrono::steady_clock::now();
-  for (const Task& task : instance.tasks) {
-    Decision d = policy.handle_task(task, instance.market.quotes(task), ledger);
-    commit_decision(ledger, instance.cluster, task, d);
-    if (d.admit) {
-      ++arm.admitted;
-      arm.welfare += d.schedule.welfare_gain;
+  std::size_t next = 0;
+  for (Slot now = 0; now < instance.horizon && next < instance.tasks.size();
+       ++now) {
+    arrivals.clear();
+    while (next < instance.tasks.size() &&
+           instance.tasks[next].arrival == now) {
+      arrivals.push_back(instance.tasks[next++]);
     }
-    digest.mix_decision(d);
+    if (arrivals.empty()) continue;
+    const SlotContext ctx{now,
+                          arrivals,
+                          instance.cluster,
+                          instance.energy,
+                          instance.market,
+                          ledger};
+    for (const Decision& d : policy.on_slot(ctx)) {
+      if (d.admit) {
+        ++arm.admitted;
+        arm.welfare += d.schedule.welfare_gain;
+      }
+      digest.mix_decision(d);
+    }
   }
   const auto stopped = std::chrono::steady_clock::now();
   arm.decisions = instance.tasks.size();
@@ -364,15 +390,22 @@ int run_cache_ab(const util::Cli& cli) {
             << "\n";
 
   // Kernel level: bare ScheduleDp::find, admission-paced dual movement.
+  // Three arms — legacy (per-call path), scalar (cached, SIMD off), simd
+  // (cached, runtime-dispatched kernel); on hardware without a vector arm
+  // the simd arm degrades to scalar and reports kernel "scalar".
   std::vector<FindArm> finds;
   finds.push_back(
-      run_find_arm(instance, false, "find-uncached", find_bids, 16));
-  finds.push_back(run_find_arm(instance, true, "find-cached", find_bids, 16));
+      run_find_arm(instance, false, false, "find-legacy", find_bids, 16));
+  finds.push_back(
+      run_find_arm(instance, true, false, "find-scalar", find_bids, 16));
+  finds.push_back(
+      run_find_arm(instance, true, true, "find-simd", find_bids, 16));
   const FindArm& find_base = finds.front();
-  std::cout << "  arm            finds/s   speedup  allocs/find (steady)\n";
+  std::cout << "  arm            kernel   finds/s   speedup  allocs/find "
+               "(steady)\n";
   for (const FindArm& arm : finds) {
-    std::printf("  %-14s %8.0f %8.2fx %12.3f\n", arm.label.c_str(),
-                arm.finds_per_sec(),
+    std::printf("  %-14s %-7s %8.0f %8.2fx %12.3f\n", arm.label.c_str(),
+                arm.kernel.c_str(), arm.finds_per_sec(),
                 find_base.finds_per_sec() > 0.0
                     ? arm.finds_per_sec() / find_base.finds_per_sec()
                     : 0.0,
@@ -384,12 +417,16 @@ int run_cache_ab(const util::Cli& cli) {
     }
   }
 
-  // Decision level: full Alg. 1 replay.
+  // Decision level: full Alg. 1 replay through on_slot. The batched arm
+  // exercises epoch-batched admission (PdftspConfig::admission_batch) and
+  // must stay fingerprint-identical to the one-at-a-time arms.
   std::vector<DecisionArm> decisions;
-  decisions.push_back(run_decision_arm(instance, false, 0, "uncached"));
-  decisions.push_back(run_decision_arm(instance, true, 0, "cached"));
+  decisions.push_back(run_decision_arm(instance, false, 0, 0, "uncached"));
+  decisions.push_back(run_decision_arm(instance, true, 0, 0, "cached"));
   decisions.push_back(
-      run_decision_arm(instance, true, 4, "cached+parallel"));
+      run_decision_arm(instance, true, 4, 0, "cached+parallel"));
+  decisions.push_back(
+      run_decision_arm(instance, true, 0, 32, "cached+batch32"));
   const DecisionArm& base = decisions.front();
   std::cout << "  arm              decisions/s  speedup  admitted    welfare  "
                "hit-rate\n";
@@ -424,10 +461,11 @@ int run_cache_ab(const util::Cli& cli) {
     for (const FindArm& arm : finds) {
       obs::Json::Object row;
       row["label"] = obs::Json(arm.label);
+      row["kernel"] = obs::Json(arm.kernel);
       row["calls"] = obs::Json(static_cast<double>(arm.calls));
       row["wall_seconds"] = obs::Json(arm.wall_seconds);
       row["finds_per_sec"] = obs::Json(arm.finds_per_sec());
-      row["speedup_vs_uncached"] =
+      row["speedup_vs_legacy"] =
           obs::Json(find_base.finds_per_sec() > 0.0
                         ? arm.finds_per_sec() / find_base.finds_per_sec()
                         : 0.0);

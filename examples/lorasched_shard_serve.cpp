@@ -82,7 +82,8 @@ int main(int argc, char** argv) try {
                   "bids", "slot-ms", "queue-cap", "backpressure", "late",
                   "checkpoint", "checkpoint-every", "resume", "out", "verbose",
                   "metrics-out", "metrics-every", "timing", "http-port",
-                  "ingest-port", "ingest-clients"});
+                  "ingest-port", "ingest-clients", "admission-batch",
+                  "batch-workers"});
 
   ScenarioConfig config;
   config.seed = static_cast<std::uint64_t>(cli.get_int("seed", 42));
@@ -120,8 +121,15 @@ int main(int argc, char** argv) try {
 
   // One independent pdFTSP per shard, priced for the full scenario (the
   // α/β/κ bounds depend on the bid population, not the partition).
+  // Epoch-batched admission (DESIGN.md §5c) applies per shard; decisions
+  // stay bit-identical to the one-at-a-time loop at any setting.
+  PdftspConfig policy_config = pdftsp_config_for(env);
+  policy_config.admission_batch =
+      static_cast<int>(cli.get_int("admission-batch", 0));
+  policy_config.batch_workers =
+      static_cast<int>(cli.get_int("batch-workers", 0));
   shard::ShardedService server(
-      env, shard::make_pdftsp_factory(pdftsp_config_for(env)), sharded_config);
+      env, shard::make_pdftsp_factory(policy_config), sharded_config);
   LogSubscriber log(cli.get_bool("verbose", false));
   server.add_subscriber(&log);
 

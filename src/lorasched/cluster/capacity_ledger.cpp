@@ -36,7 +36,11 @@ void CapacityLedger::block(NodeId k, Slot t) {
   if (k < 0 || k >= nodes_ || t < 0 || t >= horizon_) {
     throw std::invalid_argument("block() outside the ledger grid");
   }
-  blocked_[index(k, t)] = 1;
+  char& cell = blocked_[index(k, t)];
+  if (cell == 0) {
+    cell = 1;
+    ++blocked_cells_;
+  }
 }
 
 bool CapacityLedger::fits(NodeId k, Slot t, double compute, double mem,
@@ -99,6 +103,10 @@ void CapacityLedger::restore(const Snapshot& snapshot) {
   task_count_ = snapshot.task_count;
   exclusive_ = snapshot.exclusive;
   blocked_ = snapshot.blocked;
+  blocked_cells_ = 0;
+  for (const char cell : blocked_) {
+    if (cell != 0) ++blocked_cells_;
+  }
 #ifdef LORASCHED_AUDIT
   audit::check_ledger_restore(*this, snapshot);
 #endif

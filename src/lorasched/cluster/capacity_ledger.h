@@ -53,6 +53,11 @@ class CapacityLedger {
   [[nodiscard]] bool is_blocked(NodeId k, Slot t) const {
     return blocked_[index(k, t)] != 0;
   }
+  /// True iff any cell is currently blocked. O(1): policies consult this
+  /// before installing a per-cell outage filter on the schedule DP — a
+  /// filter over a block-free ledger excludes nothing, so skipping it is
+  /// value- and tie-identical while keeping the DP on its fast path.
+  [[nodiscard]] bool has_blocks() const noexcept { return blocked_cells_ > 0; }
 
   /// Fraction of total fleet compute reserved over [0, horizon).
   [[nodiscard]] double compute_utilization() const noexcept;
@@ -93,6 +98,7 @@ class CapacityLedger {
   std::vector<int> task_count_;       // per (node, slot)
   std::vector<char> exclusive_;       // per (node, slot)
   std::vector<char> blocked_;         // per (node, slot)
+  std::size_t blocked_cells_ = 0;     // count of set cells in blocked_
 };
 
 }  // namespace lorasched

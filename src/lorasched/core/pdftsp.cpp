@@ -1,10 +1,13 @@
 #include "lorasched/core/pdftsp.h"
 
+#include <algorithm>
 #include <cstddef>
+#include <cstdint>
 #include <stdexcept>
 #include <utility>
 
 #include "lorasched/core/pricing.h"
+#include "lorasched/obs/registry.h"
 #include "lorasched/obs/span.h"
 #include "lorasched/util/threadpool.h"
 
@@ -30,9 +33,28 @@ Pdftsp::Pdftsp(PdftspConfig config, const Cluster& cluster,
     pool_ = std::make_unique<util::ThreadPool>(
         static_cast<std::size_t>(config_.parallel_candidates));
   }
+  if (config_.admission_batch > 1 && config_.batch_workers > 1) {
+    batch_pool_ = std::make_unique<util::ThreadPool>(
+        static_cast<std::size_t>(config_.batch_workers));
+  }
 }
 
 Pdftsp::~Pdftsp() = default;
+
+void Pdftsp::register_metrics(obs::MetricsRegistry& registry,
+                              std::string_view prefix) const {
+  dp_.register_metrics(registry, prefix);
+  // Batch sizes are small integers; octave buckets from 1 cover 1..4096
+  // with exact low-end resolution.
+  batch_hist_.store(
+      &registry.histogram(
+          "lorasched_admission_batch_size",
+          obs::HistogramOptions{.min = 1.0, .max = 4096.0,
+                                .buckets_per_octave = 8},
+          "Bids decided per price-epoch admission micro-batch (1 = "
+          "one-at-a-time processing)"),
+      std::memory_order_relaxed);
+}
 
 void Pdftsp::set_pricing(double alpha, double beta, double welfare_unit) {
   if (alpha <= 0.0 || beta <= 0.0 || welfare_unit <= 0.0) {
@@ -76,9 +98,22 @@ Pdftsp::Candidate Pdftsp::select_schedule(
     const Task& task, const std::vector<VendorQuote>& quotes,
     const CapacityLedger* ledger,
     std::vector<obs::CandidateTrace>* candidates) const {
+  return select_schedule_impl(task, quotes, ledger, candidates,
+                              /*allow_pool=*/true);
+}
+
+Pdftsp::Candidate Pdftsp::select_schedule_impl(
+    const Task& task, const std::vector<VendorQuote>& quotes,
+    const CapacityLedger* ledger,
+    std::vector<obs::CandidateTrace>* candidates, bool allow_pool) const {
   Candidate best;
   best.objective = -std::numeric_limits<double>::infinity();
-  const SlotFilter filter = ledger != nullptr ? &not_blocked : nullptr;
+  // Install the outage filter only when some cell is actually blocked: a
+  // filter over a block-free ledger excludes nothing, so the unfiltered DP
+  // (which takes the SIMD argmin-sweep fast path) is value- and
+  // tie-identical to the filtered one.
+  const SlotFilter filter =
+      ledger != nullptr && ledger->has_blocks() ? &not_blocked : nullptr;
 
   // Phase 1 — enumerate the (vendor, delay, share) candidate specs in the
   // canonical order: per vendor, the task's own share first, then each
@@ -130,7 +165,7 @@ Pdftsp::Candidate Pdftsp::select_schedule(
     finalize_schedule(spec.schedule, task, cluster_, energy_);
     spec.objective = objective_value(spec.schedule, duals_);
   };
-  if (pool_ != nullptr && specs.size() > 1) {
+  if (allow_pool && pool_ != nullptr && specs.size() > 1) {
     util::parallel_for(*pool_, 0, specs.size(),
                        [&](std::size_t i) { evaluate(specs[i]); });
   } else {
@@ -207,13 +242,20 @@ Decision Pdftsp::handle_task(const Task& task,
                              const std::vector<VendorQuote>& quotes,
                              const CapacityLedger& ledger) {
   LORASCHED_SPAN("pdftsp/decide");
+  const bool tracing = trace_ != nullptr;
+  std::vector<obs::CandidateTrace> cand_trace;
+  Candidate best =
+      select_schedule(task, quotes, &ledger, tracing ? &cand_trace : nullptr);
+  return decide_with(task, std::move(best), std::move(cand_trace), ledger);
+}
+
+Decision Pdftsp::decide_with(const Task& task, Candidate&& best,
+                             std::vector<obs::CandidateTrace>&& cand_trace,
+                             const CapacityLedger& ledger) {
   Decision decision;
   decision.task = task.id;
 
   const bool tracing = trace_ != nullptr;
-  std::vector<obs::CandidateTrace> cand_trace;
-  const Candidate best =
-      select_schedule(task, quotes, &ledger, tracing ? &cand_trace : nullptr);
   if (best.schedule.empty() || best.objective <= 0.0) {
     if (tracing) {
       // The trace's payment decomposition for an F(il) <= 0 reject is the
@@ -325,13 +367,104 @@ Decision Pdftsp::handle_task(const Task& task,
 std::vector<Decision> Pdftsp::on_slot(const SlotContext& ctx) {
   std::vector<Decision> decisions;
   decisions.reserve(ctx.arrivals.size());
-  // Tasks within a slot are processed in arrival (id) order; each admitted
-  // decision is booked immediately so that Alg. 1's line-8 capacity check is
-  // exact for the next task in the batch.
-  for (const Task& task : ctx.arrivals) {
-    Decision d = handle_task(task, ctx.market.quotes(task), ctx.ledger);
+  obs::Histogram* hist = batch_hist_.load(std::memory_order_relaxed);
+  const std::size_t batch =
+      config_.admission_batch > 1
+          ? static_cast<std::size_t>(config_.admission_batch)
+          : 1;
+  if (batch <= 1 || ctx.arrivals.size() <= 1) {
+    // Tasks within a slot are processed in arrival (id) order; each
+    // admitted decision is booked immediately so that Alg. 1's line-8
+    // capacity check is exact for the next task in the batch.
+    for (const Task& task : ctx.arrivals) {
+      Decision d = handle_task(task, ctx.market.quotes(task), ctx.ledger);
+      commit_decision(ctx.ledger, cluster_, task, d);
+      decisions.push_back(std::move(d));
+      if (hist != nullptr) hist->record(1.0);
+    }
+    return decisions;
+  }
+
+  // Epoch-batched admission: speculate the Alg. 2 searches of a wave of
+  // bids against the frozen duals, then commit strictly in arrival order.
+  // A speculation is valid iff the dual epoch it ran under is still
+  // current at its commit (the epoch moves exactly on F(il) > 0 — eq. 7/8);
+  // when a commit moves the epoch, the wave's unconsumed tail is discarded
+  // and simply re-speculated as the head of the next wave — so every
+  // decide_with sees the same candidate the one-at-a-time loop would have
+  // computed, and decisions, duals, and traces are bit-identical by
+  // construction (wave boundaries only shift *when* a search runs, never
+  // what it reads). The speculative searches only read slot-static inputs
+  // besides the duals: the outage blocks of the ledger never change
+  // mid-slot, and the line-8 *capacity* check runs at commit time against
+  // the live ledger.
+  //
+  // Wave sizing: with a speculation pool the wave is always the full
+  // configured batch — the discarded tail cost is spread across workers,
+  // and the commit loop overlaps nothing either way. Speculating *inline*,
+  // a discarded tail is pure serial waste, so the depth adapts to the
+  // observed admit density: it shrinks to the distance the last wave
+  // actually got before an epoch move and doubles after a wave that
+  // consumed cleanly, staying near 1 under heavy admission and opening to
+  // the full batch through rejection streaks (exactly when the frozen-dual
+  // window is long). The adaptation is a pure function of the decision
+  // sequence, so runs stay deterministic.
+  const bool tracing = trace_ != nullptr;
+  struct Speculation {
+    std::vector<VendorQuote> quotes;
+    Candidate cand;
+    std::vector<obs::CandidateTrace> trace;
+    std::uint64_t epoch = 0;
+  };
+  const std::size_t count = ctx.arrivals.size();
+  std::vector<Speculation> specs(count);
+  // Quotes are collected sequentially in arrival order — identical
+  // Marketplace call sequence to the one-at-a-time loop.
+  for (std::size_t i = 0; i < count; ++i) {
+    specs[i].quotes = ctx.market.quotes(ctx.arrivals[i]);
+  }
+  auto speculate = [&](std::size_t i, bool allow_pool) {
+    specs[i].trace.clear();
+    specs[i].cand = select_schedule_impl(
+        ctx.arrivals[i], specs[i].quotes, &ctx.ledger,
+        tracing ? &specs[i].trace : nullptr, allow_pool);
+    specs[i].epoch = duals_.epoch();
+  };
+  const bool pooled = batch_pool_ != nullptr;
+  std::size_t depth = pooled ? batch : 1;
+  std::size_t wave_start = 0;  // first index of the wave being consumed
+  std::size_t next_spec = 0;   // first index not yet speculated
+  bool wave_clean = true;      // no epoch move while consuming this wave
+  for (std::size_t i = 0; i < count; ++i) {
+    if (i == next_spec) {
+      wave_start = i;
+      wave_clean = true;
+      const std::size_t wave = std::min({depth, batch, count - i});
+      if (pooled && wave > 1) {
+        util::parallel_for(*batch_pool_, 0, wave, [&](std::size_t j) {
+          speculate(i + j, false);
+        });
+      } else {
+        for (std::size_t j = 0; j < wave; ++j) speculate(i + j, true);
+      }
+      next_spec = i + wave;
+      if (hist != nullptr) hist->record(static_cast<double>(wave));
+    }
+    const Task& task = ctx.arrivals[i];
+    Decision d = decide_with(task, std::move(specs[i].cand),
+                             std::move(specs[i].trace), ctx.ledger);
     commit_decision(ctx.ledger, cluster_, task, d);
     decisions.push_back(std::move(d));
+    if (duals_.epoch() != specs[i].epoch) {
+      // This commit moved the prices: every unconsumed speculation is
+      // stale. Drop the tail (re-speculated as the next wave) and, when
+      // inline, shrink the depth to what this wave proved useful.
+      wave_clean = false;
+      if (next_spec > i + 1) next_spec = i + 1;
+      if (!pooled) depth = std::max<std::size_t>(1, i + 1 - wave_start);
+    } else if (!pooled && i + 1 == next_spec && wave_clean) {
+      depth = std::min(depth * 2, batch);
+    }
   }
   return decisions;
 }

@@ -30,8 +30,12 @@ std::uint64_t next_dp_uid() noexcept {
 // --- DpScratch ---------------------------------------------------------------
 
 std::size_t DpScratch::bytes_reserved() const noexcept {
-  std::size_t bytes = (prev_.capacity() + cur_.capacity()) * sizeof(double) +
+  std::size_t bytes = (prev_.capacity() + cur_.capacity() +
+                       delta_.capacity()) *
+                          sizeof(double) +
                       choice_.capacity() * sizeof(std::int16_t) +
+                      row_active_.capacity() * sizeof(std::size_t) +
+                      argpos_.capacity() * sizeof(std::int32_t) +
                       best_node_.capacity() * sizeof(NodeId) +
                       live_.capacity() * sizeof(LiveClass) +
                       live_start_.capacity() * sizeof(std::size_t) +
@@ -112,7 +116,8 @@ ScheduleDp::ScheduleDp(const Cluster& cluster, const EnergyModel& energy,
     : cluster_(cluster),
       energy_(energy),
       config_(config),
-      uid_(next_dp_uid()) {
+      uid_(next_dp_uid()),
+      kernel_(config.simd ? simd::active_kernel() : simd::Kernel::kScalar) {
   if (config_.granularity < 1.0) {
     throw std::invalid_argument("granularity must be >= 1");
   }
@@ -201,6 +206,13 @@ void ScheduleDp::register_metrics(obs::MetricsRegistry& registry,
       &registry.gauge(p + "_snapshot_bytes",
                       "High-water dual-price snapshot footprint in bytes"),
       std::memory_order_relaxed);
+  // Which min-plus kernel this instance actually dispatches to, so the
+  // federation/soak planes can see the production arm (0=scalar, 1=avx2,
+  // 2=neon — the simd::Kernel wire values).
+  registry
+      .gauge(p + "_simd_dispatch",
+             "Active Alg. 2 min-plus row kernel (0=scalar, 1=avx2, 2=neon)")
+      .set(static_cast<double>(kernel_));
 }
 
 std::shared_ptr<const ScheduleDp::PriceSnapshot> ScheduleDp::snapshot_for(
@@ -323,6 +335,7 @@ void ScheduleDp::find_impl(Schedule& result, const Task& task, Slot start,
   }
 }
 
+
 void ScheduleDp::find_cached(Schedule& result, const Task& task, Slot start,
                              const DualState& duals, DpScratch& scratch,
                              const void* filter_ctx, SlotFilter filter) const {
@@ -356,43 +369,62 @@ void ScheduleDp::find_cached(Schedule& result, const Task& task, Slot start,
   const auto tw = static_cast<std::size_t>(window);
   const auto cw = static_cast<std::size_t>(classes);
   scratch.best_node_.resize(tw * cw);  // stale entries are never read
-  scratch.live_.clear();
-  scratch.live_start_.resize(tw + 1);
-  for (Slot rel = 0; rel < window; ++rel) {
-    const Slot t = start + rel;
-    scratch.live_start_[static_cast<std::size_t>(rel)] = scratch.live_.size();
-    for (int c = 0; c < classes; ++c) {
-      const int units = q.class_units[static_cast<std::size_t>(c)];
-      if (units == 0) continue;
-      const NodeId rep = cluster_.class_representative(c);
-      // Normalized per-slot loads are constant within the class (same
-      // profile): s̃ = share, r̃ = r_i / adapter capacity.
-      const double s_norm = q.class_s_norm[static_cast<std::size_t>(c)];
-      const double r_norm = task.mem_gb / cluster_.adapter_mem_capacity(rep);
-      // Bit-identical to energy_.cost(task, cluster_, k, t) for every node
-      // k of the class: full_node_cost and the throughput share come from
-      // the same expressions, and the class shares one profile.
-      const double e_ct =
-          snap->node_cost[static_cast<std::size_t>(c) * hz +
-                          static_cast<std::size_t>(t)] *
-          s_norm;
-      const std::size_t sz = snap->size[static_cast<std::size_t>(c)];
-      const std::size_t row = snap->base[static_cast<std::size_t>(c)] +
-                              static_cast<std::size_t>(t) * sz;
-      const double* lam = snap->lambda.data() + row;
-      const double* phi = snap->phi.data() + row;
-      const NodeId* ids = snap->node_of.data() + row;
-      double best = kInf;
-      NodeId best_k = -1;
-      if (filter == nullptr) {
-        for (std::size_t i = 0; i < sz; ++i) {
-          const double cost = s_norm * lam[i] + r_norm * phi[i] + e_ct;
-          if (cost < best) {
-            best = cost;
-            best_k = ids[i];
-          }
-        }
-      } else {
+  scratch.delta_.resize(cw * tw);      // dead-class cells are never read
+  scratch.argpos_.resize(tw);
+  // Class-outer sweep: the per-class invariants (representative, s̃, the
+  // r̃ division) hoist out of the slot loop, and each class's snapshot rows
+  // stream contiguously through the argmin kernel. Values are bit-identical
+  // to the old slot-outer order — the same expressions over the same
+  // operands, evaluation order only changes *across* independent (slot,
+  // class) cells.
+  for (int c = 0; c < classes; ++c) {
+    const int units = q.class_units[static_cast<std::size_t>(c)];
+    if (units == 0) continue;
+    const NodeId rep = cluster_.class_representative(c);
+    // Normalized per-slot loads are constant within the class (same
+    // profile): s̃ = share, r̃ = r_i / adapter capacity.
+    const double s_norm = q.class_s_norm[static_cast<std::size_t>(c)];
+    const double r_norm = task.mem_gb / cluster_.adapter_mem_capacity(rep);
+    const std::size_t sz = snap->size[static_cast<std::size_t>(c)];
+    const double* node_cost =
+        snap->node_cost.data() + static_cast<std::size_t>(c) * hz;
+    const std::size_t row0 = snap->base[static_cast<std::size_t>(c)] +
+                             static_cast<std::size_t>(start) * sz;
+    double* delta_row =
+        scratch.delta_.data() + static_cast<std::size_t>(c) * tw;
+    if (filter == nullptr) {
+      // Kernel-dispatched first-strict-minimum sweep over the whole window
+      // (simd/minplus.h): consecutive slots of a class are contiguous rows
+      // of the snapshot (stride sz), and the slot constant is the same
+      // node_cost[t] * s̃ expression as the filtered branch — so every
+      // (value, index) is bit- and tie-identical to the plain loop below.
+      simd::cost_argmin_sweep(
+          kernel_, snap->lambda.data() + row0, snap->phi.data() + row0, sz,
+          tw, sz, s_norm, r_norm,
+          node_cost + static_cast<std::size_t>(start), delta_row,
+          scratch.argpos_.data());
+      for (Slot rel = 0; rel < window; ++rel) {
+        const auto pos = static_cast<std::size_t>(
+            scratch.argpos_[static_cast<std::size_t>(rel)]);
+        const NodeId* ids =
+            snap->node_of.data() + row0 + static_cast<std::size_t>(rel) * sz;
+        scratch.best_node_[static_cast<std::size_t>(rel) * cw +
+                           static_cast<std::size_t>(c)] =
+            pos < sz ? ids[pos] : -1;
+      }
+    } else {
+      for (Slot rel = 0; rel < window; ++rel) {
+        const Slot t = start + rel;
+        // Bit-identical to energy_.cost(task, cluster_, k, t) for every
+        // node k of the class: full_node_cost and the throughput share come
+        // from the same expressions, and the class shares one profile.
+        const double e_ct = node_cost[static_cast<std::size_t>(t)] * s_norm;
+        const std::size_t row = row0 + static_cast<std::size_t>(rel) * sz;
+        const double* lam = snap->lambda.data() + row;
+        const double* phi = snap->phi.data() + row;
+        const NodeId* ids = snap->node_of.data() + row;
+        double best = kInf;
+        NodeId best_k = -1;
         for (std::size_t i = 0; i < sz; ++i) {
           if (!filter(filter_ctx, ids[i], t)) continue;
           const double cost = s_norm * lam[i] + r_norm * phi[i] + e_ct;
@@ -401,9 +433,23 @@ void ScheduleDp::find_cached(Schedule& result, const Task& task, Slot start,
             best_k = ids[i];
           }
         }
+        scratch.best_node_[static_cast<std::size_t>(rel) * cw +
+                           static_cast<std::size_t>(c)] = best_k;
+        delta_row[static_cast<std::size_t>(rel)] = best;
       }
-      scratch.best_node_[static_cast<std::size_t>(rel) * cw +
-                         static_cast<std::size_t>(c)] = best_k;
+    }
+  }
+  // Live rows are rebuilt slot-major in class order — the same LiveClass
+  // sequence the old slot-outer loop pushed.
+  scratch.live_.clear();
+  scratch.live_start_.resize(tw + 1);
+  for (Slot rel = 0; rel < window; ++rel) {
+    scratch.live_start_[static_cast<std::size_t>(rel)] = scratch.live_.size();
+    for (int c = 0; c < classes; ++c) {
+      const int units = q.class_units[static_cast<std::size_t>(c)];
+      if (units == 0) continue;
+      const double best = scratch.delta_[static_cast<std::size_t>(c) * tw +
+                                         static_cast<std::size_t>(rel)];
       if (best != kInf) {
         scratch.live_.push_back(DpScratch::LiveClass{
             best, static_cast<std::size_t>(units),
@@ -418,9 +464,19 @@ void ScheduleDp::find_cached(Schedule& result, const Task& task, Slot start,
   scratch.prev_.assign(levels, kInf);
   scratch.cur_.assign(levels, kInf);
   scratch.prev_[0] = 0.0;
-  scratch.choice_.resize(tw * levels);
+  scratch.choice_.resize(tw * levels);  // stale cells guarded by row_active_
+  scratch.row_active_.resize(tw);
   double* prev = scratch.prev_.data();
   double* cur = scratch.cur_.data();
+  // Reachability frontier: after processing row rel, every level above
+  // Σ_{r<=rel} max-units(live classes of r) is provably +inf, so the row
+  // kernel only touches [0, frontier] and the tail keeps the kInf the
+  // buffers were initialized with (the frontier only grows, and a level is
+  // first written in the row that reaches it). Choice cells at or above the
+  // per-row active count are never written — row_active_ makes the
+  // backtrack read them as kSkip, which is exactly what the full scan
+  // computed for provably-+inf cells.
+  std::size_t frontier = 0;
   for (Slot rel = 0; rel < window; ++rel) {
     std::int16_t* chrow =
         scratch.choice_.data() + static_cast<std::size_t>(rel) * levels;
@@ -434,24 +490,20 @@ void ScheduleDp::find_cached(Schedule& result, const Task& task, Slot start,
       // No usable class this slot: the row is pure carry-over (the legacy
       // path copied prev into cur and swapped; skipping both is
       // value-identical and saves the O(levels · classes) dead pass).
-      std::fill(chrow, chrow + levels, kSkip);
+      scratch.row_active_[static_cast<std::size_t>(rel)] = 0;
       continue;
     }
-    for (std::size_t w = 0; w < levels; ++w) {
-      double best = prev[w];
-      std::int16_t best_choice = kSkip;
-      for (const DpScratch::LiveClass* e = lo; e != hi; ++e) {
-        const std::size_t w_from = w > e->units ? w - e->units : 0;
-        if (prev[w_from] == kInf) continue;
-        const double cand = prev[w_from] + e->delta;
-        if (cand < best) {
-          best = cand;
-          best_choice = e->cls;
-        }
-      }
-      cur[w] = best;
-      chrow[w] = best_choice;
+    std::size_t row_max = 0;
+    for (const DpScratch::LiveClass* e = lo; e != hi; ++e) {
+      if (e->units > row_max) row_max = e->units;
     }
+    frontier = std::min(frontier + row_max, levels - 1);
+    const std::size_t active = frontier + 1;
+    scratch.row_active_[static_cast<std::size_t>(rel)] = active;
+    // Min-plus relaxation of the row, dispatched to the active kernel
+    // (scalar / AVX2 / NEON — bit- and tie-identical by the lane contract
+    // of simd/minplus.h).
+    simd::dp_row(kernel_, prev, cur, chrow, active, lo, hi);
     std::swap(prev, cur);
   }
 
@@ -461,7 +513,9 @@ void ScheduleDp::find_cached(Schedule& result, const Task& task, Slot start,
   std::size_t w = levels - 1;
   for (Slot rel = window - 1; rel >= 0; --rel) {
     const std::int16_t c =
-        scratch.choice_[static_cast<std::size_t>(rel) * levels + w];
+        w < scratch.row_active_[static_cast<std::size_t>(rel)]
+            ? scratch.choice_[static_cast<std::size_t>(rel) * levels + w]
+            : kSkip;
     if (c == kSkip) continue;
     const NodeId k = scratch.best_node_[static_cast<std::size_t>(rel) * cw +
                                         static_cast<std::size_t>(c)];

@@ -33,6 +33,7 @@
 #include "lorasched/cluster/energy.h"
 #include "lorasched/core/duals.h"
 #include "lorasched/core/schedule.h"
+#include "lorasched/core/simd/minplus.h"
 #include "lorasched/types.h"
 #include "lorasched/util/mutex.h"
 #include "lorasched/util/thread_annotations.h"
@@ -57,6 +58,15 @@ struct ScheduleDpConfig {
   /// path. Bit-identical results; the knob exists for A/B benchmarking
   /// (bench/micro_core --json-out) and as an escape hatch.
   bool price_cache = true;
+  /// SIMD min-plus row kernel (DESIGN.md §5c): true (default) dispatches
+  /// the cached path's inner loops to the best runtime-detected vector arm
+  /// (AVX2/NEON, cpuid-checked, scalar everywhere else); false pins the
+  /// scalar reference. Results are bit-identical either way — the lane
+  /// order is pinned (simd/minplus.h) and the differential tests enforce
+  /// it; the knob exists for A/B benchmarking and as an escape hatch, and
+  /// the LORASCHED_DP_SIMD environment variable can force an arm
+  /// process-wide underneath it.
+  bool simd = true;
 };
 
 /// Optional per-(node, slot) admissibility filter; when set, the DP only
@@ -84,11 +94,9 @@ class DpScratch {
 
   /// One usable class at one slot of the window (finite Δ only — classes
   /// the filter kills or that cannot progress never reach the DP rows).
-  struct LiveClass {
-    double delta = 0.0;
-    std::size_t units = 0;
-    std::int16_t cls = 0;
-  };
+  /// The layout is the SIMD kernels' row-class descriptor so the live rows
+  /// feed simd::dp_row without repacking.
+  using LiveClass = simd::MinPlusClass;
 
   /// Work quantization for one (task work, compute share) — identical for
   /// every vendor/delay candidate of a bid, so it is computed once per
@@ -112,6 +120,12 @@ class DpScratch {
   std::vector<double> prev_;
   std::vector<double> cur_;
   std::vector<std::int16_t> choice_;
+  // Valid choice prefix per window row: cells at w >= row_active_[rel] were
+  // provably +inf carry-overs (above the reachability frontier), so the DP
+  // never writes them and the backtrack reads them as kSkip implicitly.
+  std::vector<std::size_t> row_active_;
+  std::vector<double> delta_;       // class-major: delta_[c*window + rel]
+  std::vector<std::int32_t> argpos_;  // per-class sweep argmin positions
   std::vector<NodeId> best_node_;
   std::vector<LiveClass> live_;
   std::vector<std::size_t> live_start_;
@@ -166,11 +180,17 @@ class ScheduleDp {
 
   /// Wires the price-cache hit/miss counters and the arena/snapshot
   /// footprint gauges into `registry` (names `<prefix>_price_cache_hits_total`,
-  /// `..._misses_total`, `<prefix>_scratch_bytes`, `<prefix>_snapshot_bytes`).
-  /// Several ScheduleDp instances may share one registry — the counters
-  /// aggregate. Call during setup, before concurrent find() traffic.
+  /// `..._misses_total`, `<prefix>_scratch_bytes`, `<prefix>_snapshot_bytes`),
+  /// plus the `<prefix>_simd_dispatch` gauge reporting this instance's
+  /// min-plus kernel (0=scalar, 1=avx2, 2=neon). Several ScheduleDp
+  /// instances may share one registry — the counters aggregate. Call during
+  /// setup, before concurrent find() traffic.
   void register_metrics(obs::MetricsRegistry& registry,
                         std::string_view prefix = "lorasched_dp") const;
+
+  /// The min-plus kernel this instance dispatches to (config.simd ∧ the
+  /// process-wide simd::active_kernel detection).
+  [[nodiscard]] simd::Kernel kernel() const noexcept { return kernel_; }
 
   [[nodiscard]] const ScheduleDpConfig& config() const noexcept {
     return config_;
@@ -221,6 +241,7 @@ class ScheduleDp {
   EnergyModel energy_;      // by value: cheap, and callers often pass rvalues
   ScheduleDpConfig config_;
   std::uint64_t uid_;  // keys the thread_local scratch's quantization memo
+  simd::Kernel kernel_ = simd::Kernel::kScalar;  // resolved at construction
 
   mutable util::Mutex cache_mutex_;
   mutable std::shared_ptr<const PriceSnapshot> cache_

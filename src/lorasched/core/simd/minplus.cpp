@@ -1,0 +1,195 @@
+// Scalar reference kernels + the runtime dispatch point (DESIGN.md §5c).
+//
+// The scalar bodies are the pre-SIMD inner loops of schedule_dp.cpp kept
+// verbatim — they ARE the semantics the vector arms must reproduce bit for
+// bit, and the arm bench/micro_core labels "scalar".
+#include "lorasched/core/simd/minplus.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+
+namespace lorasched::simd {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+Kernel best_compiled_kernel() noexcept {
+#if defined(LORASCHED_SIMD_AVX2)
+#if defined(__GNUC__) || defined(__clang__)
+  if (__builtin_cpu_supports("avx2")) return Kernel::kAvx2;
+#endif
+#endif
+#if defined(LORASCHED_SIMD_NEON)
+  return Kernel::kNeon;  // NEON is baseline on aarch64 — no cpuid needed.
+#endif
+  return Kernel::kScalar;
+}
+
+bool env_is(const char* value, const char* want) noexcept {
+  return std::strcmp(value, want) == 0;
+}
+
+Kernel detect_kernel() noexcept {
+  const Kernel best = best_compiled_kernel();
+  const char* env = std::getenv("LORASCHED_DP_SIMD");
+  if (env == nullptr || env_is(env, "") || env_is(env, "auto") ||
+      env_is(env, "on") || env_is(env, "1")) {
+    return best;
+  }
+  if (env_is(env, "scalar") || env_is(env, "off") || env_is(env, "0")) {
+    return Kernel::kScalar;
+  }
+  if (env_is(env, "avx2")) {
+    return best == Kernel::kAvx2 ? Kernel::kAvx2 : Kernel::kScalar;
+  }
+  if (env_is(env, "neon")) {
+    return best == Kernel::kNeon ? Kernel::kNeon : Kernel::kScalar;
+  }
+  return best;  // unknown value: behave as auto
+}
+}  // namespace
+
+Kernel active_kernel() noexcept {
+  static const Kernel kernel = detect_kernel();
+  return kernel;
+}
+
+const char* kernel_name(Kernel k) noexcept {
+  switch (k) {
+    case Kernel::kAvx2:
+      return "avx2";
+    case Kernel::kNeon:
+      return "neon";
+    case Kernel::kScalar:
+      break;
+  }
+  return "scalar";
+}
+
+namespace detail {
+
+void dp_row_scalar(const double* prev, double* cur, std::int16_t* choice,
+                   std::size_t levels, const MinPlusClass* lo,
+                   const MinPlusClass* hi) noexcept {
+  for (std::size_t w = 0; w < levels; ++w) {
+    double best = prev[w];
+    std::int16_t best_choice = kDpSkip;
+    for (const MinPlusClass* e = lo; e != hi; ++e) {
+      const std::size_t w_from = w > e->units ? w - e->units : 0;
+      if (prev[w_from] == kInf) continue;
+      const double cand = prev[w_from] + e->delta;
+      if (cand < best) {
+        best = cand;
+        best_choice = e->cls;
+      }
+    }
+    cur[w] = best;
+    choice[w] = best_choice;
+  }
+}
+
+std::size_t cost_argmin_scalar(const double* lam, const double* phi,
+                               std::size_t n, double s, double r, double e,
+                               double* best) noexcept {
+  double b = kInf;
+  std::size_t pos = n;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double cost = s * lam[i] + r * phi[i] + e;
+    if (cost < b) {
+      b = cost;
+      pos = i;
+    }
+  }
+  *best = b;
+  return pos;
+}
+
+void cost_argmin_sweep_scalar(const double* lam, const double* phi,
+                              std::size_t stride, std::size_t count,
+                              std::size_t n, double s, double r,
+                              const double* full_cost, double* best_out,
+                              std::int32_t* pos_out) noexcept {
+  for (std::size_t j = 0; j < count; ++j) {
+    const double e = full_cost[j] * s;
+    best_out[j] = kInf;
+    pos_out[j] = static_cast<std::int32_t>(n);
+    const double* lj = lam + j * stride;
+    const double* pj = phi + j * stride;
+    double b = kInf;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double cost = s * lj[i] + r * pj[i] + e;
+      if (cost < b) {
+        b = cost;
+        pos_out[j] = static_cast<std::int32_t>(i);
+      }
+    }
+    best_out[j] = b;
+  }
+}
+
+}  // namespace detail
+
+void dp_row(Kernel k, const double* prev, double* cur, std::int16_t* choice,
+            std::size_t levels, const MinPlusClass* lo,
+            const MinPlusClass* hi) noexcept {
+  switch (k) {
+#if defined(LORASCHED_SIMD_AVX2)
+    case Kernel::kAvx2:
+      detail::dp_row_avx2(prev, cur, choice, levels, lo, hi);
+      return;
+#endif
+#if defined(LORASCHED_SIMD_NEON)
+    case Kernel::kNeon:
+      detail::dp_row_neon(prev, cur, choice, levels, lo, hi);
+      return;
+#endif
+    default:
+      break;
+  }
+  detail::dp_row_scalar(prev, cur, choice, levels, lo, hi);
+}
+
+std::size_t cost_argmin(Kernel k, const double* lam, const double* phi,
+                        std::size_t n, double s, double r, double e,
+                        double* best) noexcept {
+  switch (k) {
+#if defined(LORASCHED_SIMD_AVX2)
+    case Kernel::kAvx2:
+      return detail::cost_argmin_avx2(lam, phi, n, s, r, e, best);
+#endif
+#if defined(LORASCHED_SIMD_NEON)
+    case Kernel::kNeon:
+      return detail::cost_argmin_neon(lam, phi, n, s, r, e, best);
+#endif
+    default:
+      break;
+  }
+  return detail::cost_argmin_scalar(lam, phi, n, s, r, e, best);
+}
+
+void cost_argmin_sweep(Kernel k, const double* lam, const double* phi,
+                       std::size_t stride, std::size_t count, std::size_t n,
+                       double s, double r, const double* full_cost,
+                       double* best_out, std::int32_t* pos_out) noexcept {
+  switch (k) {
+#if defined(LORASCHED_SIMD_AVX2)
+    case Kernel::kAvx2:
+      detail::cost_argmin_sweep_avx2(lam, phi, stride, count, n, s, r,
+                                     full_cost, best_out, pos_out);
+      return;
+#endif
+#if defined(LORASCHED_SIMD_NEON)
+    case Kernel::kNeon:
+      detail::cost_argmin_sweep_neon(lam, phi, stride, count, n, s, r,
+                                     full_cost, best_out, pos_out);
+      return;
+#endif
+    default:
+      break;
+  }
+  detail::cost_argmin_sweep_scalar(lam, phi, stride, count, n, s, r,
+                                   full_cost, best_out, pos_out);
+}
+
+}  // namespace lorasched::simd

@@ -1,0 +1,134 @@
+// SIMD min-plus kernels for the Alg. 2 schedule DP (DESIGN.md §5c).
+//
+// Two inner loops dominate a cached find (schedule_dp.cpp): the per-slot
+// class-member argmin over the price snapshot's SoA lambda/phi rows, and the
+// min-plus relaxation of the DP row over the work-level axis. Both are
+// replicated here three ways — a scalar reference (kept verbatim from the
+// pre-SIMD hot path), an AVX2 arm, and a NEON arm — behind one runtime
+// dispatch point. The contract is *bit-identity*: every arm must produce the
+// same values, the same argmin/choice indices, and therefore the same
+// schedules, payments, and golden fingerprints as the scalar reference.
+//
+// How the vector arms pin bit-identity:
+//  - Lanes carry adjacent elements of the loop axis (work levels w, or
+//    member index i); the sequential scan order of the scalar code is kept
+//    *within* each lane via strict `<` compare+blend, so the first strict
+//    minimum wins per lane exactly as in the scalar scan.
+//  - The DP row needs no cross-lane reduction at all: each output cur[w] is
+//    one lane, and the class loop runs in the same order as the scalar code.
+//  - The argmin's final cross-lane reduction is a pinned-order sequential
+//    scan over (value, index) pairs, lexicographic on (value, index), which
+//    is exactly "earliest index among the minima" — the scalar tie-break.
+//  - All arithmetic is mul-then-add in the scalar source order; the kernel
+//    TUs are compiled with -ffp-contract=off (see src/CMakeLists.txt) so no
+//    arm can fuse into an FMA the other arms don't perform.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace lorasched::simd {
+
+/// Runtime-dispatched kernel identity. Values are a wire/metrics contract:
+/// the `lorasched_dp_simd_dispatch` gauge exports them as-is.
+enum class Kernel : int {
+  kScalar = 0,
+  kAvx2 = 1,
+  kNeon = 2,
+};
+
+/// "No class runs this slot" choice marker (schedule_dp.cpp's kSkip).
+inline constexpr std::int16_t kDpSkip = -1;
+
+/// One usable (finite-Δ) class of a DP row: the cost increment of running
+/// the slot on the class's best node, the work units it completes, and the
+/// class index recorded into the choice table.
+struct MinPlusClass {
+  double delta = 0.0;
+  std::size_t units = 0;
+  std::int16_t cls = kDpSkip;
+};
+
+/// Best kernel this process can run: compiled-in arm ∩ cpuid, overridable
+/// via the LORASCHED_DP_SIMD environment variable ("scalar"/"off" forces the
+/// scalar reference; "avx2"/"neon" requests an arm, falling back to scalar
+/// when it is not compiled in or the CPU lacks it; "auto"/unset picks the
+/// best available). Evaluated once per process.
+[[nodiscard]] Kernel active_kernel() noexcept;
+
+/// Human-readable arm name ("scalar", "avx2", "neon") for benches/logs.
+[[nodiscard]] const char* kernel_name(Kernel k) noexcept;
+
+/// Min-plus relaxation of one DP row:
+///   cur[w]    = min(prev[w], min_e prev[max(w - e.units, 0)] + e.delta)
+///   choice[w] = cls of the *first* strict improver in [lo, hi) order, or
+///               kDpSkip when carry-over wins.
+/// Writes exactly [0, levels) of cur and choice. +inf cells propagate as in
+/// the scalar code (inf + finite = inf never compares < anything).
+void dp_row(Kernel k, const double* prev, double* cur, std::int16_t* choice,
+            std::size_t levels, const MinPlusClass* lo,
+            const MinPlusClass* hi) noexcept;
+
+/// First-strict-minimum argmin of s*lam[i] + r*phi[i] + e over i in [0, n).
+/// Returns the index (n when nothing beats +inf, i.e. n == 0 or every cost
+/// is non-finite) and writes the winning value to *best (+inf when none).
+[[nodiscard]] std::size_t cost_argmin(Kernel k, const double* lam,
+                                      const double* phi, std::size_t n,
+                                      double s, double r, double e,
+                                      double* best) noexcept;
+
+/// Sweep form of cost_argmin over `count` consecutive slot rows of one
+/// class: row j lives at lam + j*stride / phi + j*stride (the snapshot's
+/// class-major layout makes consecutive slots exactly stride = n apart),
+/// with the slot's constant term e_j = full_cost[j] * s — the same scalar
+/// expression the caller would evaluate, computed here so the per-call
+/// broadcast/dispatch setup amortizes over the whole window. Writes
+/// best_out[j] and pos_out[j] (pos n when no finite cost) for each row;
+/// every (value, index) pair is bit-identical to calling cost_argmin per
+/// row.
+void cost_argmin_sweep(Kernel k, const double* lam, const double* phi,
+                       std::size_t stride, std::size_t count, std::size_t n,
+                       double s, double r, const double* full_cost,
+                       double* best_out, std::int32_t* pos_out) noexcept;
+
+namespace detail {
+// Per-arm entry points. The scalar pair is the reference semantics; the
+// vector pairs exist only in builds whose CMake arch matched (they are
+// declared unconditionally so the dispatcher can reference them under
+// #ifdef without a second header).
+void dp_row_scalar(const double* prev, double* cur, std::int16_t* choice,
+                   std::size_t levels, const MinPlusClass* lo,
+                   const MinPlusClass* hi) noexcept;
+std::size_t cost_argmin_scalar(const double* lam, const double* phi,
+                               std::size_t n, double s, double r, double e,
+                               double* best) noexcept;
+void cost_argmin_sweep_scalar(const double* lam, const double* phi,
+                              std::size_t stride, std::size_t count,
+                              std::size_t n, double s, double r,
+                              const double* full_cost, double* best_out,
+                              std::int32_t* pos_out) noexcept;
+void dp_row_avx2(const double* prev, double* cur, std::int16_t* choice,
+                 std::size_t levels, const MinPlusClass* lo,
+                 const MinPlusClass* hi) noexcept;
+std::size_t cost_argmin_avx2(const double* lam, const double* phi,
+                             std::size_t n, double s, double r, double e,
+                             double* best) noexcept;
+void cost_argmin_sweep_avx2(const double* lam, const double* phi,
+                            std::size_t stride, std::size_t count,
+                            std::size_t n, double s, double r,
+                            const double* full_cost, double* best_out,
+                            std::int32_t* pos_out) noexcept;
+void dp_row_neon(const double* prev, double* cur, std::int16_t* choice,
+                 std::size_t levels, const MinPlusClass* lo,
+                 const MinPlusClass* hi) noexcept;
+std::size_t cost_argmin_neon(const double* lam, const double* phi,
+                             std::size_t n, double s, double r, double e,
+                             double* best) noexcept;
+void cost_argmin_sweep_neon(const double* lam, const double* phi,
+                            std::size_t stride, std::size_t count,
+                            std::size_t n, double s, double r,
+                            const double* full_cost, double* best_out,
+                            std::int32_t* pos_out) noexcept;
+}  // namespace detail
+
+}  // namespace lorasched::simd

@@ -1,0 +1,263 @@
+// AVX2 arm of the min-plus kernels (DESIGN.md §5c).
+//
+// This TU is the only one compiled with -mavx2; it is referenced only when
+// cpuid reports AVX2 at runtime (simd::active_kernel). It is also compiled
+// with -ffp-contract=off: -mavx2 alone does not enable the FMA ISA, but the
+// flag pins the "no fusion" contract explicitly so the mul-then-add
+// sequences below stay bit-identical to the scalar reference even if the
+// toolchain's defaults change.
+#include "lorasched/core/simd/minplus.h"
+
+#if defined(LORASCHED_SIMD_AVX2)
+
+#include <immintrin.h>
+
+#include <limits>
+
+namespace lorasched::simd::detail {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Scalar-reference body over a sub-range of work levels; used for the
+// ragged prologue (w < max units, where the clamped prev[0] load breaks the
+// shifted vector load) and the < 4-lane epilogue.
+inline void dp_span_scalar(const double* prev, double* cur,
+                           std::int16_t* choice, std::size_t begin,
+                           std::size_t end, const MinPlusClass* lo,
+                           const MinPlusClass* hi) noexcept {
+  for (std::size_t w = begin; w < end; ++w) {
+    double best = prev[w];
+    std::int16_t best_choice = kDpSkip;
+    for (const MinPlusClass* e = lo; e != hi; ++e) {
+      const std::size_t w_from = w > e->units ? w - e->units : 0;
+      if (prev[w_from] == kInf) continue;
+      const double cand = prev[w_from] + e->delta;
+      if (cand < best) {
+        best = cand;
+        best_choice = e->cls;
+      }
+    }
+    cur[w] = best;
+    choice[w] = best_choice;
+  }
+}
+}  // namespace
+
+void dp_row_avx2(const double* prev, double* cur, std::int16_t* choice,
+                 std::size_t levels, const MinPlusClass* lo,
+                 const MinPlusClass* hi) noexcept {
+  // Below `head` at least one class clamps its predecessor to prev[0]; the
+  // scalar reference handles that span, the lanes take over once every
+  // class's shifted load prev + (w - units) is in range.
+  std::size_t head = 0;
+  for (const MinPlusClass* e = lo; e != hi; ++e) {
+    if (e->units > head) head = e->units;
+  }
+  if (head > levels) head = levels;
+  dp_span_scalar(prev, cur, choice, 0, head, lo, hi);
+
+  std::size_t w = head;
+  const __m256i skip = _mm256_set1_epi64x(static_cast<long long>(kDpSkip));
+  for (; w + 4 <= levels; w += 4) {
+    // Lanes are adjacent work levels w..w+3. The class loop runs in the
+    // same order as the scalar scan with a strict-< compare+blend, so each
+    // lane independently keeps the scalar path's first strict minimum —
+    // no cross-lane reduction exists to re-order.
+    __m256d best = _mm256_loadu_pd(prev + w);
+    __m256i cls = skip;
+    for (const MinPlusClass* e = lo; e != hi; ++e) {
+      const __m256d cand =
+          _mm256_add_pd(_mm256_loadu_pd(prev + (w - e->units)),
+                        _mm256_set1_pd(e->delta));
+      const __m256d lt = _mm256_cmp_pd(cand, best, _CMP_LT_OQ);
+      best = _mm256_blendv_pd(best, cand, lt);
+      cls = _mm256_blendv_epi8(
+          cls, _mm256_set1_epi64x(static_cast<long long>(e->cls)),
+          _mm256_castpd_si256(lt));
+    }
+    _mm256_storeu_pd(cur + w, best);
+    alignas(32) long long picked[4];
+    _mm256_store_si256(reinterpret_cast<__m256i*>(picked), cls);
+    choice[w + 0] = static_cast<std::int16_t>(picked[0]);
+    choice[w + 1] = static_cast<std::int16_t>(picked[1]);
+    choice[w + 2] = static_cast<std::int16_t>(picked[2]);
+    choice[w + 3] = static_cast<std::int16_t>(picked[3]);
+  }
+  dp_span_scalar(prev, cur, choice, w, levels, lo, hi);
+}
+
+namespace {
+// One strict-< accumulator step over 4 adjacent candidates. The explicit
+// mul/add intrinsics keep the scalar source's association
+// (s*lam + r*phi) + e — with -ffp-contract=off no FMA can sneak in on
+// either side of the differential.
+inline void argmin_step(const double* lam, const double* phi, __m256d vs,
+                        __m256d vr, __m256d ve, __m256d& vbest, __m256i& vpos,
+                        __m256i vidx) noexcept {
+  const __m256d cost =
+      _mm256_add_pd(_mm256_add_pd(_mm256_mul_pd(vs, _mm256_loadu_pd(lam)),
+                                  _mm256_mul_pd(vr, _mm256_loadu_pd(phi))),
+                    ve);
+  const __m256d lt = _mm256_cmp_pd(cost, vbest, _CMP_LT_OQ);
+  vbest = _mm256_blendv_pd(vbest, cost, lt);
+  vpos = _mm256_blendv_epi8(vpos, vidx, _mm256_castpd_si256(lt));
+}
+
+// Lexicographic (value, index) merge of two accumulator sets, lane-wise.
+// Because the index is part of the comparison, the merge is order-
+// independent: whichever grouping the reduction tree uses, the survivor of
+// a tie is the smaller index — the scalar scan's tie-break. The `==` is
+// that deterministic tie test, not a tolerance.
+inline void argmin_merge(__m256d& abest, __m256i& apos, __m256d bbest,
+                         __m256i bpos) noexcept {
+  const __m256d lt = _mm256_cmp_pd(bbest, abest, _CMP_LT_OQ);
+  const __m256d eq = _mm256_cmp_pd(bbest, abest, _CMP_EQ_OQ);
+  const __m256i pos_lt = _mm256_cmpgt_epi64(apos, bpos);  // bpos < apos
+  const __m256i take = _mm256_or_si256(
+      _mm256_castpd_si256(lt),
+      _mm256_and_si256(_mm256_castpd_si256(eq), pos_lt));
+  abest = _mm256_blendv_pd(abest, bbest, _mm256_castsi256_pd(take));
+  apos = _mm256_blendv_epi8(apos, bpos, take);
+}
+}  // namespace
+
+std::size_t cost_argmin_avx2(const double* lam, const double* phi,
+                             std::size_t n, double s, double r, double e,
+                             double* best) noexcept {
+  double b = kInf;
+  std::size_t pos = n;
+  std::size_t i = 0;
+  if (n >= 4) {
+    const __m256d vs = _mm256_set1_pd(s);
+    const __m256d vr = _mm256_set1_pd(r);
+    const __m256d ve = _mm256_set1_pd(e);
+    // Four independent accumulator pairs (16 candidates per iteration):
+    // the strict-< compare+blend chain is the loop-carried dependency, so
+    // splitting it four ways hides most of its latency. Index sentinel n:
+    // a lane that never improves reduces as (inf, n), which loses to every
+    // real candidate under the lexicographic merge.
+    const __m256i sent = _mm256_set1_epi64x(static_cast<long long>(n));
+    __m256d vb0 = _mm256_set1_pd(kInf), vb1 = vb0, vb2 = vb0, vb3 = vb0;
+    __m256i vp0 = sent, vp1 = sent, vp2 = sent, vp3 = sent;
+    __m256i vidx = _mm256_setr_epi64x(0, 1, 2, 3);
+    const __m256i four = _mm256_set1_epi64x(4);
+    const __m256i sixteen = _mm256_set1_epi64x(16);
+    for (; i + 16 <= n; i += 16) {
+      const __m256i vi1 = _mm256_add_epi64(vidx, four);
+      const __m256i vi2 = _mm256_add_epi64(vi1, four);
+      const __m256i vi3 = _mm256_add_epi64(vi2, four);
+      argmin_step(lam + i, phi + i, vs, vr, ve, vb0, vp0, vidx);
+      argmin_step(lam + i + 4, phi + i + 4, vs, vr, ve, vb1, vp1, vi1);
+      argmin_step(lam + i + 8, phi + i + 8, vs, vr, ve, vb2, vp2, vi2);
+      argmin_step(lam + i + 12, phi + i + 12, vs, vr, ve, vb3, vp3, vi3);
+      vidx = _mm256_add_epi64(vidx, sixteen);
+    }
+    for (; i + 4 <= n; i += 4) {
+      argmin_step(lam + i, phi + i, vs, vr, ve, vb0, vp0, vidx);
+      vidx = _mm256_add_epi64(vidx, four);
+    }
+    // Reduce: lexicographic pairwise merges (order-independent, see
+    // argmin_merge), then a pinned lane-order scan of the final four
+    // (value, index) pairs. Each lane holds the first strict minimum of
+    // its index subsequence, so the merged result is the earliest index
+    // among the global minima — exactly the scalar tie-break.
+    argmin_merge(vb0, vp0, vb1, vp1);
+    argmin_merge(vb2, vp2, vb3, vp3);
+    argmin_merge(vb0, vp0, vb2, vp2);
+    alignas(32) double lane_val[4];
+    alignas(32) long long lane_pos[4];
+    _mm256_store_pd(lane_val, vb0);
+    _mm256_store_si256(reinterpret_cast<__m256i*>(lane_pos), vp0);
+    for (int lane = 0; lane < 4; ++lane) {
+      const auto cand_pos = static_cast<std::size_t>(lane_pos[lane]);
+      if (lane_val[lane] < b || (lane_val[lane] == b && cand_pos < pos)) {
+        b = lane_val[lane];
+        pos = cand_pos;
+      }
+    }
+  }
+  for (; i < n; ++i) {
+    // Tail indices all exceed the vector span's, so strict < alone keeps
+    // the earlier winner on ties.
+    const double cost = s * lam[i] + r * phi[i] + e;
+    if (cost < b) {
+      b = cost;
+      pos = i;
+    }
+  }
+  *best = b;
+  return pos;
+}
+
+void cost_argmin_sweep_avx2(const double* lam, const double* phi,
+                            std::size_t stride, std::size_t count,
+                            std::size_t n, double s, double r,
+                            const double* full_cost, double* best_out,
+                            std::int32_t* pos_out) noexcept {
+  // One dispatch + broadcast setup for the whole window; each row replays
+  // cost_argmin_avx2 exactly (same accumulator split, same merge), with the
+  // slot constant e_j = full_cost[j] * s computed by the same scalar
+  // expression as the sweep's scalar reference.
+  const __m256d vs = _mm256_set1_pd(s);
+  const __m256d vr = _mm256_set1_pd(r);
+  const __m256i sent = _mm256_set1_epi64x(static_cast<long long>(n));
+  const __m256i idx0 = _mm256_setr_epi64x(0, 1, 2, 3);
+  const __m256i four = _mm256_set1_epi64x(4);
+  const __m256i sixteen = _mm256_set1_epi64x(16);
+  for (std::size_t j = 0; j < count; ++j) {
+    const double e = full_cost[j] * s;
+    const double* lj = lam + j * stride;
+    const double* pj = phi + j * stride;
+    double b = kInf;
+    std::size_t pos = n;
+    std::size_t i = 0;
+    if (n >= 4) {
+      const __m256d ve = _mm256_set1_pd(e);
+      __m256d vb0 = _mm256_set1_pd(kInf), vb1 = vb0, vb2 = vb0, vb3 = vb0;
+      __m256i vp0 = sent, vp1 = sent, vp2 = sent, vp3 = sent;
+      __m256i vidx = idx0;
+      for (; i + 16 <= n; i += 16) {
+        const __m256i vi1 = _mm256_add_epi64(vidx, four);
+        const __m256i vi2 = _mm256_add_epi64(vi1, four);
+        const __m256i vi3 = _mm256_add_epi64(vi2, four);
+        argmin_step(lj + i, pj + i, vs, vr, ve, vb0, vp0, vidx);
+        argmin_step(lj + i + 4, pj + i + 4, vs, vr, ve, vb1, vp1, vi1);
+        argmin_step(lj + i + 8, pj + i + 8, vs, vr, ve, vb2, vp2, vi2);
+        argmin_step(lj + i + 12, pj + i + 12, vs, vr, ve, vb3, vp3, vi3);
+        vidx = _mm256_add_epi64(vidx, sixteen);
+      }
+      for (; i + 4 <= n; i += 4) {
+        argmin_step(lj + i, pj + i, vs, vr, ve, vb0, vp0, vidx);
+        vidx = _mm256_add_epi64(vidx, four);
+      }
+      argmin_merge(vb0, vp0, vb1, vp1);
+      argmin_merge(vb2, vp2, vb3, vp3);
+      argmin_merge(vb0, vp0, vb2, vp2);
+      alignas(32) double lane_val[4];
+      alignas(32) long long lane_pos[4];
+      _mm256_store_pd(lane_val, vb0);
+      _mm256_store_si256(reinterpret_cast<__m256i*>(lane_pos), vp0);
+      for (int lane = 0; lane < 4; ++lane) {
+        const auto cand_pos = static_cast<std::size_t>(lane_pos[lane]);
+        if (lane_val[lane] < b || (lane_val[lane] == b && cand_pos < pos)) {
+          b = lane_val[lane];
+          pos = cand_pos;
+        }
+      }
+    }
+    for (; i < n; ++i) {
+      const double cost = s * lj[i] + r * pj[i] + e;
+      if (cost < b) {
+        b = cost;
+        pos = i;
+      }
+    }
+    best_out[j] = b;
+    pos_out[j] = static_cast<std::int32_t>(pos);
+  }
+}
+
+}  // namespace lorasched::simd::detail
+
+#endif  // LORASCHED_SIMD_AVX2

@@ -1,0 +1,142 @@
+// NEON (aarch64) arm of the min-plus kernels — 2 × f64 lanes, same lane
+// discipline as the AVX2 arm (see minplus_avx2.cpp and DESIGN.md §5c).
+//
+// Compiled with -ffp-contract=off: unlike x86's baseline, FMA is part of
+// the aarch64 baseline ISA, so without the flag the compiler could fuse
+// the mul-then-add sequences here (or in the scalar reference) and break
+// the bit-identity contract between the arms.
+#include "lorasched/core/simd/minplus.h"
+
+#if defined(LORASCHED_SIMD_NEON)
+
+#include <arm_neon.h>
+
+#include <limits>
+
+namespace lorasched::simd::detail {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+inline void dp_span_scalar(const double* prev, double* cur,
+                           std::int16_t* choice, std::size_t begin,
+                           std::size_t end, const MinPlusClass* lo,
+                           const MinPlusClass* hi) noexcept {
+  for (std::size_t w = begin; w < end; ++w) {
+    double best = prev[w];
+    std::int16_t best_choice = kDpSkip;
+    for (const MinPlusClass* e = lo; e != hi; ++e) {
+      const std::size_t w_from = w > e->units ? w - e->units : 0;
+      if (prev[w_from] == kInf) continue;
+      const double cand = prev[w_from] + e->delta;
+      if (cand < best) {
+        best = cand;
+        best_choice = e->cls;
+      }
+    }
+    cur[w] = best;
+    choice[w] = best_choice;
+  }
+}
+}  // namespace
+
+void dp_row_neon(const double* prev, double* cur, std::int16_t* choice,
+                 std::size_t levels, const MinPlusClass* lo,
+                 const MinPlusClass* hi) noexcept {
+  std::size_t head = 0;
+  for (const MinPlusClass* e = lo; e != hi; ++e) {
+    if (e->units > head) head = e->units;
+  }
+  if (head > levels) head = levels;
+  dp_span_scalar(prev, cur, choice, 0, head, lo, hi);
+
+  std::size_t w = head;
+  const int64x2_t skip = vdupq_n_s64(static_cast<std::int64_t>(kDpSkip));
+  for (; w + 2 <= levels; w += 2) {
+    float64x2_t best = vld1q_f64(prev + w);
+    int64x2_t cls = skip;
+    for (const MinPlusClass* e = lo; e != hi; ++e) {
+      const float64x2_t cand =
+          vaddq_f64(vld1q_f64(prev + (w - e->units)), vdupq_n_f64(e->delta));
+      const uint64x2_t lt = vcltq_f64(cand, best);
+      best = vbslq_f64(lt, cand, best);
+      cls = vbslq_s64(lt, vdupq_n_s64(static_cast<std::int64_t>(e->cls)), cls);
+    }
+    vst1q_f64(cur + w, best);
+    choice[w + 0] = static_cast<std::int16_t>(vgetq_lane_s64(cls, 0));
+    choice[w + 1] = static_cast<std::int16_t>(vgetq_lane_s64(cls, 1));
+  }
+  dp_span_scalar(prev, cur, choice, w, levels, lo, hi);
+}
+
+std::size_t cost_argmin_neon(const double* lam, const double* phi,
+                             std::size_t n, double s, double r, double e,
+                             double* best) noexcept {
+  double b = kInf;
+  std::size_t pos = n;
+  std::size_t i = 0;
+  if (n >= 2) {
+    const float64x2_t vs = vdupq_n_f64(s);
+    const float64x2_t vr = vdupq_n_f64(r);
+    const float64x2_t ve = vdupq_n_f64(e);
+    float64x2_t vbest = vdupq_n_f64(kInf);
+    int64x2_t vpos = vdupq_n_s64(static_cast<std::int64_t>(n));
+    int64x2_t vidx = {0, 1};
+    const int64x2_t step = vdupq_n_s64(2);
+    for (; i + 2 <= n; i += 2) {
+      const float64x2_t cost =
+          vaddq_f64(vaddq_f64(vmulq_f64(vs, vld1q_f64(lam + i)),
+                              vmulq_f64(vr, vld1q_f64(phi + i))),
+                    ve);
+      const uint64x2_t lt = vcltq_f64(cost, vbest);
+      vbest = vbslq_f64(lt, cost, vbest);
+      vpos = vbslq_s64(lt, vidx, vpos);
+      vidx = vaddq_s64(vidx, step);
+    }
+    // Pinned lexicographic (value, index) reduction in lane order — the
+    // `==` is the deterministic tie test, not a tolerance (see the AVX2
+    // arm for why this replays the scalar first-minimum tie-break).
+    const double lane_val[2] = {vgetq_lane_f64(vbest, 0),
+                                vgetq_lane_f64(vbest, 1)};
+    const std::size_t lane_pos[2] = {
+        static_cast<std::size_t>(vgetq_lane_s64(vpos, 0)),
+        static_cast<std::size_t>(vgetq_lane_s64(vpos, 1))};
+    for (int lane = 0; lane < 2; ++lane) {
+      if (lane_val[lane] < b || (lane_val[lane] == b && lane_pos[lane] < pos)) {
+        b = lane_val[lane];
+        pos = lane_pos[lane];
+      }
+    }
+  }
+  for (; i < n; ++i) {
+    const double cost = s * lam[i] + r * phi[i] + e;
+    if (cost < b) {
+      b = cost;
+      pos = i;
+    }
+  }
+  *best = b;
+  return pos;
+}
+
+void cost_argmin_sweep_neon(const double* lam, const double* phi,
+                            std::size_t stride, std::size_t count,
+                            std::size_t n, double s, double r,
+                            const double* full_cost, double* best_out,
+                            std::int32_t* pos_out) noexcept {
+  // One call per window: each row replays cost_argmin_neon exactly, with
+  // the slot constant e_j = full_cost[j] * s computed by the same scalar
+  // expression as the sweep's scalar reference.
+  for (std::size_t j = 0; j < count; ++j) {
+    const double e = full_cost[j] * s;
+    double b = kInf;
+    const std::size_t pos = cost_argmin_neon(lam + j * stride,
+                                             phi + j * stride, n, s, r, e, &b);
+    best_out[j] = b;
+    pos_out[j] = static_cast<std::int32_t>(pos);
+  }
+}
+
+}  // namespace lorasched::simd::detail
+
+#endif  // LORASCHED_SIMD_NEON

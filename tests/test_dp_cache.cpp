@@ -11,6 +11,8 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdint>
+#include <limits>
 #include <sstream>
 #include <thread>
 #include <vector>
@@ -170,6 +172,203 @@ TEST(DpCacheDifferential, CacheStatsCountHitsAndMisses) {
             std::string::npos);
   EXPECT_NE(prom.find("lorasched_dp_scratch_bytes"), std::string::npos);
   EXPECT_NE(prom.find("lorasched_dp_snapshot_bytes"), std::string::npos);
+}
+
+TEST(DpCacheDifferential, PolicyMetricsExportSimdDispatchAndBatchHistogram) {
+  const Instance instance = make_instance(testing::small_scenario(43));
+  PdftspConfig config = pdftsp_config_for(instance);
+  config.admission_batch = 8;
+  Pdftsp policy(config, instance.cluster, instance.energy, instance.horizon);
+  obs::MetricsRegistry registry;
+  policy.register_metrics(registry);
+  (void)run_simulation(instance, policy);  // records admission waves
+
+  std::ostringstream prom_out;
+  registry.write_prometheus(prom_out);
+  const std::string prom = prom_out.str();
+  // The dispatch gauge exports the Kernel enum as-is (0/1/2 wire contract).
+  const std::string dispatch =
+      "lorasched_dp_simd_dispatch " +
+      std::to_string(static_cast<int>(policy.config().dp.simd
+                                          ? simd::active_kernel()
+                                          : simd::Kernel::kScalar));
+  EXPECT_NE(prom.find(dispatch), std::string::npos) << prom;
+  EXPECT_NE(prom.find("lorasched_admission_batch_size"), std::string::npos);
+}
+
+// --- SIMD min-plus kernels (DESIGN.md §5c) ----------------------------------
+// On hosts whose active kernel is scalar (no AVX2/NEON, or LORASCHED_SIMD
+// off) these degenerate to scalar-vs-scalar and pass trivially; CI runs a
+// vector-enabled pass so the differentials bite there.
+
+constexpr double kInfCost = std::numeric_limits<double>::infinity();
+
+TEST(SimdKernels, DpRowMatchesScalarOnRaggedDeadAndSingleClassRows) {
+  const simd::Kernel vec = simd::active_kernel();
+  util::Rng rng(20250809);
+  for (int trial = 0; trial < 500; ++trial) {
+    SCOPED_TRACE(trial);
+    // Level counts straddle the 2/4/16-lane boundaries, down to a single
+    // work level; every 5th trial is the single-class edge.
+    const auto levels = static_cast<std::size_t>(rng.uniform_int(1, 37));
+    const int classes = trial % 5 == 0 ? 1 : rng.uniform_int(1, 4);
+    std::vector<simd::MinPlusClass> live(static_cast<std::size_t>(classes));
+    for (std::size_t c = 0; c < live.size(); ++c) {
+      // Quantized deltas force exact value ties the choice lane must break
+      // by class order, exactly like the scalar scan.
+      live[c].delta = rng.uniform_int(0, 7) * 0.125;
+      live[c].units = static_cast<std::size_t>(rng.uniform_int(1, 5));
+      live[c].cls = static_cast<std::int16_t>(c);
+    }
+    // Every 7th row is all-dead (+inf everywhere): the carry-over must win
+    // every column and the choices must all stay kDpSkip.
+    const bool all_dead = trial % 7 == 0;
+    std::vector<double> prev(levels);
+    for (auto& v : prev) {
+      v = all_dead || rng.uniform() < 0.25 ? kInfCost
+                                           : rng.uniform_int(0, 15) * 0.25;
+    }
+    std::vector<double> cur_ref(levels);
+    std::vector<double> cur_vec(levels);
+    std::vector<std::int16_t> choice_ref(levels);
+    std::vector<std::int16_t> choice_vec(levels);
+    simd::dp_row(simd::Kernel::kScalar, prev.data(), cur_ref.data(),
+                 choice_ref.data(), levels, live.data(),
+                 live.data() + live.size());
+    simd::dp_row(vec, prev.data(), cur_vec.data(), choice_vec.data(), levels,
+                 live.data(), live.data() + live.size());
+    ASSERT_EQ(cur_ref, cur_vec);
+    ASSERT_EQ(choice_ref, choice_vec);
+    if (all_dead) {
+      for (const std::int16_t c : choice_vec) ASSERT_EQ(c, simd::kDpSkip);
+    }
+  }
+}
+
+TEST(SimdKernels, CostArgminAndSweepMatchScalarWithTiesAndDeadColumns) {
+  const simd::Kernel vec = simd::active_kernel();
+  util::Rng rng(777);
+  for (int trial = 0; trial < 500; ++trial) {
+    SCOPED_TRACE(trial);
+    // n sweeps through ragged widths around the 4- and 16-element vector
+    // strides, including n == 0 (empty class) and n < one vector.
+    const auto n = static_cast<std::size_t>(rng.uniform_int(0, 40));
+    const auto count = static_cast<std::size_t>(rng.uniform_int(1, 18));
+    std::vector<double> lam(n * count);
+    std::vector<double> phi(n * count);
+    std::vector<double> full_cost(count);
+    for (auto& v : lam) {
+      // ~20% dead columns (+inf lambda) plus quantized values for ties.
+      v = rng.uniform() < 0.2 ? kInfCost : rng.uniform_int(0, 7) * 0.5;
+    }
+    for (auto& v : phi) v = rng.uniform_int(0, 7) * 0.25;
+    for (auto& v : full_cost) v = rng.uniform_int(0, 3) * 1.5;
+    const double s = 0.5 + rng.uniform();
+    const double r = rng.uniform();
+
+    std::vector<double> best_vec(count);
+    std::vector<double> best_ref(count);
+    std::vector<std::int32_t> pos_vec(count);
+    std::vector<std::int32_t> pos_ref(count);
+    simd::cost_argmin_sweep(vec, lam.data(), phi.data(), n, count, n, s, r,
+                            full_cost.data(), best_vec.data(), pos_vec.data());
+    simd::cost_argmin_sweep(simd::Kernel::kScalar, lam.data(), phi.data(), n,
+                            count, n, s, r, full_cost.data(), best_ref.data(),
+                            pos_ref.data());
+    ASSERT_EQ(best_vec, best_ref);
+    ASSERT_EQ(pos_vec, pos_ref);
+    // The sweep must also be bit-identical to per-row cost_argmin calls of
+    // the same kernel (its contract in minplus.h).
+    for (std::size_t j = 0; j < count; ++j) {
+      double best = 0.0;
+      const std::size_t pos =
+          simd::cost_argmin(vec, lam.data() + j * n, phi.data() + j * n, n, s,
+                            r, full_cost[j] * s, &best);
+      ASSERT_EQ(static_cast<std::int32_t>(pos), pos_vec[j]) << "row " << j;
+      ASSERT_EQ(best, best_vec[j]) << "row " << j;
+    }
+  }
+}
+
+/// Replays bids through a SIMD-dispatched and a scalar-pinned cached
+/// ScheduleDp in lock-step — eq. 7/8 dual updates every `admit_every`-th
+/// feasible plan plus random single-cell price pokes — and requires
+/// identical runs at every step.
+void expect_simd_lockstep(const Instance& instance, std::size_t bids,
+                          int admit_every, SlotFilter filter,
+                          double granularity) {
+  ScheduleDpConfig vec_config;
+  vec_config.granularity = granularity;
+  vec_config.simd = true;
+  ScheduleDpConfig scalar_config = vec_config;
+  scalar_config.simd = false;
+  const ScheduleDp vec(instance.cluster, instance.energy, vec_config);
+  const ScheduleDp scalar(instance.cluster, instance.energy, scalar_config);
+  ASSERT_EQ(scalar.kernel(), simd::Kernel::kScalar);
+  DualState vec_duals(instance.cluster.node_count(), instance.horizon);
+  DualState scalar_duals(instance.cluster.node_count(), instance.horizon);
+  DpScratch scratch;
+  util::Rng rng(instance.tasks.empty() ? 1 : instance.tasks.front().id + 11);
+
+  int feasible = 0;
+  const std::size_t n = std::min(bids, instance.tasks.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const Task& task = instance.tasks[i];
+    Schedule fast;
+    vec.find_into(fast, task, task.arrival, vec_duals, scratch, nullptr,
+                  filter);
+    const Schedule slow =
+        scalar.find(task, task.arrival, scalar_duals, nullptr, filter);
+    ASSERT_EQ(fast.run, slow.run) << "bid " << i;
+    if (!fast.empty() && ++feasible % admit_every == 0) {
+      Schedule plan = fast;
+      finalize_schedule(plan, task, instance.cluster, instance.energy);
+      vec_duals.apply_update(task, plan, instance.cluster, 1.0, 1.0, 1.0);
+      scalar_duals.apply_update(task, plan, instance.cluster, 1.0, 1.0, 1.0);
+    }
+    if (i % 9 == 4) {
+      // Random duals poke through the colgen-style setters, applied
+      // identically to both states.
+      const auto k = static_cast<NodeId>(
+          rng.uniform_int(0, instance.cluster.node_count() - 1));
+      const auto t =
+          static_cast<Slot>(rng.uniform_int(0, instance.horizon - 1));
+      const double lambda = rng.uniform() * 0.3;
+      const double phi = rng.uniform() * 0.2;
+      vec_duals.set_lambda(k, t, lambda);
+      vec_duals.set_phi(k, t, phi);
+      scalar_duals.set_lambda(k, t, lambda);
+      scalar_duals.set_phi(k, t, phi);
+    }
+  }
+  EXPECT_GT(feasible, 0);  // the scenario must actually exercise admissions
+}
+
+TEST(SimdDifferential, FindMatchesScalarAcrossAdmissionsAndPokes) {
+  for (const std::uint64_t seed : {1ull, 7ull, 2024ull}) {
+    SCOPED_TRACE(seed);
+    ScenarioConfig config = testing::small_scenario(seed);
+    config.nodes = 8;
+    config.horizon = 64;
+    config.arrival_rate = 4.0;
+    const Instance instance = make_instance(config);
+    expect_simd_lockstep(instance, 160, 5, nullptr, 2.0);
+  }
+}
+
+TEST(SimdDifferential, FilteredFindMatchesScalar) {
+  const Instance instance = make_instance(testing::small_scenario(3));
+  expect_simd_lockstep(instance, 120, 4, &test_filter, 2.0);
+}
+
+TEST(SimdDifferential, RaggedGranularitiesMatchScalar) {
+  // Coarse and odd granularities push the DP's work-level count W through
+  // values that are not multiples of the 2/4/16 vector strides.
+  const Instance instance = make_instance(testing::small_scenario(13));
+  for (const double granularity : {1.0, 3.0, 7.0}) {
+    SCOPED_TRACE(granularity);
+    expect_simd_lockstep(instance, 100, 4, nullptr, granularity);
+  }
 }
 
 // --- DualState dirty-cell journal -------------------------------------------

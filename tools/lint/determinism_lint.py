@@ -117,6 +117,7 @@ def strip_comments_and_strings(line: str, in_block: bool) -> tuple[str, bool]:
             if end < 0:
                 return "".join(out), True
             i = end + 2
+            in_block = False
             continue
         c = line[i]
         if c == "/" and i + 1 < n and line[i + 1] == "/":
@@ -263,12 +264,17 @@ bool warm(double cost) {
 std::unordered_map<int, double> prices;       // unordered-container
 // rand() inside a comment must NOT fire.
 const char* s = "rand() inside a string";     // nor inside a string
+bool after_inline(double price_c) {
+  return f(/*exact=*/true) && price_c == 1.0; // float-equality AFTER an
+}                                             // inline /*...*/ comment:
+// the block-comment state must close on the same line, not swallow the
+// rest of the file.
 """
 
 SELF_TEST_EXPECT = {
     "nondeterministic-rand": 1,
     "wall-clock": 1,
-    "float-equality": 2,
+    "float-equality": 3,
     "unordered-container": 1,
 }
 
